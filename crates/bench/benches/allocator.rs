@@ -1,0 +1,54 @@
+//! Micro-benchmark: the multipath max-min allocator — the inner loop of
+//! every flow-level experiment (re-run on each arrival/departure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inrpp_flowsim::allocator::max_min_allocate;
+use inrpp_flowsim::strategy::{InrpStrategy, RoutingStrategy, SinglePathStrategy};
+use inrpp_sim::rng::SimRng;
+use inrpp_topology::rocketfuel::{generate_isp, Isp};
+use inrpp_topology::spath::Path;
+
+fn flow_sets(n_flows: usize, inrp: bool) -> (inrpp_topology::Topology, Vec<Vec<Path>>) {
+    let topo = generate_isp(Isp::Exodus, 1);
+    let mut rng = SimRng::from_seed_u64(7);
+    let nodes: Vec<_> = topo.node_ids().collect();
+    let strat_inrp = InrpStrategy::with_defaults(&topo);
+    let mut flows = Vec::with_capacity(n_flows);
+    while flows.len() < n_flows {
+        let src = *rng.pick(&nodes);
+        let dst = *rng.pick(&nodes);
+        if src == dst {
+            continue;
+        }
+        let paths = if inrp {
+            strat_inrp.paths_for(&topo, src, dst, flows.len() as u64)
+        } else {
+            SinglePathStrategy.paths_for(&topo, src, dst, flows.len() as u64)
+        };
+        if !paths.is_empty() {
+            flows.push(paths);
+        }
+    }
+    (topo, flows)
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_allocate");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[10usize, 50, 200] {
+        let (topo, sp) = flow_sets(n, false);
+        group.bench_with_input(BenchmarkId::new("single_path", n), &n, |b, _| {
+            b.iter(|| max_min_allocate(&topo, &sp))
+        });
+        let (topo, multi) = flow_sets(n, true);
+        group.bench_with_input(BenchmarkId::new("inrp_multipath", n), &n, |b, _| {
+            b.iter(|| max_min_allocate(&topo, &multi))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmark: custody store operations at line rate (C1 companion —
+//! the feasibility argument needs store/release to be cheap, not just the
+//! byte arithmetic to work out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
+use inrpp_sim::time::SimTime;
+use inrpp_sim::units::ByteSize;
+
+fn bench_custody(c: &mut Criterion) {
+    let mut group = c.benchmark_group("custody");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &nflows in &[1u64, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("store_pop_cycle", nflows),
+            &nflows,
+            |b, &nf| {
+                b.iter(|| {
+                    let mut s =
+                        CustodyStore::new(ByteSize::mb(10), EvictionPolicy::Reject);
+                    let t = SimTime::ZERO;
+                    for i in 0..4_000u64 {
+                        let flow = i % nf;
+                        s.store(t, flow, i / nf, ByteSize::bytes(1250))
+                            .expect("fits");
+                    }
+                    let mut total = 0u64;
+                    for f in 0..nf {
+                        while let Some((c, _)) = s.pop_next(f) {
+                            total += c;
+                        }
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.bench_function("fifo_eviction_churn", |b| {
+        b.iter(|| {
+            let mut s = CustodyStore::new(ByteSize::kb(125), EvictionPolicy::Fifo);
+            let t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                let _ = s.store(t, i % 8, i, ByteSize::bytes(1250));
+            }
+            s.stats().1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_custody);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Micro-benchmark: Table 1 detour classification and detour-table
+//! construction on generated ISP topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inrpp_topology::detour::{analyze, DetourTable};
+use inrpp_topology::rocketfuel::{generate_isp, Isp};
+
+fn bench_detour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detour");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for isp in [Isp::Vsnl, Isp::Exodus, Isp::Level3] {
+        let topo = generate_isp(isp, 1);
+        let label = format!("{} ({} links)", isp.name(), topo.link_count());
+        group.bench_with_input(BenchmarkId::new("classify_all", &label), &topo, |b, t| {
+            b.iter(|| analyze(t))
+        });
+        group.bench_with_input(BenchmarkId::new("build_table", &label), &topo, |b, t| {
+            b.iter(|| DetourTable::build(t, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detour);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmark: the Eq. 1 anticipated-rate estimator — runs on every
+//! forwarded request, so per-op cost bounds the simulated router's
+//! request-plane throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inrpp::rate::RateEstimator;
+use inrpp_sim::time::{SimDuration, SimTime};
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_estimator");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &ifaces in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("record_and_roll", ifaces),
+            &ifaces,
+            |b, &n| {
+                b.iter(|| {
+                    let mut e = RateEstimator::new(
+                        n,
+                        SimDuration::from_millis(100),
+                        SimTime::ZERO,
+                    );
+                    for i in 0..10_000u64 {
+                        let t = SimTime::from_micros(i * 50);
+                        e.record_request(
+                            t,
+                            (i as usize) % n,
+                            (i as usize + 1) % n,
+                            10_000.0,
+                        );
+                    }
+                    e.anticipated_rates()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

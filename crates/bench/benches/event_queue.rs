@@ -1,0 +1,39 @@
+//! Micro-benchmark: the DES core — push/pop throughput of the
+//! deterministic event queue under interleaved scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inrpp_sim::event::EventQueue;
+use inrpp_sim::rng::SimRng;
+use inrpp_sim::time::SimTime;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // pre-generate deterministic pseudo-random timestamps
+        let mut rng = SimRng::from_seed_u64(1);
+        let times: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_nanos(rng.index(1_000_000_000) as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &times, |b, ts| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(t, i);
+                }
+                let mut last = SimTime::ZERO;
+                while let Some((t, _)) = q.pop() {
+                    debug_assert!(t >= last);
+                    last = t;
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Runs every experiment in sequence — the one-shot regeneration of all
+//! paper artifacts plus ablations, in the order of `DESIGN.md` §6.
+//!
+//! ```text
+//! cargo run --release -p inrpp-bench --bin run_all [--quick]
+//! ```
+//!
+//! Output sections mirror `EXPERIMENTS.md`.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins = [
+        ("T1", "table1_detours", false),
+        ("F2", "fig2_regimes", true),
+        ("F3", "fig3_fairness", false),
+        ("F4a", "fig4a_throughput", true),
+        ("F4b", "fig4b_stretch", true),
+        ("C1", "custody_feasibility", false),
+        ("A1", "ablation_detour_depth", true),
+        ("A2", "ablation_anticipation", false),
+        ("A3", "ablation_cache_size", false),
+        ("A4", "ablation_backpressure", false),
+        ("A5", "ablation_interval", false),
+        ("A6", "coexistence", false),
+        ("A7", "ablation_load_sweep", true),
+        ("A8", "ablation_link_failure", true),
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for (id, bin, takes_quick) in bins {
+        println!("\n=== [{id}] {bin} {}", "=".repeat(50_usize.saturating_sub(bin.len())));
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick && takes_quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("[{id}] {bin} exited with {s}"),
+            Err(e) => eprintln!(
+                "[{id}] could not launch {bin}: {e} (build all bins first: \
+                 cargo build --release -p inrpp-bench --bins)"
+            ),
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! Experiment implementations — one function per paper artifact/ablation.
+//!
+//! Binaries print; these functions compute. Keeping them here makes every
+//! experiment unit-testable and lets `run_all` compose them.
+
+use inrpp::config::InrppConfig;
+use inrpp::fairness::{fig3_outcome, Fig3Outcome};
+use inrpp::scenario::{fig4_topologies, run_fig4_row, Fig4Config, StrategyComparison};
+use inrpp_cache::sizing::{feasibility_table, FeasibilityRow};
+use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
+use inrpp_flowsim::strategy::{InrpConfig, InrpStrategy, SinglePathStrategy};
+use inrpp_packetsim::{AimdConfig, PacketSim, PacketSimConfig, TransferSpec, TransportKind};
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::units::{ByteSize, Rate};
+use inrpp_topology::detour::analyze;
+use inrpp_topology::graph::Topology;
+use inrpp_topology::rocketfuel::{generate_isp, Isp};
+use inrpp_topology::stats::graph_stats;
+
+/// Default seed used across all experiments (Telstra's AS number, in the
+/// spirit of reproducibility folklore).
+pub const SEED: u64 = 1221;
+
+// ---------------------------------------------------------------- Table 1
+
+/// One Table 1 row: measured (generated topology) vs published values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Which ISP.
+    pub isp: Isp,
+    /// Measured `[1-hop, 2-hop, 3+, N/A]` percentages.
+    pub measured: [f64; 4],
+    /// The paper's row.
+    pub paper: [f64; 4],
+    /// Generated topology size.
+    pub nodes: usize,
+    /// Generated link count.
+    pub links: usize,
+}
+
+impl Table1Row {
+    /// Largest absolute cell deviation from the paper.
+    pub fn max_deviation(&self) -> f64 {
+        self.measured
+            .iter()
+            .zip(self.paper.iter())
+            .map(|(m, p)| (m - p).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Regenerate Table 1 on the calibrated topologies.
+pub fn table1(seed: u64) -> Vec<Table1Row> {
+    Isp::all()
+        .into_iter()
+        .map(|isp| {
+            let topo = generate_isp(isp, seed);
+            let (_, stats) = analyze(&topo);
+            let gs = graph_stats(&topo);
+            Table1Row {
+                isp,
+                measured: [
+                    stats.one_hop_pct(),
+                    stats.two_hop_pct(),
+                    stats.three_plus_pct(),
+                    stats.none_pct(),
+                ],
+                paper: isp.paper_row(),
+                nodes: gs.nodes,
+                links: gs.links,
+            }
+        })
+        .collect()
+}
+
+/// Column averages `(measured, paper)` — the paper's "Average" row.
+pub fn table1_average(rows: &[Table1Row]) -> ([f64; 4], [f64; 4]) {
+    let n = rows.len().max(1) as f64;
+    let mut m = [0.0; 4];
+    let mut p = [0.0; 4];
+    for r in rows {
+        for i in 0..4 {
+            m[i] += r.measured[i] / n;
+            p[i] += r.paper[i] / n;
+        }
+    }
+    (m, p)
+}
+
+// ------------------------------------------------------------------ Fig. 3
+
+/// The Fig. 3 worked example (re-exported for binaries).
+pub fn fig3() -> Fig3Outcome {
+    fig3_outcome()
+}
+
+// ------------------------------------------------------------------ Fig. 4
+
+/// Fig. 4a: SP vs ECMP vs URP on the paper's three topologies.
+pub fn fig4a(cfg: &Fig4Config) -> Vec<StrategyComparison> {
+    fig4_topologies()
+        .into_iter()
+        .map(|isp| run_fig4_row(isp, cfg))
+        .collect()
+}
+
+/// Fig. 4b: the URP stretch CDF per topology, as `(stretch, F)` points.
+pub fn fig4b(cfg: &Fig4Config) -> Vec<(String, Vec<(f64, f64)>)> {
+    fig4a(cfg)
+        .into_iter()
+        .map(|mut row| {
+            let pts = row.urp.stretch.points();
+            (row.topology, pts)
+        })
+        .collect()
+}
+
+/// Multi-seed Fig. 4a: run the comparison across `seeds` (both topology
+/// anchor placement and workload change per seed) and aggregate
+/// throughputs. Returns per topology: `(name, sp stats, ecmp stats,
+/// urp stats, gain-% stats)`.
+pub fn fig4a_multiseed(
+    base: &Fig4Config,
+    seeds: &[u64],
+) -> Vec<(
+    String,
+    inrpp_sim::metrics::SummaryStats,
+    inrpp_sim::metrics::SummaryStats,
+    inrpp_sim::metrics::SummaryStats,
+    inrpp_sim::metrics::SummaryStats,
+)> {
+    use inrpp_sim::metrics::SummaryStats;
+    fig4_topologies()
+        .into_iter()
+        .map(|isp| {
+            let mut sp = SummaryStats::new();
+            let mut ecmp = SummaryStats::new();
+            let mut urp = SummaryStats::new();
+            let mut gain = SummaryStats::new();
+            for &seed in seeds {
+                let cfg = Fig4Config { seed, ..*base };
+                let row = run_fig4_row(isp, &cfg);
+                sp.record(row.sp.throughput());
+                ecmp.record(row.ecmp.throughput());
+                urp.record(row.urp.throughput());
+                gain.record(row.urp_gain_over_sp_pct());
+            }
+            (isp.name().to_string(), sp, ecmp, urp, gain)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ Fig. 2
+
+/// Fig. 2's three resource-utilisation regimes, made measurable:
+/// single-path (i), e2e multipath pooling à la MPTCP (ii), and in-network
+/// pooling (iii). Returns `(topology, sp, mptcp, urp)` throughputs.
+pub fn fig2_regimes(cfg: &Fig4Config) -> Vec<(String, f64, f64, f64)> {
+    use inrpp::scenario::build_workload;
+    use inrpp_flowsim::strategy::MptcpStrategy;
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+    fig4_topologies()
+        .into_iter()
+        .map(|isp| {
+            let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+            let workload = build_workload(&topo, cfg);
+            let sim_cfg = FlowSimConfig {
+                horizon: cfg.duration,
+            };
+            let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
+                .run()
+                .throughput();
+            let mptcp = FlowSim::new(&topo, &MptcpStrategy::default(), &workload, sim_cfg)
+                .run()
+                .throughput();
+            let strat = InrpStrategy::new(&topo, cfg.inrp);
+            let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
+                .run()
+                .throughput();
+            (isp.name().to_string(), sp, mptcp, urp)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------- §3.3 custody C1
+
+/// The paper's headline custody claim plus a rate × size sweep.
+pub fn custody_feasibility() -> (SimDuration, Vec<FeasibilityRow>) {
+    let headline =
+        inrpp_cache::sizing::holding_time(ByteSize::gb(10), Rate::gbps(40.0));
+    let rows = feasibility_table(
+        &[
+            Rate::gbps(1.0),
+            Rate::gbps(10.0),
+            Rate::gbps(40.0),
+            Rate::gbps(100.0),
+        ],
+        &[
+            ByteSize::mb(100),
+            ByteSize::gb(1),
+            ByteSize::gb(10),
+            ByteSize::gb(100),
+        ],
+        SimDuration::from_millis(500),
+    );
+    (headline, rows)
+}
+
+// -------------------------------------------------------------- Ablation A1
+
+/// A1: detour depth sweep on the Fig. 4a setup (one topology).
+pub fn ablation_detour_depth(isp: Isp, cfg: &Fig4Config, depths: &[u8]) -> Vec<(u8, f64)> {
+    use inrpp::scenario::build_workload;
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+    let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+    let workload = build_workload(&topo, cfg);
+    let sim_cfg = FlowSimConfig { horizon: cfg.duration };
+    depths
+        .iter()
+        .map(|&depth| {
+            let throughput = if depth == 0 {
+                FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
+                    .run()
+                    .throughput()
+            } else {
+                let strat = InrpStrategy::new(
+                    &topo,
+                    InrpConfig {
+                        one_hop_detours: true,
+                        two_hop_detours: depth >= 2,
+                        ..InrpConfig::default()
+                    },
+                );
+                FlowSim::new(&topo, &strat, &workload, sim_cfg)
+                    .run()
+                    .throughput()
+            };
+            (depth, throughput)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablation A2
+
+fn fig3_packet_cfg(mut inrpp: InrppConfig, horizon: SimDuration) -> PacketSimConfig {
+    inrpp.interval = SimDuration::from_millis(50);
+    PacketSimConfig {
+        transport: TransportKind::Inrpp(inrpp),
+        horizon,
+        ..PacketSimConfig::default()
+    }
+}
+
+/// A2: anticipation window `A_c` sweep on the Fig. 3 network (packet
+/// level); returns `(A_c, completion time of the bottleneck flow in s)`.
+pub fn ablation_anticipation(values: &[u64]) -> Vec<(u64, f64)> {
+    values
+        .iter()
+        .map(|&ac| {
+            let topo = Topology::fig3();
+            let cfg = fig3_packet_cfg(
+                InrppConfig {
+                    anticipation: ac,
+                    ..InrppConfig::default()
+                },
+                SimDuration::from_secs(60),
+            );
+            let mut sim = PacketSim::new(&topo, cfg);
+            sim.add_transfer(TransferSpec {
+                flow: 1,
+                src: topo.node_by_name("1").expect("fig3"),
+                dst: topo.node_by_name("4").expect("fig3"),
+                chunks: 600,
+                start: SimTime::ZERO,
+            });
+            let r = sim.run();
+            let fct = r.flows[0]
+                .fct()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::INFINITY);
+            (ac, fct)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablation A3
+
+/// A3: custody budget sweep (×BDP of the bottleneck) under overload;
+/// returns `(multiplier, drops, custodied chunks)`.
+pub fn ablation_cache_size(multipliers: &[f64]) -> Vec<(f64, u64, u64)> {
+    let topo = Topology::fig3();
+    // BDP of the 2 Mbps bottleneck at ~20 ms RTT ≈ 5 KB; sweep around it
+    let bdp = inrpp_cache::sizing::bandwidth_delay_product(
+        Rate::mbps(2.0),
+        SimDuration::from_millis(20),
+    );
+    multipliers
+        .iter()
+        .map(|&m| {
+            let budget = ByteSize::bytes(((bdp.as_bytes() as f64) * m).max(1.0) as u64);
+            let cfg = fig3_packet_cfg(
+                InrppConfig {
+                    cache_budget: budget,
+                    anticipation: 16,
+                    ..InrppConfig::default()
+                },
+                SimDuration::from_secs(40),
+            );
+            let mut sim = PacketSim::new(&topo, cfg);
+            for f in 0..2u64 {
+                sim.add_transfer(TransferSpec {
+                    flow: f + 1,
+                    src: topo.node_by_name("1").expect("fig3"),
+                    dst: topo.node_by_name("4").expect("fig3"),
+                    chunks: 1200,
+                    start: SimTime::ZERO,
+                });
+            }
+            let r = sim.run();
+            (m, r.chunks_dropped, r.chunks_custodied)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablation A4
+
+/// A4: INRPP vs the AIMD baseline on the Fig. 3 bottleneck; returns the
+/// two reports `(inrpp, aimd)` for side-by-side comparison.
+pub fn ablation_transport() -> (
+    inrpp_packetsim::PacketSimReport,
+    inrpp_packetsim::PacketSimReport,
+) {
+    let topo = Topology::fig3();
+    let chunks = 800;
+    let add = |sim: &mut PacketSim| {
+        sim.add_transfer(TransferSpec {
+            flow: 1,
+            src: topo.node_by_name("1").expect("fig3"),
+            dst: topo.node_by_name("4").expect("fig3"),
+            chunks,
+            start: SimTime::ZERO,
+        });
+    };
+    let mut s1 = PacketSim::new(
+        &topo,
+        fig3_packet_cfg(InrppConfig::default(), SimDuration::from_secs(60)),
+    );
+    add(&mut s1);
+    let mut s2 = PacketSim::new(
+        &topo,
+        PacketSimConfig {
+            transport: TransportKind::Aimd(AimdConfig::default()),
+            horizon: SimDuration::from_secs(60),
+            ..PacketSimConfig::default()
+        },
+    );
+    add(&mut s2);
+    (s1.run(), s2.run())
+}
+
+// -------------------------------------------------------------- Ablation A5
+
+/// A5: estimator interval `T_i` sweep; returns `(interval ms, bottleneck
+/// flow FCT s, detoured chunks)`.
+pub fn ablation_interval(intervals_ms: &[u64]) -> Vec<(u64, f64, u64)> {
+    intervals_ms
+        .iter()
+        .map(|&ms| {
+            let topo = Topology::fig3();
+            let mut ic = InrppConfig::default();
+            ic.interval = SimDuration::from_millis(ms);
+            let cfg = PacketSimConfig {
+                transport: TransportKind::Inrpp(ic),
+                horizon: SimDuration::from_secs(60),
+                ..PacketSimConfig::default()
+            };
+            let mut sim = PacketSim::new(&topo, cfg);
+            sim.add_transfer(TransferSpec {
+                flow: 1,
+                src: topo.node_by_name("1").expect("fig3"),
+                dst: topo.node_by_name("4").expect("fig3"),
+                chunks: 600,
+                start: SimTime::ZERO,
+            });
+            let r = sim.run();
+            let fct = r.flows[0]
+                .fct()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::INFINITY);
+            (ms, fct, r.chunks_detoured)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablation A6
+
+/// One coexistence scenario outcome.
+#[derive(Debug, Clone)]
+pub struct CoexistenceRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Goodput of the probe AIMD flow (bits/s).
+    pub aimd_goodput: f64,
+    /// Goodput of the companion flow, if any (bits/s).
+    pub companion_goodput: Option<f64>,
+    /// Drops seen in the run.
+    pub drops: u64,
+}
+
+/// A6: TCP/IP coexistence (paper §4 future work). A probe AIMD flow
+/// crosses the Fig. 3 bottleneck alone, next to a second AIMD flow, and
+/// next to an INRPP flow. If INRPP detours rather than competes, the
+/// probe's goodput with an INRPP companion should sit *between* the alone
+/// and the AIMD-companion cases.
+pub fn coexistence() -> Vec<CoexistenceRow> {
+    use inrpp_packetsim::FlowTransport;
+    let topo = Topology::fig3();
+    let src = topo.node_by_name("1").expect("fig3");
+    let dst = topo.node_by_name("4").expect("fig3");
+    let chunks = 500u64;
+    let horizon = SimDuration::from_secs(120);
+    let mixed = TransportKind::Mixed {
+        inrpp: InrppConfig::default(),
+        aimd: AimdConfig::default(),
+    };
+    let spec = |flow: u64| TransferSpec {
+        flow,
+        src,
+        dst,
+        chunks,
+        start: SimTime::ZERO,
+    };
+    let goodput = |r: &inrpp_packetsim::PacketSimReport, idx: usize| -> f64 {
+        let f = &r.flows[idx];
+        match f.fct() {
+            Some(d) => f.chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64
+                / d.as_secs_f64(),
+            None => 0.0,
+        }
+    };
+    let mut rows = Vec::new();
+    // alone
+    {
+        let mut sim = PacketSim::new(
+            &topo,
+            PacketSimConfig {
+                transport: mixed,
+                horizon,
+                ..PacketSimConfig::default()
+            },
+        );
+        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
+        let r = sim.run();
+        rows.push(CoexistenceRow {
+            scenario: "AIMD alone",
+            aimd_goodput: goodput(&r, 0),
+            companion_goodput: None,
+            drops: r.chunks_dropped,
+        });
+    }
+    // vs another AIMD flow
+    {
+        let mut sim = PacketSim::new(
+            &topo,
+            PacketSimConfig {
+                transport: mixed,
+                horizon,
+                ..PacketSimConfig::default()
+            },
+        );
+        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
+        sim.add_transfer_as(spec(2), FlowTransport::Aimd);
+        let r = sim.run();
+        rows.push(CoexistenceRow {
+            scenario: "AIMD + AIMD",
+            aimd_goodput: goodput(&r, 0),
+            companion_goodput: Some(goodput(&r, 1)),
+            drops: r.chunks_dropped,
+        });
+    }
+    // vs an INRPP flow
+    {
+        let mut sim = PacketSim::new(
+            &topo,
+            PacketSimConfig {
+                transport: mixed,
+                horizon,
+                ..PacketSimConfig::default()
+            },
+        );
+        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
+        sim.add_transfer_as(spec(2), FlowTransport::Inrpp);
+        let r = sim.run();
+        rows.push(CoexistenceRow {
+            scenario: "AIMD + INRPP",
+            aimd_goodput: goodput(&r, 0),
+            companion_goodput: Some(goodput(&r, 1)),
+            drops: r.chunks_dropped,
+        });
+    }
+    rows
+}
+
+// -------------------------------------------------------------- Ablation A7
+
+/// A7: load sweep — URP's gain over SP as a function of offered load,
+/// locating the crossover where pooling starts to matter. Returns
+/// `(load multiplier, sp throughput, urp throughput, gain %)`.
+pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<(f64, f64, f64, f64)> {
+    use inrpp::scenario::compare_strategies;
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+    let topo = generate_with_capacities(&isp.profile(), base.seed, base.capacities);
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = Fig4Config { load, ..*base };
+            let row = compare_strategies(&topo, &cfg);
+            let sp = row.sp.throughput();
+            let urp = row.urp.throughput();
+            let gain = if sp > 0.0 { 100.0 * (urp - sp) / sp } else { 0.0 };
+            (load, sp, urp, gain)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablation A8
+
+/// A8: link-failure robustness. Fail a fraction of randomly chosen
+/// *non-bridge* links (bridges would partition the graph) and measure the
+/// throughput of SP vs URP on the degraded topology. Returns
+/// `(failed fraction, sp, urp)` per step.
+pub fn ablation_link_failure(
+    isp: Isp,
+    cfg: &Fig4Config,
+    fractions: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    use inrpp_sim::rng::SimRng;
+    use inrpp_topology::detour::{classify_link, DetourClass};
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+
+    let base = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+    // candidate victims in random order; build the failure set greedily so
+    // connectivity is preserved at every step (several individually safe
+    // removals can jointly partition the graph)
+    let mut candidates: Vec<inrpp_topology::LinkId> = base
+        .link_ids()
+        .filter(|&l| classify_link(&base, l) != DetourClass::None)
+        .collect();
+    let mut rng = SimRng::from_seed_u64(cfg.seed ^ 0xFA11);
+    rng.shuffle(&mut candidates);
+    let max_kill = fractions
+        .iter()
+        .map(|f| ((base.link_count() as f64) * f).round() as usize)
+        .max()
+        .unwrap_or(0);
+    let mut safe_victims: Vec<inrpp_topology::LinkId> = Vec::new();
+    for &cand in &candidates {
+        if safe_victims.len() >= max_kill {
+            break;
+        }
+        let mut trial = safe_victims.clone();
+        trial.push(cand);
+        if base.without_links(&trial).is_connected() {
+            safe_victims = trial;
+        }
+    }
+
+    // the offered workload is calibrated to the INTACT network and held
+    // fixed, so throughput changes isolate the capacity lost to failures
+    let workload = inrpp::scenario::build_workload(&base, cfg);
+    let sim_cfg = FlowSimConfig {
+        horizon: cfg.duration,
+    };
+    fractions
+        .iter()
+        .map(|&frac| {
+            let kill = (((base.link_count() as f64) * frac).round() as usize)
+                .min(safe_victims.len());
+            let topo = base.without_links(&safe_victims[..kill]);
+            let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
+                .run()
+                .throughput();
+            let strat = InrpStrategy::new(&topo, cfg.inrp);
+            let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
+                .run()
+                .throughput();
+            (frac, sp, urp)
+        })
+        .collect()
+}
+
+/// A fast Fig. 4 configuration for tests and smoke runs (small horizon).
+pub fn quick_fig4_config() -> Fig4Config {
+    Fig4Config {
+        duration: SimDuration::from_secs(2),
+        mean_flow_bits: 50e6,
+        load: 1.5,
+        seed: SEED,
+        ..Fig4Config::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_tracks_paper() {
+        let rows = table1(SEED);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.max_deviation() < 4.0,
+                "{}: measured {:?} vs paper {:?}",
+                r.isp.name(),
+                r.measured,
+                r.paper
+            );
+        }
+        let (m, p) = table1_average(&rows);
+        for i in 0..4 {
+            assert!((m[i] - p[i]).abs() < 3.0, "avg col {i}: {m:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn fig3_matches_paper() {
+        let out = fig3();
+        assert!((out.e2e_jain - 0.7353).abs() < 1e-3);
+        assert!((out.inrpp_jain - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custody_headline_is_two_seconds() {
+        let (headline, rows) = custody_feasibility();
+        assert_eq!(headline, SimDuration::from_secs(2));
+        assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn ablation_detour_depth_monotone_gain() {
+        let res = ablation_detour_depth(Isp::Vsnl, &quick_fig4_config(), &[0, 1, 2]);
+        assert_eq!(res.len(), 3);
+        // depth 0 is plain SP; any detour depth must not hurt
+        assert!(res[1].1 >= res[0].1 - 1e-9, "{res:?}");
+        assert!(res[2].1 >= res[1].1 - 1e-9, "{res:?}");
+    }
+
+    #[test]
+    fn ablation_anticipation_runs() {
+        let res = ablation_anticipation(&[0, 4]);
+        assert_eq!(res.len(), 2);
+        for (_, fct) in &res {
+            assert!(fct.is_finite(), "flow must complete");
+        }
+    }
+
+    #[test]
+    fn link_failure_degrades_gracefully() {
+        let cfg = quick_fig4_config();
+        let rows = ablation_link_failure(Isp::Vsnl, &cfg, &[0.0, 0.1]);
+        assert_eq!(rows.len(), 2);
+        for (_, sp, urp) in &rows {
+            assert!(sp.is_finite() && urp.is_finite());
+            assert!(*urp >= *sp * 0.98, "URP should not trail SP: {rows:?}");
+        }
+        // failures must not increase throughput under a fixed workload
+        assert!(rows[1].1 <= rows[0].1 + 0.02, "{rows:?}");
+    }
+
+    #[test]
+    fn load_sweep_is_unimodalish() {
+        let cfg = quick_fig4_config();
+        let rows = load_sweep(Isp::Vsnl, &cfg, &[0.1, 1.5]);
+        assert_eq!(rows.len(), 2);
+        // throughput ratio falls with load
+        assert!(rows[0].1 > rows[1].1, "{rows:?}");
+        // light load delivers nearly everything
+        assert!(rows[0].1 > 0.8, "{rows:?}");
+    }
+
+    #[test]
+    fn coexistence_inrpp_is_not_predatory() {
+        let rows = coexistence();
+        assert_eq!(rows.len(), 3);
+        let alone = rows[0].aimd_goodput;
+        let vs_aimd = rows[1].aimd_goodput;
+        let vs_inrpp = rows[2].aimd_goodput;
+        assert!(alone > 0.0 && vs_aimd > 0.0 && vs_inrpp > 0.0);
+        // sharing with anything costs goodput...
+        assert!(vs_aimd < alone);
+        // ...but an INRPP companion, which can detour around the shared
+        // bottleneck, must hurt the AIMD probe no more than another AIMD
+        // flow does (small tolerance for chunk-grain noise)
+        assert!(
+            vs_inrpp >= vs_aimd * 0.9,
+            "INRPP starves AIMD: alone {alone:.0}, vs AIMD {vs_aimd:.0}, vs INRPP {vs_inrpp:.0}"
+        );
+    }
+
+    #[test]
+    fn ablation_transport_inrpp_wins() {
+        let (inrpp, aimd) = ablation_transport();
+        let fi = inrpp.flows[0].fct().expect("INRPP finishes");
+        let fa = aimd.flows[0].fct().expect("AIMD finishes");
+        assert!(fi < fa, "INRPP {fi} should beat AIMD {fa}");
+        assert_eq!(aimd.chunks_detoured, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # inrpp-cache — temporary-custody storage for in-flight content
+//!
+//! The paper's central reinterpretation of ICN caching (§1, §3.3): routers
+//! do not cache *popular* objects, they take **temporary custody** of
+//! chunks that cannot currently be forwarded — a store-and-forward buffer
+//! addressed by content name rather than a FIFO of anonymous packets.
+//!
+//! * [`custody`] — the [`custody::CustodyStore`]: byte-budgeted, per-flow,
+//!   in-order chunk storage with pluggable overflow policy (reject for
+//!   back-pressure operation, FIFO/LRU eviction to model lossy overload).
+//! * [`sizing`] — the line-rate feasibility arithmetic behind the paper's
+//!   "a 10GB cache after a 40Gbps link can hold incoming traffic for 2
+//!   seconds" claim (experiment C1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod custody;
+pub mod sizing;
+
+pub use custody::{CustodyStore, Evicted, EvictionPolicy, StoreError};
+pub use sizing::{holding_time, required_cache};

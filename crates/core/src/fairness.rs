@@ -1,0 +1,112 @@
+//! Global fairness and local stability arithmetic (Fig. 3).
+//!
+//! The paper's worked example: two flows enter at node 1; one exits at
+//! node 4 across a 2 Mbps bottleneck with an 8→3 Mbps side path via node
+//! 3, one exits at node 3.
+//!
+//! * e2e flow control (max-min on single paths): rates (2, 8), Jain 0.73 —
+//!   *local* fairness at the bottleneck only;
+//! * INRPP: the shared 10 Mbps link splits 5/5 and node 2 detours flow A's
+//!   3 Mbps excess through node 3 — *global* fairness (Jain 1.0) with
+//!   *local* stability (node 2 reacts, not the endpoints).
+//!
+//! Both outcomes are computed with the same multipath max-min allocator
+//! from `inrpp-flowsim`; only the path sets differ.
+
+use inrpp_flowsim::allocator::max_min_allocate;
+use inrpp_flowsim::strategy::{InrpStrategy, RoutingStrategy, SinglePathStrategy};
+use inrpp_sim::metrics::JainIndex;
+use inrpp_topology::graph::{NodeId, Topology};
+
+/// Jain's fairness index over a rate vector (`None` for empty/all-zero).
+pub fn jain(rates: &[f64]) -> Option<f64> {
+    JainIndex::compute(rates)
+}
+
+/// Allocated rates for `flows = (src, dst)` pairs under a strategy.
+pub fn strategy_rates(
+    topo: &Topology,
+    flows: &[(NodeId, NodeId)],
+    strategy: &dyn RoutingStrategy,
+) -> Vec<f64> {
+    let paths: Vec<_> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, d))| strategy.paths_for(topo, s, d, i as u64))
+        .collect();
+    max_min_allocate(topo, &paths).flow_rates
+}
+
+/// The Fig. 3 comparison, fully materialised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Outcome {
+    /// Rates under e2e single-path control (bits/s): `[flow 1→4, flow 1→3]`.
+    pub e2e_rates: Vec<f64>,
+    /// Rates under INRPP with the node-3 detour.
+    pub inrpp_rates: Vec<f64>,
+    /// Jain index of the e2e allocation (paper: 0.73).
+    pub e2e_jain: f64,
+    /// Jain index of the INRPP allocation (paper: 1.0).
+    pub inrpp_jain: f64,
+}
+
+/// Compute both sides of Fig. 3 on the canonical topology.
+pub fn fig3_outcome() -> Fig3Outcome {
+    let topo = Topology::fig3();
+    let n = |s: &str| topo.node_by_name(s).expect("fig3 node");
+    let flows = [(n("1"), n("4")), (n("1"), n("3"))];
+    let e2e_rates = strategy_rates(&topo, &flows, &SinglePathStrategy);
+    let inrp = InrpStrategy::with_defaults(&topo);
+    let inrpp_rates = strategy_rates(&topo, &flows, &inrp);
+    Fig3Outcome {
+        e2e_jain: jain(&e2e_rates).expect("non-zero rates"),
+        inrpp_jain: jain(&inrpp_rates).expect("non-zero rates"),
+        e2e_rates,
+        inrpp_rates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_paper_numbers() {
+        let out = fig3_outcome();
+        // e2e: 2 and 8 Mbps, Jain 0.73
+        assert!((out.e2e_rates[0] - 2e6).abs() < 1e3, "{:?}", out.e2e_rates);
+        assert!((out.e2e_rates[1] - 8e6).abs() < 1e3, "{:?}", out.e2e_rates);
+        assert!((out.e2e_jain - 0.7353).abs() < 1e-3, "jain {}", out.e2e_jain);
+        // INRPP: 5 and 5, Jain 1.0
+        assert!((out.inrpp_rates[0] - 5e6).abs() < 1e3, "{:?}", out.inrpp_rates);
+        assert!((out.inrpp_rates[1] - 5e6).abs() < 1e3, "{:?}", out.inrpp_rates);
+        assert!((out.inrpp_jain - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inrpp_never_hurts_aggregate() {
+        let out = fig3_outcome();
+        let e2e_total: f64 = out.e2e_rates.iter().sum();
+        let inrpp_total: f64 = out.inrpp_rates.iter().sum();
+        assert!(inrpp_total >= e2e_total * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn strategy_rates_arbitrary_flows() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        // one flow alone: takes its bottleneck (2 Mbps direct to node 4)
+        let rates = strategy_rates(&topo, &[(n("1"), n("4"))], &SinglePathStrategy);
+        assert!((rates[0] - 2e6).abs() < 1e3);
+        // same flow with INRP: 2 + 3 detoured = 5
+        let inrp = InrpStrategy::with_defaults(&topo);
+        let rates = strategy_rates(&topo, &[(n("1"), n("4"))], &inrp);
+        assert!((rates[0] - 5e6).abs() < 1e3, "{rates:?}");
+    }
+
+    #[test]
+    fn jain_helper_delegates() {
+        assert_eq!(jain(&[]), None);
+        assert!((jain(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

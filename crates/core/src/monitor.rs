@@ -1,0 +1,189 @@
+//! Interface monitoring (§4: "monitoring mechanisms at the interface
+//! level will need to be finalised to enable stable detouring and avoid
+//! extensive link swapping").
+//!
+//! Two pieces, composable with the [`crate::phase::PhaseController`]:
+//!
+//! * a **smoothed utilisation** tracker (EWMA) so detour decisions see
+//!   trends rather than instantaneous queue noise;
+//! * a **flap detector**: if an interface's phase changed more than
+//!   `max_changes` times within the sliding `window`, the interface is
+//!   *flapping* and detouring should be damped (hold the current state)
+//!   until it calms down — the paper's "extensive link swapping" guard.
+
+use std::collections::VecDeque;
+
+use inrpp_sim::time::{SimDuration, SimTime};
+
+/// Per-interface monitor: utilisation EWMA + phase-flap detection.
+#[derive(Debug, Clone)]
+pub struct InterfaceMonitor {
+    alpha: f64,
+    util: Option<f64>,
+    window: SimDuration,
+    max_changes: usize,
+    changes: VecDeque<SimTime>,
+    total_changes: u64,
+}
+
+impl InterfaceMonitor {
+    /// A monitor smoothing with gain `alpha` (0 < alpha ≤ 1; higher =
+    /// snappier) and flagging flapping when more than `max_changes` phase
+    /// changes land within `window`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range `alpha`, a zero window or zero
+    /// `max_changes`.
+    pub fn new(alpha: f64, window: SimDuration, max_changes: usize) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA gain must be in (0, 1], got {alpha}"
+        );
+        assert!(!window.is_zero(), "flap window must be positive");
+        assert!(max_changes > 0, "max_changes must be positive");
+        InterfaceMonitor {
+            alpha,
+            util: None,
+            window,
+            max_changes,
+            changes: VecDeque::new(),
+            total_changes: 0,
+        }
+    }
+
+    /// Defaults tuned for the packet engine: gain 1/4, 1 s window, 6
+    /// changes allowed per window.
+    pub fn with_defaults() -> Self {
+        InterfaceMonitor::new(0.25, SimDuration::from_secs(1), 6)
+    }
+
+    /// Feed a utilisation sample in `[0, 1]`; returns the new smoothed
+    /// value.
+    pub fn record_utilisation(&mut self, sample: f64) -> f64 {
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&sample),
+            "utilisation sample out of range: {sample}"
+        );
+        let next = match self.util {
+            None => sample,
+            Some(prev) => prev * (1.0 - self.alpha) + sample * self.alpha,
+        };
+        self.util = Some(next);
+        next
+    }
+
+    /// The smoothed utilisation, if any samples arrived.
+    pub fn utilisation(&self) -> Option<f64> {
+        self.util
+    }
+
+    /// Register that the interface's phase changed at `now`.
+    pub fn record_phase_change(&mut self, now: SimTime) {
+        self.total_changes += 1;
+        self.changes.push_back(now);
+        self.expire(now);
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let cutoff =
+            SimTime::from_nanos(now.as_nanos().saturating_sub(self.window.as_nanos()));
+        while self.changes.front().is_some_and(|&t| t < cutoff) {
+            self.changes.pop_front();
+        }
+    }
+
+    /// True when the recent change count exceeds the budget — detour
+    /// decisions should be held steady.
+    pub fn is_flapping(&mut self, now: SimTime) -> bool {
+        self.expire(now);
+        self.changes.len() > self.max_changes
+    }
+
+    /// Lifetime phase-change count.
+    pub fn total_changes(&self) -> u64 {
+        self.total_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> InterfaceMonitor {
+        InterfaceMonitor::new(0.5, SimDuration::from_secs(1), 3)
+    }
+
+    #[test]
+    fn ewma_converges_to_signal() {
+        let mut m = mon();
+        assert_eq!(m.utilisation(), None);
+        assert_eq!(m.record_utilisation(0.8), 0.8, "first sample adopted");
+        for _ in 0..20 {
+            m.record_utilisation(0.2);
+        }
+        let u = m.utilisation().unwrap();
+        assert!((u - 0.2).abs() < 0.01, "smoothed {u}");
+    }
+
+    #[test]
+    fn ewma_damps_spikes() {
+        let mut m = InterfaceMonitor::new(0.1, SimDuration::from_secs(1), 3);
+        for _ in 0..50 {
+            m.record_utilisation(0.3);
+        }
+        m.record_utilisation(1.0); // one spike
+        let u = m.utilisation().unwrap();
+        assert!(u < 0.45, "one spike should barely move the EWMA: {u}");
+    }
+
+    #[test]
+    fn flap_detection_within_window() {
+        let mut m = mon();
+        for i in 0..3 {
+            m.record_phase_change(SimTime::from_millis(i * 100));
+        }
+        assert!(!m.is_flapping(SimTime::from_millis(300)), "3 changes allowed");
+        m.record_phase_change(SimTime::from_millis(350));
+        assert!(m.is_flapping(SimTime::from_millis(400)), "4th change flips it");
+    }
+
+    #[test]
+    fn flaps_expire_with_time() {
+        let mut m = mon();
+        for i in 0..5 {
+            m.record_phase_change(SimTime::from_millis(i * 10));
+        }
+        assert!(m.is_flapping(SimTime::from_millis(100)));
+        // 1.2 s later the window is clear again
+        assert!(!m.is_flapping(SimTime::from_millis(1300)));
+        assert_eq!(m.total_changes(), 5, "lifetime counter is unaffected");
+    }
+
+    #[test]
+    fn changes_exactly_at_window_edge_count() {
+        let mut m = mon();
+        m.record_phase_change(SimTime::from_secs(1));
+        // at t=2s the change sits exactly at the cutoff: still counted
+        m.record_phase_change(SimTime::from_secs(2));
+        assert_eq!(m.total_changes(), 2);
+        assert!(!m.is_flapping(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA gain")]
+    fn zero_alpha_rejected() {
+        let _ = InterfaceMonitor::new(0.0, SimDuration::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = InterfaceMonitor::new(0.5, SimDuration::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_changes")]
+    fn zero_budget_rejected() {
+        let _ = InterfaceMonitor::new(0.5, SimDuration::from_secs(1), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! High-level experiment orchestration.
+//!
+//! The binaries in `inrpp-bench` and the runnable examples build on these
+//! helpers so every regeneration of a figure uses the same calibrated
+//! setup: capacity proxy, load scaling, strategy trio, seed handling.
+
+use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
+use inrpp_flowsim::strategy::{
+    EcmpStrategy, InrpConfig, InrpStrategy, RoutingStrategy, SinglePathStrategy,
+};
+use inrpp_flowsim::workload::{PairSelector, Workload, WorkloadConfig};
+use inrpp_flowsim::FlowSimReport;
+use inrpp_sim::time::SimDuration;
+use inrpp_topology::graph::Topology;
+use inrpp_topology::rocketfuel::{generate_with_capacities, CapacityPlan, Isp};
+use inrpp_topology::spath::hop_matrix;
+use inrpp_sim::units::Rate;
+
+/// A rough upper bound on concurrently deliverable traffic: total directed
+/// link capacity divided by the mean shortest-path hop count (every
+/// delivered bit occupies ~`mean_hops` channels).
+pub fn transport_capacity_proxy(topo: &Topology) -> f64 {
+    let total: f64 = topo
+        .link_ids()
+        .map(|l| topo.link(l).capacity.as_bps() * 2.0)
+        .sum();
+    let m = hop_matrix(topo);
+    let mut hops = 0u64;
+    let mut pairs = 0u64;
+    for (i, row) in m.iter().enumerate() {
+        for (j, d) in row.iter().enumerate() {
+            if i != j {
+                if let Some(d) = d {
+                    hops += *d as u64;
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        return 0.0;
+    }
+    let mean_hops = (hops as f64 / pairs as f64).max(1.0);
+    total / mean_hops
+}
+
+/// Configuration of a Fig. 4-style comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Config {
+    /// Offered load as a multiple of [`transport_capacity_proxy`]
+    /// (>1 ⇒ overload, the regime where the strategies separate).
+    pub load: f64,
+    /// Arrival window; the horizon is the same, so unfinished traffic
+    /// counts against throughput.
+    pub duration: SimDuration,
+    /// Mean flow size in bits.
+    pub mean_flow_bits: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Link capacity plan for the generated topology (the default plan is
+    /// scaled down ×10 from the generator's so runs stay fast).
+    pub capacities: CapacityPlan,
+    /// INRP strategy knobs (detour depth etc.).
+    pub inrp: InrpConfig,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            load: 1.25,
+            duration: SimDuration::from_secs(4),
+            mean_flow_bits: 100e6,
+            seed: 1221,
+            capacities: CapacityPlan {
+                core: Rate::mbps(1000.0),
+                metro: Rate::mbps(250.0),
+                stub: Rate::mbps(100.0),
+            },
+            // The paper's Fig. 4 setup: routers exploit up to 1-hop
+            // detours, and nodes on the detour path can further detour by
+            // one extra hop only — i.e. ONE alternative per bottleneck,
+            // extendable once, not a full detour menu.
+            inrp: InrpConfig {
+                one_hop_detours: true,
+                two_hop_detours: true,
+                detours_per_link: 1,
+                max_subpaths: 4,
+            },
+        }
+    }
+}
+
+/// Reports for the three contenders on one topology.
+#[derive(Debug, Clone)]
+pub struct StrategyComparison {
+    /// Topology display name.
+    pub topology: String,
+    /// Single shortest path baseline.
+    pub sp: FlowSimReport,
+    /// Equal-cost multipath baseline.
+    pub ecmp: FlowSimReport,
+    /// In-network resource pooling (URP in the paper's figure).
+    pub urp: FlowSimReport,
+}
+
+impl StrategyComparison {
+    /// URP's relative throughput gain over SP, in percent.
+    pub fn urp_gain_over_sp_pct(&self) -> f64 {
+        let sp = self.sp.throughput();
+        if sp <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.urp.throughput() - sp) / sp
+        }
+    }
+}
+
+/// Build the workload for a topology under `cfg` (shared across the three
+/// strategies so the comparison is paired).
+pub fn build_workload(topo: &Topology, cfg: &Fig4Config) -> Workload {
+    let offered = cfg.load * transport_capacity_proxy(topo);
+    let arrival_rate = (offered / cfg.mean_flow_bits).max(1e-3);
+    Workload::generate(
+        topo,
+        &WorkloadConfig {
+            arrival_rate,
+            mean_size_bits: cfg.mean_flow_bits,
+            pairs: PairSelector::Uniform,
+        },
+        cfg.duration,
+        cfg.seed,
+    )
+}
+
+/// Run SP, ECMP and URP on one topology with a shared workload.
+pub fn compare_strategies(topo: &Topology, cfg: &Fig4Config) -> StrategyComparison {
+    let workload = build_workload(topo, cfg);
+    let sim_cfg = FlowSimConfig {
+        horizon: cfg.duration,
+    };
+    let run = |s: &dyn RoutingStrategy| FlowSim::new(topo, s, &workload, sim_cfg).run();
+    let sp = run(&SinglePathStrategy);
+    let ecmp = run(&EcmpStrategy::default());
+    let inrp = InrpStrategy::new(topo, cfg.inrp);
+    let urp = run(&inrp);
+    StrategyComparison {
+        topology: topo.name().to_string(),
+        sp,
+        ecmp,
+        urp,
+    }
+}
+
+/// Generate the calibrated ISP topology (with `cfg`'s capacity plan) and
+/// run the three-strategy comparison — one bar group of Fig. 4a.
+pub fn run_fig4_row(isp: Isp, cfg: &Fig4Config) -> StrategyComparison {
+    let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+    compare_strategies(&topo, cfg)
+}
+
+/// The three topologies the paper uses in Fig. 4.
+pub fn fig4_topologies() -> [Isp; 3] {
+    [Isp::Telstra, Isp::Exodus, Isp::Tiscali]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_proxy_sane_on_line() {
+        // line of 3 nodes, 2 links @10Mbps: total dir capacity 40Mbps,
+        // mean hops = (1+1+2+2+1+1)/6 = 4/3
+        let topo = Topology::line(3, Rate::mbps(10.0), SimDuration::from_millis(1));
+        let proxy = transport_capacity_proxy(&topo);
+        assert!((proxy - 40e6 / (4.0 / 3.0)).abs() < 1.0, "proxy {proxy}");
+    }
+
+    #[test]
+    fn capacity_proxy_zero_for_disconnected_singleton() {
+        let mut topo = Topology::new("one");
+        topo.add_node();
+        assert_eq!(transport_capacity_proxy(&topo), 0.0);
+    }
+
+    #[test]
+    fn workload_scales_with_load() {
+        let topo = Topology::fig3();
+        let mut cfg = Fig4Config {
+            duration: SimDuration::from_secs(2),
+            mean_flow_bits: 1e6,
+            ..Fig4Config::default()
+        };
+        cfg.load = 0.5;
+        let light = build_workload(&topo, &cfg);
+        cfg.load = 2.0;
+        let heavy = build_workload(&topo, &cfg);
+        assert!(heavy.len() > light.len() * 2);
+    }
+
+    #[test]
+    fn fig4_row_shows_urp_advantage() {
+        // Small ISP to keep the test quick; the full three-topology sweep
+        // lives in the bench binary.
+        let cfg = Fig4Config {
+            duration: SimDuration::from_secs(2),
+            mean_flow_bits: 50e6,
+            load: 1.6,
+            ..Fig4Config::default()
+        };
+        let row = run_fig4_row(Isp::Vsnl, &cfg);
+        assert_eq!(row.sp.strategy, "SP");
+        assert_eq!(row.ecmp.strategy, "ECMP");
+        assert_eq!(row.urp.strategy, "URP");
+        assert!(row.sp.throughput() < 1.0, "must be overloaded");
+        assert!(
+            row.urp.throughput() >= row.sp.throughput(),
+            "URP {} vs SP {}",
+            row.urp.throughput(),
+            row.sp.throughput()
+        );
+    }
+
+    #[test]
+    fn fig4_topologies_match_paper() {
+        let names: Vec<&str> = fig4_topologies().iter().map(|i| i.name()).collect();
+        assert_eq!(names, vec!["Telstra (AUS)", "Exodus (US)", "Tiscali (EU)"]);
+    }
+
+    #[test]
+    fn comparison_gain_helper() {
+        let cfg = Fig4Config {
+            duration: SimDuration::from_secs(2),
+            mean_flow_bits: 50e6,
+            load: 1.6,
+            ..Fig4Config::default()
+        };
+        let row = run_fig4_row(Isp::Vsnl, &cfg);
+        let gain = row.urp_gain_over_sp_pct();
+        assert!(gain >= -1e-6, "gain {gain}");
+    }
+}

@@ -1,0 +1,402 @@
+//! Multipath max-min fluid bandwidth allocation.
+//!
+//! The allocator answers: given the flows currently in the network, each
+//! with a *preference-ordered* list of subpaths, what rate does every flow
+//! (and every subpath) get?
+//!
+//! The algorithm is progressive filling generalised to multipath:
+//!
+//! 1. Every unfrozen flow selects its **preferred subpath** — the first in
+//!    its list whose links all have residual capacity.
+//! 2. All unfrozen flows grow together by the largest `δ` no link can
+//!    refuse: `δ = min over used links of residual / flows-preferring-it`.
+//! 3. Links that reach zero residual are saturated; flows re-select their
+//!    preferred subpath (falling over to detours) or freeze when no
+//!    subpath has headroom left.
+//!
+//! With one subpath per flow, steps 1–3 are textbook max-min fairness —
+//! the paper's e2e baseline, which on Fig. 3 yields rates (8, 2) and Jain
+//! 0.73. With INRP detour subpaths appended, the same procedure yields
+//! (5, 5) and Jain 1.0: bandwidth is "split equally up to the bottleneck"
+//! and the excess detours, exactly the behaviour the paper describes.
+//!
+//! Capacities are treated **per direction**: an undirected link is two
+//! independent directed channels, so opposing traffic does not compete.
+
+use inrpp_topology::graph::{NodeId, Topology};
+use inrpp_topology::spath::Path;
+
+/// Relative tolerance for "this link is saturated".
+const REL_EPS: f64 = 1e-9;
+/// Safety bound on filling rounds (each round saturates a link, freezes a
+/// flow, or forces a re-selection; this bound is never hit in practice).
+const MAX_ROUNDS: usize = 100_000;
+
+/// Index of a directed channel: `link.idx() * 2 + direction`.
+#[inline]
+pub fn dir_index(topo: &Topology, from: NodeId, to: NodeId) -> usize {
+    let l = topo
+        .link_between(from, to)
+        .unwrap_or_else(|| panic!("no link {from}-{to}"));
+    let fwd = topo.link(l).a == from;
+    l.idx() * 2 + usize::from(!fwd)
+}
+
+/// Resolve a path to its directed channel indices.
+pub fn path_dir_indices(topo: &Topology, path: &Path) -> Vec<usize> {
+    path.nodes()
+        .windows(2)
+        .map(|w| dir_index(topo, w[0], w[1]))
+        .collect()
+}
+
+/// The result of an allocation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Total rate per flow (bits/s), indexed like the input.
+    pub flow_rates: Vec<f64>,
+    /// Rate per subpath per flow (bits/s), same shapes as the input lists.
+    pub subpath_rates: Vec<Vec<f64>>,
+    /// Bits/s consumed on every directed channel.
+    pub dir_used: Vec<f64>,
+    /// Filling rounds executed (diagnostics).
+    pub rounds: usize,
+}
+
+impl Allocation {
+    /// Utilisation in `[0, 1]` of each directed channel.
+    pub fn dir_utilisation(&self, topo: &Topology) -> Vec<f64> {
+        self.dir_used
+            .iter()
+            .enumerate()
+            .map(|(i, &used)| {
+                let cap = topo
+                    .link(inrpp_topology::graph::LinkId((i / 2) as u32))
+                    .capacity
+                    .as_bps();
+                if cap <= 0.0 {
+                    0.0
+                } else {
+                    (used / cap).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean utilisation over directed channels that carry any capacity.
+    pub fn mean_utilisation(&self, topo: &Topology) -> f64 {
+        let u = self.dir_utilisation(topo);
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+}
+
+/// Allocate max-min fair rates to `flows`, where `flows[f]` is flow `f`'s
+/// preference-ordered subpath list (must be non-empty for active flows;
+/// an empty list means the flow is unroutable and gets rate 0).
+///
+/// Determinism: iteration order is flow index order everywhere; no RNG.
+///
+/// ```
+/// use inrpp_flowsim::allocator::max_min_allocate;
+/// use inrpp_topology::{spath::Path, Topology};
+///
+/// let topo = Topology::fig3();
+/// let n = |s: &str| topo.node_by_name(s).unwrap();
+/// // flow A may use the bottleneck AND the detour; flow B is single-path
+/// let flows = vec![
+///     vec![
+///         Path::new(vec![n("1"), n("2"), n("4")]),
+///         Path::new(vec![n("1"), n("2"), n("3"), n("4")]),
+///     ],
+///     vec![Path::new(vec![n("1"), n("2"), n("3")])],
+/// ];
+/// let alloc = max_min_allocate(&topo, &flows);
+/// // the paper's Fig. 3 right-hand side: both flows get 5 Mbps
+/// assert!((alloc.flow_rates[0] - 5e6).abs() < 1.0);
+/// assert!((alloc.flow_rates[1] - 5e6).abs() < 1.0);
+/// ```
+pub fn max_min_allocate(topo: &Topology, flows: &[Vec<Path>]) -> Allocation {
+    let ndir = topo.link_count() * 2;
+    let mut residual: Vec<f64> = Vec::with_capacity(ndir);
+    for l in topo.link_ids() {
+        let c = topo.link(l).capacity.as_bps();
+        residual.push(c);
+        residual.push(c);
+    }
+    let caps = residual.clone();
+
+    // Pre-resolve subpaths to directed channel lists.
+    let subpath_dirs: Vec<Vec<Vec<usize>>> = flows
+        .iter()
+        .map(|paths| paths.iter().map(|p| path_dir_indices(topo, p)).collect())
+        .collect();
+
+    let mut subpath_rates: Vec<Vec<f64>> =
+        flows.iter().map(|p| vec![0.0; p.len()]).collect();
+    let mut frozen: Vec<bool> = flows.iter().map(|p| p.is_empty()).collect();
+    // Currently preferred subpath per flow (index into its list).
+    let mut preferred: Vec<usize> = vec![0; flows.len()];
+
+    let saturated = |residual: &[f64], d: usize| residual[d] <= caps[d] * REL_EPS;
+
+    // (Re-)select each unfrozen flow's preferred subpath.
+    let reselect = |residual: &[f64],
+                    frozen: &mut Vec<bool>,
+                    preferred: &mut Vec<usize>| {
+        for f in 0..flows.len() {
+            if frozen[f] {
+                continue;
+            }
+            let choice = subpath_dirs[f]
+                .iter()
+                .position(|dirs| !dirs.iter().any(|&d| saturated(residual, d)));
+            match choice {
+                Some(i) => preferred[f] = i,
+                None => frozen[f] = true,
+            }
+        }
+    };
+
+    reselect(&residual, &mut frozen, &mut preferred);
+
+    let mut rounds = 0;
+    while rounds < MAX_ROUNDS {
+        rounds += 1;
+        // Count unfrozen flows per directed channel of preferred subpaths.
+        let mut count = vec![0u32; ndir];
+        let mut any = false;
+        for f in 0..flows.len() {
+            if frozen[f] {
+                continue;
+            }
+            any = true;
+            for &d in &subpath_dirs[f][preferred[f]] {
+                count[d] += 1;
+            }
+        }
+        if !any {
+            break;
+        }
+        // Largest uniform increment no used channel can refuse.
+        let mut delta = f64::INFINITY;
+        for d in 0..ndir {
+            if count[d] > 0 {
+                delta = delta.min(residual[d] / count[d] as f64);
+            }
+        }
+        debug_assert!(delta.is_finite(), "unfrozen flows must use channels");
+        if delta > 0.0 {
+            for f in 0..flows.len() {
+                if frozen[f] {
+                    continue;
+                }
+                subpath_rates[f][preferred[f]] += delta;
+                for &d in &subpath_dirs[f][preferred[f]] {
+                    residual[d] -= delta;
+                }
+            }
+        }
+        // Clamp channels that just saturated to exactly zero so the
+        // saturation predicate is stable.
+        for d in 0..ndir {
+            if count[d] > 0 && saturated(&residual, d) {
+                residual[d] = 0.0;
+            }
+        }
+        reselect(&residual, &mut frozen, &mut preferred);
+    }
+    debug_assert!(rounds < MAX_ROUNDS, "allocator failed to converge");
+
+    let flow_rates: Vec<f64> = subpath_rates.iter().map(|r| r.iter().sum()).collect();
+    let dir_used: Vec<f64> = (0..ndir).map(|d| caps[d] - residual[d]).collect();
+    Allocation {
+        flow_rates,
+        subpath_rates,
+        dir_used,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inrpp_sim::metrics::JainIndex;
+    use inrpp_sim::time::SimDuration;
+    use inrpp_sim::units::Rate;
+
+    fn mbps(v: f64) -> f64 {
+        v * 1e6
+    }
+
+    fn fig3_flows_sp(topo: &Topology) -> Vec<Vec<Path>> {
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        vec![
+            // flow A: 1 -> 4 over the bottleneck
+            vec![Path::new(vec![n("1"), n("2"), n("4")])],
+            // flow B: 1 -> 3
+            vec![Path::new(vec![n("1"), n("2"), n("3")])],
+        ]
+    }
+
+    #[test]
+    fn fig3_e2e_baseline_gives_8_2() {
+        // Paper Fig. 3 left: e2e flow control splits by the slowest link.
+        let topo = Topology::fig3();
+        let alloc = max_min_allocate(&topo, &fig3_flows_sp(&topo));
+        assert!((alloc.flow_rates[0] - mbps(2.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        assert!((alloc.flow_rates[1] - mbps(8.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        let jain = JainIndex::compute(&alloc.flow_rates).unwrap();
+        assert!((jain - 0.7353).abs() < 1e-3, "jain {jain}");
+    }
+
+    #[test]
+    fn fig3_inrpp_gives_5_5() {
+        // Paper Fig. 3 right: INRPP splits the shared link equally and
+        // detours flow A's excess through node 3.
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let mut flows = fig3_flows_sp(&topo);
+        // flow A gains the detour subpath 1-2-3-4
+        flows[0].push(Path::new(vec![n("1"), n("2"), n("3"), n("4")]));
+        let alloc = max_min_allocate(&topo, &flows);
+        assert!((alloc.flow_rates[0] - mbps(5.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        assert!((alloc.flow_rates[1] - mbps(5.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        let jain = JainIndex::compute(&alloc.flow_rates).unwrap();
+        assert!((jain - 1.0).abs() < 1e-6, "jain {jain}");
+        // A's split: 2 on the bottleneck, 3 on the detour
+        assert!((alloc.subpath_rates[0][0] - mbps(2.0)).abs() < 1.0);
+        assert!((alloc.subpath_rates[0][1] - mbps(3.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_flow_takes_bottleneck_capacity() {
+        let topo = Topology::line(3, Rate::mbps(10.0), SimDuration::from_millis(1));
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let alloc = max_min_allocate(&topo, &[vec![p]]);
+        assert!((alloc.flow_rates[0] - mbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let topo = Topology::dumbbell(4, Rate::mbps(100.0), Rate::mbps(10.0), SimDuration::from_millis(1));
+        let left = NodeId(4);
+        let right = NodeId(5);
+        let flows: Vec<Vec<Path>> = (0..4)
+            .map(|i| {
+                vec![Path::new(vec![
+                    NodeId(i),
+                    left,
+                    right,
+                    NodeId(6 + i),
+                ])]
+            })
+            .collect();
+        let alloc = max_min_allocate(&topo, &flows);
+        for r in &alloc.flow_rates {
+            assert!((r - mbps(2.5)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        }
+        assert_eq!(JainIndex::compute(&alloc.flow_rates), Some(1.0));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        // Two flows in opposite directions over one link both get full rate.
+        let topo = Topology::line(2, Rate::mbps(10.0), SimDuration::from_millis(1));
+        let fwd = Path::new(vec![NodeId(0), NodeId(1)]);
+        let rev = Path::new(vec![NodeId(1), NodeId(0)]);
+        let alloc = max_min_allocate(&topo, &[vec![fwd], vec![rev]]);
+        assert!((alloc.flow_rates[0] - mbps(10.0)).abs() < 1.0);
+        assert!((alloc.flow_rates[1] - mbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn unroutable_flow_gets_zero() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let flows = vec![
+            Vec::new(),
+            vec![Path::new(vec![n("1"), n("2")])],
+        ];
+        let alloc = max_min_allocate(&topo, &flows);
+        assert_eq!(alloc.flow_rates[0], 0.0);
+        assert!(alloc.flow_rates[1] > 0.0);
+    }
+
+    #[test]
+    fn max_min_property_holds() {
+        // No flow can raise its rate without lowering that of a flow with
+        // equal-or-smaller rate: verify via saturation of each flow's
+        // bottleneck.
+        let topo = Topology::fig3();
+        let alloc = max_min_allocate(&topo, &fig3_flows_sp(&topo));
+        // every flow has at least one saturated channel on its path
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let paths = [
+            Path::new(vec![n("1"), n("2"), n("4")]),
+            Path::new(vec![n("1"), n("2"), n("3")]),
+        ];
+        for p in &paths {
+            let has_sat = path_dir_indices(&topo, p).into_iter().any(|d| {
+                let cap = topo
+                    .link(inrpp_topology::graph::LinkId((d / 2) as u32))
+                    .capacity
+                    .as_bps();
+                alloc.dir_used[d] >= cap * (1.0 - 1e-6)
+            });
+            assert!(has_sat, "flow on {p} is not bottlenecked anywhere");
+        }
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let mut flows = fig3_flows_sp(&topo);
+        flows[0].push(Path::new(vec![n("1"), n("2"), n("3"), n("4")]));
+        flows.push(vec![Path::new(vec![n("4"), n("3"), n("2")])]);
+        let alloc = max_min_allocate(&topo, &flows);
+        for (d, &used) in alloc.dir_used.iter().enumerate() {
+            let cap = topo
+                .link(inrpp_topology::graph::LinkId((d / 2) as u32))
+                .capacity
+                .as_bps();
+            assert!(used <= cap * (1.0 + 1e-6), "channel {d} over capacity");
+        }
+    }
+
+    #[test]
+    fn utilisation_metrics() {
+        let topo = Topology::line(2, Rate::mbps(10.0), SimDuration::from_millis(1));
+        let alloc = max_min_allocate(
+            &topo,
+            &[vec![Path::new(vec![NodeId(0), NodeId(1)])]],
+        );
+        let u = alloc.dir_utilisation(&topo);
+        assert!((u[0] - 1.0).abs() < 1e-6);
+        assert_eq!(u[1], 0.0);
+        assert!((alloc.mean_utilisation(&topo) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let topo = Topology::fig3();
+        let alloc = max_min_allocate(&topo, &[]);
+        assert!(alloc.flow_rates.is_empty());
+        assert!(alloc.dir_used.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let mut flows = fig3_flows_sp(&topo);
+        flows[0].push(Path::new(vec![n("1"), n("2"), n("3"), n("4")]));
+        let a = max_min_allocate(&topo, &flows);
+        let b = max_min_allocate(&topo, &flows);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,348 @@
+//! Workload generation: Poisson flow arrivals between sampled node pairs.
+//!
+//! Fig. 4's setup is "flows arrive Poisson distributed"; sizes and endpoint
+//! selection are not pinned down in the paper, so the generator exposes
+//! them as knobs with defaults documented in `EXPERIMENTS.md`: exponential
+//! flow sizes (mean 25 Mbit) between uniformly random distinct node pairs.
+
+use inrpp_sim::dist::{Discrete, Distribution, Exponential, PoissonProcess};
+use inrpp_sim::rng::SimRng;
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_topology::graph::{NodeId, Tier, Topology};
+
+/// One flow to be injected into the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Dense flow index (also used as the ECMP hash key).
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow size in bits.
+    pub size_bits: f64,
+    /// Arrival instant.
+    pub arrival: SimTime,
+}
+
+/// How to sample `(src, dst)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PairSelector {
+    /// Uniformly random distinct node pair.
+    #[default]
+    Uniform,
+    /// Uniformly random pair of *edge-tier* nodes (falls back to uniform
+    /// when the topology has fewer than two edge nodes).
+    EdgeToEdge,
+    /// All flows converge on one hotspot destination (stress pattern).
+    Hotspot(NodeId),
+    /// Gravity model: endpoint probability proportional to
+    /// `degree^exponent` — hubs attract traffic, the classic ISP traffic
+    /// matrix shape. `exponent = 0` degenerates to uniform.
+    Gravity {
+        /// Degree exponent (1.0 = plain gravity).
+        exponent: f64,
+    },
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Mean flow arrivals per second.
+    pub arrival_rate: f64,
+    /// Mean flow size in bits (sizes are exponential around this mean).
+    pub mean_size_bits: f64,
+    /// Endpoint sampling policy.
+    pub pairs: PairSelector,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            arrival_rate: 100.0,
+            mean_size_bits: 25e6,
+            pairs: PairSelector::Uniform,
+        }
+    }
+}
+
+/// A generated, arrival-ordered list of flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Flows sorted by arrival time.
+    pub flows: Vec<FlowSpec>,
+    /// Total offered bits.
+    pub offered_bits: f64,
+}
+
+impl Workload {
+    /// Generate flows over `[0, duration)`.
+    ///
+    /// # Panics
+    /// Panics if the topology has fewer than two nodes or the config rates
+    /// are non-positive.
+    pub fn generate(
+        topo: &Topology,
+        cfg: &WorkloadConfig,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Workload {
+        assert!(
+            topo.node_count() >= 2,
+            "workload needs at least two nodes to pick pairs"
+        );
+        let arrivals = PoissonProcess::new(cfg.arrival_rate)
+            .expect("arrival rate must be positive");
+        let sizes =
+            Exponential::with_mean(cfg.mean_size_bits).expect("mean size must be positive");
+        let mut rng = SimRng::from_seed_u64(seed).derive(0xF10F);
+
+        // Candidate endpoints, fixed up front for determinism.
+        let edge_nodes: Vec<NodeId> = topo
+            .node_ids()
+            .filter(|&n| topo.node(n).tier == Tier::Edge)
+            .collect();
+        let all_nodes: Vec<NodeId> = topo.node_ids().collect();
+        let pool: &[NodeId] = match cfg.pairs {
+            PairSelector::EdgeToEdge if edge_nodes.len() >= 2 => &edge_nodes,
+            _ => &all_nodes,
+        };
+        // gravity sampling: degree^exponent weights over the pool
+        let gravity = match cfg.pairs {
+            PairSelector::Gravity { exponent } => {
+                let weights: Vec<f64> = pool
+                    .iter()
+                    .map(|&n| (topo.degree(n).max(1) as f64).powf(exponent))
+                    .collect();
+                Some(Discrete::new(&weights).expect("degrees are positive"))
+            }
+            _ => None,
+        };
+
+        let mut flows = Vec::new();
+        let mut offered_bits = 0.0;
+        let mut t = SimTime::ZERO;
+        let mut id = 0u64;
+        loop {
+            t = t + arrivals.next_gap(&mut rng);
+            if t.duration_since(SimTime::ZERO) >= duration {
+                break;
+            }
+            let (src, dst) = match cfg.pairs {
+                PairSelector::Hotspot(h) => {
+                    let mut s = *rng.pick(pool);
+                    while s == h {
+                        s = *rng.pick(pool);
+                    }
+                    (s, h)
+                }
+                PairSelector::Gravity { .. } => {
+                    let g = gravity.as_ref().expect("built above");
+                    let s = pool[g.sample_index(&mut rng)];
+                    let d = loop {
+                        let d = pool[g.sample_index(&mut rng)];
+                        if d != s {
+                            break d;
+                        }
+                    };
+                    (s, d)
+                }
+                _ => {
+                    let s = *rng.pick(pool);
+                    let d = loop {
+                        let d = *rng.pick(pool);
+                        if d != s {
+                            break d;
+                        }
+                    };
+                    (s, d)
+                }
+            };
+            let size_bits = sizes.sample(&mut rng).max(1.0);
+            offered_bits += size_bits;
+            flows.push(FlowSpec {
+                id,
+                src,
+                dst,
+                size_bits,
+                arrival: t,
+            });
+            id += 1;
+        }
+        Workload {
+            flows,
+            offered_bits,
+        }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows were generated.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Offered load in bits/s over the generation window.
+    pub fn offered_rate(&self, duration: SimDuration) -> f64 {
+        if duration.is_zero() {
+            0.0
+        } else {
+            self.offered_bits / duration.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inrpp_topology::rocketfuel::{generate_isp, Isp};
+
+    fn topo() -> Topology {
+        generate_isp(Isp::Vsnl, 1)
+    }
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            arrival_rate: 200.0,
+            mean_size_bits: 1e6,
+            pairs: PairSelector::Uniform,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_within_window() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(10), 7);
+        assert!(!w.is_empty());
+        let mut prev = SimTime::ZERO;
+        for f in &w.flows {
+            assert!(f.arrival >= prev);
+            assert!(f.arrival < SimTime::from_secs(10));
+            prev = f.arrival;
+        }
+    }
+
+    #[test]
+    fn arrival_count_tracks_rate() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(50), 3);
+        let expect = 200.0 * 50.0;
+        let got = w.len() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.1,
+            "got {got} arrivals, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn sizes_have_requested_mean() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(100), 11);
+        let mean = w.offered_bits / w.len() as f64;
+        assert!(
+            (mean - 1e6).abs() < 1e5,
+            "mean flow size {mean} vs requested 1e6"
+        );
+        assert!((w.offered_rate(SimDuration::from_secs(100))
+            - w.offered_bits / 100.0)
+            .abs()
+            < 1.0);
+    }
+
+    #[test]
+    fn endpoints_are_distinct() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(20), 5);
+        assert!(w.flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 5);
+        for (i, f) in w.flows.iter().enumerate() {
+            assert_eq!(f.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 9);
+        let b = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 9);
+        assert_eq!(a, b);
+        let c = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_to_edge_uses_edge_nodes() {
+        let t = topo();
+        let mut cfg = cfg();
+        cfg.pairs = PairSelector::EdgeToEdge;
+        let w = Workload::generate(&t, &cfg, SimDuration::from_secs(5), 1);
+        assert!(!w.is_empty());
+        for f in &w.flows {
+            assert_eq!(t.node(f.src).tier, Tier::Edge, "src {:?}", f.src);
+            assert_eq!(t.node(f.dst).tier, Tier::Edge);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_destination() {
+        let t = topo();
+        let h = t.node_ids().next().unwrap();
+        let mut cfg = cfg();
+        cfg.pairs = PairSelector::Hotspot(h);
+        let w = Workload::generate(&t, &cfg, SimDuration::from_secs(5), 1);
+        assert!(w.flows.iter().all(|f| f.dst == h && f.src != h));
+    }
+
+    #[test]
+    fn gravity_prefers_hubs() {
+        // a star: the hub must appear as endpoint far more often than any
+        // single leaf under gravity, and roughly uniformly without it
+        let t = Topology::star(
+            10,
+            inrpp_sim::units::Rate::mbps(10.0),
+            SimDuration::from_millis(1),
+        );
+        let hub = t.node_ids().next().unwrap();
+        let mut cfg = cfg();
+        cfg.pairs = PairSelector::Gravity { exponent: 1.0 };
+        let w = Workload::generate(&t, &cfg, SimDuration::from_secs(20), 5);
+        let hub_fraction = w
+            .flows
+            .iter()
+            .filter(|f| f.src == hub || f.dst == hub)
+            .count() as f64
+            / w.len() as f64;
+        // hub weight 9 vs 9 leaves of weight 1: hub should touch most flows
+        assert!(
+            hub_fraction > 0.75,
+            "gravity hub fraction {hub_fraction} too low"
+        );
+        cfg.pairs = PairSelector::Uniform;
+        let wu = Workload::generate(&t, &cfg, SimDuration::from_secs(20), 5);
+        let uniform_fraction = wu
+            .flows
+            .iter()
+            .filter(|f| f.src == hub || f.dst == hub)
+            .count() as f64
+            / wu.len() as f64;
+        assert!(hub_fraction > uniform_fraction + 0.2);
+    }
+
+    #[test]
+    fn gravity_zero_exponent_is_uniformish() {
+        let t = topo();
+        let mut cfg = cfg();
+        cfg.pairs = PairSelector::Gravity { exponent: 0.0 };
+        let w = Workload::generate(&t, &cfg, SimDuration::from_secs(10), 5);
+        assert!(!w.is_empty());
+        assert!(w.flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn sizes_are_positive() {
+        let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 13);
+        assert!(w.flows.iter().all(|f| f.size_bits >= 1.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Wire types and configuration for the chunk-level simulator.
+
+use inrpp::config::InrppConfig;
+use inrpp::endpoint::Request;
+use inrpp_sim::fault::FaultConfig;
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::units::ByteSize;
+use inrpp_topology::graph::{LinkId, NodeId};
+
+/// Flow identity.
+pub type FlowId = u64;
+/// Chunk sequence number.
+pub type ChunkNo = u64;
+
+/// A packet in flight. Data and request packets carry an explicit source
+/// route (`route[hop]` is the node currently holding the packet); INRPP
+/// routers may rewrite the tail of a data packet's route to splice in a
+/// detour — the paper's "spoof the destination router's identifier ...
+/// effectively tunnelling through the detour node".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// A `⟨Nc, ACKc, Ac⟩` request travelling receiver → sender.
+    Request {
+        /// Owning flow.
+        flow: FlowId,
+        /// The request body.
+        req: Request,
+        /// Route from receiver to sender.
+        route: Vec<NodeId>,
+        /// Index of the node currently holding the packet.
+        hop: usize,
+    },
+    /// A content chunk travelling sender → receiver.
+    Data {
+        /// Owning flow.
+        flow: FlowId,
+        /// Chunk number.
+        chunk: ChunkNo,
+        /// Remaining route (possibly detour-spliced).
+        route: Vec<NodeId>,
+        /// Index of the node currently holding the packet.
+        hop: usize,
+        /// Links traversed so far (stretch accounting).
+        hops_travelled: u32,
+        /// True once the chunk left its original shortest path.
+        detoured: bool,
+        /// Emission time at the sender (RTT samples).
+        sent_at: SimTime,
+    },
+    /// A hop-by-hop back-pressure notification (travels one hop upstream,
+    /// may be re-emitted).
+    Slowdown {
+        /// Body as defined in `inrpp::backpressure`.
+        msg: inrpp::backpressure::SlowdownMsg,
+        /// The flow whose arrival triggered it (lets the sender pick which
+        /// flow enters the closed loop).
+        flow: FlowId,
+    },
+}
+
+impl Packet {
+    /// Owning flow (all packet kinds are flow-scoped).
+    pub fn flow(&self) -> FlowId {
+        match self {
+            Packet::Request { flow, .. }
+            | Packet::Data { flow, .. }
+            | Packet::Slowdown { flow, .. } => *flow,
+        }
+    }
+}
+
+/// One content transfer: `chunks × chunk_bytes` served by `src`, consumed
+/// by `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferSpec {
+    /// Flow identity (unique per simulation).
+    pub flow: FlowId,
+    /// Content source (sender host).
+    pub src: NodeId,
+    /// Content consumer (receiver host).
+    pub dst: NodeId,
+    /// Number of chunks in the object.
+    pub chunks: u64,
+    /// When the receiver starts requesting.
+    pub start: SimTime,
+}
+
+/// AIMD baseline parameters (receiver-driven window, ICP/TCP-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdConfig {
+    /// Initial congestion window (chunks).
+    pub initial_window: f64,
+    /// Initial slow-start threshold (chunks).
+    pub initial_ssthresh: f64,
+    /// Retransmission timeout for an outstanding chunk.
+    pub rto: SimDuration,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            initial_window: 2.0,
+            initial_ssthresh: 64.0,
+            rto: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Which transport drives endpoints and routers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransportKind {
+    /// The paper's protocol: push-data / detour / back-pressure + custody.
+    Inrpp(InrppConfig),
+    /// Baseline: AIMD window at the receiver, drop-tail routers.
+    Aimd(AimdConfig),
+    /// Coexistence (paper §4 future work: "co-existence with TCP/IP will
+    /// have to be investigated"): both transports share the network.
+    /// Routers apply INRPP custody/detour machinery to INRPP flows only;
+    /// AIMD flows see plain drop-tail. Per-flow selection via
+    /// [`crate::PacketSim::add_transfer_as`].
+    Mixed {
+        /// Configuration for the INRPP flows.
+        inrpp: InrppConfig,
+        /// Configuration for the AIMD flows.
+        aimd: AimdConfig,
+    },
+}
+
+/// Per-flow transport selection (meaningful under [`TransportKind::Mixed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTransport {
+    /// The flow runs the paper's INRPP machinery.
+    Inrpp,
+    /// The flow runs the AIMD baseline.
+    Aimd,
+}
+
+/// Full configuration of a packet-level run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketSimConfig {
+    /// Payload size of a data chunk.
+    pub chunk_bytes: ByteSize,
+    /// Size of a request/control packet.
+    pub request_bytes: ByteSize,
+    /// Per-channel queue bound, expressed as queueing delay.
+    pub max_queue: SimDuration,
+    /// Queue delay past which an INRPP router prefers a detour for new
+    /// chunks (the operational trigger inside the detour phase).
+    pub detour_queue_threshold: SimDuration,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// Hard stop.
+    pub horizon: SimDuration,
+    /// Receiver loss-detection timeout (explicit timers per §3.2).
+    pub receiver_timeout: SimDuration,
+    /// Fault injection applied to data channels.
+    pub fault: FaultConfig,
+    /// RNG seed (fault injection, tie-breaking).
+    pub seed: u64,
+    /// Retain up to this many trace entries of notable events (detours,
+    /// custody, back-pressure, drops). `0` disables tracing entirely.
+    pub trace_capacity: usize,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        PacketSimConfig {
+            chunk_bytes: ByteSize::bytes(1250),
+            request_bytes: ByteSize::bytes(50),
+            max_queue: SimDuration::from_millis(50),
+            detour_queue_threshold: SimDuration::from_millis(10),
+            transport: TransportKind::Inrpp(InrppConfig::default()),
+            horizon: SimDuration::from_secs(30),
+            receiver_timeout: SimDuration::from_millis(500),
+            fault: FaultConfig::default(),
+            seed: 1,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Identifies one direction of a link: the canonical directed-channel
+/// index used across the engine (`link.idx() * 2 + dir`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirIndex(pub usize);
+
+impl DirIndex {
+    /// Build from a link and the traversal direction.
+    pub fn new(link: LinkId, a_to_b: bool) -> Self {
+        DirIndex(link.idx() * 2 + usize::from(!a_to_b))
+    }
+
+    /// The underlying undirected link.
+    pub fn link(self) -> LinkId {
+        LinkId((self.0 / 2) as u32)
+    }
+
+    /// True when this is the `a -> b` direction.
+    pub fn is_forward(self) -> bool {
+        self.0 % 2 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_flow_accessor() {
+        let p = Packet::Data {
+            flow: 9,
+            chunk: 3,
+            route: vec![NodeId(0), NodeId(1)],
+            hop: 0,
+            hops_travelled: 0,
+            detoured: false,
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(p.flow(), 9);
+        let r = Packet::Request {
+            flow: 7,
+            req: Request {
+                next: 0,
+                ack: None,
+                anticipated: 4,
+            },
+            route: vec![NodeId(1), NodeId(0)],
+            hop: 0,
+        };
+        assert_eq!(r.flow(), 7);
+    }
+
+    #[test]
+    fn dir_index_roundtrip() {
+        let d = DirIndex::new(LinkId(3), true);
+        assert_eq!(d.0, 6);
+        assert!(d.is_forward());
+        assert_eq!(d.link(), LinkId(3));
+        let r = DirIndex::new(LinkId(3), false);
+        assert_eq!(r.0, 7);
+        assert!(!r.is_forward());
+        assert_eq!(r.link(), LinkId(3));
+    }
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = PacketSimConfig::default();
+        assert!(c.detour_queue_threshold < c.max_queue);
+        assert!(c.chunk_bytes > c.request_bytes);
+        match c.transport {
+            TransportKind::Inrpp(ic) => ic.validate().unwrap(),
+            _ => panic!("default transport should be INRPP"),
+        }
+        let a = AimdConfig::default();
+        assert!(a.initial_window >= 1.0);
+        assert!(a.initial_ssthresh > a.initial_window);
+    }
+}

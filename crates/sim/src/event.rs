@@ -1,0 +1,451 @@
+//! Discrete-event core: a deterministic pending-event queue and a run loop.
+//!
+//! The queue is a binary heap keyed by `(time, sequence number)`. The
+//! sequence number is the global insertion order, which makes simultaneous
+//! events fire in a defined order (FIFO among equals) — the classic source of
+//! non-reproducibility in naive DES implementations.
+//!
+//! Control flow is poll-style, as in smoltcp: the [`Engine`] never calls into
+//! user code behind your back. Either drain events manually with
+//! [`Engine::next`], or hand a handler to [`Engine::run_with`], which pops
+//! one event at a time and passes `&mut Engine` back so the handler can
+//! schedule follow-ups.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Why [`Engine::run_with`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached; the clock stops exactly at the horizon.
+    Horizon,
+    /// The handler requested a stop by returning [`Control::Stop`].
+    Requested,
+    /// The event budget (`max_events`) was exhausted — a runaway guard.
+    EventBudget,
+}
+
+/// Handler verdict for [`Engine::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep processing events.
+    #[default]
+    Continue,
+    /// Stop after this event.
+    Stop,
+}
+
+/// Error returned when scheduling into the past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePastError {
+    /// The current clock value.
+    pub now: SimTime,
+    /// The (earlier) instant that was requested.
+    pub requested: SimTime,
+}
+
+impl fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot schedule at {} which is before the current clock {}",
+            self.requested, self.now
+        )
+    }
+}
+
+impl std::error::Error for SchedulePastError {}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Usually used through [`Engine`]; exposed separately for components that
+/// keep private sub-queues (e.g. link delivery pipelines).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Insert `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The simulation engine: a clock plus the pending-event queue.
+///
+/// ```
+/// use inrpp_sim::event::{Control, Engine};
+/// use inrpp_sim::time::{SimDuration, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping(u32) }
+///
+/// let mut eng: Engine<Ev> = Engine::new();
+/// eng.schedule(SimDuration::from_secs(1), Ev::Ping(0));
+/// let mut fired = Vec::new();
+/// eng.run_with(|eng, now, ev| {
+///     let Ev::Ping(n) = ev;
+///     fired.push((now, n));
+///     if n < 2 {
+///         eng.schedule(SimDuration::from_secs(1), Ev::Ping(n + 1));
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(fired.len(), 3);
+/// assert_eq!(fired[2].0, SimTime::from_secs(3));
+/// ```
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    max_events: Option<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+            max_events: None,
+            processed: 0,
+        }
+    }
+
+    /// Stop processing once the clock would pass `t` (the clock is left at
+    /// exactly `t`; later events stay queued).
+    pub fn with_horizon(mut self, t: SimTime) -> Self {
+        self.horizon = Some(t);
+        self
+    }
+
+    /// Abort after `n` events — a guard against accidental infinite event
+    /// cascades in tests.
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` after `delay` from now.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the absolute instant `t` (must not be in the past).
+    pub fn schedule_at(&mut self, t: SimTime, event: E) -> Result<(), SchedulePastError> {
+        if t < self.now {
+            return Err(SchedulePastError {
+                now: self.now,
+                requested: t,
+            });
+        }
+        self.queue.push(t, event);
+        Ok(())
+    }
+
+    /// Pop the next event and advance the clock to it.
+    ///
+    /// Returns `None` when the queue is empty or the next event lies beyond
+    /// the horizon (in which case the clock is parked at the horizon).
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let t = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if t > h {
+                self.now = h;
+                return None;
+            }
+        }
+        let (t, e) = self.queue.pop().expect("peeked entry vanished");
+        debug_assert!(t >= self.now, "event queue went backwards in time");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Run the event loop, passing each event to `handler`.
+    ///
+    /// The handler receives the engine itself so it can schedule follow-up
+    /// events, inspect the clock, or request a stop.
+    pub fn run_with(
+        &mut self,
+        mut handler: impl FnMut(&mut Engine<E>, SimTime, E) -> Control,
+    ) -> StopReason {
+        loop {
+            if let Some(max) = self.max_events {
+                if self.processed >= max {
+                    return StopReason::EventBudget;
+                }
+            }
+            match self.next() {
+                None => {
+                    return if self.queue.is_empty() {
+                        StopReason::QueueEmpty
+                    } else {
+                        StopReason::Horizon
+                    };
+                }
+                Some((t, e)) => {
+                    if handler(self, t, e) == Control::Stop {
+                        return StopReason::Requested;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every pending event (the clock keeps its value).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(5), ());
+        q.push(SimTime::from_millis(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn engine_advances_clock() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimDuration::from_secs(2), 7);
+        assert_eq!(eng.now(), SimTime::ZERO);
+        let (t, e) = eng.next().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(e, 7);
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+        assert_eq!(eng.next(), None);
+    }
+
+    #[test]
+    fn schedule_at_rejects_past() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule(SimDuration::from_secs(5), ());
+        let _ = eng.next();
+        let err = eng.schedule_at(SimTime::from_secs(1), ()).unwrap_err();
+        assert_eq!(err.now, SimTime::from_secs(5));
+        assert_eq!(err.requested, SimTime::from_secs(1));
+        assert!(err.to_string().contains("before the current clock"));
+    }
+
+    #[test]
+    fn horizon_parks_clock_and_keeps_events() {
+        let mut eng: Engine<u8> = Engine::new().with_horizon(SimTime::from_secs(10));
+        eng.schedule(SimDuration::from_secs(5), 1);
+        eng.schedule(SimDuration::from_secs(15), 2);
+        let mut seen = Vec::new();
+        let reason = eng.run_with(|_, _, e| {
+            seen.push(e);
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::Horizon);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn handler_can_stop() {
+        let mut eng: Engine<u8> = Engine::new();
+        for i in 0..10 {
+            eng.schedule(SimDuration::from_secs(i as u64 + 1), i);
+        }
+        let mut count = 0;
+        let reason = eng.run_with(|_, _, _| {
+            count += 1;
+            if count == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(reason, StopReason::Requested);
+        assert_eq!(count, 3);
+        assert_eq!(eng.pending(), 7);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_cascades() {
+        let mut eng: Engine<()> = Engine::new().with_max_events(100);
+        eng.schedule(SimDuration::ZERO, ());
+        let reason = eng.run_with(|eng, _, _| {
+            eng.schedule(SimDuration::from_nanos(1), ());
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::EventBudget);
+        assert_eq!(eng.events_processed(), 100);
+    }
+
+    #[test]
+    fn handler_scheduled_events_interleave_correctly() {
+        // A cascade that alternates two "processes" must observe global
+        // time ordering, not per-process ordering.
+        let mut eng: Engine<(&'static str, u64)> = Engine::new();
+        eng.schedule(SimDuration::from_secs(1), ("a", 1));
+        eng.schedule(SimDuration::from_secs(2), ("b", 2));
+        let mut order = Vec::new();
+        eng.run_with(|eng, now, (name, step)| {
+            order.push((name, now));
+            if step < 3 {
+                // "a" reschedules every 2s, "b" every 2s => interleaved.
+                eng.schedule(SimDuration::from_secs(2), (name, step + 2));
+            }
+            Control::Continue
+        });
+        let times: Vec<u64> = order.iter().map(|(_, t)| t.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events fired out of time order: {order:?}");
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run() -> Vec<(SimTime, u32)> {
+            let mut eng: Engine<u32> = Engine::new();
+            for i in 0..50 {
+                eng.schedule(SimDuration::from_millis((i * 7 % 13) as u64), i);
+            }
+            let mut log = Vec::new();
+            eng.run_with(|_, t, e| {
+                log.push((t, e));
+                Control::Continue
+            });
+            log
+        }
+        assert_eq!(run(), run());
+    }
+}

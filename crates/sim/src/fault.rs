@@ -1,0 +1,271 @@
+//! Fault injection, smoltcp-style.
+//!
+//! The smoltcp examples expose `--drop-chance`, `--corrupt-chance` and token
+//! bucket rate limits so adverse conditions can be reproduced on demand; we
+//! provide the same knobs for the packet-level simulator and the examples.
+//! All injectors draw from their own derived [`SimRng`] stream so enabling
+//! one never perturbs unrelated randomness.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// Configuration for a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a unit (packet/chunk) is dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0, 1]` that a unit is corrupted (delivered damaged).
+    pub corrupt_chance: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
+    }
+}
+
+/// Outcome of passing one unit through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver unchanged.
+    Pass,
+    /// Silently discard.
+    Drop,
+    /// Deliver, but flag as corrupted (receiver should treat as loss).
+    Corrupt,
+}
+
+/// Stateful injector applying drop/corrupt chances in a fixed order
+/// (drop first, then corrupt — matching smoltcp's fault pipeline).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SimRng,
+    dropped: u64,
+    corrupted: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Build with the given config and a dedicated RNG stream.
+    pub fn new(config: FaultConfig, rng: SimRng) -> Self {
+        FaultInjector {
+            config,
+            rng,
+            dropped: 0,
+            corrupted: 0,
+            passed: 0,
+        }
+    }
+
+    /// A no-op injector (passes everything); costs one branch per unit.
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultConfig::default(), SimRng::from_seed_u64(0))
+    }
+
+    /// Decide the fate of the next unit.
+    pub fn apply(&mut self) -> FaultOutcome {
+        if self.config.drop_chance > 0.0 && self.rng.chance(self.config.drop_chance) {
+            self.dropped += 1;
+            return FaultOutcome::Drop;
+        }
+        if self.config.corrupt_chance > 0.0 && self.rng.chance(self.config.corrupt_chance) {
+            self.corrupted += 1;
+            return FaultOutcome::Corrupt;
+        }
+        self.passed += 1;
+        FaultOutcome::Pass
+    }
+
+    /// `(passed, dropped, corrupted)` totals.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.passed, self.dropped, self.corrupted)
+    }
+}
+
+/// Token-bucket rate limiter over simulated time.
+///
+/// Tokens are *bits*; the bucket refills continuously at `rate` and holds at
+/// most `burst_bits`. Used both as a fault-injection knob and as the
+/// pacing primitive for rate-based senders.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: Rate,
+    burst_bits: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    ///
+    /// # Panics
+    /// Panics if `burst_bits` is not positive.
+    pub fn new(rate: Rate, burst_bits: f64, now: SimTime) -> Self {
+        assert!(
+            burst_bits > 0.0 && burst_bits.is_finite(),
+            "token bucket burst must be positive, got {burst_bits}"
+        );
+        TokenBucket {
+            rate,
+            burst_bits,
+            tokens: burst_bits,
+            last: now,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.last);
+        self.tokens = (self.tokens + self.rate.bits_in(dt)).min(self.burst_bits);
+        self.last = now;
+    }
+
+    /// Try to withdraw `bits`; returns whether the withdrawal succeeded.
+    pub fn try_consume(&mut self, now: SimTime, bits: f64) -> bool {
+        assert!(bits >= 0.0, "cannot consume negative bits");
+        self.refill(now);
+        if self.tokens + 1e-9 >= bits {
+            self.tokens -= bits;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest instant at which `bits` tokens will be available (assuming
+    /// no other withdrawals). [`SimTime::MAX`] if `bits` exceeds the burst
+    /// or the rate is zero.
+    pub fn next_available(&mut self, now: SimTime, bits: f64) -> SimTime {
+        self.refill(now);
+        if bits > self.burst_bits || (self.rate.is_zero() && self.tokens < bits) {
+            return SimTime::MAX;
+        }
+        if self.tokens >= bits {
+            return now;
+        }
+        let deficit = bits - self.tokens;
+        now + SimDuration::from_secs_f64(deficit / self.rate.as_bps())
+    }
+
+    /// Current token level in bits (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_passes_everything() {
+        let mut inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert_eq!(inj.apply(), FaultOutcome::Pass);
+        }
+        assert_eq!(inj.stats(), (1000, 0, 0));
+    }
+
+    #[test]
+    fn drop_chance_is_respected() {
+        let cfg = FaultConfig {
+            drop_chance: 0.15,
+            corrupt_chance: 0.0,
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::from_seed_u64(1));
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|_| inj.apply() == FaultOutcome::Drop)
+            .count();
+        let freq = drops as f64 / n as f64;
+        assert!((freq - 0.15).abs() < 0.01, "drop freq {freq}");
+    }
+
+    #[test]
+    fn corrupt_applies_after_drop() {
+        let cfg = FaultConfig {
+            drop_chance: 0.5,
+            corrupt_chance: 1.0,
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::from_seed_u64(2));
+        let mut seen_drop = false;
+        let mut seen_corrupt = false;
+        for _ in 0..1000 {
+            match inj.apply() {
+                FaultOutcome::Drop => seen_drop = true,
+                FaultOutcome::Corrupt => seen_corrupt = true,
+                FaultOutcome::Pass => panic!("corrupt_chance=1 must never pass"),
+            }
+        }
+        assert!(seen_drop && seen_corrupt);
+        let (p, d, c) = inj.stats();
+        assert_eq!(p, 0);
+        assert_eq!(d + c, 1000);
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let cfg = FaultConfig {
+            drop_chance: 0.3,
+            corrupt_chance: 0.1,
+        };
+        let run = |seed| {
+            let mut inj = FaultInjector::new(cfg, SimRng::from_seed_u64(seed));
+            (0..64).map(|_| inj.apply()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn token_bucket_starts_full_and_depletes() {
+        let mut tb = TokenBucket::new(Rate::mbps(1.0), 8_000.0, SimTime::ZERO);
+        assert!(tb.try_consume(SimTime::ZERO, 8_000.0));
+        assert!(!tb.try_consume(SimTime::ZERO, 1.0));
+    }
+
+    #[test]
+    fn token_bucket_refills_at_rate() {
+        let mut tb = TokenBucket::new(Rate::mbps(1.0), 8_000.0, SimTime::ZERO);
+        assert!(tb.try_consume(SimTime::ZERO, 8_000.0));
+        // 1 Mbps == 1000 bits per ms; after 4ms we can take 4000 bits.
+        let t = SimTime::from_millis(4);
+        assert!(!tb.try_consume(t, 4_001.0));
+        assert!(tb.try_consume(t, 4_000.0));
+    }
+
+    #[test]
+    fn token_bucket_caps_at_burst() {
+        let mut tb = TokenBucket::new(Rate::mbps(1.0), 1_000.0, SimTime::ZERO);
+        assert!(tb.try_consume(SimTime::ZERO, 1_000.0));
+        // A long idle period must not accumulate more than the burst.
+        let later = SimTime::from_secs(3600);
+        assert!((tb.available(later) - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn next_available_predicts_refill() {
+        let mut tb = TokenBucket::new(Rate::mbps(1.0), 10_000.0, SimTime::ZERO);
+        assert!(tb.try_consume(SimTime::ZERO, 10_000.0));
+        let t = tb.next_available(SimTime::ZERO, 5_000.0);
+        assert_eq!(t, SimTime::from_millis(5));
+        assert!(tb.try_consume(t, 5_000.0));
+        // More than burst can never be satisfied.
+        assert_eq!(tb.next_available(t, 20_000.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let mut tb = TokenBucket::new(Rate::ZERO, 100.0, SimTime::ZERO);
+        assert!(tb.try_consume(SimTime::ZERO, 100.0));
+        assert_eq!(
+            tb.next_available(SimTime::from_secs(10), 1.0),
+            SimTime::MAX
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Lightweight event tracing for debugging simulations.
+//!
+//! A [`Trace`] is a bounded ring buffer of `(time, message)` pairs that
+//! components write into when tracing is enabled. It is intentionally
+//! string-based and allocation-happy: tracing is a debugging aid, switched
+//! off (and free apart from one branch) in measurement runs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A bounded, time-stamped trace ring buffer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<(SimTime, String)>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` entries, initially enabled.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace: records nothing until enabled.
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(1);
+        t.enabled = false;
+        t
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a message at simulation time `now`.
+    ///
+    /// Accepts anything `Display`able; formats only when enabled, so callers
+    /// can pass `format_args!` cheaply.
+    pub fn record(&mut self, now: SimTime, msg: impl fmt::Display) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((now, msg.to_string()));
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, &str)> {
+        self.entries.iter().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the whole trace, one line per entry.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (t, s) in self.entries() {
+            out.push_str(&format!("[{t}] {s}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(10);
+        tr.record(SimTime::from_secs(1), "a");
+        tr.record(SimTime::from_secs(2), format_args!("b={}", 2));
+        let got: Vec<_> = tr.entries().map(|(t, s)| (t, s.to_string())).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (SimTime::from_secs(1), "a".to_string()));
+        assert_eq!(got[1], (SimTime::from_secs(2), "b=2".to_string()));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(SimTime::from_secs(i), i);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let first = tr.entries().next().unwrap();
+        assert_eq!(first.0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.record(SimTime::ZERO, "ignored");
+        assert!(tr.is_empty());
+        tr.set_enabled(true);
+        tr.record(SimTime::ZERO, "kept");
+        assert_eq!(tr.len(), 1);
+        assert!(tr.is_enabled());
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let mut tr = Trace::new(4);
+        tr.record(SimTime::from_millis(1500), "hello");
+        let dump = tr.dump();
+        assert!(dump.contains("1.500s"));
+        assert!(dump.contains("hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text topology serialisation.
+//!
+//! A deliberately boring line format, diff-friendly and hand-editable:
+//!
+//! ```text
+//! topology fig3
+//! node 1 edge
+//! node 2 core
+//! link 1 2 10000000 5000000
+//! ```
+//!
+//! `link` carries capacity in bits/s and delay in nanoseconds. Lines
+//! starting with `#` and blank lines are ignored.
+
+use std::fmt;
+
+use inrpp_sim::time::SimDuration;
+use inrpp_sim::units::Rate;
+
+use crate::graph::{Tier, Topology};
+
+/// Parse failure with 1-based line number context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn tier_name(t: Tier) -> &'static str {
+    match t {
+        Tier::Core => "core",
+        Tier::Aggregation => "agg",
+        Tier::Edge => "edge",
+    }
+}
+
+fn parse_tier(s: &str) -> Option<Tier> {
+    match s {
+        "core" => Some(Tier::Core),
+        "agg" => Some(Tier::Aggregation),
+        "edge" => Some(Tier::Edge),
+        _ => None,
+    }
+}
+
+/// Render `topo` in the edge-list format.
+pub fn write_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", topo.name()));
+    for n in topo.node_ids() {
+        let node = topo.node(n);
+        out.push_str(&format!("node {} {}\n", node.name, tier_name(node.tier)));
+    }
+    for l in topo.link_ids() {
+        let link = topo.link(l);
+        out.push_str(&format!(
+            "link {} {} {} {}\n",
+            topo.node(link.a).name,
+            topo.node(link.b).name,
+            link.capacity.as_bps() as u64,
+            link.delay.as_nanos()
+        ));
+    }
+    out
+}
+
+/// Parse the edge-list format produced by [`write_topology`].
+pub fn read_topology(text: &str) -> Result<Topology, ParseError> {
+    let mut topo = Topology::new("unnamed");
+    let err = |line: usize, message: String| ParseError { line, message };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("topology") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "topology needs a name".into()))?;
+                topo = Topology::new(name);
+            }
+            Some("node") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "node needs a name".into()))?;
+                let tier = match parts.next() {
+                    None => Tier::default(),
+                    Some(t) => parse_tier(t)
+                        .ok_or_else(|| err(lineno, format!("unknown tier {t:?}")))?,
+                };
+                topo.add_named_node(name, tier)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some("link") => {
+                let a = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "link needs two endpoints".into()))?;
+                let b = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "link needs two endpoints".into()))?;
+                let cap: u64 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "link needs a capacity".into()))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad capacity: {e}")))?;
+                let delay: u64 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "link needs a delay".into()))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad delay: {e}")))?;
+                let na = topo
+                    .node_by_name(a)
+                    .ok_or_else(|| err(lineno, format!("unknown node {a:?}")))?;
+                let nb = topo
+                    .node_by_name(b)
+                    .ok_or_else(|| err(lineno, format!("unknown node {b:?}")))?;
+                topo.add_link(
+                    na,
+                    nb,
+                    Rate::bps(cap as f64),
+                    SimDuration::from_nanos(delay),
+                )
+                .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown directive {other:?}")));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fig3() {
+        let t = Topology::fig3();
+        let text = write_topology(&t);
+        let back = read_topology(&text).unwrap();
+        assert_eq!(back.name(), "fig3");
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.link_count(), t.link_count());
+        for l in t.link_ids() {
+            let orig = t.link(l);
+            let a = back.node_by_name(&t.node(orig.a).name).unwrap();
+            let b = back.node_by_name(&t.node(orig.b).name).unwrap();
+            let lid = back.link_between(a, b).expect("link survives roundtrip");
+            assert_eq!(back.link(lid).capacity, orig.capacity);
+            assert_eq!(back.link(lid).delay, orig.delay);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\ntopology x\nnode a core\nnode b\n# mid comment\nlink a b 1000 500\n";
+        let t = read_topology(text).unwrap();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.node(crate::graph::NodeId(0)).tier, Tier::Core);
+        assert_eq!(t.node(crate::graph::NodeId(1)).tier, Tier::Aggregation);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_topology("topology x\nwat is this\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown directive"));
+
+        let e = read_topology("topology x\nnode a\nlink a ghost 1 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("ghost"));
+
+        let e = read_topology("node a\nnode a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = read_topology("link\n").unwrap_err();
+        assert!(e.message.contains("endpoints"));
+
+        let e = read_topology("node a\nnode b\nlink a b lots 1\n").unwrap_err();
+        assert!(e.message.contains("bad capacity"));
+
+        let e = read_topology("node a wizard\n").unwrap_err();
+        assert!(e.message.contains("unknown tier"));
+    }
+}

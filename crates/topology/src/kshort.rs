@@ -1,0 +1,313 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! Used by the ablation experiments to give the INRP strategy a richer path
+//! menu than plain 1-/2-hop detours, and by tests as an oracle for the
+//! detour classifier (the 2nd shortest path around a link must agree with
+//! the BFS classification).
+
+use std::collections::BTreeSet;
+
+use crate::graph::{NodeId, Topology};
+use crate::spath::{dijkstra_masked, Path};
+
+/// Candidate ordering key: cost first, then the node sequence for full
+/// determinism among equal-cost candidates.
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    cost: f64,
+    nodes: Vec<NodeId>,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .total_cmp(&other.cost)
+            .then_with(|| self.nodes.cmp(&other.nodes))
+    }
+}
+
+/// Up to `k` loopless shortest paths `src -> dst` in non-decreasing cost
+/// order (ties broken lexicographically). Empty when `dst` is unreachable.
+///
+/// # Panics
+/// Panics if `src == dst` (a zero-hop "path set" is not meaningful here)
+/// or `k == 0`.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    link_cost: &dyn Fn(&Topology, crate::graph::LinkId) -> f64,
+) -> Vec<Path> {
+    assert!(k > 0, "k must be positive");
+    assert_ne!(src, dst, "k-shortest-paths needs distinct endpoints");
+
+    let no_nodes = vec![false; topo.node_count()];
+    let no_links = vec![false; topo.link_count()];
+
+    let first = dijkstra_masked(topo, src, link_cost, &no_nodes, &no_links).path_to(dst);
+    let Some(first) = first else {
+        return Vec::new();
+    };
+    let mut accepted: Vec<(f64, Path)> = vec![(first.cost(topo, link_cost), first)];
+    let mut candidates: BTreeSet<Candidate> = BTreeSet::new();
+
+    while accepted.len() < k {
+        let (_, last) = accepted.last().expect("at least the first path");
+        let last_nodes = last.nodes().to_vec();
+
+        // Deviate at every node of the previous path except the target.
+        for i in 0..last_nodes.len() - 1 {
+            let spur = last_nodes[i];
+            let root = &last_nodes[..=i];
+
+            let mut banned_links = no_links.clone();
+            // Ban the outgoing edge used at the spur node by every accepted
+            // path sharing this root prefix.
+            for (_, p) in &accepted {
+                let pn = p.nodes();
+                if pn.len() > i + 1 && pn[..=i] == *root {
+                    if let Some(l) = topo.link_between(pn[i], pn[i + 1]) {
+                        banned_links[l.idx()] = true;
+                    }
+                }
+            }
+            // Ban root nodes except the spur itself (looplessness).
+            let mut banned_nodes = no_nodes.clone();
+            for &n in &root[..i] {
+                banned_nodes[n.idx()] = true;
+            }
+
+            let tree = dijkstra_masked(topo, spur, link_cost, &banned_nodes, &banned_links);
+            if let Some(spur_path) = tree.path_to(dst) {
+                let mut nodes = root[..i].to_vec();
+                nodes.extend_from_slice(spur_path.nodes());
+                let cand = Path::new(nodes);
+                debug_assert!(cand.is_simple(), "Yen produced a looping path");
+                let cost = cand.cost(topo, link_cost);
+                candidates.insert(Candidate {
+                    cost,
+                    nodes: cand.nodes().to_vec(),
+                });
+            }
+        }
+
+        // Accept the cheapest unused candidate.
+        let next = loop {
+            let Some(best) = candidates.iter().next().cloned() else {
+                return accepted.into_iter().map(|(_, p)| p).collect();
+            };
+            candidates.remove(&best);
+            if !accepted.iter().any(|(_, p)| p.nodes() == best.nodes) {
+                break best;
+            }
+        };
+        accepted.push((next.cost, Path::new(next.nodes)));
+    }
+
+    accepted.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Greedy edge-disjoint paths: repeatedly take the shortest path and
+/// remove its links. Returns at most `k` mutually edge-disjoint paths in
+/// non-decreasing cost order. (Greedy is not maximal in pathological
+/// graphs, but matches how multipath routing tables are provisioned and
+/// is exact on all the topology families used here.)
+pub fn edge_disjoint_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    link_cost: &dyn Fn(&Topology, crate::graph::LinkId) -> f64,
+) -> Vec<Path> {
+    assert!(k > 0, "k must be positive");
+    assert_ne!(src, dst, "edge-disjoint paths need distinct endpoints");
+    let no_nodes = vec![false; topo.node_count()];
+    let mut banned_links = vec![false; topo.link_count()];
+    let mut out = Vec::new();
+    while out.len() < k {
+        let tree = dijkstra_masked(topo, src, link_cost, &no_nodes, &banned_links);
+        let Some(path) = tree.path_to(dst) else {
+            break;
+        };
+        for l in path.links(topo) {
+            banned_links[l.idx()] = true;
+        }
+        out.push(path);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spath::cost;
+    use inrpp_sim::time::SimDuration;
+    use inrpp_sim::units::Rate;
+
+    fn c() -> Rate {
+        Rate::mbps(10.0)
+    }
+    fn d() -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    #[test]
+    fn fig3_two_routes() {
+        let t = Topology::fig3();
+        let n = |s: &str| t.node_by_name(s).unwrap();
+        let ps = k_shortest_paths(&t, n("1"), n("4"), 5, &cost::hops);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].nodes(), &[n("1"), n("2"), n("4")]);
+        assert_eq!(ps[1].nodes(), &[n("1"), n("2"), n("3"), n("4")]);
+    }
+
+    #[test]
+    fn paths_are_loopless_and_ordered() {
+        let t = Topology::full_mesh(6, c(), d());
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(5), 10, &cost::hops);
+        assert_eq!(ps.len(), 10);
+        let mut prev = 0.0;
+        for p in &ps {
+            assert!(p.is_simple(), "loop in {p}");
+            let cost = p.hops() as f64;
+            assert!(cost >= prev);
+            prev = cost;
+        }
+        // K6: 1 direct + 4 two-hop paths, so path #6 has 3 hops.
+        assert_eq!(ps[0].hops(), 1);
+        assert_eq!(ps[1].hops(), 2);
+        assert_eq!(ps[4].hops(), 2);
+        assert_eq!(ps[5].hops(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_path_count() {
+        let t = Topology::line(4, c(), d());
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 5, &cost::hops);
+        assert_eq!(ps.len(), 1, "a line has exactly one simple path");
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let mut t = Topology::new("gap");
+        let ids = t.add_nodes(4);
+        t.add_link(ids[0], ids[1], c(), d()).unwrap();
+        t.add_link(ids[2], ids[3], c(), d()).unwrap();
+        assert!(k_shortest_paths(&t, ids[0], ids[3], 3, &cost::hops).is_empty());
+    }
+
+    #[test]
+    fn ring_second_path_goes_the_long_way() {
+        let t = Topology::ring(5, c(), d());
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(1), 3, &cost::hops);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].hops(), 1);
+        assert_eq!(ps[1].hops(), 4);
+    }
+
+    #[test]
+    fn respects_weighted_costs() {
+        let mut t = Topology::new("w");
+        let ids = t.add_nodes(3);
+        t.add_link(ids[0], ids[2], c(), SimDuration::from_millis(100))
+            .unwrap();
+        t.add_link(ids[0], ids[1], c(), SimDuration::from_millis(10))
+            .unwrap();
+        t.add_link(ids[1], ids[2], c(), SimDuration::from_millis(10))
+            .unwrap();
+        let ps = k_shortest_paths(&t, ids[0], ids[2], 2, &cost::delay);
+        assert_eq!(ps[0].hops(), 2, "low-delay 2-hop route first");
+        assert_eq!(ps[1].hops(), 1);
+    }
+
+    #[test]
+    fn agrees_with_detour_classifier() {
+        // Oracle check: for each link of a mixed topology, the 2nd shortest
+        // path between its endpoints (hop cost) matches the BFS detour class.
+        use crate::detour::{classify_link, DetourClass};
+        let mut t = Topology::ring(6, c(), d());
+        // add a chord making some links triangle-covered
+        t.add_link(NodeId(0), NodeId(2), c(), d()).unwrap();
+        for lid in t.link_ids() {
+            let l = t.link(lid);
+            let ps = k_shortest_paths(&t, l.a, l.b, 2, &cost::hops);
+            let class = classify_link(&t, lid);
+            let alt = ps.iter().find(|p| p.hops() > 1 || !p.uses_link(&t, lid));
+            match class {
+                DetourClass::None => assert!(alt.is_none() || ps.len() == 1),
+                DetourClass::OneHop => {
+                    assert_eq!(alt.expect("detour exists").hops(), 2)
+                }
+                DetourClass::TwoHop => {
+                    assert_eq!(alt.expect("detour exists").hops(), 3)
+                }
+                DetourClass::ThreePlus(n) => {
+                    assert_eq!(alt.expect("detour exists").hops() as u32, n + 1)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = Topology::full_mesh(5, c(), d());
+        let a = k_shortest_paths(&t, NodeId(0), NodeId(4), 8, &cost::hops);
+        let b = k_shortest_paths(&t, NodeId(0), NodeId(4), 8, &cost::hops);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let t = Topology::fig3();
+        let _ = k_shortest_paths(&t, NodeId(0), NodeId(3), 0, &cost::hops);
+    }
+
+    #[test]
+    fn disjoint_paths_on_diamond() {
+        let mut t = Topology::new("diamond");
+        let ids = t.add_nodes(4);
+        for (a, b) in [(0u32, 1), (0, 2), (1, 3), (2, 3)] {
+            t.add_link(NodeId(a), NodeId(b), c(), d()).unwrap();
+        }
+        let ps = edge_disjoint_paths(&t, ids[0], ids[3], 4, &cost::hops);
+        assert_eq!(ps.len(), 2, "diamond has exactly two disjoint routes");
+        // no shared links
+        let l0: std::collections::HashSet<_> = ps[0].links(&t).into_iter().collect();
+        let l1: std::collections::HashSet<_> = ps[1].links(&t).into_iter().collect();
+        assert!(l0.is_disjoint(&l1));
+    }
+
+    #[test]
+    fn disjoint_paths_count_matches_connectivity() {
+        // K4 minus nothing: 3 edge-disjoint paths between any pair
+        let t = Topology::full_mesh(4, c(), d());
+        let ps = edge_disjoint_paths(&t, NodeId(0), NodeId(3), 8, &cost::hops);
+        assert_eq!(ps.len(), 3);
+        // line: exactly one
+        let line = Topology::line(4, c(), d());
+        let ps = edge_disjoint_paths(&line, NodeId(0), NodeId(3), 8, &cost::hops);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_paths_ordered_by_cost() {
+        let t = Topology::fig3();
+        let n = |s: &str| t.node_by_name(s).unwrap();
+        let ps = edge_disjoint_paths(&t, n("1"), n("4"), 4, &cost::hops);
+        // only one disjoint route exists from 1 (single access link)
+        assert_eq!(ps.len(), 1);
+        let ps = edge_disjoint_paths(&t, n("2"), n("4"), 4, &cost::hops);
+        assert_eq!(ps.len(), 2);
+        assert!(ps[0].hops() <= ps[1].hops());
+    }
+}

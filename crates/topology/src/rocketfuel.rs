@@ -1,0 +1,499 @@
+//! Rocketfuel-substitute ISP topology generator.
+//!
+//! The paper's Table 1 measures detour availability on nine Rocketfuel ISP
+//! maps. Those map files are not redistributable here, so — per the
+//! substitution policy in `DESIGN.md` §3 — we *generate* topologies whose
+//! detour-class distribution is calibrated to each published row. The
+//! detour statistic of a link depends only on its local cycle structure,
+//! which lets the generator work constructively from four motifs:
+//!
+//! * a **triangulated-ring backbone** (`k` core nodes, every link inside a
+//!   triangle → class *1-hop*);
+//! * **triangle gadgets** — two new nodes forming a triangle with an anchor
+//!   (3 links, all *1-hop*);
+//! * **square gadgets** — three new nodes forming a 4-cycle through an
+//!   anchor (4 links, all *2-hop*);
+//! * **pentagon gadgets** — four new nodes forming a 5-cycle (5 links, all
+//!   *3+*);
+//! * **leaf gadgets** — a single-homed stub (1 bridge link, *N/A*).
+//!
+//! Because gadgets attach to the rest of the graph at exactly one anchor
+//! node, no gadget can shorten another gadget's alternative paths: the
+//! class counts are exact by construction, and the measured Table 1 row
+//! deviates from the paper's only by integer rounding of the link budget.
+//! The resulting shape — a meshed core with hub-attached peripheries — is
+//! also structurally reasonable for PoP-level ISP maps (hubby cores,
+//! degree-2 metro rings, single-homed stubs).
+
+use inrpp_sim::rng::SimRng;
+use inrpp_sim::time::SimDuration;
+use inrpp_sim::units::Rate;
+
+use crate::graph::{NodeId, Tier, Topology};
+
+/// The nine ISPs of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isp {
+    /// Exodus Communications (US), AS3967.
+    Exodus,
+    /// VSNL (India), AS4755 — the smallest map.
+    Vsnl,
+    /// Level 3 (US), AS3356 — the densest mesh.
+    Level3,
+    /// Sprint (US), AS1239.
+    Sprint,
+    /// AT&T (US), AS7018.
+    Att,
+    /// EBONE (Europe), AS1755.
+    Ebone,
+    /// Telstra (Australia), AS1221.
+    Telstra,
+    /// Tiscali (Europe), AS3257.
+    Tiscali,
+    /// Verio (US), AS2914.
+    Verio,
+}
+
+impl Isp {
+    /// All nine, in the paper's Table 1 order.
+    pub fn all() -> [Isp; 9] {
+        [
+            Isp::Exodus,
+            Isp::Vsnl,
+            Isp::Level3,
+            Isp::Sprint,
+            Isp::Att,
+            Isp::Ebone,
+            Isp::Telstra,
+            Isp::Tiscali,
+            Isp::Verio,
+        ]
+    }
+
+    /// Display name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isp::Exodus => "Exodus (US)",
+            Isp::Vsnl => "VSNL (IN)",
+            Isp::Level3 => "Level 3",
+            Isp::Sprint => "Sprint (US)",
+            Isp::Att => "AT&T (US)",
+            Isp::Ebone => "EBONE (EU)",
+            Isp::Telstra => "Telstra (AUS)",
+            Isp::Tiscali => "Tiscali (EU)",
+            Isp::Verio => "Verio (US)",
+        }
+    }
+
+    /// The published Table 1 row: `[1-hop%, 2-hop%, 3+%, N/A%]`.
+    pub fn paper_row(self) -> [f64; 4] {
+        match self {
+            Isp::Exodus => [49.77, 35.48, 6.68, 8.06],
+            Isp::Vsnl => [25.00, 33.33, 0.00, 41.67],
+            Isp::Level3 => [92.22, 6.55, 0.68, 0.55],
+            Isp::Sprint => [56.66, 37.08, 1.81, 4.45],
+            Isp::Att => [34.84, 61.69, 0.72, 2.74],
+            Isp::Ebone => [50.66, 36.22, 6.30, 6.82],
+            Isp::Telstra => [70.05, 10.42, 1.06, 18.47],
+            Isp::Tiscali => [24.50, 39.85, 10.15, 25.50],
+            Isp::Verio => [71.50, 17.09, 1.74, 9.68],
+        }
+    }
+
+    /// Calibrated generation profile (see module docs).
+    pub fn profile(self) -> IspProfile {
+        let row = self.paper_row();
+        let (links, core) = match self {
+            Isp::Exodus => (150, 8),
+            Isp::Vsnl => (24, 3),
+            Isp::Level3 => (730, 20),
+            Isp::Sprint => (270, 10),
+            Isp::Att => (280, 8),
+            Isp::Ebone => (238, 8),
+            Isp::Telstra => (190, 8),
+            Isp::Tiscali => (200, 3),
+            Isp::Verio => (230, 10),
+        };
+        IspProfile {
+            name: self.name(),
+            target_links: links,
+            core_size: core,
+            pct_one_hop: row[0],
+            pct_two_hop: row[1],
+            pct_three_plus: row[2],
+            pct_none: row[3],
+        }
+    }
+}
+
+/// Generation parameters for an ISP-like topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Approximate number of links to generate.
+    pub target_links: usize,
+    /// Core (triangulated ring) size; `3 <= core_size`.
+    pub core_size: usize,
+    /// Target percentage of links with 1-hop detours.
+    pub pct_one_hop: f64,
+    /// Target percentage of links with 2-hop best detours.
+    pub pct_two_hop: f64,
+    /// Target percentage with 3+ hop best detours.
+    pub pct_three_plus: f64,
+    /// Target percentage of bridge links.
+    pub pct_none: f64,
+}
+
+/// Link-capacity plan by structural role.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPlan {
+    /// Core backbone links.
+    pub core: Rate,
+    /// Gadget (metro ring) links.
+    pub metro: Rate,
+    /// Single-homed stub links.
+    pub stub: Rate,
+}
+
+impl Default for CapacityPlan {
+    fn default() -> Self {
+        CapacityPlan {
+            core: Rate::gbps(10.0),
+            metro: Rate::gbps(2.5),
+            stub: Rate::gbps(1.0),
+        }
+    }
+}
+
+/// How many gadgets of each kind a profile expands to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GadgetBudget {
+    /// Backbone link count.
+    pub backbone_links: usize,
+    /// Triangle gadgets (3 one-hop links each).
+    pub triangles: usize,
+    /// Square gadgets (4 two-hop links each).
+    pub squares: usize,
+    /// Pentagon gadgets (5 three-plus links each).
+    pub pentagons: usize,
+    /// Leaf gadgets (1 bridge link each).
+    pub leaves: usize,
+}
+
+impl GadgetBudget {
+    /// Derive a budget from a profile by nearest-integer rounding of each
+    /// class share.
+    ///
+    /// # Panics
+    /// Panics if the backbone alone would exceed the 1-hop budget.
+    pub fn from_profile(p: &IspProfile) -> GadgetBudget {
+        let backbone_links = backbone_link_count(p.core_size);
+        let l = p.target_links as f64;
+        let n1 = (p.pct_one_hop / 100.0 * l).round() as usize;
+        let n2 = (p.pct_two_hop / 100.0 * l).round() as usize;
+        let n3 = (p.pct_three_plus / 100.0 * l).round() as usize;
+        let nna = (p.pct_none / 100.0 * l).round() as usize;
+        assert!(
+            n1 >= backbone_links,
+            "profile {}: core of {} nodes produces {} one-hop links but the \
+             1-hop budget is only {}",
+            p.name,
+            p.core_size,
+            backbone_links,
+            n1
+        );
+        GadgetBudget {
+            backbone_links,
+            triangles: (n1 - backbone_links).div_euclid(3),
+            squares: n2.div_euclid(4),
+            pentagons: (n3 as f64 / 5.0).round() as usize,
+            leaves: nna,
+        }
+    }
+
+    /// Exact link count the budget will produce.
+    pub fn total_links(&self) -> usize {
+        self.backbone_links + 3 * self.triangles + 4 * self.squares + 5 * self.pentagons
+            + self.leaves
+    }
+}
+
+fn backbone_link_count(k: usize) -> usize {
+    assert!(k >= 3, "core must have at least 3 nodes");
+    match k {
+        3 => 3,
+        4 => 6,
+        _ => 2 * k,
+    }
+}
+
+/// Generate an ISP-like topology from `profile`, deterministically from
+/// `seed`. The same `(profile, seed)` always yields the same graph.
+pub fn generate(profile: &IspProfile, seed: u64) -> Topology {
+    generate_with_capacities(profile, seed, CapacityPlan::default())
+}
+
+/// [`generate`] with an explicit capacity plan.
+pub fn generate_with_capacities(
+    profile: &IspProfile,
+    seed: u64,
+    caps: CapacityPlan,
+) -> Topology {
+    let budget = GadgetBudget::from_profile(profile);
+    let mut rng = SimRng::from_seed_u64(seed).derive(0x0150);
+    let mut topo = Topology::new(profile.name);
+
+    let delay = |rng: &mut SimRng, lo_ms: u64, hi_ms: u64| {
+        SimDuration::from_millis(lo_ms + rng.index((hi_ms - lo_ms + 1) as usize) as u64)
+    };
+
+    // --- backbone: triangulated ring of core nodes --------------------
+    let k = profile.core_size;
+    let core: Vec<NodeId> = (0..k)
+        .map(|i| {
+            topo.add_named_node(format!("core{i}"), Tier::Core)
+                .expect("core names are unique")
+        })
+        .collect();
+    for i in 0..k {
+        let d = delay(&mut rng, 2, 10);
+        topo.add_link(core[i], core[(i + 1) % k], caps.core, d)
+            .expect("ring links unique");
+    }
+    if k >= 4 {
+        for i in 0..k {
+            let j = (i + 2) % k;
+            if topo.link_between(core[i], core[j]).is_none() {
+                let d = delay(&mut rng, 2, 10);
+                topo.add_link(core[i], core[j], caps.core, d)
+                    .expect("chord links unique");
+            }
+        }
+    }
+
+    // --- anchor pool: hubs the gadgets hang from ----------------------
+    // Core nodes appear multiple times so they dominate as anchors, but
+    // a growing periphery keeps the graph from becoming a pure flower.
+    let mut anchors: Vec<NodeId> = Vec::new();
+    for &c in &core {
+        anchors.extend([c, c, c]);
+    }
+
+    let pick_anchor = |rng: &mut SimRng, anchors: &[NodeId]| -> NodeId {
+        *rng.pick(anchors)
+    };
+
+    // --- gadgets -------------------------------------------------------
+    let mut serial = 0usize;
+    let mut fresh = |topo: &mut Topology, tier: Tier| -> NodeId {
+        let id = topo
+            .add_named_node(format!("m{serial}"), tier)
+            .expect("serial names are unique");
+        serial += 1;
+        id
+    };
+
+    for _ in 0..budget.triangles {
+        let a = pick_anchor(&mut rng, &anchors);
+        let w1 = fresh(&mut topo, Tier::Aggregation);
+        let w2 = fresh(&mut topo, Tier::Aggregation);
+        let d = delay(&mut rng, 1, 5);
+        topo.add_link(a, w1, caps.metro, d).expect("new node links");
+        topo.add_link(a, w2, caps.metro, d).expect("new node links");
+        topo.add_link(w1, w2, caps.metro, d).expect("new node links");
+        anchors.push(w1);
+    }
+
+    for _ in 0..budget.squares {
+        let a = pick_anchor(&mut rng, &anchors);
+        let w1 = fresh(&mut topo, Tier::Aggregation);
+        let w2 = fresh(&mut topo, Tier::Aggregation);
+        let w3 = fresh(&mut topo, Tier::Aggregation);
+        let d = delay(&mut rng, 1, 5);
+        topo.add_link(a, w1, caps.metro, d).expect("new node links");
+        topo.add_link(w1, w2, caps.metro, d).expect("new node links");
+        topo.add_link(w2, w3, caps.metro, d).expect("new node links");
+        topo.add_link(w3, a, caps.metro, d).expect("new node links");
+        anchors.push(w2);
+    }
+
+    for _ in 0..budget.pentagons {
+        let a = pick_anchor(&mut rng, &anchors);
+        let ws: Vec<NodeId> = (0..4).map(|_| fresh(&mut topo, Tier::Aggregation)).collect();
+        let d = delay(&mut rng, 1, 5);
+        let cycle = [a, ws[0], ws[1], ws[2], ws[3], a];
+        for pair in cycle.windows(2) {
+            topo.add_link(pair[0], pair[1], caps.metro, d)
+                .expect("new node links");
+        }
+    }
+
+    for _ in 0..budget.leaves {
+        let a = pick_anchor(&mut rng, &anchors);
+        let w = fresh(&mut topo, Tier::Edge);
+        let d = delay(&mut rng, 1, 3);
+        topo.add_link(a, w, caps.stub, d).expect("new node links");
+    }
+
+    debug_assert!(topo.is_connected(), "generated topology must be connected");
+    topo
+}
+
+/// Generate the calibrated topology for `isp` (shorthand).
+pub fn generate_isp(isp: Isp, seed: u64) -> Topology {
+    generate(&isp.profile(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detour::analyze;
+
+    #[test]
+    fn budgets_hit_link_targets() {
+        for isp in Isp::all() {
+            let p = isp.profile();
+            let b = GadgetBudget::from_profile(&p);
+            let total = b.total_links();
+            let target = p.target_links;
+            let dev = (total as f64 - target as f64).abs() / target as f64;
+            assert!(
+                dev < 0.05,
+                "{}: produced {total} links vs target {target}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_topologies_are_connected() {
+        for isp in Isp::all() {
+            let t = generate_isp(isp, 1221);
+            assert!(t.is_connected(), "{} disconnected", t.name());
+            assert!(t.node_count() > 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_isp(Isp::Exodus, 7);
+        let b = generate_isp(Isp::Exodus, 7);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.link_count(), b.link_count());
+        for l in a.link_ids() {
+            assert_eq!(a.link(l).a, b.link(l).a);
+            assert_eq!(a.link(l).b, b.link(l).b);
+            assert_eq!(a.link(l).capacity, b.link(l).capacity);
+        }
+        let c = generate_isp(Isp::Exodus, 8);
+        // different seed changes anchor placement (node/link counts persist)
+        assert_eq!(a.link_count(), c.link_count());
+    }
+
+    #[test]
+    fn detour_distribution_tracks_paper_row() {
+        // The core acceptance test for the Table 1 substitution: each
+        // generated topology's measured detour-class percentages must sit
+        // within a few points of the published row.
+        for isp in Isp::all() {
+            let t = generate_isp(isp, 1221);
+            let (_, stats) = analyze(&t);
+            let row = isp.paper_row();
+            let got = [
+                stats.one_hop_pct(),
+                stats.two_hop_pct(),
+                stats.three_plus_pct(),
+                stats.none_pct(),
+            ];
+            for (i, (g, want)) in got.iter().zip(row.iter()).enumerate() {
+                assert!(
+                    (g - want).abs() < 4.0,
+                    "{} class {i}: measured {g:.2}% vs paper {want:.2}% (row {got:?})",
+                    isp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_row_tracks_paper_average() {
+        // Paper: average 52.80 / 30.86 / 3.24 / 13.10.
+        let mut sums = [0.0; 4];
+        for isp in Isp::all() {
+            let t = generate_isp(isp, 1221);
+            let (_, s) = analyze(&t);
+            sums[0] += s.one_hop_pct();
+            sums[1] += s.two_hop_pct();
+            sums[2] += s.three_plus_pct();
+            sums[3] += s.none_pct();
+        }
+        let avg: Vec<f64> = sums.iter().map(|s| s / 9.0).collect();
+        let want = [52.80, 30.86, 3.24, 13.10];
+        for (a, w) in avg.iter().zip(want.iter()) {
+            assert!((a - w).abs() < 3.0, "average {avg:?} vs paper {want:?}");
+        }
+    }
+
+    #[test]
+    fn tiers_are_assigned() {
+        let t = generate_isp(Isp::Sprint, 3);
+        let mut cores = 0;
+        let mut edges = 0;
+        for n in t.node_ids() {
+            match t.node(n).tier {
+                Tier::Core => cores += 1,
+                Tier::Edge => edges += 1,
+                Tier::Aggregation => {}
+            }
+        }
+        assert_eq!(cores, Isp::Sprint.profile().core_size);
+        assert!(edges > 0);
+    }
+
+    #[test]
+    fn capacities_follow_plan() {
+        let plan = CapacityPlan {
+            core: Rate::gbps(40.0),
+            metro: Rate::gbps(4.0),
+            stub: Rate::mbps(100.0),
+        };
+        let t = generate_with_capacities(&Isp::Vsnl.profile(), 5, plan);
+        let caps: std::collections::HashSet<u64> = t
+            .link_ids()
+            .map(|l| t.link(l).capacity.as_bps() as u64)
+            .collect();
+        assert!(caps.contains(&40_000_000_000));
+        assert!(caps.contains(&100_000_000));
+    }
+
+    #[test]
+    fn vsnl_is_small_and_bridge_heavy() {
+        let t = generate_isp(Isp::Vsnl, 1);
+        assert!(t.node_count() < 40, "VSNL should be tiny, got {}", t.node_count());
+        let (_, s) = analyze(&t);
+        assert!(s.none_pct() > 30.0);
+    }
+
+    #[test]
+    fn level3_is_triangle_rich() {
+        let t = generate_isp(Isp::Level3, 1);
+        let (_, s) = analyze(&t);
+        assert!(s.one_hop_pct() > 85.0);
+        assert!(s.none_pct() < 2.0);
+    }
+
+    #[test]
+    fn backbone_link_counts() {
+        assert_eq!(backbone_link_count(3), 3);
+        assert_eq!(backbone_link_count(4), 6);
+        assert_eq!(backbone_link_count(5), 10);
+        assert_eq!(backbone_link_count(8), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn tiny_core_rejected() {
+        backbone_link_count(2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Detour analysis of an ISP-like topology — the Table 1 machinery as an
+//! interactive tool.
+//!
+//! Generates one of the nine calibrated ISP topologies (or all of them),
+//! classifies every link's best detour, and prints the detour distribution
+//! next to the paper's published row, plus structural graph statistics.
+//!
+//! ```text
+//! cargo run --release --example isp_detour_analysis [exodus|vsnl|level3|sprint|att|ebone|telstra|tiscali|verio]
+//! ```
+
+use inrpp_topology::detour::{analyze, DetourClass};
+use inrpp_topology::rocketfuel::{generate_isp, Isp};
+use inrpp_topology::stats::{degree_histogram, graph_stats};
+
+fn parse_isp(arg: &str) -> Option<Isp> {
+    Some(match arg.to_ascii_lowercase().as_str() {
+        "exodus" => Isp::Exodus,
+        "vsnl" => Isp::Vsnl,
+        "level3" => Isp::Level3,
+        "sprint" => Isp::Sprint,
+        "att" => Isp::Att,
+        "ebone" => Isp::Ebone,
+        "telstra" => Isp::Telstra,
+        "tiscali" => Isp::Tiscali,
+        "verio" => Isp::Verio,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let isps: Vec<Isp> = match arg.as_deref() {
+        None => vec![Isp::Exodus],
+        Some("all") => Isp::all().to_vec(),
+        Some(s) => match parse_isp(s) {
+            Some(i) => vec![i],
+            None => {
+                eprintln!("unknown ISP {s:?}; try exodus, vsnl, level3, sprint, att, ebone, telstra, tiscali, verio, or all");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    for isp in isps {
+        let topo = generate_isp(isp, 1221);
+        let (classes, stats) = analyze(&topo);
+        let gs = graph_stats(&topo);
+        println!("=== {} ===", isp.name());
+        println!(
+            "  {} nodes, {} links, diameter {:?}, mean degree {:.2}, clustering {:.3}",
+            gs.nodes, gs.links, gs.diameter, gs.mean_degree, gs.clustering
+        );
+        let hist = degree_histogram(&topo);
+        let top: Vec<String> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(d, &c)| format!("deg{d}:{c}"))
+            .collect();
+        println!("  degree histogram: {}", top.join(" "));
+        println!(
+            "  detours: 1-hop {:5.2}%  2-hop {:5.2}%  3+ {:5.2}%  none {:5.2}%",
+            stats.one_hop_pct(),
+            stats.two_hop_pct(),
+            stats.three_plus_pct(),
+            stats.none_pct()
+        );
+        let p = isp.paper_row();
+        println!(
+            "  paper:   1-hop {:5.2}%  2-hop {:5.2}%  3+ {:5.2}%  none {:5.2}%",
+            p[0], p[1], p[2], p[3]
+        );
+        // spotlight: the most fragile links (bridges)
+        let bridges = classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == DetourClass::None)
+            .count();
+        println!("  {bridges} bridge links would need back-pressure (no detour exists)\n");
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the INRPP reproduction workspace.
+//!
+//! Re-exports every member crate so the `examples/` and `tests/` trees can
+//! reach the whole API surface through one dependency.
+pub use inrpp;
+pub use inrpp_cache;
+pub use inrpp_flowsim;
+pub use inrpp_packetsim;
+pub use inrpp_sim;
+pub use inrpp_topology;

@@ -1,0 +1,428 @@
+//! Property-based tests (proptest) on the core invariants.
+//!
+//! Random topologies, random flow sets, random custody traffic — the
+//! invariants that must hold regardless: capacity conservation, max-min
+//! bottleneck saturation, custody byte accounting, detour classification
+//! consistency, and distribution support bounds.
+
+use proptest::prelude::*;
+
+use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
+use inrpp_flowsim::allocator::{max_min_allocate, path_dir_indices};
+use inrpp_sim::dist::{Distribution, Exponential, Pareto, Zipf};
+use inrpp_sim::metrics::JainIndex;
+use inrpp_sim::rng::SimRng;
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::units::{ByteSize, Rate};
+use inrpp_topology::detour::{classify_link, DetourClass};
+use inrpp_topology::graph::{NodeId, Topology};
+use inrpp_topology::kshort::k_shortest_paths;
+use inrpp_topology::spath::{cost, shortest_path};
+
+/// Build a random connected topology: a spanning tree plus extra chords.
+fn random_topology(n: usize, extra: usize, seed: u64) -> Topology {
+    let mut rng = SimRng::from_seed_u64(seed);
+    let mut t = Topology::new("random");
+    let ids = t.add_nodes(n);
+    let caps = [10.0, 100.0, 1000.0];
+    for i in 1..n {
+        let parent = ids[rng.index(i)];
+        let cap = Rate::mbps(*rng.pick(&caps));
+        t.add_link(ids[i], parent, cap, SimDuration::from_millis(1))
+            .expect("tree edges are fresh");
+    }
+    for _ in 0..extra {
+        let a = ids[rng.index(n)];
+        let b = ids[rng.index(n)];
+        if a != b && t.link_between(a, b).is_none() {
+            let cap = Rate::mbps(*rng.pick(&caps));
+            let _ = t.add_link(a, b, cap, SimDuration::from_millis(1));
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No directed channel is ever oversubscribed, and every flow with a
+    /// route gets a strictly positive max-min rate.
+    #[test]
+    fn allocator_conserves_capacity(
+        n in 4usize..20,
+        extra in 0usize..20,
+        nflows in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        let mut rng = SimRng::from_seed_u64(seed ^ 0xF10);
+        let mut flows = Vec::new();
+        for _ in 0..nflows {
+            let src = NodeId(rng.index(n) as u32);
+            let dst = NodeId(rng.index(n) as u32);
+            if src == dst {
+                continue;
+            }
+            if let Some(p) = shortest_path(&topo, src, dst, &cost::hops) {
+                flows.push(vec![p]);
+            }
+        }
+        let alloc = max_min_allocate(&topo, &flows);
+        // conservation
+        for (d, &used) in alloc.dir_used.iter().enumerate() {
+            let cap = topo
+                .link(inrpp_topology::graph::LinkId((d / 2) as u32))
+                .capacity
+                .as_bps();
+            prop_assert!(used <= cap * (1.0 + 1e-6), "channel {d} oversubscribed");
+        }
+        // positivity + bottleneck saturation (max-min certificate)
+        for (f, rate) in alloc.flow_rates.iter().enumerate() {
+            prop_assert!(*rate > 0.0, "flow {f} starved");
+            let dirs = path_dir_indices(&topo, &flows[f][0]);
+            let saturated = dirs.iter().any(|&d| {
+                let cap = topo
+                    .link(inrpp_topology::graph::LinkId((d / 2) as u32))
+                    .capacity
+                    .as_bps();
+                alloc.dir_used[d] >= cap * (1.0 - 1e-6)
+            });
+            prop_assert!(saturated, "flow {f} has no saturated bottleneck");
+        }
+    }
+
+    /// Jain's index of a max-min allocation over identical single-link
+    /// flows is exactly 1.
+    #[test]
+    fn allocator_fair_on_symmetric_flows(nflows in 1usize..16) {
+        let topo = Topology::line(2, Rate::mbps(100.0), SimDuration::from_millis(1));
+        let flows: Vec<_> = (0..nflows)
+            .map(|_| vec![inrpp_topology::spath::Path::new(vec![NodeId(0), NodeId(1)])])
+            .collect();
+        let alloc = max_min_allocate(&topo, &flows);
+        let j = JainIndex::compute(&alloc.flow_rates).expect("rates exist");
+        prop_assert!((j - 1.0).abs() < 1e-9);
+    }
+
+    /// Custody stores never exceed their byte budget and account releases
+    /// exactly, under arbitrary interleavings of store/pop/release.
+    #[test]
+    fn custody_accounting_invariants(
+        ops in proptest::collection::vec((0u8..3, 0u64..8, 0u64..64, 1u64..2000), 1..200),
+        cap_kb in 1u64..64,
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => EvictionPolicy::Reject,
+            1 => EvictionPolicy::Fifo,
+            _ => EvictionPolicy::Lru,
+        };
+        let mut store = CustodyStore::new(ByteSize::kb(cap_kb), policy);
+        let mut shadow: std::collections::HashMap<(u64, u64), u64> =
+            std::collections::HashMap::new();
+        for (op, flow, chunk, bytes) in ops {
+            match op {
+                0 => {
+                    if let Ok(evicted) =
+                        store.store(SimTime::ZERO, flow, chunk, ByteSize::bytes(bytes))
+                    {
+                        for e in evicted {
+                            shadow.remove(&(e.flow, e.chunk));
+                        }
+                        shadow.insert((flow, chunk), bytes);
+                    }
+                }
+                1 => {
+                    if let Some((c, _)) = store.pop_next(flow) {
+                        prop_assert!(shadow.remove(&(flow, c)).is_some());
+                        // in-order drain: no smaller chunk of this flow left
+                        prop_assert!(shadow
+                            .keys()
+                            .filter(|(f, _)| *f == flow)
+                            .all(|(_, k)| *k > c));
+                    }
+                }
+                _ => {
+                    let had = shadow.remove(&(flow, chunk));
+                    let got = store.release(flow, chunk);
+                    prop_assert_eq!(had.is_some(), got.is_some());
+                }
+            }
+            let expect: u64 = shadow.values().sum();
+            prop_assert_eq!(store.used().as_bytes(), expect, "byte accounting diverged");
+            prop_assert!(store.used() <= store.capacity());
+            prop_assert_eq!(store.chunk_count(), shadow.len());
+        }
+    }
+
+    /// The BFS detour classifier agrees with the k-shortest-paths oracle on
+    /// random graphs.
+    #[test]
+    fn detour_classifier_matches_kshortest_oracle(
+        n in 4usize..14,
+        extra in 0usize..14,
+        seed in 0u64..500,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        for lid in topo.link_ids() {
+            let l = topo.link(lid);
+            let class = classify_link(&topo, lid);
+            let ps = k_shortest_paths(&topo, l.a, l.b, 2, &cost::hops);
+            // the first path is the direct link; an alternative exists iff
+            // a second loopless path exists
+            let alt = ps.iter().find(|p| !p.uses_link(&topo, lid));
+            match class {
+                DetourClass::None => prop_assert!(alt.is_none()),
+                DetourClass::OneHop => prop_assert_eq!(alt.unwrap().hops(), 2),
+                DetourClass::TwoHop => prop_assert_eq!(alt.unwrap().hops(), 3),
+                DetourClass::ThreePlus(k) => {
+                    prop_assert_eq!(alt.unwrap().hops() as u32, k + 1)
+                }
+            }
+        }
+    }
+
+    /// Distribution samples stay in their mathematical support.
+    #[test]
+    fn distribution_supports(seed in 0u64..10_000) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let e = Exponential::new(2.0).unwrap();
+        let p = Pareto::new(3.0, 1.5).unwrap();
+        let z = Zipf::new(50, 0.9).unwrap();
+        for _ in 0..64 {
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+            prop_assert!(p.sample(&mut rng) >= 3.0);
+            let r = z.sample_rank(&mut rng);
+            prop_assert!((1..=50).contains(&r));
+        }
+    }
+
+    /// Derived RNG streams never collide for distinct stream ids.
+    #[test]
+    fn rng_streams_are_independent(seed in 0u64..10_000, s1 in 0u64..64, s2 in 0u64..64) {
+        prop_assume!(s1 != s2);
+        let root = SimRng::from_seed_u64(seed);
+        let mut a = root.derive(s1);
+        let mut b = root.derive(s2);
+        use rand::RngCore;
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    /// Channel model invariants: arrivals never precede tx+propagation,
+    /// backlog equals accepted-minus-served bits, utilisation stays in
+    /// [0, 1].
+    #[test]
+    fn channel_model_invariants(
+        sends in proptest::collection::vec((1u64..20_000, 0u64..50), 1..60),
+    ) {
+        use inrpp_packetsim::channel::Channel;
+        let rate = Rate::mbps(10.0);
+        let delay = SimDuration::from_millis(5);
+        let mut ch = Channel::new(rate, delay, SimDuration::from_millis(200));
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (bits, gap_ms) in sends {
+            now = now + SimDuration::from_millis(gap_ms);
+            let backlog_before = ch.backlog_bits(now);
+            prop_assert!(backlog_before >= -1e-6);
+            match ch.try_send(now, bits as f64) {
+                Ok(arrival) => {
+                    // serialisation + propagation is a hard lower bound
+                    let min = now + rate.time_to_send(bits as f64) + delay;
+                    prop_assert!(arrival >= min);
+                    // FIFO: arrivals are monotone
+                    prop_assert!(arrival >= last_arrival);
+                    last_arrival = arrival;
+                }
+                Err(e) => {
+                    prop_assert!(e.would_wait > SimDuration::from_millis(200));
+                }
+            }
+        }
+        prop_assert!(ch.utilisation(SimDuration::from_secs(3600)) <= 1.0);
+    }
+
+    /// Weighted CDF sanity: `fraction_le` is monotone and quantiles live
+    /// inside the sample range.
+    #[test]
+    fn weighted_cdf_monotone(
+        samples in proptest::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..100),
+        probes in proptest::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        use inrpp_flowsim::metrics::WeightedCdf;
+        let mut cdf = WeightedCdf::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(v, w) in &samples {
+            cdf.record(v, w);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mut sorted = probes.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let f = cdf.fraction_le(x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            prop_assert!(f >= prev - 1e-12, "fraction_le not monotone");
+            prev = f;
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let v = cdf.quantile(q).expect("non-empty");
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// The phase machine's output is always justified by its inputs.
+    #[test]
+    fn phase_machine_consistency(
+        steps in proptest::collection::vec(
+            (0.0f64..30.0, 0.1f64..20.0, proptest::bool::ANY, 0.0f64..1.0),
+            1..50,
+        ),
+    ) {
+        use inrpp::config::InrppConfig;
+        use inrpp::phase::{Phase, PhaseController, PhaseInputs};
+        let cfg = InrppConfig::default();
+        let mut ctl = PhaseController::new(cfg);
+        for (ant, cap, detour, fill) in steps {
+            let inputs = PhaseInputs {
+                anticipated: Rate::mbps(ant),
+                capacity: Rate::mbps(cap),
+                detour_available: detour,
+                cache_fill: fill,
+            };
+            let phase = ctl.update(inputs);
+            let pressure = ant / cap;
+            let cache_hot = fill >= cfg.cache_pressure_threshold;
+            match phase {
+                Phase::PushData => {
+                    // only reachable when pressure is below the enter
+                    // threshold and the cache is cool
+                    prop_assert!(pressure < cfg.detour_enter + 1e-9);
+                    prop_assert!(!cache_hot);
+                }
+                Phase::Detour => {
+                    prop_assert!(detour, "detour phase without detours");
+                    prop_assert!(!cache_hot);
+                    prop_assert!(pressure > cfg.detour_exit - 1e-9);
+                }
+                Phase::BackPressure => {
+                    prop_assert!(
+                        cache_hot || (!detour && pressure > cfg.detour_exit - 1e-9)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Receiver/sender harmony: for any anticipation window and object
+    /// size, the self-clocked pipeline delivers the whole object with
+    /// exactly one request per chunk.
+    #[test]
+    fn endpoint_pipeline_completes(total in 1u64..300, ac in 0u64..40) {
+        use inrpp::endpoint::{Receiver, Request, Sender};
+        let mut rx = Receiver::new(total, ac);
+        let mut tx = Sender::new(0);
+        tx.register(1, total);
+        let mut requests = 1u64;
+        tx.on_request(1, rx.initial_request());
+        let mut delivered = 0u64;
+        let mut guard = 0u64;
+        while !rx.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 10 * total + 10, "pipeline wedged");
+            let Some((flow, chunk)) = tx.next_chunk() else {
+                prop_assert!(false, "sender stalled before completion");
+                break;
+            };
+            prop_assert_eq!(flow, 1);
+            let out = rx.on_chunk(chunk);
+            prop_assert!(!out.duplicate);
+            delivered += 1;
+            if let Some(req) = out.request {
+                requests += 1;
+                tx.on_request(1, Request { ..req });
+            }
+        }
+        prop_assert_eq!(delivered, total);
+        // one initial request + one per chunk until the window covers all
+        prop_assert!(requests <= total + 1);
+    }
+
+    /// Fuzz the packet engine: random tiny topologies and transfers must
+    /// complete without panics, drops beyond fault injection, or custody
+    /// leaks.
+    #[test]
+    fn packet_engine_fuzz(
+        seed in 0u64..64,
+        n in 4usize..10,
+        extra in 2usize..10,
+        nflows in 1usize..4,
+    ) {
+        use inrpp_packetsim::{PacketSim, PacketSimConfig, TransferSpec};
+        let topo = random_topology(n, extra, seed);
+        let mut rng = SimRng::from_seed_u64(seed ^ 0xBEEF);
+        let mut sim = PacketSim::new(
+            &topo,
+            PacketSimConfig {
+                horizon: SimDuration::from_secs(120),
+                ..PacketSimConfig::default()
+            },
+        );
+        let mut added = 0u64;
+        for f in 0..nflows {
+            let src = NodeId(rng.index(n) as u32);
+            let dst = NodeId(rng.index(n) as u32);
+            if src == dst {
+                continue;
+            }
+            sim.add_transfer(TransferSpec {
+                flow: f as u64 + 1,
+                src,
+                dst,
+                chunks: 20 + rng.index(60) as u64,
+                start: SimTime::from_millis(rng.index(100) as u64),
+            });
+            added += 1;
+        }
+        prop_assume!(added > 0);
+        let r = sim.run();
+        prop_assert_eq!(r.completed() as u64, added, "{}", r.summary());
+        prop_assert_eq!(r.chunks_dropped, 0, "no faults configured: {}", r.summary());
+        for f in &r.flows {
+            prop_assert_eq!(f.chunks_delivered, f.chunks_total);
+        }
+    }
+
+    /// Generated paths from the INRP strategy are always simple, start and
+    /// end correctly, and respect the subpath cap.
+    #[test]
+    fn inrp_paths_wellformed(n in 5usize..16, extra in 2usize..16, seed in 0u64..200) {
+        use inrpp_flowsim::strategy::{InrpStrategy, RoutingStrategy};
+        let topo = random_topology(n, extra, seed);
+        let strat = InrpStrategy::with_defaults(&topo);
+        let mut rng = SimRng::from_seed_u64(seed);
+        for key in 0..8u64 {
+            let src = NodeId(rng.index(n) as u32);
+            let dst = NodeId(rng.index(n) as u32);
+            if src == dst {
+                continue;
+            }
+            let paths = strat.paths_for(&topo, src, dst, key);
+            for p in &paths {
+                prop_assert!(p.is_simple());
+                prop_assert_eq!(p.source(), src);
+                prop_assert_eq!(p.target(), dst);
+                let _ = p.links(&topo); // must be walkable
+            }
+            if !paths.is_empty() {
+                for w in paths.windows(2).skip(1) {
+                    prop_assert!(w[0].hops() <= w[1].hops());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Smoke test of the `inrpp-suite` umbrella crate: the re-exported API
+//! surface must be reachable through one dependency, which is how the
+//! examples consume the workspace.
+
+#[test]
+fn umbrella_reexports_reach_every_crate() {
+    // topology
+    let topo = inrpp_suite::inrpp_topology::Topology::fig3();
+    assert_eq!(topo.node_count(), 4);
+    // sim substrate
+    let jain = inrpp_suite::inrpp_sim::metrics::JainIndex::compute(&[5.0, 5.0]);
+    assert_eq!(jain, Some(1.0));
+    // cache
+    let hold = inrpp_suite::inrpp_cache::sizing::holding_time(
+        inrpp_suite::inrpp_sim::units::ByteSize::gb(10),
+        inrpp_suite::inrpp_sim::units::Rate::gbps(40.0),
+    );
+    assert_eq!(hold, inrpp_suite::inrpp_sim::time::SimDuration::from_secs(2));
+    // core
+    let out = inrpp_suite::inrpp::fairness::fig3_outcome();
+    assert!((out.inrpp_jain - 1.0).abs() < 1e-6);
+    // flowsim types are nameable
+    let _cfg = inrpp_suite::inrpp_flowsim::FlowSimConfig::default();
+    // packetsim types are nameable
+    let _cfg = inrpp_suite::inrpp_packetsim::PacketSimConfig::default();
+}
