@@ -367,8 +367,10 @@ pub fn ablation_interval(intervals_ms: &[u64]) -> Vec<(u64, f64, u64)> {
         .iter()
         .map(|&ms| {
             let topo = Topology::fig3();
-            let mut ic = InrppConfig::default();
-            ic.interval = SimDuration::from_millis(ms);
+            let ic = InrppConfig {
+                interval: SimDuration::from_millis(ms),
+                ..InrppConfig::default()
+            };
             let cfg = PacketSimConfig {
                 transport: TransportKind::Inrpp(ic),
                 horizon: SimDuration::from_secs(60),

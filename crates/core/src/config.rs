@@ -124,6 +124,9 @@ impl InrppConfig {
 }
 
 #[cfg(test)]
+// The tests below deliberately start from a valid default and break one
+// field at a time, which is exactly the pattern this lint dislikes.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 

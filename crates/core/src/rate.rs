@@ -92,7 +92,7 @@ impl RateEstimator {
                 row.iter_mut().for_each(|v| *v = 0.0);
             }
             self.closed_len = self.interval;
-            self.window_start = self.window_start + self.interval;
+            self.window_start += self.interval;
         }
     }
 

@@ -156,7 +156,7 @@ impl<'a> FlowSim<'a> {
                     *util_weighted += a.mean_utilisation(topo) * dt;
                     for (w, u) in chan_weighted
                         .iter_mut()
-                        .zip(a.dir_utilisation(topo).into_iter())
+                        .zip(a.dir_utilisation(topo))
                     {
                         *w += u * dt;
                     }

@@ -124,7 +124,7 @@ impl Workload {
         let mut t = SimTime::ZERO;
         let mut id = 0u64;
         loop {
-            t = t + arrivals.next_gap(&mut rng);
+            t += arrivals.next_gap(&mut rng);
             if t.duration_since(SimTime::ZERO) >= duration {
                 break;
             }

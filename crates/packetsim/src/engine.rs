@@ -165,12 +165,12 @@ impl<'a> PacketSim<'a> {
             spec.src,
             spec.dst
         );
-        let supported = match (kind, &self.config.transport) {
+        let supported = matches!(
+            (kind, &self.config.transport),
             (FlowTransport::Inrpp, TransportKind::Inrpp(_))
-            | (FlowTransport::Aimd, TransportKind::Aimd(_))
-            | (_, TransportKind::Mixed { .. }) => true,
-            _ => false,
-        };
+                | (FlowTransport::Aimd, TransportKind::Aimd(_))
+                | (_, TransportKind::Mixed { .. })
+        );
         assert!(
             supported,
             "flow transport {kind:?} has no configuration under {:?}",
@@ -909,11 +909,7 @@ impl<'a> Runner<'a> {
         let pace = self.cfg.chunk_bytes.as_bits() as f64 * 4.0;
         let mut blocked_drain: Option<SimTime> = None;
         // retransmissions first
-        loop {
-            let Some(&(flow, chunk)) = self.retransmit.get(&node).and_then(|q| q.front())
-            else {
-                break;
-            };
+        while let Some(&(flow, chunk)) = self.retransmit.get(&node).and_then(|q| q.front()) {
             let first_hop = self.flows[&flow].route[1];
             let d = self.dir_between(node, first_hop);
             if self.channels[d].backlog_bits(now) > pace {
@@ -1139,8 +1135,7 @@ impl<'a> Runner<'a> {
             }
         }
         // cannot borrow self in closure and call methods: drive manually
-        loop {
-            let Some((now, ev)) = eng.next() else { break };
+        while let Some((now, ev)) = eng.next() {
             match ev {
                 Ev::Start(f) => {
                     self.start_flow(&mut eng, now, f);

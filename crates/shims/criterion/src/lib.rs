@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! crate implements the subset of criterion's API the `crates/bench/benches/`
+//! files use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_with_input` / `bench_function` / `finish`, [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a *measurement sketch*, not a statistics engine: each benchmark is
+//! warmed up briefly, timed over a capped wall-clock window, and reported as
+//! a single mean ns/iter line on stdout. Numbers are for eyeballing relative
+//! cost, not for publication — swap in real criterion when crates.io access
+//! exists.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint that stops the optimiser from deleting a benchmark body.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+    /// Iterations actually executed.
+    iters: u64,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean cost per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: batches of doubling size until the window closes.
+        let mut total_iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let measure_start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+            batch = (batch * 2).min(1 << 20);
+            elapsed = measure_start.elapsed();
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / total_iters as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Set the target sample count (accepted for API compatibility; the
+    /// stub's timing loop is wall-clock-bounded instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            // Cap the stub's windows so `cargo bench` over many benches
+            // stays fast regardless of what the bench files request.
+            warm_up: self.warm_up.min(Duration::from_millis(100)),
+            measurement: self.measurement.min(Duration::from_millis(300)),
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{:<40} {:>14.1} ns/iter  ({} iters)",
+            self.name, id, b.mean_ns, b.iters
+        );
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.id.clone();
+        self.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labelled by `id`.
+    pub fn bench_function<Id: Into<BenchmarkId>, F>(&mut self, id: Id, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().id;
+        self.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Finish the group (no-op in the stub; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmark a standalone function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function("default", f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+}

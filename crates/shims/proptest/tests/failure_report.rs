@@ -1,0 +1,37 @@
+//! The failure path of the `proptest!` macro: inputs are re-sampled from the
+//! rng snapshot and attached to the panic message, and `prop_assume!`
+//! rejections draw replacement cases instead of failing.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The replayed inputs in the panic message must be the ones the body
+    /// saw. `x` is drawn from a singleton range, so the report is exact.
+    #[test]
+    #[should_panic(expected = "inputs: x = 7; ")]
+    fn failing_case_reports_its_inputs(x in 7u64..8) {
+        prop_assert!(x != 7, "triggered on {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "triggered on 7")]
+    fn failure_message_carries_the_assert_format(x in 7u64..8) {
+        prop_assert!(x != 7, "triggered on {x}");
+    }
+
+    /// Assumptions filter, bodies still run for the surviving cases.
+    #[test]
+    fn assume_rejects_draw_replacements(x in 0u64..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+
+    /// Multi-argument case: every argument appears in the report.
+    #[test]
+    #[should_panic(expected = "b = ")]
+    fn all_arguments_reported(a in 0u64..4, b in 0u64..4) {
+        prop_assert!(a + b > 100, "always fails");
+    }
+}

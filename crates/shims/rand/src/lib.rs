@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! crate vendors the *trait surface* the tree actually uses — nothing more:
+//!
+//! * [`RngCore`] — the raw generator interface (`next_u32` / `next_u64` /
+//!   `fill_bytes`);
+//! * [`SeedableRng`] — byte-seed construction plus the SplitMix64-based
+//!   `seed_from_u64` default;
+//! * [`Rng`] — the extension trait providing `random_range`, blanket-
+//!   implemented for every [`RngCore`].
+//!
+//! `inrpp-sim`'s [`SimRng`] deliberately implements its *own* xoshiro256\*\*
+//! so simulation streams never depend on this crate's (or upstream rand's)
+//! algorithms; only the trait signatures matter here. Method semantics match
+//! rand 0.9 closely enough for the workspace's tests, but the bit streams of
+//! `random_range` are NOT guaranteed to match upstream rand — nothing
+//! determinism-sensitive may rely on them (and nothing in-tree does: all
+//! simulation draws go through `SimRng`'s inherent methods).
+
+/// The core generator interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The byte-array seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build a generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (the same scheme
+    /// upstream rand documents) and construct from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A range usable with [`Rng::random_range`], mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw a single uniform value from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+    /// True when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Modulo draw from 64 bits: bias < 2^-64 * span, irrelevant
+                // for the stub's users (tests and workload sampling helpers).
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "random_range: empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 128-bit type cannot
+                    // occur for the types below; treat as raw draw.
+                    return rng.next_u64() as $t;
+                }
+                let v = (rng.next_u64() as u128) % span;
+                (start as u128).wrapping_add(v) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                // 53-bit uniform in [0, 1), scaled into the range.
+                let f = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = self.start as f64 + f * (self.end as f64 - self.start as f64);
+                // Scaling can land exactly on `end` after rounding; clamp back
+                // into the half-open interval.
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+            fn is_empty_range(&self) -> bool {
+                // NaN endpoints also make the range empty.
+                self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            f < p
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..10_000 {
+            let a: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&a));
+            let b: f64 = rng.random_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&b));
+            let c: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&c));
+            let d: u8 = rng.random_range(0u8..=255);
+            let _ = d;
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Echo([u8; 32]);
+        impl SeedableRng for Echo {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Echo(seed)
+            }
+        }
+        let a = Echo::seed_from_u64(7);
+        let b = Echo::seed_from_u64(7);
+        assert_eq!(a.0, b.0);
+        let c = Echo::seed_from_u64(8);
+        assert_ne!(a.0, c.0);
+    }
+}

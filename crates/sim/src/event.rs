@@ -248,6 +248,11 @@ impl<E> Engine<E> {
     ///
     /// Returns `None` when the queue is empty or the next event lies beyond
     /// the horizon (in which case the clock is parked at the horizon).
+    ///
+    /// Named like `Iterator::next` on purpose — the engine is driven as a
+    /// poll loop — but it is not an `Iterator` because callers need `&mut
+    /// self` access between polls.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let t = self.queue.peek_time()?;
         if let Some(h) = self.horizon {

@@ -87,9 +87,16 @@ pub fn read_topology(text: &str) -> Result<Topology, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("topology") => {
-                let name = parts
-                    .next()
-                    .ok_or_else(|| err(lineno, "topology needs a name".into()))?;
+                // The name is the whole rest of the line: generated ISP
+                // names contain spaces ("VSNL (IN)"), and truncating them
+                // here would silently break the write/read round trip.
+                let name = line
+                    .strip_prefix("topology")
+                    .expect("matched directive")
+                    .trim();
+                if name.is_empty() {
+                    return Err(err(lineno, "topology needs a name".into()));
+                }
                 topo = Topology::new(name);
             }
             Some("node") => {
@@ -197,5 +204,106 @@ mod tests {
 
         let e = read_topology("node a wizard\n").unwrap_err();
         assert!(e.message.contains("unknown tier"));
+    }
+
+    #[test]
+    fn malformed_link_lines_rejected() {
+        // missing delay field
+        let e = read_topology("node a\nnode b\nlink a b 1000\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("delay"), "{e}");
+
+        // non-numeric delay
+        let e = read_topology("node a\nnode b\nlink a b 1000 soon\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad delay"), "{e}");
+
+        // only one endpoint
+        let e = read_topology("node a\nlink a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("endpoints"), "{e}");
+
+        // nameless topology directive
+        let e = read_topology("topology\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("name"), "{e}");
+
+        // negative capacity never parses as u64
+        let e = read_topology("node a\nnode b\nlink a b -5 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad capacity"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_links_rejected_with_line_numbers() {
+        let text = "topology t\nnode a\nnode b\nlink a b 1000 1\nlink a b 2000 2\n";
+        let e = read_topology(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate link"), "{e}");
+
+        // order of endpoints must not evade the duplicate check
+        let text = "topology t\nnode a\nnode b\nlink a b 1000 1\nlink b a 2000 2\n";
+        let e = read_topology(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate link"), "{e}");
+    }
+
+    #[test]
+    fn self_loop_links_rejected() {
+        let e = read_topology("node a\nlink a a 1000 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("self-loop"), "{e}");
+    }
+
+    #[test]
+    fn disconnected_graphs_roundtrip_without_silent_repair() {
+        // io must neither reject nor "fix" a disconnected graph: the
+        // serialised form carries exactly the structure it was given, and
+        // connectivity analysis stays the caller's job.
+        let mut t = Topology::new("islands");
+        let ids = t.add_nodes(4);
+        t.add_link(
+            ids[0],
+            ids[1],
+            Rate::bps(1000.0),
+            SimDuration::from_nanos(10),
+        )
+        .unwrap();
+        t.add_link(
+            ids[2],
+            ids[3],
+            Rate::bps(2000.0),
+            SimDuration::from_nanos(20),
+        )
+        .unwrap();
+        assert!(!t.is_connected());
+
+        let text = write_topology(&t);
+        let back = read_topology(&text).unwrap();
+        assert_eq!(back.node_count(), 4);
+        assert_eq!(back.link_count(), 2);
+        assert!(!back.is_connected(), "roundtrip must not invent links");
+        // a second write is a fixed point: parse/render is idempotent
+        assert_eq!(write_topology(&back), text);
+    }
+
+    #[test]
+    fn multi_word_topology_names_roundtrip() {
+        // The Rocketfuel generators name topologies "VSNL (IN)" etc.; the
+        // name must survive the documented export -> read_topology cycle.
+        let t = Topology::new("VSNL (IN)");
+        let text = write_topology(&t);
+        let back = read_topology(&text).unwrap();
+        assert_eq!(back.name(), "VSNL (IN)");
+        assert_eq!(write_topology(&back), text);
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_give_empty_topology() {
+        for text in ["", "\n\n", "# only a comment\n", "  \n# x\n\n"] {
+            let t = read_topology(text).unwrap();
+            assert_eq!(t.node_count(), 0, "input {text:?}");
+            assert_eq!(t.link_count(), 0, "input {text:?}");
+        }
     }
 }

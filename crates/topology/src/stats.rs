@@ -254,8 +254,8 @@ mod tests {
         let b = betweenness(&t);
         // hub is on all C(4,2) = 6 leaf pairs
         assert!((b[0] - 6.0).abs() < 1e-9, "{b:?}");
-        for leaf in 1..5 {
-            assert_eq!(b[leaf], 0.0);
+        for &leaf_score in &b[1..5] {
+            assert_eq!(leaf_score, 0.0);
         }
     }
 

@@ -224,7 +224,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_arrival = SimTime::ZERO;
         for (bits, gap_ms) in sends {
-            now = now + SimDuration::from_millis(gap_ms);
+            now += SimDuration::from_millis(gap_ms);
             let backlog_before = ch.backlog_bits(now);
             prop_assert!(backlog_before >= -1e-6);
             match ch.try_send(now, bits as f64) {
