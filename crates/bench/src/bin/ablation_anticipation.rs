@@ -2,23 +2,13 @@
 //! receivers request? Measured as the completion time of a bottlenecked
 //! transfer on the Fig. 3 network (packet-level simulation).
 //!
+//! Thin wrapper over the `ablation-anticipation` sweep — equivalent to
+//! `inrpp run ablation-anticipation`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_anticipation
 //! ```
 
-use inrpp_bench::experiments::ablation_anticipation;
-use inrpp_bench::table::{f, Table};
-
 fn main() {
-    println!("A2 — Anticipation window sweep (Fig. 3 network, 600-chunk flow 1->4)\n");
-    let res = ablation_anticipation(&[0, 1, 2, 4, 8, 16, 32]);
-    let mut t = Table::new(vec!["A_c (chunks)", "flow completion time"]);
-    for (ac, fct) in &res {
-        t.row(vec![ac.to_string(), format!("{}s", f(*fct, 3))]);
-    }
-    println!("{}", t.render());
-    println!(
-        "expectation: tiny windows starve the pipe (request-rate limited); \
-         larger windows approach the pooled-capacity completion time"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-anticipation");
 }

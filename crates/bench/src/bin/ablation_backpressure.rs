@@ -3,43 +3,13 @@
 //! model — the paper's claim that in-network pooling "moves traffic faster
 //! without causing packet drops".
 //!
+//! Thin wrapper over the `ablation-backpressure` sweep — equivalent to
+//! `inrpp run ablation-backpressure`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_backpressure
 //! ```
 
-use inrpp_bench::experiments::ablation_transport;
-use inrpp_bench::table::{f, Table};
-
 fn main() {
-    println!("A4 — INRPP vs AIMD on the Fig. 3 bottleneck (800-chunk flow 1->4)\n");
-    let (inrpp, aimd) = ablation_transport();
-    let mut t = Table::new(vec![
-        "transport",
-        "FCT",
-        "goodput",
-        "drops",
-        "detoured",
-        "custodied",
-        "bp msgs",
-        "retransmits",
-    ]);
-    for r in [&inrpp, &aimd] {
-        let fct = r.flows[0].fct().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
-        let bits = r.flows[0].chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64;
-        t.row(vec![
-            r.transport.clone(),
-            format!("{}s", f(fct, 2)),
-            format!("{} Mbps", f(bits / fct / 1e6, 2)),
-            r.chunks_dropped.to_string(),
-            r.chunks_detoured.to_string(),
-            r.chunks_custodied.to_string(),
-            r.backpressure_msgs.to_string(),
-            r.flows[0].retransmits.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "expectation: INRPP finishes faster (pooling the node-3 path) and \
-         without loss; AIMD is capped by the 2 Mbps bottleneck"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-backpressure");
 }

@@ -1,23 +1,13 @@
 //! **Ablation A3** — custody budget: drops vs custody hand-offs as the
 //! cache shrinks below / grows beyond the bottleneck BDP under overload.
 //!
+//! Thin wrapper over the `ablation-cache-size` sweep — equivalent to
+//! `inrpp run ablation-cache-size`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_cache_size
 //! ```
 
-use inrpp_bench::experiments::ablation_cache_size;
-use inrpp_bench::table::Table;
-
 fn main() {
-    println!("A3 — Custody budget sweep (Fig. 3 network, 2 overloading flows)\n");
-    let res = ablation_cache_size(&[0.1, 0.5, 1.0, 2.0, 10.0, 100.0]);
-    let mut t = Table::new(vec!["budget (x BDP)", "chunks dropped", "chunks custodied"]);
-    for (m, dropped, custodied) in &res {
-        t.row(vec![m.to_string(), dropped.to_string(), custodied.to_string()]);
-    }
-    println!("{}", t.render());
-    println!(
-        "expectation: more custody headroom absorbs bursts that would \
-         otherwise drop; beyond a few BDP the benefit flattens"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-cache-size");
 }

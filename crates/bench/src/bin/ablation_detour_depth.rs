@@ -1,44 +1,13 @@
 //! **Ablation A1** — detour depth: how much of URP's Fig. 4a gain comes
 //! from 1-hop detours vs the recursive "one extra hop"?
 //!
+//! Thin wrapper over the `ablation-detour-depth` sweep — equivalent to
+//! `inrpp run ablation-detour-depth`; accepts `--quick` and `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_detour_depth [--quick]
 //! ```
 
-use inrpp_bench::experiments::{ablation_detour_depth, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp::scenario::Fig4Config;
-use inrpp_sim::time::SimDuration;
-use inrpp_topology::rocketfuel::Isp;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(4),
-            load: 1.5,
-            mean_flow_bits: 80e6,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    println!("A1 — Detour depth sweep (Exodus, load {}x)\n", cfg.load);
-    let res = ablation_detour_depth(Isp::Exodus, &cfg, &[0, 1, 2]);
-    let base = res[0].1;
-    let mut t = Table::new(vec!["detour depth", "throughput", "gain over SP"]);
-    for (depth, thr) in &res {
-        let label = match depth {
-            0 => "0 (= SP baseline)".to_string(),
-            1 => "1 hop".to_string(),
-            d => format!("{d} hops (paper's Fig. 4 setup)"),
-        };
-        t.row(vec![
-            label,
-            f(*thr, 3),
-            format!("{:+.1}%", 100.0 * (thr - base) / base),
-        ]);
-    }
-    println!("{}", t.render());
+    inrpp_bench::sweeps::legacy_main("ablation-detour-depth");
 }

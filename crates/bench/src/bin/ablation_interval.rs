@@ -2,27 +2,13 @@
 //! the anticipated-rate accounting window (the paper's footnote 4 leaves
 //! the setting open and suggests the mean chunk RTT).
 //!
+//! Thin wrapper over the `ablation-interval` sweep — equivalent to
+//! `inrpp run ablation-interval`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_interval
 //! ```
 
-use inrpp_bench::experiments::ablation_interval;
-use inrpp_bench::table::{f, Table};
-
 fn main() {
-    println!("A5 — Estimator interval sweep (Fig. 3 network, 600-chunk flow)\n");
-    let res = ablation_interval(&[10, 25, 50, 100, 200, 400]);
-    let mut t = Table::new(vec!["T_i (ms)", "FCT", "chunks detoured"]);
-    for (ms, fct, detoured) in &res {
-        t.row(vec![
-            ms.to_string(),
-            format!("{}s", f(*fct, 3)),
-            detoured.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "expectation: FCT is broadly insensitive (detouring is also queue- \
-         triggered); very long windows react sluggishly at flow start"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-interval");
 }

@@ -3,53 +3,13 @@
 //! should degrade more gracefully — the resilience half of the resource
 //! pooling argument.
 //!
+//! Thin wrapper over the `ablation-link-failure` sweep — equivalent to
+//! `inrpp run ablation-link-failure`; accepts `--quick` and `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_link_failure [--quick]
 //! ```
 
-use inrpp::scenario::Fig4Config;
-use inrpp_bench::experiments::{ablation_link_failure, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp_sim::time::SimDuration;
-use inrpp_topology::rocketfuel::Isp;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(3),
-            mean_flow_bits: 60e6,
-            load: 1.0,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    println!("A8 — Link-failure robustness (Exodus, load {}x)\n", cfg.load);
-    let rows = ablation_link_failure(Isp::Exodus, &cfg, &[0.0, 0.05, 0.1, 0.2]);
-    let mut t = Table::new(vec!["links failed", "SP", "URP", "URP edge"]);
-    for (frac, sp, urp) in &rows {
-        if sp.is_nan() {
-            t.row(vec![
-                format!("{:.0}%", frac * 100.0),
-                "(partitioned)".to_string(),
-                String::new(),
-                String::new(),
-            ]);
-            continue;
-        }
-        t.row(vec![
-            format!("{:.0}%", frac * 100.0),
-            f(*sp, 3),
-            f(*urp, 3),
-            format!("{:+.1}%", 100.0 * (urp - sp) / sp),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "reading: URP's detour machinery keeps soaking up capacity lost to \
-         failures; SP throughput falls with every shortest-path tree the \
-         failures break"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-link-failure");
 }

@@ -2,45 +2,13 @@
 //! crosses the network's carrying capacity. At light load both deliver
 //! everything (no gain); the pooling dividend appears as links saturate.
 //!
+//! Thin wrapper over the `ablation-load-sweep` sweep — equivalent to
+//! `inrpp run ablation-load-sweep`; accepts `--quick` and `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin ablation_load_sweep [--quick]
 //! ```
 
-use inrpp::scenario::Fig4Config;
-use inrpp_bench::experiments::{load_sweep, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp_sim::time::SimDuration;
-use inrpp_topology::rocketfuel::Isp;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let base = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(3),
-            mean_flow_bits: 60e6,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    println!("A7 — Load sweep on Exodus (URP gain vs offered load)\n");
-    let loads = [0.1, 0.25, 0.5, 1.0, 1.5, 2.0];
-    let rows = load_sweep(Isp::Exodus, &base, &loads);
-    let mut t = Table::new(vec!["load (x capacity proxy)", "SP", "URP", "URP gain"]);
-    for (load, sp, urp, gain) in &rows {
-        t.row(vec![
-            load.to_string(),
-            f(*sp, 3),
-            f(*urp, 3),
-            format!("{gain:+.1}%"),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "reading: near-zero gain while the network carries everything, a \
-         pooling peak at moderate congestion, and a declining dividend \
-         under deep overload — once the detour paths saturate too, no \
-         routing scheme can manufacture capacity"
-    );
+    inrpp_bench::sweeps::legacy_main("ablation-load-sweep");
 }

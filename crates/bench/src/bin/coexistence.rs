@@ -3,37 +3,13 @@
 //! Fig. 3 bottleneck alone, next to a second AIMD flow, and next to an
 //! INRPP flow, measuring how much goodput each companion costs it.
 //!
+//! Thin wrapper over the `coexistence` sweep — equivalent to
+//! `inrpp run coexistence`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin coexistence
 //! ```
 
-use inrpp_bench::experiments::coexistence;
-use inrpp_bench::table::{f, Table};
-
 fn main() {
-    println!("A6 — Coexistence: does INRPP starve an AIMD (TCP-like) flow?\n");
-    let rows = coexistence();
-    let mut t = Table::new(vec![
-        "scenario",
-        "AIMD probe goodput",
-        "companion goodput",
-        "drops",
-    ]);
-    for r in &rows {
-        t.row(vec![
-            r.scenario.to_string(),
-            format!("{} Mbps", f(r.aimd_goodput / 1e6, 2)),
-            r.companion_goodput
-                .map(|g| format!("{} Mbps", f(g / 1e6, 2)))
-                .unwrap_or_else(|| "-".to_string()),
-            r.drops.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "reading: an INRPP companion pools the node-3 side path instead of \
-         fighting for the 2 Mbps bottleneck, so the AIMD probe keeps (at \
-         least) its fair share — in-network pooling is TCP-friendly by \
-         construction"
-    );
+    inrpp_bench::sweeps::legacy_main("coexistence");
 }

@@ -2,28 +2,13 @@
 //! cache after a 40Gbps link can hold incoming traffic for 2 seconds",
 //! plus a link-rate × cache-size feasibility sweep.
 //!
+//! Thin wrapper over the `custody` sweep — equivalent to
+//! `inrpp run custody`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin custody_feasibility
 //! ```
 
-use inrpp_bench::experiments::custody_feasibility;
-use inrpp_bench::table::Table;
-
 fn main() {
-    let (headline, rows) = custody_feasibility();
-    println!("C1 — Custody-cache feasibility (paper §3.3)\n");
-    println!(
-        "headline: 10 GB cache behind a 40 Gbps link holds line-rate traffic for {headline} \
-         (paper: 2 seconds)\n"
-    );
-    let mut t = Table::new(vec!["link", "cache", "holding time", ">= 500ms RTT budget"]);
-    for r in &rows {
-        t.row(vec![
-            r.link.to_string(),
-            r.cache.to_string(),
-            r.holding.to_string(),
-            if r.feasible { "yes" } else { "no" }.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
+    inrpp_bench::sweeps::legacy_main("custody");
 }

@@ -1,6 +1,9 @@
 //! Exports the nine calibrated ISP topologies as plain-text edge lists —
 //! the reproduction's stand-in for redistributing Rocketfuel map files.
 //!
+//! Thin wrapper over the `export-topologies` sweep — equivalent to
+//! `inrpp run export-topologies --out <dir>`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin export_topologies [dir]
 //! ```
@@ -8,39 +11,6 @@
 //! Writes `<dir>/<isp>.topo` (default `./data`), one file per ISP, in the
 //! format parsed by `inrpp_topology::io::read_topology`.
 
-use std::fs;
-use std::path::PathBuf;
-
-use inrpp_bench::experiments::SEED;
-use inrpp_topology::io::write_topology;
-use inrpp_topology::rocketfuel::{generate_isp, Isp};
-use inrpp_topology::stats::graph_stats;
-
 fn main() {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "data".to_string())
-        .into();
-    fs::create_dir_all(&dir).expect("create output directory");
-    for isp in Isp::all() {
-        let topo = generate_isp(isp, SEED);
-        let stats = graph_stats(&topo);
-        let slug: String = isp
-            .name()
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric())
-            .collect::<String>()
-            .to_ascii_lowercase();
-        let path = dir.join(format!("{slug}.topo"));
-        fs::write(&path, write_topology(&topo)).expect("write topology file");
-        println!(
-            "{:<24} -> {} ({} nodes, {} links, diameter {:?})",
-            isp.name(),
-            path.display(),
-            stats.nodes,
-            stats.links,
-            stats.diameter
-        );
-    }
-    println!("\nreload with inrpp_topology::io::read_topology(&fs::read_to_string(path)?)");
+    inrpp_bench::sweeps::legacy_main("export-topologies");
 }

@@ -4,6 +4,9 @@
 //! This binary runs all three on the Fig. 4 topologies under the same
 //! workload.
 //!
+//! Thin wrapper over the `fig2` sweep — equivalent to `inrpp run fig2`;
+//! accepts `--quick` and `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin fig2_regimes [--quick]
 //! ```
@@ -16,54 +19,6 @@
 //! no end-host path control and no multihoming, and additionally pools
 //! cache space — advantages invisible at the fluid level.
 
-use inrpp::scenario::Fig4Config;
-use inrpp_bench::experiments::{fig2_regimes, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp_sim::time::SimDuration;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(4),
-            load: 1.25,
-            mean_flow_bits: 80e6,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    println!(
-        "Fig. 2 regimes — single path vs e2e multipath vs in-network pooling (load {}x)\n",
-        cfg.load
-    );
-    let rows = fig2_regimes(&cfg);
-    let mut t = Table::new(vec![
-        "topology",
-        "(i) SP",
-        "(ii) MPTCP",
-        "(iii) URP",
-        "MPTCP vs SP",
-        "URP vs SP",
-    ]);
-    for (name, sp, mptcp, urp) in &rows {
-        t.row(vec![
-            name.clone(),
-            f(*sp, 3),
-            f(*mptcp, 3),
-            f(*urp, 3),
-            format!("{:+.1}%", 100.0 * (mptcp - sp) / sp),
-            format!("{:+.1}%", 100.0 * (urp - sp) / sp),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "reading: both pooling regimes clearly beat single-path routing. \
-         The MPTCP column is an idealised upper bound (perfect disjoint \
-         end-to-end path control, which IP does not give end-hosts); URP \
-         reaches the same regime with purely local, in-network decisions \
-         and no multihoming requirement — the paper's deployability \
-         argument, quantified"
-    );
+    inrpp_bench::sweeps::legacy_main("fig2");
 }

@@ -1,34 +1,12 @@
 //! Regenerates the **Fig. 3 worked example**: e2e flow control vs INRPP on
 //! the 4-node topology — per-flow rates and Jain's fairness index.
 //!
+//! Thin wrapper over the `fig3` sweep — equivalent to `inrpp run fig3`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin fig3_fairness
 //! ```
 
-use inrpp_bench::experiments::fig3;
-use inrpp_bench::table::{f, Table};
-
 fn main() {
-    let out = fig3();
-    println!("Fig. 3 — Global Fairness vs e2e Flow Control\n");
-    let mut t = Table::new(vec!["scheme", "flow 1->4", "flow 1->3", "Jain", "(paper)"]);
-    t.row(vec![
-        "e2e (TCP-like)".to_string(),
-        format!("{} Mbps", f(out.e2e_rates[0] / 1e6, 2)),
-        format!("{} Mbps", f(out.e2e_rates[1] / 1e6, 2)),
-        f(out.e2e_jain, 3),
-        "0.73".to_string(),
-    ]);
-    t.row(vec![
-        "INRPP".to_string(),
-        format!("{} Mbps", f(out.inrpp_rates[0] / 1e6, 2)),
-        format!("{} Mbps", f(out.inrpp_rates[1] / 1e6, 2)),
-        f(out.inrpp_jain, 3),
-        "1.00".to_string(),
-    ]);
-    println!("{}", t.render());
-    println!(
-        "paper expectation: e2e rates (2, 8) Mbps; INRPP rates (5, 5) Mbps \
-         with 3 Mbps detoured via node 3"
-    );
+    inrpp_bench::sweeps::legacy_main("fig3");
 }

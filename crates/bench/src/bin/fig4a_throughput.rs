@@ -2,81 +2,17 @@
 //! URP (INRP) on the Telstra, Exodus and Tiscali topologies under Poisson
 //! overload.
 //!
+//! Thin wrapper over the `fig4a` sweep — equivalent to `inrpp run fig4a`;
+//! accepts `--quick`, `--seeds N` (seed-aggregated variant, one cell per
+//! topology × seed), and `--threads N`.
+//!
 //! ```text
-//! cargo run --release -p inrpp-bench --bin fig4a_throughput [--quick]
+//! cargo run --release -p inrpp-bench --bin fig4a_throughput [--quick] [--seeds N]
 //! ```
 //!
 //! The paper reports URP gaining 9–15% over SP with ECMP in between; the
 //! run prints measured gains next to that expectation.
 
-use inrpp::scenario::Fig4Config;
-use inrpp_bench::experiments::{fig4a, fig4a_multiseed, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp_sim::time::SimDuration;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Option<usize> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--seeds")
-            .and_then(|i| args.get(i + 1))
-            .map(|v| v.parse().expect("--seeds takes a count"))
-    };
-    let cfg = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(5),
-            load: 1.25,
-            mean_flow_bits: 80e6,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    println!(
-        "Fig. 4a — Network throughput under Poisson arrivals (load {}x, {}s window{})\n",
-        cfg.load,
-        cfg.duration.as_secs_f64(),
-        if quick { ", quick mode" } else { "" }
-    );
-    if let Some(n) = seeds {
-        let seed_list: Vec<u64> = (0..n as u64).map(|i| SEED + i).collect();
-        let rows = fig4a_multiseed(&cfg, &seed_list);
-        let mut t = Table::new(vec![
-            "topology", "SP mean", "ECMP mean", "URP mean", "gain mean", "gain sd", "paper",
-        ]);
-        for (name, sp, ecmp, urp, gain) in &rows {
-            t.row(vec![
-                name.clone(),
-                f(sp.mean(), 3),
-                f(ecmp.mean(), 3),
-                f(urp.mean(), 3),
-                format!("{:+.1}%", gain.mean()),
-                f(gain.std_dev(), 2),
-                "+9..15%".to_string(),
-            ]);
-        }
-        println!("{}", t.render());
-        println!("aggregated over {n} seeds starting at {SEED}");
-        return;
-    }
-    let rows = fig4a(&cfg);
-    let mut t = Table::new(vec![
-        "topology", "SP", "ECMP", "URP", "URP vs SP", "paper", "flows", "jain(URP)",
-    ]);
-    for row in &rows {
-        t.row(vec![
-            row.topology.clone(),
-            f(row.sp.throughput(), 3),
-            f(row.ecmp.throughput(), 3),
-            f(row.urp.throughput(), 3),
-            format!("{:+.1}%", row.urp_gain_over_sp_pct()),
-            "+9..15%".to_string(),
-            row.urp.arrived_flows.to_string(),
-            f(row.urp.mean_jain, 3),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("shape checks: URP >= ECMP >= SP per topology; gain in the paper's band");
+    inrpp_bench::sweeps::legacy_main("fig4a");
 }

@@ -1,6 +1,11 @@
 //! Regenerates **Fig. 4b**: the CDF of path stretch experienced by traffic
 //! under URP (INRP) on Exodus, Telstra and Tiscali.
 //!
+//! Thin wrapper over the `fig4b` sweep — equivalent to `inrpp run fig4b`;
+//! accepts `--quick`, `--csv` (append the summary grid as CSV), and
+//! `--threads N`. The full per-topology CDFs are emitted as sweep
+//! artifacts: `inrpp run fig4b --out DIR` writes `fig4b_<isp>.csv` files.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin fig4b_stretch [--quick] [--csv]
 //! ```
@@ -8,79 +13,6 @@
 //! The paper's CDF starts at ≥0.5 for stretch 1.0 (most traffic stays on
 //! the shortest path) and reaches 1.0 by stretch ≈ 1.35.
 
-use inrpp::scenario::Fig4Config;
-use inrpp_bench::experiments::{fig4b, quick_fig4_config, SEED};
-use inrpp_bench::table::{f, Table};
-use inrpp_sim::time::SimDuration;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let csv = std::env::args().any(|a| a == "--csv");
-    let cfg = if quick {
-        quick_fig4_config()
-    } else {
-        Fig4Config {
-            duration: SimDuration::from_secs(5),
-            load: 1.25,
-            mean_flow_bits: 80e6,
-            seed: SEED,
-            ..Fig4Config::default()
-        }
-    };
-    let series = fig4b(&cfg);
-    println!("Fig. 4b — URP path-stretch CDF (traffic-weighted)\n");
-    // summarise at the paper's x-axis grid
-    let grid = [1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.5, 2.0];
-    let mut t = Table::new(vec![
-        "topology", "F(1.0)", "F(1.1)", "F(1.2)", "F(1.35)", "F(1.5)", "F(2.0)",
-    ]);
-    for (name, pts) in &series {
-        let frac = |x: f64| -> f64 {
-            pts.iter()
-                .take_while(|&&(v, _)| v <= x)
-                .last()
-                .map(|&(_, f)| f)
-                .unwrap_or(0.0)
-        };
-        t.row(vec![
-            name.clone(),
-            f(frac(1.0), 3),
-            f(frac(1.1), 3),
-            f(frac(1.2), 3),
-            f(frac(1.35), 3),
-            f(frac(1.5), 3),
-            f(frac(2.0), 3),
-        ]);
-    }
-    println!("{}", t.render());
-    // figure-like rendering of the CDFs, clipped to the paper's x-range
-    let clipped: Vec<(String, Vec<(f64, f64)>)> = series
-        .iter()
-        .map(|(name, pts)| {
-            let mut v: Vec<(f64, f64)> =
-                pts.iter().copied().filter(|&(x, _)| x <= 1.4).collect();
-            v.insert(0, (1.0, pts.first().map(|&(_, f)| f).unwrap_or(0.0)));
-            (name.clone(), v)
-        })
-        .collect();
-    let plot_series: Vec<(&str, &[(f64, f64)])> = clipped
-        .iter()
-        .map(|(n, v)| (n.as_str(), v.as_slice()))
-        .collect();
-    println!("{}", inrpp_bench::table::ascii_plot(&plot_series, 60, 12));
-    println!("paper shape: F(1.0) >= 0.5 and mass concentrated below ~1.35\n");
-    if csv {
-        println!("stretch,cdf,topology");
-        for (name, pts) in &series {
-            for &g in &grid {
-                let v = pts
-                    .iter()
-                    .take_while(|&&(x, _)| x <= g)
-                    .last()
-                    .map(|&(_, f)| f)
-                    .unwrap_or(0.0);
-                println!("{g},{v:.4},{name}");
-            }
-        }
-    }
+    inrpp_bench::sweeps::legacy_main("fig4b");
 }

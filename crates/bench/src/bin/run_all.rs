@@ -1,50 +1,52 @@
 //! Runs every experiment in sequence — the one-shot regeneration of all
-//! paper artifacts plus ablations, in the order of `DESIGN.md` §6.
+//! paper artifacts plus ablations, equivalent to `inrpp run all`.
+//!
+//! Unlike the pre-runner incarnation (which spawned the sibling binaries
+//! as child processes), this executes every sweep in-process on the
+//! shared worker pool — but keeps the old contract that one failing
+//! experiment is reported and skipped, never allowed to abort the rest
+//! of the regeneration.
 //!
 //! ```text
-//! cargo run --release -p inrpp-bench --bin run_all [--quick]
+//! cargo run --release -p inrpp-bench --bin run_all [--quick] [--threads N]
 //! ```
-//!
-//! Output sections mirror `EXPERIMENTS.md`.
 
-use std::process::Command;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use inrpp_bench::sweeps::{self, OutputFormat, SweepOptions};
+use inrpp_runner::{run_sweep, RunnerConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let bins = [
-        ("T1", "table1_detours", false),
-        ("F2", "fig2_regimes", true),
-        ("F3", "fig3_fairness", false),
-        ("F4a", "fig4a_throughput", true),
-        ("F4b", "fig4b_stretch", true),
-        ("C1", "custody_feasibility", false),
-        ("A1", "ablation_detour_depth", true),
-        ("A2", "ablation_anticipation", false),
-        ("A3", "ablation_cache_size", false),
-        ("A4", "ablation_backpressure", false),
-        ("A5", "ablation_interval", false),
-        ("A6", "coexistence", false),
-        ("A7", "ablation_load_sweep", true),
-        ("A8", "ablation_link_failure", true),
-    ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    for (id, bin, takes_quick) in bins {
-        println!("\n=== [{id}] {bin} {}", "=".repeat(50_usize.saturating_sub(bin.len())));
-        let mut cmd = Command::new(exe_dir.join(bin));
-        if quick && takes_quick {
-            cmd.arg("--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        ..SweepOptions::default()
+    };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a count"))
+        .unwrap_or_else(|| RunnerConfig::default().threads);
+    let mut failures = 0u32;
+    for (id, _) in sweeps::EXPERIMENTS {
+        println!("\n=== {id} {}", "=".repeat(60usize.saturating_sub(id.len())));
+        println!();
+        // one broken experiment must not cost the other fourteen
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let spec = sweeps::build(id, &opts).expect("registry id");
+            run_sweep(&spec, &RunnerConfig { threads })
+        }));
+        match outcome {
+            Ok(report) => print!("{}", sweeps::render(&report, OutputFormat::Table)),
+            Err(_) => {
+                failures += 1;
+                eprintln!("[{id}] experiment panicked; continuing with the rest");
+            }
         }
-        match cmd.status() {
-            Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("[{id}] {bin} exited with {s}"),
-            Err(e) => eprintln!(
-                "[{id}] could not launch {bin}: {e} (build all bins first: \
-                 cargo build --release -p inrpp-bench --bins)"
-            ),
-        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} experiment(s) failed");
+        std::process::exit(1);
     }
 }

@@ -2,53 +2,13 @@
 //! topologies, measured on the calibrated generated graphs and compared
 //! cell-by-cell with the published values.
 //!
+//! Thin wrapper over the `table1` sweep — equivalent to
+//! `inrpp run table1`; accepts `--threads N`.
+//!
 //! ```text
 //! cargo run --release -p inrpp-bench --bin table1_detours
 //! ```
 
-use inrpp_bench::experiments::{table1, table1_average, SEED};
-use inrpp_bench::table::{pct, Table};
-
 fn main() {
-    let rows = table1(SEED);
-    let mut t = Table::new(vec![
-        "ISP", "nodes", "links", "1 hop", "(paper)", "2 hops", "(paper)", "3+ hops", "(paper)",
-        "N/A", "(paper)",
-    ]);
-    for r in &rows {
-        t.row(vec![
-            r.isp.name().to_string(),
-            r.nodes.to_string(),
-            r.links.to_string(),
-            pct(r.measured[0]),
-            pct(r.paper[0]),
-            pct(r.measured[1]),
-            pct(r.paper[1]),
-            pct(r.measured[2]),
-            pct(r.paper[2]),
-            pct(r.measured[3]),
-            pct(r.paper[3]),
-        ]);
-    }
-    let (m, p) = table1_average(&rows);
-    t.row(vec![
-        "Average".to_string(),
-        String::new(),
-        String::new(),
-        pct(m[0]),
-        pct(p[0]),
-        pct(m[1]),
-        pct(p[1]),
-        pct(m[2]),
-        pct(p[2]),
-        pct(m[3]),
-        pct(p[3]),
-    ]);
-    println!("Table 1 — Available Detour Paths (measured vs paper)\n");
-    println!("{}", t.render());
-    let worst = rows
-        .iter()
-        .map(|r| r.max_deviation())
-        .fold(0.0f64, f64::max);
-    println!("worst per-cell deviation from the paper: {worst:.2} percentage points");
+    inrpp_bench::sweeps::legacy_main("table1");
 }

@@ -49,27 +49,31 @@ impl Table1Row {
     }
 }
 
+/// One Table 1 cell: regenerate and measure a single ISP's topology.
+/// Split out so the sweep runner can schedule the nine ISPs in parallel.
+pub fn table1_row(isp: Isp, seed: u64) -> Table1Row {
+    let topo = generate_isp(isp, seed);
+    let (_, stats) = analyze(&topo);
+    let gs = graph_stats(&topo);
+    Table1Row {
+        isp,
+        measured: [
+            stats.one_hop_pct(),
+            stats.two_hop_pct(),
+            stats.three_plus_pct(),
+            stats.none_pct(),
+        ],
+        paper: isp.paper_row(),
+        nodes: gs.nodes,
+        links: gs.links,
+    }
+}
+
 /// Regenerate Table 1 on the calibrated topologies.
 pub fn table1(seed: u64) -> Vec<Table1Row> {
     Isp::all()
         .into_iter()
-        .map(|isp| {
-            let topo = generate_isp(isp, seed);
-            let (_, stats) = analyze(&topo);
-            let gs = graph_stats(&topo);
-            Table1Row {
-                isp,
-                measured: [
-                    stats.one_hop_pct(),
-                    stats.two_hop_pct(),
-                    stats.three_plus_pct(),
-                    stats.none_pct(),
-                ],
-                paper: isp.paper_row(),
-                nodes: gs.nodes,
-                links: gs.links,
-            }
-        })
+        .map(|isp| table1_row(isp, seed))
         .collect()
 }
 
@@ -115,70 +119,40 @@ pub fn fig4b(cfg: &Fig4Config) -> Vec<(String, Vec<(f64, f64)>)> {
         .collect()
 }
 
-/// Multi-seed Fig. 4a: run the comparison across `seeds` (both topology
-/// anchor placement and workload change per seed) and aggregate
-/// throughputs. Returns per topology: `(name, sp stats, ecmp stats,
-/// urp stats, gain-% stats)`.
-pub fn fig4a_multiseed(
-    base: &Fig4Config,
-    seeds: &[u64],
-) -> Vec<(
-    String,
-    inrpp_sim::metrics::SummaryStats,
-    inrpp_sim::metrics::SummaryStats,
-    inrpp_sim::metrics::SummaryStats,
-    inrpp_sim::metrics::SummaryStats,
-)> {
-    use inrpp_sim::metrics::SummaryStats;
-    fig4_topologies()
-        .into_iter()
-        .map(|isp| {
-            let mut sp = SummaryStats::new();
-            let mut ecmp = SummaryStats::new();
-            let mut urp = SummaryStats::new();
-            let mut gain = SummaryStats::new();
-            for &seed in seeds {
-                let cfg = Fig4Config { seed, ..*base };
-                let row = run_fig4_row(isp, &cfg);
-                sp.record(row.sp.throughput());
-                ecmp.record(row.ecmp.throughput());
-                urp.record(row.urp.throughput());
-                gain.record(row.urp_gain_over_sp_pct());
-            }
-            (isp.name().to_string(), sp, ecmp, urp, gain)
-        })
-        .collect()
-}
-
 // ------------------------------------------------------------------ Fig. 2
+
+/// One Fig. 2 cell: the three regimes on a single topology. Returns
+/// `(topology, sp, mptcp, urp)` throughputs. Split out so the sweep
+/// runner can schedule the topologies in parallel.
+pub fn fig2_regime_row(isp: Isp, cfg: &Fig4Config) -> (String, f64, f64, f64) {
+    use inrpp::scenario::build_workload;
+    use inrpp_flowsim::strategy::MptcpStrategy;
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+    let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+    let workload = build_workload(&topo, cfg);
+    let sim_cfg = FlowSimConfig {
+        horizon: cfg.duration,
+    };
+    let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
+        .run()
+        .throughput();
+    let mptcp = FlowSim::new(&topo, &MptcpStrategy::default(), &workload, sim_cfg)
+        .run()
+        .throughput();
+    let strat = InrpStrategy::new(&topo, cfg.inrp);
+    let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
+        .run()
+        .throughput();
+    (isp.name().to_string(), sp, mptcp, urp)
+}
 
 /// Fig. 2's three resource-utilisation regimes, made measurable:
 /// single-path (i), e2e multipath pooling à la MPTCP (ii), and in-network
 /// pooling (iii). Returns `(topology, sp, mptcp, urp)` throughputs.
 pub fn fig2_regimes(cfg: &Fig4Config) -> Vec<(String, f64, f64, f64)> {
-    use inrpp::scenario::build_workload;
-    use inrpp_flowsim::strategy::MptcpStrategy;
-    use inrpp_topology::rocketfuel::generate_with_capacities;
     fig4_topologies()
         .into_iter()
-        .map(|isp| {
-            let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
-            let workload = build_workload(&topo, cfg);
-            let sim_cfg = FlowSimConfig {
-                horizon: cfg.duration,
-            };
-            let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
-                .run()
-                .throughput();
-            let mptcp = FlowSim::new(&topo, &MptcpStrategy::default(), &workload, sim_cfg)
-                .run()
-                .throughput();
-            let strat = InrpStrategy::new(&topo, cfg.inrp);
-            let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
-                .run()
-                .throughput();
-            (isp.name().to_string(), sp, mptcp, urp)
-        })
+        .map(|isp| fig2_regime_row(isp, cfg))
         .collect()
 }
 
@@ -324,38 +298,40 @@ pub fn ablation_cache_size(multipliers: &[f64]) -> Vec<(f64, u64, u64)> {
 
 // -------------------------------------------------------------- Ablation A4
 
+/// One side of A4: the 800-chunk Fig. 3 transfer over `transport` alone.
+/// Split out so the sweep runner can schedule the two contenders as
+/// independent cells.
+pub fn ablation_transport_single(transport: TransportKind) -> inrpp_packetsim::PacketSimReport {
+    let topo = Topology::fig3();
+    let cfg = match transport {
+        TransportKind::Inrpp(ic) => fig3_packet_cfg(ic, SimDuration::from_secs(60)),
+        other => PacketSimConfig {
+            transport: other,
+            horizon: SimDuration::from_secs(60),
+            ..PacketSimConfig::default()
+        },
+    };
+    let mut sim = PacketSim::new(&topo, cfg);
+    sim.add_transfer(TransferSpec {
+        flow: 1,
+        src: topo.node_by_name("1").expect("fig3"),
+        dst: topo.node_by_name("4").expect("fig3"),
+        chunks: 800,
+        start: SimTime::ZERO,
+    });
+    sim.run()
+}
+
 /// A4: INRPP vs the AIMD baseline on the Fig. 3 bottleneck; returns the
 /// two reports `(inrpp, aimd)` for side-by-side comparison.
 pub fn ablation_transport() -> (
     inrpp_packetsim::PacketSimReport,
     inrpp_packetsim::PacketSimReport,
 ) {
-    let topo = Topology::fig3();
-    let chunks = 800;
-    let add = |sim: &mut PacketSim| {
-        sim.add_transfer(TransferSpec {
-            flow: 1,
-            src: topo.node_by_name("1").expect("fig3"),
-            dst: topo.node_by_name("4").expect("fig3"),
-            chunks,
-            start: SimTime::ZERO,
-        });
-    };
-    let mut s1 = PacketSim::new(
-        &topo,
-        fig3_packet_cfg(InrppConfig::default(), SimDuration::from_secs(60)),
-    );
-    add(&mut s1);
-    let mut s2 = PacketSim::new(
-        &topo,
-        PacketSimConfig {
-            transport: TransportKind::Aimd(AimdConfig::default()),
-            horizon: SimDuration::from_secs(60),
-            ..PacketSimConfig::default()
-        },
-    );
-    add(&mut s2);
-    (s1.run(), s2.run())
+    (
+        ablation_transport_single(TransportKind::Inrpp(InrppConfig::default())),
+        ablation_transport_single(TransportKind::Aimd(AimdConfig::default())),
+    )
 }
 
 // -------------------------------------------------------------- Ablation A5
@@ -409,12 +385,41 @@ pub struct CoexistenceRow {
     pub drops: u64,
 }
 
-/// A6: TCP/IP coexistence (paper §4 future work). A probe AIMD flow
-/// crosses the Fig. 3 bottleneck alone, next to a second AIMD flow, and
-/// next to an INRPP flow. If INRPP detours rather than competes, the
-/// probe's goodput with an INRPP companion should sit *between* the alone
-/// and the AIMD-companion cases.
-pub fn coexistence() -> Vec<CoexistenceRow> {
+/// The three A6 scenarios, in canonical presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoexistenceScenario {
+    /// The AIMD probe crosses the bottleneck by itself.
+    Alone,
+    /// The probe shares the bottleneck with a second AIMD flow.
+    VsAimd,
+    /// The probe shares the network with an INRPP flow.
+    VsInrpp,
+}
+
+impl CoexistenceScenario {
+    /// All scenarios in presentation order.
+    pub fn all() -> [CoexistenceScenario; 3] {
+        [
+            CoexistenceScenario::Alone,
+            CoexistenceScenario::VsAimd,
+            CoexistenceScenario::VsInrpp,
+        ]
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoexistenceScenario::Alone => "AIMD alone",
+            CoexistenceScenario::VsAimd => "AIMD + AIMD",
+            CoexistenceScenario::VsInrpp => "AIMD + INRPP",
+        }
+    }
+}
+
+/// One A6 scenario: the probe AIMD flow (plus `scenario`'s companion, if
+/// any) on the Fig. 3 network. Split out so each scenario is one
+/// independently schedulable sweep cell.
+pub fn coexistence_scenario(scenario: CoexistenceScenario) -> CoexistenceRow {
     use inrpp_packetsim::FlowTransport;
     let topo = Topology::fig3();
     let src = topo.node_by_name("1").expect("fig3");
@@ -440,67 +445,42 @@ pub fn coexistence() -> Vec<CoexistenceRow> {
             None => 0.0,
         }
     };
-    let mut rows = Vec::new();
-    // alone
-    {
-        let mut sim = PacketSim::new(
-            &topo,
-            PacketSimConfig {
-                transport: mixed,
-                horizon,
-                ..PacketSimConfig::default()
-            },
-        );
-        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
-        let r = sim.run();
-        rows.push(CoexistenceRow {
-            scenario: "AIMD alone",
-            aimd_goodput: goodput(&r, 0),
-            companion_goodput: None,
-            drops: r.chunks_dropped,
-        });
+    let mut sim = PacketSim::new(
+        &topo,
+        PacketSimConfig {
+            transport: mixed,
+            horizon,
+            ..PacketSimConfig::default()
+        },
+    );
+    sim.add_transfer_as(spec(1), FlowTransport::Aimd);
+    let companion = match scenario {
+        CoexistenceScenario::Alone => None,
+        CoexistenceScenario::VsAimd => Some(FlowTransport::Aimd),
+        CoexistenceScenario::VsInrpp => Some(FlowTransport::Inrpp),
+    };
+    if let Some(t) = companion {
+        sim.add_transfer_as(spec(2), t);
     }
-    // vs another AIMD flow
-    {
-        let mut sim = PacketSim::new(
-            &topo,
-            PacketSimConfig {
-                transport: mixed,
-                horizon,
-                ..PacketSimConfig::default()
-            },
-        );
-        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
-        sim.add_transfer_as(spec(2), FlowTransport::Aimd);
-        let r = sim.run();
-        rows.push(CoexistenceRow {
-            scenario: "AIMD + AIMD",
-            aimd_goodput: goodput(&r, 0),
-            companion_goodput: Some(goodput(&r, 1)),
-            drops: r.chunks_dropped,
-        });
+    let r = sim.run();
+    CoexistenceRow {
+        scenario: scenario.label(),
+        aimd_goodput: goodput(&r, 0),
+        companion_goodput: companion.map(|_| goodput(&r, 1)),
+        drops: r.chunks_dropped,
     }
-    // vs an INRPP flow
-    {
-        let mut sim = PacketSim::new(
-            &topo,
-            PacketSimConfig {
-                transport: mixed,
-                horizon,
-                ..PacketSimConfig::default()
-            },
-        );
-        sim.add_transfer_as(spec(1), FlowTransport::Aimd);
-        sim.add_transfer_as(spec(2), FlowTransport::Inrpp);
-        let r = sim.run();
-        rows.push(CoexistenceRow {
-            scenario: "AIMD + INRPP",
-            aimd_goodput: goodput(&r, 0),
-            companion_goodput: Some(goodput(&r, 1)),
-            drops: r.chunks_dropped,
-        });
-    }
-    rows
+}
+
+/// A6: TCP/IP coexistence (paper §4 future work). A probe AIMD flow
+/// crosses the Fig. 3 bottleneck alone, next to a second AIMD flow, and
+/// next to an INRPP flow. If INRPP detours rather than competes, the
+/// probe's goodput with an INRPP companion should sit *between* the alone
+/// and the AIMD-companion cases.
+pub fn coexistence() -> Vec<CoexistenceRow> {
+    CoexistenceScenario::all()
+        .into_iter()
+        .map(coexistence_scenario)
+        .collect()
 }
 
 // -------------------------------------------------------------- Ablation A7
@@ -515,7 +495,7 @@ pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<(f64, f64, 
     loads
         .iter()
         .map(|&load| {
-            let cfg = Fig4Config { load, ..*base };
+            let cfg = base.with_load(load);
             let row = compare_strategies(&topo, &cfg);
             let sp = row.sp.throughput();
             let urp = row.urp.throughput();
@@ -527,34 +507,27 @@ pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<(f64, f64, 
 
 // -------------------------------------------------------------- Ablation A8
 
-/// A8: link-failure robustness. Fail a fraction of randomly chosen
-/// *non-bridge* links (bridges would partition the graph) and measure the
-/// throughput of SP vs URP on the degraded topology. Returns
-/// `(failed fraction, sp, urp)` per step.
-pub fn ablation_link_failure(
-    isp: Isp,
-    cfg: &Fig4Config,
-    fractions: &[f64],
-) -> Vec<(f64, f64, f64)> {
+/// The deterministic victim set for A8: up to `max_kill` randomly chosen
+/// *non-bridge* links whose joint removal keeps `base` connected.
+///
+/// Candidates are shuffled with a stream derived from `seed`, then
+/// admitted greedily — several individually safe removals can jointly
+/// partition the graph, so each admission re-checks connectivity. The
+/// result depends only on `(base, seed, max_kill)`, which lets parallel
+/// sweep cells recompute an *identical* set instead of sharing state.
+pub fn link_failure_victims(
+    base: &Topology,
+    seed: u64,
+    max_kill: usize,
+) -> Vec<inrpp_topology::LinkId> {
     use inrpp_sim::rng::SimRng;
     use inrpp_topology::detour::{classify_link, DetourClass};
-    use inrpp_topology::rocketfuel::generate_with_capacities;
-
-    let base = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
-    // candidate victims in random order; build the failure set greedily so
-    // connectivity is preserved at every step (several individually safe
-    // removals can jointly partition the graph)
     let mut candidates: Vec<inrpp_topology::LinkId> = base
         .link_ids()
-        .filter(|&l| classify_link(&base, l) != DetourClass::None)
+        .filter(|&l| classify_link(base, l) != DetourClass::None)
         .collect();
-    let mut rng = SimRng::from_seed_u64(cfg.seed ^ 0xFA11);
+    let mut rng = SimRng::from_seed_u64(seed ^ 0xFA11);
     rng.shuffle(&mut candidates);
-    let max_kill = fractions
-        .iter()
-        .map(|f| ((base.link_count() as f64) * f).round() as usize)
-        .max()
-        .unwrap_or(0);
     let mut safe_victims: Vec<inrpp_topology::LinkId> = Vec::new();
     for &cand in &candidates {
         if safe_victims.len() >= max_kill {
@@ -566,28 +539,59 @@ pub fn ablation_link_failure(
             safe_victims = trial;
         }
     }
+    safe_victims
+}
 
-    // the offered workload is calibrated to the INTACT network and held
-    // fixed, so throughput changes isolate the capacity lost to failures
-    let workload = inrpp::scenario::build_workload(&base, cfg);
+/// One A8 measurement point: fail the first `frac`-worth of `victims` on
+/// `base` and run SP vs URP under the *intact* network's workload, so the
+/// throughput change isolates the capacity lost to failures. Returns
+/// `(frac, sp, urp)`.
+pub fn link_failure_point(
+    base: &Topology,
+    victims: &[inrpp_topology::LinkId],
+    cfg: &Fig4Config,
+    frac: f64,
+) -> (f64, f64, f64) {
+    let workload = inrpp::scenario::build_workload(base, cfg);
     let sim_cfg = FlowSimConfig {
         horizon: cfg.duration,
     };
+    let kill = (((base.link_count() as f64) * frac).round() as usize).min(victims.len());
+    let topo = base.without_links(&victims[..kill]);
+    let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
+        .run()
+        .throughput();
+    let strat = InrpStrategy::new(&topo, cfg.inrp);
+    let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
+        .run()
+        .throughput();
+    (frac, sp, urp)
+}
+
+/// Largest victim count any of `fractions` will request from `base`.
+pub fn link_failure_max_kill(base: &Topology, fractions: &[f64]) -> usize {
     fractions
         .iter()
-        .map(|&frac| {
-            let kill = (((base.link_count() as f64) * frac).round() as usize)
-                .min(safe_victims.len());
-            let topo = base.without_links(&safe_victims[..kill]);
-            let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
-                .run()
-                .throughput();
-            let strat = InrpStrategy::new(&topo, cfg.inrp);
-            let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
-                .run()
-                .throughput();
-            (frac, sp, urp)
-        })
+        .map(|f| ((base.link_count() as f64) * f).round() as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// A8: link-failure robustness. Fail a fraction of randomly chosen
+/// *non-bridge* links (bridges would partition the graph) and measure the
+/// throughput of SP vs URP on the degraded topology. Returns
+/// `(failed fraction, sp, urp)` per step.
+pub fn ablation_link_failure(
+    isp: Isp,
+    cfg: &Fig4Config,
+    fractions: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    use inrpp_topology::rocketfuel::generate_with_capacities;
+    let base = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
+    let victims = link_failure_victims(&base, cfg.seed, link_failure_max_kill(&base, fractions));
+    fractions
+        .iter()
+        .map(|&frac| link_failure_point(&base, &victims, cfg, frac))
         .collect()
 }
 

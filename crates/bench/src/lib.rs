@@ -1,23 +1,32 @@
 //! # inrpp-bench — the experiment harness
 //!
-//! Every table and figure of the paper (and every ablation listed in
-//! `DESIGN.md` §6) is regenerated by a binary in `src/bin/`, all of which
-//! delegate to the functions in [`experiments`] so the logic is unit-tested
-//! like any other library code. [`table`] holds the plain-text table
-//! renderer the binaries share.
+//! Every table and figure of the paper (and every ablation) is a
+//! declarative sweep in [`sweeps`], executed by the parallel runner
+//! (`inrpp-runner`) and reachable three ways:
 //!
-//! | Artifact | Binary |
-//! |---|---|
-//! | Table 1 | `table1_detours` |
-//! | Fig. 3 worked example | `fig3_fairness` |
-//! | Fig. 4a throughput bars | `fig4a_throughput` |
-//! | Fig. 4b stretch CDF | `fig4b_stretch` |
-//! | §3.3 custody arithmetic | `custody_feasibility` |
-//! | Ablations A1–A5 | `ablation_*` |
-//! | Everything at once | `run_all` |
+//! * the unified `inrpp` CLI — `inrpp run table1 --threads 8 --format json`;
+//! * sixteen thin legacy binaries (`table1_detours`, `fig4a_throughput`,
+//!   …) that keep the original one-experiment entry points alive;
+//! * the library functions in [`experiments`], unit-tested like any other
+//!   code — binaries print, these functions compute.
+//!
+//! [`table`] holds the plain-text table renderer all output shares.
+//!
+//! | Artifact | Sweep id | Legacy binary |
+//! |---|---|---|
+//! | Table 1 | `table1` | `table1_detours` |
+//! | Fig. 2 regimes | `fig2` | `fig2_regimes` |
+//! | Fig. 3 worked example | `fig3` | `fig3_fairness` |
+//! | Fig. 4a throughput bars | `fig4a` | `fig4a_throughput` |
+//! | Fig. 4b stretch CDF | `fig4b` | `fig4b_stretch` |
+//! | §3.3 custody arithmetic | `custody` | `custody_feasibility` |
+//! | Ablations A1–A8 | `ablation-*`, `coexistence` | `ablation_*`, `coexistence` |
+//! | Topology edge lists | `export-topologies` | `export_topologies` |
+//! | Everything at once | `all` | `run_all` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweeps;
 pub mod table;

@@ -67,7 +67,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        let rule_len = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        // saturate: a zero-column table (`Table::default()`) must render as
+        // two empty lines, not underflow `ncol - 1` and panic
+        let rule_len = widths.iter().sum::<usize>() + 2 * ncol.saturating_sub(1);
         out.push_str(&"-".repeat(rule_len));
         out.push('\n');
         for row in &self.rows {
@@ -188,6 +190,18 @@ mod tests {
         assert_eq!(off0, off3);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panic() {
+        // regression: rule_len used `2 * (ncol - 1)` on a usize, so a
+        // zero-column table underflowed and panicked
+        let t = Table::default();
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+        assert_eq!(t.to_csv(), "\n");
+        let empty_header = Table::new(Vec::<String>::new());
+        let _ = empty_header.render();
     }
 
     #[test]

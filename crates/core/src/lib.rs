@@ -14,6 +14,7 @@
 //! | Receiver ⟨Nc, ACKc, Ac⟩ pipeline and sender modes (§3.2) | [`endpoint`] |
 //! | Global fairness / local stability arithmetic (Fig. 3) | [`fairness`] |
 //! | Whole-scenario convenience API over the substrates | [`scenario`] |
+//! | Experiment-cell enumeration for parallel sweeps | [`sweep`] |
 //!
 //! The chunk-level dynamics live in `inrpp-packetsim`, which drives these
 //! state machines from a discrete-event loop; the fluid equilibria live in
@@ -21,7 +22,7 @@
 //! [`config::InrppConfig`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backpressure;
 pub mod config;
@@ -33,6 +34,7 @@ pub mod monitor;
 pub mod phase;
 pub mod rate;
 pub mod scenario;
+pub mod sweep;
 
 pub use config::InrppConfig;
 pub use phase::{Phase, PhaseController};

@@ -90,6 +90,20 @@ impl Default for Fig4Config {
     }
 }
 
+impl Fig4Config {
+    /// Same configuration with a different workload/topology seed —
+    /// convenience for enumerating seed axes in sweeps.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Fig4Config { seed, ..self }
+    }
+
+    /// Same configuration with a different offered load — convenience for
+    /// enumerating load axes in sweeps.
+    pub fn with_load(self, load: f64) -> Self {
+        Fig4Config { load, ..self }
+    }
+}
+
 /// Reports for the three contenders on one topology.
 #[derive(Debug, Clone)]
 pub struct StrategyComparison {
@@ -219,6 +233,17 @@ mod tests {
             row.urp.throughput(),
             row.sp.throughput()
         );
+    }
+
+    #[test]
+    fn config_builders_replace_one_field() {
+        let base = Fig4Config::default();
+        let s = base.with_seed(42);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.load, base.load);
+        let l = base.with_load(2.5);
+        assert_eq!(l.load, 2.5);
+        assert_eq!(l.seed, base.seed);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Experiment-cell enumeration.
+//!
+//! A paper artifact is a grid of independent simulation cells — topology ×
+//! strategy × seed × parameter point. [`Grid`] fixes the *canonical order*
+//! of such a grid (row-major, first axis slowest) so that every consumer —
+//! the parallel sweep runner, report mergers, regression tests — agrees on
+//! which cell is "cell 7" without ever communicating. That shared
+//! convention is one third of the suite's determinism story (the other two
+//! are per-cell RNG streams and canonical-order merging; see
+//! `inrpp-runner`).
+
+/// A named multi-axis grid with row-major cell enumeration.
+///
+/// ```
+/// use inrpp::sweep::Grid;
+///
+/// // 3 topologies × 2 seeds, topology is the slow axis
+/// let grid = Grid::new().axis("topology", 3).axis("seed", 2);
+/// assert_eq!(grid.len(), 6);
+/// assert_eq!(grid.coord(0), vec![0, 0]);
+/// assert_eq!(grid.coord(1), vec![0, 1]); // seed varies fastest
+/// assert_eq!(grid.coord(5), vec![2, 1]);
+/// assert_eq!(grid.index(&[2, 1]), 5);    // inverse mapping
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Grid {
+    axes: Vec<(String, usize)>,
+}
+
+impl Grid {
+    /// An empty grid (one implicit cell once the first axis is added;
+    /// zero axes enumerate a single empty coordinate).
+    pub fn new() -> Self {
+        Grid::default()
+    }
+
+    /// Append an axis with `len` points. Earlier axes vary slower.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` — an empty axis would make every coordinate
+    /// unreachable and is always a configuration bug.
+    pub fn axis<S: Into<String>>(mut self, name: S, len: usize) -> Self {
+        assert!(len > 0, "grid axis cannot be empty");
+        self.axes.push((name.into(), len));
+        self
+    }
+
+    /// Axis names and lengths, in declaration order.
+    pub fn axes(&self) -> &[(String, usize)] {
+        &self.axes
+    }
+
+    /// Total number of cells (product of axis lengths; 1 for no axes).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, n)| n).product()
+    }
+
+    /// True when the grid has no axes.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Decode cell `index` into per-axis coordinates (row-major).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.len()`.
+    pub fn coord(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.len(), "cell index {index} out of range");
+        let mut rem = index;
+        let mut coord = vec![0; self.axes.len()];
+        for (i, (_, n)) in self.axes.iter().enumerate().rev() {
+            coord[i] = rem % n;
+            rem /= n;
+        }
+        coord
+    }
+
+    /// Encode per-axis coordinates back into a cell index.
+    ///
+    /// # Panics
+    /// Panics on an arity mismatch or an out-of-range coordinate.
+    pub fn index(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.axes.len(), "coordinate arity mismatch");
+        let mut idx = 0;
+        for ((_, n), &c) in self.axes.iter().zip(coord) {
+            assert!(c < *n, "coordinate {c} out of range for axis of {n}");
+            idx = idx * n + c;
+        }
+        idx
+    }
+
+    /// Iterate every coordinate in canonical (row-major) order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len()).map(|i| self.coord(i))
+    }
+
+    /// Human-readable label for one cell, e.g. `"topology=1 seed=0"`.
+    pub fn label(&self, index: usize) -> String {
+        let coord = self.coord(index);
+        self.axes
+            .iter()
+            .zip(&coord)
+            .map(|((name, _), c)| format!("{name}={c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_round_trip() {
+        let g = Grid::new().axis("a", 4).axis("b", 3).axis("c", 2);
+        assert_eq!(g.len(), 24);
+        for i in 0..g.len() {
+            assert_eq!(g.index(&g.coord(i)), i);
+        }
+        // first axis is slowest
+        assert_eq!(g.coord(0), vec![0, 0, 0]);
+        assert_eq!(g.coord(1), vec![0, 0, 1]);
+        assert_eq!(g.coord(2), vec![0, 1, 0]);
+        assert_eq!(g.coord(6), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn iter_matches_coord() {
+        let g = Grid::new().axis("x", 2).axis("y", 2);
+        let all: Vec<Vec<usize>> = g.iter().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn empty_grid_has_one_cell() {
+        let g = Grid::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.coord(0), Vec::<usize>::new());
+        assert_eq!(g.index(&[]), 0);
+    }
+
+    #[test]
+    fn labels_name_axes() {
+        let g = Grid::new().axis("topology", 3).axis("seed", 2);
+        assert_eq!(g.label(3), "topology=1 seed=1");
+        assert_eq!(g.axes()[0].0, "topology");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_out_of_range_panics() {
+        Grid::new().axis("a", 2).coord(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_length_axis_panics() {
+        let _ = Grid::new().axis("a", 0);
+    }
+}

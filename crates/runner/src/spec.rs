@@ -1,0 +1,289 @@
+//! Sweep and cell descriptions — the declarative half of the runner.
+
+use inrpp_sim::rng::{cell_seed, SimRng};
+
+use crate::report::Artifact;
+
+/// Everything a cell may learn about its place in the sweep.
+///
+/// Handed by value-reference to the cell closure; cells must derive all
+/// randomness from [`CellCtx::rng`] (or [`CellCtx::seed`]) so results do
+/// not depend on which worker thread executes them, or when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCtx {
+    /// Identifier of the owning sweep (e.g. `"table1"`).
+    pub experiment: String,
+    /// This cell's index in canonical enumeration order.
+    pub index: u64,
+    /// Seed of this cell's private RNG stream:
+    /// `cell_seed(experiment, index)`.
+    pub seed: u64,
+}
+
+impl CellCtx {
+    /// Context for cell `index` of `experiment`, with the derived seed.
+    pub fn new(experiment: &str, index: u64) -> Self {
+        CellCtx {
+            experiment: experiment.to_string(),
+            index,
+            seed: cell_seed(experiment, index),
+        }
+    }
+
+    /// This cell's private RNG stream.
+    ///
+    /// Independent per `(experiment, index)` pair, and independent of
+    /// thread count and execution order by construction.
+    ///
+    /// ```
+    /// use inrpp_runner::CellCtx;
+    ///
+    /// let mut a = CellCtx::new("demo", 3).rng();
+    /// let mut b = CellCtx::new("demo", 3).rng();
+    /// assert_eq!(a.f64(), b.f64()); // same cell => same stream
+    /// let mut c = CellCtx::new("demo", 4).rng();
+    /// assert_ne!(a.f64(), c.f64()); // different cell => different
+    /// ```
+    pub fn rng(&self) -> SimRng {
+        SimRng::from_seed_u64(self.seed)
+    }
+}
+
+/// What one cell contributes to the merged [`crate::SweepReport`].
+///
+/// All fields are concatenated across cells in canonical cell order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellOutput {
+    /// Formatted table rows (each must match the sweep's column arity).
+    pub rows: Vec<Vec<String>>,
+    /// Raw numeric payload for `finish` hooks (aggregate rows, plots, …).
+    pub data: Vec<f64>,
+    /// Free-form notes appended to the report after all rows.
+    pub notes: Vec<String>,
+    /// Named side outputs (e.g. exported topology files); the caller
+    /// decides whether to write them to disk.
+    pub artifacts: Vec<Artifact>,
+}
+
+impl CellOutput {
+    /// An empty output.
+    pub fn new() -> Self {
+        CellOutput::default()
+    }
+
+    /// Append one formatted row (builder style).
+    pub fn with_row<S: Into<String>, I: IntoIterator<Item = S>>(mut self, row: I) -> Self {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append raw numbers for the sweep's `finish` hook (builder style).
+    pub fn with_data<I: IntoIterator<Item = f64>>(mut self, data: I) -> Self {
+        self.data.extend(data);
+        self
+    }
+
+    /// Append a note (builder style).
+    pub fn with_note<S: Into<String>>(mut self, note: S) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Append a named artifact (builder style).
+    pub fn with_artifact<N: Into<String>, C: Into<String>>(mut self, name: N, contents: C) -> Self {
+        self.artifacts.push(Artifact {
+            name: name.into(),
+            contents: contents.into(),
+        });
+        self
+    }
+}
+
+/// The work function of a cell. Must be `Send + Sync`: the pool shares the
+/// spec across workers and a cell may run on any of them.
+pub type CellFn = Box<dyn Fn(&CellCtx) -> CellOutput + Send + Sync>;
+
+/// Post-merge hook: sees every cell's output in canonical order (plus the
+/// partially assembled report) and may append aggregate rows or notes —
+/// e.g. Table 1's "Average" row or Fig. 4b's ASCII plot.
+pub type FinishFn = Box<dyn Fn(&[CellOutput], &mut crate::SweepReport) + Send + Sync>;
+
+/// One unit of schedulable work inside a sweep.
+pub struct CellSpec {
+    /// Human-readable label (shown by `inrpp list`-style tooling and used
+    /// in diagnostics; not part of serialized reports).
+    pub label: String,
+    /// The work function.
+    pub run: CellFn,
+}
+
+impl std::fmt::Debug for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpec").field("label", &self.label).finish()
+    }
+}
+
+/// A declarative description of one experiment sweep: identity, table
+/// shape, the enumerated cells, and optional post-merge aggregation.
+///
+/// ```
+/// use inrpp_runner::{CellOutput, SweepSpec};
+///
+/// let mut spec = SweepSpec::new("doubling", "Powers of two", ["k", "2^k"]);
+/// for k in 0u32..3 {
+///     spec.push_cell(format!("k={k}"), move |_ctx| {
+///         CellOutput::new().with_row([k.to_string(), (1u64 << k).to_string()])
+///     });
+/// }
+/// assert_eq!(spec.len(), 3);
+/// assert_eq!(spec.id(), "doubling");
+/// ```
+pub struct SweepSpec {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    cells: Vec<CellSpec>,
+    notes: Vec<String>,
+    finish: Option<FinishFn>,
+}
+
+impl SweepSpec {
+    /// Start a sweep with an identifier, a display title, and the table
+    /// columns every cell's rows must match.
+    pub fn new<S: Into<String>, C: Into<String>, I: IntoIterator<Item = C>>(
+        id: S,
+        title: S,
+        columns: I,
+    ) -> Self {
+        SweepSpec {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            cells: Vec::new(),
+            notes: Vec::new(),
+            finish: None,
+        }
+    }
+
+    /// Append a cell; cells run in parallel but merge in push order.
+    pub fn push_cell<L, F>(&mut self, label: L, run: F) -> &mut Self
+    where
+        L: Into<String>,
+        F: Fn(&CellCtx) -> CellOutput + Send + Sync + 'static,
+    {
+        self.cells.push(CellSpec {
+            label: label.into(),
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Append a static note printed after the result rows.
+    pub fn push_note<S: Into<String>>(&mut self, note: S) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Install the post-merge aggregation hook (at most one).
+    pub fn set_finish<F>(&mut self, f: F) -> &mut Self
+    where
+        F: Fn(&[CellOutput], &mut crate::SweepReport) + Send + Sync + 'static,
+    {
+        self.finish = Some(Box::new(f));
+        self
+    }
+
+    /// Sweep identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Display title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The enumerated cells, in canonical order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Static notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// The post-merge hook, if any.
+    pub fn finish(&self) -> Option<&FinishFn> {
+        self.finish.as_ref()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the sweep has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SweepSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSpec")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("columns", &self.columns)
+            .field("cells", &self.cells)
+            .field("notes", &self.notes)
+            .field("has_finish", &self.finish.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_seed_matches_derivation() {
+        let ctx = CellCtx::new("x", 7);
+        assert_eq!(ctx.seed, cell_seed("x", 7));
+        assert_ne!(CellCtx::new("x", 7).seed, CellCtx::new("y", 7).seed);
+        assert_ne!(CellCtx::new("x", 7).seed, CellCtx::new("x", 8).seed);
+    }
+
+    #[test]
+    fn output_builders_accumulate() {
+        let out = CellOutput::new()
+            .with_row(["a", "b"])
+            .with_row(["c", "d"])
+            .with_data([1.0, 2.0])
+            .with_note("n")
+            .with_artifact("f.txt", "body");
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.data, vec![1.0, 2.0]);
+        assert_eq!(out.notes, vec!["n"]);
+        assert_eq!(out.artifacts[0].name, "f.txt");
+    }
+
+    #[test]
+    fn spec_builders_accumulate() {
+        let mut spec = SweepSpec::new("id", "title", ["c1"]);
+        spec.push_cell("one", |_| CellOutput::new());
+        spec.push_note("note");
+        assert_eq!(spec.len(), 1);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.columns(), ["c1"]);
+        assert_eq!(spec.notes(), ["note"]);
+        assert_eq!(spec.cells()[0].label, "one");
+        assert!(spec.finish().is_none());
+        assert!(format!("{spec:?}").contains("id"));
+    }
+}

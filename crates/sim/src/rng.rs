@@ -25,6 +25,45 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Root seed for a named experiment: the experiment id's bytes folded
+/// through SplitMix64.
+///
+/// This is the top of the sweep-runner's stream-derivation tree
+/// (`experiment id → cell index → component streams`); see [`cell_seed`].
+/// Distinct ids give unrelated streams, and the mapping is pinned — it
+/// must never change once results are published.
+pub fn experiment_seed(id: &str) -> u64 {
+    // fixed non-zero basin so the empty id still seeds sensibly
+    let mut acc: u64 = 0x1987_2014_0BAD_CAFE;
+    for &b in id.as_bytes() {
+        let mut t = acc ^ (b as u64);
+        acc = splitmix64(&mut t);
+    }
+    acc
+}
+
+/// Seed of the private RNG stream for cell `index` of experiment `id`:
+/// `hash(experiment_seed(id), index)`.
+///
+/// Every cell of a parallel sweep draws from its own stream derived here,
+/// so results are independent of worker count and execution order: the
+/// stream depends only on *which* cell is running, never on *when* or
+/// *where*.
+///
+/// ```
+/// use inrpp_sim::rng::cell_seed;
+///
+/// // stable per (experiment, index)...
+/// assert_eq!(cell_seed("table1", 4), cell_seed("table1", 4));
+/// // ...and decorrelated across both axes
+/// assert_ne!(cell_seed("table1", 4), cell_seed("table1", 5));
+/// assert_ne!(cell_seed("table1", 4), cell_seed("fig4a", 4));
+/// ```
+pub fn cell_seed(id: &str, index: u64) -> u64 {
+    let mut t = experiment_seed(id) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut t)
+}
+
 /// Deterministic xoshiro256\*\* generator with stable output.
 ///
 /// ```
@@ -198,6 +237,32 @@ mod tests {
         for e in expect {
             assert_eq!(rng.next_u64(), e);
         }
+    }
+
+    #[test]
+    fn experiment_seed_is_stable_and_id_sensitive() {
+        // the derivation chain itself is pinned by the SplitMix64/xoshiro
+        // reference vectors above; here we guard the id folding
+        assert_eq!(experiment_seed("table1"), experiment_seed("table1"));
+        assert_ne!(experiment_seed(""), 0);
+        assert_ne!(experiment_seed("table1"), experiment_seed("table2"));
+        // single-character sensitivity at every position
+        assert_ne!(experiment_seed("ab"), experiment_seed("ba"));
+    }
+
+    #[test]
+    fn cell_seeds_are_decorrelated() {
+        let mut seen = std::collections::HashSet::new();
+        for id in ["table1", "fig2", "fig4a"] {
+            for i in 0..64 {
+                assert!(seen.insert(cell_seed(id, i)), "collision at {id}/{i}");
+            }
+        }
+        // streams from neighbouring cells must diverge immediately
+        let mut a = SimRng::from_seed_u64(cell_seed("fig4a", 0));
+        let mut b = SimRng::from_seed_u64(cell_seed("fig4a", 1));
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
     }
 
     #[test]
