@@ -63,6 +63,23 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("ablation-load-sweep", "A7: URP gain vs offered load"),
     ("ablation-link-failure", "A8: SP vs URP under growing link failures"),
     ("export-topologies", "Export the nine calibrated ISP topologies as edge lists"),
+    // ---- scenario catalog: topology family x traffic family ----------
+    ("scenario:het-dumbbell:flash-crowd", "Catalog: heterogeneous-access dumbbell x flash-crowd step load"),
+    ("scenario:het-dumbbell:diurnal", "Catalog: heterogeneous-access dumbbell x diurnal arrival modulation"),
+    ("scenario:het-dumbbell:heavy-tail", "Catalog: heterogeneous-access dumbbell x heavy-tailed flow sizes"),
+    ("scenario:het-dumbbell:mixed", "Catalog: heterogeneous-access dumbbell x mixed elastic + constant-rate"),
+    ("scenario:parking-lot:flash-crowd", "Catalog: parking-lot multi-bottleneck chain x flash-crowd step load"),
+    ("scenario:parking-lot:diurnal", "Catalog: parking-lot multi-bottleneck chain x diurnal modulation"),
+    ("scenario:parking-lot:heavy-tail", "Catalog: parking-lot multi-bottleneck chain x heavy-tailed sizes"),
+    ("scenario:parking-lot:mixed", "Catalog: parking-lot multi-bottleneck chain x mixed elastic + CBR"),
+    ("scenario:fat-tree:flash-crowd", "Catalog: 4-ary fat-tree fabric x flash-crowd step load"),
+    ("scenario:fat-tree:diurnal", "Catalog: 4-ary fat-tree fabric x diurnal arrival modulation"),
+    ("scenario:fat-tree:heavy-tail", "Catalog: 4-ary fat-tree fabric x heavy-tailed flow sizes"),
+    ("scenario:fat-tree:mixed", "Catalog: 4-ary fat-tree fabric x mixed elastic + constant-rate"),
+    ("scenario:scale-free:flash-crowd", "Catalog: Barabasi-Albert scale-free graph x flash-crowd step load"),
+    ("scenario:scale-free:diurnal", "Catalog: Barabasi-Albert scale-free graph x diurnal modulation"),
+    ("scenario:scale-free:heavy-tail", "Catalog: Barabasi-Albert scale-free graph x heavy-tailed sizes"),
+    ("scenario:scale-free:mixed", "Catalog: Barabasi-Albert scale-free graph x mixed elastic + CBR"),
 ];
 
 /// Build the sweep for `id`, or `None` for an unknown id. `"all"` is a
@@ -84,8 +101,68 @@ pub fn build(id: &str, opts: &SweepOptions) -> Option<SweepSpec> {
         "ablation-load-sweep" => Some(load_sweep_spec(opts)),
         "ablation-link-failure" => Some(link_failure_spec(opts)),
         "export-topologies" => Some(export_spec()),
+        id if id.starts_with("scenario:") => scenario_spec(id, opts),
         _ => None,
     }
+}
+
+// ------------------------------------------------------- scenario catalog
+
+/// Build the sweep for one scenario-catalog cell
+/// (`scenario:<topology>:<traffic>`): one cell per strategy of the
+/// SP/ECMP/URP trio, every cell regenerating the identical topology and
+/// workload from the scenario seed so the sweep stays embarrassingly
+/// parallel and byte-stable at any thread count.
+fn scenario_spec(id: &str, opts: &SweepOptions) -> Option<SweepSpec> {
+    use inrpp::scenario::{scenario_by_id, ScenarioStrategy};
+    let mut sc = scenario_by_id(id)?;
+    if opts.quick {
+        sc = sc.quick();
+    }
+    let title = format!(
+        "Scenario {} x {} — SP/ECMP/URP trio (load {}x, {}s window{})",
+        sc.topology.slug(),
+        sc.traffic.slug(),
+        sc.load,
+        sc.duration.as_secs_f64(),
+        if opts.quick { ", quick mode" } else { "" },
+    );
+    let mut spec = SweepSpec::new(
+        id,
+        title.as_str(),
+        ["strategy", "throughput", "delivered Mbit", "completed/arrived", "mean FCT", "jain"],
+    );
+    for strat in ScenarioStrategy::all() {
+        spec.push_cell(strat.name(), move |_ctx| {
+            let r = sc.run_one(strat);
+            CellOutput::new()
+                .with_row([
+                    r.strategy.clone(),
+                    f(r.throughput(), 3),
+                    f(r.delivered_bits / 1e6, 1),
+                    format!("{}/{}", r.completed_flows, r.arrived_flows),
+                    format!("{}s", f(r.mean_fct_secs, 3)),
+                    f(r.mean_jain, 3),
+                ])
+                .with_data([r.throughput()])
+        });
+    }
+    spec.set_finish(|outputs, report| {
+        let sp = outputs[0].data[0];
+        let urp = outputs[2].data[0];
+        if sp > 0.0 {
+            report.notes.push(format!(
+                "URP vs SP throughput: {:+.1}%",
+                100.0 * (urp - sp) / sp
+            ));
+        }
+    });
+    spec.push_note(
+        "catalog cell: in-network pooling (URP) against the e2e baselines on a \
+         synthetic topology x traffic family composition; see ARCHITECTURE.md \
+         'Scenario catalog'",
+    );
+    Some(spec)
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -944,6 +1021,44 @@ mod tests {
         }
         assert_eq!(report.rows[9][0], "Average");
         assert!(report.notes[0].contains("worst per-cell deviation"));
+    }
+
+    #[test]
+    fn scenario_catalog_is_fully_registered() {
+        // every catalog cell has a registry row, and every registered
+        // scenario id resolves to a catalog cell
+        let registered: Vec<&str> = EXPERIMENTS
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| id.starts_with("scenario:"))
+            .collect();
+        let catalog = inrpp::scenario::scenario_catalog();
+        assert_eq!(registered.len(), catalog.len());
+        assert!(registered.len() >= 8, "catalog must expose at least 8 sweeps");
+        for spec in &catalog {
+            assert!(registered.contains(&spec.id().as_str()), "{} unregistered", spec.id());
+        }
+        assert!(build("scenario:not-a:family", &SweepOptions::default()).is_none());
+    }
+
+    #[test]
+    fn scenario_sweep_runs_the_trio() {
+        let opts = SweepOptions {
+            quick: true,
+            ..SweepOptions::default()
+        };
+        let spec = build("scenario:het-dumbbell:heavy-tail", &opts).unwrap();
+        assert_eq!(spec.len(), 3, "one cell per strategy");
+        let report = run_sweep(&spec, &RunnerConfig { threads: 2 });
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0][0], "SP");
+        assert_eq!(report.rows[1][0], "ECMP");
+        assert_eq!(report.rows[2][0], "URP");
+        assert!(
+            report.notes.iter().any(|n| n.contains("URP vs SP throughput")),
+            "missing gain note: {:?}",
+            report.notes
+        );
     }
 
     #[test]

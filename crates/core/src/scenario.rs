@@ -3,17 +3,27 @@
 //! The binaries in `inrpp-bench` and the runnable examples build on these
 //! helpers so every regeneration of a figure uses the same calibrated
 //! setup: capacity proxy, load scaling, strategy trio, seed handling.
+//!
+//! Beyond the paper's own Fig. 4 setup, the **scenario catalog**
+//! ([`ScenarioSpec`]) composes a synthetic topology family
+//! ([`TopologyFamily`], built on `inrpp_topology::synth`) with a traffic
+//! family ([`TrafficFamily`], built on the flowsim workload profiles) into
+//! addressable cells like `scenario:fat-tree:flash-crowd`, each runnable
+//! through the same SP/ECMP/URP strategy trio.
 
 use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
 use inrpp_flowsim::strategy::{
     EcmpStrategy, InrpConfig, InrpStrategy, RoutingStrategy, SinglePathStrategy,
 };
-use inrpp_flowsim::workload::{PairSelector, Workload, WorkloadConfig};
+use inrpp_flowsim::workload::{
+    ArrivalProfile, PairSelector, SizeProfile, Workload, WorkloadConfig, WorkloadError,
+};
 use inrpp_flowsim::FlowSimReport;
 use inrpp_sim::time::SimDuration;
-use inrpp_topology::graph::Topology;
+use inrpp_topology::graph::{NodeId, Topology};
 use inrpp_topology::rocketfuel::{generate_with_capacities, CapacityPlan, Isp};
 use inrpp_topology::spath::hop_matrix;
+use inrpp_topology::synth;
 use inrpp_sim::units::Rate;
 
 /// A rough upper bound on concurrently deliverable traffic: total directed
@@ -140,6 +150,7 @@ pub fn build_workload(topo: &Topology, cfg: &Fig4Config) -> Workload {
             arrival_rate,
             mean_size_bits: cfg.mean_flow_bits,
             pairs: PairSelector::Uniform,
+            ..WorkloadConfig::default()
         },
         cfg.duration,
         cfg.seed,
@@ -175,6 +186,365 @@ pub fn run_fig4_row(isp: Isp, cfg: &Fig4Config) -> StrategyComparison {
 /// The three topologies the paper uses in Fig. 4.
 pub fn fig4_topologies() -> [Isp; 3] {
     [Isp::Telstra, Isp::Exodus, Isp::Tiscali]
+}
+
+// ===================================================================
+// Scenario catalog
+// ===================================================================
+
+/// A synthetic topology family of the scenario catalog, with its catalog
+/// parameterisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyFamily {
+    /// Dumbbell with heterogeneous access links and a pooled side path
+    /// ([`inrpp_topology::synth::het_dumbbell`]).
+    HetDumbbell {
+        /// Sender/receiver pairs.
+        pairs: usize,
+    },
+    /// Parking-lot multi-bottleneck chain with per-segment detours
+    /// ([`inrpp_topology::synth::parking_lot`]).
+    ParkingLot {
+        /// Chain segments (= bottleneck links).
+        segments: usize,
+    },
+    /// k-ary fat-tree fabric with hosts
+    /// ([`inrpp_topology::synth::fat_tree`]).
+    FatTree {
+        /// Fabric arity (even, >= 4).
+        k: usize,
+    },
+    /// Barabási–Albert scale-free graph
+    /// ([`inrpp_topology::synth::barabasi_albert`]).
+    ScaleFree {
+        /// Total node count.
+        nodes: usize,
+        /// Links each new node attaches with (>= 2).
+        attach: usize,
+    },
+}
+
+impl TopologyFamily {
+    /// The catalog's canonical parameterisation of every family, in
+    /// catalog order.
+    pub fn catalog() -> [TopologyFamily; 4] {
+        [
+            TopologyFamily::HetDumbbell { pairs: 8 },
+            TopologyFamily::ParkingLot { segments: 4 },
+            TopologyFamily::FatTree { k: 4 },
+            TopologyFamily::ScaleFree {
+                nodes: 32,
+                attach: 2,
+            },
+        ]
+    }
+
+    /// Stable identifier fragment (`scenario:<topology>:<traffic>`).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            TopologyFamily::HetDumbbell { .. } => "het-dumbbell",
+            TopologyFamily::ParkingLot { .. } => "parking-lot",
+            TopologyFamily::FatTree { .. } => "fat-tree",
+            TopologyFamily::ScaleFree { .. } => "scale-free",
+        }
+    }
+
+    /// Build the topology, deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> Topology {
+        match *self {
+            TopologyFamily::HetDumbbell { pairs } => synth::het_dumbbell(pairs, seed),
+            TopologyFamily::ParkingLot { segments } => synth::parking_lot(segments, seed),
+            TopologyFamily::FatTree { k } => synth::fat_tree(k, seed),
+            TopologyFamily::ScaleFree { nodes, attach } => {
+                synth::barabasi_albert(nodes, attach, seed)
+            }
+        }
+    }
+}
+
+/// A traffic family of the scenario catalog: arrival-time profile ×
+/// flow-size law × endpoint selection, pre-composed into the shapes the
+/// related pooling literature cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficFamily {
+    /// Flash crowd: steady background, then a 4× arrival step at half the
+    /// window, all converging on one edge "server" node.
+    FlashCrowd,
+    /// Diurnal sinusoidal arrival modulation between edge nodes.
+    Diurnal,
+    /// Heavy-tailed (bounded-Pareto) flow sizes with gravity endpoint
+    /// skew — the CDN-like demand shape.
+    HeavyTail,
+    /// Mixed elastic + constant-rate flows between edge nodes.
+    Mixed,
+}
+
+impl TrafficFamily {
+    /// Every family, in catalog order.
+    pub fn catalog() -> [TrafficFamily; 4] {
+        [
+            TrafficFamily::FlashCrowd,
+            TrafficFamily::Diurnal,
+            TrafficFamily::HeavyTail,
+            TrafficFamily::Mixed,
+        ]
+    }
+
+    /// Stable identifier fragment (`scenario:<topology>:<traffic>`).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            TrafficFamily::FlashCrowd => "flash-crowd",
+            TrafficFamily::Diurnal => "diurnal",
+            TrafficFamily::HeavyTail => "heavy-tail",
+            TrafficFamily::Mixed => "mixed",
+        }
+    }
+
+    /// The arrival profile of this family.
+    pub fn arrivals(&self) -> ArrivalProfile {
+        match self {
+            TrafficFamily::FlashCrowd => ArrivalProfile::FlashCrowd {
+                onset: 0.5,
+                magnitude: 4.0,
+            },
+            TrafficFamily::Diurnal => ArrivalProfile::Diurnal {
+                cycles: 2.0,
+                amplitude: 0.8,
+            },
+            TrafficFamily::HeavyTail | TrafficFamily::Mixed => ArrivalProfile::Steady,
+        }
+    }
+
+    /// The flow-size law of this family.
+    pub fn sizes(&self) -> SizeProfile {
+        match self {
+            TrafficFamily::HeavyTail => SizeProfile::HeavyTail { shape: 1.5 },
+            TrafficFamily::Mixed => SizeProfile::Mixed {
+                bulk_frac: 0.25,
+                bulk_factor: 3.0,
+            },
+            _ => SizeProfile::Exponential,
+        }
+    }
+
+    /// Endpoint selection for this family on `topo`.
+    pub fn pairs(&self, topo: &Topology) -> PairSelector {
+        match self {
+            TrafficFamily::FlashCrowd => PairSelector::Hotspot(flash_crowd_server(topo)),
+            TrafficFamily::HeavyTail => PairSelector::Gravity { exponent: 1.0 },
+            TrafficFamily::Diurnal | TrafficFamily::Mixed => PairSelector::EdgeToEdge,
+        }
+    }
+}
+
+/// The deterministic "content server" a flash crowd converges on: the
+/// topology's hub (highest-degree node, lowest id on ties). A multi-homed
+/// hub keeps the crowd's bottleneck *inside* the network — where pooling
+/// has detours to recruit — instead of on a single access link.
+///
+/// # Panics
+/// Panics on an empty topology.
+pub fn flash_crowd_server(topo: &Topology) -> NodeId {
+    synth::hub_node(topo).expect("catalog topologies are non-empty")
+}
+
+/// One cell of the scenario catalog: a topology family × traffic family
+/// composition plus the load calibration the strategy trio runs under.
+///
+/// ```
+/// use inrpp::scenario::{scenario_by_id, ScenarioSpec, TopologyFamily, TrafficFamily};
+///
+/// let spec = ScenarioSpec::new(
+///     TopologyFamily::FatTree { k: 4 },
+///     TrafficFamily::FlashCrowd,
+/// );
+/// assert_eq!(spec.id(), "scenario:fat-tree:flash-crowd");
+/// assert_eq!(scenario_by_id(&spec.id()), Some(spec));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Topology family (with parameters).
+    pub topology: TopologyFamily,
+    /// Traffic family.
+    pub traffic: TrafficFamily,
+    /// Offered load as a multiple of the scenario's capacity reference
+    /// ([`ScenarioSpec::target_offered_rate`]): the network-wide
+    /// [`transport_capacity_proxy`], except for flash crowds, which are
+    /// calibrated against the server's ingress capacity. Averaged over
+    /// the arrival profile's window.
+    pub load: f64,
+    /// Arrival window; also the simulation horizon, so unfinished traffic
+    /// counts against throughput (the Fig. 4 convention).
+    pub duration: SimDuration,
+    /// Mean flow size in bits.
+    pub mean_flow_bits: f64,
+    /// Seed for both the topology build and the workload.
+    pub seed: u64,
+    /// INRP (URP) strategy knobs.
+    pub inrp: InrpConfig,
+}
+
+impl ScenarioSpec {
+    /// The calibrated default cell for a family pair: moderate overload
+    /// (1.3× the capacity reference) over a 3 s window. The 10 Mbit mean
+    /// flow size keeps cells affordable — offered load is set by
+    /// `load`, so fewer-but-larger flows trade event-loop work, not
+    /// pressure.
+    pub fn new(topology: TopologyFamily, traffic: TrafficFamily) -> Self {
+        ScenarioSpec {
+            topology,
+            traffic,
+            load: 1.3,
+            duration: SimDuration::from_secs(3),
+            mean_flow_bits: 10e6,
+            seed: 1221,
+            inrp: Fig4Config::default().inrp,
+        }
+    }
+
+    /// The catalog identifier: `scenario:<topology>:<traffic>`.
+    pub fn id(&self) -> String {
+        format!("scenario:{}:{}", self.topology.slug(), self.traffic.slug())
+    }
+
+    /// A short-horizon variant for smokes and determinism gates.
+    pub fn quick(mut self) -> Self {
+        self.duration = SimDuration::from_millis(800);
+        self
+    }
+
+    /// Build this scenario's topology.
+    pub fn build_topology(&self) -> Topology {
+        self.topology.build(self.seed)
+    }
+
+    /// The offered-load reference in bits/s that `load` multiplies: the
+    /// flash-crowd server's total ingress capacity when every flow
+    /// converges on it, the network-wide [`transport_capacity_proxy`]
+    /// otherwise.
+    pub fn target_offered_rate(&self, topo: &Topology) -> f64 {
+        match self.traffic {
+            TrafficFamily::FlashCrowd => {
+                let server = flash_crowd_server(topo);
+                topo.neighbors(server)
+                    .iter()
+                    .map(|&(_, l)| topo.link(l).capacity.as_bps())
+                    .sum()
+            }
+            _ => transport_capacity_proxy(topo),
+        }
+    }
+
+    /// The workload configuration on `topo`: the base arrival rate is
+    /// calibrated so the *window-averaged* offered load is
+    /// `load × target_offered_rate(topo)` regardless of the arrival
+    /// profile's shape.
+    pub fn workload_config(&self, topo: &Topology) -> WorkloadConfig {
+        let arrivals = self.traffic.arrivals();
+        let offered = self.load * self.target_offered_rate(topo);
+        let base_rate =
+            (offered / self.mean_flow_bits / arrivals.mean_factor()).max(1e-3);
+        WorkloadConfig {
+            arrival_rate: base_rate,
+            mean_size_bits: self.mean_flow_bits,
+            pairs: self.traffic.pairs(topo),
+            arrivals,
+            sizes: self.traffic.sizes(),
+        }
+    }
+
+    /// Generate the scenario workload on `topo`.
+    pub fn build_workload(&self, topo: &Topology) -> Result<Workload, WorkloadError> {
+        Workload::try_generate(topo, &self.workload_config(topo), self.duration, self.seed)
+    }
+
+    /// Run a single strategy of the trio.
+    ///
+    /// # Panics
+    /// Panics if the workload cannot be generated (degenerate spec).
+    pub fn run_one(&self, strategy: ScenarioStrategy) -> FlowSimReport {
+        let topo = self.build_topology();
+        let workload = self
+            .build_workload(&topo)
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", self.id()));
+        let cfg = FlowSimConfig {
+            horizon: self.duration,
+        };
+        match strategy {
+            ScenarioStrategy::Sp => {
+                FlowSim::new(&topo, &SinglePathStrategy, &workload, cfg).run()
+            }
+            ScenarioStrategy::Ecmp => {
+                FlowSim::new(&topo, &EcmpStrategy::default(), &workload, cfg).run()
+            }
+            ScenarioStrategy::Urp => {
+                let inrp = InrpStrategy::new(&topo, self.inrp);
+                FlowSim::new(&topo, &inrp, &workload, cfg).run()
+            }
+        }
+    }
+
+    /// Run the full SP/ECMP/URP trio on the shared workload.
+    ///
+    /// # Panics
+    /// Panics if the workload cannot be generated (degenerate spec).
+    pub fn run(&self) -> StrategyComparison {
+        StrategyComparison {
+            topology: self.build_topology().name().to_string(),
+            sp: self.run_one(ScenarioStrategy::Sp),
+            ecmp: self.run_one(ScenarioStrategy::Ecmp),
+            urp: self.run_one(ScenarioStrategy::Urp),
+        }
+    }
+}
+
+/// One contender of the scenario strategy trio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioStrategy {
+    /// Single shortest path.
+    Sp,
+    /// Equal-cost multipath.
+    Ecmp,
+    /// In-network resource pooling (URP).
+    Urp,
+}
+
+impl ScenarioStrategy {
+    /// All three, in reporting order.
+    pub fn all() -> [ScenarioStrategy; 3] {
+        [
+            ScenarioStrategy::Sp,
+            ScenarioStrategy::Ecmp,
+            ScenarioStrategy::Urp,
+        ]
+    }
+
+    /// Display name matching the flowsim report's `strategy` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioStrategy::Sp => "SP",
+            ScenarioStrategy::Ecmp => "ECMP",
+            ScenarioStrategy::Urp => "URP",
+        }
+    }
+}
+
+/// The full scenario catalog: every topology family × every traffic
+/// family at the calibrated defaults, in deterministic (topology-major)
+/// order.
+pub fn scenario_catalog() -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    for topo in TopologyFamily::catalog() {
+        for traffic in TrafficFamily::catalog() {
+            out.push(ScenarioSpec::new(topo, traffic));
+        }
+    }
+    out
+}
+
+/// Look up a catalog cell by its `scenario:<topology>:<traffic>` id.
+pub fn scenario_by_id(id: &str) -> Option<ScenarioSpec> {
+    scenario_catalog().into_iter().find(|s| s.id() == id)
 }
 
 #[cfg(test)]
@@ -250,6 +620,83 @@ mod tests {
     fn fig4_topologies_match_paper() {
         let names: Vec<&str> = fig4_topologies().iter().map(|i| i.name()).collect();
         assert_eq!(names, vec!["Telstra (AUS)", "Exodus (US)", "Tiscali (EU)"]);
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_roundtrip() {
+        let catalog = scenario_catalog();
+        assert_eq!(catalog.len(), 16, "4 topology x 4 traffic families");
+        let mut seen = std::collections::HashSet::new();
+        for spec in &catalog {
+            let id = spec.id();
+            assert!(id.starts_with("scenario:"), "{id}");
+            assert!(seen.insert(id.clone()), "duplicate id {id}");
+            assert_eq!(scenario_by_id(&id), Some(*spec));
+        }
+        assert_eq!(scenario_by_id("scenario:no-such:family"), None);
+    }
+
+    #[test]
+    fn workload_calibration_hits_offered_load() {
+        // the base-rate calibration must deliver ~load x proxy offered
+        // bits regardless of the arrival profile's mean factor
+        for traffic in TrafficFamily::catalog() {
+            let spec = ScenarioSpec {
+                duration: SimDuration::from_secs(8),
+                ..ScenarioSpec::new(TopologyFamily::HetDumbbell { pairs: 8 }, traffic)
+            };
+            let topo = spec.build_topology();
+            let w = spec.build_workload(&topo).expect("catalog workloads generate");
+            let offered = w.offered_rate(spec.duration);
+            let target = spec.load * spec.target_offered_rate(&topo);
+            assert!(
+                (offered - target).abs() < target * 0.25,
+                "{}: offered {offered:.3e} vs target {target:.3e}",
+                spec.id()
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_scenario_targets_the_server() {
+        let spec = ScenarioSpec::new(
+            TopologyFamily::ParkingLot { segments: 4 },
+            TrafficFamily::FlashCrowd,
+        )
+        .quick();
+        let topo = spec.build_topology();
+        let server = flash_crowd_server(&topo);
+        assert_eq!(server, inrpp_topology::synth::hub_node(&topo).unwrap());
+        let w = spec.build_workload(&topo).unwrap();
+        assert!(w.flows.iter().all(|f| f.dst == server));
+        // flash crowds are calibrated against the server's ingress, which
+        // is far below the network-wide proxy on this chain
+        assert!(spec.target_offered_rate(&topo) < transport_capacity_proxy(&topo));
+    }
+
+    #[test]
+    fn scenario_trio_runs_and_is_deterministic() {
+        let spec = ScenarioSpec::new(
+            TopologyFamily::HetDumbbell { pairs: 8 },
+            TrafficFamily::HeavyTail,
+        )
+        .quick();
+        let a = spec.run();
+        assert_eq!(a.sp.strategy, "SP");
+        assert_eq!(a.ecmp.strategy, "ECMP");
+        assert_eq!(a.urp.strategy, "URP");
+        assert!(a.sp.arrived_flows > 0);
+        assert!(a.urp.throughput() > 0.0 && a.urp.throughput() <= 1.0 + 1e-9);
+        // pooling never hurts on the dumbbell's side path
+        assert!(
+            a.urp.throughput() >= a.sp.throughput() * 0.98,
+            "URP {} vs SP {}",
+            a.urp.throughput(),
+            a.sp.throughput()
+        );
+        let b = spec.run();
+        assert_eq!(a.urp.delivered_bits, b.urp.delivered_bits);
+        assert_eq!(a.sp.delivered_bits, b.sp.delivered_bits);
     }
 
     #[test]

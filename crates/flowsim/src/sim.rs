@@ -360,6 +360,7 @@ mod tests {
                 arrival_rate: rate,
                 mean_size_bits: 2e6,
                 pairs: PairSelector::Uniform,
+                ..WorkloadConfig::default()
             },
             SimDuration::from_secs(secs),
             seed,
@@ -419,6 +420,7 @@ mod tests {
                 arrival_rate: 2000.0,
                 mean_size_bits: 20e6,
                 pairs: PairSelector::Uniform,
+                ..WorkloadConfig::default()
             },
             SimDuration::from_secs(2),
             5,
@@ -459,6 +461,7 @@ mod tests {
                 arrival_rate: 120.0,
                 mean_size_bits: 150e6,
                 pairs: PairSelector::Uniform,
+                ..WorkloadConfig::default()
             },
             SimDuration::from_secs(3),
             1221,
@@ -510,6 +513,7 @@ mod tests {
                 arrival_rate: 300.0,
                 mean_size_bits: 30e6,
                 pairs: PairSelector::Uniform,
+                ..WorkloadConfig::default()
             },
             SimDuration::from_secs(3),
             9,

@@ -4,8 +4,18 @@
 //! selection are not pinned down in the paper, so the generator exposes
 //! them as knobs with defaults documented in `EXPERIMENTS.md`: exponential
 //! flow sizes (mean 25 Mbit) between uniformly random distinct node pairs.
+//!
+//! The scenario catalog adds two orthogonal axes on top:
+//!
+//! * [`ArrivalProfile`] — time-varying arrival intensity (flash-crowd step,
+//!   diurnal sinusoid), realised by thinning a homogeneous Poisson process
+//!   at the peak rate so determinism and exactness are preserved;
+//! * [`SizeProfile`] — flow-size law (exponential, heavy-tailed bounded
+//!   Pareto, or a bimodal elastic + constant-rate mix).
 
-use inrpp_sim::dist::{Discrete, Distribution, Exponential, PoissonProcess};
+use std::fmt;
+
+use inrpp_sim::dist::{BoundedPareto, Discrete, Distribution, Exponential, PoissonProcess};
 use inrpp_sim::rng::SimRng;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_topology::graph::{NodeId, Tier, Topology};
@@ -45,15 +55,303 @@ pub enum PairSelector {
     },
 }
 
+/// Time profile of the arrival intensity over the generation window.
+///
+/// The instantaneous arrival rate is `arrival_rate * factor_at(t / T)`
+/// where `T` is the window length; `Steady` keeps the classic homogeneous
+/// Poisson process. Non-homogeneous profiles are realised by *thinning*: a
+/// homogeneous process runs at the profile's peak rate and each arrival is
+/// kept with probability `factor_at / peak`, which samples the exact
+/// non-homogeneous law deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalProfile {
+    /// Homogeneous Poisson at `arrival_rate` (the Fig. 4 setup).
+    #[default]
+    Steady,
+    /// Flash crowd: base rate until `onset` (fraction of the window in
+    /// `[0, 1)`), then a step to `magnitude >= 1` times the base rate.
+    FlashCrowd {
+        /// Step instant as a fraction of the window.
+        onset: f64,
+        /// Rate multiplier after the step.
+        magnitude: f64,
+    },
+    /// Diurnal modulation: `rate(t) = base * (1 + amplitude * sin(2π *
+    /// cycles * t / T))`, with `amplitude` in `[0, 1)` so the rate stays
+    /// positive.
+    Diurnal {
+        /// Whole modulation periods across the window.
+        cycles: f64,
+        /// Relative swing around the base rate.
+        amplitude: f64,
+    },
+}
+
+impl ArrivalProfile {
+    /// Intensity multiplier at `frac` (elapsed fraction of the window).
+    pub fn factor_at(&self, frac: f64) -> f64 {
+        match *self {
+            ArrivalProfile::Steady => 1.0,
+            ArrivalProfile::FlashCrowd { onset, magnitude } => {
+                if frac >= onset {
+                    magnitude
+                } else {
+                    1.0
+                }
+            }
+            ArrivalProfile::Diurnal { cycles, amplitude } => {
+                1.0 + amplitude * (std::f64::consts::TAU * cycles * frac).sin()
+            }
+        }
+    }
+
+    /// The largest multiplier the profile can reach (thinning envelope).
+    pub fn peak_factor(&self) -> f64 {
+        match *self {
+            ArrivalProfile::Steady => 1.0,
+            ArrivalProfile::FlashCrowd { magnitude, .. } => magnitude.max(1.0),
+            ArrivalProfile::Diurnal { amplitude, .. } => 1.0 + amplitude,
+        }
+    }
+
+    /// The window-averaged multiplier — what to divide a target offered
+    /// load by when calibrating the base rate.
+    pub fn mean_factor(&self) -> f64 {
+        match *self {
+            ArrivalProfile::Steady => 1.0,
+            ArrivalProfile::FlashCrowd { onset, magnitude } => {
+                let onset = onset.clamp(0.0, 1.0);
+                onset + (1.0 - onset) * magnitude.max(1.0)
+            }
+            // exact sine integral: whole cycles reduce to 1, fractional
+            // cycles keep the residual half-wave's mass
+            ArrivalProfile::Diurnal { cycles, amplitude } => {
+                let w = std::f64::consts::TAU * cycles;
+                1.0 + amplitude * (1.0 - w.cos()) / w
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            ArrivalProfile::Steady => Ok(()),
+            ArrivalProfile::FlashCrowd { onset, magnitude } => {
+                if !(0.0..1.0).contains(&onset) || !magnitude.is_finite() || magnitude < 1.0 {
+                    Err(WorkloadError::InvalidProfile(format!(
+                        "flash crowd needs onset in [0, 1) and magnitude >= 1, \
+                         got onset {onset}, magnitude {magnitude}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalProfile::Diurnal { cycles, amplitude } => {
+                if !(0.0..1.0).contains(&amplitude) || !cycles.is_finite() || cycles <= 0.0 {
+                    Err(WorkloadError::InvalidProfile(format!(
+                        "diurnal needs cycles > 0 and amplitude in [0, 1), \
+                         got cycles {cycles}, amplitude {amplitude}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Flow-size law. Every variant is calibrated so the *mean* size equals
+/// `WorkloadConfig::mean_size_bits` — profiles reshape the distribution,
+/// not the offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SizeProfile {
+    /// Exponential sizes (the default, memoryless).
+    #[default]
+    Exponential,
+    /// Heavy-tailed sizes: bounded Pareto with the given shape, truncated
+    /// at 1000× its scale (mice-and-elephants, the CDN regime).
+    HeavyTail {
+        /// Pareto shape `α > 1` keeps the mean finite before truncation;
+        /// the bound makes any positive shape usable.
+        shape: f64,
+    },
+    /// Mixed elastic + constant-rate traffic: with probability
+    /// `bulk_frac` a flow is a fixed-size "CBR-like" stream of
+    /// `bulk_factor × mean` bits (a constant-rate source of rate ρ held
+    /// for H seconds is ρ·H bits at the fluid level); the remaining flows
+    /// are elastic with exponential sizes whose mean is adjusted so the
+    /// mixture mean stays at `mean_size_bits`.
+    Mixed {
+        /// Fraction of constant-rate flows, in `(0, 1)`.
+        bulk_frac: f64,
+        /// Constant-rate flow size as a multiple of the mixture mean;
+        /// must satisfy `bulk_frac * bulk_factor < 1`.
+        bulk_factor: f64,
+    },
+}
+
+impl SizeProfile {
+    fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            SizeProfile::Exponential => Ok(()),
+            SizeProfile::HeavyTail { shape } => {
+                if !shape.is_finite() || shape <= 0.0 {
+                    Err(WorkloadError::InvalidProfile(format!(
+                        "heavy-tail shape must be positive, got {shape}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            SizeProfile::Mixed {
+                bulk_frac,
+                bulk_factor,
+            } => {
+                if !(0.0..1.0).contains(&bulk_frac)
+                    || bulk_frac <= 0.0
+                    || !bulk_factor.is_finite()
+                    || bulk_factor <= 0.0
+                    || bulk_frac * bulk_factor >= 1.0
+                {
+                    Err(WorkloadError::InvalidProfile(format!(
+                        "mixed profile needs bulk_frac in (0, 1) and \
+                         bulk_frac * bulk_factor < 1, got {bulk_frac} x {bulk_factor}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Per-flow size sampler compiled from a [`SizeProfile`].
+enum SizeSampler {
+    Exponential(Exponential),
+    HeavyTail(BoundedPareto),
+    Mixed {
+        bulk_frac: f64,
+        bulk_bits: f64,
+        elastic: Exponential,
+    },
+}
+
+impl SizeSampler {
+    /// Pareto truncation point as a multiple of the scale.
+    const HEAVY_TAIL_CAP: f64 = 1000.0;
+
+    fn build(profile: SizeProfile, mean_bits: f64) -> Result<SizeSampler, WorkloadError> {
+        profile.validate()?;
+        Ok(match profile {
+            SizeProfile::Exponential => SizeSampler::Exponential(
+                Exponential::with_mean(mean_bits).expect("mean validated by caller"),
+            ),
+            SizeProfile::HeavyTail { shape } => {
+                // unit-scale mean of the truncated law → solve for the scale
+                let unit = BoundedPareto::new(1.0, shape, Self::HEAVY_TAIL_CAP)
+                    .expect("validated shape")
+                    .mean()
+                    .expect("bounded Pareto always has a mean");
+                let scale = mean_bits / unit;
+                SizeSampler::HeavyTail(
+                    BoundedPareto::new(scale, shape, scale * Self::HEAVY_TAIL_CAP)
+                        .expect("positive scale"),
+                )
+            }
+            SizeProfile::Mixed {
+                bulk_frac,
+                bulk_factor,
+            } => {
+                let bulk_bits = bulk_factor * mean_bits;
+                // preserve the mixture mean: f·c + (1-f)·m_e = mean
+                let elastic_mean =
+                    mean_bits * (1.0 - bulk_frac * bulk_factor) / (1.0 - bulk_frac);
+                SizeSampler::Mixed {
+                    bulk_frac,
+                    bulk_bits,
+                    elastic: Exponential::with_mean(elastic_mean)
+                        .expect("validate() keeps the elastic mean positive"),
+                }
+            }
+        })
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            SizeSampler::Exponential(e) => e.sample(rng),
+            SizeSampler::HeavyTail(p) => p.sample(rng),
+            SizeSampler::Mixed {
+                bulk_frac,
+                bulk_bits,
+                elastic,
+            } => {
+                if rng.chance(*bulk_frac) {
+                    *bulk_bits
+                } else {
+                    elastic.sample(rng)
+                }
+            }
+        }
+    }
+}
+
+/// Why a workload could not be generated.
+///
+/// The dangerous failure mode is the *silent* one: a zero offered load or
+/// a one-node topology used to yield an empty workload, which downstream
+/// sweeps would report as a vacuous run. [`Workload::try_generate`]
+/// rejects those inputs with a typed error instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Fewer than two nodes — no (src, dst) pair exists.
+    TooFewNodes(usize),
+    /// `arrival_rate` was zero, negative, or non-finite.
+    NonPositiveArrivalRate(f64),
+    /// `mean_size_bits` was zero, negative, or non-finite.
+    NonPositiveMeanSize(f64),
+    /// A profile parameter was out of range (details in the message).
+    InvalidProfile(String),
+    /// The window produced no flows at all (zero offered load) — e.g. a
+    /// zero-length duration.
+    EmptyWorkload,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::TooFewNodes(n) => {
+                write!(f, "workload needs at least two nodes to pick pairs, got {n}")
+            }
+            WorkloadError::NonPositiveArrivalRate(r) => {
+                write!(f, "arrival rate must be positive, got {r}")
+            }
+            WorkloadError::NonPositiveMeanSize(s) => {
+                write!(f, "mean flow size must be positive, got {s}")
+            }
+            WorkloadError::InvalidProfile(msg) => write!(f, "invalid traffic profile: {msg}"),
+            WorkloadError::EmptyWorkload => {
+                write!(f, "generation window produced zero flows (zero offered load)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// Workload parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
-    /// Mean flow arrivals per second.
+    /// Mean flow arrivals per second (the *base* rate an
+    /// [`ArrivalProfile`] modulates).
     pub arrival_rate: f64,
-    /// Mean flow size in bits (sizes are exponential around this mean).
+    /// Mean flow size in bits (every [`SizeProfile`] is calibrated to
+    /// this mean).
     pub mean_size_bits: f64,
     /// Endpoint sampling policy.
     pub pairs: PairSelector,
+    /// Arrival-intensity time profile.
+    pub arrivals: ArrivalProfile,
+    /// Flow-size law.
+    pub sizes: SizeProfile,
 }
 
 impl Default for WorkloadConfig {
@@ -62,6 +360,8 @@ impl Default for WorkloadConfig {
             arrival_rate: 100.0,
             mean_size_bits: 25e6,
             pairs: PairSelector::Uniform,
+            arrivals: ArrivalProfile::Steady,
+            sizes: SizeProfile::Exponential,
         }
     }
 }
@@ -78,23 +378,67 @@ pub struct Workload {
 impl Workload {
     /// Generate flows over `[0, duration)`.
     ///
+    /// Convenience wrapper over [`Workload::try_generate`] for callers
+    /// whose inputs are known-good (calibrated experiment configs).
+    ///
     /// # Panics
-    /// Panics if the topology has fewer than two nodes or the config rates
-    /// are non-positive.
+    /// Panics on any [`WorkloadError`] — fewer than two nodes,
+    /// non-positive rates, invalid profiles, or a window that produces
+    /// zero flows.
     pub fn generate(
         topo: &Topology,
         cfg: &WorkloadConfig,
         duration: SimDuration,
         seed: u64,
     ) -> Workload {
-        assert!(
-            topo.node_count() >= 2,
-            "workload needs at least two nodes to pick pairs"
-        );
-        let arrivals = PoissonProcess::new(cfg.arrival_rate)
-            .expect("arrival rate must be positive");
-        let sizes =
-            Exponential::with_mean(cfg.mean_size_bits).expect("mean size must be positive");
+        Workload::try_generate(topo, cfg, duration, seed)
+            .unwrap_or_else(|e| panic!("workload generation failed: {e}"))
+    }
+
+    /// Generate flows over `[0, duration)`, rejecting degenerate inputs
+    /// with a typed error instead of an empty workload.
+    ///
+    /// ```
+    /// use inrpp_flowsim::workload::{Workload, WorkloadConfig, WorkloadError};
+    /// use inrpp_sim::time::SimDuration;
+    /// use inrpp_sim::units::Rate;
+    /// use inrpp_topology::Topology;
+    ///
+    /// let topo = Topology::line(3, Rate::mbps(10.0), SimDuration::from_millis(1));
+    /// let w = Workload::try_generate(
+    ///     &topo, &WorkloadConfig::default(), SimDuration::from_secs(1), 7,
+    /// ).unwrap();
+    /// assert!(!w.is_empty());
+    ///
+    /// let mut one = Topology::new("one");
+    /// one.add_node();
+    /// let err = Workload::try_generate(
+    ///     &one, &WorkloadConfig::default(), SimDuration::from_secs(1), 7,
+    /// ).unwrap_err();
+    /// assert_eq!(err, WorkloadError::TooFewNodes(1));
+    /// ```
+    pub fn try_generate(
+        topo: &Topology,
+        cfg: &WorkloadConfig,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Result<Workload, WorkloadError> {
+        if topo.node_count() < 2 {
+            return Err(WorkloadError::TooFewNodes(topo.node_count()));
+        }
+        if !cfg.arrival_rate.is_finite() || cfg.arrival_rate <= 0.0 {
+            return Err(WorkloadError::NonPositiveArrivalRate(cfg.arrival_rate));
+        }
+        if !cfg.mean_size_bits.is_finite() || cfg.mean_size_bits <= 0.0 {
+            return Err(WorkloadError::NonPositiveMeanSize(cfg.mean_size_bits));
+        }
+        cfg.arrivals.validate()?;
+        let sizes = SizeSampler::build(cfg.sizes, cfg.mean_size_bits)?;
+        // thinning envelope: run the homogeneous process at the peak rate
+        let peak = cfg.arrivals.peak_factor();
+        let arrivals = PoissonProcess::new(cfg.arrival_rate * peak)
+            .expect("rate and peak factor validated above");
+        let window_secs = duration.as_secs_f64();
         let mut rng = SimRng::from_seed_u64(seed).derive(0xF10F);
 
         // Candidate endpoints, fixed up front for determinism.
@@ -127,6 +471,14 @@ impl Workload {
             t += arrivals.next_gap(&mut rng);
             if t.duration_since(SimTime::ZERO) >= duration {
                 break;
+            }
+            // thinning: accept with probability factor(t)/peak. For the
+            // steady profile the ratio is exactly 1, which `chance` short-
+            // circuits without consuming randomness — pre-profile streams
+            // stay byte-identical.
+            let frac = t.duration_since(SimTime::ZERO).as_secs_f64() / window_secs;
+            if !rng.chance(cfg.arrivals.factor_at(frac) / peak) {
+                continue;
             }
             let (src, dst) = match cfg.pairs {
                 PairSelector::Hotspot(h) => {
@@ -169,10 +521,13 @@ impl Workload {
             });
             id += 1;
         }
-        Workload {
+        if flows.is_empty() {
+            return Err(WorkloadError::EmptyWorkload);
+        }
+        Ok(Workload {
             flows,
             offered_bits,
-        }
+        })
     }
 
     /// Number of flows.
@@ -209,6 +564,7 @@ mod tests {
             arrival_rate: 200.0,
             mean_size_bits: 1e6,
             pairs: PairSelector::Uniform,
+            ..WorkloadConfig::default()
         }
     }
 
@@ -344,5 +700,205 @@ mod tests {
     fn sizes_are_positive() {
         let w = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 13);
         assert!(w.flows.iter().all(|f| f.size_bits >= 1.0));
+    }
+
+    // ---- typed-error regression (the silent-empty-workload fix) --------
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors() {
+        let t = topo();
+        let mut one = Topology::new("one");
+        one.add_node();
+        assert_eq!(
+            Workload::try_generate(&one, &cfg(), SimDuration::from_secs(1), 1).unwrap_err(),
+            WorkloadError::TooFewNodes(1)
+        );
+        let mut c = cfg();
+        c.arrival_rate = 0.0;
+        assert_eq!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1).unwrap_err(),
+            WorkloadError::NonPositiveArrivalRate(0.0)
+        );
+        let mut c = cfg();
+        c.mean_size_bits = -1.0;
+        assert_eq!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1).unwrap_err(),
+            WorkloadError::NonPositiveMeanSize(-1.0)
+        );
+        // zero offered load: an empty window must not come back as a
+        // vacuous empty workload
+        assert_eq!(
+            Workload::try_generate(&t, &cfg(), SimDuration::ZERO, 1).unwrap_err(),
+            WorkloadError::EmptyWorkload
+        );
+        assert!(WorkloadError::EmptyWorkload.to_string().contains("zero flows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload generation failed")]
+    fn generate_panics_on_degenerate_input() {
+        let mut c = cfg();
+        c.arrival_rate = -5.0;
+        let _ = Workload::generate(&topo(), &c, SimDuration::from_secs(1), 1);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let t = topo();
+        let mut c = cfg();
+        c.arrivals = ArrivalProfile::FlashCrowd {
+            onset: 1.5,
+            magnitude: 4.0,
+        };
+        assert!(matches!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1),
+            Err(WorkloadError::InvalidProfile(_))
+        ));
+        let mut c = cfg();
+        c.arrivals = ArrivalProfile::Diurnal {
+            cycles: 2.0,
+            amplitude: 1.0,
+        };
+        assert!(matches!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1),
+            Err(WorkloadError::InvalidProfile(_))
+        ));
+        let mut c = cfg();
+        c.sizes = SizeProfile::Mixed {
+            bulk_frac: 0.5,
+            bulk_factor: 2.0, // 0.5 * 2.0 >= 1: elastic mean would be zero
+        };
+        assert!(matches!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1),
+            Err(WorkloadError::InvalidProfile(_))
+        ));
+        let mut c = cfg();
+        c.sizes = SizeProfile::HeavyTail { shape: 0.0 };
+        assert!(matches!(
+            Workload::try_generate(&t, &c, SimDuration::from_secs(1), 1),
+            Err(WorkloadError::InvalidProfile(_))
+        ));
+    }
+
+    // ---- traffic families ---------------------------------------------
+
+    #[test]
+    fn steady_profile_matches_legacy_stream() {
+        // the thinning hook must not consume randomness on the steady
+        // profile: pre-catalog experiment bytes depend on it
+        let legacy = Workload::generate(&topo(), &cfg(), SimDuration::from_secs(5), 9);
+        let mut c = cfg();
+        c.arrivals = ArrivalProfile::Steady;
+        c.sizes = SizeProfile::Exponential;
+        assert_eq!(legacy, Workload::generate(&topo(), &c, SimDuration::from_secs(5), 9));
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_after_onset() {
+        let mut c = cfg();
+        c.arrivals = ArrivalProfile::FlashCrowd {
+            onset: 0.5,
+            magnitude: 4.0,
+        };
+        let w = Workload::generate(&topo(), &c, SimDuration::from_secs(40), 3);
+        let window = SimDuration::from_secs(40);
+        let late = w
+            .flows
+            .iter()
+            .filter(|f| f.arrival.duration_since(SimTime::ZERO) >= window / 2)
+            .count() as f64;
+        let early = w.len() as f64 - late;
+        // expected ratio 4:1; allow sampling noise
+        assert!(
+            late > early * 2.5,
+            "flash crowd did not step: {early} early vs {late} late"
+        );
+        // base-rate calibration helper: mean factor is 0.5 + 0.5*4
+        assert!((c.arrivals.mean_factor() - 2.5).abs() < 1e-12);
+        assert_eq!(c.arrivals.peak_factor(), 4.0);
+    }
+
+    #[test]
+    fn diurnal_profile_modulates_but_preserves_mean() {
+        let mut c = cfg();
+        c.arrivals = ArrivalProfile::Diurnal {
+            cycles: 2.0,
+            amplitude: 0.8,
+        };
+        let w = Workload::generate(&topo(), &c, SimDuration::from_secs(50), 3);
+        let expect = 200.0 * 50.0;
+        let got = w.len() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.1,
+            "diurnal mean rate drifted: {got} vs ~{expect}"
+        );
+        // arrivals in the first quarter (rising sine) must clearly outnumber
+        // the second quarter (falling below base) of each cycle
+        let bucket = |f: &FlowSpec| {
+            (f.arrival.duration_since(SimTime::ZERO).as_secs_f64() / 50.0 * 8.0) as usize % 4
+        };
+        let counts = w.flows.iter().fold([0usize; 4], |mut acc, f| {
+            acc[bucket(f)] += 1;
+            acc
+        });
+        assert!(
+            counts[0] > counts[2] * 2,
+            "sinusoid not visible in quarter counts: {counts:?}"
+        );
+        // whole cycles average out exactly...
+        assert!((c.arrivals.mean_factor() - 1.0).abs() < 1e-12);
+        // ...while a fractional window keeps the residual half-wave mass
+        let half = ArrivalProfile::Diurnal {
+            cycles: 0.5,
+            amplitude: 0.8,
+        };
+        let want = 1.0 + 0.8 * 2.0 / std::f64::consts::PI;
+        assert!(
+            (half.mean_factor() - want).abs() < 1e-12,
+            "fractional-cycle mean factor {} vs exact {want}",
+            half.mean_factor()
+        );
+    }
+
+    #[test]
+    fn heavy_tail_sizes_match_mean_and_are_skewed() {
+        let mut c = cfg();
+        c.sizes = SizeProfile::HeavyTail { shape: 1.5 };
+        let w = Workload::generate(&topo(), &c, SimDuration::from_secs(200), 11);
+        let mean = w.offered_bits / w.len() as f64;
+        assert!(
+            (mean - 1e6).abs() < 0.15e6,
+            "heavy-tail mean {mean} drifted from 1e6"
+        );
+        // heavy tail: the median sits well below the mean
+        let mut sizes: Vec<f64> = w.flows.iter().map(|f| f.size_bits).collect();
+        sizes.sort_by(f64::total_cmp);
+        let median = sizes[sizes.len() / 2];
+        assert!(
+            median < 0.6 * mean,
+            "median {median} vs mean {mean}: not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn mixed_profile_is_bimodal_with_preserved_mean() {
+        let mut c = cfg();
+        c.sizes = SizeProfile::Mixed {
+            bulk_frac: 0.25,
+            bulk_factor: 3.0,
+        };
+        let w = Workload::generate(&topo(), &c, SimDuration::from_secs(200), 13);
+        let mean = w.offered_bits / w.len() as f64;
+        assert!((mean - 1e6).abs() < 0.1e6, "mixture mean {mean} drifted");
+        let bulk = w
+            .flows
+            .iter()
+            .filter(|f| (f.size_bits - 3e6).abs() < 1e-6)
+            .count() as f64;
+        let frac = bulk / w.len() as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.05,
+            "constant-rate fraction {frac} vs requested 0.25"
+        );
     }
 }

@@ -85,6 +85,42 @@ pub struct TransferSpec {
     pub start: SimTime,
 }
 
+impl TransferSpec {
+    /// A transfer carrying (at least) `bits` of payload: the chunk count
+    /// is `ceil(bits / chunk_bytes)`, minimum one chunk — the
+    /// quantisation a fluid-model flow needs when replayed through the
+    /// chunk-level engine (the flowsim↔packetsim differential harness).
+    ///
+    /// ```
+    /// use inrpp_packetsim::TransferSpec;
+    /// use inrpp_sim::time::SimTime;
+    /// use inrpp_sim::units::ByteSize;
+    /// use inrpp_topology::graph::NodeId;
+    ///
+    /// let t = TransferSpec::for_object_bits(
+    ///     1, NodeId(0), NodeId(1), 25_000.0, ByteSize::bytes(1250), SimTime::ZERO,
+    /// );
+    /// assert_eq!(t.chunks, 3); // 25 kbit over 10 kbit chunks, rounded up
+    /// ```
+    pub fn for_object_bits(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bits: f64,
+        chunk_bytes: ByteSize,
+        start: SimTime,
+    ) -> TransferSpec {
+        let chunks = (bits / chunk_bytes.as_bits() as f64).ceil().max(1.0) as u64;
+        TransferSpec {
+            flow,
+            src,
+            dst,
+            chunks,
+            start,
+        }
+    }
+}
+
 /// AIMD baseline parameters (receiver-driven window, ICP/TCP-style).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AimdConfig {

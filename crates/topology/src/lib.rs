@@ -17,6 +17,9 @@
 //! * [`rocketfuel`] — deterministic generators for the nine ISP topologies
 //!   of Table 1 (a documented substitution for the original Rocketfuel maps,
 //!   see `DESIGN.md` §3).
+//! * [`synth`] — synthetic scenario-catalog families: heterogeneous-access
+//!   dumbbell, parking-lot chain, k-ary fat-tree, Barabási–Albert
+//!   scale-free — all seed-deterministic and detour-capable.
 //! * [`io`] — plain-text edge-list serialisation.
 //! * [`stats`] — degree distribution, diameter, clustering.
 
@@ -31,6 +34,7 @@ pub mod kshort;
 pub mod rocketfuel;
 pub mod spath;
 pub mod stats;
+pub mod synth;
 
 pub use detour::{DetourClass, DetourStats, DetourTable};
 pub use graph::{LinkId, NodeId, Topology, TopologyError};

@@ -1,0 +1,483 @@
+//! Synthetic topology families for the scenario catalog.
+//!
+//! The Rocketfuel-substitute generator ([`crate::rocketfuel`]) reproduces
+//! the paper's nine ISP maps; the families here cover the *other* regimes
+//! where pooling behaviour is interesting — classic congestion-control
+//! shapes (dumbbell, parking lot), data-centre fabrics (fat-tree), and
+//! preferential-attachment graphs (Barabási–Albert) whose hub structure
+//! mimics CDN/ICN demand concentration.
+//!
+//! Contract shared by every generator (gated by `tests/properties.rs`):
+//!
+//! * **deterministic** — the same `(parameters, seed)` always produces the
+//!   byte-identical graph; all randomness flows through
+//!   [`inrpp_sim::rng::SimRng`] streams derived from the seed;
+//! * **connected** — every node can reach every other node;
+//! * **detour-capable** — between any two nodes of the family's demand
+//!   pool ([`demand_pool`]) there are at least two distinct loopless
+//!   paths, so in-network pooling always has an alternative to exploit.
+//!   The one principled exception is a pair single-homed behind the same
+//!   attachment router ([`share_attachment`]) — all its traffic must
+//!   cross the shared access hop, so no topology can offer it a detour;
+//! * **bounded** — capacities come from the family's declared menu
+//!   (see the per-family constants) and node degrees respect the
+//!   structural bounds documented on each constructor.
+
+use inrpp_sim::rng::SimRng;
+use inrpp_sim::time::SimDuration;
+use inrpp_sim::units::Rate;
+
+use crate::graph::{NodeId, Tier, Topology};
+
+/// Access-link capacity menu (Mbps) used by the heterogeneous families
+/// ([`het_dumbbell`], [`parking_lot`] hosts).
+pub const ACCESS_MBPS: [f64; 3] = [25.0, 50.0, 100.0];
+
+/// Core/backbone capacity menu (Mbps) used by [`barabasi_albert`].
+pub const SCALE_FREE_MBPS: [f64; 3] = [50.0, 100.0, 200.0];
+
+/// Uniform link capacity (Mbps) of the [`fat_tree`] fabric.
+pub const FAT_TREE_MBPS: f64 = 100.0;
+
+/// Bottleneck capacity (Mbps) of the [`het_dumbbell`] core link.
+pub const DUMBBELL_BOTTLENECK_MBPS: f64 = 100.0;
+
+/// Capacity (Mbps) of each hop of the dumbbell's side (detour) path.
+pub const DUMBBELL_DETOUR_MBPS: f64 = 60.0;
+
+/// Capacity (Mbps) of the parking-lot chain links.
+pub const PARKING_LOT_CHAIN_MBPS: f64 = 80.0;
+
+/// Capacity (Mbps) of each parking-lot per-segment detour hop.
+pub const PARKING_LOT_DETOUR_MBPS: f64 = 40.0;
+
+fn delay_ms(rng: &mut SimRng, lo: u64, hi: u64) -> SimDuration {
+    SimDuration::from_millis(lo + rng.index((hi - lo + 1) as usize) as u64)
+}
+
+fn pick_mbps(rng: &mut SimRng, menu: &[f64]) -> Rate {
+    Rate::mbps(*rng.pick(menu))
+}
+
+/// A dumbbell with **heterogeneous access links** and a pooled side path.
+///
+/// `pairs` senders (edge tier) attach to the left router and `pairs`
+/// receivers to the right router, each over an access link whose capacity
+/// is drawn from [`ACCESS_MBPS`] — so some sources can individually
+/// overdrive their fair share of the core. The two core routers are
+/// joined by the [`DUMBBELL_BOTTLENECK_MBPS`] bottleneck *and* by a
+/// two-hop side path through a detour router at
+/// [`DUMBBELL_DETOUR_MBPS`] per hop, the resource a pooling strategy can
+/// recruit when the bottleneck saturates.
+///
+/// Node layout: senders `0..pairs`, left router `pairs`, right router
+/// `pairs + 1`, detour router `pairs + 2`, receivers `pairs + 3 ..`.
+/// Maximum node degree is `pairs + 2` (the core routers).
+///
+/// # Panics
+/// Panics if `pairs == 0`.
+pub fn het_dumbbell(pairs: usize, seed: u64) -> Topology {
+    assert!(pairs >= 1, "het_dumbbell needs at least one sender/receiver pair");
+    let mut rng = SimRng::from_seed_u64(seed).derive(0xD0BB);
+    let mut t = Topology::new(format!("het-dumbbell{pairs}"));
+    let senders: Vec<NodeId> = (0..pairs)
+        .map(|i| t.add_named_node(format!("s{i}"), Tier::Edge).expect("unique"))
+        .collect();
+    let left = t.add_named_node("left", Tier::Core).expect("unique");
+    let right = t.add_named_node("right", Tier::Core).expect("unique");
+    let detour = t.add_named_node("detour", Tier::Aggregation).expect("unique");
+    let receivers: Vec<NodeId> = (0..pairs)
+        .map(|i| t.add_named_node(format!("r{i}"), Tier::Edge).expect("unique"))
+        .collect();
+    for &s in &senders {
+        let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
+        let d = delay_ms(&mut rng, 1, 3);
+        t.add_link(s, left, cap, d).expect("unique");
+    }
+    t.add_link(left, right, Rate::mbps(DUMBBELL_BOTTLENECK_MBPS), SimDuration::from_millis(5))
+        .expect("unique");
+    t.add_link(left, detour, Rate::mbps(DUMBBELL_DETOUR_MBPS), SimDuration::from_millis(8))
+        .expect("unique");
+    t.add_link(detour, right, Rate::mbps(DUMBBELL_DETOUR_MBPS), SimDuration::from_millis(8))
+        .expect("unique");
+    for &r in &receivers {
+        let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
+        let d = delay_ms(&mut rng, 1, 3);
+        t.add_link(right, r, cap, d).expect("unique");
+    }
+    debug_assert!(t.is_connected());
+    t
+}
+
+/// The parking-lot / multi-bottleneck chain.
+///
+/// `segments` chain links join `segments + 1` core routers at
+/// [`PARKING_LOT_CHAIN_MBPS`]; every chain link also has its own two-hop
+/// side path through a dedicated detour node at
+/// [`PARKING_LOT_DETOUR_MBPS`] per hop, so congestion on any segment can
+/// be pooled around *locally* — the multi-bottleneck regime where
+/// end-to-end multipath struggles but hop-local detouring keeps working.
+/// One edge-tier host hangs off every router (access capacity from
+/// [`ACCESS_MBPS`]), giving the classic "parking lot" cross-traffic
+/// pattern when hosts talk across different segment spans.
+///
+/// Maximum node degree is 5 (an interior router: two chain links, two
+/// detour stubs, one host).
+///
+/// # Panics
+/// Panics if `segments == 0`.
+pub fn parking_lot(segments: usize, seed: u64) -> Topology {
+    assert!(segments >= 1, "parking_lot needs at least one segment");
+    let mut rng = SimRng::from_seed_u64(seed).derive(0xCA21);
+    let mut t = Topology::new(format!("parking-lot{segments}"));
+    let routers: Vec<NodeId> = (0..=segments)
+        .map(|i| t.add_named_node(format!("c{i}"), Tier::Core).expect("unique"))
+        .collect();
+    for w in routers.windows(2) {
+        let d = delay_ms(&mut rng, 2, 6);
+        t.add_link(w[0], w[1], Rate::mbps(PARKING_LOT_CHAIN_MBPS), d)
+            .expect("unique");
+    }
+    for (i, w) in routers.windows(2).enumerate() {
+        let side = t
+            .add_named_node(format!("d{i}"), Tier::Aggregation)
+            .expect("unique");
+        let d = delay_ms(&mut rng, 2, 6);
+        t.add_link(w[0], side, Rate::mbps(PARKING_LOT_DETOUR_MBPS), d)
+            .expect("unique");
+        t.add_link(side, w[1], Rate::mbps(PARKING_LOT_DETOUR_MBPS), d)
+            .expect("unique");
+    }
+    for (i, &r) in routers.iter().enumerate() {
+        let host = t.add_named_node(format!("h{i}"), Tier::Edge).expect("unique");
+        let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
+        let d = delay_ms(&mut rng, 1, 3);
+        t.add_link(r, host, cap, d).expect("unique");
+    }
+    debug_assert!(t.is_connected());
+    t
+}
+
+/// A `k`-ary fat-tree data-centre fabric with hosts.
+///
+/// The standard three-tier Clos construction: `k` pods of `k/2` edge and
+/// `k/2` aggregation switches, `(k/2)²` core switches, and `k/2` hosts
+/// per edge switch (`k³/4` hosts total). Every link carries
+/// [`FAT_TREE_MBPS`]; full bisection bandwidth means overload comes from
+/// the traffic matrix, not a designed-in bottleneck, and every host pair
+/// in distinct pods has `(k/2)²` equal-cost core paths to pool over.
+///
+/// Maximum switch degree is `k`; hosts have degree 1. The seed only
+/// jitters propagation delays — the wiring is fully determined by `k`.
+///
+/// # Panics
+/// Panics if `k` is odd or `k < 4`.
+pub fn fat_tree(k: usize, seed: u64) -> Topology {
+    assert!(k >= 4 && k % 2 == 0, "fat_tree needs an even k >= 4");
+    let mut rng = SimRng::from_seed_u64(seed).derive(0xFA77);
+    let half = k / 2;
+    let cap = Rate::mbps(FAT_TREE_MBPS);
+    let mut t = Topology::new(format!("fat-tree{k}"));
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_named_node(format!("core{i}"), Tier::Core).expect("unique"))
+        .collect();
+    for p in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|j| {
+                t.add_named_node(format!("agg{p}-{j}"), Tier::Aggregation)
+                    .expect("unique")
+            })
+            .collect();
+        let edges: Vec<NodeId> = (0..half)
+            .map(|j| {
+                t.add_named_node(format!("edge{p}-{j}"), Tier::Aggregation)
+                    .expect("unique")
+            })
+            .collect();
+        for (j, &agg) in aggs.iter().enumerate() {
+            // aggregation switch j of every pod uplinks to core group j
+            for c in 0..half {
+                let d = delay_ms(&mut rng, 1, 3);
+                t.add_link(agg, cores[j * half + c], cap, d).expect("unique");
+            }
+            for &edge in &edges {
+                let d = delay_ms(&mut rng, 1, 3);
+                t.add_link(agg, edge, cap, d).expect("unique");
+            }
+        }
+        for (j, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = t
+                    .add_named_node(format!("host{p}-{j}-{h}"), Tier::Edge)
+                    .expect("unique");
+                let d = delay_ms(&mut rng, 1, 3);
+                t.add_link(edge, host, cap, d).expect("unique");
+            }
+        }
+    }
+    debug_assert!(t.is_connected());
+    t
+}
+
+/// A Barabási–Albert preferential-attachment (scale-free) graph.
+///
+/// Starts from a clique on `attach + 1` seed nodes (core tier), then adds
+/// `n - attach - 1` nodes one at a time, each wiring `attach` links to
+/// distinct existing nodes sampled proportionally to degree — the classic
+/// rich-get-richer process behind hub-dominated ISP/CDN graphs. With
+/// `attach >= 2` the graph is bridgeless by construction (every new
+/// node's links close a cycle through the already-connected graph), so a
+/// detour exists around every link. The last third of the added nodes
+/// are tagged edge tier so edge-to-edge workloads have a periphery to
+/// draw from. Link capacities come from [`SCALE_FREE_MBPS`].
+///
+/// Every non-seed node has degree at least `attach` (lower bound; hubs
+/// grow without bound).
+///
+/// # Panics
+/// Panics if `attach < 2` or `n <= attach + 1`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Topology {
+    assert!(attach >= 2, "barabasi_albert needs attach >= 2 for detour paths");
+    assert!(n > attach + 1, "barabasi_albert needs n > attach + 1");
+    let mut rng = SimRng::from_seed_u64(seed).derive(0xBA2A);
+    let mut t = Topology::new(format!("scale-free{n}-m{attach}"));
+    let seeds: Vec<NodeId> = (0..=attach)
+        .map(|i| t.add_named_node(format!("seed{i}"), Tier::Core).expect("unique"))
+        .collect();
+    // degree-weighted urn: every endpoint occurrence is one ticket
+    let mut urn: Vec<NodeId> = Vec::new();
+    for i in 0..seeds.len() {
+        for j in (i + 1)..seeds.len() {
+            let cap = pick_mbps(&mut rng, &SCALE_FREE_MBPS);
+            let d = delay_ms(&mut rng, 1, 5);
+            t.add_link(seeds[i], seeds[j], cap, d).expect("unique");
+            urn.push(seeds[i]);
+            urn.push(seeds[j]);
+        }
+    }
+    let grown = n - seeds.len();
+    let edge_from = seeds.len() + grown - grown / 3; // last third is edge tier
+    for i in 0..grown {
+        let tier = if seeds.len() + i >= edge_from {
+            Tier::Edge
+        } else {
+            Tier::Aggregation
+        };
+        let node = t.add_named_node(format!("v{i}"), tier).expect("unique");
+        let mut targets: Vec<NodeId> = Vec::with_capacity(attach);
+        while targets.len() < attach {
+            let pick = *rng.pick(&urn);
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &to in &targets {
+            let cap = pick_mbps(&mut rng, &SCALE_FREE_MBPS);
+            let d = delay_ms(&mut rng, 1, 5);
+            t.add_link(node, to, cap, d).expect("unique");
+            urn.push(node);
+            urn.push(to);
+        }
+    }
+    debug_assert!(t.is_connected());
+    t
+}
+
+/// The nodes a scenario workload draws its demand pairs from: the
+/// edge-tier nodes when at least two exist, otherwise every node — the
+/// same fallback rule `PairSelector::EdgeToEdge` applies.
+pub fn demand_pool(t: &Topology) -> Vec<NodeId> {
+    let edge: Vec<NodeId> = t
+        .node_ids()
+        .filter(|&n| t.node(n).tier == Tier::Edge)
+        .collect();
+    if edge.len() >= 2 {
+        edge
+    } else {
+        t.node_ids().collect()
+    }
+}
+
+/// True when `a` and `b` are both single-homed behind the same
+/// attachment router — the one demand-pair class that cannot have a
+/// detour in *any* topology: every packet between them crosses the two
+/// shared access links. The detour-capability contract (and its property
+/// test) quantifies over all other demand pairs.
+pub fn share_attachment(t: &Topology, a: NodeId, b: NodeId) -> bool {
+    t.degree(a) == 1
+        && t.degree(b) == 1
+        && t.neighbors(a).first().map(|&(n, _)| n) == t.neighbors(b).first().map(|&(n, _)| n)
+}
+
+/// The highest-degree node (lowest id on ties) — the deterministic
+/// hotspot destination for flash-crowd workloads. `None` on an empty
+/// topology.
+pub fn hub_node(t: &Topology) -> Option<NodeId> {
+    t.node_ids().max_by_key(|&n| (t.degree(n), std::cmp::Reverse(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kshort::k_shortest_paths;
+    use crate::spath::cost;
+
+    fn links_of(t: &Topology) -> Vec<(NodeId, NodeId, u64, SimDuration)> {
+        t.link_ids()
+            .map(|l| {
+                let link = t.link(l);
+                (link.a, link.b, link.capacity.as_bps() as u64, link.delay)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn het_dumbbell_shape_and_capacities() {
+        let t = het_dumbbell(6, 7);
+        assert_eq!(t.node_count(), 6 + 3 + 6);
+        assert_eq!(t.link_count(), 6 + 3 + 6);
+        assert!(t.is_connected());
+        let left = t.node_by_name("left").unwrap();
+        let right = t.node_by_name("right").unwrap();
+        let bottleneck = t.link_between(left, right).unwrap();
+        assert_eq!(
+            t.link(bottleneck).capacity,
+            Rate::mbps(DUMBBELL_BOTTLENECK_MBPS)
+        );
+        // heterogeneity: with 12 access links and 3 menu entries, at least
+        // two distinct capacities appear for any seed that splits the menu
+        let caps: std::collections::HashSet<u64> = t
+            .node_ids()
+            .filter(|&n| t.node(n).tier == Tier::Edge)
+            .map(|n| {
+                let (_, l) = t.neighbors(n)[0];
+                t.link(l).capacity.as_bps() as u64
+            })
+            .collect();
+        assert!(caps.len() >= 2, "access links not heterogeneous: {caps:?}");
+        for c in caps {
+            assert!(ACCESS_MBPS.contains(&(c as f64 / 1e6)), "cap {c} off-menu");
+        }
+    }
+
+    #[test]
+    fn parking_lot_shape() {
+        let segs = 4;
+        let t = parking_lot(segs, 3);
+        // routers + detour nodes + hosts
+        assert_eq!(t.node_count(), (segs + 1) + segs + (segs + 1));
+        // chain + 2 per detour + host links
+        assert_eq!(t.link_count(), segs + 2 * segs + (segs + 1));
+        assert!(t.is_connected());
+        // interior routers have degree 5
+        let c1 = t.node_by_name("c1").unwrap();
+        assert_eq!(t.degree(c1), 5);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let t = fat_tree(4, 1);
+        // 4 cores + 4*(2+2) switches + 16 hosts
+        assert_eq!(t.node_count(), 4 + 16 + 16);
+        // 16 agg-core + 16 agg-edge + 16 host links
+        assert_eq!(t.link_count(), 48);
+        assert!(t.is_connected());
+        // switch degree bound: at most k
+        for n in t.node_ids() {
+            if t.node(n).tier == Tier::Edge {
+                assert_eq!(t.degree(n), 1);
+            } else {
+                assert_eq!(t.degree(n), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_degrees_and_growth() {
+        let t = barabasi_albert(40, 2, 9);
+        assert_eq!(t.node_count(), 40);
+        // clique links + 2 per grown node
+        assert_eq!(t.link_count(), 3 + (40 - 3) * 2);
+        assert!(t.is_connected());
+        for n in t.node_ids() {
+            assert!(t.degree(n) >= 2, "node {n} under-attached");
+        }
+        // the hub should clearly out-degree the median node
+        let hub = hub_node(&t).unwrap();
+        assert!(t.degree(hub) >= 6, "no hub emerged: degree {}", t.degree(hub));
+        assert!(t.node_ids().any(|n| t.node(n).tier == Tier::Edge));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(links_of(&het_dumbbell(5, 11)), links_of(&het_dumbbell(5, 11)));
+        assert_eq!(links_of(&parking_lot(3, 11)), links_of(&parking_lot(3, 11)));
+        assert_eq!(links_of(&fat_tree(4, 11)), links_of(&fat_tree(4, 11)));
+        assert_eq!(
+            links_of(&barabasi_albert(30, 2, 11)),
+            links_of(&barabasi_albert(30, 2, 11))
+        );
+        // and seed-sensitive where randomness exists
+        assert_ne!(links_of(&het_dumbbell(5, 11)), links_of(&het_dumbbell(5, 12)));
+        assert_ne!(
+            links_of(&barabasi_albert(30, 2, 11)),
+            links_of(&barabasi_albert(30, 2, 12))
+        );
+    }
+
+    #[test]
+    fn every_family_offers_detours_between_demand_pairs() {
+        for t in [
+            het_dumbbell(4, 5),
+            parking_lot(3, 5),
+            fat_tree(4, 5),
+            barabasi_albert(24, 2, 5),
+        ] {
+            let pool = demand_pool(&t);
+            assert!(pool.len() >= 2, "{}: demand pool too small", t.name());
+            for &a in pool.iter().take(4) {
+                for &b in pool.iter().rev().take(4) {
+                    if a == b || share_attachment(&t, a, b) {
+                        continue;
+                    }
+                    let ps = k_shortest_paths(&t, a, b, 2, &cost::hops);
+                    assert!(
+                        ps.len() >= 2,
+                        "{}: no detour between {a} and {b}",
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demand_pool_falls_back_to_all_nodes() {
+        let t = Topology::line(3, Rate::mbps(10.0), SimDuration::from_millis(1));
+        assert_eq!(demand_pool(&t).len(), 3);
+        let hub = hub_node(&t).unwrap();
+        assert_eq!(hub, NodeId(1), "middle of a line has the top degree");
+        assert!(hub_node(&Topology::new("empty")).is_none());
+    }
+
+    #[test]
+    fn share_attachment_detects_single_homed_siblings() {
+        let t = het_dumbbell(2, 1);
+        let n = |s: &str| t.node_by_name(s).unwrap();
+        assert!(share_attachment(&t, n("s0"), n("s1")), "both behind left");
+        assert!(!share_attachment(&t, n("s0"), n("r0")), "opposite sides");
+        assert!(!share_attachment(&t, n("left"), n("right")), "multi-homed");
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_fat_tree_rejected() {
+        fat_tree(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach >= 2")]
+    fn scale_free_single_attach_rejected() {
+        barabasi_albert(10, 1, 1);
+    }
+}

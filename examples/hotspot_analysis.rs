@@ -54,6 +54,7 @@ fn main() {
             arrival_rate: 400.0,
             mean_size_bits: 40e6,
             pairs: PairSelector::Gravity { exponent: 1.0 },
+            ..WorkloadConfig::default()
         },
         SimDuration::from_secs(3),
         1221,

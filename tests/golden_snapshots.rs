@@ -1,0 +1,94 @@
+//! Golden-snapshot gate for the machine-readable report formats.
+//!
+//! Two scenario-catalog sweeps at fixed seeds are rendered to CSV and
+//! JSON and compared byte-for-byte against checked-in fixtures under
+//! `tests/golden/`. Two distinct regression classes fail this test:
+//!
+//! * **report-schema drift** — column renames, row reordering, format
+//!   changes in `SweepReport::to_csv` / `to_json`;
+//! * **determinism drift** — any change to seed derivation, workload
+//!   generation, or simulator arithmetic that silently alters published
+//!   numbers.
+//!
+//! If a change is *intentional*, regenerate the fixtures with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_snapshots` and review the
+//! diff like any other code change.
+
+use inrpp_bench::sweeps::{self, OutputFormat, SweepOptions};
+use inrpp_runner::{run_sweep, RunnerConfig};
+
+/// The two catalog cells pinned by fixtures: one congestion-control
+/// classic, one data-centre fabric — together they cover both simulator
+/// calibration paths (proxy-based and flash-crowd server-based).
+const GOLDEN_SCENARIOS: [&str; 2] = [
+    "scenario:het-dumbbell:heavy-tail",
+    "scenario:fat-tree:flash-crowd",
+];
+
+fn fixture_stem(id: &str) -> String {
+    id.replace([':', '-'], "_")
+}
+
+fn render(id: &str, format: OutputFormat) -> String {
+    let opts = SweepOptions {
+        quick: true,
+        ..SweepOptions::default()
+    };
+    let spec = sweeps::build(id, &opts).expect("golden scenario registered");
+    // threads = 2 on purpose: goldens must not depend on worker count
+    let report = run_sweep(&spec, &RunnerConfig { threads: 2 });
+    sweeps::render(&report, format)
+}
+
+fn check(id: &str, format: OutputFormat, ext: &str) {
+    let got = render(id, format);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.{ext}", fixture_stem(id)));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden snapshot drifted for {id} ({ext}). If intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --test golden_snapshots and review."
+    );
+}
+
+#[test]
+fn scenario_csv_snapshots_are_stable() {
+    for id in GOLDEN_SCENARIOS {
+        check(id, OutputFormat::Csv, "csv");
+    }
+}
+
+#[test]
+fn scenario_json_snapshots_are_stable() {
+    for id in GOLDEN_SCENARIOS {
+        check(id, OutputFormat::Json, "json");
+    }
+}
+
+#[test]
+fn csv_snapshot_roundtrips_through_the_parser() {
+    // schema sanity on top of byte equality: the checked-in CSV must
+    // stay parseable as a SweepReport
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.csv", fixture_stem(GOLDEN_SCENARIOS[0])));
+    if let Ok(body) = std::fs::read_to_string(&path) {
+        let report = inrpp_runner::SweepReport::from_csv(&body).expect("fixture parses");
+        assert_eq!(report.rows.len(), 3, "SP/ECMP/URP rows");
+        assert_eq!(report.columns.first().map(String::as_str), Some("strategy"));
+    }
+}

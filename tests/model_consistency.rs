@@ -1,0 +1,243 @@
+//! Flowsim ↔ packetsim differential consistency over the scenario catalog.
+//!
+//! The two engines model the same network at different granularities — a
+//! piecewise-fluid equilibrium versus chunk-level request/response
+//! dynamics — so they will never agree bit-for-bit. What they *must*
+//! agree on is the physics: at light load on every catalog scenario, both
+//! engines deliver (essentially) the whole offered volume, and their mean
+//! completion times sit within a stated band of each other.
+//!
+//! **Tolerance band** (asserted per scenario, reported as a diff table on
+//! failure):
+//!
+//! * delivered-throughput: both engines ≥ `0.98`, and within `0.02`
+//!   (absolute) of each other;
+//! * mean completion time: `fct_flowsim / 3 ≤ fct_packetsim ≤
+//!   3 · fct_flowsim + 250 ms`. The multiplicative part bounds rate-model
+//!   drift; the additive term covers the packet engine's *per-flow
+//!   constant* costs (initial request round-trip, per-hop
+//!   store-and-forward, anticipation-window ramp) that the fluid model
+//!   ignores and that dominate sub-50 ms flows at light load. A flow
+//!   wedged on a retransmission timeout (500 ms) still breaks the band.
+//!
+//! Every scenario replays the *same* quantised flows through both
+//! engines: sizes are rounded up to whole chunks so the offered bits are
+//! identical on both sides.
+
+use inrpp::scenario::{scenario_catalog, ScenarioSpec};
+use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
+use inrpp_flowsim::strategy::InrpStrategy;
+use inrpp_flowsim::workload::{FlowSpec, Workload};
+use inrpp_packetsim::{PacketSim, PacketSimConfig, TransferSpec};
+use inrpp_sim::time::SimDuration;
+
+/// Flows replayed per scenario (the head of the scenario's arrival
+/// process — enough to exercise every topology + traffic family pair
+/// while both engines stay comfortably below saturation).
+const FLOWS: usize = 6;
+/// Chunk cap per flow, bounding packet-engine runtime.
+const MAX_CHUNKS: u64 = 400;
+/// Long horizon: at light load nothing should be in flight at the end.
+const HORIZON: SimDuration = SimDuration::from_secs(15);
+
+struct DiffRow {
+    id: String,
+    thr_flow: f64,
+    thr_pkt: f64,
+    fct_flow: f64,
+    fct_pkt: f64,
+    verdict: Result<(), String>,
+}
+
+/// Scale a catalog scenario down to its differential configuration:
+/// light load, one-second arrival window, ~200-chunk flows.
+fn differential_spec(spec: ScenarioSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        load: 0.2,
+        duration: SimDuration::from_secs(1),
+        mean_flow_bits: 2e6,
+        ..spec
+    }
+}
+
+fn run_differential(catalog_spec: ScenarioSpec) -> DiffRow {
+    let id = catalog_spec.id();
+    let spec = differential_spec(catalog_spec);
+    let topo = spec.build_topology();
+    let full = spec
+        .build_workload(&topo)
+        .unwrap_or_else(|e| panic!("{id}: workload failed: {e}"));
+    let pkt_cfg = PacketSimConfig {
+        horizon: HORIZON,
+        ..PacketSimConfig::default()
+    };
+    let chunk_bits = pkt_cfg.chunk_bytes.as_bits() as f64;
+
+    // The shared quantised flow set: whole chunks, identical on both
+    // sides. The engine's own quantisation (TransferSpec::for_object_bits)
+    // is the single source of truth; the fluid flow size is derived from
+    // the resulting chunk count so offered bits match exactly.
+    let transfers: Vec<TransferSpec> = full
+        .flows
+        .iter()
+        .take(FLOWS)
+        .enumerate()
+        .map(|(i, f)| {
+            let mut t = TransferSpec::for_object_bits(
+                i as u64 + 1,
+                f.src,
+                f.dst,
+                f.size_bits,
+                pkt_cfg.chunk_bytes,
+                f.arrival,
+            );
+            t.chunks = t.chunks.min(MAX_CHUNKS); // bound packet-engine runtime
+            t
+        })
+        .collect();
+    assert!(!transfers.is_empty(), "{id}: differential workload is empty");
+    let flows: Vec<FlowSpec> = transfers
+        .iter()
+        .enumerate()
+        .map(|(i, t)| FlowSpec {
+            id: i as u64,
+            src: t.src,
+            dst: t.dst,
+            size_bits: t.chunks as f64 * chunk_bits,
+            arrival: t.start,
+        })
+        .collect();
+    let offered: f64 = flows.iter().map(|f| f.size_bits).sum();
+
+    // flowsim side: URP strategy over the same topology
+    let workload = Workload {
+        offered_bits: offered,
+        flows: flows.clone(),
+    };
+    let inrp = InrpStrategy::new(&topo, spec.inrp);
+    let flow_report = FlowSim::new(&topo, &inrp, &workload, FlowSimConfig { horizon: HORIZON }).run();
+    let thr_flow = flow_report.throughput();
+    let fct_flow = flow_report.mean_fct_secs;
+
+    // packetsim side: INRPP transport, the same transfers
+    let mut sim = PacketSim::new(&topo, pkt_cfg);
+    for &t in &transfers {
+        sim.add_transfer(t);
+    }
+    let pkt_report = sim.run();
+    let delivered_pkt: f64 = pkt_report
+        .flows
+        .iter()
+        .map(|f| f.chunks_delivered.min(f.chunks_total) as f64 * chunk_bits)
+        .sum();
+    let thr_pkt = delivered_pkt / offered;
+    let fct_pkt = pkt_report.mean_fct_secs();
+
+    let mut problems = Vec::new();
+    if thr_flow < 0.98 {
+        problems.push(format!("flowsim delivered only {thr_flow:.3}"));
+    }
+    if thr_pkt < 0.98 {
+        problems.push(format!("packetsim delivered only {thr_pkt:.3}"));
+    }
+    if (thr_flow - thr_pkt).abs() > 0.02 {
+        problems.push(format!(
+            "throughput gap {:.3} exceeds 0.02",
+            (thr_flow - thr_pkt).abs()
+        ));
+    }
+    if fct_flow > 0.0 && fct_pkt > 0.0 {
+        if fct_pkt < fct_flow / 3.0 {
+            problems.push(format!(
+                "packetsim FCT {fct_pkt:.3}s implausibly beats fluid {fct_flow:.3}s by >3x"
+            ));
+        }
+        let ceiling = 3.0 * fct_flow + 0.25;
+        if fct_pkt > ceiling {
+            problems.push(format!(
+                "packetsim FCT {fct_pkt:.3}s above band ceiling {ceiling:.3}s \
+                 (3x fluid + 250ms)"
+            ));
+        }
+    } else {
+        problems.push("an engine completed no flows".to_string());
+    }
+    DiffRow {
+        id,
+        thr_flow,
+        thr_pkt,
+        fct_flow,
+        fct_pkt,
+        verdict: if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        },
+    }
+}
+
+fn render_diff_table(rows: &[DiffRow]) -> String {
+    let mut out = format!(
+        "{:<36} {:>9} {:>9} {:>9} {:>9}  verdict\n",
+        "scenario", "thr flow", "thr pkt", "fct flow", "fct pkt"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<36} {:>9.3} {:>9.3} {:>8.3}s {:>8.3}s  {}\n",
+            r.id,
+            r.thr_flow,
+            r.thr_pkt,
+            r.fct_flow,
+            r.fct_pkt,
+            match &r.verdict {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("FAIL: {e}"),
+            }
+        ));
+    }
+    out
+}
+
+#[test]
+fn every_catalog_scenario_agrees_across_engines() {
+    let rows: Vec<DiffRow> = scenario_catalog().into_iter().map(run_differential).collect();
+    assert_eq!(rows.len(), 16, "catalog drifted: regenerate the differential set");
+    let failures = rows.iter().filter(|r| r.verdict.is_err()).count();
+    assert!(
+        failures == 0,
+        "{failures} scenario(s) diverged between flowsim and packetsim:\n{}",
+        render_diff_table(&rows)
+    );
+}
+
+#[test]
+fn quantisation_helper_is_exact_and_idempotent() {
+    // the harness invariant: deriving the fluid size from the helper's
+    // chunk count and quantising again must be a fixed point, so offered
+    // bits are equal on both sides by construction
+    let chunk_bytes = PacketSimConfig::default().chunk_bytes;
+    let chunk_bits = chunk_bytes.as_bits() as f64;
+    use inrpp_topology::graph::NodeId;
+    use inrpp_sim::time::SimTime;
+    for bits in [1.0, chunk_bits - 1.0, chunk_bits, chunk_bits + 1.0, 7.3e6] {
+        let t = TransferSpec::for_object_bits(
+            1,
+            NodeId(0),
+            NodeId(1),
+            bits,
+            chunk_bytes,
+            SimTime::ZERO,
+        );
+        let derived = t.chunks as f64 * chunk_bits;
+        assert!(derived >= bits, "quantisation must round up: {bits} -> {derived}");
+        let again = TransferSpec::for_object_bits(
+            1,
+            NodeId(0),
+            NodeId(1),
+            derived,
+            chunk_bytes,
+            SimTime::ZERO,
+        );
+        assert_eq!(t.chunks, again.chunks, "not a fixed point at {bits}");
+    }
+}

@@ -27,6 +27,7 @@ fn serialisation_roundtrip_preserves_behaviour() {
             arrival_rate: 50.0,
             mean_size_bits: 1e6,
             pairs: PairSelector::Uniform,
+            ..WorkloadConfig::default()
         },
         SimDuration::from_secs(1),
         11,
@@ -52,6 +53,7 @@ fn all_strategies_on_all_isps_smoke() {
                 arrival_rate: 30.0,
                 mean_size_bits: 2e6,
                 pairs: PairSelector::Uniform,
+                ..WorkloadConfig::default()
             },
             SimDuration::from_secs(1),
             2,

@@ -397,6 +397,126 @@ proptest! {
         }
     }
 
+    /// Scenario-catalog topology generators: connected, bit-identical for
+    /// equal seeds, capacities on the declared menu, degrees within the
+    /// structural bound, and ≥ 1 detour (second loopless path) between
+    /// demand-pool pairs.
+    #[test]
+    fn synth_generator_invariants(
+        pairs in 2usize..9,
+        segments in 1usize..6,
+        n in 12usize..36,
+        seed in 0u64..200,
+    ) {
+        use inrpp_topology::synth::{
+            barabasi_albert, demand_pool, fat_tree, het_dumbbell, parking_lot,
+            share_attachment, ACCESS_MBPS, DUMBBELL_BOTTLENECK_MBPS, DUMBBELL_DETOUR_MBPS,
+            FAT_TREE_MBPS, PARKING_LOT_CHAIN_MBPS, PARKING_LOT_DETOUR_MBPS, SCALE_FREE_MBPS,
+        };
+        let menu = |extra: &[f64]| -> Vec<f64> {
+            ACCESS_MBPS.iter().chain(extra).copied().collect()
+        };
+        // (topology, rebuild, capacity menu in Mbps, max-degree bound)
+        let cases: Vec<(Topology, Topology, Vec<f64>, usize)> = vec![
+            (
+                het_dumbbell(pairs, seed),
+                het_dumbbell(pairs, seed),
+                menu(&[DUMBBELL_BOTTLENECK_MBPS, DUMBBELL_DETOUR_MBPS]),
+                pairs + 2,
+            ),
+            (
+                parking_lot(segments, seed),
+                parking_lot(segments, seed),
+                menu(&[PARKING_LOT_CHAIN_MBPS, PARKING_LOT_DETOUR_MBPS]),
+                5,
+            ),
+            (fat_tree(4, seed), fat_tree(4, seed), vec![FAT_TREE_MBPS], 4),
+            (
+                barabasi_albert(n, 2, seed),
+                barabasi_albert(n, 2, seed),
+                SCALE_FREE_MBPS.to_vec(),
+                usize::MAX,
+            ),
+        ];
+        for (t, again, caps, max_degree) in cases {
+            prop_assert!(t.is_connected(), "{} disconnected", t.name());
+            // bit-identical rebuild from the same seed
+            prop_assert_eq!(t.node_count(), again.node_count());
+            prop_assert_eq!(t.link_count(), again.link_count());
+            for l in t.link_ids() {
+                prop_assert_eq!(t.link(l).a, again.link(l).a, "{}", t.name());
+                prop_assert_eq!(t.link(l).b, again.link(l).b);
+                prop_assert_eq!(t.link(l).capacity, again.link(l).capacity);
+                prop_assert_eq!(t.link(l).delay, again.link(l).delay);
+                // declared capacity menu
+                let mbps = t.link(l).capacity.as_bps() / 1e6;
+                prop_assert!(
+                    caps.iter().any(|c| (c - mbps).abs() < 1e-9),
+                    "{}: capacity {mbps} Mbps off-menu {caps:?}",
+                    t.name()
+                );
+            }
+            // structural degree bound
+            for node in t.node_ids() {
+                prop_assert!(
+                    t.degree(node) <= max_degree,
+                    "{}: degree {} exceeds bound {max_degree}",
+                    t.name(),
+                    t.degree(node)
+                );
+            }
+            // every sampled demand pair has a detour: a second distinct
+            // loopless path beyond the shortest one. Pairs single-homed
+            // behind the same router are the one principled exception —
+            // no topology can detour around a shared access hop.
+            let pool = demand_pool(&t);
+            prop_assert!(pool.len() >= 2, "{}: demand pool too small", t.name());
+            for &a in pool.iter().take(3) {
+                for &b in pool.iter().rev().take(3) {
+                    if a == b || share_attachment(&t, a, b) {
+                        continue;
+                    }
+                    let ps = k_shortest_paths(&t, a, b, 2, &cost::hops);
+                    prop_assert!(
+                        ps.len() >= 2,
+                        "{}: no detour path between {a} and {b}",
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scenario workloads over the synthetic families keep the workload
+    /// invariants: distinct endpoints, positive sizes, arrivals inside
+    /// the window, and seed determinism.
+    #[test]
+    fn scenario_workloads_wellformed(seed in 0u64..64, cell in 0usize..16) {
+        use inrpp::scenario::scenario_catalog;
+        use inrpp_sim::time::SimTime;
+        let spec = {
+            let mut s = scenario_catalog()[cell];
+            s.seed = seed;
+            s.duration = SimDuration::from_millis(400);
+            s
+        };
+        let topo = spec.build_topology();
+        let w = spec.build_workload(&topo);
+        // a 400 ms window at catalog load always produces traffic
+        prop_assert!(w.is_ok(), "{}: {:?}", spec.id(), w.err());
+        let w = w.expect("checked above");
+        let mut prev = SimTime::ZERO;
+        for f in &w.flows {
+            prop_assert!(f.src != f.dst);
+            prop_assert!(f.size_bits >= 1.0);
+            prop_assert!(f.arrival >= prev);
+            prop_assert!(f.arrival < SimTime::ZERO + spec.duration);
+            prev = f.arrival;
+        }
+        let again = spec.build_workload(&spec.build_topology()).expect("deterministic");
+        prop_assert_eq!(w, again);
+    }
+
     /// Generated paths from the INRP strategy are always simple, start and
     /// end correctly, and respect the subpath cap.
     #[test]

@@ -72,6 +72,30 @@ fn multiseed_cells_use_derived_streams_and_stay_deterministic() {
 }
 
 #[test]
+fn every_scenario_sweep_is_byte_identical_at_threads_1_and_8() {
+    // the catalog acceptance gate: every scenario:<topology>:<traffic>
+    // cell must serialize to the same bytes at any worker count
+    let opts = SweepOptions {
+        quick: true,
+        ..SweepOptions::default()
+    };
+    let ids: Vec<&str> = sweeps::EXPERIMENTS
+        .iter()
+        .map(|(id, _)| *id)
+        .filter(|id| id.starts_with("scenario:"))
+        .collect();
+    assert!(ids.len() >= 8, "catalog shrank below the acceptance floor");
+    for id in ids {
+        let serial = run_serialized(id, &opts, 1);
+        let pooled = run_serialized(id, &opts, 8);
+        assert_eq!(
+            serial, pooled,
+            "{id} diverged between --threads 1 and --threads 8"
+        );
+    }
+}
+
+#[test]
 fn export_artifacts_are_stable_across_thread_counts() {
     let opts = SweepOptions::default();
     let spec = sweeps::build("export-topologies", &opts).expect("export sweep");
