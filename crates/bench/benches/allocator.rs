@@ -1,8 +1,12 @@
 //! Micro-benchmark: the multipath max-min allocator — the inner loop of
-//! every flow-level experiment (re-run on each arrival/departure).
+//! every flow-level experiment (re-run on each arrival/departure) — in
+//! both formulations: the from-scratch reference and the incremental
+//! arena-backed engine the simulator actually runs (bit-identical
+//! outputs; see `inrpp_flowsim::engine`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inrpp_flowsim::allocator::max_min_allocate;
+use inrpp_flowsim::engine::AllocEngine;
 use inrpp_flowsim::strategy::{InrpStrategy, RoutingStrategy, SinglePathStrategy};
 use inrpp_sim::rng::SimRng;
 use inrpp_topology::rocketfuel::{generate_isp, Isp};
@@ -45,6 +49,18 @@ fn bench_allocator(c: &mut Criterion) {
         let (topo, multi) = flow_sets(n, true);
         group.bench_with_input(BenchmarkId::new("inrp_multipath", n), &n, |b, _| {
             b.iter(|| max_min_allocate(&topo, &multi))
+        });
+        // the incremental engine re-allocating over a resident flow set —
+        // what an event in the simulator's steady state actually costs
+        let mut engine = AllocEngine::new(&topo);
+        for (k, paths) in multi.iter().enumerate() {
+            engine.insert(k as u64, paths).expect("strategy paths resolve");
+        }
+        group.bench_with_input(BenchmarkId::new("engine_reallocate", n), &n, |b, _| {
+            b.iter(|| {
+                engine.allocate();
+                engine.flow_rates()[0]
+            })
         });
     }
     group.finish();

@@ -7,6 +7,7 @@
 //! inrpp run <experiment>... [--threads N] [--format table|csv|json]
 //!                           [--quick] [--seeds N] [--out DIR]
 //! inrpp run all --quick --threads 8
+//! inrpp bench [--quick] [--out FILE] [--note key=value]...
 //! ```
 //!
 //! Examples:
@@ -35,6 +36,11 @@ commands:
       --quick                short-horizon configuration where available
       --seeds N              aggregate Fig. 4a over N derived seeds
       --out DIR              write sweep artifacts (.topo files, CDF dumps)
+  bench                      time representative sweeps, record the perf
+                             baseline (wall-clock, cells/sec, events/sec)
+      --quick                short-horizon workloads (the CI setting)
+      --out FILE             output path (default: BENCH_flowsim.json)
+      --note KEY=VALUE       pin a context note into the recorded file
   help                       this text
 ";
 
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -116,6 +123,48 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
 
 fn value_of<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out_path = "BENCH_flowsim.json".to_string();
+    let mut notes: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match value_of(&mut it, "--out") {
+                Ok(v) => out_path = v.to_string(),
+                Err(e) => {
+                    eprintln!("inrpp bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--note" => match value_of(&mut it, "--note").map(|v| v.split_once('=')) {
+                Ok(Some((k, v))) => notes.push((k.to_string(), v.to_string())),
+                Ok(None) => {
+                    eprintln!("inrpp bench: --note takes KEY=VALUE");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("inrpp bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("inrpp bench: unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = inrpp_bench::perf::run_bench(quick, notes);
+    print!("{}", report.render_table());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("inrpp bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
 }
 
 fn run(args: &[String]) -> ExitCode {

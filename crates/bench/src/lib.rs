@@ -10,7 +10,9 @@
 //! * the library functions in [`experiments`], unit-tested like any other
 //!   code — binaries print, these functions compute.
 //!
-//! [`table`] holds the plain-text table renderer all output shares.
+//! [`table`] holds the plain-text table renderer all output shares, and
+//! [`perf`] the `inrpp bench` wall-clock recorder behind
+//! `BENCH_flowsim.json`.
 //!
 //! | Artifact | Sweep id | Legacy binary |
 //! |---|---|---|
@@ -28,5 +30,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod sweeps;
 pub mod table;

@@ -1,0 +1,269 @@
+//! `inrpp bench` — wall-clock timing of representative sweeps, written to
+//! `BENCH_flowsim.json` so the suite's performance trajectory is recorded
+//! (and regressions are visible) PR over PR.
+//!
+//! Four entries cover the hot paths the incremental allocation engine
+//! (`inrpp_flowsim::engine`) serves:
+//!
+//! * `flowsim:fig4a` — the paper's headline sweep: SP/ECMP/URP on the
+//!   three Fig. 4 ISP topologies. The heaviest flow-level workload in the
+//!   suite (thousands of concurrent flows under overload).
+//! * `flowsim:scenario:het-dumbbell:heavy-tail` and
+//!   `flowsim:scenario:fat-tree:mixed` — two catalog cells with very
+//!   different shapes (access-bottlenecked dumbbell vs. fabric).
+//! * `packetsim:fig3-inrpp` — the chunk-level INRPP transport on the
+//!   Fig. 3 bottleneck, as the non-fluid control point.
+//!
+//! "Events" are the re-allocation triggers of the fluid model (arrivals +
+//! completed departures, summed over every cell run), or delivered chunks
+//! for the packet-level entry — so `events/sec` tracks the allocator's
+//! true throughput, independent of how flows are batched into cells.
+//!
+//! Timings are wall-clock and machine-dependent by nature; everything
+//! else in the report (cells, events) is deterministic. The `--note`
+//! mechanism lets a PR pin context (e.g. a measured before/after
+//! speedup) into the recorded file.
+
+use std::time::Instant;
+
+use inrpp::scenario::{fig4_topologies, run_fig4_row, scenario_by_id, ScenarioStrategy};
+use inrpp::InrppConfig;
+use inrpp_flowsim::FlowSimReport;
+use inrpp_packetsim::TransportKind;
+use inrpp_runner::json_string;
+
+use crate::experiments;
+use crate::sweeps;
+use crate::table::{f, Table};
+
+/// One timed workload.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Workload identifier (`flowsim:…` / `packetsim:…`).
+    pub id: String,
+    /// Wall-clock seconds for all cells of the workload.
+    pub wall_secs: f64,
+    /// Simulation cells executed (one strategy × topology run each).
+    pub cells: usize,
+    /// Re-allocation events (fluid) or delivered chunks (packet).
+    pub events: u64,
+}
+
+impl BenchEntry {
+    /// Cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.wall_secs
+        }
+    }
+
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.wall_secs
+        }
+    }
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"full"` or `"quick"`.
+    pub mode: &'static str,
+    /// Timed workloads, in execution order.
+    pub entries: Vec<BenchEntry>,
+    /// Free-form `key=value` context notes (ordered).
+    pub notes: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Total wall-clock seconds across entries.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_secs).sum()
+    }
+
+    /// Canonical JSON rendering (the `BENCH_flowsim.json` payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"inrpp-bench-flowsim/1\",\"mode\":");
+        json_string(&mut out, self.mode);
+        out.push_str(&format!(
+            ",\"total_wall_secs\":{:.3},\"entries\":[",
+            self.total_wall_secs()
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            json_string(&mut out, &e.id);
+            out.push_str(&format!(
+                ",\"wall_secs\":{:.3},\"cells\":{},\"events\":{},\
+                 \"cells_per_sec\":{:.2},\"events_per_sec\":{:.1}}}",
+                e.wall_secs,
+                e.cells,
+                e.events,
+                e.cells_per_sec(),
+                e.events_per_sec()
+            ));
+        }
+        out.push_str("],\"notes\":{");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            json_string(&mut out, v);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Human-readable table rendering.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(vec![
+            "workload".to_string(),
+            "wall".to_string(),
+            "cells".to_string(),
+            "cells/s".to_string(),
+            "events".to_string(),
+            "events/s".to_string(),
+        ]);
+        for e in &self.entries {
+            t.row(vec![
+                e.id.clone(),
+                format!("{}s", f(e.wall_secs, 3)),
+                e.cells.to_string(),
+                f(e.cells_per_sec(), 2),
+                e.events.to_string(),
+                f(e.events_per_sec(), 1),
+            ]);
+        }
+        let mut out = format!(
+            "inrpp bench — flow-level perf baseline ({} mode)\n\n{}",
+            self.mode,
+            t.render()
+        );
+        for (k, v) in &self.notes {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out
+    }
+}
+
+/// Re-allocation events of one fluid run: every arrival and every
+/// completed departure triggered exactly one re-allocation.
+fn flow_events(r: &FlowSimReport) -> u64 {
+    (r.arrived_flows + r.completed_flows) as u64
+}
+
+/// Run the benchmark suite. `quick` switches every workload to its
+/// short-horizon configuration (the CI setting); `notes` are recorded
+/// verbatim into the report.
+pub fn run_bench(quick: bool, notes: Vec<(String, String)>) -> BenchReport {
+    let mut entries = Vec::new();
+
+    // 1. Fig. 4a — three ISP topologies × the SP/ECMP/URP trio.
+    let cfg = sweeps::fig4_cfg(&sweeps::SweepOptions {
+        quick,
+        ..sweeps::SweepOptions::default()
+    });
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    let mut cells = 0usize;
+    for isp in fig4_topologies() {
+        let row = run_fig4_row(isp, &cfg);
+        events += flow_events(&row.sp) + flow_events(&row.ecmp) + flow_events(&row.urp);
+        cells += 3;
+    }
+    entries.push(BenchEntry {
+        id: "flowsim:fig4a".to_string(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells,
+        events,
+    });
+
+    // 2./3. Two scenario-catalog cells of very different shape.
+    for id in [
+        "scenario:het-dumbbell:heavy-tail",
+        "scenario:fat-tree:mixed",
+    ] {
+        let mut spec = scenario_by_id(id).expect("catalog id");
+        if quick {
+            spec = spec.quick();
+        }
+        let t0 = Instant::now();
+        let mut events = 0u64;
+        for strat in ScenarioStrategy::all() {
+            events += flow_events(&spec.run_one(strat));
+        }
+        entries.push(BenchEntry {
+            id: format!("flowsim:{id}"),
+            wall_secs: t0.elapsed().as_secs_f64(),
+            cells: 3,
+            events,
+        });
+    }
+
+    // 4. Packet-level control point: INRPP transport on the Fig. 3
+    //    bottleneck (fixed 800-chunk transfer; "events" = chunks
+    //    delivered end-to-end).
+    let t0 = Instant::now();
+    let r = experiments::ablation_transport_single(TransportKind::Inrpp(InrppConfig::default()));
+    entries.push(BenchEntry {
+        id: "packetsim:fig3-inrpp".to_string(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells: 1,
+        events: r.chunks_delivered,
+    });
+
+    BenchReport {
+        mode: if quick { "quick" } else { "full" },
+        entries,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_serializes() {
+        let report = run_bench(
+            true,
+            vec![("context".to_string(), "unit \"test\"".to_string())],
+        );
+        assert_eq!(report.mode, "quick");
+        assert_eq!(report.entries.len(), 4);
+        assert_eq!(report.entries[0].id, "flowsim:fig4a");
+        assert_eq!(report.entries[0].cells, 9);
+        assert!(report.entries.iter().all(|e| e.events > 0));
+        assert!(report.total_wall_secs() > 0.0);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\":\"inrpp-bench-flowsim/1\""));
+        assert!(json.contains("\"mode\":\"quick\""));
+        assert!(json.contains("\"id\":\"packetsim:fig3-inrpp\""));
+        assert!(json.contains("unit \\\"test\\\""), "{json}");
+        assert!(json.ends_with("}\n"));
+        let table = report.render_table();
+        assert!(table.contains("flowsim:fig4a"));
+        assert!(table.contains("context: unit \"test\""));
+    }
+
+    #[test]
+    fn rate_helpers_guard_zero_wall() {
+        let e = BenchEntry {
+            id: "x".to_string(),
+            wall_secs: 0.0,
+            cells: 3,
+            events: 5,
+        };
+        assert_eq!(e.cells_per_sec(), 0.0);
+        assert_eq!(e.events_per_sec(), 0.0);
+    }
+}

@@ -321,7 +321,9 @@ fn fig3_spec() -> SweepSpec {
 
 // ------------------------------------------------------------------ Fig. 4
 
-fn fig4_cfg(opts: &SweepOptions) -> Fig4Config {
+/// The Fig. 4 configuration a sweep runs under (shared with `inrpp
+/// bench`, which times this exact workload).
+pub(crate) fn fig4_cfg(opts: &SweepOptions) -> Fig4Config {
     if opts.quick {
         quick_fig4_config()
     } else {

@@ -23,31 +23,74 @@
 //! Capacities are treated **per direction**: an undirected link is two
 //! independent directed channels, so opposing traffic does not compete.
 
+use std::fmt;
+
 use inrpp_topology::graph::{NodeId, Topology};
 use inrpp_topology::spath::Path;
 
 /// Relative tolerance for "this link is saturated".
-const REL_EPS: f64 = 1e-9;
+pub(crate) const REL_EPS: f64 = 1e-9;
 /// Safety bound on filling rounds (each round saturates a link, freezes a
 /// flow, or forces a re-selection; this bound is never hit in practice).
-const MAX_ROUNDS: usize = 100_000;
+pub(crate) const MAX_ROUNDS: usize = 100_000;
 
-/// Index of a directed channel: `link.idx() * 2 + direction`.
+/// A path hop whose node pair has no link in the topology — the typed
+/// error synthetic-topology callers get instead of a bare panic when they
+/// feed a path that was computed on a different (or mutated) graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnresolvedHop {
+    /// Hop tail.
+    pub from: NodeId,
+    /// Hop head.
+    pub to: NodeId,
+}
+
+impl fmt::Display for UnresolvedHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path hop {}->{} has no link in the topology (was the path \
+             computed on a different graph?)",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for UnresolvedHop {}
+
+/// Index of the directed channel `from → to`
+/// (`link.idx() * 2 + direction`), or `None` when the nodes are not
+/// adjacent. For per-event hot paths use
+/// [`inrpp_topology::dense::DenseChannels`], the O(1) table the
+/// [incremental engine](crate::engine) resolves against.
 #[inline]
-pub fn dir_index(topo: &Topology, from: NodeId, to: NodeId) -> usize {
-    let l = topo
-        .link_between(from, to)
-        .unwrap_or_else(|| panic!("no link {from}-{to}"));
+pub fn dir_index(topo: &Topology, from: NodeId, to: NodeId) -> Option<usize> {
+    let l = topo.link_between(from, to)?;
     let fwd = topo.link(l).a == from;
-    l.idx() * 2 + usize::from(!fwd)
+    Some(l.idx() * 2 + usize::from(!fwd))
+}
+
+/// Resolve a path to its directed channel indices, or report the first
+/// hop that has no link.
+pub fn try_path_dir_indices(topo: &Topology, path: &Path) -> Result<Vec<usize>, UnresolvedHop> {
+    path.nodes()
+        .windows(2)
+        .map(|w| {
+            dir_index(topo, w[0], w[1]).ok_or(UnresolvedHop {
+                from: w[0],
+                to: w[1],
+            })
+        })
+        .collect()
 }
 
 /// Resolve a path to its directed channel indices.
+///
+/// # Panics
+/// Panics (with the hop that failed) when a consecutive node pair is not
+/// linked; use [`try_path_dir_indices`] for a typed error instead.
 pub fn path_dir_indices(topo: &Topology, path: &Path) -> Vec<usize> {
-    path.nodes()
-        .windows(2)
-        .map(|w| dir_index(topo, w[0], w[1]))
-        .collect()
+    try_path_dir_indices(topo, path).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The result of an allocation pass.
@@ -83,13 +126,26 @@ impl Allocation {
             .collect()
     }
 
-    /// Mean utilisation over directed channels that carry any capacity.
+    /// Mean utilisation over directed channels that carry any capacity
+    /// (zero-capacity channels are excluded from the denominator — they
+    /// can never carry traffic, so counting them would dilute the mean).
     pub fn mean_utilisation(&self, topo: &Topology) -> f64 {
-        let u = self.dir_utilisation(topo);
-        if u.is_empty() {
+        let mut sum = 0.0;
+        let mut carrying = 0usize;
+        for (i, u) in self.dir_utilisation(topo).into_iter().enumerate() {
+            let cap = topo
+                .link(inrpp_topology::graph::LinkId((i / 2) as u32))
+                .capacity
+                .as_bps();
+            if cap > 0.0 {
+                sum += u;
+                carrying += 1;
+            }
+        }
+        if carrying == 0 {
             0.0
         } else {
-            u.iter().sum::<f64>() / u.len() as f64
+            sum / carrying as f64
         }
     }
 }
@@ -379,6 +435,44 @@ mod tests {
         assert!((u[0] - 1.0).abs() < 1e-6);
         assert_eq!(u[1], 0.0);
         assert!((alloc.mean_utilisation(&topo) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_utilisation_excludes_zero_capacity_channels() {
+        // line 0-1-2 where link 1-2 has zero capacity: the one flow on
+        // 0-1 fully saturates its forward channel, and the mean must be
+        // over the two channels of link 0-1 only (1.0 and 0.0), not
+        // diluted by the two dead channels of link 1-2.
+        let mut topo = Topology::new("dead-tail");
+        let ids = topo.add_nodes(3);
+        topo.add_link(ids[0], ids[1], Rate::mbps(10.0), SimDuration::from_millis(1))
+            .unwrap();
+        topo.add_link(ids[1], ids[2], Rate::mbps(0.0), SimDuration::from_millis(1))
+            .unwrap();
+        let alloc = max_min_allocate(
+            &topo,
+            &[vec![Path::new(vec![ids[0], ids[1]])]],
+        );
+        assert!((alloc.mean_utilisation(&topo) - 0.5).abs() < 1e-9);
+        // all channels dead -> mean is 0, not NaN
+        let mut dead = Topology::new("dead");
+        let ids = dead.add_nodes(2);
+        dead.add_link(ids[0], ids[1], Rate::mbps(0.0), SimDuration::from_millis(1))
+            .unwrap();
+        let alloc = max_min_allocate(&dead, &[]);
+        assert_eq!(alloc.mean_utilisation(&dead), 0.0);
+    }
+
+    #[test]
+    fn dir_index_is_none_for_missing_links() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        assert_eq!(dir_index(&topo, n("1"), n("4")), None);
+        assert!(dir_index(&topo, n("1"), n("2")).is_some());
+        let bad = Path::new(vec![n("1"), n("4")]);
+        let err = try_path_dir_indices(&topo, &bad).unwrap_err();
+        assert_eq!(err, UnresolvedHop { from: n("1"), to: n("4") });
+        assert!(err.to_string().contains("no link"));
     }
 
     #[test]

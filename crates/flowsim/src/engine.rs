@@ -1,0 +1,771 @@
+//! The incremental, arena-backed max-min allocation engine.
+//!
+//! [`crate::allocator::max_min_allocate`] is the *reference* allocator:
+//! given the full flow set it re-resolves every subpath's hops to directed
+//! channels (one `HashMap` probe per hop) and allocates fresh vectors for
+//! every piece of working state — on **every** call. The flow-level event
+//! loop calls the allocator on every arrival and departure, so the
+//! reference formulation costs `O(events × flows × hops)` repeated path
+//! resolution plus thousands of heap allocations per event.
+//!
+//! [`AllocEngine`] is the production engine the simulator uses instead:
+//!
+//! * [`FlowPaths`] — an arena that resolves each flow's preference-ordered
+//!   subpaths to flat directed-channel index slices (`Vec<u32>` + offsets)
+//!   **once at flow arrival**, via the O(1) dense adjacency table
+//!   ([`inrpp_topology::dense::DenseChannels`]). Departed flows return
+//!   their slot (and its buffers) to a free list, so steady-state churn
+//!   allocates nothing.
+//! * [`AllocatorScratch`] — the progressive-filling working state
+//!   (residuals, per-channel flow counts, frozen flags, subpath cursors)
+//!   held across events and reused, so a re-allocation touches only
+//!   pre-sized flat arrays.
+//! * An active set sorted by caller key (the simulator uses flow ids), so
+//!   iteration order — and therefore every floating-point operation —
+//!   matches the reference allocator fed the same flows in the same
+//!   order.
+//!
+//! **Exactness contract:** for any active set, [`AllocEngine::allocate`]
+//! produces bit-identical `flow_rates`, `subpath_rates`, and `dir_used`
+//! to the reference allocator. The filling loop performs the same
+//! arithmetic in the same order; the one shortcut — re-scanning a flow's
+//! subpath preference from its *current* cursor instead of from zero — is
+//! sound because channel saturation is monotone within one allocation
+//! (residuals only fall, saturated channels are clamped to zero and stay
+//! there), so subpaths once skipped stay skipped. The contract is gated
+//! by unit tests here and the reference-equivalence property test in
+//! `tests/properties.rs`.
+
+use inrpp_topology::dense::DenseChannels;
+use inrpp_topology::graph::Topology;
+use inrpp_topology::spath::Path;
+
+use crate::allocator::{UnresolvedHop, MAX_ROUNDS, REL_EPS};
+
+/// One flow's resolved subpaths inside the [`FlowPaths`] arena.
+#[derive(Debug, Clone, Default)]
+struct SlotData {
+    /// Directed-channel indices of every subpath, concatenated.
+    dirs: Vec<u32>,
+    /// Exclusive end offset of each subpath within `dirs`.
+    ends: Vec<u32>,
+}
+
+impl SlotData {
+    /// Channel slice of subpath `i`.
+    #[inline]
+    fn subpath(&self, i: usize) -> &[u32] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.dirs[start..self.ends[i] as usize]
+    }
+
+    /// Number of subpaths.
+    #[inline]
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+}
+
+/// Arena of per-flow resolved subpaths: flat `Vec<u32>` channel slices
+/// plus offsets, filled once at flow arrival through an O(1) dense
+/// adjacency lookup and recycled through a slot free list.
+#[derive(Debug)]
+pub struct FlowPaths {
+    dense: DenseChannels,
+    slots: Vec<SlotData>,
+    free: Vec<u32>,
+}
+
+impl FlowPaths {
+    /// An empty arena resolving against `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        FlowPaths {
+            dense: DenseChannels::build(topo),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Resolve `paths` into a fresh (or recycled) slot and return its id.
+    /// On an unresolvable hop nothing is retained and the typed error
+    /// names the offending node pair.
+    pub fn insert(&mut self, paths: &[Path]) -> Result<u32, UnresolvedHop> {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(SlotData::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let data = &mut self.slots[slot as usize];
+        data.dirs.clear();
+        data.ends.clear();
+        for p in paths {
+            for w in p.nodes().windows(2) {
+                match self.dense.dir_index(w[0], w[1]) {
+                    Some(d) => data.dirs.push(d),
+                    None => {
+                        data.dirs.clear();
+                        data.ends.clear();
+                        self.free.push(slot);
+                        return Err(UnresolvedHop {
+                            from: w[0],
+                            to: w[1],
+                        });
+                    }
+                }
+            }
+            data.ends.push(data.dirs.len() as u32);
+        }
+        Ok(slot)
+    }
+
+    /// Release `slot` back to the free list (its buffers keep their
+    /// capacity for the next flow).
+    pub fn remove(&mut self, slot: u32) {
+        let data = &mut self.slots[slot as usize];
+        data.dirs.clear();
+        data.ends.clear();
+        self.free.push(slot);
+    }
+
+    /// Slots currently allocated (live + free), i.e. the arena footprint.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Reusable progressive-filling working state, held by the engine across
+/// events so re-allocations are allocation-free in steady state.
+#[derive(Debug)]
+pub struct AllocatorScratch {
+    /// Capacity per directed channel (fixed per topology).
+    caps: Vec<f64>,
+    /// Remaining capacity per directed channel.
+    residual: Vec<f64>,
+    /// Occurrences of each directed channel across unfrozen flows'
+    /// preferred subpaths, maintained incrementally across rounds.
+    count: Vec<u32>,
+    /// Per active position: no subpath with headroom left.
+    frozen: Vec<bool>,
+    /// Per active position: cursor into the subpath preference order.
+    preferred: Vec<u32>,
+    /// Per channel: active positions whose preferred subpath was routed
+    /// through it when selected (lazy — may contain stale entries, which
+    /// the rescan filters out). Drives the targeted re-selection: only
+    /// flows on a newly saturated channel can change preference.
+    on_channel: Vec<Vec<u32>>,
+    /// Unfrozen active positions (order-free: every per-flow update in a
+    /// round is independent, so iteration order does not affect results).
+    unfrozen: Vec<u32>,
+    /// Per active position: its index in `unfrozen` (for swap-removal).
+    unfrozen_pos: Vec<u32>,
+    /// Channels saturated by the current round.
+    newly_sat: Vec<u32>,
+    /// Channels with `count > 0` (may lag: zero-count entries are swept
+    /// out during the next round's δ pass). The per-round scans iterate
+    /// this instead of every channel — late rounds have few flows left.
+    in_use: Vec<u32>,
+    /// Membership flag for `in_use` (prevents duplicate entries when a
+    /// channel's count returns to zero and climbs again).
+    in_list: Vec<bool>,
+    /// Spare buffer rotated through `on_channel` entries during rescans.
+    rescan_buf: Vec<u32>,
+    /// `2⁻ᵏ` reciprocals: dividing by a power-of-two count is an exact
+    /// scaling, so it can be a multiplication with a bit-identical result.
+    pow2_recip: [f64; 33],
+}
+
+impl AllocatorScratch {
+    fn new(topo: &Topology) -> Self {
+        let mut caps = Vec::with_capacity(topo.link_count() * 2);
+        for l in topo.link_ids() {
+            let c = topo.link(l).capacity.as_bps();
+            caps.push(c);
+            caps.push(c);
+        }
+        let mut pow2_recip = [0.0; 33];
+        for (k, r) in pow2_recip.iter_mut().enumerate() {
+            *r = 1.0 / (1u64 << k) as f64;
+        }
+        AllocatorScratch {
+            residual: vec![0.0; caps.len()],
+            count: vec![0; caps.len()],
+            on_channel: vec![Vec::new(); caps.len()],
+            in_list: vec![false; caps.len()],
+            caps,
+            frozen: Vec::new(),
+            preferred: Vec::new(),
+            unfrozen: Vec::new(),
+            unfrozen_pos: Vec::new(),
+            newly_sat: Vec::new(),
+            in_use: Vec::new(),
+            rescan_buf: Vec::new(),
+            pow2_recip,
+        }
+    }
+
+    /// True when channel `d` has no headroom left (identical predicate to
+    /// the reference allocator).
+    #[inline]
+    fn saturated(&self, d: usize) -> bool {
+        self.residual[d] <= self.caps[d] * REL_EPS
+    }
+
+    /// Route flow `i` over channel `d` of its newly preferred subpath:
+    /// count it, list it for targeted re-selection, and make sure the
+    /// channel is on the in-use scan list.
+    #[inline]
+    fn route(&mut self, d: usize, i: u32) {
+        self.count[d] += 1;
+        self.on_channel[d].push(i);
+        if !self.in_list[d] {
+            self.in_list[d] = true;
+            self.in_use.push(d as u32);
+        }
+    }
+
+    /// First subpath of `data` at or after cursor `from` whose channels
+    /// all have headroom; `None` freezes the flow. Scanning from the
+    /// cursor is sound because saturation is monotone within one
+    /// allocation — everything before the cursor stayed saturated.
+    #[inline]
+    fn select_from(&self, data: &SlotData, from: usize) -> Option<usize> {
+        (from..data.len()).find(|&p| !data.subpath(p).iter().any(|&d| self.saturated(d as usize)))
+    }
+
+    /// Re-evaluate flow `i`'s preference after a channel on its preferred
+    /// subpath saturated, keeping `count`, `on_channel`, and the unfrozen
+    /// set in sync. No-op when the flow is already frozen (stale list
+    /// entry) or its preferred subpath is still clean.
+    fn rescan(&mut self, data: &SlotData, i: u32) {
+        if self.frozen[i as usize] {
+            return;
+        }
+        let p0 = self.preferred[i as usize] as usize;
+        let choice = self.select_from(data, p0);
+        if choice == Some(p0) {
+            return;
+        }
+        for &d in data.subpath(p0) {
+            self.count[d as usize] -= 1;
+        }
+        match choice {
+            Some(p) => {
+                self.preferred[i as usize] = p as u32;
+                for &d in data.subpath(p) {
+                    self.route(d as usize, i);
+                }
+            }
+            None => {
+                self.frozen[i as usize] = true;
+                // swap-remove from the unfrozen set, fixing the index of
+                // the element that took the vacated slot
+                let at = self.unfrozen_pos[i as usize] as usize;
+                self.unfrozen.swap_remove(at);
+                if let Some(&moved) = self.unfrozen.get(at) {
+                    self.unfrozen_pos[moved as usize] = at as u32;
+                }
+            }
+        }
+    }
+}
+
+/// The persistent allocation engine: flows enter at arrival
+/// ([`AllocEngine::insert`]), leave at departure
+/// ([`AllocEngine::remove`]), and [`AllocEngine::allocate`] recomputes
+/// only the rate vectors — numerically identical to the reference
+/// allocator run from scratch over the same active set.
+///
+/// ```
+/// use inrpp_flowsim::engine::AllocEngine;
+/// use inrpp_flowsim::allocator::max_min_allocate;
+/// use inrpp_topology::{spath::Path, Topology};
+///
+/// let topo = Topology::fig3();
+/// let n = |s: &str| topo.node_by_name(s).unwrap();
+/// let mut eng = AllocEngine::new(&topo);
+/// eng.insert(7, &[
+///     Path::new(vec![n("1"), n("2"), n("4")]),
+///     Path::new(vec![n("1"), n("2"), n("3"), n("4")]),
+/// ]).unwrap();
+/// eng.insert(9, &[Path::new(vec![n("1"), n("2"), n("3")])]).unwrap();
+/// eng.allocate();
+/// // identical to the paper's Fig. 3 INRPP outcome — and bit-identical
+/// // to the reference allocator fed the same flows
+/// assert!((eng.flow_rates()[0] - 5e6).abs() < 1.0);
+/// assert!((eng.flow_rates()[1] - 5e6).abs() < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct AllocEngine {
+    paths: FlowPaths,
+    scratch: AllocatorScratch,
+    /// Active flow keys, ascending — the canonical iteration order.
+    keys: Vec<u64>,
+    /// Arena slot per active position (parallel to `keys`).
+    slots: Vec<u32>,
+    // ---- outputs of the last `allocate()` ----------------------------
+    flow_rates: Vec<f64>,
+    sub_rates: Vec<f64>,
+    /// Per position: exclusive end offset into `sub_rates`.
+    sub_ends: Vec<u32>,
+    dir_used: Vec<f64>,
+    rounds: usize,
+}
+
+impl AllocEngine {
+    /// A fresh engine for `topo` with an empty active set.
+    pub fn new(topo: &Topology) -> Self {
+        AllocEngine {
+            paths: FlowPaths::new(topo),
+            scratch: AllocatorScratch::new(topo),
+            keys: Vec::new(),
+            slots: Vec::new(),
+            flow_rates: Vec::new(),
+            sub_rates: Vec::new(),
+            sub_ends: Vec::new(),
+            dir_used: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Number of active flows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no flow is active.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Active flow keys, ascending; positions index the rate vectors.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Arena slot of the flow at `pos`.
+    #[inline]
+    pub fn slot_at(&self, pos: usize) -> usize {
+        self.slots[pos] as usize
+    }
+
+    /// Admit a flow: resolve its preference-ordered subpaths into the
+    /// arena once, keyed by `key` (must be unique among active flows).
+    /// Returns the arena slot, which is stable until [`Self::remove`].
+    ///
+    /// # Panics
+    /// Panics if `key` is already active.
+    pub fn insert(&mut self, key: u64, paths: &[Path]) -> Result<usize, UnresolvedHop> {
+        let idx = match self.keys.binary_search(&key) {
+            Ok(_) => panic!("flow key {key} inserted twice"),
+            Err(i) => i,
+        };
+        let slot = self.paths.insert(paths)?;
+        self.keys.insert(idx, key);
+        self.slots.insert(idx, slot);
+        Ok(slot as usize)
+    }
+
+    /// Retire the flow keyed `key`, freeing its arena slot. Returns the
+    /// slot it occupied, or `None` if the key was not active.
+    pub fn remove(&mut self, key: u64) -> Option<usize> {
+        let idx = self.keys.binary_search(&key).ok()?;
+        self.keys.remove(idx);
+        let slot = self.slots.remove(idx);
+        self.paths.remove(slot);
+        Some(slot as usize)
+    }
+
+    /// Recompute max-min rates for the current active set (progressive
+    /// filling over the arena, scratch reused). Outputs are readable
+    /// until the next `insert`/`remove`/`allocate`.
+    ///
+    /// The filling loop is restructured against the reference allocator
+    /// for speed, but every restructuring preserves bit-identical
+    /// arithmetic:
+    ///
+    /// * channel counts are maintained incrementally instead of rebuilt
+    ///   per round — pure integer bookkeeping, same values;
+    /// * the per-round `δ` is still the minimum over channels in use —
+    ///   `min` does not depend on scan order;
+    /// * residual subtraction runs per *channel* (`count[d]` repeated
+    ///   subtractions in a register) instead of per flow — the operation
+    ///   sequence each `residual[d]` sees is unchanged, because within a
+    ///   round every subtraction uses the same `δ` and no other channel's
+    ///   updates touch it;
+    /// * re-selection is driven by the flow lists of newly saturated
+    ///   channels — exactly the flows the reference's full rescan could
+    ///   move (a preference changes only when the flow's current subpath
+    ///   loses a channel), and per-flow re-selection is independent of
+    ///   the order flows are visited in.
+    pub fn allocate(&mut self) {
+        let s = &mut self.scratch;
+        let ndir = s.caps.len();
+        s.residual.copy_from_slice(&s.caps);
+        s.frozen.clear();
+        s.preferred.clear();
+        self.sub_ends.clear();
+        let mut total_subs = 0u32;
+        for &slot in &self.slots {
+            let data = &self.paths.slots[slot as usize];
+            total_subs += data.len() as u32;
+            self.sub_ends.push(total_subs);
+            s.frozen.push(data.ends.is_empty());
+            s.preferred.push(0);
+        }
+        self.sub_rates.clear();
+        self.sub_rates.resize(total_subs as usize, 0.0);
+
+        // Initial selection, then seed counts, per-channel flow lists,
+        // the in-use channel list, and the unfrozen set.
+        s.count.fill(0);
+        for l in &mut s.on_channel {
+            l.clear();
+        }
+        for k in 0..s.in_use.len() {
+            s.in_list[s.in_use[k] as usize] = false;
+        }
+        s.in_use.clear();
+        s.unfrozen.clear();
+        s.unfrozen_pos.clear();
+        s.unfrozen_pos.resize(self.slots.len(), 0);
+        for (i, &slot) in self.slots.iter().enumerate() {
+            if s.frozen[i] {
+                continue;
+            }
+            let data = &self.paths.slots[slot as usize];
+            match s.select_from(data, 0) {
+                Some(p) => {
+                    s.preferred[i] = p as u32;
+                    for &d in data.subpath(p) {
+                        s.route(d as usize, i as u32);
+                    }
+                    s.unfrozen_pos[i] = s.unfrozen.len() as u32;
+                    s.unfrozen.push(i as u32);
+                }
+                None => s.frozen[i] = true,
+            }
+        }
+
+        let mut rounds = 0;
+        while rounds < MAX_ROUNDS {
+            rounds += 1;
+            if s.unfrozen.is_empty() {
+                break;
+            }
+            // Largest uniform increment no used channel can refuse — the
+            // same minimum the reference takes over all channels, since
+            // `min` is scan-order independent and `in_use` ⊇ the channels
+            // with `count > 0` (zero-count leftovers are swept out here).
+            // Dividing by 1 is the identity and dividing by a power of
+            // two is an exact scaling, so only the remaining counts pay
+            // for a hardware division — same bits either way.
+            let mut delta = f64::INFINITY;
+            let mut k = 0;
+            while k < s.in_use.len() {
+                let d = s.in_use[k] as usize;
+                let c = s.count[d];
+                if c == 0 {
+                    s.in_list[d] = false;
+                    s.in_use.swap_remove(k);
+                    continue;
+                }
+                let q = if c == 1 {
+                    s.residual[d]
+                } else if c.is_power_of_two() {
+                    s.residual[d] * s.pow2_recip[c.trailing_zeros() as usize]
+                } else {
+                    s.residual[d] / c as f64
+                };
+                delta = delta.min(q);
+                k += 1;
+            }
+            debug_assert!(delta.is_finite(), "unfrozen flows must use channels");
+            // `count[d] > 0` implies `residual[d] > caps[d]·ε` (else the
+            // subpath would not have been selectable), so `δ` is strictly
+            // positive whenever any flow is unfrozen — the reference's
+            // `if δ > 0` guard is vacuous here and the saturation clamp
+            // can run fused into the subtraction pass: all of a channel's
+            // subtractions happen below before its clamp check, exactly
+            // as the reference orders them.
+            s.newly_sat.clear();
+            for &i in &s.unfrozen {
+                let i = i as usize;
+                let start = if i == 0 { 0 } else { self.sub_ends[i - 1] as usize };
+                self.sub_rates[start + s.preferred[i] as usize] += delta;
+            }
+            for k in 0..s.in_use.len() {
+                let d = s.in_use[k] as usize;
+                let c = s.count[d];
+                if c > 0 {
+                    // per-channel repeated subtraction: the same op
+                    // sequence `residual[d]` saw from the reference's
+                    // per-flow loop, since every subtraction in a round
+                    // uses the same δ and channels are independent
+                    let mut r = s.residual[d];
+                    for _ in 0..c {
+                        r -= delta;
+                    }
+                    // clamp channels that just saturated to exactly zero
+                    // so the saturation predicate is stable, and collect
+                    // them: only flows routed through them can change
+                    // preference
+                    if r <= s.caps[d] * REL_EPS {
+                        r = 0.0;
+                        s.newly_sat.push(d as u32);
+                    }
+                    s.residual[d] = r;
+                }
+            }
+            // Re-select the affected flows. A saturated channel never
+            // re-enters any preference, so its flow list is consumed
+            // (its buffer rotates through `rescan_buf` to keep capacity).
+            for k in 0..s.newly_sat.len() {
+                let d = s.newly_sat[k] as usize;
+                let mut pending = std::mem::take(&mut s.rescan_buf);
+                std::mem::swap(&mut pending, &mut s.on_channel[d]);
+                for &i in &pending {
+                    let data = &self.paths.slots[self.slots[i as usize] as usize];
+                    s.rescan(data, i);
+                }
+                pending.clear();
+                s.rescan_buf = pending;
+            }
+        }
+        debug_assert!(rounds < MAX_ROUNDS, "allocator failed to converge");
+        self.rounds = rounds;
+
+        self.flow_rates.clear();
+        for i in 0..self.slots.len() {
+            let start = if i == 0 { 0 } else { self.sub_ends[i - 1] as usize };
+            let end = self.sub_ends[i] as usize;
+            self.flow_rates
+                .push(self.sub_rates[start..end].iter().sum());
+        }
+        self.dir_used.clear();
+        for d in 0..ndir {
+            self.dir_used.push(s.caps[d] - s.residual[d]);
+        }
+    }
+
+    /// Total rate per active flow (bits/s), in key order.
+    pub fn flow_rates(&self) -> &[f64] {
+        &self.flow_rates
+    }
+
+    /// Rate per subpath of the flow at `pos` (bits/s, preference order).
+    #[inline]
+    pub fn subpath_rates(&self, pos: usize) -> &[f64] {
+        let start = if pos == 0 { 0 } else { self.sub_ends[pos - 1] as usize };
+        &self.sub_rates[start..self.sub_ends[pos] as usize]
+    }
+
+    /// Bits/s consumed on every directed channel.
+    pub fn dir_used(&self) -> &[f64] {
+        &self.dir_used
+    }
+
+    /// Filling rounds of the last allocation (diagnostics).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Mean utilisation over directed channels that carry any capacity —
+    /// same semantics as [`crate::allocator::Allocation::mean_utilisation`].
+    pub fn mean_utilisation(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut carrying = 0usize;
+        for (d, &used) in self.dir_used.iter().enumerate() {
+            let cap = self.scratch.caps[d];
+            if cap > 0.0 {
+                sum += (used / cap).min(1.0);
+                carrying += 1;
+            }
+        }
+        if carrying == 0 {
+            0.0
+        } else {
+            sum / carrying as f64
+        }
+    }
+
+    /// Add `utilisation × dt` per directed channel into `acc` — the
+    /// time-weighted accumulation the simulator keeps, without the
+    /// per-event vector the reference `dir_utilisation` would allocate.
+    pub fn accumulate_channel_utilisation(&self, dt: f64, acc: &mut [f64]) {
+        for (d, w) in acc.iter_mut().enumerate() {
+            let cap = self.scratch.caps[d];
+            let u = if cap <= 0.0 {
+                0.0
+            } else {
+                (self.dir_used[d] / cap).min(1.0)
+            };
+            *w += u * dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::max_min_allocate;
+    use inrpp_sim::time::SimDuration;
+    use inrpp_sim::units::Rate;
+    use inrpp_topology::graph::NodeId;
+
+    /// Engine output must be bit-identical to the reference allocator.
+    fn assert_matches_reference(topo: &Topology, keyed: &[(u64, Vec<Path>)]) {
+        let mut eng = AllocEngine::new(topo);
+        let mut sorted = keyed.to_vec();
+        sorted.sort_by_key(|(k, _)| *k);
+        for (k, paths) in keyed {
+            eng.insert(*k, paths).unwrap();
+        }
+        eng.allocate();
+        let flows: Vec<Vec<Path>> = sorted.iter().map(|(_, p)| p.clone()).collect();
+        let reference = max_min_allocate(topo, &flows);
+        assert_eq!(eng.flow_rates(), reference.flow_rates.as_slice());
+        assert_eq!(eng.dir_used(), reference.dir_used.as_slice());
+        assert_eq!(eng.rounds(), reference.rounds);
+        for (pos, want) in reference.subpath_rates.iter().enumerate() {
+            assert_eq!(eng.subpath_rates(pos), want.as_slice());
+        }
+        assert_eq!(eng.mean_utilisation(), reference.mean_utilisation(topo));
+    }
+
+    fn fig3_keyed() -> (Topology, Vec<(u64, Vec<Path>)>) {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let keyed = vec![
+            (
+                10u64,
+                vec![
+                    Path::new(vec![n("1"), n("2"), n("4")]),
+                    Path::new(vec![n("1"), n("2"), n("3"), n("4")]),
+                ],
+            ),
+            (4u64, vec![Path::new(vec![n("1"), n("2"), n("3")])]),
+        ];
+        (topo, keyed)
+    }
+
+    #[test]
+    fn matches_reference_on_fig3() {
+        let (topo, keyed) = fig3_keyed();
+        assert_matches_reference(&topo, &keyed);
+    }
+
+    #[test]
+    fn matches_reference_after_churn() {
+        // insert three, remove the middle key, re-insert with new paths:
+        // the surviving set must still match a from-scratch reference run
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let a = vec![
+            Path::new(vec![n("1"), n("2"), n("4")]),
+            Path::new(vec![n("1"), n("2"), n("3"), n("4")]),
+        ];
+        let b = vec![Path::new(vec![n("1"), n("2"), n("3")])];
+        let c = vec![Path::new(vec![n("4"), n("3"), n("2")])];
+        let mut eng = AllocEngine::new(&topo);
+        eng.insert(1, &a).unwrap();
+        eng.insert(2, &b).unwrap();
+        eng.insert(3, &c).unwrap();
+        eng.allocate();
+        assert_eq!(eng.remove(2), Some(1));
+        assert_eq!(eng.remove(2), None, "double remove is a no-op");
+        // the freed slot is recycled for the next insert
+        let slot = eng.insert(9, &b).unwrap();
+        assert_eq!(slot, 1);
+        eng.allocate();
+        let reference = max_min_allocate(&topo, &[a, c, b]); // key order 1, 3, 9
+        assert_eq!(eng.flow_rates(), reference.flow_rates.as_slice());
+        assert_eq!(eng.dir_used(), reference.dir_used.as_slice());
+        assert_eq!(eng.keys(), &[1, 3, 9]);
+    }
+
+    #[test]
+    fn matches_reference_with_unroutable_flow() {
+        let (topo, mut keyed) = fig3_keyed();
+        keyed.push((7, Vec::new())); // unroutable: empty subpath list
+        assert_matches_reference(&topo, &keyed);
+    }
+
+    #[test]
+    fn matches_reference_on_shared_bottleneck() {
+        let topo = Topology::dumbbell(
+            4,
+            Rate::mbps(100.0),
+            Rate::mbps(10.0),
+            SimDuration::from_millis(1),
+        );
+        let keyed: Vec<(u64, Vec<Path>)> = (0..4)
+            .map(|i| {
+                (
+                    i as u64 * 3 + 1,
+                    vec![Path::new(vec![
+                        NodeId(i),
+                        NodeId(4),
+                        NodeId(5),
+                        NodeId(6 + i),
+                    ])],
+                )
+            })
+            .collect();
+        assert_matches_reference(&topo, &keyed);
+    }
+
+    #[test]
+    fn unresolved_hop_is_a_typed_error_and_leaks_nothing() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let mut eng = AllocEngine::new(&topo);
+        let bad = vec![Path::new(vec![n("1"), n("4")])];
+        let err = eng.insert(1, &bad).unwrap_err();
+        assert_eq!(err.from, n("1"));
+        assert_eq!(err.to, n("4"));
+        assert!(eng.is_empty());
+        // the slot probed by the failed insert is reusable
+        eng.insert(1, &[Path::new(vec![n("1"), n("2")])]).unwrap();
+        eng.allocate();
+        assert_eq!(eng.len(), 1);
+        assert!((eng.flow_rates()[0] - 10e6).abs() < 1.0);
+        assert_eq!(eng.paths.capacity(), 1, "failed insert left no slot behind");
+    }
+
+    #[test]
+    fn empty_active_set_allocates_to_nothing() {
+        let topo = Topology::fig3();
+        let mut eng = AllocEngine::new(&topo);
+        eng.allocate();
+        assert!(eng.flow_rates().is_empty());
+        assert!(eng.dir_used().iter().all(|&u| u == 0.0));
+        assert_eq!(eng.mean_utilisation(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_channel_utilisation_matches_reference_weighting() {
+        let (topo, keyed) = fig3_keyed();
+        let mut eng = AllocEngine::new(&topo);
+        for (k, p) in &keyed {
+            eng.insert(*k, p).unwrap();
+        }
+        eng.allocate();
+        let flows: Vec<Vec<Path>> = {
+            let mut s = keyed.clone();
+            s.sort_by_key(|(k, _)| *k);
+            s.into_iter().map(|(_, p)| p).collect()
+        };
+        let reference = max_min_allocate(&topo, &flows);
+        let dt = 0.25;
+        let mut acc = vec![0.0; topo.link_count() * 2];
+        eng.accumulate_channel_utilisation(dt, &mut acc);
+        let want: Vec<f64> = reference
+            .dir_utilisation(&topo)
+            .into_iter()
+            .map(|u| u * dt)
+            .collect();
+        assert_eq!(acc, want);
+    }
+}

@@ -10,6 +10,11 @@
 //!   (the paper's e2e baseline); with detour subpaths it realises INRPP's
 //!   "split equally up to the bottleneck, detour the excess" semantics —
 //!   both sides of Fig. 3 fall out of the same machinery.
+//! * [`engine`] — the **incremental, arena-backed** allocation engine the
+//!   event loop actually runs: subpaths resolve to flat channel-index
+//!   slices once at flow arrival, scratch state persists across events,
+//!   and every re-allocation is bit-identical to the reference allocator
+//!   (see the module docs for the exactness contract).
 //! * [`strategy`] — path-set construction per flow: single shortest path
 //!   (SP), hash-selected equal-cost path (ECMP), and INRP (primary +
 //!   detour-spliced subpaths, 1-hop plus the paper's "one extra hop").
@@ -24,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod allocator;
+pub mod engine;
 pub mod metrics;
 pub mod sim;
 pub mod strategy;
 pub mod workload;
 
-pub use allocator::{max_min_allocate, Allocation};
+pub use allocator::{max_min_allocate, Allocation, UnresolvedHop};
+pub use engine::{AllocEngine, AllocatorScratch, FlowPaths};
 pub use metrics::{FlowSimReport, WeightedCdf};
 pub use sim::{FlowSim, FlowSimConfig};
 pub use strategy::{EcmpStrategy, InrpStrategy, MptcpStrategy, RoutingStrategy, SinglePathStrategy};

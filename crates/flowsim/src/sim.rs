@@ -1,26 +1,32 @@
 //! The fluid flow-level event loop.
 //!
 //! Between events the network is in a max-min equilibrium computed by the
-//! [`crate::allocator`]; flows drain at their allocated rates, integrated
-//! *exactly* over the inter-event interval (piecewise-linear fluid model —
-//! no time-stepping error). Events are flow arrivals (from the generated
-//! workload) and flow departures (when a flow's remaining volume reaches
-//! zero at its current rate). Each event triggers a re-allocation.
+//! incremental [`crate::engine`]; flows drain at their allocated rates,
+//! integrated *exactly* over the inter-event interval (piecewise-linear
+//! fluid model — no time-stepping error). Events are flow arrivals (from
+//! the generated workload) and flow departures (when a flow's remaining
+//! volume reaches zero at its current rate). Each event triggers a
+//! re-allocation.
+//!
+//! Arrivals and departures update the engine's active set incrementally:
+//! a flow's subpaths are resolved into the engine's arena once, at
+//! arrival, and each event recomputes only the rate vectors — over
+//! persistent scratch state, with no per-event path resolution or
+//! allocation. The output is bit-identical to the original formulation
+//! that re-ran the from-scratch reference allocator on every event (see
+//! the [`crate::engine`] exactness contract).
 //!
 //! Departure scheduling uses the standard epoch trick: after every
 //! re-allocation only the *earliest* predicted departure is scheduled,
 //! tagged with the allocation epoch; stale events are ignored when they
 //! fire. This keeps the event count at `O(arrivals + departures)`.
 
-use std::collections::BTreeMap;
-
 use inrpp_sim::event::{Control, Engine};
 use inrpp_sim::metrics::JainIndex;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_topology::graph::Topology;
-use inrpp_topology::spath::Path;
 
-use crate::allocator::{max_min_allocate, Allocation};
+use crate::engine::AllocEngine;
 use crate::metrics::{FlowSimReport, WeightedCdf};
 use crate::strategy::RoutingStrategy;
 use crate::workload::Workload;
@@ -48,8 +54,12 @@ enum Event {
     Departure(u64, u64),
 }
 
+/// Per-flow bookkeeping, indexed by the engine's arena slot. The engine
+/// owns the resolved subpaths; the simulator only needs the hop counts
+/// (for the stretch CDF) and the drain state.
 struct ActiveFlow {
-    paths: Vec<Path>,
+    /// Hops of each subpath, preference order.
+    subpath_hops: Vec<u32>,
     primary_hops: usize,
     remaining_bits: f64,
     /// bits delivered per subpath (for the stretch CDF)
@@ -91,9 +101,14 @@ impl<'a> FlowSim<'a> {
                 .expect("workload arrivals are within the window");
         }
 
-        let mut active: BTreeMap<u64, ActiveFlow> = BTreeMap::new();
-        let mut alloc: Option<Allocation> = None;
-        let mut alloc_order: Vec<u64> = Vec::new();
+        // The incremental allocation engine: subpaths resolve into its
+        // arena at arrival; every event only recomputes the rate vectors.
+        let mut alloc_engine = AllocEngine::new(self.topo);
+        // Per-flow drain state, indexed by the engine's arena slot.
+        let mut states: Vec<Option<ActiveFlow>> = Vec::new();
+        // Whether the engine's rate vectors describe the current active
+        // set (the analogue of the old `Option<Allocation>`).
+        let mut alloc_valid = false;
         let mut epoch = 0u64;
         let mut last_update = SimTime::ZERO;
 
@@ -111,87 +126,78 @@ impl<'a> FlowSim<'a> {
         let mut chan_weighted = vec![0.0f64; self.topo.link_count() * 2];
         let mut weighted_secs = 0.0;
 
-        // Integrate the fluid system from `last_update` to `now`.
+        // Integrate the fluid system from `last_update` to `now`. The
+        // engine's active set always equals the set the last allocation
+        // ran over: inserts/removes happen *after* the advance for their
+        // event.
         #[allow(clippy::too_many_arguments)]
         let advance = |now: SimTime,
                        last_update: &mut SimTime,
-                       active: &mut BTreeMap<u64, ActiveFlow>,
-                       alloc: &Option<Allocation>,
-                       alloc_order: &[u64],
+                       states: &mut Vec<Option<ActiveFlow>>,
+                       alloc_engine: &AllocEngine,
+                       alloc_valid: bool,
                        delivered_bits: &mut f64,
                        jain_weighted: &mut f64,
                        util_weighted: &mut f64,
                        chan_weighted: &mut [f64],
-                       weighted_secs: &mut f64,
-                       topo: &Topology| {
+                       weighted_secs: &mut f64| {
             let dt = now.saturating_duration_since(*last_update).as_secs_f64();
             *last_update = now;
-            if dt <= 0.0 {
+            if dt <= 0.0 || !alloc_valid {
                 return;
             }
-            if let Some(a) = alloc {
-                for (pos, fid) in alloc_order.iter().enumerate() {
-                    let Some(fl) = active.get_mut(fid) else {
-                        continue;
-                    };
-                    let got = (a.flow_rates[pos] * dt).min(fl.remaining_bits);
-                    fl.remaining_bits -= got;
-                    *delivered_bits += got;
-                    // distribute onto subpaths proportionally to their rates
-                    let total: f64 = a.subpath_rates[pos].iter().sum();
-                    if total > 0.0 {
-                        for (s, &r) in a.subpath_rates[pos].iter().enumerate() {
-                            fl.subpath_bits[s] += got * r / total;
-                        }
+            let rates = alloc_engine.flow_rates();
+            for pos in 0..alloc_engine.len() {
+                let Some(fl) = states[alloc_engine.slot_at(pos)].as_mut() else {
+                    continue;
+                };
+                let got = (rates[pos] * dt).min(fl.remaining_bits);
+                fl.remaining_bits -= got;
+                *delivered_bits += got;
+                // distribute onto subpaths proportionally to their rates
+                let srates = alloc_engine.subpath_rates(pos);
+                let total: f64 = srates.iter().sum();
+                if total > 0.0 {
+                    for (s, &r) in srates.iter().enumerate() {
+                        fl.subpath_bits[s] += got * r / total;
                     }
                 }
-                let rates: Vec<f64> = alloc_order
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, fid)| active.contains_key(*fid))
-                    .map(|(pos, _)| a.flow_rates[pos])
-                    .collect();
-                if let Some(j) = JainIndex::compute(&rates) {
-                    *jain_weighted += j * dt;
-                    *util_weighted += a.mean_utilisation(topo) * dt;
-                    for (w, u) in chan_weighted
-                        .iter_mut()
-                        .zip(a.dir_utilisation(topo))
-                    {
-                        *w += u * dt;
-                    }
-                    *weighted_secs += dt;
-                }
+            }
+            if let Some(j) = JainIndex::compute(rates) {
+                *jain_weighted += j * dt;
+                *util_weighted += alloc_engine.mean_utilisation() * dt;
+                alloc_engine.accumulate_channel_utilisation(dt, chan_weighted);
+                *weighted_secs += dt;
             }
         };
 
         // Re-allocate and schedule the earliest departure.
         let reallocate = |eng: &mut Engine<Event>,
-                          active: &BTreeMap<u64, ActiveFlow>,
-                          alloc: &mut Option<Allocation>,
-                          alloc_order: &mut Vec<u64>,
-                          epoch: &mut u64,
-                          topo: &Topology| {
+                          alloc_engine: &mut AllocEngine,
+                          states: &[Option<ActiveFlow>],
+                          alloc_valid: &mut bool,
+                          epoch: &mut u64| {
             *epoch += 1;
-            alloc_order.clear();
-            alloc_order.extend(active.keys().copied());
-            if active.is_empty() {
-                *alloc = None;
+            if alloc_engine.is_empty() {
+                *alloc_valid = false;
                 return;
             }
-            let flows: Vec<Vec<Path>> =
-                alloc_order.iter().map(|f| active[f].paths.clone()).collect();
-            let a = max_min_allocate(topo, &flows);
+            alloc_engine.allocate();
+            *alloc_valid = true;
             // earliest departure under the new rates
+            let rates = alloc_engine.flow_rates();
             let mut best: Option<(f64, u64)> = None;
-            for (pos, fid) in alloc_order.iter().enumerate() {
-                let rate = a.flow_rates[pos];
+            for (pos, &fid) in alloc_engine.keys().iter().enumerate() {
+                let rate = rates[pos];
                 if rate <= 0.0 {
                     continue;
                 }
-                let eta = active[fid].remaining_bits / rate;
+                let fl = states[alloc_engine.slot_at(pos)]
+                    .as_ref()
+                    .expect("engine and state slab agree on active slots");
+                let eta = fl.remaining_bits / rate;
                 if best.map_or(true, |(t, _)| eta < t) {
-                    best = Some((eta, *fid));
+                    best = Some((eta, fid));
                 }
             }
             if let Some((eta, fid)) = best {
@@ -203,7 +209,6 @@ impl<'a> FlowSim<'a> {
                     Event::Departure(fid, *epoch),
                 );
             }
-            *alloc = Some(a);
         };
 
         let topo = self.topo;
@@ -213,15 +218,14 @@ impl<'a> FlowSim<'a> {
                     advance(
                         now,
                         &mut last_update,
-                        &mut active,
-                        &alloc,
-                        &alloc_order,
+                        &mut states,
+                        &alloc_engine,
+                        alloc_valid,
                         &mut delivered_bits,
                         &mut jain_weighted,
                         &mut util_weighted,
                         &mut chan_weighted,
                         &mut weighted_secs,
-                        topo,
                     );
                     let spec = &self.workload.flows[idx];
                     arrived += 1;
@@ -234,18 +238,23 @@ impl<'a> FlowSim<'a> {
                     }
                     offered_bits += spec.size_bits;
                     let primary_hops = paths[0].hops().max(1);
+                    let subpath_hops: Vec<u32> =
+                        paths.iter().map(|p| p.hops() as u32).collect();
                     let n = paths.len();
-                    active.insert(
-                        spec.id,
-                        ActiveFlow {
-                            paths,
-                            primary_hops,
-                            remaining_bits: spec.size_bits,
-                            subpath_bits: vec![0.0; n],
-                            arrival: now,
-                        },
-                    );
-                    reallocate(eng, &active, &mut alloc, &mut alloc_order, &mut epoch, topo);
+                    let slot = alloc_engine
+                        .insert(spec.id, &paths)
+                        .unwrap_or_else(|e| panic!("flow {}: {e}", spec.id));
+                    if states.len() <= slot {
+                        states.resize_with(slot + 1, || None);
+                    }
+                    states[slot] = Some(ActiveFlow {
+                        subpath_hops,
+                        primary_hops,
+                        remaining_bits: spec.size_bits,
+                        subpath_bits: vec![0.0; n],
+                        arrival: now,
+                    });
+                    reallocate(eng, &mut alloc_engine, &states, &mut alloc_valid, &mut epoch);
                 }
                 Event::Departure(fid, ev_epoch) => {
                     if ev_epoch != epoch {
@@ -254,17 +263,19 @@ impl<'a> FlowSim<'a> {
                     advance(
                         now,
                         &mut last_update,
-                        &mut active,
-                        &alloc,
-                        &alloc_order,
+                        &mut states,
+                        &alloc_engine,
+                        alloc_valid,
                         &mut delivered_bits,
                         &mut jain_weighted,
                         &mut util_weighted,
                         &mut chan_weighted,
                         &mut weighted_secs,
-                        topo,
                     );
-                    if let Some(fl) = active.remove(&fid) {
+                    if let Some(slot) = alloc_engine.remove(fid) {
+                        let fl = states[slot]
+                            .take()
+                            .expect("engine and state slab agree on active slots");
                         debug_assert!(
                             fl.remaining_bits < 1.0,
                             "flow {fid} departed with {} bits left",
@@ -276,7 +287,7 @@ impl<'a> FlowSim<'a> {
                         fct_cdf.record(fct);
                         record_stretch(&mut stretch, &fl);
                     }
-                    reallocate(eng, &active, &mut alloc, &mut alloc_order, &mut epoch, topo);
+                    reallocate(eng, &mut alloc_engine, &states, &mut alloc_valid, &mut epoch);
                 }
             }
             Control::Continue
@@ -287,18 +298,19 @@ impl<'a> FlowSim<'a> {
         advance(
             horizon.min(eng.now().max(last_update)),
             &mut last_update,
-            &mut active,
-            &alloc,
-            &alloc_order,
+            &mut states,
+            &alloc_engine,
+            alloc_valid,
             &mut delivered_bits,
             &mut jain_weighted,
             &mut util_weighted,
             &mut chan_weighted,
             &mut weighted_secs,
-            topo,
         );
-        for (_, fl) in active.iter() {
-            record_stretch(&mut stretch, fl);
+        for pos in 0..alloc_engine.len() {
+            if let Some(fl) = &states[alloc_engine.slot_at(pos)] {
+                record_stretch(&mut stretch, fl);
+            }
         }
 
         FlowSimReport {
@@ -339,7 +351,7 @@ impl<'a> FlowSim<'a> {
 fn record_stretch(stretch: &mut WeightedCdf, fl: &ActiveFlow) {
     for (s, &bits) in fl.subpath_bits.iter().enumerate() {
         if bits > 0.0 {
-            let st = fl.paths[s].hops() as f64 / fl.primary_hops as f64;
+            let st = fl.subpath_hops[s] as f64 / fl.primary_hops as f64;
             stretch.record(st, bits);
         }
     }

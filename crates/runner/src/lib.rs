@@ -51,5 +51,5 @@ mod report;
 mod spec;
 
 pub use pool::{run_sweep, RunnerConfig};
-pub use report::{Artifact, ReportParseError, SweepReport};
+pub use report::{json_string, Artifact, ReportParseError, SweepReport};
 pub use spec::{CellCtx, CellOutput, CellSpec, SweepSpec};

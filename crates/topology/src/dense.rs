@@ -1,0 +1,157 @@
+//! Dense O(1) node-pair → link / directed-channel lookup.
+//!
+//! [`Topology::link_between`] resolves a hop through a `HashMap` keyed on
+//! the normalised node pair — fine for occasional queries, but the flow
+//! simulator's allocation hot path used to re-resolve **every hop of every
+//! active flow on every event** that way. [`DenseChannels`] trades a small
+//! flat table (`node_count²` entries of `u32`, under 1 MB even for the
+//! largest Rocketfuel map) for branch-free constant-time lookups, so path
+//! resolution can happen once per flow instead of once per event.
+//!
+//! Directed-channel indices follow the suite-wide convention
+//! `link.idx() * 2 + direction`, where direction `0` is the link's
+//! `a → b` orientation (see `inrpp_flowsim::allocator::dir_index`).
+
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// Sentinel for "no link between this node pair".
+const NONE: u32 = u32::MAX;
+
+/// A dense adjacency table answering "which directed channel joins
+/// `from → to`?" in O(1), built once from a [`Topology`].
+///
+/// The table is a snapshot: links added to the topology afterwards are
+/// invisible to it. Build it after the topology is final (the simulators
+/// never mutate their topology mid-run).
+///
+/// ```
+/// use inrpp_topology::dense::DenseChannels;
+/// use inrpp_topology::Topology;
+///
+/// let topo = Topology::fig3();
+/// let n = |s: &str| topo.node_by_name(s).unwrap();
+/// let dense = DenseChannels::build(&topo);
+/// // link 0 joins "1" and "2"; the forward channel has index 0
+/// assert_eq!(dense.dir_index(n("1"), n("2")), Some(0));
+/// assert_eq!(dense.dir_index(n("2"), n("1")), Some(1));
+/// // "1" and "4" are not adjacent
+/// assert_eq!(dense.dir_index(n("1"), n("4")), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseChannels {
+    n: usize,
+    /// `n * n` entries; `chan[from * n + to]` is the directed-channel
+    /// index of the link `from → to`, or [`NONE`].
+    chan: Vec<u32>,
+}
+
+impl DenseChannels {
+    /// Build the table for `topo` (O(nodes² + links) time and space).
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut chan = vec![NONE; n * n];
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            let d = l.idx() as u32 * 2;
+            chan[link.a.idx() * n + link.b.idx()] = d;
+            chan[link.b.idx() * n + link.a.idx()] = d + 1;
+        }
+        DenseChannels { n, chan }
+    }
+
+    /// Number of nodes the table was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Directed-channel index of the hop `from → to`
+    /// (`link.idx() * 2 + direction`), or `None` when the nodes are not
+    /// adjacent or out of range.
+    #[inline]
+    pub fn dir_index(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        // both coordinates must be range-checked individually: a flat
+        // `get` alone would let an oversized `to` alias into the next row
+        if from.idx() >= self.n || to.idx() >= self.n {
+            return None;
+        }
+        let c = self.chan[from.idx() * self.n + to.idx()];
+        (c != NONE).then_some(c)
+    }
+
+    /// The undirected link joining `from` and `to`, or `None`.
+    #[inline]
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.dir_index(from, to).map(|c| LinkId(c / 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hashmap_lookup_on_fig3() {
+        let topo = Topology::fig3();
+        let dense = DenseChannels::build(&topo);
+        assert_eq!(dense.node_count(), 4);
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                assert_eq!(
+                    dense.link_between(a, b),
+                    topo.link_between(a, b),
+                    "{a}-{b} disagrees with the HashMap path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direction_convention_matches_link_orientation() {
+        let topo = Topology::fig3();
+        let dense = DenseChannels::build(&topo);
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            assert_eq!(dense.dir_index(link.a, link.b), Some(l.idx() as u32 * 2));
+            assert_eq!(
+                dense.dir_index(link.b, link.a),
+                Some(l.idx() as u32 * 2 + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn missing_pairs_and_self_pairs_are_none() {
+        let topo = Topology::fig3();
+        let dense = DenseChannels::build(&topo);
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        assert_eq!(dense.dir_index(n("1"), n("4")), None);
+        assert_eq!(dense.dir_index(n("1"), n("1")), None);
+        // out-of-range ids are a lookup miss, not a panic
+        assert_eq!(dense.dir_index(NodeId(99), n("1")), None);
+        assert_eq!(dense.dir_index(n("1"), NodeId(99)), None);
+        // an oversized `to` whose flat index still lands inside the table
+        // must not alias into the next row (regression: NodeId(6) from
+        // row 0 would otherwise hit row 1's entries)
+        for to in 4u32..16 {
+            assert_eq!(dense.dir_index(NodeId(0), NodeId(to)), None, "to={to}");
+        }
+    }
+
+    #[test]
+    fn empty_topology_is_fine() {
+        let dense = DenseChannels::build(&Topology::new("empty"));
+        assert_eq!(dense.node_count(), 0);
+        assert_eq!(dense.dir_index(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn matches_on_a_random_synthetic_topology() {
+        let topo = crate::synth::barabasi_albert(40, 2, 7);
+        let dense = DenseChannels::build(&topo);
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                assert_eq!(dense.link_between(a, b), topo.link_between(a, b));
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod detour;
 pub mod ecmp;
 pub mod graph;
@@ -36,6 +37,7 @@ pub mod spath;
 pub mod stats;
 pub mod synth;
 
+pub use dense::DenseChannels;
 pub use detour::{DetourClass, DetourStats, DetourTable};
 pub use graph::{LinkId, NodeId, Topology, TopologyError};
 pub use rocketfuel::{Isp, IspProfile};
