@@ -54,7 +54,9 @@ fn bench_allocator(c: &mut Criterion) {
         // what an event in the simulator's steady state actually costs
         let mut engine = AllocEngine::new(&topo);
         for (k, paths) in multi.iter().enumerate() {
-            engine.insert(k as u64, paths).expect("strategy paths resolve");
+            engine
+                .insert(k as u64, paths)
+                .expect("strategy paths resolve");
         }
         group.bench_with_input(BenchmarkId::new("engine_reallocate", n), &n, |b, _| {
             b.iter(|| {

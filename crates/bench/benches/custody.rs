@@ -18,8 +18,7 @@ fn bench_custody(c: &mut Criterion) {
             &nflows,
             |b, &nf| {
                 b.iter(|| {
-                    let mut s =
-                        CustodyStore::new(ByteSize::mb(10), EvictionPolicy::Reject);
+                    let mut s = CustodyStore::new(ByteSize::mb(10), EvictionPolicy::Reject);
                     let t = SimTime::ZERO;
                     for i in 0..4_000u64 {
                         let flow = i % nf;

@@ -17,19 +17,10 @@ fn bench_estimator(c: &mut Criterion) {
             &ifaces,
             |b, &n| {
                 b.iter(|| {
-                    let mut e = RateEstimator::new(
-                        n,
-                        SimDuration::from_millis(100),
-                        SimTime::ZERO,
-                    );
+                    let mut e = RateEstimator::new(n, SimDuration::from_millis(100), SimTime::ZERO);
                     for i in 0..10_000u64 {
                         let t = SimTime::from_micros(i * 50);
-                        e.record_request(
-                            t,
-                            (i as usize) % n,
-                            (i as usize + 1) % n,
-                            10_000.0,
-                        );
+                        e.record_request(t, (i as usize) % n, (i as usize + 1) % n, 10_000.0);
                     }
                     e.anticipated_rates()
                 })

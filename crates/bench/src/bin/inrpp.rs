@@ -41,6 +41,11 @@ commands:
       --quick                short-horizon workloads (the CI setting)
       --out FILE             output path (default: BENCH_flowsim.json)
       --note KEY=VALUE       pin a context note into the recorded file
+      --compare OLD [NEW]    with two files: diff them without running;
+                             with one file: run the bench, then diff the
+                             fresh result against it. Exits non-zero on a
+                             >10% cells/sec regression (same-mode files)
+                             or a drifted workload set
   help                       this text
 ";
 
@@ -48,12 +53,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<24} description", "experiment");
-            println!("{}", "-".repeat(72));
-            for (id, desc) in sweeps::EXPERIMENTS {
-                println!("{id:<24} {desc}");
-            }
-            println!("{:<24} every experiment above, in order", "all");
+            print!("{}", sweeps::render_experiment_list());
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
@@ -126,9 +126,11 @@ fn value_of<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a
 }
 
 fn bench(args: &[String]) -> ExitCode {
+    use inrpp_bench::perf::{compare, BenchSnapshot};
     let mut quick = false;
     let mut out_path = "BENCH_flowsim.json".to_string();
     let mut notes: Vec<(String, String)> = Vec::new();
+    let mut compare_files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -151,12 +153,45 @@ fn bench(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--compare" => match value_of(&mut it, "--compare") {
+                Ok(v) => compare_files.push(v.to_string()),
+                Err(e) => {
+                    eprintln!("inrpp bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // bare paths after --compare extend the comparison set
+            other if !other.starts_with("--") && !compare_files.is_empty() => {
+                compare_files.push(other.to_string());
+            }
             other => {
                 eprintln!("inrpp bench: unknown argument '{other}'");
                 return ExitCode::FAILURE;
             }
         }
     }
+    if compare_files.len() > 2 {
+        eprintln!("inrpp bench: --compare takes at most two files");
+        return ExitCode::FAILURE;
+    }
+
+    // pure diff mode: two files, no fresh run
+    if compare_files.len() == 2 {
+        let load = |p: &str| {
+            BenchSnapshot::load(std::path::Path::new(p)).unwrap_or_else(|e| {
+                eprintln!("inrpp bench: {e}");
+                std::process::exit(1);
+            })
+        };
+        let report = compare(&load(&compare_files[0]), &load(&compare_files[1]));
+        print!("{}", report.render_table());
+        return if report.failed() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     let report = inrpp_bench::perf::run_bench(quick, notes);
     print!("{}", report.render_table());
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
@@ -164,6 +199,22 @@ fn bench(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out_path}");
+
+    // run-then-compare mode: one baseline file
+    if let Some(baseline) = compare_files.first() {
+        let old = match BenchSnapshot::load(std::path::Path::new(baseline)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("inrpp bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = compare(&old, &BenchSnapshot::of(&report));
+        print!("\n{}", diff.render_table());
+        if diff.failed() {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -178,10 +229,10 @@ fn run(args: &[String]) -> ExitCode {
     let mut jobs: Vec<(String, inrpp_runner::SweepSpec)> = Vec::new();
     for id in &parsed.experiments {
         if id == "all" {
-            for (id, _) in sweeps::EXPERIMENTS {
+            for e in sweeps::EXPERIMENTS {
                 jobs.push((
-                    id.to_string(),
-                    sweeps::build(id, &parsed.opts).expect("registry id"),
+                    e.id.to_string(),
+                    sweeps::build(e.id, &parsed.opts).expect("registry id"),
                 ));
             }
         } else if let Some(spec) = sweeps::build(id, &parsed.opts) {

@@ -29,8 +29,12 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a count"))
         .unwrap_or_else(|| RunnerConfig::default().threads);
     let mut failures = 0u32;
-    for (id, _) in sweeps::EXPERIMENTS {
-        println!("\n=== {id} {}", "=".repeat(60usize.saturating_sub(id.len())));
+    for e in sweeps::EXPERIMENTS {
+        let id = e.id;
+        println!(
+            "\n=== {id} {}",
+            "=".repeat(60usize.saturating_sub(id.len()))
+        );
         println!();
         // one broken experiment must not cost the other fourteen
         let outcome = catch_unwind(AssertUnwindSafe(|| {

@@ -1,15 +1,19 @@
 //! Experiment implementations — one function per paper artifact/ablation.
 //!
 //! Binaries print; these functions compute. Keeping them here makes every
-//! experiment unit-testable and lets `run_all` compose them.
+//! experiment unit-testable and lets `run_all` compose them. Every
+//! simulation runs through the `inrpp::session` facade — flow-level
+//! experiments on the fluid engine, chunk-level ones on the packet
+//! engine — and every public function returns a named row type (no
+//! anonymous tuples).
 
 use inrpp::config::InrppConfig;
 use inrpp::fairness::{fig3_outcome, Fig3Outcome};
 use inrpp::scenario::{fig4_topologies, run_fig4_row, Fig4Config, StrategyComparison};
+use inrpp::session::{RunReport, Session, SessionStrategy, Transfer};
 use inrpp_cache::sizing::{feasibility_table, FeasibilityRow};
-use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
-use inrpp_flowsim::strategy::{InrpConfig, InrpStrategy, SinglePathStrategy};
-use inrpp_packetsim::{AimdConfig, PacketSim, PacketSimConfig, TransferSpec, TransportKind};
+use inrpp_packetsim::session::PacketEngine;
+use inrpp_packetsim::{AimdConfig, PacketSimConfig, TransportKind};
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::{ByteSize, Rate};
 use inrpp_topology::detour::analyze;
@@ -77,18 +81,28 @@ pub fn table1(seed: u64) -> Vec<Table1Row> {
         .collect()
 }
 
-/// Column averages `(measured, paper)` — the paper's "Average" row.
-pub fn table1_average(rows: &[Table1Row]) -> ([f64; 4], [f64; 4]) {
+/// The paper's "Average" row: per-column means of the measured and
+/// published percentages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Average {
+    /// Measured column means.
+    pub measured: [f64; 4],
+    /// Published column means.
+    pub paper: [f64; 4],
+}
+
+/// Column averages — the paper's "Average" row.
+pub fn table1_average(rows: &[Table1Row]) -> Table1Average {
     let n = rows.len().max(1) as f64;
-    let mut m = [0.0; 4];
-    let mut p = [0.0; 4];
+    let mut measured = [0.0; 4];
+    let mut paper = [0.0; 4];
     for r in rows {
         for i in 0..4 {
-            m[i] += r.measured[i] / n;
-            p[i] += r.paper[i] / n;
+            measured[i] += r.measured[i] / n;
+            paper[i] += r.paper[i] / n;
         }
     }
-    (m, p)
+    Table1Average { measured, paper }
 }
 
 // ------------------------------------------------------------------ Fig. 3
@@ -108,48 +122,90 @@ pub fn fig4a(cfg: &Fig4Config) -> Vec<StrategyComparison> {
         .collect()
 }
 
-/// Fig. 4b: the URP stretch CDF per topology, as `(stretch, F)` points.
-pub fn fig4b(cfg: &Fig4Config) -> Vec<(String, Vec<(f64, f64)>)> {
+/// One point of a stretch CDF: fraction of traffic at stretch `<= x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Path stretch (subpath hops / primary hops).
+    pub stretch: f64,
+    /// Cumulative traffic fraction at or below this stretch.
+    pub fraction: f64,
+}
+
+/// One topology's URP path-stretch CDF (Fig. 4b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchCdfRow {
+    /// Topology display name.
+    pub topology: String,
+    /// The traffic-weighted CDF's step points.
+    pub points: Vec<CdfPoint>,
+}
+
+/// Fig. 4b: the URP stretch CDF per topology.
+pub fn fig4b(cfg: &Fig4Config) -> Vec<StretchCdfRow> {
     fig4a(cfg)
         .into_iter()
-        .map(|mut row| {
-            let pts = row.urp.stretch.points();
-            (row.topology, pts)
+        .map(|row| {
+            let topology = row.topology.clone();
+            let mut fluid = row.urp.into_fluid().expect("fluid engine run");
+            let points = fluid
+                .stretch
+                .points()
+                .into_iter()
+                .map(|(stretch, fraction)| CdfPoint { stretch, fraction })
+                .collect();
+            StretchCdfRow { topology, points }
         })
         .collect()
 }
 
 // ------------------------------------------------------------------ Fig. 2
 
-/// One Fig. 2 cell: the three regimes on a single topology. Returns
-/// `(topology, sp, mptcp, urp)` throughputs. Split out so the sweep
-/// runner can schedule the topologies in parallel.
-pub fn fig2_regime_row(isp: Isp, cfg: &Fig4Config) -> (String, f64, f64, f64) {
+/// One Fig. 2 row: normalised throughput of the three resource-sharing
+/// regimes on a single topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeRow {
+    /// Topology display name.
+    pub topology: String,
+    /// Regime (i): single-path routing.
+    pub sp: f64,
+    /// Regime (ii): e2e multipath pooling (idealised MPTCP).
+    pub mptcp: f64,
+    /// Regime (iii): in-network pooling (URP).
+    pub urp: f64,
+}
+
+/// One Fig. 2 cell: the three regimes on a single topology. Split out so
+/// the sweep runner can schedule the topologies in parallel.
+pub fn fig2_regime_row(isp: Isp, cfg: &Fig4Config) -> RegimeRow {
     use inrpp::scenario::build_workload;
-    use inrpp_flowsim::strategy::MptcpStrategy;
     use inrpp_topology::rocketfuel::generate_with_capacities;
     let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
     let workload = build_workload(&topo, cfg);
-    let sim_cfg = FlowSimConfig {
-        horizon: cfg.duration,
+    let run = |strategy: SessionStrategy| {
+        Session::builder()
+            .topology(&topo)
+            .workload(workload.clone())
+            .strategy(strategy)
+            .horizon(cfg.duration)
+            .seed(cfg.seed)
+            .build()
+            .expect("regime sessions are well-formed")
+            .run()
+            .expect("fluid engine accepts every regime")
+            .throughput()
     };
-    let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
-        .run()
-        .throughput();
-    let mptcp = FlowSim::new(&topo, &MptcpStrategy::default(), &workload, sim_cfg)
-        .run()
-        .throughput();
-    let strat = InrpStrategy::new(&topo, cfg.inrp);
-    let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
-        .run()
-        .throughput();
-    (isp.name().to_string(), sp, mptcp, urp)
+    RegimeRow {
+        topology: isp.name().to_string(),
+        sp: run(SessionStrategy::Sp),
+        mptcp: run(SessionStrategy::Mptcp),
+        urp: run(SessionStrategy::Urp(cfg.inrp)),
+    }
 }
 
 /// Fig. 2's three resource-utilisation regimes, made measurable:
 /// single-path (i), e2e multipath pooling à la MPTCP (ii), and in-network
-/// pooling (iii). Returns `(topology, sp, mptcp, urp)` throughputs.
-pub fn fig2_regimes(cfg: &Fig4Config) -> Vec<(String, f64, f64, f64)> {
+/// pooling (iii).
+pub fn fig2_regimes(cfg: &Fig4Config) -> Vec<RegimeRow> {
     fig4_topologies()
         .into_iter()
         .map(|isp| fig2_regime_row(isp, cfg))
@@ -158,10 +214,18 @@ pub fn fig2_regimes(cfg: &Fig4Config) -> Vec<(String, f64, f64, f64)> {
 
 // ---------------------------------------------------------- §3.3 custody C1
 
+/// The custody-cache feasibility result (paper §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustodyFeasibility {
+    /// The headline: how long a 10 GB cache holds a 40 Gbps line rate.
+    pub headline: SimDuration,
+    /// The rate × size sweep around it.
+    pub rows: Vec<FeasibilityRow>,
+}
+
 /// The paper's headline custody claim plus a rate × size sweep.
-pub fn custody_feasibility() -> (SimDuration, Vec<FeasibilityRow>) {
-    let headline =
-        inrpp_cache::sizing::holding_time(ByteSize::gb(10), Rate::gbps(40.0));
+pub fn custody_feasibility() -> CustodyFeasibility {
+    let headline = inrpp_cache::sizing::holding_time(ByteSize::gb(10), Rate::gbps(40.0));
     let rows = feasibility_table(
         &[
             Rate::gbps(1.0),
@@ -177,39 +241,51 @@ pub fn custody_feasibility() -> (SimDuration, Vec<FeasibilityRow>) {
         ],
         SimDuration::from_millis(500),
     );
-    (headline, rows)
+    CustodyFeasibility { headline, rows }
 }
 
 // -------------------------------------------------------------- Ablation A1
 
+/// One point of the A1 detour-depth sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthPoint {
+    /// Maximum detour depth (0 = plain SP).
+    pub depth: u8,
+    /// Normalised throughput at that depth.
+    pub throughput: f64,
+}
+
 /// A1: detour depth sweep on the Fig. 4a setup (one topology).
-pub fn ablation_detour_depth(isp: Isp, cfg: &Fig4Config, depths: &[u8]) -> Vec<(u8, f64)> {
+pub fn ablation_detour_depth(isp: Isp, cfg: &Fig4Config, depths: &[u8]) -> Vec<DepthPoint> {
     use inrpp::scenario::build_workload;
+    use inrpp_flowsim::strategy::InrpConfig;
     use inrpp_topology::rocketfuel::generate_with_capacities;
     let topo = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
     let workload = build_workload(&topo, cfg);
-    let sim_cfg = FlowSimConfig { horizon: cfg.duration };
     depths
         .iter()
         .map(|&depth| {
-            let throughput = if depth == 0 {
-                FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
-                    .run()
-                    .throughput()
+            let strategy = if depth == 0 {
+                SessionStrategy::Sp
             } else {
-                let strat = InrpStrategy::new(
-                    &topo,
-                    InrpConfig {
-                        one_hop_detours: true,
-                        two_hop_detours: depth >= 2,
-                        ..InrpConfig::default()
-                    },
-                );
-                FlowSim::new(&topo, &strat, &workload, sim_cfg)
-                    .run()
-                    .throughput()
+                SessionStrategy::Urp(InrpConfig {
+                    one_hop_detours: true,
+                    two_hop_detours: depth >= 2,
+                    ..InrpConfig::default()
+                })
             };
-            (depth, throughput)
+            let throughput = Session::builder()
+                .topology(&topo)
+                .workload(workload.clone())
+                .strategy(strategy)
+                .horizon(cfg.duration)
+                .seed(cfg.seed)
+                .build()
+                .expect("depth sessions are well-formed")
+                .run()
+                .expect("fluid engine accepts every depth")
+                .throughput();
+            DepthPoint { depth, throughput }
         })
         .collect()
 }
@@ -225,9 +301,52 @@ fn fig3_packet_cfg(mut inrpp: InrppConfig, horizon: SimDuration) -> PacketSimCon
     }
 }
 
+/// One `chunks`-chunk transfer over the Fig. 3 bottleneck (`1 -> 4`),
+/// described for the session facade.
+fn fig3_transfer(topo: &Topology, flow: u64, chunks: u64) -> Transfer {
+    Transfer {
+        flow,
+        src: topo.node_by_name("1").expect("fig3"),
+        dst: topo.node_by_name("4").expect("fig3"),
+        chunks,
+        chunk_bytes: PacketSimConfig::default().chunk_bytes,
+        start: SimTime::ZERO,
+    }
+}
+
+/// Run `transfers` over the Fig. 3 network on the packet engine wrapped
+/// around `config` — the shared shell of the chunk-level ablations.
+fn run_fig3_packet(config: PacketSimConfig, transfers: Vec<Transfer>) -> RunReport {
+    let topo = Topology::fig3();
+    let strategy = match config.transport {
+        TransportKind::Aimd(_) => SessionStrategy::Sp,
+        _ => SessionStrategy::urp(),
+    };
+    Session::builder()
+        .topology(&topo)
+        .transfers(transfers)
+        .strategy(strategy)
+        .horizon(config.horizon)
+        .seed(config.seed)
+        .build()
+        .expect("fig3 packet sessions are well-formed")
+        .run_on(&PacketEngine::new(config), &mut [])
+        .expect("fig3 packet sessions run")
+}
+
+/// One point of the A2 anticipation-window sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnticipationPoint {
+    /// Anticipation window `A_c` in chunks.
+    pub window_chunks: u64,
+    /// Completion time of the bottleneck flow, seconds (`inf` when the
+    /// flow missed the horizon).
+    pub fct_secs: f64,
+}
+
 /// A2: anticipation window `A_c` sweep on the Fig. 3 network (packet
-/// level); returns `(A_c, completion time of the bottleneck flow in s)`.
-pub fn ablation_anticipation(values: &[u64]) -> Vec<(u64, f64)> {
+/// level).
+pub fn ablation_anticipation(values: &[u64]) -> Vec<AnticipationPoint> {
     values
         .iter()
         .map(|&ac| {
@@ -239,35 +358,35 @@ pub fn ablation_anticipation(values: &[u64]) -> Vec<(u64, f64)> {
                 },
                 SimDuration::from_secs(60),
             );
-            let mut sim = PacketSim::new(&topo, cfg);
-            sim.add_transfer(TransferSpec {
-                flow: 1,
-                src: topo.node_by_name("1").expect("fig3"),
-                dst: topo.node_by_name("4").expect("fig3"),
-                chunks: 600,
-                start: SimTime::ZERO,
-            });
-            let r = sim.run();
-            let fct = r.flows[0]
-                .fct()
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::INFINITY);
-            (ac, fct)
+            let transfers = vec![fig3_transfer(&topo, 1, 600)];
+            let report = run_fig3_packet(cfg, transfers);
+            AnticipationPoint {
+                window_chunks: ac,
+                fct_secs: report.flows[0].fct_secs.unwrap_or(f64::INFINITY),
+            }
         })
         .collect()
 }
 
 // -------------------------------------------------------------- Ablation A3
 
-/// A3: custody budget sweep (×BDP of the bottleneck) under overload;
-/// returns `(multiplier, drops, custodied chunks)`.
-pub fn ablation_cache_size(multipliers: &[f64]) -> Vec<(f64, u64, u64)> {
+/// One point of the A3 custody-budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheBudgetPoint {
+    /// Custody budget as a multiple of the bottleneck BDP.
+    pub budget_x_bdp: f64,
+    /// Chunks dropped in the run.
+    pub chunks_dropped: u64,
+    /// Chunks that took custody at least once.
+    pub chunks_custodied: u64,
+}
+
+/// A3: custody budget sweep (×BDP of the bottleneck) under overload.
+pub fn ablation_cache_size(multipliers: &[f64]) -> Vec<CacheBudgetPoint> {
     let topo = Topology::fig3();
     // BDP of the 2 Mbps bottleneck at ~20 ms RTT ≈ 5 KB; sweep around it
-    let bdp = inrpp_cache::sizing::bandwidth_delay_product(
-        Rate::mbps(2.0),
-        SimDuration::from_millis(20),
-    );
+    let bdp =
+        inrpp_cache::sizing::bandwidth_delay_product(Rate::mbps(2.0), SimDuration::from_millis(20));
     multipliers
         .iter()
         .map(|&m| {
@@ -280,28 +399,26 @@ pub fn ablation_cache_size(multipliers: &[f64]) -> Vec<(f64, u64, u64)> {
                 },
                 SimDuration::from_secs(40),
             );
-            let mut sim = PacketSim::new(&topo, cfg);
-            for f in 0..2u64 {
-                sim.add_transfer(TransferSpec {
-                    flow: f + 1,
-                    src: topo.node_by_name("1").expect("fig3"),
-                    dst: topo.node_by_name("4").expect("fig3"),
-                    chunks: 1200,
-                    start: SimTime::ZERO,
-                });
+            let transfers = (0..2u64)
+                .map(|f| fig3_transfer(&topo, f + 1, 1200))
+                .collect();
+            let report = run_fig3_packet(cfg, transfers);
+            let summary = report.packet().expect("packet engine run");
+            CacheBudgetPoint {
+                budget_x_bdp: m,
+                chunks_dropped: summary.chunks_dropped,
+                chunks_custodied: summary.chunks_custodied,
             }
-            let r = sim.run();
-            (m, r.chunks_dropped, r.chunks_custodied)
         })
         .collect()
 }
 
 // -------------------------------------------------------------- Ablation A4
 
-/// One side of A4: the 800-chunk Fig. 3 transfer over `transport` alone.
-/// Split out so the sweep runner can schedule the two contenders as
-/// independent cells.
-pub fn ablation_transport_single(transport: TransportKind) -> inrpp_packetsim::PacketSimReport {
+/// One side of A4: the 800-chunk Fig. 3 transfer over `transport` alone,
+/// as a unified facade report. Split out so the sweep runner can schedule
+/// the two contenders as independent cells.
+pub fn ablation_transport_single(transport: TransportKind) -> RunReport {
     let topo = Topology::fig3();
     let cfg = match transport {
         TransportKind::Inrpp(ic) => fig3_packet_cfg(ic, SimDuration::from_secs(60)),
@@ -311,34 +428,42 @@ pub fn ablation_transport_single(transport: TransportKind) -> inrpp_packetsim::P
             ..PacketSimConfig::default()
         },
     };
-    let mut sim = PacketSim::new(&topo, cfg);
-    sim.add_transfer(TransferSpec {
-        flow: 1,
-        src: topo.node_by_name("1").expect("fig3"),
-        dst: topo.node_by_name("4").expect("fig3"),
-        chunks: 800,
-        start: SimTime::ZERO,
-    });
-    sim.run()
+    let transfers = vec![fig3_transfer(&topo, 1, 800)];
+    run_fig3_packet(cfg, transfers)
 }
 
-/// A4: INRPP vs the AIMD baseline on the Fig. 3 bottleneck; returns the
-/// two reports `(inrpp, aimd)` for side-by-side comparison.
-pub fn ablation_transport() -> (
-    inrpp_packetsim::PacketSimReport,
-    inrpp_packetsim::PacketSimReport,
-) {
-    (
-        ablation_transport_single(TransportKind::Inrpp(InrppConfig::default())),
-        ablation_transport_single(TransportKind::Aimd(AimdConfig::default())),
-    )
+/// The two A4 contenders, side by side.
+#[derive(Debug, Clone)]
+pub struct TransportComparison {
+    /// The paper's INRPP transport.
+    pub inrpp: RunReport,
+    /// The AIMD (TCP-like) baseline.
+    pub aimd: RunReport,
+}
+
+/// A4: INRPP vs the AIMD baseline on the Fig. 3 bottleneck.
+pub fn ablation_transport() -> TransportComparison {
+    TransportComparison {
+        inrpp: ablation_transport_single(TransportKind::Inrpp(InrppConfig::default())),
+        aimd: ablation_transport_single(TransportKind::Aimd(AimdConfig::default())),
+    }
 }
 
 // -------------------------------------------------------------- Ablation A5
 
-/// A5: estimator interval `T_i` sweep; returns `(interval ms, bottleneck
-/// flow FCT s, detoured chunks)`.
-pub fn ablation_interval(intervals_ms: &[u64]) -> Vec<(u64, f64, u64)> {
+/// One point of the A5 estimator-interval sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalPoint {
+    /// Estimator interval `T_i` in milliseconds.
+    pub interval_ms: u64,
+    /// Completion time of the bottleneck flow, seconds.
+    pub fct_secs: f64,
+    /// Chunks that left the primary path at least once.
+    pub chunks_detoured: u64,
+}
+
+/// A5: estimator interval `T_i` sweep.
+pub fn ablation_interval(intervals_ms: &[u64]) -> Vec<IntervalPoint> {
     intervals_ms
         .iter()
         .map(|&ms| {
@@ -352,20 +477,13 @@ pub fn ablation_interval(intervals_ms: &[u64]) -> Vec<(u64, f64, u64)> {
                 horizon: SimDuration::from_secs(60),
                 ..PacketSimConfig::default()
             };
-            let mut sim = PacketSim::new(&topo, cfg);
-            sim.add_transfer(TransferSpec {
-                flow: 1,
-                src: topo.node_by_name("1").expect("fig3"),
-                dst: topo.node_by_name("4").expect("fig3"),
-                chunks: 600,
-                start: SimTime::ZERO,
-            });
-            let r = sim.run();
-            let fct = r.flows[0]
-                .fct()
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::INFINITY);
-            (ms, fct, r.chunks_detoured)
+            let transfers = vec![fig3_transfer(&topo, 1, 600)];
+            let report = run_fig3_packet(cfg, transfers);
+            IntervalPoint {
+                interval_ms: ms,
+                fct_secs: report.flows[0].fct_secs.unwrap_or(f64::INFINITY),
+                chunks_detoured: report.packet().expect("packet run").chunks_detoured,
+            }
         })
         .collect()
 }
@@ -417,10 +535,11 @@ impl CoexistenceScenario {
 }
 
 /// One A6 scenario: the probe AIMD flow (plus `scenario`'s companion, if
-/// any) on the Fig. 3 network. Split out so each scenario is one
-/// independently schedulable sweep cell.
+/// any) on the Fig. 3 network. Per-flow transport mixing is a
+/// coexistence-specific capability, so this rides the raw
+/// `PacketSim::add_transfer_as` API rather than the facade.
 pub fn coexistence_scenario(scenario: CoexistenceScenario) -> CoexistenceRow {
-    use inrpp_packetsim::FlowTransport;
+    use inrpp_packetsim::{FlowTransport, PacketSim, TransferSpec};
     let topo = Topology::fig3();
     let src = topo.node_by_name("1").expect("fig3");
     let dst = topo.node_by_name("4").expect("fig3");
@@ -440,8 +559,7 @@ pub fn coexistence_scenario(scenario: CoexistenceScenario) -> CoexistenceRow {
     let goodput = |r: &inrpp_packetsim::PacketSimReport, idx: usize| -> f64 {
         let f = &r.flows[idx];
         match f.fct() {
-            Some(d) => f.chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64
-                / d.as_secs_f64(),
+            Some(d) => f.chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64 / d.as_secs_f64(),
             None => 0.0,
         }
     };
@@ -485,10 +603,22 @@ pub fn coexistence() -> Vec<CoexistenceRow> {
 
 // -------------------------------------------------------------- Ablation A7
 
+/// One point of the A7 load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load as a multiple of the capacity proxy.
+    pub load: f64,
+    /// SP throughput.
+    pub sp: f64,
+    /// URP throughput.
+    pub urp: f64,
+    /// URP's relative gain over SP, percent.
+    pub gain_pct: f64,
+}
+
 /// A7: load sweep — URP's gain over SP as a function of offered load,
-/// locating the crossover where pooling starts to matter. Returns
-/// `(load multiplier, sp throughput, urp throughput, gain %)`.
-pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<(f64, f64, f64, f64)> {
+/// locating the crossover where pooling starts to matter.
+pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<LoadPoint> {
     use inrpp::scenario::compare_strategies;
     use inrpp_topology::rocketfuel::generate_with_capacities;
     let topo = generate_with_capacities(&isp.profile(), base.seed, base.capacities);
@@ -499,8 +629,17 @@ pub fn load_sweep(isp: Isp, base: &Fig4Config, loads: &[f64]) -> Vec<(f64, f64, 
             let row = compare_strategies(&topo, &cfg);
             let sp = row.sp.throughput();
             let urp = row.urp.throughput();
-            let gain = if sp > 0.0 { 100.0 * (urp - sp) / sp } else { 0.0 };
-            (load, sp, urp, gain)
+            let gain_pct = if sp > 0.0 {
+                100.0 * (urp - sp) / sp
+            } else {
+                0.0
+            };
+            LoadPoint {
+                load,
+                sp,
+                urp,
+                gain_pct,
+            }
         })
         .collect()
 }
@@ -542,30 +681,47 @@ pub fn link_failure_victims(
     safe_victims
 }
 
+/// One A8 measurement point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePoint {
+    /// Fraction of links failed.
+    pub fraction: f64,
+    /// SP throughput on the degraded network.
+    pub sp: f64,
+    /// URP throughput on the degraded network.
+    pub urp: f64,
+}
+
 /// One A8 measurement point: fail the first `frac`-worth of `victims` on
 /// `base` and run SP vs URP under the *intact* network's workload, so the
-/// throughput change isolates the capacity lost to failures. Returns
-/// `(frac, sp, urp)`.
+/// throughput change isolates the capacity lost to failures.
 pub fn link_failure_point(
     base: &Topology,
     victims: &[inrpp_topology::LinkId],
     cfg: &Fig4Config,
     frac: f64,
-) -> (f64, f64, f64) {
+) -> FailurePoint {
     let workload = inrpp::scenario::build_workload(base, cfg);
-    let sim_cfg = FlowSimConfig {
-        horizon: cfg.duration,
-    };
     let kill = (((base.link_count() as f64) * frac).round() as usize).min(victims.len());
     let topo = base.without_links(&victims[..kill]);
-    let sp = FlowSim::new(&topo, &SinglePathStrategy, &workload, sim_cfg)
-        .run()
-        .throughput();
-    let strat = InrpStrategy::new(&topo, cfg.inrp);
-    let urp = FlowSim::new(&topo, &strat, &workload, sim_cfg)
-        .run()
-        .throughput();
-    (frac, sp, urp)
+    let run = |strategy: SessionStrategy| {
+        Session::builder()
+            .topology(&topo)
+            .workload(workload.clone())
+            .strategy(strategy)
+            .horizon(cfg.duration)
+            .seed(cfg.seed)
+            .build()
+            .expect("failure sessions are well-formed")
+            .run()
+            .expect("fluid engine accepts both contenders")
+            .throughput()
+    };
+    FailurePoint {
+        fraction: frac,
+        sp: run(SessionStrategy::Sp),
+        urp: run(SessionStrategy::Urp(cfg.inrp)),
+    }
 }
 
 /// Largest victim count any of `fractions` will request from `base`.
@@ -579,13 +735,8 @@ pub fn link_failure_max_kill(base: &Topology, fractions: &[f64]) -> usize {
 
 /// A8: link-failure robustness. Fail a fraction of randomly chosen
 /// *non-bridge* links (bridges would partition the graph) and measure the
-/// throughput of SP vs URP on the degraded topology. Returns
-/// `(failed fraction, sp, urp)` per step.
-pub fn ablation_link_failure(
-    isp: Isp,
-    cfg: &Fig4Config,
-    fractions: &[f64],
-) -> Vec<(f64, f64, f64)> {
+/// throughput of SP vs URP on the degraded topology.
+pub fn ablation_link_failure(isp: Isp, cfg: &Fig4Config, fractions: &[f64]) -> Vec<FailurePoint> {
     use inrpp_topology::rocketfuel::generate_with_capacities;
     let base = generate_with_capacities(&isp.profile(), cfg.seed, cfg.capacities);
     let victims = link_failure_victims(&base, cfg.seed, link_failure_max_kill(&base, fractions));
@@ -623,9 +774,12 @@ mod tests {
                 r.paper
             );
         }
-        let (m, p) = table1_average(&rows);
+        let avg = table1_average(&rows);
         for i in 0..4 {
-            assert!((m[i] - p[i]).abs() < 3.0, "avg col {i}: {m:?} vs {p:?}");
+            assert!(
+                (avg.measured[i] - avg.paper[i]).abs() < 3.0,
+                "avg col {i}: {avg:?}"
+            );
         }
     }
 
@@ -638,9 +792,9 @@ mod tests {
 
     #[test]
     fn custody_headline_is_two_seconds() {
-        let (headline, rows) = custody_feasibility();
-        assert_eq!(headline, SimDuration::from_secs(2));
-        assert_eq!(rows.len(), 16);
+        let feas = custody_feasibility();
+        assert_eq!(feas.headline, SimDuration::from_secs(2));
+        assert_eq!(feas.rows.len(), 16);
     }
 
     #[test]
@@ -648,16 +802,16 @@ mod tests {
         let res = ablation_detour_depth(Isp::Vsnl, &quick_fig4_config(), &[0, 1, 2]);
         assert_eq!(res.len(), 3);
         // depth 0 is plain SP; any detour depth must not hurt
-        assert!(res[1].1 >= res[0].1 - 1e-9, "{res:?}");
-        assert!(res[2].1 >= res[1].1 - 1e-9, "{res:?}");
+        assert!(res[1].throughput >= res[0].throughput - 1e-9, "{res:?}");
+        assert!(res[2].throughput >= res[1].throughput - 1e-9, "{res:?}");
     }
 
     #[test]
     fn ablation_anticipation_runs() {
         let res = ablation_anticipation(&[0, 4]);
         assert_eq!(res.len(), 2);
-        for (_, fct) in &res {
-            assert!(fct.is_finite(), "flow must complete");
+        for p in &res {
+            assert!(p.fct_secs.is_finite(), "flow must complete");
         }
     }
 
@@ -666,12 +820,12 @@ mod tests {
         let cfg = quick_fig4_config();
         let rows = ablation_link_failure(Isp::Vsnl, &cfg, &[0.0, 0.1]);
         assert_eq!(rows.len(), 2);
-        for (_, sp, urp) in &rows {
-            assert!(sp.is_finite() && urp.is_finite());
-            assert!(*urp >= *sp * 0.98, "URP should not trail SP: {rows:?}");
+        for p in &rows {
+            assert!(p.sp.is_finite() && p.urp.is_finite());
+            assert!(p.urp >= p.sp * 0.98, "URP should not trail SP: {rows:?}");
         }
         // failures must not increase throughput under a fixed workload
-        assert!(rows[1].1 <= rows[0].1 + 0.02, "{rows:?}");
+        assert!(rows[1].sp <= rows[0].sp + 0.02, "{rows:?}");
     }
 
     #[test]
@@ -680,9 +834,9 @@ mod tests {
         let rows = load_sweep(Isp::Vsnl, &cfg, &[0.1, 1.5]);
         assert_eq!(rows.len(), 2);
         // throughput ratio falls with load
-        assert!(rows[0].1 > rows[1].1, "{rows:?}");
+        assert!(rows[0].sp > rows[1].sp, "{rows:?}");
         // light load delivers nearly everything
-        assert!(rows[0].1 > 0.8, "{rows:?}");
+        assert!(rows[0].sp > 0.8, "{rows:?}");
     }
 
     #[test]
@@ -706,10 +860,28 @@ mod tests {
 
     #[test]
     fn ablation_transport_inrpp_wins() {
-        let (inrpp, aimd) = ablation_transport();
-        let fi = inrpp.flows[0].fct().expect("INRPP finishes");
-        let fa = aimd.flows[0].fct().expect("AIMD finishes");
+        let cmp = ablation_transport();
+        let fi = cmp.inrpp.flows[0].fct_secs.expect("INRPP finishes");
+        let fa = cmp.aimd.flows[0].fct_secs.expect("AIMD finishes");
         assert!(fi < fa, "INRPP {fi} should beat AIMD {fa}");
-        assert_eq!(aimd.chunks_detoured, 0);
+        assert_eq!(cmp.aimd.packet().expect("packet run").chunks_detoured, 0);
+        assert_eq!(cmp.inrpp.strategy, "INRPP");
+        assert_eq!(cmp.aimd.strategy, "AIMD");
+    }
+
+    #[test]
+    fn fig4b_rows_are_typed_cdfs() {
+        let rows = fig4b(&quick_fig4_config());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(!row.points.is_empty(), "{}: empty CDF", row.topology);
+            // fractions are monotone and end at 1
+            for w in row.points.windows(2) {
+                assert!(w[0].fraction <= w[1].fraction + 1e-12);
+                assert!(w[0].stretch < w[1].stretch);
+            }
+            let last = row.points.last().unwrap();
+            assert!((last.fraction - 1.0).abs() < 1e-9);
+        }
     }
 }

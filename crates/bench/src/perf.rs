@@ -27,8 +27,8 @@
 use std::time::Instant;
 
 use inrpp::scenario::{fig4_topologies, run_fig4_row, scenario_by_id, ScenarioStrategy};
+use inrpp::session::RunReport;
 use inrpp::InrppConfig;
-use inrpp_flowsim::FlowSimReport;
 use inrpp_packetsim::TransportKind;
 use inrpp_runner::json_string;
 
@@ -37,7 +37,7 @@ use crate::sweeps;
 use crate::table::{f, Table};
 
 /// One timed workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Workload identifier (`flowsim:…` / `packetsim:…`).
     pub id: String,
@@ -157,7 +157,7 @@ impl BenchReport {
 
 /// Re-allocation events of one fluid run: every arrival and every
 /// completed departure triggered exactly one re-allocation.
-fn flow_events(r: &FlowSimReport) -> u64 {
+fn flow_events(r: &RunReport) -> u64 {
     (r.arrived_flows + r.completed_flows) as u64
 }
 
@@ -218,13 +218,293 @@ pub fn run_bench(quick: bool, notes: Vec<(String, String)>) -> BenchReport {
         id: "packetsim:fig3-inrpp".to_string(),
         wall_secs: t0.elapsed().as_secs_f64(),
         cells: 1,
-        events: r.chunks_delivered,
+        events: r.packet().expect("packet engine run").chunks_delivered,
     });
 
     BenchReport {
         mode: if quick { "quick" } else { "full" },
         entries,
         notes,
+    }
+}
+
+// ===================================================================
+// `inrpp bench --compare`: baseline diffing
+// ===================================================================
+
+/// A `BENCH_flowsim.json` file parsed back (either side of a
+/// `--compare`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// The timed workloads.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// A snapshot of an in-memory report (the fresh side of a
+    /// run-then-compare).
+    pub fn of(report: &BenchReport) -> BenchSnapshot {
+        BenchSnapshot {
+            mode: report.mode.to_string(),
+            entries: report.entries.clone(),
+        }
+    }
+
+    /// Parse the `inrpp-bench-flowsim/1` JSON schema. A tiny bespoke
+    /// scanner (the workspace is intentionally dependency-free), strict
+    /// enough to reject other files with a useful message.
+    pub fn parse(json: &str) -> Result<BenchSnapshot, String> {
+        if !json.contains("\"schema\":\"inrpp-bench-flowsim/1\"") {
+            return Err("not an inrpp-bench-flowsim/1 file (schema marker missing)".to_string());
+        }
+        let mode = scan_string(json, "\"mode\":")?;
+        let entries_body = json
+            .split_once("\"entries\":[")
+            .ok_or("missing entries array")?
+            .1;
+        let entries_body = entries_body
+            .split_once("],\"notes\"")
+            .map(|(a, _)| a)
+            .unwrap_or(entries_body);
+        let mut entries = Vec::new();
+        for obj in entries_body.split("},{") {
+            if obj.trim().is_empty() {
+                continue;
+            }
+            entries.push(BenchEntry {
+                id: scan_string(obj, "\"id\":")?,
+                wall_secs: scan_number(obj, "\"wall_secs\":")?,
+                cells: scan_number(obj, "\"cells\":")? as usize,
+                events: scan_number(obj, "\"events\":")? as u64,
+            });
+        }
+        if entries.is_empty() {
+            return Err("entries array is empty".to_string());
+        }
+        Ok(BenchSnapshot { mode, entries })
+    }
+
+    /// Load and parse a file.
+    pub fn load(path: &std::path::Path) -> Result<BenchSnapshot, String> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        BenchSnapshot::parse(&body)
+    }
+}
+
+/// JSON string value following `key` (no escapes — the schema's ids and
+/// modes never contain any).
+fn scan_string(hay: &str, key: &str) -> Result<String, String> {
+    let rest = hay
+        .split_once(key)
+        .ok_or_else(|| format!("missing {key}"))?
+        .1;
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key} is not a string"))?;
+    Ok(rest
+        .split_once('"')
+        .ok_or_else(|| format!("unterminated string after {key}"))?
+        .0
+        .to_string())
+}
+
+/// JSON number value following `key`.
+fn scan_number(hay: &str, key: &str) -> Result<f64, String> {
+    let rest = hay
+        .split_once(key)
+        .ok_or_else(|| format!("missing {key}"))?
+        .1;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("bad number after {key}: {e}"))
+}
+
+/// One workload's delta between two bench snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Workload id.
+    pub id: String,
+    /// Old/new wall seconds.
+    pub wall: (f64, f64),
+    /// Old/new cells per second.
+    pub cells_per_sec: (f64, f64),
+    /// Old/new event counts (deterministic — any drift is a red flag).
+    pub events: (u64, u64),
+}
+
+impl CompareRow {
+    /// Relative wall-clock change, percent (negative = faster).
+    pub fn wall_delta_pct(&self) -> f64 {
+        if self.wall.0 <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.wall.1 - self.wall.0) / self.wall.0
+        }
+    }
+
+    /// Relative throughput change, percent (negative = regression).
+    pub fn cells_per_sec_delta_pct(&self) -> f64 {
+        if self.cells_per_sec.0 <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.cells_per_sec.1 - self.cells_per_sec.0) / self.cells_per_sec.0
+        }
+    }
+}
+
+/// Outcome of `inrpp bench --compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Old/new bench modes.
+    pub modes: (String, String),
+    /// Per-workload deltas, old-file order.
+    pub rows: Vec<CompareRow>,
+    /// Workload ids present on only one side.
+    pub unmatched: Vec<String>,
+    /// Whether the >threshold regression gate was applied (only when the
+    /// modes match — quick-vs-full wall clocks are not comparable).
+    pub gated: bool,
+    /// Workloads whose cells/sec regressed past the threshold (empty
+    /// when `gated` is false).
+    pub regressions: Vec<String>,
+    /// Workloads whose deterministic event counts differ between two
+    /// same-mode runs — a behaviour change, never machine noise (empty
+    /// when `gated` is false).
+    pub event_drift: Vec<String>,
+}
+
+/// Allowed cells/sec slowdown before `--compare` fails the run, percent.
+pub const REGRESSION_THRESHOLD_PCT: f64 = 10.0;
+
+/// Entries whose *old* wall time is below this are never gated: at
+/// millisecond scale a one-scheduler-tick difference reads as a double-
+/// digit "regression" (pure timing noise).
+pub const MIN_GATED_WALL_SECS: f64 = 0.1;
+
+/// Diff two snapshots: per-workload wall and cells/sec deltas, with
+/// the 10% regression gate applied when the modes match (and only to
+/// entries long enough to time meaningfully — see
+/// [`MIN_GATED_WALL_SECS`]).
+pub fn compare(old: &BenchSnapshot, new: &BenchSnapshot) -> CompareReport {
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for o in &old.entries {
+        match new.entries.iter().find(|n| n.id == o.id) {
+            Some(n) => rows.push(CompareRow {
+                id: o.id.clone(),
+                wall: (o.wall_secs, n.wall_secs),
+                cells_per_sec: (o.cells_per_sec(), n.cells_per_sec()),
+                events: (o.events, n.events),
+            }),
+            None => unmatched.push(o.id.clone()),
+        }
+    }
+    for n in &new.entries {
+        if !old.entries.iter().any(|o| o.id == n.id) {
+            unmatched.push(n.id.clone());
+        }
+    }
+    let gated = old.mode == new.mode;
+    let regressions = if gated {
+        rows.iter()
+            .filter(|r| {
+                r.wall.0 >= MIN_GATED_WALL_SECS
+                    && r.cells_per_sec_delta_pct() < -REGRESSION_THRESHOLD_PCT
+            })
+            .map(|r| r.id.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // cells/events are deterministic within a mode: any same-mode drift
+    // is a behaviour change, not a machine effect — always a failure
+    let event_drift = if gated {
+        rows.iter()
+            .filter(|r| r.events.0 != r.events.1)
+            .map(|r| r.id.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    CompareReport {
+        modes: (old.mode.clone(), new.mode.clone()),
+        rows,
+        unmatched,
+        gated,
+        regressions,
+        event_drift,
+    }
+}
+
+impl CompareReport {
+    /// True when the diff should fail the invocation: a gated regression
+    /// past the threshold, deterministic event counts drifting between
+    /// same-mode runs, or workloads missing on either side.
+    pub fn failed(&self) -> bool {
+        !self.regressions.is_empty() || !self.unmatched.is_empty() || !self.event_drift.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(vec![
+            "workload".to_string(),
+            "wall old".to_string(),
+            "wall new".to_string(),
+            "Δwall".to_string(),
+            "cells/s old".to_string(),
+            "cells/s new".to_string(),
+            "Δcells/s".to_string(),
+            "events".to_string(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.id.clone(),
+                format!("{}s", f(r.wall.0, 3)),
+                format!("{}s", f(r.wall.1, 3)),
+                format!("{:+.1}%", r.wall_delta_pct()),
+                f(r.cells_per_sec.0, 2),
+                f(r.cells_per_sec.1, 2),
+                format!("{:+.1}%", r.cells_per_sec_delta_pct()),
+                if r.events.0 == r.events.1 {
+                    r.events.0.to_string()
+                } else {
+                    format!("{} -> {} (!)", r.events.0, r.events.1)
+                },
+            ]);
+        }
+        let mut out = format!(
+            "inrpp bench --compare ({} vs {})\n\n{}",
+            self.modes.0,
+            self.modes.1,
+            t.render()
+        );
+        if !self.gated {
+            out.push_str(
+                "modes differ: the >10% cells/sec regression gate is skipped \
+                 (wall clocks are not comparable across modes)\n",
+            );
+        }
+        for id in &self.unmatched {
+            out.push_str(&format!("workload set drifted: {id} missing on one side\n"));
+        }
+        for id in &self.regressions {
+            out.push_str(&format!(
+                "REGRESSION: {id} lost more than {REGRESSION_THRESHOLD_PCT}% cells/sec\n"
+            ));
+        }
+        for id in &self.event_drift {
+            out.push_str(&format!(
+                "DETERMINISM DRIFT: {id} event count changed between same-mode \
+                 runs — the workload's behaviour moved, not the machine\n"
+            ));
+        }
+        out
     }
 }
 
@@ -265,5 +545,89 @@ mod tests {
         };
         assert_eq!(e.cells_per_sec(), 0.0);
         assert_eq!(e.events_per_sec(), 0.0);
+    }
+
+    fn snapshot(mode: &str, wall: f64) -> BenchSnapshot {
+        BenchSnapshot {
+            mode: mode.to_string(),
+            entries: vec![
+                BenchEntry {
+                    id: "flowsim:fig4a".to_string(),
+                    wall_secs: wall,
+                    cells: 9,
+                    events: 1000,
+                },
+                BenchEntry {
+                    id: "packetsim:fig3-inrpp".to_string(),
+                    wall_secs: 0.5,
+                    cells: 1,
+                    events: 800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let report = BenchReport {
+            mode: "full",
+            entries: snapshot("full", 2.0).entries,
+            notes: vec![("k".to_string(), "v".to_string())],
+        };
+        let parsed = BenchSnapshot::parse(&report.to_json()).expect("parses");
+        assert_eq!(parsed.mode, "full");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].id, "flowsim:fig4a");
+        assert_eq!(parsed.entries[0].wall_secs, 2.0);
+        assert_eq!(parsed.entries[1].events, 800);
+        assert!(BenchSnapshot::parse("{\"not\":\"bench\"}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_when_modes_match() {
+        let old = snapshot("full", 1.0);
+        let new = snapshot("full", 1.5); // 9 cells in 1.5s: -33% cells/sec
+        let report = compare(&old, &new);
+        assert!(report.gated);
+        assert_eq!(report.regressions, vec!["flowsim:fig4a".to_string()]);
+        assert!(report.failed());
+        assert!(report.render_table().contains("REGRESSION"));
+        // within threshold: clean exit
+        let ok = compare(&old, &snapshot("full", 1.05));
+        assert!(!ok.failed(), "{:?}", ok.regressions);
+    }
+
+    #[test]
+    fn compare_fails_on_same_mode_event_drift() {
+        let old = snapshot("full", 1.0);
+        let mut new = snapshot("full", 1.0);
+        new.entries[1].events += 1; // wall identical, determinism broken
+        let report = compare(&old, &new);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.event_drift, vec!["packetsim:fig3-inrpp".to_string()]);
+        assert!(report.failed());
+        assert!(report.render_table().contains("DETERMINISM DRIFT"));
+        // across modes event counts legitimately differ (quick vs full
+        // horizons) — no gate
+        let mut quick = snapshot("quick", 0.1);
+        quick.entries[1].events = 5;
+        assert!(compare(&old, &quick).event_drift.is_empty());
+    }
+
+    #[test]
+    fn compare_skips_gate_across_modes_but_checks_coverage() {
+        let old = snapshot("full", 10.0);
+        let new = snapshot("quick", 0.1);
+        let report = compare(&old, &new);
+        assert!(!report.gated);
+        assert!(report.regressions.is_empty());
+        assert!(!report.failed());
+        assert!(report.render_table().contains("modes differ"));
+        // a dropped workload still fails even across modes
+        let mut short = snapshot("quick", 0.1);
+        short.entries.pop();
+        let drifted = compare(&old, &short);
+        assert!(drifted.failed());
+        assert_eq!(drifted.unmatched, vec!["packetsim:fig3-inrpp".to_string()]);
     }
 }

@@ -20,9 +20,7 @@ use inrpp_runner::{run_sweep, CellOutput, RunnerConfig, SweepReport, SweepSpec};
 use inrpp_sim::time::SimDuration;
 use inrpp_topology::rocketfuel::{generate_isp, generate_with_capacities, Isp};
 
-use crate::experiments::{
-    self, quick_fig4_config, CoexistenceScenario, SEED,
-};
+use crate::experiments::{self, quick_fig4_config, CoexistenceScenario, SEED};
 use crate::table::{ascii_plot, f, pct, Table};
 
 /// Knobs shared by every sweep builder.
@@ -45,42 +43,228 @@ impl Default for SweepOptions {
     }
 }
 
-/// `(experiment id, one-line description)` for every registered sweep,
-/// in `run all` execution order.
-pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "Table 1: available detour paths on the nine ISP topologies"),
-    ("fig2", "Fig. 2: single-path vs e2e multipath vs in-network pooling"),
-    ("fig3", "Fig. 3: global fairness worked example (Jain index)"),
-    ("fig4a", "Fig. 4a: SP/ECMP/URP throughput under Poisson overload"),
-    ("fig4b", "Fig. 4b: URP path-stretch CDF"),
-    ("custody", "Sec. 3.3: custody-cache feasibility arithmetic"),
-    ("ablation-detour-depth", "A1: throughput vs detour depth"),
-    ("ablation-anticipation", "A2: anticipation window A_c sweep"),
-    ("ablation-cache-size", "A3: custody budget sweep (x BDP)"),
-    ("ablation-backpressure", "A4: INRPP vs AIMD transport head-to-head"),
-    ("ablation-interval", "A5: estimator interval T_i sweep"),
-    ("coexistence", "A6: does INRPP starve a TCP-like AIMD flow?"),
-    ("ablation-load-sweep", "A7: URP gain vs offered load"),
-    ("ablation-link-failure", "A8: SP vs URP under growing link failures"),
-    ("export-topologies", "Export the nine calibrated ISP topologies as edge lists"),
-    // ---- scenario catalog: topology family x traffic family ----------
-    ("scenario:het-dumbbell:flash-crowd", "Catalog: heterogeneous-access dumbbell x flash-crowd step load"),
-    ("scenario:het-dumbbell:diurnal", "Catalog: heterogeneous-access dumbbell x diurnal arrival modulation"),
-    ("scenario:het-dumbbell:heavy-tail", "Catalog: heterogeneous-access dumbbell x heavy-tailed flow sizes"),
-    ("scenario:het-dumbbell:mixed", "Catalog: heterogeneous-access dumbbell x mixed elastic + constant-rate"),
-    ("scenario:parking-lot:flash-crowd", "Catalog: parking-lot multi-bottleneck chain x flash-crowd step load"),
-    ("scenario:parking-lot:diurnal", "Catalog: parking-lot multi-bottleneck chain x diurnal modulation"),
-    ("scenario:parking-lot:heavy-tail", "Catalog: parking-lot multi-bottleneck chain x heavy-tailed sizes"),
-    ("scenario:parking-lot:mixed", "Catalog: parking-lot multi-bottleneck chain x mixed elastic + CBR"),
-    ("scenario:fat-tree:flash-crowd", "Catalog: 4-ary fat-tree fabric x flash-crowd step load"),
-    ("scenario:fat-tree:diurnal", "Catalog: 4-ary fat-tree fabric x diurnal arrival modulation"),
-    ("scenario:fat-tree:heavy-tail", "Catalog: 4-ary fat-tree fabric x heavy-tailed flow sizes"),
-    ("scenario:fat-tree:mixed", "Catalog: 4-ary fat-tree fabric x mixed elastic + constant-rate"),
-    ("scenario:scale-free:flash-crowd", "Catalog: Barabasi-Albert scale-free graph x flash-crowd step load"),
-    ("scenario:scale-free:diurnal", "Catalog: Barabasi-Albert scale-free graph x diurnal modulation"),
-    ("scenario:scale-free:heavy-tail", "Catalog: Barabasi-Albert scale-free graph x heavy-tailed sizes"),
-    ("scenario:scale-free:mixed", "Catalog: Barabasi-Albert scale-free graph x mixed elastic + CBR"),
+/// Registry grouping for `inrpp list` (the ids stay flat for `run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Reproductions of the paper's own tables and figures.
+    Paper,
+    /// Ablations and follow-on studies (A1–A8).
+    Ablation,
+    /// The scenario catalog (topology family × traffic family).
+    Scenario,
+    /// Data-export utilities.
+    Utility,
+}
+
+impl Category {
+    /// Every category, in `inrpp list` presentation order.
+    pub fn all() -> [Category; 4] {
+        [
+            Category::Paper,
+            Category::Ablation,
+            Category::Scenario,
+            Category::Utility,
+        ]
+    }
+
+    /// Section heading in the grouped listing.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Category::Paper => "paper figures & tables",
+            Category::Ablation => "ablations & studies",
+            Category::Scenario => "scenario catalog (topology family x traffic family)",
+            Category::Utility => "utilities",
+        }
+    }
+}
+
+/// One registered sweep: id, one-line description, listing category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentInfo {
+    /// The id `build` / `inrpp run` accept.
+    pub id: &'static str,
+    /// One-line description for the listing.
+    pub desc: &'static str,
+    /// Which `inrpp list` section the sweep belongs to.
+    pub category: Category,
+}
+
+const fn exp(id: &'static str, desc: &'static str, category: Category) -> ExperimentInfo {
+    ExperimentInfo { id, desc, category }
+}
+
+/// Every registered sweep, in `run all` execution order.
+pub const EXPERIMENTS: &[ExperimentInfo] = &[
+    exp(
+        "table1",
+        "Table 1: available detour paths on the nine ISP topologies",
+        Category::Paper,
+    ),
+    exp(
+        "fig2",
+        "Fig. 2: single-path vs e2e multipath vs in-network pooling",
+        Category::Paper,
+    ),
+    exp(
+        "fig3",
+        "Fig. 3: global fairness worked example (Jain index)",
+        Category::Paper,
+    ),
+    exp(
+        "fig4a",
+        "Fig. 4a: SP/ECMP/URP throughput under Poisson overload",
+        Category::Paper,
+    ),
+    exp("fig4b", "Fig. 4b: URP path-stretch CDF", Category::Paper),
+    exp(
+        "custody",
+        "Sec. 3.3: custody-cache feasibility arithmetic",
+        Category::Paper,
+    ),
+    exp(
+        "ablation-detour-depth",
+        "A1: throughput vs detour depth",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-anticipation",
+        "A2: anticipation window A_c sweep",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-cache-size",
+        "A3: custody budget sweep (x BDP)",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-backpressure",
+        "A4: INRPP vs AIMD transport head-to-head",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-interval",
+        "A5: estimator interval T_i sweep",
+        Category::Ablation,
+    ),
+    exp(
+        "coexistence",
+        "A6: does INRPP starve a TCP-like AIMD flow?",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-load-sweep",
+        "A7: URP gain vs offered load",
+        Category::Ablation,
+    ),
+    exp(
+        "ablation-link-failure",
+        "A8: SP vs URP under growing link failures",
+        Category::Ablation,
+    ),
+    exp(
+        "export-topologies",
+        "Export the nine calibrated ISP topologies as edge lists",
+        Category::Utility,
+    ),
+    exp(
+        "scenario:het-dumbbell:flash-crowd",
+        "Catalog: heterogeneous-access dumbbell x flash-crowd step load",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:het-dumbbell:diurnal",
+        "Catalog: heterogeneous-access dumbbell x diurnal arrival modulation",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:het-dumbbell:heavy-tail",
+        "Catalog: heterogeneous-access dumbbell x heavy-tailed flow sizes",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:het-dumbbell:mixed",
+        "Catalog: heterogeneous-access dumbbell x mixed elastic + constant-rate",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:parking-lot:flash-crowd",
+        "Catalog: parking-lot multi-bottleneck chain x flash-crowd step load",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:parking-lot:diurnal",
+        "Catalog: parking-lot multi-bottleneck chain x diurnal modulation",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:parking-lot:heavy-tail",
+        "Catalog: parking-lot multi-bottleneck chain x heavy-tailed sizes",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:parking-lot:mixed",
+        "Catalog: parking-lot multi-bottleneck chain x mixed elastic + CBR",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:fat-tree:flash-crowd",
+        "Catalog: 4-ary fat-tree fabric x flash-crowd step load",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:fat-tree:diurnal",
+        "Catalog: 4-ary fat-tree fabric x diurnal arrival modulation",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:fat-tree:heavy-tail",
+        "Catalog: 4-ary fat-tree fabric x heavy-tailed flow sizes",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:fat-tree:mixed",
+        "Catalog: 4-ary fat-tree fabric x mixed elastic + constant-rate",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:scale-free:flash-crowd",
+        "Catalog: Barabasi-Albert scale-free graph x flash-crowd step load",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:scale-free:diurnal",
+        "Catalog: Barabasi-Albert scale-free graph x diurnal modulation",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:scale-free:heavy-tail",
+        "Catalog: Barabasi-Albert scale-free graph x heavy-tailed sizes",
+        Category::Scenario,
+    ),
+    exp(
+        "scenario:scale-free:mixed",
+        "Catalog: Barabasi-Albert scale-free graph x mixed elastic + CBR",
+        Category::Scenario,
+    ),
 ];
+
+/// The grouped `inrpp list` rendering: one section per [`Category`], ids
+/// in registry (execution) order within each. Snapshot-gated by
+/// `tests/golden_snapshots.rs`.
+pub fn render_experiment_list() -> String {
+    let mut out = format!("{:<36} description\n{}\n", "experiment", "-".repeat(80));
+    for cat in Category::all() {
+        out.push_str(&format!("\n{}\n", cat.title()));
+        for e in EXPERIMENTS.iter().filter(|e| e.category == cat) {
+            out.push_str(&format!("  {:<34} {}\n", e.id, e.desc));
+        }
+    }
+    out.push_str(&format!(
+        "\n{:<36} every experiment above, in order\n",
+        "all"
+    ));
+    out
+}
 
 /// Build the sweep for `id`, or `None` for an unknown id. `"all"` is a
 /// CLI-level alias handled by the callers, not a sweep.
@@ -130,7 +314,14 @@ fn scenario_spec(id: &str, opts: &SweepOptions) -> Option<SweepSpec> {
     let mut spec = SweepSpec::new(
         id,
         title.as_str(),
-        ["strategy", "throughput", "delivered Mbit", "completed/arrived", "mean FCT", "jain"],
+        [
+            "strategy",
+            "throughput",
+            "delivered Mbit",
+            "completed/arrived",
+            "mean FCT",
+            "jain",
+        ],
     );
     for strat in ScenarioStrategy::all() {
         spec.push_cell(strat.name(), move |_ctx| {
@@ -172,8 +363,8 @@ fn table1_spec() -> SweepSpec {
         "table1",
         "Table 1 — Available Detour Paths (measured vs paper)",
         [
-            "ISP", "nodes", "links", "1 hop", "(paper)", "2 hops", "(paper)", "3+ hops",
-            "(paper)", "N/A", "(paper)",
+            "ISP", "nodes", "links", "1 hop", "(paper)", "2 hops", "(paper)", "3+ hops", "(paper)",
+            "N/A", "(paper)",
         ],
     );
     for isp in Isp::all() {
@@ -211,7 +402,8 @@ fn table1_spec() -> SweepSpec {
                 links: 0,
             })
             .collect();
-        let (m, p) = experiments::table1_average(&rows);
+        let avg = experiments::table1_average(&rows);
+        let (m, p) = (avg.measured, avg.paper);
         let worst = rows
             .iter()
             .map(experiments::Table1Row::max_deviation)
@@ -261,18 +453,25 @@ fn fig2_spec(opts: &SweepOptions) -> SweepSpec {
             cfg.load
         )
         .as_str(),
-        ["topology", "(i) SP", "(ii) MPTCP", "(iii) URP", "MPTCP vs SP", "URP vs SP"],
+        [
+            "topology",
+            "(i) SP",
+            "(ii) MPTCP",
+            "(iii) URP",
+            "MPTCP vs SP",
+            "URP vs SP",
+        ],
     );
     for isp in inrpp::scenario::fig4_topologies() {
         spec.push_cell(isp.name(), move |_ctx| {
-            let (name, sp, mptcp, urp) = experiments::fig2_regime_row(isp, &cfg);
+            let row = experiments::fig2_regime_row(isp, &cfg);
             CellOutput::new().with_row([
-                name,
-                f(sp, 3),
-                f(mptcp, 3),
-                f(urp, 3),
-                format!("{:+.1}%", 100.0 * (mptcp - sp) / sp),
-                format!("{:+.1}%", 100.0 * (urp - sp) / sp),
+                row.topology,
+                f(row.sp, 3),
+                f(row.mptcp, 3),
+                f(row.urp, 3),
+                format!("{:+.1}%", 100.0 * (row.mptcp - row.sp) / row.sp),
+                format!("{:+.1}%", 100.0 * (row.urp - row.sp) / row.sp),
             ])
         });
     }
@@ -349,7 +548,16 @@ fn fig4a_spec(opts: &SweepOptions) -> SweepSpec {
         let mut spec = SweepSpec::new(
             "fig4a",
             title.as_str(),
-            ["topology", "SP", "ECMP", "URP", "URP vs SP", "paper", "flows", "jain(URP)"],
+            [
+                "topology",
+                "SP",
+                "ECMP",
+                "URP",
+                "URP vs SP",
+                "paper",
+                "flows",
+                "jain(URP)",
+            ],
         );
         for isp in inrpp::scenario::fig4_topologies() {
             spec.push_cell(isp.name(), move |_ctx| {
@@ -366,9 +574,7 @@ fn fig4a_spec(opts: &SweepOptions) -> SweepSpec {
                 ])
             });
         }
-        spec.push_note(
-            "shape checks: URP >= ECMP >= SP per topology; gain in the paper's band",
-        );
+        spec.push_note("shape checks: URP >= ECMP >= SP per topology; gain in the paper's band");
         return spec;
     }
     // seed-aggregated variant: one cell per (topology, seed); cells draw
@@ -376,11 +582,21 @@ fn fig4a_spec(opts: &SweepOptions) -> SweepSpec {
     // embarrassingly parallel yet byte-stable at any thread count
     let topologies = inrpp::scenario::fig4_topologies();
     let nseeds = opts.seeds;
-    let grid = Grid::new().axis("topology", topologies.len()).axis("seed", nseeds);
+    let grid = Grid::new()
+        .axis("topology", topologies.len())
+        .axis("seed", nseeds);
     let mut spec = SweepSpec::new(
         "fig4a",
         title.as_str(),
-        ["topology", "SP mean", "ECMP mean", "URP mean", "gain mean", "gain sd", "paper"],
+        [
+            "topology",
+            "SP mean",
+            "ECMP mean",
+            "URP mean",
+            "gain mean",
+            "gain sd",
+            "paper",
+        ],
     );
     for i in 0..grid.len() {
         let coord = grid.coord(i);
@@ -442,12 +658,15 @@ fn fig4b_spec(opts: &SweepOptions) -> SweepSpec {
     let mut spec = SweepSpec::new(
         "fig4b",
         "Fig. 4b — URP path-stretch CDF (traffic-weighted)",
-        ["topology", "F(1.0)", "F(1.1)", "F(1.2)", "F(1.35)", "F(1.5)", "F(2.0)"],
+        [
+            "topology", "F(1.0)", "F(1.1)", "F(1.2)", "F(1.35)", "F(1.5)", "F(2.0)",
+        ],
     );
     for isp in topologies {
         spec.push_cell(isp.name(), move |_ctx| {
-            let mut row = run_fig4_row(isp, &cfg);
-            let pts = row.urp.stretch.points();
+            let row = run_fig4_row(isp, &cfg);
+            let mut fluid = row.urp.into_fluid().expect("fluid engine run");
+            let pts = fluid.stretch.points();
             let frac = |x: f64| -> f64 {
                 pts.iter()
                     .take_while(|&&(v, _)| v <= x)
@@ -480,8 +699,7 @@ fn fig4b_spec(opts: &SweepOptions) -> SweepSpec {
             .iter()
             .zip(outputs)
             .map(|(isp, o)| {
-                let pts: Vec<(f64, f64)> =
-                    o.data.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+                let pts: Vec<(f64, f64)> = o.data.chunks_exact(2).map(|c| (c[0], c[1])).collect();
                 let mut v: Vec<(f64, f64)> =
                     pts.iter().copied().filter(|&(x, _)| x <= 1.4).collect();
                 v.insert(0, (1.0, pts.first().map(|&(_, f)| f).unwrap_or(0.0)));
@@ -507,12 +725,13 @@ fn custody_spec() -> SweepSpec {
         ["link", "cache", "holding time", ">= 500ms RTT budget"],
     );
     spec.push_cell("rate x size sweep", |_ctx| {
-        let (headline, rows) = experiments::custody_feasibility();
+        let feas = experiments::custody_feasibility();
+        let headline = feas.headline;
         let mut out = CellOutput::new().with_note(format!(
             "headline: 10 GB cache behind a 40 Gbps link holds line-rate traffic \
              for {headline} (paper: 2 seconds)"
         ));
-        for r in &rows {
+        for r in &feas.rows {
             out = out.with_row([
                 r.link.to_string(),
                 r.cache.to_string(),
@@ -547,7 +766,7 @@ fn detour_depth_spec(opts: &SweepOptions) -> SweepSpec {
     for depth in [0u8, 1, 2] {
         spec.push_cell(format!("depth {depth}"), move |_ctx| {
             let res = experiments::ablation_detour_depth(Isp::Exodus, &cfg, &[depth]);
-            CellOutput::new().with_data([res[0].0 as f64, res[0].1])
+            CellOutput::new().with_data([res[0].depth as f64, res[0].throughput])
         });
     }
     spec.set_finish(|outputs, report| {
@@ -580,7 +799,7 @@ fn anticipation_spec() -> SweepSpec {
     for ac in [0u64, 1, 2, 4, 8, 16, 32] {
         spec.push_cell(format!("A_c {ac}"), move |_ctx| {
             let res = experiments::ablation_anticipation(&[ac]);
-            CellOutput::new().with_row([ac.to_string(), format!("{}s", f(res[0].1, 3))])
+            CellOutput::new().with_row([ac.to_string(), format!("{}s", f(res[0].fct_secs, 3))])
         });
     }
     spec.push_note(
@@ -601,11 +820,10 @@ fn cache_size_spec() -> SweepSpec {
     for m in [0.1, 0.5, 1.0, 2.0, 10.0, 100.0] {
         spec.push_cell(format!("budget {m}x BDP"), move |_ctx| {
             let res = experiments::ablation_cache_size(&[m]);
-            let (m, dropped, custodied) = res[0];
             CellOutput::new().with_row([
-                m.to_string(),
-                dropped.to_string(),
-                custodied.to_string(),
+                res[0].budget_x_bdp.to_string(),
+                res[0].chunks_dropped.to_string(),
+                res[0].chunks_custodied.to_string(),
             ])
         });
     }
@@ -624,7 +842,16 @@ fn backpressure_spec() -> SweepSpec {
     let mut spec = SweepSpec::new(
         "ablation-backpressure",
         "A4 — INRPP vs AIMD on the Fig. 3 bottleneck (800-chunk flow 1->4)",
-        ["transport", "FCT", "goodput", "drops", "detoured", "custodied", "bp msgs", "retransmits"],
+        [
+            "transport",
+            "FCT",
+            "goodput",
+            "drops",
+            "detoured",
+            "custodied",
+            "bp msgs",
+            "retransmits",
+        ],
     );
     let transports = [
         ("INRPP", TransportKind::Inrpp(InrppConfig::default())),
@@ -633,19 +860,17 @@ fn backpressure_spec() -> SweepSpec {
     for (label, kind) in transports {
         spec.push_cell(label, move |_ctx| {
             let r = experiments::ablation_transport_single(kind);
-            let fct = r.flows[0]
-                .fct()
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::NAN);
-            let bits = r.flows[0].chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64;
+            let fct = r.flows[0].fct_secs.unwrap_or(f64::NAN);
+            let bits = r.flows[0].delivered_bits;
+            let s = *r.packet().expect("packet engine run");
             CellOutput::new().with_row([
-                r.transport.clone(),
+                r.strategy.clone(),
                 format!("{}s", f(fct, 2)),
                 format!("{} Mbps", f(bits / fct / 1e6, 2)),
-                r.chunks_dropped.to_string(),
-                r.chunks_detoured.to_string(),
-                r.chunks_custodied.to_string(),
-                r.backpressure_msgs.to_string(),
+                s.chunks_dropped.to_string(),
+                s.chunks_detoured.to_string(),
+                s.chunks_custodied.to_string(),
+                s.backpressure_msgs.to_string(),
                 r.flows[0].retransmits.to_string(),
             ])
         });
@@ -668,11 +893,10 @@ fn interval_spec() -> SweepSpec {
     for ms in [10u64, 25, 50, 100, 200, 400] {
         spec.push_cell(format!("T_i {ms}ms"), move |_ctx| {
             let res = experiments::ablation_interval(&[ms]);
-            let (ms, fct, detoured) = res[0];
             CellOutput::new().with_row([
-                ms.to_string(),
-                format!("{}s", f(fct, 3)),
-                detoured.to_string(),
+                res[0].interval_ms.to_string(),
+                format!("{}s", f(res[0].fct_secs, 3)),
+                res[0].chunks_detoured.to_string(),
             ])
         });
     }
@@ -689,7 +913,12 @@ fn coexistence_spec() -> SweepSpec {
     let mut spec = SweepSpec::new(
         "coexistence",
         "A6 — Coexistence: does INRPP starve an AIMD (TCP-like) flow?",
-        ["scenario", "AIMD probe goodput", "companion goodput", "drops"],
+        [
+            "scenario",
+            "AIMD probe goodput",
+            "companion goodput",
+            "drops",
+        ],
     );
     for scenario in CoexistenceScenario::all() {
         spec.push_cell(scenario.label(), move |_ctx| {
@@ -733,12 +962,11 @@ fn load_sweep_spec(opts: &SweepOptions) -> SweepSpec {
     for load in [0.1, 0.25, 0.5, 1.0, 1.5, 2.0] {
         spec.push_cell(format!("load {load}x"), move |_ctx| {
             let rows = experiments::load_sweep(Isp::Exodus, &base, &[load]);
-            let (load, sp, urp, gain) = rows[0];
             CellOutput::new().with_row([
-                load.to_string(),
-                f(sp, 3),
-                f(urp, 3),
-                format!("{gain:+.1}%"),
+                rows[0].load.to_string(),
+                f(rows[0].sp, 3),
+                f(rows[0].urp, 3),
+                format!("{:+.1}%", rows[0].gain_pct),
             ])
         });
     }
@@ -782,20 +1010,20 @@ fn link_failure_spec(opts: &SweepOptions) -> SweepSpec {
                 cfg.seed,
                 experiments::link_failure_max_kill(&base, &FRACTIONS),
             );
-            let (frac, sp, urp) = experiments::link_failure_point(&base, &victims, &cfg, frac);
-            if sp.is_nan() {
+            let p = experiments::link_failure_point(&base, &victims, &cfg, frac);
+            if p.sp.is_nan() {
                 return CellOutput::new().with_row([
-                    format!("{:.0}%", frac * 100.0),
+                    format!("{:.0}%", p.fraction * 100.0),
                     "(partitioned)".to_string(),
                     String::new(),
                     String::new(),
                 ]);
             }
             CellOutput::new().with_row([
-                format!("{:.0}%", frac * 100.0),
-                f(sp, 3),
-                f(urp, 3),
-                format!("{:+.1}%", 100.0 * (urp - sp) / sp),
+                format!("{:.0}%", p.fraction * 100.0),
+                f(p.sp, 3),
+                f(p.urp, 3),
+                format!("{:+.1}%", 100.0 * (p.urp - p.sp) / p.sp),
             ])
         });
     }
@@ -831,9 +1059,7 @@ fn export_spec() -> SweepSpec {
                 .with_artifact(file, inrpp_topology::io::write_topology(&topo))
         });
     }
-    spec.push_note(
-        "reload with inrpp_topology::io::read_topology(&fs::read_to_string(path)?)",
-    );
+    spec.push_note("reload with inrpp_topology::io::read_topology(&fs::read_to_string(path)?)");
     spec
 }
 
@@ -859,7 +1085,9 @@ impl std::str::FromStr for OutputFormat {
             "table" => Ok(OutputFormat::Table),
             "csv" => Ok(OutputFormat::Csv),
             "json" => Ok(OutputFormat::Json),
-            other => Err(format!("unknown format '{other}' (expected table|csv|json)")),
+            other => Err(format!(
+                "unknown format '{other}' (expected table|csv|json)"
+            )),
         }
     }
 }
@@ -935,7 +1163,10 @@ pub fn legacy_main(id: &str) {
 fn fig4b_legacy_csv(report: &SweepReport) -> String {
     let grid = [1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.5, 2.0];
     let mut out = String::from("stretch,cdf,topology\n");
-    for (isp, artifact) in inrpp::scenario::fig4_topologies().iter().zip(&report.artifacts) {
+    for (isp, artifact) in inrpp::scenario::fig4_topologies()
+        .iter()
+        .zip(&report.artifacts)
+    {
         let pts: Vec<(f64, f64)> = artifact
             .contents
             .lines()
@@ -990,7 +1221,9 @@ pub fn write_artifacts(report: &SweepReport, dir: &std::path::Path) {
 
 /// Value following a `--flag` in an argument list.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
 }
 
 #[cfg(test)]
@@ -1000,14 +1233,18 @@ mod tests {
     #[test]
     fn registry_covers_every_id_and_rejects_unknown() {
         let opts = SweepOptions::default();
-        for (id, _) in EXPERIMENTS {
+        for e in EXPERIMENTS {
+            let id = e.id;
             let spec = build(id, &opts).unwrap_or_else(|| panic!("{id} missing"));
-            assert_eq!(spec.id(), *id);
+            assert_eq!(spec.id(), id);
             assert!(!spec.is_empty(), "{id} has no cells");
             assert!(!spec.columns().is_empty(), "{id} has no columns");
         }
         assert!(build("no-such-experiment", &opts).is_none());
-        assert!(build("all", &opts).is_none(), "'all' is a CLI alias, not a sweep");
+        assert!(
+            build("all", &opts).is_none(),
+            "'all' is a CLI alias, not a sweep"
+        );
     }
 
     #[test]
@@ -1031,14 +1268,21 @@ mod tests {
         // scenario id resolves to a catalog cell
         let registered: Vec<&str> = EXPERIMENTS
             .iter()
-            .map(|(id, _)| *id)
+            .map(|e| e.id)
             .filter(|id| id.starts_with("scenario:"))
             .collect();
         let catalog = inrpp::scenario::scenario_catalog();
         assert_eq!(registered.len(), catalog.len());
-        assert!(registered.len() >= 8, "catalog must expose at least 8 sweeps");
+        assert!(
+            registered.len() >= 8,
+            "catalog must expose at least 8 sweeps"
+        );
         for spec in &catalog {
-            assert!(registered.contains(&spec.id().as_str()), "{} unregistered", spec.id());
+            assert!(
+                registered.contains(&spec.id().as_str()),
+                "{} unregistered",
+                spec.id()
+            );
         }
         assert!(build("scenario:not-a:family", &SweepOptions::default()).is_none());
     }
@@ -1057,7 +1301,10 @@ mod tests {
         assert_eq!(report.rows[1][0], "ECMP");
         assert_eq!(report.rows[2][0], "URP");
         assert!(
-            report.notes.iter().any(|n| n.contains("URP vs SP throughput")),
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("URP vs SP throughput")),
             "missing gain note: {:?}",
             report.notes
         );
@@ -1101,7 +1348,10 @@ mod tests {
         let spec = build("export-topologies", &SweepOptions::default()).unwrap();
         let report = run_sweep(&spec, &RunnerConfig::default());
         assert_eq!(report.artifacts.len(), 9);
-        assert_eq!(report.artifacts[0].name, format!("{}.topo", slug(Isp::all()[0].name())));
+        assert_eq!(
+            report.artifacts[0].name,
+            format!("{}.topo", slug(Isp::all()[0].name()))
+        );
         let reloaded =
             inrpp_topology::io::read_topology(&report.artifacts[0].contents).expect("round-trip");
         assert!(reloaded.node_count() > 0);

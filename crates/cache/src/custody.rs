@@ -75,7 +75,10 @@ impl fmt::Display for StoreError {
                 write!(f, "chunk of {chunk} exceeds cache capacity {capacity}")
             }
             StoreError::Full { overflow } => {
-                write!(f, "cache full: {overflow} over budget (back-pressure required)")
+                write!(
+                    f,
+                    "cache full: {overflow} over budget (back-pressure required)"
+                )
             }
             StoreError::Duplicate => write!(f, "chunk already in custody"),
         }
@@ -328,11 +331,7 @@ impl CustodyStore {
     pub fn flow_bytes(&self, flow: FlowId) -> ByteSize {
         self.flows
             .get(&flow)
-            .map(|set| {
-                set.iter()
-                    .map(|&c| self.entries[&(flow, c)].bytes)
-                    .sum()
-            })
+            .map(|set| set.iter().map(|&c| self.entries[&(flow, c)].bytes).sum())
             .unwrap_or(ByteSize::ZERO)
     }
 

@@ -212,10 +212,7 @@ mod tests {
 
     #[test]
     fn upstream_decision_logic() {
-        assert_eq!(
-            decide_upstream_action(false, true),
-            UpstreamAction::Detour
-        );
+        assert_eq!(decide_upstream_action(false, true), UpstreamAction::Detour);
         assert_eq!(
             decide_upstream_action(false, false),
             UpstreamAction::Propagate

@@ -103,13 +103,7 @@ impl DetourSelector {
 
     /// Candidate bypass paths around `link` traversed `from -> to`,
     /// shortest first, respecting the depth policy.
-    pub fn candidates(
-        &self,
-        topo: &Topology,
-        link: LinkId,
-        from: NodeId,
-        to: NodeId,
-    ) -> Vec<Path> {
+    pub fn candidates(&self, topo: &Topology, link: LinkId, from: NodeId, to: NodeId) -> Vec<Path> {
         self.table
             .detour_paths(topo, link, from, to, self.max_paths)
             .into_iter()

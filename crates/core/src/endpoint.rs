@@ -231,7 +231,9 @@ impl Sender {
         let Some(f) = self.flows.get_mut(&flow) else {
             return; // stale request for a finished flow: ignore
         };
-        let hr = f.highest_requested.map_or(req.anticipated, |h| h.max(req.anticipated));
+        let hr = f
+            .highest_requested
+            .map_or(req.anticipated, |h| h.max(req.anticipated));
         f.highest_requested = Some(hr.min(f.total_chunks - 1));
         if let Some(a) = req.ack {
             f.acked = Some(f.acked.map_or(a, |prev| prev.max(a)));
@@ -311,7 +313,14 @@ mod tests {
     fn receiver_initial_request_covers_window() {
         let mut r = Receiver::new(100, 4);
         let req = r.initial_request();
-        assert_eq!(req, Request { next: 0, ack: None, anticipated: 4 });
+        assert_eq!(
+            req,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 4
+            }
+        );
     }
 
     #[test]
@@ -369,7 +378,10 @@ mod tests {
         let _ = r.initial_request();
         assert!(!r.on_chunk(0).duplicate);
         assert!(r.on_chunk(0).duplicate);
-        assert!(r.on_chunk(99).duplicate, "out-of-range chunk treated as dup");
+        assert!(
+            r.on_chunk(99).duplicate,
+            "out-of-range chunk treated as dup"
+        );
     }
 
     #[test]
@@ -386,7 +398,14 @@ mod tests {
         s.register(1, 100);
         s.set_mode(1, SenderMode::ClosedLoop);
         assert_eq!(s.next_chunk(), None, "nothing requested yet");
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 2 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 2,
+            },
+        );
         assert_eq!(s.next_chunk(), Some((1, 0)));
         assert_eq!(s.next_chunk(), Some((1, 1)));
         assert_eq!(s.next_chunk(), Some((1, 2)));
@@ -397,7 +416,14 @@ mod tests {
     fn sender_push_ahead_in_open_loop() {
         let mut s = Sender::new(3);
         s.register(1, 100);
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 0 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 0,
+            },
+        );
         let mut sent = Vec::new();
         while let Some((_, c)) = s.next_chunk() {
             sent.push(c);
@@ -412,7 +438,14 @@ mod tests {
         s.register(1, 10);
         s.register(2, 10);
         for f in [1, 2] {
-            s.on_request(f, Request { next: 0, ack: None, anticipated: 5 });
+            s.on_request(
+                f,
+                Request {
+                    next: 0,
+                    ack: None,
+                    anticipated: 5,
+                },
+            );
         }
         let order: Vec<FlowId> = (0..6).map(|_| s.next_chunk().unwrap().0).collect();
         // strict alternation between the two backlogged flows
@@ -424,8 +457,22 @@ mod tests {
         let mut s = Sender::new(0);
         s.register(1, 2);
         s.register(2, 10);
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 9 });
-        s.on_request(2, Request { next: 0, ack: None, anticipated: 9 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 9,
+            },
+        );
+        s.on_request(
+            2,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 9,
+            },
+        );
         let mut count1 = 0;
         let mut count2 = 0;
         while let Some((f, _)) = s.next_chunk() {
@@ -444,7 +491,14 @@ mod tests {
     fn sender_mode_switch_takes_effect() {
         let mut s = Sender::new(5);
         s.register(1, 100);
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 0 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 0,
+            },
+        );
         assert_eq!(s.mode(1), Some(SenderMode::PushData));
         // push-data allows 0..=5
         assert_eq!(s.next_chunk(), Some((1, 0)));
@@ -462,7 +516,14 @@ mod tests {
         assert_eq!(s.active_flows(), 2);
         s.finish(1);
         assert_eq!(s.active_flows(), 1);
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 1 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 1,
+            },
+        );
         assert_eq!(s.next_chunk(), None, "stale requests ignored");
     }
 
@@ -470,7 +531,14 @@ mod tests {
     fn requests_never_extend_past_object_end() {
         let mut s = Sender::new(0);
         s.register(1, 3);
-        s.on_request(1, Request { next: 0, ack: None, anticipated: 500 });
+        s.on_request(
+            1,
+            Request {
+                next: 0,
+                ack: None,
+                anticipated: 500,
+            },
+        );
         let mut sent = Vec::new();
         while let Some((_, c)) = s.next_chunk() {
             sent.push(c);
@@ -484,7 +552,14 @@ mod tests {
         s.register(1, 10);
         s.register(2, 10);
         for f in [1, 2] {
-            s.on_request(f, Request { next: 0, ack: None, anticipated: 9 });
+            s.on_request(
+                f,
+                Request {
+                    next: 0,
+                    ack: None,
+                    anticipated: 9,
+                },
+            );
         }
         assert!(s.has_eligible());
         // flow 1's channel is "busy": only flow 2 gets served

@@ -76,10 +76,22 @@ mod tests {
         // e2e: 2 and 8 Mbps, Jain 0.73
         assert!((out.e2e_rates[0] - 2e6).abs() < 1e3, "{:?}", out.e2e_rates);
         assert!((out.e2e_rates[1] - 8e6).abs() < 1e3, "{:?}", out.e2e_rates);
-        assert!((out.e2e_jain - 0.7353).abs() < 1e-3, "jain {}", out.e2e_jain);
+        assert!(
+            (out.e2e_jain - 0.7353).abs() < 1e-3,
+            "jain {}",
+            out.e2e_jain
+        );
         // INRPP: 5 and 5, Jain 1.0
-        assert!((out.inrpp_rates[0] - 5e6).abs() < 1e3, "{:?}", out.inrpp_rates);
-        assert!((out.inrpp_rates[1] - 5e6).abs() < 1e3, "{:?}", out.inrpp_rates);
+        assert!(
+            (out.inrpp_rates[0] - 5e6).abs() < 1e3,
+            "{:?}",
+            out.inrpp_rates
+        );
+        assert!(
+            (out.inrpp_rates[1] - 5e6).abs() < 1e3,
+            "{:?}",
+            out.inrpp_rates
+        );
         assert!((out.inrpp_jain - 1.0).abs() < 1e-6);
     }
 

@@ -34,8 +34,13 @@ pub mod monitor;
 pub mod phase;
 pub mod rate;
 pub mod scenario;
+pub mod session;
 pub mod sweep;
 
 pub use config::InrppConfig;
 pub use phase::{Phase, PhaseController};
 pub use rate::RateEstimator;
+pub use session::{
+    Engine, EngineKind, FluidEngine, Probe, QuantileProbe, RunReport, Session, SessionBuilder,
+    SessionError, SessionStrategy, TimeSeriesProbe,
+};

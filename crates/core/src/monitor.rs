@@ -85,8 +85,7 @@ impl InterfaceMonitor {
     }
 
     fn expire(&mut self, now: SimTime) {
-        let cutoff =
-            SimTime::from_nanos(now.as_nanos().saturating_sub(self.window.as_nanos()));
+        let cutoff = SimTime::from_nanos(now.as_nanos().saturating_sub(self.window.as_nanos()));
         while self.changes.front().is_some_and(|&t| t < cutoff) {
             self.changes.pop_front();
         }
@@ -142,9 +141,15 @@ mod tests {
         for i in 0..3 {
             m.record_phase_change(SimTime::from_millis(i * 100));
         }
-        assert!(!m.is_flapping(SimTime::from_millis(300)), "3 changes allowed");
+        assert!(
+            !m.is_flapping(SimTime::from_millis(300)),
+            "3 changes allowed"
+        );
         m.record_phase_change(SimTime::from_millis(350));
-        assert!(m.is_flapping(SimTime::from_millis(400)), "4th change flips it");
+        assert!(
+            m.is_flapping(SimTime::from_millis(400)),
+            "4th change flips it"
+        );
     }
 
     #[test]

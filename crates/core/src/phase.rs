@@ -228,7 +228,7 @@ mod tests {
         let mut i = inputs(12.0, 10.0);
         i.detour_available = false;
         c.update(i); // BP
-        // demand drops and cache drains: back to push-data
+                     // demand drops and cache drains: back to push-data
         let calm = inputs(3.0, 10.0);
         assert_eq!(c.update(calm), Phase::PushData);
     }

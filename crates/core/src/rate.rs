@@ -101,14 +101,11 @@ impl RateEstimator {
     ///
     /// # Panics
     /// Panics on out-of-range interface ids or a negative size.
-    pub fn record_request(
-        &mut self,
-        now: SimTime,
-        up: IfaceId,
-        down: IfaceId,
-        chunk_bits: f64,
-    ) {
-        assert!(up < self.n_ifaces && down < self.n_ifaces, "iface out of range");
+    pub fn record_request(&mut self, now: SimTime, up: IfaceId, down: IfaceId, chunk_bits: f64) {
+        assert!(
+            up < self.n_ifaces && down < self.n_ifaces,
+            "iface out of range"
+        );
         assert!(chunk_bits >= 0.0, "negative chunk size");
         self.maybe_roll(now);
         self.open[up][down] += chunk_bits;
@@ -142,7 +139,9 @@ impl RateEstimator {
 
     /// All anticipated rates at once.
     pub fn anticipated_rates(&self) -> Vec<Rate> {
-        (0..self.n_ifaces).map(|j| self.anticipated_rate(j)).collect()
+        (0..self.n_ifaces)
+            .map(|j| self.anticipated_rate(j))
+            .collect()
     }
 
     /// Feed a measured chunk RTT sample (EWMA with gain 1/8, TCP-style) and

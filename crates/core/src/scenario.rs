@@ -11,20 +11,18 @@
 //! addressable cells like `scenario:fat-tree:flash-crowd`, each runnable
 //! through the same SP/ECMP/URP strategy trio.
 
-use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
-use inrpp_flowsim::strategy::{
-    EcmpStrategy, InrpConfig, InrpStrategy, RoutingStrategy, SinglePathStrategy,
-};
+use inrpp_flowsim::strategy::InrpConfig;
 use inrpp_flowsim::workload::{
     ArrivalProfile, PairSelector, SizeProfile, Workload, WorkloadConfig, WorkloadError,
 };
-use inrpp_flowsim::FlowSimReport;
 use inrpp_sim::time::SimDuration;
+use inrpp_sim::units::Rate;
 use inrpp_topology::graph::{NodeId, Topology};
 use inrpp_topology::rocketfuel::{generate_with_capacities, CapacityPlan, Isp};
 use inrpp_topology::spath::hop_matrix;
 use inrpp_topology::synth;
-use inrpp_sim::units::Rate;
+
+use crate::session::{RunReport, Session, SessionStrategy};
 
 /// A rough upper bound on concurrently deliverable traffic: total directed
 /// link capacity divided by the mean shortest-path hop count (every
@@ -114,17 +112,18 @@ impl Fig4Config {
     }
 }
 
-/// Reports for the three contenders on one topology.
+/// Reports for the three contenders on one topology, as unified
+/// [`RunReport`]s off the session facade.
 #[derive(Debug, Clone)]
 pub struct StrategyComparison {
     /// Topology display name.
     pub topology: String,
     /// Single shortest path baseline.
-    pub sp: FlowSimReport,
+    pub sp: RunReport,
     /// Equal-cost multipath baseline.
-    pub ecmp: FlowSimReport,
+    pub ecmp: RunReport,
     /// In-network resource pooling (URP in the paper's figure).
-    pub urp: FlowSimReport,
+    pub urp: RunReport,
 }
 
 impl StrategyComparison {
@@ -157,22 +156,27 @@ pub fn build_workload(topo: &Topology, cfg: &Fig4Config) -> Workload {
     )
 }
 
-/// Run SP, ECMP and URP on one topology with a shared workload.
+/// Run SP, ECMP and URP on one topology with a shared workload, through
+/// the [`Session`] facade.
 pub fn compare_strategies(topo: &Topology, cfg: &Fig4Config) -> StrategyComparison {
     let workload = build_workload(topo, cfg);
-    let sim_cfg = FlowSimConfig {
-        horizon: cfg.duration,
+    let run = |strategy: SessionStrategy| {
+        Session::builder()
+            .topology(topo)
+            .workload(workload.clone())
+            .strategy(strategy)
+            .horizon(cfg.duration)
+            .seed(cfg.seed)
+            .build()
+            .expect("comparison sessions are well-formed")
+            .run()
+            .expect("fluid engine accepts every strategy")
     };
-    let run = |s: &dyn RoutingStrategy| FlowSim::new(topo, s, &workload, sim_cfg).run();
-    let sp = run(&SinglePathStrategy);
-    let ecmp = run(&EcmpStrategy::default());
-    let inrp = InrpStrategy::new(topo, cfg.inrp);
-    let urp = run(&inrp);
     StrategyComparison {
         topology: topo.name().to_string(),
-        sp,
-        ecmp,
-        urp,
+        sp: run(SessionStrategy::Sp),
+        ecmp: run(SessionStrategy::Ecmp),
+        urp: run(SessionStrategy::Urp(cfg.inrp)),
     }
 }
 
@@ -442,8 +446,7 @@ impl ScenarioSpec {
     pub fn workload_config(&self, topo: &Topology) -> WorkloadConfig {
         let arrivals = self.traffic.arrivals();
         let offered = self.load * self.target_offered_rate(topo);
-        let base_rate =
-            (offered / self.mean_flow_bits / arrivals.mean_factor()).max(1e-3);
+        let base_rate = (offered / self.mean_flow_bits / arrivals.mean_factor()).max(1e-3);
         WorkloadConfig {
             arrival_rate: base_rate,
             mean_size_bits: self.mean_flow_bits,
@@ -458,30 +461,25 @@ impl ScenarioSpec {
         Workload::try_generate(topo, &self.workload_config(topo), self.duration, self.seed)
     }
 
-    /// Run a single strategy of the trio.
+    /// Run a single strategy of the trio through the [`Session`] facade.
     ///
     /// # Panics
     /// Panics if the workload cannot be generated (degenerate spec).
-    pub fn run_one(&self, strategy: ScenarioStrategy) -> FlowSimReport {
+    pub fn run_one(&self, strategy: ScenarioStrategy) -> RunReport {
         let topo = self.build_topology();
         let workload = self
             .build_workload(&topo)
             .unwrap_or_else(|e| panic!("scenario {}: {e}", self.id()));
-        let cfg = FlowSimConfig {
-            horizon: self.duration,
-        };
-        match strategy {
-            ScenarioStrategy::Sp => {
-                FlowSim::new(&topo, &SinglePathStrategy, &workload, cfg).run()
-            }
-            ScenarioStrategy::Ecmp => {
-                FlowSim::new(&topo, &EcmpStrategy::default(), &workload, cfg).run()
-            }
-            ScenarioStrategy::Urp => {
-                let inrp = InrpStrategy::new(&topo, self.inrp);
-                FlowSim::new(&topo, &inrp, &workload, cfg).run()
-            }
-        }
+        Session::builder()
+            .topology(&topo)
+            .workload(workload)
+            .strategy(strategy.session_strategy(self.inrp))
+            .horizon(self.duration)
+            .seed(self.seed)
+            .build()
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", self.id()))
+            .run()
+            .expect("fluid engine accepts every catalog strategy")
     }
 
     /// Run the full SP/ECMP/URP trio on the shared workload.
@@ -525,6 +523,16 @@ impl ScenarioStrategy {
             ScenarioStrategy::Sp => "SP",
             ScenarioStrategy::Ecmp => "ECMP",
             ScenarioStrategy::Urp => "URP",
+        }
+    }
+
+    /// The session-facade strategy this contender maps to, with `inrp`
+    /// as the URP detour configuration.
+    pub fn session_strategy(&self, inrp: InrpConfig) -> SessionStrategy {
+        match self {
+            ScenarioStrategy::Sp => SessionStrategy::Sp,
+            ScenarioStrategy::Ecmp => SessionStrategy::Ecmp,
+            ScenarioStrategy::Urp => SessionStrategy::Urp(inrp),
         }
     }
 }
@@ -646,7 +654,9 @@ mod tests {
                 ..ScenarioSpec::new(TopologyFamily::HetDumbbell { pairs: 8 }, traffic)
             };
             let topo = spec.build_topology();
-            let w = spec.build_workload(&topo).expect("catalog workloads generate");
+            let w = spec
+                .build_workload(&topo)
+                .expect("catalog workloads generate");
             let offered = w.offered_rate(spec.duration);
             let target = spec.load * spec.target_offered_rate(&topo);
             assert!(

@@ -191,8 +191,7 @@ pub fn max_min_allocate(topo: &Topology, flows: &[Vec<Path>]) -> Allocation {
         .map(|paths| paths.iter().map(|p| path_dir_indices(topo, p)).collect())
         .collect();
 
-    let mut subpath_rates: Vec<Vec<f64>> =
-        flows.iter().map(|p| vec![0.0; p.len()]).collect();
+    let mut subpath_rates: Vec<Vec<f64>> = flows.iter().map(|p| vec![0.0; p.len()]).collect();
     let mut frozen: Vec<bool> = flows.iter().map(|p| p.is_empty()).collect();
     // Currently preferred subpath per flow (index into its list).
     let mut preferred: Vec<usize> = vec![0; flows.len()];
@@ -200,9 +199,7 @@ pub fn max_min_allocate(topo: &Topology, flows: &[Vec<Path>]) -> Allocation {
     let saturated = |residual: &[f64], d: usize| residual[d] <= caps[d] * REL_EPS;
 
     // (Re-)select each unfrozen flow's preferred subpath.
-    let reselect = |residual: &[f64],
-                    frozen: &mut Vec<bool>,
-                    preferred: &mut Vec<usize>| {
+    let reselect = |residual: &[f64], frozen: &mut Vec<bool>, preferred: &mut Vec<usize>| {
         for f in 0..flows.len() {
             if frozen[f] {
                 continue;
@@ -303,8 +300,16 @@ mod tests {
         // Paper Fig. 3 left: e2e flow control splits by the slowest link.
         let topo = Topology::fig3();
         let alloc = max_min_allocate(&topo, &fig3_flows_sp(&topo));
-        assert!((alloc.flow_rates[0] - mbps(2.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
-        assert!((alloc.flow_rates[1] - mbps(8.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        assert!(
+            (alloc.flow_rates[0] - mbps(2.0)).abs() < 1.0,
+            "{:?}",
+            alloc.flow_rates
+        );
+        assert!(
+            (alloc.flow_rates[1] - mbps(8.0)).abs() < 1.0,
+            "{:?}",
+            alloc.flow_rates
+        );
         let jain = JainIndex::compute(&alloc.flow_rates).unwrap();
         assert!((jain - 0.7353).abs() < 1e-3, "jain {jain}");
     }
@@ -319,8 +324,16 @@ mod tests {
         // flow A gains the detour subpath 1-2-3-4
         flows[0].push(Path::new(vec![n("1"), n("2"), n("3"), n("4")]));
         let alloc = max_min_allocate(&topo, &flows);
-        assert!((alloc.flow_rates[0] - mbps(5.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
-        assert!((alloc.flow_rates[1] - mbps(5.0)).abs() < 1.0, "{:?}", alloc.flow_rates);
+        assert!(
+            (alloc.flow_rates[0] - mbps(5.0)).abs() < 1.0,
+            "{:?}",
+            alloc.flow_rates
+        );
+        assert!(
+            (alloc.flow_rates[1] - mbps(5.0)).abs() < 1.0,
+            "{:?}",
+            alloc.flow_rates
+        );
         let jain = JainIndex::compute(&alloc.flow_rates).unwrap();
         assert!((jain - 1.0).abs() < 1e-6, "jain {jain}");
         // A's split: 2 on the bottleneck, 3 on the detour
@@ -338,18 +351,16 @@ mod tests {
 
     #[test]
     fn equal_flows_share_equally() {
-        let topo = Topology::dumbbell(4, Rate::mbps(100.0), Rate::mbps(10.0), SimDuration::from_millis(1));
+        let topo = Topology::dumbbell(
+            4,
+            Rate::mbps(100.0),
+            Rate::mbps(10.0),
+            SimDuration::from_millis(1),
+        );
         let left = NodeId(4);
         let right = NodeId(5);
         let flows: Vec<Vec<Path>> = (0..4)
-            .map(|i| {
-                vec![Path::new(vec![
-                    NodeId(i),
-                    left,
-                    right,
-                    NodeId(6 + i),
-                ])]
-            })
+            .map(|i| vec![Path::new(vec![NodeId(i), left, right, NodeId(6 + i)])])
             .collect();
         let alloc = max_min_allocate(&topo, &flows);
         for r in &alloc.flow_rates {
@@ -373,10 +384,7 @@ mod tests {
     fn unroutable_flow_gets_zero() {
         let topo = Topology::fig3();
         let n = |s: &str| topo.node_by_name(s).unwrap();
-        let flows = vec![
-            Vec::new(),
-            vec![Path::new(vec![n("1"), n("2")])],
-        ];
+        let flows = vec![Vec::new(), vec![Path::new(vec![n("1"), n("2")])]];
         let alloc = max_min_allocate(&topo, &flows);
         assert_eq!(alloc.flow_rates[0], 0.0);
         assert!(alloc.flow_rates[1] > 0.0);
@@ -427,10 +435,7 @@ mod tests {
     #[test]
     fn utilisation_metrics() {
         let topo = Topology::line(2, Rate::mbps(10.0), SimDuration::from_millis(1));
-        let alloc = max_min_allocate(
-            &topo,
-            &[vec![Path::new(vec![NodeId(0), NodeId(1)])]],
-        );
+        let alloc = max_min_allocate(&topo, &[vec![Path::new(vec![NodeId(0), NodeId(1)])]]);
         let u = alloc.dir_utilisation(&topo);
         assert!((u[0] - 1.0).abs() < 1e-6);
         assert_eq!(u[1], 0.0);
@@ -445,14 +450,16 @@ mod tests {
         // diluted by the two dead channels of link 1-2.
         let mut topo = Topology::new("dead-tail");
         let ids = topo.add_nodes(3);
-        topo.add_link(ids[0], ids[1], Rate::mbps(10.0), SimDuration::from_millis(1))
-            .unwrap();
+        topo.add_link(
+            ids[0],
+            ids[1],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(1),
+        )
+        .unwrap();
         topo.add_link(ids[1], ids[2], Rate::mbps(0.0), SimDuration::from_millis(1))
             .unwrap();
-        let alloc = max_min_allocate(
-            &topo,
-            &[vec![Path::new(vec![ids[0], ids[1]])]],
-        );
+        let alloc = max_min_allocate(&topo, &[vec![Path::new(vec![ids[0], ids[1]])]]);
         assert!((alloc.mean_utilisation(&topo) - 0.5).abs() < 1e-9);
         // all channels dead -> mean is 0, not NaN
         let mut dead = Topology::new("dead");
@@ -471,7 +478,13 @@ mod tests {
         assert!(dir_index(&topo, n("1"), n("2")).is_some());
         let bad = Path::new(vec![n("1"), n("4")]);
         let err = try_path_dir_indices(&topo, &bad).unwrap_err();
-        assert_eq!(err, UnresolvedHop { from: n("1"), to: n("4") });
+        assert_eq!(
+            err,
+            UnresolvedHop {
+                from: n("1"),
+                to: n("4")
+            }
+        );
         assert!(err.to_string().contains("no link"));
     }
 

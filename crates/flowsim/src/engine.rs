@@ -492,7 +492,11 @@ impl AllocEngine {
             s.newly_sat.clear();
             for &i in &s.unfrozen {
                 let i = i as usize;
-                let start = if i == 0 { 0 } else { self.sub_ends[i - 1] as usize };
+                let start = if i == 0 {
+                    0
+                } else {
+                    self.sub_ends[i - 1] as usize
+                };
                 self.sub_rates[start + s.preferred[i] as usize] += delta;
             }
             for k in 0..s.in_use.len() {
@@ -538,7 +542,11 @@ impl AllocEngine {
 
         self.flow_rates.clear();
         for i in 0..self.slots.len() {
-            let start = if i == 0 { 0 } else { self.sub_ends[i - 1] as usize };
+            let start = if i == 0 {
+                0
+            } else {
+                self.sub_ends[i - 1] as usize
+            };
             let end = self.sub_ends[i] as usize;
             self.flow_rates
                 .push(self.sub_rates[start..end].iter().sum());
@@ -557,7 +565,11 @@ impl AllocEngine {
     /// Rate per subpath of the flow at `pos` (bits/s, preference order).
     #[inline]
     pub fn subpath_rates(&self, pos: usize) -> &[f64] {
-        let start = if pos == 0 { 0 } else { self.sub_ends[pos - 1] as usize };
+        let start = if pos == 0 {
+            0
+        } else {
+            self.sub_ends[pos - 1] as usize
+        };
         &self.sub_rates[start..self.sub_ends[pos] as usize]
     }
 

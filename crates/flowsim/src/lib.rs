@@ -38,6 +38,8 @@ pub mod workload;
 pub use allocator::{max_min_allocate, Allocation, UnresolvedHop};
 pub use engine::{AllocEngine, AllocatorScratch, FlowPaths};
 pub use metrics::{FlowSimReport, WeightedCdf};
-pub use sim::{FlowSim, FlowSimConfig};
-pub use strategy::{EcmpStrategy, InrpStrategy, MptcpStrategy, RoutingStrategy, SinglePathStrategy};
+pub use sim::{FlowObserver, FlowSim, FlowSimConfig};
+pub use strategy::{
+    EcmpStrategy, InrpStrategy, MptcpStrategy, RoutingStrategy, SinglePathStrategy,
+};
 pub use workload::{FlowSpec, PairSelector, Workload, WorkloadConfig};

@@ -29,7 +29,43 @@ use inrpp_topology::graph::Topology;
 use crate::engine::AllocEngine;
 use crate::metrics::{FlowSimReport, WeightedCdf};
 use crate::strategy::RoutingStrategy;
-use crate::workload::Workload;
+use crate::workload::{FlowSpec, Workload};
+
+/// Streaming observer over the fluid event loop.
+///
+/// Every hook is called *during* the run, at the instant the event
+/// happens, so time-resolved metrics can be collected without replaying
+/// the simulation. All hooks default to no-ops; observers are purely
+/// passive — the simulation's arithmetic is identical with or without
+/// one (`FlowSim::run` is `run_observed(&mut ())`).
+///
+/// This is the flowsim-level substrate the `inrpp::session` probe API
+/// adapts onto; use that facade unless you need raw engine access.
+#[allow(unused_variables)]
+pub trait FlowObserver {
+    /// A flow arrived and was admitted with `subpaths` resolved subpaths.
+    fn on_flow_start(&mut self, t: SimTime, spec: &FlowSpec, subpaths: usize) {}
+
+    /// A flow arrived but no route exists between its endpoints.
+    fn on_flow_unroutable(&mut self, t: SimTime, spec: &FlowSpec) {}
+
+    /// A flow drained completely and left the network.
+    fn on_flow_end(&mut self, t: SimTime, flow: u64, delivered_bits: f64, fct_secs: f64) {}
+
+    /// A flow was still in flight when the horizon struck.
+    fn on_flow_partial(&mut self, t: SimTime, flow: u64, delivered_bits: f64) {}
+
+    /// A re-allocation just ran: `flows[i]` (ascending flow ids) now
+    /// drains at `rates[i]` bits/s.
+    fn on_allocation(&mut self, t: SimTime, flows: &[u64], rates: &[f64]) {}
+
+    /// Fluid state was integrated up to `t`; `delivered_bits` is the
+    /// cumulative volume delivered across all flows so far.
+    fn on_sample(&mut self, t: SimTime, delivered_bits: f64) {}
+}
+
+/// The no-op observer (what [`FlowSim::run`] uses).
+impl FlowObserver for () {}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +97,7 @@ struct ActiveFlow {
     /// Hops of each subpath, preference order.
     subpath_hops: Vec<u32>,
     primary_hops: usize,
+    size_bits: f64,
     remaining_bits: f64,
     /// bits delivered per subpath (for the stretch CDF)
     subpath_bits: Vec<f64>,
@@ -94,6 +131,15 @@ impl<'a> FlowSim<'a> {
 
     /// Execute the run and produce the report.
     pub fn run(self) -> FlowSimReport {
+        self.run_observed(&mut ())
+    }
+
+    /// Execute the run with a streaming [`FlowObserver`].
+    ///
+    /// The observer sees every arrival, departure, re-allocation and
+    /// integration step as it happens; the produced report is
+    /// bit-identical to an unobserved [`FlowSim::run`].
+    pub fn run_observed(self, obs: &mut dyn FlowObserver) -> FlowSimReport {
         let horizon = SimTime::ZERO + self.config.horizon;
         let mut eng: Engine<Event> = Engine::new().with_horizon(horizon);
         for (i, f) in self.workload.flows.iter().enumerate() {
@@ -140,7 +186,8 @@ impl<'a> FlowSim<'a> {
                        jain_weighted: &mut f64,
                        util_weighted: &mut f64,
                        chan_weighted: &mut [f64],
-                       weighted_secs: &mut f64| {
+                       weighted_secs: &mut f64,
+                       obs: &mut dyn FlowObserver| {
             let dt = now.saturating_duration_since(*last_update).as_secs_f64();
             *last_update = now;
             if dt <= 0.0 || !alloc_valid {
@@ -169,14 +216,17 @@ impl<'a> FlowSim<'a> {
                 alloc_engine.accumulate_channel_utilisation(dt, chan_weighted);
                 *weighted_secs += dt;
             }
+            obs.on_sample(now, *delivered_bits);
         };
 
         // Re-allocate and schedule the earliest departure.
         let reallocate = |eng: &mut Engine<Event>,
+                          now: SimTime,
                           alloc_engine: &mut AllocEngine,
                           states: &[Option<ActiveFlow>],
                           alloc_valid: &mut bool,
-                          epoch: &mut u64| {
+                          epoch: &mut u64,
+                          obs: &mut dyn FlowObserver| {
             *epoch += 1;
             if alloc_engine.is_empty() {
                 *alloc_valid = false;
@@ -184,6 +234,7 @@ impl<'a> FlowSim<'a> {
             }
             alloc_engine.allocate();
             *alloc_valid = true;
+            obs.on_allocation(now, alloc_engine.keys(), alloc_engine.flow_rates());
             // earliest departure under the new rates
             let rates = alloc_engine.flow_rates();
             let mut best: Option<(f64, u64)> = None;
@@ -226,20 +277,19 @@ impl<'a> FlowSim<'a> {
                         &mut util_weighted,
                         &mut chan_weighted,
                         &mut weighted_secs,
+                        obs,
                     );
                     let spec = &self.workload.flows[idx];
                     arrived += 1;
-                    let paths =
-                        self.strategy
-                            .paths_for(topo, spec.src, spec.dst, spec.id);
+                    let paths = self.strategy.paths_for(topo, spec.src, spec.dst, spec.id);
                     if paths.is_empty() {
                         unroutable += 1;
+                        obs.on_flow_unroutable(now, spec);
                         return Control::Continue;
                     }
                     offered_bits += spec.size_bits;
                     let primary_hops = paths[0].hops().max(1);
-                    let subpath_hops: Vec<u32> =
-                        paths.iter().map(|p| p.hops() as u32).collect();
+                    let subpath_hops: Vec<u32> = paths.iter().map(|p| p.hops() as u32).collect();
                     let n = paths.len();
                     let slot = alloc_engine
                         .insert(spec.id, &paths)
@@ -250,11 +300,21 @@ impl<'a> FlowSim<'a> {
                     states[slot] = Some(ActiveFlow {
                         subpath_hops,
                         primary_hops,
+                        size_bits: spec.size_bits,
                         remaining_bits: spec.size_bits,
                         subpath_bits: vec![0.0; n],
                         arrival: now,
                     });
-                    reallocate(eng, &mut alloc_engine, &states, &mut alloc_valid, &mut epoch);
+                    obs.on_flow_start(now, spec, n);
+                    reallocate(
+                        eng,
+                        now,
+                        &mut alloc_engine,
+                        &states,
+                        &mut alloc_valid,
+                        &mut epoch,
+                        obs,
+                    );
                 }
                 Event::Departure(fid, ev_epoch) => {
                     if ev_epoch != epoch {
@@ -271,6 +331,7 @@ impl<'a> FlowSim<'a> {
                         &mut util_weighted,
                         &mut chan_weighted,
                         &mut weighted_secs,
+                        obs,
                     );
                     if let Some(slot) = alloc_engine.remove(fid) {
                         let fl = states[slot]
@@ -285,9 +346,18 @@ impl<'a> FlowSim<'a> {
                         let fct = now.duration_since(fl.arrival).as_secs_f64();
                         fct_sum += fct;
                         fct_cdf.record(fct);
+                        obs.on_flow_end(now, fid, fl.size_bits - fl.remaining_bits, fct);
                         record_stretch(&mut stretch, &fl);
                     }
-                    reallocate(eng, &mut alloc_engine, &states, &mut alloc_valid, &mut epoch);
+                    reallocate(
+                        eng,
+                        now,
+                        &mut alloc_engine,
+                        &states,
+                        &mut alloc_valid,
+                        &mut epoch,
+                        obs,
+                    );
                 }
             }
             Control::Continue
@@ -295,8 +365,9 @@ impl<'a> FlowSim<'a> {
 
         // Horizon reached: integrate the final stretch of time and credit
         // partial deliveries.
+        let end = horizon.min(eng.now().max(last_update));
         advance(
-            horizon.min(eng.now().max(last_update)),
+            end,
             &mut last_update,
             &mut states,
             &alloc_engine,
@@ -306,9 +377,15 @@ impl<'a> FlowSim<'a> {
             &mut util_weighted,
             &mut chan_weighted,
             &mut weighted_secs,
+            obs,
         );
         for pos in 0..alloc_engine.len() {
             if let Some(fl) = &states[alloc_engine.slot_at(pos)] {
+                obs.on_flow_partial(
+                    end,
+                    alloc_engine.keys()[pos],
+                    fl.size_bits - fl.remaining_bits,
+                );
                 record_stretch(&mut stretch, fl);
             }
         }
@@ -641,7 +718,11 @@ mod tests {
         )
         .run();
         assert_eq!(report.completed_flows, 2);
-        assert!((report.mean_jain - 1.0).abs() < 1e-6, "jain {}", report.mean_jain);
+        assert!(
+            (report.mean_jain - 1.0).abs() < 1e-6,
+            "jain {}",
+            report.mean_jain
+        );
         assert!((report.mean_fct_secs - 10.0).abs() < 0.1);
         let _ = Rate::ZERO; // keep the import exercised on all feature sets
     }

@@ -177,7 +177,10 @@ impl RoutingStrategy for InrpStrategy {
                 self.config.detours_per_link
             } else {
                 // only 1-hop entries: cap the request so 2-hop never surfaces
-                self.table.one_hop(link).len().min(self.config.detours_per_link)
+                self.table
+                    .one_hop(link)
+                    .len()
+                    .min(self.config.detours_per_link)
             };
             for d in self.table.detour_paths(topo, link, u, v, per_link) {
                 if !self.config.two_hop_detours && d.hops() > 2 {
@@ -374,8 +377,14 @@ mod tests {
         let inrp = InrpStrategy::with_defaults(&t).paths_for(&t, src, dst, 0);
         let a_mptcp = max_min_allocate(&t, &[mptcp]);
         let a_inrp = max_min_allocate(&t, &[inrp]);
-        assert!((a_mptcp.flow_rates[0] - 2e6).abs() < 1.0, "MPTCP capped at bottleneck");
-        assert!((a_inrp.flow_rates[0] - 5e6).abs() < 1.0, "INRP pools to 5 Mbps");
+        assert!(
+            (a_mptcp.flow_rates[0] - 2e6).abs() < 1.0,
+            "MPTCP capped at bottleneck"
+        );
+        assert!(
+            (a_inrp.flow_rates[0] - 5e6).abs() < 1.0,
+            "INRP pools to 5 Mbps"
+        );
     }
 
     #[test]

@@ -263,8 +263,7 @@ impl SizeSampler {
             } => {
                 let bulk_bits = bulk_factor * mean_bits;
                 // preserve the mixture mean: f·c + (1-f)·m_e = mean
-                let elastic_mean =
-                    mean_bits * (1.0 - bulk_frac * bulk_factor) / (1.0 - bulk_frac);
+                let elastic_mean = mean_bits * (1.0 - bulk_frac * bulk_factor) / (1.0 - bulk_frac);
                 SizeSampler::Mixed {
                     bulk_frac,
                     bulk_bits,
@@ -319,7 +318,10 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::TooFewNodes(n) => {
-                write!(f, "workload needs at least two nodes to pick pairs, got {n}")
+                write!(
+                    f,
+                    "workload needs at least two nodes to pick pairs, got {n}"
+                )
             }
             WorkloadError::NonPositiveArrivalRate(r) => {
                 write!(f, "arrival rate must be positive, got {r}")
@@ -329,7 +331,10 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::InvalidProfile(msg) => write!(f, "invalid traffic profile: {msg}"),
             WorkloadError::EmptyWorkload => {
-                write!(f, "generation window produced zero flows (zero offered load)")
+                write!(
+                    f,
+                    "generation window produced zero flows (zero offered load)"
+                )
             }
         }
     }
@@ -599,10 +604,7 @@ mod tests {
             (mean - 1e6).abs() < 1e5,
             "mean flow size {mean} vs requested 1e6"
         );
-        assert!((w.offered_rate(SimDuration::from_secs(100))
-            - w.offered_bits / 100.0)
-            .abs()
-            < 1.0);
+        assert!((w.offered_rate(SimDuration::from_secs(100)) - w.offered_bits / 100.0).abs() < 1.0);
     }
 
     #[test]
@@ -731,7 +733,9 @@ mod tests {
             Workload::try_generate(&t, &cfg(), SimDuration::ZERO, 1).unwrap_err(),
             WorkloadError::EmptyWorkload
         );
-        assert!(WorkloadError::EmptyWorkload.to_string().contains("zero flows"));
+        assert!(WorkloadError::EmptyWorkload
+            .to_string()
+            .contains("zero flows"));
     }
 
     #[test]
@@ -790,7 +794,10 @@ mod tests {
         let mut c = cfg();
         c.arrivals = ArrivalProfile::Steady;
         c.sizes = SizeProfile::Exponential;
-        assert_eq!(legacy, Workload::generate(&topo(), &c, SimDuration::from_secs(5), 9));
+        assert_eq!(
+            legacy,
+            Workload::generate(&topo(), &c, SimDuration::from_secs(5), 9)
+        );
     }
 
     #[test]

@@ -174,10 +174,7 @@ mod tests {
             c.queue_delay(SimTime::from_millis(20)),
             SimDuration::from_millis(30)
         );
-        assert_eq!(
-            c.queue_delay(SimTime::from_millis(60)),
-            SimDuration::ZERO
-        );
+        assert_eq!(c.queue_delay(SimTime::from_millis(60)), SimDuration::ZERO);
         // after draining, a new send starts immediately
         let arrival = c.try_send(SimTime::from_millis(60), 1_000.0).unwrap();
         assert_eq!(arrival, SimTime::from_millis(71));

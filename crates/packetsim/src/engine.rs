@@ -26,6 +26,7 @@ use inrpp::endpoint::{Receiver, Request, Sender, SenderMode};
 use inrpp::flowlet::FlowletSplitter;
 use inrpp::phase::{Phase, PhaseController, PhaseInputs};
 use inrpp::rate::RateEstimator;
+use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
 use inrpp_sim::event::Engine;
 use inrpp_sim::fault::{FaultInjector, FaultOutcome};
@@ -123,15 +124,28 @@ struct Counters {
 
 impl<'a> PacketSim<'a> {
     /// A simulation over `topo` with `config` and no transfers yet.
+    ///
+    /// # Panics
+    /// Panics on an invalid INRPP configuration; use
+    /// [`PacketSim::try_new`] for a typed error instead.
     pub fn new(topo: &'a Topology, config: PacketSimConfig) -> Self {
-        if let TransportKind::Inrpp(ic) = &config.transport {
-            ic.validate().expect("invalid INRPP config");
+        PacketSim::try_new(topo, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A simulation over `topo` with `config`, rejecting invalid
+    /// configurations with a typed [`SessionError`] instead of a panic —
+    /// the constructor the `inrpp::session` facade uses.
+    pub fn try_new(topo: &'a Topology, config: PacketSimConfig) -> Result<Self, SessionError> {
+        if let TransportKind::Inrpp(ic) | TransportKind::Mixed { inrpp: ic, .. } = &config.transport
+        {
+            ic.validate()
+                .map_err(|e| SessionError::InvalidConfig(e.to_string()))?;
         }
-        PacketSim {
+        Ok(PacketSim {
             topo,
             config,
             transfers: Vec::new(),
-        }
+        })
     }
 
     /// Add one transfer using the configuration's default transport
@@ -155,34 +169,64 @@ impl<'a> PacketSim<'a> {
     /// # Panics
     /// Panics on invalid specs (see [`PacketSim::add_transfer`]) or when
     /// the requested transport has no configuration (e.g. an AIMD flow
-    /// under [`TransportKind::Inrpp`]).
+    /// under [`TransportKind::Inrpp`]); use
+    /// [`PacketSim::try_add_transfer_as`] for typed errors instead.
     pub fn add_transfer_as(&mut self, spec: TransferSpec, kind: FlowTransport) -> &mut Self {
-        assert_ne!(spec.src, spec.dst, "transfer endpoints must differ");
-        assert!(spec.chunks > 0, "transfer needs at least one chunk");
-        assert!(
-            shortest_path(self.topo, spec.src, spec.dst, &cost::hops).is_some(),
-            "no route {} -> {}",
-            spec.src,
-            spec.dst
-        );
+        self.try_add_transfer_as(spec, kind)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Add one transfer with an explicit per-flow transport, rejecting
+    /// malformed specs with a typed [`SessionError`] instead of a panic —
+    /// the path the `inrpp::session` facade uses.
+    pub fn try_add_transfer_as(
+        &mut self,
+        spec: TransferSpec,
+        kind: FlowTransport,
+    ) -> Result<&mut Self, SessionError> {
+        if spec.src == spec.dst {
+            return Err(SessionError::InvalidTransfer(format!(
+                "flow {} endpoints coincide ({})",
+                spec.flow, spec.src
+            )));
+        }
+        if spec.chunks == 0 {
+            return Err(SessionError::InvalidTransfer(format!(
+                "flow {} has zero chunks",
+                spec.flow
+            )));
+        }
+        if shortest_path(self.topo, spec.src, spec.dst, &cost::hops).is_none() {
+            return Err(SessionError::Unroutable { flow: spec.flow });
+        }
         let supported = matches!(
             (kind, &self.config.transport),
             (FlowTransport::Inrpp, TransportKind::Inrpp(_))
                 | (FlowTransport::Aimd, TransportKind::Aimd(_))
                 | (_, TransportKind::Mixed { .. })
         );
-        assert!(
-            supported,
-            "flow transport {kind:?} has no configuration under {:?}",
-            self.config.transport
-        );
+        if !supported {
+            return Err(SessionError::InvalidConfig(format!(
+                "flow transport {kind:?} has no configuration under {:?}",
+                self.config.transport
+            )));
+        }
         self.transfers.push((spec, kind));
-        self
+        Ok(self)
     }
 
     /// Execute the simulation.
     pub fn run(self) -> PacketSimReport {
-        Runner::build(self.topo, self.config, self.transfers).run()
+        self.run_probed(&mut [])
+    }
+
+    /// Execute the simulation with streaming `inrpp::session` probes.
+    ///
+    /// Probes see every transfer start, chunk delivery (as cumulative
+    /// [`Sample`]s) and completion *as it happens*; the produced report
+    /// is bit-identical to an unprobed [`PacketSim::run`].
+    pub fn run_probed(self, probes: &mut [&mut dyn Probe]) -> PacketSimReport {
+        Runner::build(self.topo, self.config, self.transfers).run(&mut ProbeSet::new(probes))
     }
 }
 
@@ -255,9 +299,7 @@ impl<'a> Runner<'a> {
             .unwrap_or(SimDuration::from_millis(100));
         let estimators = topo
             .node_ids()
-            .map(|n| {
-                RateEstimator::new(topo.degree(n).max(1), interval, SimTime::ZERO)
-            })
+            .map(|n| RateEstimator::new(topo.degree(n).max(1), interval, SimTime::ZERO))
             .collect();
         let phases = topo
             .node_ids()
@@ -276,9 +318,8 @@ impl<'a> Runner<'a> {
                 )
             })
             .collect();
-        let selector = inrpp_cfg.map(|c| {
-            DetourSelector::new(topo, c.load_aware_detour, c.max_detour_depth, 4)
-        });
+        let selector = inrpp_cfg
+            .map(|c| DetourSelector::new(topo, c.load_aware_detour, c.max_detour_depth, 4));
         let rng = SimRng::from_seed_u64(cfg.seed);
         let fault = FaultInjector::new(cfg.fault, rng.derive(0xFA17));
         let trace = if cfg.trace_capacity > 0 {
@@ -401,14 +442,14 @@ impl<'a> Runner<'a> {
         self.forward_request(eng, now, pkt, covers);
     }
 
-    fn forward_request(
-        &mut self,
-        eng: &mut Engine<Ev>,
-        now: SimTime,
-        pkt: Packet,
-        covers: u64,
-    ) {
-        let Packet::Request { flow, req, route, hop } = pkt else {
+    fn forward_request(&mut self, eng: &mut Engine<Ev>, now: SimTime, pkt: Packet, covers: u64) {
+        let Packet::Request {
+            flow,
+            req,
+            route,
+            hop,
+        } = pkt
+        else {
             unreachable!("forward_request got a non-request")
         };
         let here = route[hop];
@@ -491,14 +532,12 @@ impl<'a> Runner<'a> {
             // or an upstream slow-down caps this link.
             let li = self.local_idx[here.idx()][&next];
             let phase = self.phases[here.idx()][li].phase();
-            let queue_long =
-                self.channels[d].queue_delay(now) > self.cfg.detour_queue_threshold;
+            let queue_long = self.channels[d].queue_delay(now) > self.cfg.detour_queue_threshold;
             let bp_capped = {
                 let link = DirIndex(d).link();
                 self.bp[here.idx()].allowed_rate(now, link).is_some()
             };
-            if (phase != Phase::PushData || queue_long || bp_capped) && hop + 2 <= route.len()
-            {
+            if (phase != Phase::PushData || queue_long || bp_capped) && hop + 2 <= route.len() {
                 if let Some((alt_route, alt_dir)) =
                     self.pick_detour(now, here, next, flow, &route, hop)
                 {
@@ -521,28 +560,26 @@ impl<'a> Runner<'a> {
 
         let bits = self.chunk_bits();
         match self.channels[d].try_send(now, bits) {
-            Ok(arrival) => {
-                match self.fault.apply() {
-                    FaultOutcome::Pass => {
-                        let idx = self.stash(Packet::Data {
-                            flow,
-                            chunk,
-                            route,
-                            hop: hop + 1,
-                            hops_travelled: hops_travelled + 1,
-                            detoured,
-                            sent_at,
-                        });
-                        eng.schedule_at(arrival, Ev::Deliver(idx))
-                            .expect("arrival is in the future");
-                        true
-                    }
-                    FaultOutcome::Drop | FaultOutcome::Corrupt => {
-                        self.counters.chunks_dropped += 1;
-                        false
-                    }
+            Ok(arrival) => match self.fault.apply() {
+                FaultOutcome::Pass => {
+                    let idx = self.stash(Packet::Data {
+                        flow,
+                        chunk,
+                        route,
+                        hop: hop + 1,
+                        hops_travelled: hops_travelled + 1,
+                        detoured,
+                        sent_at,
+                    });
+                    eng.schedule_at(arrival, Ev::Deliver(idx))
+                        .expect("arrival is in the future");
+                    true
                 }
-            }
+                FaultOutcome::Drop | FaultOutcome::Corrupt => {
+                    self.counters.chunks_dropped += 1;
+                    false
+                }
+            },
             Err(_) if self.is_inrpp(flow) => {
                 // custody (store-and-forward) instead of dropping
                 self.custody_store(eng, now, here, flow, chunk, route, hop, d)
@@ -771,7 +808,13 @@ impl<'a> Runner<'a> {
         now: SimTime,
         flow: FlowId,
         chunk: ChunkNo,
+        probes: &mut ProbeSet<'_, '_>,
     ) {
+        let delivered_before = self.counters.chunks_delivered;
+        let was_complete = self
+            .receivers
+            .get(&flow)
+            .is_some_and(|rt| rt.stats.completed_at.is_some());
         let Some(rt) = self.receivers.get_mut(&flow) else {
             return;
         };
@@ -824,8 +867,7 @@ impl<'a> Runner<'a> {
                 // clock out new requests within the window
                 let rto = self.aimd_cfg.expect("aimd mode").rto;
                 let mut to_req = Vec::new();
-                while (rt.outstanding.len() as f64) < r.cwnd.floor()
-                    && r.next_unrequested < r.total
+                while (rt.outstanding.len() as f64) < r.cwnd.floor() && r.next_unrequested < r.total
                 {
                     let c = r.next_unrequested;
                     r.next_unrequested += 1;
@@ -842,14 +884,38 @@ impl<'a> Runner<'a> {
                 }
             }
         }
+        // probe emission: after the receiver state settled, before the
+        // next event — purely observational
+        if !probes.is_empty() {
+            let chunk_bits = self.cfg.chunk_bytes.as_bits() as f64;
+            if self.counters.chunks_delivered > delivered_before {
+                probes.sample(&Sample {
+                    time: now,
+                    delivered_bits: self.counters.chunks_delivered as f64 * chunk_bits,
+                });
+            }
+            if let Some(rt) = self.receivers.get(&flow) {
+                if !was_complete {
+                    if let Some(done) = rt.stats.completed_at {
+                        probes.flow_end(&FlowEnd {
+                            time: now,
+                            flow,
+                            delivered_bits: rt.stats.chunks_delivered as f64 * chunk_bits,
+                            fct_secs: done.duration_since(rt.stats.started_at).as_secs_f64(),
+                        });
+                    }
+                }
+            }
+        }
     }
 
     fn rx_check(&mut self, eng: &mut Engine<Ev>, now: SimTime, flow: FlowId) {
         // AIMD flows time out on their own RTO; INRPP on the receiver timer
         let timeout = match self.flows.get(&flow).map(|f| f.kind) {
-            Some(FlowTransport::Aimd) => {
-                self.aimd_cfg.map(|a| a.rto).unwrap_or(self.cfg.receiver_timeout)
-            }
+            Some(FlowTransport::Aimd) => self
+                .aimd_cfg
+                .map(|a| a.rto)
+                .unwrap_or(self.cfg.receiver_timeout),
             _ => self.cfg.receiver_timeout,
         };
         let Some(rt) = self.receivers.get_mut(&flow) else {
@@ -897,7 +963,10 @@ impl<'a> Runner<'a> {
         chunk: ChunkNo,
     ) {
         let src = self.flows[&flow].spec.src;
-        self.retransmit.entry(src).or_default().push_back((flow, chunk));
+        self.retransmit
+            .entry(src)
+            .or_default()
+            .push_back((flow, chunk));
         self.schedule_kick(eng, src, SimDuration::ZERO);
     }
 
@@ -1020,8 +1089,9 @@ impl<'a> Runner<'a> {
         // still work left: reschedule at the drain instant
         let has_work = self.drain_reg.get(&d).is_some_and(|f| !f.is_empty());
         if has_work && self.drain_scheduled.insert(d) {
-            let t = self.channels[d].drain_time(threshold).max(now
-                + SimDuration::from_micros(100));
+            let t = self.channels[d]
+                .drain_time(threshold)
+                .max(now + SimDuration::from_micros(100));
             eng.schedule_at(t, Ev::CustodyDrain { node, dir: d })
                 .expect("future");
         }
@@ -1075,7 +1145,14 @@ impl<'a> Runner<'a> {
 
     // ---- slowdown handling --------------------------------------------------
 
-    fn on_slowdown(&mut self, eng: &mut Engine<Ev>, now: SimTime, msg: SlowdownMsg, flow: FlowId, at: NodeId) {
+    fn on_slowdown(
+        &mut self,
+        eng: &mut Engine<Ev>,
+        now: SimTime,
+        msg: SlowdownMsg,
+        flow: FlowId,
+        at: NodeId,
+    ) {
         let ttl = self
             .inrpp_cfg
             .map(|c| c.backpressure_ttl)
@@ -1121,13 +1198,14 @@ impl<'a> Runner<'a> {
 
     // ---- main loop ----------------------------------------------------------
 
-    fn run(mut self) -> PacketSimReport {
+    fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> PacketSimReport {
         let horizon = SimTime::ZERO + self.cfg.horizon;
         let mut eng: Engine<Ev> = Engine::new().with_horizon(horizon);
         let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
         for f in &flow_ids {
             let start = self.flows[f].spec.start;
-            eng.schedule_at(start, Ev::Start(*f)).expect("start in window");
+            eng.schedule_at(start, Ev::Start(*f))
+                .expect("start in window");
         }
         if self.inrpp_cfg.is_some() {
             for n in self.topo.node_ids() {
@@ -1142,6 +1220,17 @@ impl<'a> Runner<'a> {
                     // the sender may already have push-ahead work
                     let src = self.flows[&f].spec.src;
                     self.schedule_kick(&mut eng, src, SimDuration::ZERO);
+                    if !probes.is_empty() {
+                        let spec = self.flows[&f].spec;
+                        probes.flow_start(&FlowStart {
+                            time: now,
+                            flow: f,
+                            src: spec.src,
+                            dst: spec.dst,
+                            size_bits: spec.chunks as f64 * self.cfg.chunk_bytes.as_bits() as f64,
+                            subpaths: 1,
+                        });
+                    }
                 }
                 Ev::SenderKick(n) => self.sender_kick(&mut eng, now, n),
                 Ev::Tick(n) => self.tick(&mut eng, now, n),
@@ -1153,7 +1242,12 @@ impl<'a> Runner<'a> {
                         .take()
                         .expect("packet delivered twice");
                     match pkt {
-                        Packet::Request { flow, req, route, hop } => {
+                        Packet::Request {
+                            flow,
+                            req,
+                            route,
+                            hop,
+                        } => {
                             let here = route[hop];
                             if hop + 1 == route.len() {
                                 // reached the sender
@@ -1165,7 +1259,12 @@ impl<'a> Runner<'a> {
                                 self.forward_request(
                                     &mut eng,
                                     now,
-                                    Packet::Request { flow, req, route, hop },
+                                    Packet::Request {
+                                        flow,
+                                        req,
+                                        route,
+                                        hop,
+                                    },
                                     1,
                                 );
                             }
@@ -1180,7 +1279,7 @@ impl<'a> Runner<'a> {
                             sent_at,
                         } => {
                             if hop + 1 == route.len() {
-                                self.deliver_to_receiver(&mut eng, now, flow, chunk);
+                                self.deliver_to_receiver(&mut eng, now, flow, chunk, probes);
                             } else {
                                 self.forward_data(
                                     &mut eng,
@@ -1201,12 +1300,9 @@ impl<'a> Runner<'a> {
                             // delivered to the upstream node: figure out who
                             // we are from the flow route relative to origin
                             let route = self.flows[&flow].route.clone();
-                            let origin_pos =
-                                route.iter().position(|&n| n == msg.origin);
+                            let origin_pos = route.iter().position(|&n| n == msg.origin);
                             let at = origin_pos
-                                .and_then(|p| {
-                                    p.checked_sub(1 + msg.hops_travelled as usize)
-                                })
+                                .and_then(|p| p.checked_sub(1 + msg.hops_travelled as usize))
                                 .map(|p| route[p]);
                             if let Some(at) = at {
                                 self.on_slowdown(&mut eng, now, msg, flow, at);
@@ -1219,14 +1315,15 @@ impl<'a> Runner<'a> {
 
         // assemble the report
         let horizon_d = self.cfg.horizon;
-        let mean_utilisation = if self.channels.is_empty() {
+        let channel_utilisation: Vec<f64> = self
+            .channels
+            .iter()
+            .map(|c| c.utilisation(horizon_d))
+            .collect();
+        let mean_utilisation = if channel_utilisation.is_empty() {
             0.0
         } else {
-            self.channels
-                .iter()
-                .map(|c| c.utilisation(horizon_d))
-                .sum::<f64>()
-                / self.channels.len() as f64
+            channel_utilisation.iter().sum::<f64>() / channel_utilisation.len() as f64
         };
         let mut flows: Vec<FlowStats> = Vec::new();
         for (f, rt) in &self.receivers {
@@ -1264,18 +1361,14 @@ impl<'a> Runner<'a> {
             backpressure_msgs: self.counters.backpressure_msgs,
             custody_peak: self.custody_peak,
             mean_utilisation,
+            channel_utilisation,
             chunk_bytes: self.cfg.chunk_bytes,
             trace: self
                 .trace
                 .entries()
                 .map(|(t, s)| (t, s.to_string()))
                 .collect(),
-            phase_transitions: self
-                .phases
-                .iter()
-                .flatten()
-                .map(|c| c.transitions())
-                .sum(),
+            phase_transitions: self.phases.iter().flatten().map(|c| c.transitions()).sum(),
         }
     }
 }
@@ -1377,7 +1470,10 @@ mod tests {
         // AIMD is capped by the 2 Mbps bottleneck
         if let Some(fct) = r.flows[0].fct() {
             let goodput = 400.0 * r.chunk_bytes.as_bits() as f64 / fct.as_secs_f64();
-            assert!(goodput < 2.2e6, "AIMD goodput {goodput} can't exceed bottleneck");
+            assert!(
+                goodput < 2.2e6,
+                "AIMD goodput {goodput} can't exceed bottleneck"
+            );
         }
     }
 
@@ -1470,7 +1566,12 @@ mod tests {
         sim.add_transfer(transfer(&t, 1, "1", "3", 300));
         let r = sim.run();
         assert!(r.chunks_dropped > 0, "fault injector must drop something");
-        assert_eq!(r.completed(), 1, "timeouts must recover losses: {}", r.summary());
+        assert_eq!(
+            r.completed(),
+            1,
+            "timeouts must recover losses: {}",
+            r.summary()
+        );
         assert!(r.flows[0].retransmits > 0);
     }
 
@@ -1568,7 +1669,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "endpoints must differ")]
+    #[should_panic(expected = "endpoints coincide")]
     fn same_endpoints_rejected() {
         let t = fig3();
         let mut sim = PacketSim::new(&t, inrpp_cfg());

@@ -19,7 +19,8 @@
 //!
 //! Modules: [`channel`] (the busy-until link model), [`packet`] (wire
 //! types and configuration), [`engine`] (the network + event loop),
-//! [`report`] (per-run metrics).
+//! [`report`] (per-run metrics), [`session`] (the `inrpp::session`
+//! facade backend — run this engine through the typed `Session` API).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +29,9 @@ pub mod channel;
 pub mod engine;
 pub mod packet;
 pub mod report;
+pub mod session;
 
 pub use engine::PacketSim;
 pub use packet::{AimdConfig, FlowTransport, PacketSimConfig, TransferSpec, TransportKind};
 pub use report::{FlowStats, PacketSimReport};
+pub use session::PacketEngine;

@@ -110,12 +110,15 @@ impl TransferSpec {
         chunk_bytes: ByteSize,
         start: SimTime,
     ) -> TransferSpec {
-        let chunks = (bits / chunk_bytes.as_bits() as f64).ceil().max(1.0) as u64;
+        // one quantisation rule for the whole suite: delegate to the
+        // session facade's engine-neutral Transfer, so the two engines
+        // can never drift apart on offered bits
+        let t = inrpp::session::Transfer::for_object_bits(flow, src, dst, bits, chunk_bytes, start);
         TransferSpec {
             flow,
             src,
             dst,
-            chunks,
+            chunks: t.chunks,
             start,
         }
     }

@@ -82,6 +82,10 @@ pub struct PacketSimReport {
     pub custody_peak: ByteSize,
     /// Mean transmitter utilisation across channels.
     pub mean_utilisation: f64,
+    /// Transmitter utilisation per directed channel
+    /// (index = `link.idx() * 2 + direction`; same layout as the fluid
+    /// report's channel vector).
+    pub channel_utilisation: Vec<f64>,
     /// Chunk payload size (for goodput maths).
     pub chunk_bytes: ByteSize,
     /// Notable-event trace (detours, custody, back-pressure, drops);
@@ -95,7 +99,10 @@ pub struct PacketSimReport {
 impl PacketSimReport {
     /// Completed flows.
     pub fn completed(&self) -> usize {
-        self.flows.iter().filter(|f| f.completed_at.is_some()).count()
+        self.flows
+            .iter()
+            .filter(|f| f.completed_at.is_some())
+            .count()
     }
 
     /// Mean FCT over completed flows, seconds.
@@ -213,6 +220,7 @@ mod tests {
             backpressure_msgs: 2,
             custody_peak: ByteSize::kb(10),
             mean_utilisation: 0.5,
+            channel_utilisation: vec![0.5, 0.5],
             chunk_bytes: ByteSize::bytes(1000),
             trace: Vec::new(),
             phase_transitions: 0,
@@ -239,6 +247,7 @@ mod tests {
             backpressure_msgs: 0,
             custody_peak: ByteSize::ZERO,
             mean_utilisation: 0.0,
+            channel_utilisation: Vec::new(),
             chunk_bytes: ByteSize::bytes(1000),
             trace: Vec::new(),
             phase_transitions: 0,

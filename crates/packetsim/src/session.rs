@@ -1,0 +1,481 @@
+//! The chunk-level backend of the `inrpp::session` facade.
+//!
+//! [`PacketEngine`] implements [`Engine`] so the same typed [`Session`]
+//! that drives the fluid simulator also drives this crate's
+//! discrete-event engine — the flowsim/packetsim differential harness is
+//! the two backends run off one session description.
+//!
+//! Strategy mapping: the packet engine's routing is built in (shortest
+//! path, plus in-network detours under the INRPP transport), so only the
+//! regimes with a chunk-level transport are accepted:
+//!
+//! | session strategy | packet transport |
+//! |---|---|
+//! | `SessionStrategy::Urp(_)` | [`TransportKind::Inrpp`] (the fluid detour knobs are ignored; the engine's own `InrppConfig` governs) |
+//! | `SessionStrategy::Sp` | [`TransportKind::Aimd`] (the drop-tail e2e baseline) |
+//! | `Ecmp` / `Mptcp` | rejected with [`SessionError::IncompatibleStrategy`] |
+//!
+//! Traffic mapping: transfer-native sessions replay chunk-for-chunk
+//! (their `chunk_bytes` must match the engine configuration); flow-native
+//! sessions are quantised with the shared `ceil(bits / chunk_bits)` rule,
+//! so offered bits line up with a fluid replay of the same session.
+
+use inrpp::config::InrppConfig;
+use inrpp::session::{
+    Aggregates, Engine, EngineDetail, EngineKind, FlowRecord, PacketSummary, Probe, RunReport,
+    Session, SessionError, SessionStrategy, Traffic,
+};
+use inrpp_topology::graph::NodeId;
+
+use crate::engine::PacketSim;
+use crate::packet::{AimdConfig, PacketSimConfig, TransferSpec, TransportKind};
+
+/// The chunk-level [`Engine`] backend, wrapping a [`PacketSimConfig`].
+///
+/// ```
+/// use inrpp::session::{Session, SessionStrategy, Transfer};
+/// use inrpp_packetsim::session::PacketEngine;
+/// use inrpp_sim::time::{SimDuration, SimTime};
+/// use inrpp_sim::units::ByteSize;
+/// use inrpp_topology::Topology;
+///
+/// let topo = Topology::fig3();
+/// let n = |s: &str| topo.node_by_name(s).unwrap();
+/// let session = Session::builder()
+///     .topology(&topo)
+///     .transfers(vec![Transfer::for_object_bits(
+///         1, n("1"), n("4"), 1e6, ByteSize::bytes(1250), SimTime::ZERO,
+///     )])
+///     .strategy(SessionStrategy::urp())
+///     .horizon(SimDuration::from_secs(30))
+///     .build()?;
+/// let report = session.run_on(&PacketEngine::default(), &mut [])?;
+/// assert_eq!(report.strategy, "INRPP");
+/// assert_eq!(report.aggregates.completed_flows, 1);
+/// # Ok::<(), inrpp::session::SessionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketEngine {
+    config: PacketSimConfig,
+}
+
+impl Default for PacketEngine {
+    /// INRPP transport with the default packet configuration.
+    fn default() -> Self {
+        PacketEngine::new(PacketSimConfig::default())
+    }
+}
+
+impl PacketEngine {
+    /// A backend with an explicit packet configuration. The configured
+    /// transport must agree with the session strategy at run time (URP
+    /// needs INRPP, SP needs AIMD).
+    pub fn new(config: PacketSimConfig) -> Self {
+        PacketEngine { config }
+    }
+
+    /// Convenience: INRPP transport with the given protocol
+    /// configuration, other knobs at their defaults.
+    pub fn inrpp(config: InrppConfig) -> Self {
+        PacketEngine::new(PacketSimConfig {
+            transport: TransportKind::Inrpp(config),
+            ..PacketSimConfig::default()
+        })
+    }
+
+    /// Convenience: the AIMD baseline transport, other knobs at their
+    /// defaults.
+    pub fn aimd(config: AimdConfig) -> Self {
+        PacketEngine::new(PacketSimConfig {
+            transport: TransportKind::Aimd(config),
+            ..PacketSimConfig::default()
+        })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &PacketSimConfig {
+        &self.config
+    }
+
+    /// Check the session strategy against the configured transport.
+    fn check_strategy(&self, strategy: SessionStrategy) -> Result<(), SessionError> {
+        let ok = matches!(
+            (strategy, &self.config.transport),
+            (SessionStrategy::Urp(_), TransportKind::Inrpp(_))
+                | (SessionStrategy::Sp, TransportKind::Aimd(_))
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(SessionError::IncompatibleStrategy {
+                engine: EngineKind::Packet,
+                strategy: strategy.name().to_string(),
+            })
+        }
+    }
+
+    /// The session's traffic as packet transfers (chunk-exact for
+    /// transfer-native sessions, quantised for flow-native ones),
+    /// together with each flow's endpoints for the per-flow records.
+    fn transfers(&self, session: &Session<'_>) -> Result<Vec<TransferSpec>, SessionError> {
+        match session.traffic() {
+            Traffic::Transfers(ts) => {
+                for t in ts {
+                    if t.chunk_bytes != self.config.chunk_bytes {
+                        return Err(SessionError::IncompatibleTraffic {
+                            engine: EngineKind::Packet,
+                            reason: format!(
+                                "flow {} quantised with {} chunks but the engine is \
+                                 configured for {} chunks",
+                                t.flow, t.chunk_bytes, self.config.chunk_bytes
+                            ),
+                        });
+                    }
+                }
+                Ok(ts
+                    .iter()
+                    .map(|t| TransferSpec {
+                        flow: t.flow,
+                        src: t.src,
+                        dst: t.dst,
+                        chunks: t.chunks,
+                        start: t.start,
+                    })
+                    .collect())
+            }
+            Traffic::Flows(w) => Ok(w
+                .flows
+                .iter()
+                .map(|f| {
+                    TransferSpec::for_object_bits(
+                        f.id,
+                        f.src,
+                        f.dst,
+                        f.size_bits,
+                        self.config.chunk_bytes,
+                        f.arrival,
+                    )
+                })
+                .collect()),
+        }
+    }
+}
+
+impl Engine for PacketEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Packet
+    }
+
+    fn run(
+        &self,
+        session: &Session<'_>,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<RunReport, SessionError> {
+        self.check_strategy(session.strategy())?;
+        let transfers = self.transfers(session)?;
+        let mut config = self.config;
+        config.horizon = session.horizon();
+        config.seed = session.seed();
+        let mut sim = PacketSim::try_new(session.topology(), config)?;
+        let mut endpoints: std::collections::BTreeMap<u64, (NodeId, NodeId)> =
+            std::collections::BTreeMap::new();
+        for t in &transfers {
+            endpoints.insert(t.flow, (t.src, t.dst));
+            let kind = match self.config.transport {
+                TransportKind::Aimd(_) => crate::packet::FlowTransport::Aimd,
+                _ => crate::packet::FlowTransport::Inrpp,
+            };
+            sim.try_add_transfer_as(*t, kind)?;
+        }
+        let report = sim.run_probed(probes);
+
+        let chunk_bits = report.chunk_bytes.as_bits() as f64;
+        let flows: Vec<FlowRecord> = report
+            .flows
+            .iter()
+            .map(|f| {
+                let (src, dst) = endpoints[&f.flow];
+                FlowRecord {
+                    flow: f.flow,
+                    src,
+                    dst,
+                    offered_bits: f.chunks_total as f64 * chunk_bits,
+                    delivered_bits: f.chunks_delivered as f64 * chunk_bits,
+                    arrival: f.started_at,
+                    fct_secs: f.fct().map(|d| d.as_secs_f64()),
+                    subpaths: 1,
+                    routed: true,
+                    retransmits: f.retransmits,
+                }
+            })
+            .collect();
+        let offered_bits: f64 = flows.iter().map(|f| f.offered_bits).sum();
+        let delivered_bits: f64 = flows.iter().map(|f| f.delivered_bits).sum();
+        let aggregates = Aggregates {
+            arrived_flows: flows.len(),
+            completed_flows: report.completed(),
+            unroutable_flows: 0,
+            offered_bits,
+            delivered_bits,
+            duration: report.horizon,
+            mean_fct_secs: report.mean_fct_secs(),
+            mean_jain: report.jain_goodput().unwrap_or(0.0),
+            mean_utilisation: report.mean_utilisation,
+        };
+        Ok(RunReport {
+            engine: EngineKind::Packet,
+            strategy: report.transport.clone(),
+            topology: report.topology.clone(),
+            flows,
+            aggregates,
+            channel_utilisation: report.channel_utilisation.clone(),
+            detail: EngineDetail::Packet(PacketSummary {
+                chunks_delivered: report.chunks_delivered,
+                chunks_dropped: report.chunks_dropped,
+                chunks_detoured: report.chunks_detoured,
+                chunks_custodied: report.chunks_custodied,
+                backpressure_msgs: report.backpressure_msgs,
+                chunk_bits,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inrpp::session::{QuantileProbe, Session, TimeSeriesProbe, Transfer};
+    use inrpp_sim::time::{SimDuration, SimTime};
+    use inrpp_sim::units::ByteSize;
+    use inrpp_topology::Topology;
+
+    fn fig3_session(topo: &Topology, chunks: u64) -> Session<'_> {
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        Session::builder()
+            .topology(topo)
+            .transfers(vec![Transfer {
+                flow: 1,
+                src: n("1"),
+                dst: n("4"),
+                chunks,
+                chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                start: SimTime::ZERO,
+            }])
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(60))
+            .build()
+            .expect("valid session")
+    }
+
+    #[test]
+    fn facade_run_matches_direct_packetsim() {
+        // behaviour preservation: the facade must reproduce a
+        // hand-constructed PacketSim run bit-for-bit
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 200);
+        let facade = session
+            .run_on(&PacketEngine::default(), &mut [])
+            .expect("packet run");
+
+        let mut sim = PacketSim::new(
+            &topo,
+            PacketSimConfig {
+                horizon: SimDuration::from_secs(60),
+                ..PacketSimConfig::default()
+            },
+        );
+        sim.add_transfer(TransferSpec {
+            flow: 1,
+            src: topo.node_by_name("1").unwrap(),
+            dst: topo.node_by_name("4").unwrap(),
+            chunks: 200,
+            start: SimTime::ZERO,
+        });
+        let direct = sim.run();
+
+        let summary = facade.packet().expect("packet detail");
+        assert_eq!(summary.chunks_delivered, direct.chunks_delivered);
+        assert_eq!(summary.chunks_detoured, direct.chunks_detoured);
+        assert_eq!(summary.backpressure_msgs, direct.backpressure_msgs);
+        assert_eq!(
+            facade.flows[0].fct_secs,
+            direct.flows[0].fct().map(|d| d.as_secs_f64())
+        );
+        assert_eq!(facade.channel_utilisation, direct.channel_utilisation);
+        assert_eq!(facade.strategy, "INRPP");
+    }
+
+    #[test]
+    fn rejects_incompatible_strategies() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let base = Session::builder()
+            .topology(&topo)
+            .transfers(vec![Transfer {
+                flow: 1,
+                src: n("1"),
+                dst: n("4"),
+                chunks: 10,
+                chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                start: SimTime::ZERO,
+            }])
+            .horizon(SimDuration::from_secs(5));
+        for strategy in [SessionStrategy::Ecmp, SessionStrategy::Mptcp] {
+            let session = base.clone().strategy(strategy).build().expect("builds");
+            let err = session
+                .run_on(&PacketEngine::default(), &mut [])
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SessionError::IncompatibleStrategy {
+                    engine: EngineKind::Packet,
+                    strategy: strategy.name().to_string(),
+                }
+            );
+        }
+        // SP needs the AIMD transport, not INRPP...
+        let sp = base.clone().strategy(SessionStrategy::Sp).build().unwrap();
+        assert!(sp.run_on(&PacketEngine::default(), &mut []).is_err());
+        // ...and runs once the engine is configured for it
+        let report = sp
+            .run_on(&PacketEngine::aimd(AimdConfig::default()), &mut [])
+            .expect("AIMD run");
+        assert_eq!(report.strategy, "AIMD");
+    }
+
+    #[test]
+    fn rejects_mismatched_chunk_quantisation() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let session = Session::builder()
+            .topology(&topo)
+            .transfers(vec![Transfer {
+                flow: 1,
+                src: n("1"),
+                dst: n("4"),
+                chunks: 10,
+                chunk_bytes: ByteSize::bytes(999),
+                start: SimTime::ZERO,
+            }])
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(5))
+            .build()
+            .expect("builds");
+        let err = session
+            .run_on(&PacketEngine::default(), &mut [])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::IncompatibleTraffic {
+                engine: EngineKind::Packet,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn typed_unroutable_error_replaces_panic() {
+        let mut topo = Topology::new("split");
+        let a = topo.add_node();
+        let b = topo.add_node();
+        let session = Session::builder()
+            .topology(&topo)
+            .transfers(vec![Transfer {
+                flow: 7,
+                src: a,
+                dst: b,
+                chunks: 1,
+                chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                start: SimTime::ZERO,
+            }])
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(1))
+            .build()
+            .expect("builds");
+        let err = session
+            .run_on(&PacketEngine::default(), &mut [])
+            .unwrap_err();
+        assert_eq!(err, SessionError::Unroutable { flow: 7 });
+    }
+
+    #[test]
+    fn invalid_inrpp_config_is_typed() {
+        let ic = InrppConfig {
+            interval: SimDuration::ZERO,
+            ..InrppConfig::default()
+        };
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 5);
+        let err = session
+            .run_on(&PacketEngine::inrpp(ic), &mut [])
+            .unwrap_err();
+        assert!(matches!(err, SessionError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn probes_stream_during_packet_run() {
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 120);
+        let mut series = TimeSeriesProbe::new(SimDuration::from_millis(50));
+        let mut quant = QuantileProbe::new();
+        let probed = session
+            .run_on(&PacketEngine::default(), &mut [&mut series, &mut quant])
+            .expect("probed packet run");
+        let plain = session
+            .run_on(&PacketEngine::default(), &mut [])
+            .expect("plain packet run");
+        // probes are passive
+        assert_eq!(probed.aggregates, plain.aggregates);
+        assert_eq!(probed.flows, plain.flows);
+        // and genuinely streaming: the series covers the transfer's
+        // lifetime, not just its end
+        let arrivals: u32 = series.bins().iter().map(|b| b.arrivals).sum();
+        assert_eq!(arrivals, 1);
+        assert!(
+            series
+                .bins()
+                .iter()
+                .filter(|b| b.delivered_bits > 0.0)
+                .count()
+                > 1,
+            "delivery progress should span multiple buckets: {:?}",
+            series.bins()
+        );
+        assert_eq!(quant.count(), 1);
+        assert_eq!(
+            quant.quantile(1.0),
+            probed.flows[0].fct_secs,
+            "probe FCT must equal the report FCT"
+        );
+    }
+
+    #[test]
+    fn flow_native_sessions_are_quantised() {
+        use inrpp::session::{FlowSpec, Workload};
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let flows = vec![FlowSpec {
+            id: 1,
+            src: n("1"),
+            dst: n("4"),
+            size_bits: 25_000.0, // 2.5 chunks at 10 kbit -> 3 chunks
+            arrival: SimTime::ZERO,
+        }];
+        let session = Session::builder()
+            .topology(&topo)
+            .workload(Workload {
+                offered_bits: flows.iter().map(|f| f.size_bits).sum(),
+                flows,
+            })
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(10))
+            .build()
+            .expect("builds");
+        let report = session
+            .run_on(&PacketEngine::default(), &mut [])
+            .expect("quantised run");
+        let chunk_bits = PacketSimConfig::default().chunk_bytes.as_bits() as f64;
+        assert_eq!(report.flows[0].offered_bits, 3.0 * chunk_bits);
+        assert_eq!(report.aggregates.completed_flows, 1);
+    }
+}

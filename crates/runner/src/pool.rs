@@ -159,12 +159,13 @@ mod tests {
         let mut spec = counting_spec(9);
         spec.set_finish(|outputs, report| {
             let sum: f64 = outputs.iter().flat_map(|o| o.data.iter()).sum();
-            report
-                .rows
-                .push(vec!["sum".to_string(), format!("{sum}")]);
+            report.rows.push(vec!["sum".to_string(), format!("{sum}")]);
         });
         let r = run_sweep(&spec, &RunnerConfig { threads: 4 });
-        assert_eq!(r.rows.last().unwrap(), &vec!["sum".to_string(), "36".to_string()]);
+        assert_eq!(
+            r.rows.last().unwrap(),
+            &vec!["sum".to_string(), "36".to_string()]
+        );
     }
 
     #[test]

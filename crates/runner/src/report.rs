@@ -47,7 +47,11 @@ pub struct ReportParseError {
 
 impl std::fmt::Display for ReportParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "report parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "report parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -317,7 +321,8 @@ mod tests {
     #[test]
     fn csv_round_trips_with_quoting() {
         let mut r = sample();
-        r.rows.push(vec!["3".to_string(), "multi\nline \"cell\",x".to_string()]);
+        r.rows
+            .push(vec!["3".to_string(), "multi\nline \"cell\",x".to_string()]);
         let parsed = SweepReport::from_csv(&r.to_csv()).unwrap();
         assert_eq!(parsed.columns, r.columns);
         assert_eq!(parsed.rows, r.rows);

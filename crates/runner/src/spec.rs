@@ -119,7 +119,9 @@ pub struct CellSpec {
 
 impl std::fmt::Debug for CellSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CellSpec").field("label", &self.label).finish()
+        f.debug_struct("CellSpec")
+            .field("label", &self.label)
+            .finish()
     }
 }
 

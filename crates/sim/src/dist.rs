@@ -68,7 +68,9 @@ impl Uniform {
     /// Uniform on `[lo, hi)`; requires `lo < hi` and both finite.
     pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
-            return Err(DistError::new(format!("Uniform requires lo < hi, got [{lo}, {hi})")));
+            return Err(DistError::new(format!(
+                "Uniform requires lo < hi, got [{lo}, {hi})"
+            )));
         }
         Ok(Uniform { lo, hi })
     }
@@ -94,7 +96,9 @@ impl Exponential {
     /// Rate parameterisation; requires `lambda > 0` and finite.
     pub fn new(lambda: f64) -> Result<Self, DistError> {
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(DistError::new(format!("Exponential rate must be > 0, got {lambda}")));
+            return Err(DistError::new(format!(
+                "Exponential rate must be > 0, got {lambda}"
+            )));
         }
         Ok(Exponential { lambda })
     }
@@ -102,7 +106,9 @@ impl Exponential {
     /// Mean parameterisation: `Exponential::with_mean(m) == Exponential::new(1/m)`.
     pub fn with_mean(mean: f64) -> Result<Self, DistError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(DistError::new(format!("Exponential mean must be > 0, got {mean}")));
+            return Err(DistError::new(format!(
+                "Exponential mean must be > 0, got {mean}"
+            )));
         }
         Exponential::new(1.0 / mean)
     }
@@ -135,10 +141,14 @@ impl Pareto {
     /// Requires both parameters positive and finite.
     pub fn new(scale: f64, shape: f64) -> Result<Self, DistError> {
         if !(scale.is_finite() && scale > 0.0) {
-            return Err(DistError::new(format!("Pareto scale must be > 0, got {scale}")));
+            return Err(DistError::new(format!(
+                "Pareto scale must be > 0, got {scale}"
+            )));
         }
         if !(shape.is_finite() && shape > 0.0) {
-            return Err(DistError::new(format!("Pareto shape must be > 0, got {shape}")));
+            return Err(DistError::new(format!(
+                "Pareto shape must be > 0, got {shape}"
+            )));
         }
         Ok(Pareto { scale, shape })
     }
@@ -195,8 +205,11 @@ impl Distribution for BoundedPareto {
             Some(l * h / (h - l) * (h / l).ln())
         } else {
             let la = l.powf(a);
-            Some(la / (1.0 - (l / h).powf(a)) * (a / (a - 1.0))
-                * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)))
+            Some(
+                la / (1.0 - (l / h).powf(a))
+                    * (a / (a - 1.0))
+                    * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0)),
+            )
         }
     }
 }
@@ -279,7 +292,9 @@ impl Zipf {
             return Err(DistError::new("Zipf requires n >= 1"));
         }
         if !(s.is_finite() && s >= 0.0) {
-            return Err(DistError::new(format!("Zipf exponent must be >= 0, got {s}")));
+            return Err(DistError::new(format!(
+                "Zipf exponent must be >= 0, got {s}"
+            )));
         }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -297,7 +312,10 @@ impl Zipf {
     /// Draw a rank in `1..=n`.
     pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has NaN"))
+        {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -364,7 +382,10 @@ impl Discrete {
     /// Draw an index in `0..len`.
     pub fn sample_index(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -519,7 +540,10 @@ mod tests {
         }
         let m = empirical_mean(&d, 8, 400_000);
         let want = d.mean().unwrap();
-        assert!((m - want).abs() / want < 0.05, "empirical {m} vs formula {want}");
+        assert!(
+            (m - want).abs() / want < 0.05,
+            "empirical {m} vs formula {want}"
+        );
     }
 
     #[test]

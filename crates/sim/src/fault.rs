@@ -179,9 +179,7 @@ mod tests {
         };
         let mut inj = FaultInjector::new(cfg, SimRng::from_seed_u64(1));
         let n = 100_000;
-        let drops = (0..n)
-            .filter(|_| inj.apply() == FaultOutcome::Drop)
-            .count();
+        let drops = (0..n).filter(|_| inj.apply() == FaultOutcome::Drop).count();
         let freq = drops as f64 / n as f64;
         assert!((freq - 0.15).abs() < 0.01, "drop freq {freq}");
     }
@@ -263,9 +261,6 @@ mod tests {
     fn zero_rate_bucket_never_refills() {
         let mut tb = TokenBucket::new(Rate::ZERO, 100.0, SimTime::ZERO);
         assert!(tb.try_consume(SimTime::ZERO, 100.0));
-        assert_eq!(
-            tb.next_available(SimTime::from_secs(10), 1.0),
-            SimTime::MAX
-        );
+        assert_eq!(tb.next_available(SimTime::from_secs(10), 1.0), SimTime::MAX);
     }
 }

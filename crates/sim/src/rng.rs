@@ -288,8 +288,8 @@ mod tests {
         let c1 = parent.derive(1);
         let mut consumed = parent.clone();
         let _ = consumed.next_u64(); // `derive` must not depend on draws...
-        // ...but `consumed` has the same state material, so deriving from the
-        // *original* handle twice gives the same child.
+                                     // ...but `consumed` has the same state material, so deriving from the
+                                     // *original* handle twice gives the same child.
         let c1_again = parent.derive(1);
         assert_eq!(c1, c1_again);
         let c2 = parent.derive(2);

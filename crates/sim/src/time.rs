@@ -299,7 +299,11 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration * u64 overflowed"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration * u64 overflowed"),
+        )
     }
 }
 
@@ -378,10 +382,7 @@ mod tests {
             SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
             SimTime::MAX
         );
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(3),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 
     #[test]

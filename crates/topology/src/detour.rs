@@ -318,9 +318,7 @@ mod tests {
     fn long_ring_is_three_plus() {
         let t = Topology::ring(6, c(), d());
         let (classes, stats) = analyze(&t);
-        assert!(classes
-            .iter()
-            .all(|&cl| cl == DetourClass::ThreePlus(4)));
+        assert!(classes.iter().all(|&cl| cl == DetourClass::ThreePlus(4)));
         assert_eq!(stats.three_plus, 6);
     }
 

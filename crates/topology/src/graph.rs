@@ -344,8 +344,7 @@ impl Topology {
 
     /// A copy with several links removed (duplicates tolerated).
     pub fn without_links(&self, failed: &[LinkId]) -> Topology {
-        let dead: std::collections::HashSet<usize> =
-            failed.iter().map(|l| l.idx()).collect();
+        let dead: std::collections::HashSet<usize> = failed.iter().map(|l| l.idx()).collect();
         let mut t = Topology::new(format!("{}-minus-{}", self.name, dead.len()));
         for n in &self.nodes {
             t.add_named_node(n.name.clone(), n.tier)
@@ -419,13 +418,11 @@ impl Topology {
     ///
     /// Node layout: senders `0..pairs`, left router `pairs`, right router
     /// `pairs+1`, receivers `pairs+2..`.
-    pub fn dumbbell(
-        pairs: usize,
-        access: Rate,
-        bottleneck: Rate,
-        delay: SimDuration,
-    ) -> Topology {
-        assert!(pairs >= 1, "dumbbell needs at least one sender/receiver pair");
+    pub fn dumbbell(pairs: usize, access: Rate, bottleneck: Rate, delay: SimDuration) -> Topology {
+        assert!(
+            pairs >= 1,
+            "dumbbell needs at least one sender/receiver pair"
+        );
         let mut t = Topology::new(format!("dumbbell{pairs}"));
         let senders = t.add_nodes(pairs);
         let left = t.add_node();
@@ -556,7 +553,12 @@ mod tests {
 
     #[test]
     fn dumbbell_layout() {
-        let t = Topology::dumbbell(3, Rate::mbps(10.0), Rate::mbps(5.0), SimDuration::from_millis(1));
+        let t = Topology::dumbbell(
+            3,
+            Rate::mbps(10.0),
+            Rate::mbps(5.0),
+            SimDuration::from_millis(1),
+        );
         assert_eq!(t.node_count(), 3 + 2 + 3);
         assert_eq!(t.link_count(), 3 + 1 + 3);
         let left = NodeId(3);
@@ -611,7 +613,10 @@ mod tests {
         let n2 = cut.node_by_name("2").unwrap();
         let n4 = cut.node_by_name("4").unwrap();
         assert!(cut.link_between(n2, n4).is_none());
-        assert!(cut.is_connected(), "fig3 minus the bottleneck stays connected");
+        assert!(
+            cut.is_connected(),
+            "fig3 minus the bottleneck stays connected"
+        );
         // original untouched
         assert_eq!(t.link_count(), 4);
     }

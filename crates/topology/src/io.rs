@@ -105,8 +105,9 @@ pub fn read_topology(text: &str) -> Result<Topology, ParseError> {
                     .ok_or_else(|| err(lineno, "node needs a name".into()))?;
                 let tier = match parts.next() {
                     None => Tier::default(),
-                    Some(t) => parse_tier(t)
-                        .ok_or_else(|| err(lineno, format!("unknown tier {t:?}")))?,
+                    Some(t) => {
+                        parse_tier(t).ok_or_else(|| err(lineno, format!("unknown tier {t:?}")))?
+                    }
                 };
                 topo.add_named_node(name, tier)
                     .map_err(|e| err(lineno, e.to_string()))?;

@@ -214,7 +214,10 @@ impl GadgetBudget {
 
     /// Exact link count the budget will produce.
     pub fn total_links(&self) -> usize {
-        self.backbone_links + 3 * self.triangles + 4 * self.squares + 5 * self.pentagons
+        self.backbone_links
+            + 3 * self.triangles
+            + 4 * self.squares
+            + 5 * self.pentagons
             + self.leaves
     }
 }
@@ -235,11 +238,7 @@ pub fn generate(profile: &IspProfile, seed: u64) -> Topology {
 }
 
 /// [`generate`] with an explicit capacity plan.
-pub fn generate_with_capacities(
-    profile: &IspProfile,
-    seed: u64,
-    caps: CapacityPlan,
-) -> Topology {
+pub fn generate_with_capacities(profile: &IspProfile, seed: u64, caps: CapacityPlan) -> Topology {
     let budget = GadgetBudget::from_profile(profile);
     let mut rng = SimRng::from_seed_u64(seed).derive(0x0150);
     let mut topo = Topology::new(profile.name);
@@ -280,9 +279,7 @@ pub fn generate_with_capacities(
         anchors.extend([c, c, c]);
     }
 
-    let pick_anchor = |rng: &mut SimRng, anchors: &[NodeId]| -> NodeId {
-        *rng.pick(anchors)
-    };
+    let pick_anchor = |rng: &mut SimRng, anchors: &[NodeId]| -> NodeId { *rng.pick(anchors) };
 
     // --- gadgets -------------------------------------------------------
     let mut serial = 0usize;
@@ -301,7 +298,8 @@ pub fn generate_with_capacities(
         let d = delay(&mut rng, 1, 5);
         topo.add_link(a, w1, caps.metro, d).expect("new node links");
         topo.add_link(a, w2, caps.metro, d).expect("new node links");
-        topo.add_link(w1, w2, caps.metro, d).expect("new node links");
+        topo.add_link(w1, w2, caps.metro, d)
+            .expect("new node links");
         anchors.push(w1);
     }
 
@@ -312,15 +310,19 @@ pub fn generate_with_capacities(
         let w3 = fresh(&mut topo, Tier::Aggregation);
         let d = delay(&mut rng, 1, 5);
         topo.add_link(a, w1, caps.metro, d).expect("new node links");
-        topo.add_link(w1, w2, caps.metro, d).expect("new node links");
-        topo.add_link(w2, w3, caps.metro, d).expect("new node links");
+        topo.add_link(w1, w2, caps.metro, d)
+            .expect("new node links");
+        topo.add_link(w2, w3, caps.metro, d)
+            .expect("new node links");
         topo.add_link(w3, a, caps.metro, d).expect("new node links");
         anchors.push(w2);
     }
 
     for _ in 0..budget.pentagons {
         let a = pick_anchor(&mut rng, &anchors);
-        let ws: Vec<NodeId> = (0..4).map(|_| fresh(&mut topo, Tier::Aggregation)).collect();
+        let ws: Vec<NodeId> = (0..4)
+            .map(|_| fresh(&mut topo, Tier::Aggregation))
+            .collect();
         let d = delay(&mut rng, 1, 5);
         let cycle = [a, ws[0], ws[1], ws[2], ws[3], a];
         for pair in cycle.windows(2) {
@@ -470,7 +472,11 @@ mod tests {
     #[test]
     fn vsnl_is_small_and_bridge_heavy() {
         let t = generate_isp(Isp::Vsnl, 1);
-        assert!(t.node_count() < 40, "VSNL should be tiny, got {}", t.node_count());
+        assert!(
+            t.node_count() < 40,
+            "VSNL should be tiny, got {}",
+            t.node_count()
+        );
         let (_, s) = analyze(&t);
         assert!(s.none_pct() > 30.0);
     }

@@ -440,10 +440,7 @@ mod tests {
             &banned_links,
         );
         let p = tree.path_to(n(&t, "4")).unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[n(&t, "1"), n(&t, "2"), n(&t, "3"), n(&t, "4")]
-        );
+        assert_eq!(p.nodes(), &[n(&t, "1"), n(&t, "2"), n(&t, "3"), n(&t, "4")]);
     }
 
     #[test]
@@ -467,12 +464,27 @@ mod tests {
         let mut t = Topology::new("tri");
         let ids = t.add_nodes(3);
         // direct link is slow; two-hop route is faster
-        t.add_link(ids[0], ids[2], Rate::mbps(10.0), SimDuration::from_millis(100))
-            .unwrap();
-        t.add_link(ids[0], ids[1], Rate::mbps(10.0), SimDuration::from_millis(10))
-            .unwrap();
-        t.add_link(ids[1], ids[2], Rate::mbps(10.0), SimDuration::from_millis(10))
-            .unwrap();
+        t.add_link(
+            ids[0],
+            ids[2],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(100),
+        )
+        .unwrap();
+        t.add_link(
+            ids[0],
+            ids[1],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(10),
+        )
+        .unwrap();
+        t.add_link(
+            ids[1],
+            ids[2],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(10),
+        )
+        .unwrap();
         let by_hops = shortest_path(&t, ids[0], ids[2], &cost::hops).unwrap();
         assert_eq!(by_hops.hops(), 1);
         let by_delay = shortest_path(&t, ids[0], ids[2], &cost::delay).unwrap();
@@ -485,10 +497,20 @@ mod tests {
         let ids = t.add_nodes(3);
         t.add_link(ids[0], ids[2], Rate::mbps(1.0), SimDuration::from_millis(1))
             .unwrap();
-        t.add_link(ids[0], ids[1], Rate::gbps(10.0), SimDuration::from_millis(1))
-            .unwrap();
-        t.add_link(ids[1], ids[2], Rate::gbps(10.0), SimDuration::from_millis(1))
-            .unwrap();
+        t.add_link(
+            ids[0],
+            ids[1],
+            Rate::gbps(10.0),
+            SimDuration::from_millis(1),
+        )
+        .unwrap();
+        t.add_link(
+            ids[1],
+            ids[2],
+            Rate::gbps(10.0),
+            SimDuration::from_millis(1),
+        )
+        .unwrap();
         let p = shortest_path(&t, ids[0], ids[2], &cost::inv_capacity).unwrap();
         assert_eq!(p.hops(), 2);
     }
@@ -582,12 +604,27 @@ mod tests {
         // delay-based table avoids the slow direct link
         let mut t = Topology::new("tri");
         let ids = t.add_nodes(3);
-        t.add_link(ids[0], ids[2], Rate::mbps(10.0), SimDuration::from_millis(100))
-            .unwrap();
-        t.add_link(ids[0], ids[1], Rate::mbps(10.0), SimDuration::from_millis(10))
-            .unwrap();
-        t.add_link(ids[1], ids[2], Rate::mbps(10.0), SimDuration::from_millis(10))
-            .unwrap();
+        t.add_link(
+            ids[0],
+            ids[2],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(100),
+        )
+        .unwrap();
+        t.add_link(
+            ids[0],
+            ids[1],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(10),
+        )
+        .unwrap();
+        t.add_link(
+            ids[1],
+            ids[2],
+            Rate::mbps(10.0),
+            SimDuration::from_millis(10),
+        )
+        .unwrap();
         let table = RoutingTable::build(&t, &cost::delay);
         assert_eq!(table.next_hop(ids[0], ids[2]), Some(ids[1]));
     }

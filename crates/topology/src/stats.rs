@@ -93,11 +93,7 @@ pub fn global_clustering(topo: &Topology) -> f64 {
 
 /// Histogram of node degrees: `out[d]` = number of nodes with degree `d`.
 pub fn degree_histogram(topo: &Topology) -> Vec<usize> {
-    let max = topo
-        .node_ids()
-        .map(|n| topo.degree(n))
-        .max()
-        .unwrap_or(0);
+    let max = topo.node_ids().map(|n| topo.degree(n)).max().unwrap_or(0);
     let mut out = vec![0usize; max + 1];
     for n in topo.node_ids() {
         out[topo.degree(n)] += 1;
@@ -147,8 +143,7 @@ pub fn betweenness(topo: &Topology) -> Vec<f64> {
         let mut delta = vec![0.0f64; n];
         while let Some(w) = stack.pop() {
             for &v in &preds[w.idx()] {
-                delta[v.idx()] +=
-                    sigma[v.idx()] / sigma[w.idx()] * (1.0 + delta[w.idx()]);
+                delta[v.idx()] += sigma[v.idx()] / sigma[w.idx()] * (1.0 + delta[w.idx()]);
             }
             if w != s {
                 cb[w.idx()] += delta[w.idx()];
@@ -265,7 +260,8 @@ mod tests {
         let mut t = Topology::new("diamond");
         let ids = t.add_nodes(4);
         for (a, b) in [(0u32, 1), (0, 2), (1, 3), (2, 3)] {
-            t.add_link(crate::graph::NodeId(a), crate::graph::NodeId(b), c(), d()).unwrap();
+            t.add_link(crate::graph::NodeId(a), crate::graph::NodeId(b), c(), d())
+                .unwrap();
         }
         let b = betweenness(&t);
         assert!((b[1] - 0.5).abs() < 1e-9, "{b:?}");

@@ -77,29 +77,55 @@ fn pick_mbps(rng: &mut SimRng, menu: &[f64]) -> Rate {
 /// # Panics
 /// Panics if `pairs == 0`.
 pub fn het_dumbbell(pairs: usize, seed: u64) -> Topology {
-    assert!(pairs >= 1, "het_dumbbell needs at least one sender/receiver pair");
+    assert!(
+        pairs >= 1,
+        "het_dumbbell needs at least one sender/receiver pair"
+    );
     let mut rng = SimRng::from_seed_u64(seed).derive(0xD0BB);
     let mut t = Topology::new(format!("het-dumbbell{pairs}"));
     let senders: Vec<NodeId> = (0..pairs)
-        .map(|i| t.add_named_node(format!("s{i}"), Tier::Edge).expect("unique"))
+        .map(|i| {
+            t.add_named_node(format!("s{i}"), Tier::Edge)
+                .expect("unique")
+        })
         .collect();
     let left = t.add_named_node("left", Tier::Core).expect("unique");
     let right = t.add_named_node("right", Tier::Core).expect("unique");
-    let detour = t.add_named_node("detour", Tier::Aggregation).expect("unique");
+    let detour = t
+        .add_named_node("detour", Tier::Aggregation)
+        .expect("unique");
     let receivers: Vec<NodeId> = (0..pairs)
-        .map(|i| t.add_named_node(format!("r{i}"), Tier::Edge).expect("unique"))
+        .map(|i| {
+            t.add_named_node(format!("r{i}"), Tier::Edge)
+                .expect("unique")
+        })
         .collect();
     for &s in &senders {
         let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
         let d = delay_ms(&mut rng, 1, 3);
         t.add_link(s, left, cap, d).expect("unique");
     }
-    t.add_link(left, right, Rate::mbps(DUMBBELL_BOTTLENECK_MBPS), SimDuration::from_millis(5))
-        .expect("unique");
-    t.add_link(left, detour, Rate::mbps(DUMBBELL_DETOUR_MBPS), SimDuration::from_millis(8))
-        .expect("unique");
-    t.add_link(detour, right, Rate::mbps(DUMBBELL_DETOUR_MBPS), SimDuration::from_millis(8))
-        .expect("unique");
+    t.add_link(
+        left,
+        right,
+        Rate::mbps(DUMBBELL_BOTTLENECK_MBPS),
+        SimDuration::from_millis(5),
+    )
+    .expect("unique");
+    t.add_link(
+        left,
+        detour,
+        Rate::mbps(DUMBBELL_DETOUR_MBPS),
+        SimDuration::from_millis(8),
+    )
+    .expect("unique");
+    t.add_link(
+        detour,
+        right,
+        Rate::mbps(DUMBBELL_DETOUR_MBPS),
+        SimDuration::from_millis(8),
+    )
+    .expect("unique");
     for &r in &receivers {
         let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
         let d = delay_ms(&mut rng, 1, 3);
@@ -131,7 +157,10 @@ pub fn parking_lot(segments: usize, seed: u64) -> Topology {
     let mut rng = SimRng::from_seed_u64(seed).derive(0xCA21);
     let mut t = Topology::new(format!("parking-lot{segments}"));
     let routers: Vec<NodeId> = (0..=segments)
-        .map(|i| t.add_named_node(format!("c{i}"), Tier::Core).expect("unique"))
+        .map(|i| {
+            t.add_named_node(format!("c{i}"), Tier::Core)
+                .expect("unique")
+        })
         .collect();
     for w in routers.windows(2) {
         let d = delay_ms(&mut rng, 2, 6);
@@ -149,7 +178,9 @@ pub fn parking_lot(segments: usize, seed: u64) -> Topology {
             .expect("unique");
     }
     for (i, &r) in routers.iter().enumerate() {
-        let host = t.add_named_node(format!("h{i}"), Tier::Edge).expect("unique");
+        let host = t
+            .add_named_node(format!("h{i}"), Tier::Edge)
+            .expect("unique");
         let cap = pick_mbps(&mut rng, &ACCESS_MBPS);
         let d = delay_ms(&mut rng, 1, 3);
         t.add_link(r, host, cap, d).expect("unique");
@@ -179,7 +210,10 @@ pub fn fat_tree(k: usize, seed: u64) -> Topology {
     let cap = Rate::mbps(FAT_TREE_MBPS);
     let mut t = Topology::new(format!("fat-tree{k}"));
     let cores: Vec<NodeId> = (0..half * half)
-        .map(|i| t.add_named_node(format!("core{i}"), Tier::Core).expect("unique"))
+        .map(|i| {
+            t.add_named_node(format!("core{i}"), Tier::Core)
+                .expect("unique")
+        })
         .collect();
     for p in 0..k {
         let aggs: Vec<NodeId> = (0..half)
@@ -198,7 +232,8 @@ pub fn fat_tree(k: usize, seed: u64) -> Topology {
             // aggregation switch j of every pod uplinks to core group j
             for c in 0..half {
                 let d = delay_ms(&mut rng, 1, 3);
-                t.add_link(agg, cores[j * half + c], cap, d).expect("unique");
+                t.add_link(agg, cores[j * half + c], cap, d)
+                    .expect("unique");
             }
             for &edge in &edges {
                 let d = delay_ms(&mut rng, 1, 3);
@@ -237,12 +272,18 @@ pub fn fat_tree(k: usize, seed: u64) -> Topology {
 /// # Panics
 /// Panics if `attach < 2` or `n <= attach + 1`.
 pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Topology {
-    assert!(attach >= 2, "barabasi_albert needs attach >= 2 for detour paths");
+    assert!(
+        attach >= 2,
+        "barabasi_albert needs attach >= 2 for detour paths"
+    );
     assert!(n > attach + 1, "barabasi_albert needs n > attach + 1");
     let mut rng = SimRng::from_seed_u64(seed).derive(0xBA2A);
     let mut t = Topology::new(format!("scale-free{n}-m{attach}"));
     let seeds: Vec<NodeId> = (0..=attach)
-        .map(|i| t.add_named_node(format!("seed{i}"), Tier::Core).expect("unique"))
+        .map(|i| {
+            t.add_named_node(format!("seed{i}"), Tier::Core)
+                .expect("unique")
+        })
         .collect();
     // degree-weighted urn: every endpoint occurrence is one ticket
     let mut urn: Vec<NodeId> = Vec::new();
@@ -313,7 +354,8 @@ pub fn share_attachment(t: &Topology, a: NodeId, b: NodeId) -> bool {
 /// hotspot destination for flash-crowd workloads. `None` on an empty
 /// topology.
 pub fn hub_node(t: &Topology) -> Option<NodeId> {
-    t.node_ids().max_by_key(|&n| (t.degree(n), std::cmp::Reverse(n)))
+    t.node_ids()
+        .max_by_key(|&n| (t.degree(n), std::cmp::Reverse(n)))
 }
 
 #[cfg(test)]
@@ -404,13 +446,20 @@ mod tests {
         }
         // the hub should clearly out-degree the median node
         let hub = hub_node(&t).unwrap();
-        assert!(t.degree(hub) >= 6, "no hub emerged: degree {}", t.degree(hub));
+        assert!(
+            t.degree(hub) >= 6,
+            "no hub emerged: degree {}",
+            t.degree(hub)
+        );
         assert!(t.node_ids().any(|n| t.node(n).tier == Tier::Edge));
     }
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(links_of(&het_dumbbell(5, 11)), links_of(&het_dumbbell(5, 11)));
+        assert_eq!(
+            links_of(&het_dumbbell(5, 11)),
+            links_of(&het_dumbbell(5, 11))
+        );
         assert_eq!(links_of(&parking_lot(3, 11)), links_of(&parking_lot(3, 11)));
         assert_eq!(links_of(&fat_tree(4, 11)), links_of(&fat_tree(4, 11)));
         assert_eq!(
@@ -418,7 +467,10 @@ mod tests {
             links_of(&barabasi_albert(30, 2, 11))
         );
         // and seed-sensitive where randomness exists
-        assert_ne!(links_of(&het_dumbbell(5, 11)), links_of(&het_dumbbell(5, 12)));
+        assert_ne!(
+            links_of(&het_dumbbell(5, 11)),
+            links_of(&het_dumbbell(5, 12))
+        );
         assert_ne!(
             links_of(&barabasi_albert(30, 2, 11)),
             links_of(&barabasi_albert(30, 2, 12))
@@ -441,11 +493,7 @@ mod tests {
                         continue;
                     }
                     let ps = k_shortest_paths(&t, a, b, 2, &cost::hops);
-                    assert!(
-                        ps.len() >= 2,
-                        "{}: no detour between {a} and {b}",
-                        t.name()
-                    );
+                    assert!(ps.len() >= 2, "{}: no detour between {a} and {b}", t.name());
                 }
             }
         }

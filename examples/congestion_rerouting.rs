@@ -32,9 +32,12 @@ fn main() {
         topo.link_count(),
         transport_capacity_proxy(&topo) / 1e9
     );
-    println!("offered load: {load}x of that for {}s\n", cfg.duration.as_secs_f64());
+    println!(
+        "offered load: {load}x of that for {}s\n",
+        cfg.duration.as_secs_f64()
+    );
 
-    let mut row = compare_strategies(&topo, &cfg);
+    let row = compare_strategies(&topo, &cfg);
     for report in [&row.sp, &row.ecmp, &row.urp] {
         println!("{}", report.summary());
     }
@@ -42,8 +45,10 @@ fn main() {
         "\nURP carried {:+.1}% more traffic than SP (paper band at overload: +9..15%)",
         row.urp_gain_over_sp_pct()
     );
-    let f10 = row.urp.stretch.fraction_le(1.0);
-    let q99 = row.urp.stretch.quantile(0.99).unwrap_or(1.0);
+    // the stretch CDF lives in the fluid engine's detail report
+    let mut urp_fluid = row.urp.into_fluid().expect("fluid engine run");
+    let f10 = urp_fluid.stretch.fraction_le(1.0);
+    let q99 = urp_fluid.stretch.quantile(0.99).unwrap_or(1.0);
     println!(
         "URP path stretch: {:.0}% of traffic on shortest paths, p99 stretch {:.2}",
         f10 * 100.0,

@@ -75,8 +75,7 @@ fn main() {
         let r = sim.run();
         println!("{}", r.summary());
         if let Some(fct) = r.flows[0].fct() {
-            let goodput =
-                chunks as f64 * r.chunk_bytes.as_bits() as f64 / fct.as_secs_f64() / 1e6;
+            let goodput = chunks as f64 * r.chunk_bytes.as_bits() as f64 / fct.as_secs_f64() / 1e6;
             println!(
                 "  -> completed in {fct}, goodput {goodput:.2} Mbps \
                  (bottleneck alone: 2.00, pooled with the node-3 path: up to 5.00)"

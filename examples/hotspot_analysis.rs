@@ -14,10 +14,10 @@ use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
 use inrpp_flowsim::strategy::{InrpStrategy, SinglePathStrategy};
 use inrpp_flowsim::workload::{PairSelector, Workload, WorkloadConfig};
 use inrpp_sim::time::SimDuration;
+use inrpp_sim::units::Rate;
 use inrpp_topology::graph::LinkId;
 use inrpp_topology::rocketfuel::{generate_with_capacities, CapacityPlan, Isp};
 use inrpp_topology::stats::betweenness;
-use inrpp_sim::units::Rate;
 
 fn main() {
     let plan = CapacityPlan {

@@ -17,7 +17,12 @@ fn main() {
     // 1. The Fig. 3 topology ships as a canned shape.
     let topo = Topology::fig3();
     let n = |name: &str| topo.node_by_name(name).expect("fig3 node");
-    println!("topology: {} ({} nodes, {} links)", topo.name(), topo.node_count(), topo.link_count());
+    println!(
+        "topology: {} ({} nodes, {} links)",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count()
+    );
 
     // 2. Two flows enter at node 1: one crosses the 2 Mbps bottleneck to
     //    node 4, one terminates at node 3.
@@ -49,5 +54,8 @@ fn report(rates: &[f64]) {
     for (i, r) in rates.iter().enumerate() {
         println!("  flow {}: {:.2} Mbps", i + 1, r / 1e6);
     }
-    println!("  Jain fairness index: {:.3}", jain(rates).expect("rates are non-zero"));
+    println!(
+        "  Jain fairness index: {:.3}",
+        jain(rates).expect("rates are non-zero")
+    );
 }

@@ -54,14 +54,26 @@ fn main() {
     for _ in 0..n_aimd {
         flow += 1;
         sim.add_transfer_as(
-            TransferSpec { flow, src, dst, chunks, start: SimTime::ZERO },
+            TransferSpec {
+                flow,
+                src,
+                dst,
+                chunks,
+                start: SimTime::ZERO,
+            },
             FlowTransport::Aimd,
         );
     }
     for _ in 0..n_inrpp {
         flow += 1;
         sim.add_transfer_as(
-            TransferSpec { flow, src, dst, chunks, start: SimTime::ZERO },
+            TransferSpec {
+                flow,
+                src,
+                dst,
+                chunks,
+                start: SimTime::ZERO,
+            },
             FlowTransport::Inrpp,
         );
     }
@@ -69,12 +81,15 @@ fn main() {
     let r = sim.run();
     println!("{}\n", r.summary());
     for (i, f) in r.flows.iter().enumerate() {
-        let kind = if (i as u64) < n_aimd { "AIMD " } else { "INRPP" };
+        let kind = if (i as u64) < n_aimd {
+            "AIMD "
+        } else {
+            "INRPP"
+        };
         match f.fct() {
             Some(fct) => {
                 let goodput =
-                    f.chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64
-                        / fct.as_secs_f64();
+                    f.chunks_delivered as f64 * r.chunk_bytes.as_bits() as f64 / fct.as_secs_f64();
                 println!(
                     "  flow {:>2} [{kind}]  fct {:>8}  goodput {:>5.2} Mbps  \
                      retx {:>3}  reorder {:>3}",
@@ -85,7 +100,11 @@ fn main() {
                     f.max_reorder_distance,
                 );
             }
-            None => println!("  flow {:>2} [{kind}]  unfinished ({:.0}%)", f.flow, f.progress() * 100.0),
+            None => println!(
+                "  flow {:>2} [{kind}]  unfinished ({:.0}%)",
+                f.flow,
+                f.progress() * 100.0
+            ),
         }
     }
     println!(

@@ -58,8 +58,7 @@ fn check(id: &str, format: OutputFormat, ext: &str) {
         )
     });
     assert_eq!(
-        got,
-        want,
+        got, want,
         "golden snapshot drifted for {id} ({ext}). If intentional, regenerate \
          with UPDATE_GOLDEN=1 cargo test --test golden_snapshots and review."
     );
@@ -76,6 +75,43 @@ fn scenario_csv_snapshots_are_stable() {
 fn scenario_json_snapshots_are_stable() {
     for id in GOLDEN_SCENARIOS {
         check(id, OutputFormat::Json, "json");
+    }
+}
+
+#[test]
+fn experiment_listing_snapshot_is_stable() {
+    // `inrpp list` is part of the CLI contract: the grouped rendering
+    // (categories, ids, descriptions, ordering) is pinned like any other
+    // machine-visible output. Regenerate with UPDATE_GOLDEN=1 on an
+    // intentional registry change.
+    let got = sweeps::render_experiment_list();
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/experiment_list.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "experiment listing drifted. If intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test golden_snapshots and review."
+    );
+    // every registered id appears in the listing exactly once
+    for e in sweeps::EXPERIMENTS {
+        assert_eq!(
+            got.matches(&format!("  {}", e.id)).count(),
+            1,
+            "{} not listed exactly once",
+            e.id
+        );
     }
 }
 

@@ -1,4 +1,7 @@
-//! Flowsim ↔ packetsim differential consistency over the scenario catalog.
+//! Flowsim ↔ packetsim differential consistency over the scenario catalog,
+//! driven entirely through the `inrpp::session` facade: **one** typed
+//! [`Session`] description per scenario, executed on both [`Engine`]
+//! backends.
 //!
 //! The two engines model the same network at different granularities — a
 //! piecewise-fluid equilibrium versus chunk-level request/response
@@ -20,14 +23,14 @@
 //!   ignores and that dominate sub-50 ms flows at light load. A flow
 //!   wedged on a retransmission timeout (500 ms) still breaks the band.
 //!
-//! Every scenario replays the *same* quantised flows through both
-//! engines: sizes are rounded up to whole chunks so the offered bits are
-//! identical on both sides.
+//! Every scenario replays the *same* whole-chunk [`Transfer`] list
+//! through both engines — the facade's transfer traffic is quantised by
+//! construction, so the offered bits are identical on both sides without
+//! any per-test conversion code.
 
 use inrpp::scenario::{scenario_catalog, ScenarioSpec};
-use inrpp_flowsim::sim::{FlowSim, FlowSimConfig};
-use inrpp_flowsim::strategy::InrpStrategy;
-use inrpp_flowsim::workload::{FlowSpec, Workload};
+use inrpp::session::{Engine, RunReport, Session, SessionStrategy, Transfer};
+use inrpp_packetsim::session::PacketEngine;
 use inrpp_packetsim::{PacketSim, PacketSimConfig, TransferSpec};
 use inrpp_sim::time::SimDuration;
 
@@ -67,71 +70,76 @@ fn run_differential(catalog_spec: ScenarioSpec) -> DiffRow {
     let full = spec
         .build_workload(&topo)
         .unwrap_or_else(|e| panic!("{id}: workload failed: {e}"));
-    let pkt_cfg = PacketSimConfig {
-        horizon: HORIZON,
-        ..PacketSimConfig::default()
-    };
-    let chunk_bits = pkt_cfg.chunk_bytes.as_bits() as f64;
+    let chunk_bytes = PacketSimConfig::default().chunk_bytes;
 
-    // The shared quantised flow set: whole chunks, identical on both
-    // sides. The engine's own quantisation (TransferSpec::for_object_bits)
-    // is the single source of truth; the fluid flow size is derived from
-    // the resulting chunk count so offered bits match exactly.
-    let transfers: Vec<TransferSpec> = full
+    // The shared quantised traffic: whole chunks, identical offered bits
+    // on both engines by the facade's Transfer contract.
+    let transfers: Vec<Transfer> = full
         .flows
         .iter()
         .take(FLOWS)
         .enumerate()
         .map(|(i, f)| {
-            let mut t = TransferSpec::for_object_bits(
+            let mut t = Transfer::for_object_bits(
                 i as u64 + 1,
                 f.src,
                 f.dst,
                 f.size_bits,
-                pkt_cfg.chunk_bytes,
+                chunk_bytes,
                 f.arrival,
             );
             t.chunks = t.chunks.min(MAX_CHUNKS); // bound packet-engine runtime
             t
         })
         .collect();
-    assert!(!transfers.is_empty(), "{id}: differential workload is empty");
-    let flows: Vec<FlowSpec> = transfers
-        .iter()
-        .enumerate()
-        .map(|(i, t)| FlowSpec {
-            id: i as u64,
-            src: t.src,
-            dst: t.dst,
-            size_bits: t.chunks as f64 * chunk_bits,
-            arrival: t.start,
-        })
-        .collect();
-    let offered: f64 = flows.iter().map(|f| f.size_bits).sum();
+    assert!(
+        !transfers.is_empty(),
+        "{id}: differential workload is empty"
+    );
+    let offered: f64 = transfers.iter().map(|t| t.size_bits()).sum();
 
-    // flowsim side: URP strategy over the same topology
-    let workload = Workload {
-        offered_bits: offered,
-        flows: flows.clone(),
+    // ONE session description; each engine is just a different backend.
+    let session = Session::builder()
+        .topology(&topo)
+        .transfers(transfers)
+        .strategy(SessionStrategy::Urp(spec.inrp))
+        .horizon(HORIZON)
+        .seed(spec.seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{id}: session failed to build: {e}"));
+
+    let flow_report = session
+        .run()
+        .unwrap_or_else(|e| panic!("{id}: fluid run failed: {e}"));
+    let pkt_engine = PacketEngine::new(PacketSimConfig {
+        horizon: HORIZON,
+        ..PacketSimConfig::default()
+    });
+    assert_eq!(pkt_engine.kind(), inrpp::session::EngineKind::Packet);
+    let pkt_report = session
+        .run_on(&pkt_engine, &mut [])
+        .unwrap_or_else(|e| panic!("{id}: packet run failed: {e}"));
+
+    // identical offered bits on both sides, by construction
+    assert_eq!(
+        flow_report.offered_bits, offered,
+        "{id}: fluid offered drifted"
+    );
+    assert_eq!(
+        pkt_report.offered_bits, offered,
+        "{id}: packet offered drifted"
+    );
+
+    let delivered_capped = |r: &RunReport| -> f64 {
+        r.flows
+            .iter()
+            .map(|f| f.delivered_bits.min(f.offered_bits))
+            .sum()
     };
-    let inrp = InrpStrategy::new(&topo, spec.inrp);
-    let flow_report = FlowSim::new(&topo, &inrp, &workload, FlowSimConfig { horizon: HORIZON }).run();
-    let thr_flow = flow_report.throughput();
+    let thr_flow = flow_report.delivered_bits / offered;
+    let thr_pkt = delivered_capped(&pkt_report) / offered;
     let fct_flow = flow_report.mean_fct_secs;
-
-    // packetsim side: INRPP transport, the same transfers
-    let mut sim = PacketSim::new(&topo, pkt_cfg);
-    for &t in &transfers {
-        sim.add_transfer(t);
-    }
-    let pkt_report = sim.run();
-    let delivered_pkt: f64 = pkt_report
-        .flows
-        .iter()
-        .map(|f| f.chunks_delivered.min(f.chunks_total) as f64 * chunk_bits)
-        .sum();
-    let thr_pkt = delivered_pkt / offered;
-    let fct_pkt = pkt_report.mean_fct_secs();
+    let fct_pkt = pkt_report.mean_fct_secs;
 
     let mut problems = Vec::new();
     if thr_flow < 0.98 {
@@ -200,8 +208,15 @@ fn render_diff_table(rows: &[DiffRow]) -> String {
 
 #[test]
 fn every_catalog_scenario_agrees_across_engines() {
-    let rows: Vec<DiffRow> = scenario_catalog().into_iter().map(run_differential).collect();
-    assert_eq!(rows.len(), 16, "catalog drifted: regenerate the differential set");
+    let rows: Vec<DiffRow> = scenario_catalog()
+        .into_iter()
+        .map(run_differential)
+        .collect();
+    assert_eq!(
+        rows.len(),
+        16,
+        "catalog drifted: regenerate the differential set"
+    );
     let failures = rows.iter().filter(|r| r.verdict.is_err()).count();
     assert!(
         failures == 0,
@@ -214,13 +229,25 @@ fn every_catalog_scenario_agrees_across_engines() {
 fn quantisation_helper_is_exact_and_idempotent() {
     // the harness invariant: deriving the fluid size from the helper's
     // chunk count and quantising again must be a fixed point, so offered
-    // bits are equal on both sides by construction
+    // bits are equal on both sides by construction. The facade's
+    // Transfer and the packet engine's TransferSpec share the rule.
     let chunk_bytes = PacketSimConfig::default().chunk_bytes;
     let chunk_bits = chunk_bytes.as_bits() as f64;
-    use inrpp_topology::graph::NodeId;
     use inrpp_sim::time::SimTime;
+    use inrpp_topology::graph::NodeId;
     for bits in [1.0, chunk_bits - 1.0, chunk_bits, chunk_bits + 1.0, 7.3e6] {
-        let t = TransferSpec::for_object_bits(
+        let t =
+            Transfer::for_object_bits(1, NodeId(0), NodeId(1), bits, chunk_bytes, SimTime::ZERO);
+        let derived = t.size_bits();
+        assert!(
+            derived >= bits,
+            "quantisation must round up: {bits} -> {derived}"
+        );
+        let again =
+            Transfer::for_object_bits(1, NodeId(0), NodeId(1), derived, chunk_bytes, SimTime::ZERO);
+        assert_eq!(t.chunks, again.chunks, "not a fixed point at {bits}");
+        // ...and the engine-native helper quantises identically
+        let native = TransferSpec::for_object_bits(
             1,
             NodeId(0),
             NodeId(1),
@@ -228,16 +255,14 @@ fn quantisation_helper_is_exact_and_idempotent() {
             chunk_bytes,
             SimTime::ZERO,
         );
-        let derived = t.chunks as f64 * chunk_bits;
-        assert!(derived >= bits, "quantisation must round up: {bits} -> {derived}");
-        let again = TransferSpec::for_object_bits(
-            1,
-            NodeId(0),
-            NodeId(1),
-            derived,
-            chunk_bytes,
-            SimTime::ZERO,
+        assert_eq!(
+            t.chunks, native.chunks,
+            "facade and engine disagree at {bits}"
         );
-        assert_eq!(t.chunks, again.chunks, "not a fixed point at {bits}");
     }
+    // keep the raw-engine import exercised: the facade wraps, not replaces
+    let _ = PacketSim::new(
+        &inrpp_topology::Topology::fig3(),
+        PacketSimConfig::default(),
+    );
 }

@@ -96,7 +96,7 @@ fn every_scenario_sweep_is_byte_identical_at_threads_1_and_8() {
     };
     let ids: Vec<&str> = sweeps::EXPERIMENTS
         .iter()
-        .map(|(id, _)| *id)
+        .map(|e| e.id)
         .filter(|id| id.starts_with("scenario:"))
         .collect();
     assert!(ids.len() >= 8, "catalog shrank below the acceptance floor");

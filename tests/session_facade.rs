@@ -1,0 +1,252 @@
+//! Facade-level gates for the `inrpp::session` probe API.
+//!
+//! Two properties anchor the streaming-probe design:
+//!
+//! * **byte determinism across threads** — a probe's serialized output is
+//!   a pure function of the session description: running the identical
+//!   probed session on different OS threads (or any number of times)
+//!   yields byte-identical series. This is what lets probes ride the
+//!   parallel sweep runner without threatening the `--threads`
+//!   byte-identity contract;
+//! * **passivity** — attaching probes never changes the run: aggregates
+//!   of an instrumented run are bit-identical to an uninstrumented one.
+//!
+//! Both are asserted on both engine backends.
+
+use proptest::prelude::*;
+
+use inrpp::session::{
+    Aggregates, Probe, QuantileProbe, Session, SessionStrategy, TimeSeriesProbe, Transfer,
+    WorkloadConfig,
+};
+use inrpp_packetsim::session::PacketEngine;
+use inrpp_packetsim::PacketSimConfig;
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_topology::rocketfuel::{generate_isp, Isp};
+use inrpp_topology::Topology;
+
+/// One probed fluid run -> the probe's canonical CSV bytes plus the
+/// run's aggregates.
+fn probed_fluid_run(seed: u64, rate: f64, bucket_ms: u64) -> (String, Aggregates) {
+    let topo = generate_isp(Isp::Vsnl, seed);
+    let session = Session::builder()
+        .topology(&topo)
+        .workload_config(WorkloadConfig {
+            arrival_rate: rate,
+            mean_size_bits: 2e6,
+            ..WorkloadConfig::default()
+        })
+        .strategy(SessionStrategy::urp())
+        .horizon(SimDuration::from_secs(2))
+        .seed(seed)
+        .build()
+        .expect("facade session builds");
+    let mut series = TimeSeriesProbe::new(SimDuration::from_millis(bucket_ms));
+    let report = session
+        .run_probed(&mut [&mut series])
+        .expect("fluid run succeeds");
+    (series.to_csv(), report.aggregates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TimeSeriesProbe byte-determinism across threads: the same probed
+    /// session executed on several concurrently spawned OS threads
+    /// serializes to the same bytes on every one of them.
+    #[test]
+    fn time_series_probe_is_byte_deterministic_across_threads(
+        seed in 0u64..500,
+        rate in 10.0f64..120.0,
+        bucket_ms in 50u64..400,
+    ) {
+        let (baseline_csv, baseline_agg) = probed_fluid_run(seed, rate, bucket_ms);
+        prop_assert!(baseline_csv.lines().count() > 1, "series must not be empty");
+        let handles: Vec<_> = (0..3)
+            .map(|_| std::thread::spawn(move || probed_fluid_run(seed, rate, bucket_ms)))
+            .collect();
+        for h in handles {
+            let (csv, agg) = h.join().expect("probe thread panicked");
+            prop_assert_eq!(&csv, &baseline_csv, "probe bytes diverged across threads");
+            prop_assert_eq!(&agg, &baseline_agg, "aggregates diverged across threads");
+        }
+    }
+}
+
+/// The packet engine's probe stream is thread-deterministic too.
+#[test]
+fn packet_probe_series_is_byte_identical_across_threads() {
+    fn run() -> String {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let session = Session::builder()
+            .topology(&topo)
+            .transfers(vec![Transfer {
+                flow: 1,
+                src: n("1"),
+                dst: n("4"),
+                chunks: 300,
+                chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                start: SimTime::ZERO,
+            }])
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(30))
+            .build()
+            .expect("packet session builds");
+        let mut series = TimeSeriesProbe::new(SimDuration::from_millis(100));
+        session
+            .run_on(&PacketEngine::default(), &mut [&mut series])
+            .expect("packet run succeeds");
+        series.to_csv()
+    }
+    let baseline = run();
+    assert!(
+        baseline.lines().count() > 2,
+        "series must cover the transfer"
+    );
+    let handles: Vec<_> = (0..3).map(|_| std::thread::spawn(run)).collect();
+    for h in handles {
+        assert_eq!(
+            h.join().expect("thread"),
+            baseline,
+            "packet probe bytes diverged"
+        );
+    }
+}
+
+/// Probes are passive on both engines: instrumented and uninstrumented
+/// runs produce bit-identical unified reports.
+#[test]
+fn instrumented_run_matches_uninstrumented_on_both_engines() {
+    let topo = Topology::fig3();
+    let n = |s: &str| topo.node_by_name(s).unwrap();
+    let transfers = vec![
+        Transfer {
+            flow: 1,
+            src: n("1"),
+            dst: n("4"),
+            chunks: 150,
+            chunk_bytes: PacketSimConfig::default().chunk_bytes,
+            start: SimTime::ZERO,
+        },
+        Transfer {
+            flow: 2,
+            src: n("1"),
+            dst: n("3"),
+            chunks: 150,
+            chunk_bytes: PacketSimConfig::default().chunk_bytes,
+            start: SimTime::from_millis(100),
+        },
+    ];
+    let session = Session::builder()
+        .topology(&topo)
+        .transfers(transfers)
+        .strategy(SessionStrategy::urp())
+        .horizon(SimDuration::from_secs(30))
+        .build()
+        .expect("session builds");
+
+    // fluid backend
+    let plain = session.run().expect("plain fluid run");
+    let mut series = TimeSeriesProbe::new(SimDuration::from_millis(200));
+    let mut quant = QuantileProbe::new();
+    let probed = session
+        .run_probed(&mut [&mut series, &mut quant])
+        .expect("probed fluid run");
+    assert_eq!(plain.aggregates, probed.aggregates);
+    assert_eq!(plain.flows, probed.flows);
+    assert_eq!(plain.channel_utilisation, probed.channel_utilisation);
+    assert_eq!(quant.count(), probed.aggregates.completed_flows);
+
+    // packet backend
+    let engine = PacketEngine::default();
+    let plain = session.run_on(&engine, &mut []).expect("plain packet run");
+    let mut series = TimeSeriesProbe::new(SimDuration::from_millis(200));
+    let mut quant = QuantileProbe::new();
+    let probed = session
+        .run_on(&engine, &mut [&mut series, &mut quant])
+        .expect("probed packet run");
+    assert_eq!(plain.aggregates, probed.aggregates);
+    assert_eq!(plain.flows, probed.flows);
+    assert_eq!(quant.count(), probed.aggregates.completed_flows);
+    // the quantile probe saw the same completion times the report records
+    let mut fcts: Vec<f64> = probed.flows.iter().filter_map(|f| f.fct_secs).collect();
+    fcts.sort_by(|a, b| a.total_cmp(b));
+    assert_eq!(quant.quantile(1.0), fcts.last().copied());
+}
+
+/// A custom probe sees a consistent event stream on the fluid engine:
+/// starts = admitted arrivals, ends = completions, allocations advance
+/// monotonically in time.
+#[test]
+fn custom_probe_event_stream_is_consistent() {
+    #[derive(Default)]
+    struct Counter {
+        starts: usize,
+        ends: usize,
+        allocations: usize,
+        samples: usize,
+        last_time: SimTime,
+        time_monotone: bool,
+    }
+    impl Counter {
+        fn tick(&mut self, t: SimTime) {
+            if t < self.last_time {
+                self.time_monotone = false;
+            }
+            self.last_time = t;
+        }
+    }
+    impl Probe for Counter {
+        fn on_flow_start(&mut self, ev: &inrpp::session::FlowStart) {
+            self.starts += 1;
+            self.tick(ev.time);
+        }
+        fn on_flow_end(&mut self, ev: &inrpp::session::FlowEnd) {
+            self.ends += 1;
+            self.tick(ev.time);
+        }
+        fn on_allocation(&mut self, ev: &inrpp::session::AllocationEvent<'_>) {
+            self.allocations += 1;
+            self.tick(ev.time);
+        }
+        fn on_sample(&mut self, ev: &inrpp::session::Sample) {
+            self.samples += 1;
+            self.tick(ev.time);
+        }
+    }
+
+    let topo = generate_isp(Isp::Vsnl, 7);
+    let session = Session::builder()
+        .topology(&topo)
+        .workload_config(WorkloadConfig {
+            arrival_rate: 60.0,
+            mean_size_bits: 2e6,
+            ..WorkloadConfig::default()
+        })
+        .strategy(SessionStrategy::urp())
+        .horizon(SimDuration::from_secs(2))
+        .seed(3)
+        .build()
+        .expect("session builds");
+    let mut counter = Counter {
+        time_monotone: true,
+        ..Counter::default()
+    };
+    let report = session.run_probed(&mut [&mut counter]).expect("run");
+    assert_eq!(
+        counter.starts,
+        report.arrived_flows - report.unroutable_flows,
+        "one start event per admitted flow"
+    );
+    assert_eq!(
+        counter.ends, report.completed_flows,
+        "one end event per completion"
+    );
+    assert!(
+        counter.allocations >= counter.starts,
+        "every admission triggers a re-allocation"
+    );
+    assert!(counter.samples > 0, "integration steps must sample");
+    assert!(counter.time_monotone, "event stream must be time-ordered");
+}

@@ -15,7 +15,10 @@ fn umbrella_reexports_reach_every_crate() {
         inrpp_suite::inrpp_sim::units::ByteSize::gb(10),
         inrpp_suite::inrpp_sim::units::Rate::gbps(40.0),
     );
-    assert_eq!(hold, inrpp_suite::inrpp_sim::time::SimDuration::from_secs(2));
+    assert_eq!(
+        hold,
+        inrpp_suite::inrpp_sim::time::SimDuration::from_secs(2)
+    );
     // core
     let out = inrpp_suite::inrpp::fairness::fig3_outcome();
     assert!((out.inrpp_jain - 1.0).abs() < 1e-6);
