@@ -2,8 +2,7 @@
 //! `BENCH_flowsim.json` so the suite's performance trajectory is recorded
 //! (and regressions are visible) PR over PR.
 //!
-//! Four entries cover the hot paths the incremental allocation engine
-//! (`inrpp_flowsim::engine`) serves:
+//! Six entries cover the hot paths of both engines:
 //!
 //! * `flowsim:fig4a` — the paper's headline sweep: SP/ECMP/URP on the
 //!   three Fig. 4 ISP topologies. The heaviest flow-level workload in the
@@ -12,7 +11,13 @@
 //!   `flowsim:scenario:fat-tree:mixed` — two catalog cells with very
 //!   different shapes (access-bottlenecked dumbbell vs. fabric).
 //! * `packetsim:fig3-inrpp` — the chunk-level INRPP transport on the
-//!   Fig. 3 bottleneck, as the non-fluid control point.
+//!   Fig. 3 bottleneck, as the (small) non-fluid control point.
+//! * `packetsim:fig3-inrpp-large` and `packetsim:dumbbell-mixed-many` —
+//!   the chunk-level engine at scale (≥100k delivered chunks each in
+//!   full mode): deep INRPP transfers with detours, and 128 mixed
+//!   INRPP/AIMD flows with custody + back-pressure on a shared
+//!   bottleneck. These are the workloads the arena/calendar rewrite of
+//!   `inrpp_packetsim::engine` is gated on.
 //!
 //! "Events" are the re-allocation triggers of the fluid model (arrivals +
 //! completed departures, summed over every cell run), or delivered chunks
@@ -29,8 +34,13 @@ use std::time::Instant;
 use inrpp::scenario::{fig4_topologies, run_fig4_row, scenario_by_id, ScenarioStrategy};
 use inrpp::session::RunReport;
 use inrpp::InrppConfig;
-use inrpp_packetsim::TransportKind;
+use inrpp_packetsim::{
+    AimdConfig, FlowTransport, PacketSim, PacketSimConfig, TransferSpec, TransportKind,
+};
 use inrpp_runner::json_string;
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::units::Rate;
+use inrpp_topology::Topology;
 
 use crate::experiments;
 use crate::sweeps;
@@ -221,11 +231,131 @@ pub fn run_bench(quick: bool, notes: Vec<(String, String)>) -> BenchReport {
         events: r.packet().expect("packet engine run").chunks_delivered,
     });
 
+    // 5./6. Large packet workloads: the chunk-level engine at the scale
+    //    where its hot path actually dominates (≥100k delivered chunks
+    //    in full mode — the fig3 control point above is 3 orders of
+    //    magnitude too small to surface per-event costs).
+    entries.push(packet_fig3_large(quick));
+    entries.push(packet_dumbbell_many(quick));
+
     BenchReport {
         mode: if quick { "quick" } else { "full" },
         entries,
         notes,
     }
+}
+
+/// Time one packet-level workload; "events" = chunks delivered
+/// end-to-end (deterministic, so `--compare` can gate drift on it).
+fn packet_entry(
+    id: &str,
+    topo: &Topology,
+    cfg: PacketSimConfig,
+    transfers: &[TransferSpec],
+) -> BenchEntry {
+    packet_entry_as(id, topo, cfg, transfers, None)
+}
+
+/// Like [`packet_entry`], with an optional per-flow transport cycle for
+/// `Mixed` configurations (flow *i* gets `kinds[i % kinds.len()]`).
+fn packet_entry_as(
+    id: &str,
+    topo: &Topology,
+    cfg: PacketSimConfig,
+    transfers: &[TransferSpec],
+    kinds: Option<&[FlowTransport]>,
+) -> BenchEntry {
+    let t0 = Instant::now();
+    let mut sim = PacketSim::new(topo, cfg);
+    for (i, t) in transfers.iter().enumerate() {
+        match kinds {
+            Some(ks) => {
+                sim.add_transfer_as(*t, ks[i % ks.len()]);
+            }
+            None => {
+                sim.add_transfer(*t);
+            }
+        }
+    }
+    let report = sim.run();
+    BenchEntry {
+        id: id.to_string(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells: 1,
+        events: report.chunks_delivered,
+    }
+}
+
+/// Deep-flow workload: two long INRPP transfers over the Fig. 3
+/// bottleneck (360k chunks full / 8k quick) — exercises the
+/// detour/flowlet machinery and per-chunk forwarding at depth.
+fn packet_fig3_large(quick: bool) -> BenchEntry {
+    let topo = Topology::fig3();
+    let chunks: u64 = if quick { 4_000 } else { 180_000 };
+    let cfg = PacketSimConfig {
+        horizon: SimDuration::from_secs(if quick { 60 } else { 1_500 }),
+        ..PacketSimConfig::default()
+    };
+    let n = |s: &str| topo.node_by_name(s).expect("fig3 node");
+    let transfers = [
+        TransferSpec {
+            flow: 1,
+            src: n("1"),
+            dst: n("4"),
+            chunks,
+            start: SimTime::ZERO,
+        },
+        TransferSpec {
+            flow: 2,
+            src: n("1"),
+            dst: n("3"),
+            chunks,
+            start: SimTime::ZERO,
+        },
+    ];
+    packet_entry("packetsim:fig3-inrpp-large", &topo, cfg, &transfers)
+}
+
+/// Many-flow workload: a 64-pair dumbbell under `Mixed` transport
+/// (alternating INRPP/AIMD flows, 128k chunks full / 9.6k quick) —
+/// exercises flow-table lookups, custody + back-pressure on the shared
+/// bottleneck, and AIMD window clocking at scale.
+fn packet_dumbbell_many(quick: bool) -> BenchEntry {
+    let pairs: usize = if quick { 16 } else { 64 };
+    let per_flow: u64 = if quick { 300 } else { 1_000 };
+    let topo = Topology::dumbbell(
+        pairs,
+        Rate::mbps(10.0),
+        Rate::mbps(100.0),
+        SimDuration::from_millis(2),
+    );
+    let cfg = PacketSimConfig {
+        transport: TransportKind::Mixed {
+            inrpp: InrppConfig::default(),
+            aimd: AimdConfig::default(),
+        },
+        horizon: SimDuration::from_secs(if quick { 40 } else { 150 }),
+        ..PacketSimConfig::default()
+    };
+    let mut transfers = Vec::new();
+    for i in 0..pairs {
+        for j in 0..2u64 {
+            transfers.push(TransferSpec {
+                flow: (i as u64) * 2 + j + 1,
+                src: inrpp_topology::graph::NodeId(i as u32),
+                dst: inrpp_topology::graph::NodeId((pairs + 2 + i) as u32),
+                chunks: per_flow,
+                start: SimTime::ZERO,
+            });
+        }
+    }
+    packet_entry_as(
+        "packetsim:dumbbell-mixed-many",
+        &topo,
+        cfg,
+        &transfers,
+        Some(&[FlowTransport::Inrpp, FlowTransport::Aimd]),
+    )
 }
 
 // ===================================================================
@@ -519,7 +649,7 @@ mod tests {
             vec![("context".to_string(), "unit \"test\"".to_string())],
         );
         assert_eq!(report.mode, "quick");
-        assert_eq!(report.entries.len(), 4);
+        assert_eq!(report.entries.len(), 6);
         assert_eq!(report.entries[0].id, "flowsim:fig4a");
         assert_eq!(report.entries[0].cells, 9);
         assert!(report.entries.iter().all(|e| e.events > 0));

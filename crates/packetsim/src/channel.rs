@@ -13,6 +13,7 @@
 
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::Rate;
+use inrpp_topology::Topology;
 
 /// Refusal: accepting the packet would exceed the queue bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,167 @@ impl Channel {
     }
 }
 
+/// Structure-of-arrays channel state for every directed channel of a
+/// topology, indexed by `link.idx() * 2 + direction` (direction `0` is
+/// the link's `a → b` orientation — the `DenseChannels` convention).
+///
+/// Semantically a `Vec<Channel>` with the per-channel constants split
+/// from the mutable scalars: the engine's hot path touches `busy_until`
+/// for queue probes far more often than anything else, and packing
+/// those into one dense array keeps the probe loop in cache. Every
+/// method body mirrors [`Channel`] operation for operation, so a bank
+/// and a `Vec<Channel>` driven with the same calls produce bit-identical
+/// floats.
+#[derive(Debug, Clone)]
+pub struct ChannelBank {
+    max_queue: SimDuration,
+    rate: Vec<Rate>,
+    delay: Vec<SimDuration>,
+    busy_until: Vec<SimTime>,
+    busy_accum: Vec<SimDuration>,
+    bits_sent: Vec<f64>,
+}
+
+impl ChannelBank {
+    /// Both directions of every link in `topo`, all sharing `max_queue`.
+    ///
+    /// # Panics
+    /// Panics on a zero-capacity link, like [`Channel::new`] — validate
+    /// the topology first when a typed error is wanted.
+    pub fn from_topology(topo: &Topology, max_queue: SimDuration) -> Self {
+        let ndir = topo.link_ids().count() * 2;
+        let mut bank = ChannelBank {
+            max_queue,
+            rate: Vec::with_capacity(ndir),
+            delay: Vec::with_capacity(ndir),
+            busy_until: vec![SimTime::ZERO; ndir],
+            busy_accum: vec![SimDuration::ZERO; ndir],
+            bits_sent: vec![0.0; ndir],
+        };
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            assert!(!link.capacity.is_zero(), "channel rate must be positive");
+            for _ in 0..2 {
+                bank.rate.push(link.capacity);
+                bank.delay.push(link.delay);
+            }
+        }
+        bank
+    }
+
+    /// Number of directed channels.
+    pub fn len(&self) -> usize {
+        self.rate.len()
+    }
+
+    /// True when the topology had no links.
+    pub fn is_empty(&self) -> bool {
+        self.rate.is_empty()
+    }
+
+    /// Capacity of directed channel `d`.
+    #[inline]
+    pub fn rate(&self, d: usize) -> Rate {
+        self.rate[d]
+    }
+
+    /// Propagation delay of directed channel `d`.
+    #[inline]
+    pub fn delay(&self, d: usize) -> SimDuration {
+        self.delay[d]
+    }
+
+    /// Current queueing delay a new packet on `d` would see.
+    #[inline]
+    pub fn queue_delay(&self, d: usize, now: SimTime) -> SimDuration {
+        self.busy_until[d].saturating_duration_since(now)
+    }
+
+    /// Queue backlog of `d` in bits at `now`.
+    #[inline]
+    pub fn backlog_bits(&self, d: usize, now: SimTime) -> f64 {
+        self.rate[d].bits_in(self.queue_delay(d, now))
+    }
+
+    /// Residual rate of `d` over the next `window`.
+    pub fn residual_rate(&self, d: usize, now: SimTime, window: SimDuration) -> Rate {
+        if window.is_zero() {
+            return Rate::ZERO;
+        }
+        let busy = self.queue_delay(d, now).min(window);
+        let free = 1.0 - busy.ratio(window);
+        self.rate[d] * free
+    }
+
+    /// Try to enqueue `bits` on `d`; on success returns the arrival
+    /// instant at the far end.
+    pub fn try_send(&mut self, d: usize, now: SimTime, bits: f64) -> Result<SimTime, Overflow> {
+        assert!(bits > 0.0, "cannot send an empty packet");
+        let wait = self.queue_delay(d, now);
+        if wait > self.max_queue {
+            return Err(Overflow { would_wait: wait });
+        }
+        let start = if self.busy_until[d] > now {
+            self.busy_until[d]
+        } else {
+            now
+        };
+        let tx = self.rate[d].time_to_send(bits);
+        self.busy_until[d] = start + tx;
+        self.busy_accum[d] += tx;
+        self.bits_sent[d] += bits;
+        Ok(self.busy_until[d] + self.delay[d])
+    }
+
+    /// Earliest instant `d`'s implied queue delay falls to `target`.
+    #[inline]
+    pub fn drain_time(&self, d: usize, target: SimDuration) -> SimTime {
+        SimTime::from_nanos(
+            self.busy_until[d]
+                .as_nanos()
+                .saturating_sub(target.as_nanos()),
+        )
+    }
+
+    /// Transmitter utilisation of `d` over `[0, horizon]`.
+    pub fn utilisation(&self, d: usize, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            (self.busy_accum[d].ratio(horizon)).min(1.0)
+        }
+    }
+
+    /// Total bits accepted on `d`.
+    pub fn bits_sent(&self, d: usize) -> f64 {
+        self.bits_sent[d]
+    }
+
+    /// Mean transmitter utilisation across channels with non-zero
+    /// capacity; `0.0` when no channel qualifies (linkless topology).
+    ///
+    /// Zero-capacity channels are excluded rather than averaged in as
+    /// `0/0` — the same guard `Allocation::mean_utilisation` grew in the
+    /// fluid engine, so a degenerate topology reports `0.0` instead of
+    /// poisoning downstream aggregates with NaN.
+    pub fn mean_utilisation(&self, horizon: SimDuration) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for d in 0..self.len() {
+            if self.rate[d].is_zero() {
+                continue;
+            }
+            sum += self.utilisation(d, horizon);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +381,59 @@ mod tests {
     fn empty_packet_rejected() {
         let mut c = ch();
         let _ = c.try_send(SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn bank_matches_individual_channels_bit_for_bit() {
+        let topo = Topology::fig3();
+        let max_queue = SimDuration::from_millis(50);
+        let mut bank = ChannelBank::from_topology(&topo, max_queue);
+        let mut channels: Vec<Channel> = topo
+            .link_ids()
+            .flat_map(|l| {
+                let link = topo.link(l);
+                (0..2).map(move |_| Channel::new(link.capacity, link.delay, max_queue))
+            })
+            .collect();
+        assert_eq!(bank.len(), channels.len());
+        let mut rng = inrpp_sim::rng::SimRng::from_seed_u64(0xBA2C);
+        let mut now = SimTime::ZERO;
+        for _ in 0..2_000 {
+            let d = rng.index(channels.len());
+            let bits = (rng.index(12_000) + 1) as f64;
+            now += SimDuration::from_micros(rng.index(500) as u64);
+            assert_eq!(
+                bank.try_send(d, now, bits),
+                channels[d].try_send(now, bits),
+                "divergence on channel {d}"
+            );
+            assert_eq!(bank.queue_delay(d, now), channels[d].queue_delay(now));
+            assert_eq!(bank.backlog_bits(d, now), channels[d].backlog_bits(now));
+            let w = SimDuration::from_millis(100);
+            assert_eq!(
+                bank.residual_rate(d, now, w),
+                channels[d].residual_rate(now, w)
+            );
+            assert_eq!(
+                bank.drain_time(d, SimDuration::from_millis(1)),
+                channels[d].drain_time(SimDuration::from_millis(1))
+            );
+        }
+        for (d, c) in channels.iter().enumerate() {
+            let h = SimDuration::from_secs(30);
+            assert_eq!(bank.utilisation(d, h), c.utilisation(h));
+            assert_eq!(bank.bits_sent(d), c.bits_sent());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bank_rejects_zero_capacity_links() {
+        let mut topo = Topology::new("dead-link");
+        let a = topo.add_node();
+        let b = topo.add_node();
+        topo.add_link(a, b, Rate::ZERO, SimDuration::from_millis(1))
+            .unwrap();
+        let _ = ChannelBank::from_topology(&topo, SimDuration::from_millis(50));
     }
 }

@@ -1,9 +1,35 @@
-//! The packet-level network engine.
+//! The packet-level network engine (arena + calendar-queue hot path).
 //!
-//! Wires a [`Topology`] into per-direction [`Channel`]s, instantiates the
-//! INRPP machinery from the `inrpp` crate at every node (or plain
-//! drop-tail behaviour for the AIMD baseline), and drives everything from
-//! one deterministic event loop.
+//! Wires a [`Topology`] into a structure-of-arrays
+//! [`crate::channel::ChannelBank`], instantiates the INRPP
+//! machinery from the `inrpp` crate at every node (or plain drop-tail
+//! behaviour for the AIMD baseline), and drives everything from one
+//! deterministic event loop.
+//!
+//! This module holds the **optimised** engine; the original seed
+//! implementation lives on verbatim in [`crate::reference`] as the
+//! behavioural oracle, and every run here must be **bit-identical** to
+//! it (reports, traces, probe streams — enforced by the in-crate
+//! equivalence tests and the `packet_engine_matches_reference_runner`
+//! property test). The hot-path layout, in brief (full rationale in
+//! ARCHITECTURE.md §"Packet engine internals"):
+//!
+//! * **Flow arenas.** Flows live in slot-indexed parallel arrays
+//!   (slot = rank of the flow id), primary routes are flattened into one
+//!   `Vec<NodeId>` + precomputed directed-channel `Vec<u32>` with
+//!   per-flow spans — requests and primary-path data never resolve a
+//!   hop through a map again, and the per-emission `route.clone()` of
+//!   the seed engine is gone. Only packets that *left* their primary
+//!   path (detours, custody resumes) carry an owned route, pooled in a
+//!   free-list slab.
+//! * **Calendar event queue.** Events sit in a bucket ring sized by the
+//!   smallest chunk serialisation time
+//!   ([`inrpp_sim::calendar::CalendarEngine`]) instead
+//!   of one global binary heap; pop order is identical by construction.
+//! * **Flat custody/backpressure bookkeeping.** Drain registries,
+//!   kick/drain dedup flags and retransmit queues are per-index vectors
+//!   rather than `BTreeMap`/`HashMap`, so the per-timestep custody and
+//!   AIMD window work is a dense sweep.
 //!
 //! Simplifications relative to a real deployment (each noted in
 //! `DESIGN.md`):
@@ -17,7 +43,7 @@
 //!   flow's route until the sender, which enters the closed loop for a
 //!   TTL.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use inrpp::backpressure::{BackpressureState, SlowdownMsg};
 use inrpp::config::InrppConfig;
@@ -28,17 +54,18 @@ use inrpp::phase::{Phase, PhaseController, PhaseInputs};
 use inrpp::rate::RateEstimator;
 use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
-use inrpp_sim::event::Engine;
+use inrpp_sim::calendar::CalendarEngine;
 use inrpp_sim::fault::{FaultInjector, FaultOutcome};
 use inrpp_sim::rng::SimRng;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::ByteSize;
+use inrpp_topology::dense::DenseChannels;
 use inrpp_topology::graph::{NodeId, Topology};
 use inrpp_topology::spath::{cost, shortest_path};
 
-use crate::channel::Channel;
+use crate::channel::ChannelBank;
 use crate::packet::{
-    AimdConfig, ChunkNo, DirIndex, FlowId, FlowTransport, Packet, PacketSimConfig, TransferSpec,
+    AimdConfig, ChunkNo, DirIndex, FlowId, FlowTransport, PacketSimConfig, TransferSpec,
     TransportKind,
 };
 use crate::report::{FlowStats, PacketSimReport};
@@ -75,59 +102,12 @@ pub struct PacketSim<'a> {
     transfers: Vec<(TransferSpec, FlowTransport)>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    Start(FlowId),
-    SenderKick(NodeId),
-    Tick(NodeId),
-    RxCheck(FlowId),
-    CustodyDrain { node: NodeId, dir: usize },
-    BpExpire { node: NodeId, flow: FlowId },
-    Deliver(u64), // index into the in-flight packet arena
-}
-
-struct AimdReceiver {
-    cwnd: f64,
-    ssthresh: f64,
-    total: u64,
-    next_unrequested: u64,
-    received: BTreeSet<ChunkNo>,
-}
-
-enum ReceiverKind {
-    Inrpp(Receiver),
-    Aimd(AimdReceiver),
-}
-
-struct ReceiverRt {
-    kind: ReceiverKind,
-    outstanding: BTreeMap<ChunkNo, SimTime>,
-    stats: FlowStats,
-}
-
-struct FlowRt {
-    spec: TransferSpec,
-    /// primary route src -> dst
-    route: Vec<NodeId>,
-    /// which transport machinery governs this flow
-    kind: FlowTransport,
-}
-
-#[derive(Default)]
-struct Counters {
-    chunks_delivered: u64,
-    chunks_dropped: u64,
-    chunks_detoured: u64,
-    chunks_custodied: u64,
-    backpressure_msgs: u64,
-}
-
 impl<'a> PacketSim<'a> {
     /// A simulation over `topo` with `config` and no transfers yet.
     ///
     /// # Panics
-    /// Panics on an invalid INRPP configuration; use
-    /// [`PacketSim::try_new`] for a typed error instead.
+    /// Panics on an invalid INRPP configuration or a zero-capacity link;
+    /// use [`PacketSim::try_new`] for a typed error instead.
     pub fn new(topo: &'a Topology, config: PacketSimConfig) -> Self {
         PacketSim::try_new(topo, config).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -135,11 +115,25 @@ impl<'a> PacketSim<'a> {
     /// A simulation over `topo` with `config`, rejecting invalid
     /// configurations with a typed [`SessionError`] instead of a panic —
     /// the constructor the `inrpp::session` facade uses.
+    ///
+    /// Zero-capacity links are rejected here, at construction: the seed
+    /// engine let them through and only blew up inside `run()` when the
+    /// channel model asserted, which turned a configuration mistake into
+    /// a runtime panic even on the typed path.
     pub fn try_new(topo: &'a Topology, config: PacketSimConfig) -> Result<Self, SessionError> {
         if let TransportKind::Inrpp(ic) | TransportKind::Mixed { inrpp: ic, .. } = &config.transport
         {
             ic.validate()
                 .map_err(|e| SessionError::InvalidConfig(e.to_string()))?;
+        }
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            if link.capacity.is_zero() {
+                return Err(SessionError::InvalidConfig(format!(
+                    "link {}-{} has zero capacity: every channel needs a positive rate",
+                    link.a, link.b
+                )));
+            }
         }
         Ok(PacketSim {
             topo,
@@ -225,17 +219,224 @@ impl<'a> PacketSim<'a> {
     /// Probes see every transfer start, chunk delivery (as cumulative
     /// [`Sample`]s) and completion *as it happens*; the produced report
     /// is bit-identical to an unprobed [`PacketSim::run`].
+    ///
+    /// # Panics
+    /// Panics if a hop resolves to no channel at runtime (corrupted
+    /// route state); [`PacketSim::try_run_probed`] returns
+    /// [`SessionError::Unroutable`] instead.
     pub fn run_probed(self, probes: &mut [&mut dyn Probe]) -> PacketSimReport {
-        Runner::build(self.topo, self.config, self.transfers).run(&mut ProbeSet::new(probes))
+        self.try_run_probed(probes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`PacketSim::run`] with typed errors: an unroutable hop surfaces
+    /// as [`SessionError::Unroutable`] instead of the seed engine's
+    /// `no channel a->b` panic.
+    pub fn try_run(self) -> Result<PacketSimReport, SessionError> {
+        self.try_run_probed(&mut [])
+    }
+
+    /// [`PacketSim::run_probed`] with typed errors.
+    pub fn try_run_probed(
+        self,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<PacketSimReport, SessionError> {
+        Core::build(self.topo, self.config, self.transfers)?.run(&mut ProbeSet::new(probes))
+    }
+
+    /// Execute the simulation on the [reference engine](crate::reference)
+    /// — the original, unoptimised implementation kept as the
+    /// behavioural oracle. Bit-identical to [`PacketSim::run`], only
+    /// slower; exists so equivalence tests can diff the two.
+    pub fn run_reference(self) -> PacketSimReport {
+        self.run_reference_probed(&mut [])
+    }
+
+    /// [`PacketSim::run_reference`] with streaming probes.
+    pub fn run_reference_probed(self, probes: &mut [&mut dyn Probe]) -> PacketSimReport {
+        crate::reference::Runner::build(self.topo, self.config, self.transfers)
+            .run(&mut ProbeSet::new(probes))
     }
 }
 
-struct Runner<'a> {
+/// Event vocabulary. Flows are addressed by slot (rank of the flow id),
+/// packets by slab index — everything fits in a couple of words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Start(u32),
+    SenderKick(NodeId),
+    Tick(NodeId),
+    RxCheck(u32),
+    CustodyDrain { node: NodeId, dir: u32 },
+    BpExpire { node: NodeId, slot: u32 },
+    Deliver(u32), // index into the in-flight packet slab
+}
+
+/// Which route an in-flight data packet follows.
+///
+/// `Primary` points at the flow's span in the shared route arena — the
+/// overwhelmingly common case, zero per-packet allocation. `Owned` is a
+/// slab handle for packets that left the primary path (detour splices,
+/// custody resumes); the slab recycles the `Vec`s through a free list.
+#[derive(Debug, Clone, Copy)]
+enum RouteRef {
+    Primary,
+    Owned(u32),
+}
+
+/// An in-flight packet (slab entry referenced by [`Ev::Deliver`]).
+///
+/// Requests and slow-downs never carry a route: requests always travel
+/// the reversed primary path, and slow-downs are located against the
+/// primary route at delivery (exactly like the seed engine, which
+/// cloned the primary route to do the same).
+enum Pkt {
+    Request {
+        slot: u32,
+        req: Request,
+        hop: u32,
+    },
+    Data {
+        slot: u32,
+        chunk: ChunkNo,
+        route: RouteRef,
+        hop: u32,
+        hops_travelled: u32,
+        detoured: bool,
+        sent_at: SimTime,
+    },
+    Slowdown {
+        msg: SlowdownMsg,
+        slot: u32,
+    },
+}
+
+/// Sorted `(chunk, deadline)` pairs — the receiver's outstanding-request
+/// ledger. Replaces the seed's `BTreeMap<ChunkNo, SimTime>` with a flat
+/// vector: windows are small (anticipation or cwnd sized), so binary
+/// search + memmove beats tree nodes, and iteration for expiry scans is
+/// a linear sweep. Insert-on-existing replaces the deadline, exactly
+/// like `BTreeMap::insert`.
+#[derive(Default)]
+struct Outstanding(Vec<(ChunkNo, SimTime)>);
+
+impl Outstanding {
+    fn insert(&mut self, chunk: ChunkNo, deadline: SimTime) {
+        match self.0.binary_search_by_key(&chunk, |e| e.0) {
+            Ok(i) => self.0[i].1 = deadline,
+            Err(i) => self.0.insert(i, (chunk, deadline)),
+        }
+    }
+
+    fn remove(&mut self, chunk: ChunkNo) {
+        if let Ok(i) = self.0.binary_search_by_key(&chunk, |e| e.0) {
+            self.0.remove(i);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Append every expired chunk to `out`, ascending (the order the
+    /// seed's `BTreeMap` iteration produced).
+    fn expired_into(&self, now: SimTime, out: &mut Vec<ChunkNo>) {
+        for &(c, dl) in &self.0 {
+            if dl <= now {
+                out.push(c);
+            }
+        }
+    }
+}
+
+/// Received-chunk bitset with a cached in-order watermark.
+///
+/// The seed's AIMD receiver recomputed "first missing chunk" by walking
+/// a `BTreeSet` from zero on **every** delivery — O(n²) over a flow's
+/// life, the single hottest path in dense AIMD workloads. The bitset
+/// advances the watermark incrementally (it only ever grows), making
+/// the whole flow linear.
+struct ChunkSet {
+    words: Vec<u64>,
+    count: u64,
+    /// First chunk not yet received — `highest_contiguous + 1` in the
+    /// receiver's terms.
+    watermark: u64,
+}
+
+impl ChunkSet {
+    fn new(total: u64) -> Self {
+        ChunkSet {
+            words: vec![0u64; (total as usize).div_ceil(64)],
+            count: 0,
+            watermark: 0,
+        }
+    }
+
+    fn contains(&self, chunk: u64) -> bool {
+        self.words
+            .get((chunk / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (chunk % 64)) != 0)
+    }
+
+    /// Insert; `false` if already present (duplicate delivery).
+    fn insert(&mut self, chunk: u64) -> bool {
+        let w = (chunk / 64) as usize;
+        let bit = 1u64 << (chunk % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.count += 1;
+        while self.contains(self.watermark) {
+            self.watermark += 1;
+        }
+        true
+    }
+}
+
+/// AIMD (receiver-driven window) per-flow state.
+struct AimdRx {
+    cwnd: f64,
+    ssthresh: f64,
+    total: u64,
+    next_unrequested: u64,
+    received: ChunkSet,
+}
+
+enum RxKind {
+    Inrpp(Receiver),
+    Aimd(AimdRx),
+}
+
+struct RxRt {
+    kind: RxKind,
+    outstanding: Outstanding,
+    stats: FlowStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    chunks_delivered: u64,
+    chunks_dropped: u64,
+    chunks_detoured: u64,
+    chunks_custodied: u64,
+    backpressure_msgs: u64,
+}
+
+/// The arena-backed engine state. See the module docs for the layout
+/// story; every field that was a map in the seed engine is either a
+/// slot/dir/node-indexed vector here or (for genuinely sparse state
+/// like custody resume routes) still a map off the hot path.
+struct Core<'a> {
     topo: &'a Topology,
     cfg: PacketSimConfig,
-    channels: Vec<Channel>,
-    /// node -> (neighbor -> local interface index)
-    local_idx: Vec<HashMap<NodeId, usize>>,
+    dense: DenseChannels,
+    channels: ChannelBank,
+    /// directed channel -> local interface index at its source node
+    if_of_dir: Vec<u32>,
+    /// per node: `(neighbor, directed channel)` in `topo.neighbors` order
+    nbrs: Vec<Vec<(NodeId, u32)>>,
     estimators: Vec<RateEstimator>,
     phases: Vec<Vec<PhaseController>>,
     custody: Vec<CustodyStore>,
@@ -243,57 +444,75 @@ struct Runner<'a> {
     splitters: Vec<FlowletSplitter>,
     loads: NeighborLoads,
     selector: Option<DetourSelector>,
-    flows: BTreeMap<FlowId, FlowRt>,
-    senders: HashMap<NodeId, Sender>,
-    receivers: BTreeMap<FlowId, ReceiverRt>,
-    retransmit: HashMap<NodeId, VecDeque<(FlowId, ChunkNo)>>,
-    /// per directed channel, flows with custody waiting at its source node
-    drain_reg: HashMap<usize, BTreeSet<FlowId>>,
-    drain_scheduled: BTreeSet<usize>,
-    /// (node, flow) -> remaining route to resume after custody
-    resume_routes: HashMap<(NodeId, FlowId), Vec<NodeId>>,
-    kick_scheduled: BTreeSet<NodeId>,
-    fault: FaultInjector,
-    trace: inrpp_sim::trace::Trace,
     /// per node, per local interface: §4 monitoring (EWMA + flap damping)
     monitors: Vec<Vec<inrpp::monitor::InterfaceMonitor>>,
+
+    // ---- flow arenas (slot = rank of flow id, ascending) ----
+    flow_ids: Vec<FlowId>,
+    specs: Vec<TransferSpec>,
+    kinds: Vec<FlowTransport>,
+    /// prefix offsets into `route_nodes`, `flow_ids.len() + 1` entries
+    route_start: Vec<u32>,
+    route_nodes: Vec<NodeId>,
+    /// prefix offsets into `route_dirs`, `flow_ids.len() + 1` entries
+    dir_start: Vec<u32>,
+    /// directed channel of every primary hop, per flow span
+    route_dirs: Vec<u32>,
+    /// per node: slots whose transfer originates there, ascending
+    node_flows: Vec<Vec<u32>>,
+
+    senders: Vec<Option<Sender>>,
+    receivers: Vec<Option<RxRt>>,
+    retransmit: Vec<VecDeque<(u32, ChunkNo)>>,
+    /// per directed channel: slots with custody waiting at its source
+    /// node, ascending (lowest flow id drains first)
+    drain_reg: Vec<Vec<u32>>,
+    drain_scheduled: Vec<bool>,
+    /// (node idx, slot) -> remaining route to resume after custody
+    resume_routes: HashMap<(u32, u32), Vec<NodeId>>,
+    kick_scheduled: Vec<bool>,
+    fault: FaultInjector,
+    trace: inrpp_sim::trace::Trace,
     counters: Counters,
     custody_peak: ByteSize,
-    /// arena of packets in flight (events reference by index)
-    in_flight: Vec<Option<Packet>>,
+
+    // ---- slabs ----
+    pkts: Vec<Option<Pkt>>,
+    pkt_free: Vec<u32>,
+    routes: Vec<Vec<NodeId>>,
+    routes_free: Vec<u32>,
+    scratch_chunks: Vec<ChunkNo>,
+
     inrpp_cfg: Option<InrppConfig>,
     aimd_cfg: Option<AimdConfig>,
 }
 
-impl<'a> Runner<'a> {
+impl<'a> Core<'a> {
     fn build(
         topo: &'a Topology,
         cfg: PacketSimConfig,
         transfers: Vec<(TransferSpec, FlowTransport)>,
-    ) -> Self {
+    ) -> Result<Self, SessionError> {
+        let nnodes = topo.node_count();
         let ndir = topo.link_count() * 2;
-        let mut channels = Vec::with_capacity(ndir);
-        for l in topo.link_ids() {
-            let link = topo.link(l);
-            for _ in 0..2 {
-                channels.push(Channel::new(link.capacity, link.delay, cfg.max_queue));
-            }
-        }
+        let dense = DenseChannels::build(topo);
+        let channels = ChannelBank::from_topology(topo, cfg.max_queue);
         let (inrpp_cfg, aimd_cfg) = match cfg.transport {
             TransportKind::Inrpp(ic) => (Some(ic), None),
             TransportKind::Aimd(ac) => (None, Some(ac)),
             TransportKind::Mixed { inrpp, aimd } => (Some(inrpp), Some(aimd)),
         };
-        let local_idx: Vec<HashMap<NodeId, usize>> = topo
-            .node_ids()
-            .map(|n| {
-                topo.neighbors(n)
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(nb, _))| (nb, i))
-                    .collect()
-            })
-            .collect();
+        let mut if_of_dir = vec![0u32; ndir];
+        let mut nbrs: Vec<Vec<(NodeId, u32)>> = Vec::with_capacity(nnodes);
+        for n in topo.node_ids() {
+            let mut row = Vec::with_capacity(topo.degree(n));
+            for (i, &(nb, l)) in topo.neighbors(n).iter().enumerate() {
+                let d = DirIndex::new(l, topo.link(l).a == n).0;
+                if_of_dir[d] = i as u32;
+                row.push((nb, d as u32));
+            }
+            nbrs.push(row);
+        }
         let interval = inrpp_cfg
             .map(|c| c.interval)
             .unwrap_or(SimDuration::from_millis(100));
@@ -335,32 +554,71 @@ impl<'a> Runner<'a> {
                     .collect()
             })
             .collect();
-        let mut flows = BTreeMap::new();
-        let mut senders: HashMap<NodeId, Sender> = HashMap::new();
-        let push_ahead = inrpp_cfg.map(|c| c.anticipation).unwrap_or(0);
-        for (spec, kind) in transfers {
-            let route = shortest_path(topo, spec.src, spec.dst, &cost::hops)
-                .expect("validated at add_transfer")
-                .nodes()
-                .to_vec();
-            senders
-                .entry(spec.src)
-                .or_insert_with(|| Sender::new(push_ahead))
-                .register(spec.flow, spec.chunks);
-            if kind == FlowTransport::Aimd {
-                // AIMD sender: strict request/response, no push-ahead
-                senders
-                    .get_mut(&spec.src)
-                    .expect("just inserted")
-                    .set_mode(spec.flow, SenderMode::ClosedLoop);
-            }
-            flows.insert(spec.flow, FlowRt { spec, route, kind });
+
+        // Flow slots: ascending flow id; when the same id was added more
+        // than once, the last spec wins — exactly the reference's
+        // `BTreeMap::insert` semantics.
+        let mut by_flow: BTreeMap<FlowId, usize> = BTreeMap::new();
+        for (i, (spec, _)) in transfers.iter().enumerate() {
+            by_flow.insert(spec.flow, i);
         }
-        Runner {
+        let nflows = by_flow.len();
+        let mut flow_ids = Vec::with_capacity(nflows);
+        let mut specs = Vec::with_capacity(nflows);
+        let mut kinds = Vec::with_capacity(nflows);
+        let mut route_start = Vec::with_capacity(nflows + 1);
+        let mut dir_start = Vec::with_capacity(nflows + 1);
+        let mut route_nodes = Vec::new();
+        let mut route_dirs = Vec::new();
+        for (&f, &i) in &by_flow {
+            let (spec, kind) = transfers[i];
+            // The typed bugfix: a missing route here (or a hop with no
+            // channel below) surfaces as `Unroutable`, not the seed's
+            // `expect`/`no channel a->b` panic.
+            let path = shortest_path(topo, spec.src, spec.dst, &cost::hops)
+                .ok_or(SessionError::Unroutable { flow: f })?;
+            let nodes = path.nodes();
+            route_start.push(route_nodes.len() as u32);
+            dir_start.push(route_dirs.len() as u32);
+            for w in nodes.windows(2) {
+                let d = dense
+                    .dir_index(w[0], w[1])
+                    .ok_or(SessionError::Unroutable { flow: f })?;
+                route_dirs.push(d);
+            }
+            route_nodes.extend_from_slice(nodes);
+            flow_ids.push(f);
+            specs.push(spec);
+            kinds.push(kind);
+        }
+        route_start.push(route_nodes.len() as u32);
+        dir_start.push(route_dirs.len() as u32);
+
+        // Sender registration replays the ORIGINAL transfer order: the
+        // sender's round-robin ring is insertion-ordered, and byte
+        // identity with the reference depends on it.
+        let push_ahead = inrpp_cfg.map(|c| c.anticipation).unwrap_or(0);
+        let mut senders: Vec<Option<Sender>> = (0..nnodes).map(|_| None).collect();
+        for (spec, kind) in &transfers {
+            let s = senders[spec.src.idx()].get_or_insert_with(|| Sender::new(push_ahead));
+            s.register(spec.flow, spec.chunks);
+            if *kind == FlowTransport::Aimd {
+                // AIMD sender: strict request/response, no push-ahead
+                s.set_mode(spec.flow, SenderMode::ClosedLoop);
+            }
+        }
+        let mut node_flows: Vec<Vec<u32>> = vec![Vec::new(); nnodes];
+        for (slot, spec) in specs.iter().enumerate() {
+            node_flows[spec.src.idx()].push(slot as u32);
+        }
+
+        Ok(Core {
             topo,
             cfg,
+            dense,
             channels,
-            local_idx,
+            if_of_dir,
+            nbrs,
             estimators,
             phases,
             custody,
@@ -371,106 +629,183 @@ impl<'a> Runner<'a> {
                 .collect(),
             loads: NeighborLoads::new(),
             selector,
-            flows,
+            monitors,
+            flow_ids,
+            specs,
+            kinds,
+            route_start,
+            route_nodes,
+            dir_start,
+            route_dirs,
+            node_flows,
             senders,
-            receivers: BTreeMap::new(),
-            retransmit: HashMap::new(),
-            drain_reg: HashMap::new(),
-            drain_scheduled: BTreeSet::new(),
+            receivers: (0..nflows).map(|_| None).collect(),
+            retransmit: vec![VecDeque::new(); nnodes],
+            drain_reg: vec![Vec::new(); ndir],
+            drain_scheduled: vec![false; ndir],
             resume_routes: HashMap::new(),
-            kick_scheduled: BTreeSet::new(),
+            kick_scheduled: vec![false; nnodes],
             fault,
             trace,
-            monitors,
             counters: Counters::default(),
             custody_peak: ByteSize::ZERO,
-            in_flight: Vec::new(),
+            pkts: Vec::new(),
+            pkt_free: Vec::new(),
+            routes: Vec::new(),
+            routes_free: Vec::new(),
+            scratch_chunks: Vec::new(),
             inrpp_cfg,
             aimd_cfg,
+        })
+    }
+
+    // ---- arena accessors -------------------------------------------------
+
+    #[inline]
+    fn route(&self, slot: u32) -> &[NodeId] {
+        let s = self.route_start[slot as usize] as usize;
+        let e = self.route_start[slot as usize + 1] as usize;
+        &self.route_nodes[s..e]
+    }
+
+    #[inline]
+    fn dirs(&self, slot: u32) -> &[u32] {
+        let s = self.dir_start[slot as usize] as usize;
+        let e = self.dir_start[slot as usize + 1] as usize;
+        &self.route_dirs[s..e]
+    }
+
+    #[inline]
+    fn rroute(&self, slot: u32, r: RouteRef) -> &[NodeId] {
+        match r {
+            RouteRef::Primary => self.route(slot),
+            RouteRef::Owned(i) => &self.routes[i as usize],
         }
     }
 
-    /// Does this flow run the INRPP machinery (custody, detours, Eq. 1
-    /// accounting, back-pressure)? AIMD flows see plain drop-tail.
-    fn is_inrpp(&self, flow: FlowId) -> bool {
-        self.flows
-            .get(&flow)
-            .is_some_and(|f| f.kind == FlowTransport::Inrpp)
+    #[inline]
+    fn first_dir(&self, slot: u32) -> usize {
+        self.route_dirs[self.dir_start[slot as usize] as usize] as usize
     }
 
-    fn dir_between(&self, from: NodeId, to: NodeId) -> usize {
-        let l = self
-            .topo
-            .link_between(from, to)
-            .unwrap_or_else(|| panic!("no channel {from}->{to}"));
-        DirIndex::new(l, self.topo.link(l).a == from).0
+    #[inline]
+    fn slot_of(&self, flow: FlowId) -> u32 {
+        self.flow_ids
+            .binary_search(&flow)
+            .expect("every scheduled flow has a slot") as u32
+    }
+
+    fn is_inrpp(&self, slot: u32) -> bool {
+        self.kinds[slot as usize] == FlowTransport::Inrpp
+    }
+
+    /// Directed channel `from -> to`, or the typed error the seed engine
+    /// panicked with (`no channel a->b`). Only reachable for owned
+    /// (detour/resume) routes — primary hops are resolved at build time.
+    fn dir_between(&self, from: NodeId, to: NodeId, flow: FlowId) -> Result<usize, SessionError> {
+        self.dense
+            .dir_index(from, to)
+            .map(|d| d as usize)
+            .ok_or(SessionError::Unroutable { flow })
     }
 
     fn chunk_bits(&self) -> f64 {
         self.cfg.chunk_bytes.as_bits() as f64
     }
 
-    fn stash(&mut self, pkt: Packet) -> u64 {
-        self.in_flight.push(Some(pkt));
-        (self.in_flight.len() - 1) as u64
+    fn stash(&mut self, pkt: Pkt) -> u32 {
+        match self.pkt_free.pop() {
+            Some(i) => {
+                self.pkts[i as usize] = Some(pkt);
+                i
+            }
+            None => {
+                self.pkts.push(Some(pkt));
+                (self.pkts.len() - 1) as u32
+            }
+        }
     }
 
-    fn schedule_kick(&mut self, eng: &mut Engine<Ev>, node: NodeId, delay: SimDuration) {
-        if self.kick_scheduled.insert(node) {
+    fn free_route(&mut self, r: RouteRef) {
+        if let RouteRef::Owned(i) = r {
+            self.routes_free.push(i);
+        }
+    }
+
+    /// Move `nodes` into an owned-route slab slot, recycling a freed
+    /// `Vec`'s capacity when one is available.
+    fn alloc_route(&mut self, nodes: Vec<NodeId>) -> u32 {
+        match self.routes_free.pop() {
+            Some(i) => {
+                self.routes[i as usize] = nodes;
+                i
+            }
+            None => {
+                self.routes.push(nodes);
+                (self.routes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn schedule_kick(&mut self, eng: &mut CalendarEngine<Ev>, node: NodeId, delay: SimDuration) {
+        if !self.kick_scheduled[node.idx()] {
+            self.kick_scheduled[node.idx()] = true;
             eng.schedule(delay, Ev::SenderKick(node));
         }
     }
 
-    // ---- request path --------------------------------------------------
+    // ---- request path ----------------------------------------------------
 
     fn send_request(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
-        flow: FlowId,
+        slot: u32,
         req: Request,
         covers: u64,
     ) {
-        let route: Vec<NodeId> = self.flows[&flow].route.iter().rev().copied().collect();
-        let pkt = Packet::Request {
-            flow,
-            req,
-            route,
-            hop: 0,
-        };
-        let _ = covers; // carried implicitly: each request covers `anticipated` newness
-        self.forward_request(eng, now, pkt, covers);
+        // requests travel the reversed primary route; no route is
+        // materialised (the seed engine built a reversed Vec per request)
+        self.forward_request(eng, now, slot, req, 0, covers);
     }
 
-    fn forward_request(&mut self, eng: &mut Engine<Ev>, now: SimTime, pkt: Packet, covers: u64) {
-        let Packet::Request {
-            flow,
-            req,
-            route,
-            hop,
-        } = pkt
-        else {
-            unreachable!("forward_request got a non-request")
+    fn forward_request(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        slot: u32,
+        req: Request,
+        hop: u32,
+        covers: u64,
+    ) {
+        // reversed-route index arithmetic: rev[h] = primary[len-1-h]
+        let (here, d, down_dir) = {
+            let r = self.route(slot);
+            let dirs = self.dirs(slot);
+            let i = r.len() - 1 - hop as usize;
+            let here = r[i];
+            // channel here -> rev[h+1] = primary[i-1]: the primary hop
+            // (i-1) reversed
+            let d = (dirs[i - 1] ^ 1) as usize;
+            // channel here -> rev[h-1] = primary[i+1]: the forward hop i
+            let down = if hop > 0 { dirs[i] as usize } else { 0 };
+            (here, d, down)
         };
-        let here = route[hop];
-        let next = route[hop + 1];
         // Eq. 1 accounting at intermediate routers (INRPP flows only): the
-        // data pulled by this request will arrive from `next` (upstream)
-        // and leave toward `route[hop - 1]` (downstream).
-        if self.is_inrpp(flow) && hop > 0 {
-            let up = self.local_idx[here.idx()][&next];
-            let down = self.local_idx[here.idx()][&route[hop - 1]];
+        // data pulled by this request will arrive from upstream (`d`) and
+        // leave toward the receiver (`down_dir`).
+        if self.is_inrpp(slot) && hop > 0 {
+            let up = self.if_of_dir[d] as usize;
+            let down = self.if_of_dir[down_dir] as usize;
             let bits = self.chunk_bits() * covers as f64;
             self.estimators[here.idx()].record_request(now, up, down, bits);
         }
-        let d = self.dir_between(here, next);
         let bits = self.cfg.request_bytes.as_bits() as f64;
-        match self.channels[d].try_send(now, bits) {
+        match self.channels.try_send(d, now, bits) {
             Ok(arrival) => {
-                let idx = self.stash(Packet::Request {
-                    flow,
+                let idx = self.stash(Pkt::Request {
+                    slot,
                     req,
-                    route,
                     hop: hop + 1,
                 });
                 eng.schedule_at(arrival, Ev::Deliver(idx))
@@ -485,69 +820,91 @@ impl<'a> Runner<'a> {
 
     // ---- data path -------------------------------------------------------
 
-    /// Emit a chunk from its sender onto the first hop.
+    /// Emit a chunk from its sender onto the first hop of the primary
+    /// route (no clone — the route arena is referenced in place).
     fn emit_chunk(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
-        flow: FlowId,
+        slot: u32,
         chunk: ChunkNo,
-    ) -> bool {
-        let route = self.flows[&flow].route.clone();
-        let pkt = Packet::Data {
-            flow,
-            chunk,
-            route,
-            hop: 0,
-            hops_travelled: 0,
-            detoured: false,
-            sent_at: now,
-        };
-        self.forward_data(eng, now, pkt)
+    ) -> Result<bool, SessionError> {
+        self.forward_data(eng, now, slot, chunk, RouteRef::Primary, 0, 0, false, now)
     }
 
     /// Forward a data packet from `route[hop]` toward `route[hop+1]`,
     /// possibly splicing a detour. Returns false if the chunk was dropped
     /// or went into custody (i.e. it is no longer in flight).
-    fn forward_data(&mut self, eng: &mut Engine<Ev>, now: SimTime, pkt: Packet) -> bool {
-        let Packet::Data {
-            flow,
-            chunk,
-            mut route,
-            hop,
-            hops_travelled,
-            mut detoured,
-            sent_at,
-        } = pkt
-        else {
-            unreachable!("forward_data got a non-data packet")
+    #[allow(clippy::too_many_arguments)]
+    fn forward_data(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        slot: u32,
+        chunk: ChunkNo,
+        mut rref: RouteRef,
+        hop: u32,
+        hops_travelled: u32,
+        mut detoured: bool,
+        sent_at: SimTime,
+    ) -> Result<bool, SessionError> {
+        let flow = self.flow_ids[slot as usize];
+        let (here, next, len) = {
+            let r = self.rroute(slot, rref);
+            (r[hop as usize], r[hop as usize + 1], r.len())
         };
-        let here = route[hop];
-        let next = route[hop + 1];
-        let mut d = self.dir_between(here, next);
+        let mut d = match rref {
+            RouteRef::Primary => self.dirs(slot)[hop as usize] as usize,
+            RouteRef::Owned(_) => self.dir_between(here, next, flow)?,
+        };
 
-        if self.is_inrpp(flow) {
+        if self.is_inrpp(slot) {
             // Detour decision: phase machine says the interface is
             // congested, or the instantaneous queue crossed the threshold,
             // or an upstream slow-down caps this link.
-            let li = self.local_idx[here.idx()][&next];
+            let li = self.if_of_dir[d] as usize;
             let phase = self.phases[here.idx()][li].phase();
-            let queue_long = self.channels[d].queue_delay(now) > self.cfg.detour_queue_threshold;
+            let queue_long = self.channels.queue_delay(d, now) > self.cfg.detour_queue_threshold;
             let bp_capped = {
                 let link = DirIndex(d).link();
                 self.bp[here.idx()].allowed_rate(now, link).is_some()
             };
-            if (phase != Phase::PushData || queue_long || bp_capped) && hop + 2 <= route.len() {
-                if let Some((alt_route, alt_dir)) =
-                    self.pick_detour(now, here, next, flow, &route, hop)
-                {
-                    route = alt_route;
+            if (phase != Phase::PushData || queue_long || bp_capped) && hop as usize + 2 <= len {
+                // Slow path: split-borrow the route slice out of its arena
+                // so the splitter can be borrowed mutably alongside it.
+                let picked = {
+                    let route: &[NodeId] = match rref {
+                        RouteRef::Primary => {
+                            let s = self.route_start[slot as usize] as usize;
+                            let e = self.route_start[slot as usize + 1] as usize;
+                            &self.route_nodes[s..e]
+                        }
+                        RouteRef::Owned(i) => &self.routes[i as usize],
+                    };
+                    pick_detour(
+                        self.selector.as_ref(),
+                        self.topo,
+                        &self.dense,
+                        &self.channels,
+                        &mut self.splitters,
+                        self.cfg.detour_queue_threshold,
+                        now,
+                        here,
+                        next,
+                        flow,
+                        route,
+                        hop as usize,
+                    )
+                };
+                if let Some((alt_route, alt_dir)) = picked {
+                    self.free_route(rref);
+                    rref = RouteRef::Owned(self.alloc_route(alt_route));
                     d = alt_dir;
+                    let via = self.rroute(slot, rref)[hop as usize + 1];
                     self.trace.record(
                         now,
                         format_args!(
-                            "detour: flow {flow} chunk {chunk} at {here} via {} (phase {phase})",
-                            route[hop + 1]
+                            "detour: flow {flow} chunk {chunk} at {here} via {via} (phase {phase})"
                         ),
                     );
                     if !detoured {
@@ -559,13 +916,13 @@ impl<'a> Runner<'a> {
         }
 
         let bits = self.chunk_bits();
-        match self.channels[d].try_send(now, bits) {
+        match self.channels.try_send(d, now, bits) {
             Ok(arrival) => match self.fault.apply() {
                 FaultOutcome::Pass => {
-                    let idx = self.stash(Packet::Data {
-                        flow,
+                    let idx = self.stash(Pkt::Data {
+                        slot,
                         chunk,
-                        route,
+                        route: rref,
                         hop: hop + 1,
                         hops_travelled: hops_travelled + 1,
                         detoured,
@@ -573,89 +930,40 @@ impl<'a> Runner<'a> {
                     });
                     eng.schedule_at(arrival, Ev::Deliver(idx))
                         .expect("arrival is in the future");
-                    true
+                    Ok(true)
                 }
                 FaultOutcome::Drop | FaultOutcome::Corrupt => {
+                    self.free_route(rref);
                     self.counters.chunks_dropped += 1;
-                    false
+                    Ok(false)
                 }
             },
-            Err(_) if self.is_inrpp(flow) => {
+            Err(_) if self.is_inrpp(slot) => {
                 // custody (store-and-forward) instead of dropping
-                self.custody_store(eng, now, here, flow, chunk, route, hop, d)
+                self.custody_store(eng, now, here, slot, chunk, rref, hop, d)
             }
             Err(_) => {
                 // AIMD flow: drop-tail
+                self.free_route(rref);
                 self.counters.chunks_dropped += 1;
-                false
+                Ok(false)
             }
         }
-    }
-
-    /// Pick a detour around the congested hop `here -> next`, preferring
-    /// alternatives whose first channel has headroom. Returns the spliced
-    /// route and the new first-hop channel.
-    fn pick_detour(
-        &mut self,
-        now: SimTime,
-        here: NodeId,
-        next: NodeId,
-        flow: FlowId,
-        route: &[NodeId],
-        hop: usize,
-    ) -> Option<(Vec<NodeId>, usize)> {
-        let selector = self.selector.as_ref()?;
-        let link = self.topo.link_between(here, next)?;
-        let cands = selector.candidates(self.topo, link, here, next);
-        // A candidate is viable when it does not revisit nodes on the
-        // remaining route and its channels have headroom. Load-aware mode
-        // (§3.3 option i: neighbours advertise interface loads) checks
-        // every hop of the detour; blind mode (option ii) sees only the
-        // local first hop.
-        let load_aware = selector.is_load_aware();
-        let threshold = self.cfg.detour_queue_threshold;
-        let viable: Vec<&inrpp_topology::spath::Path> = cands
-            .iter()
-            .filter(|p| {
-                let hops_ok = if load_aware {
-                    p.nodes().windows(2).all(|w| {
-                        let d = self.dir_between(w[0], w[1]);
-                        self.channels[d].queue_delay(now) <= threshold
-                    })
-                } else {
-                    let first = self.dir_between(here, p.nodes()[1]);
-                    self.channels[first].queue_delay(now) <= threshold
-                };
-                hops_ok
-                    && p.nodes()[1..p.nodes().len() - 1]
-                        .iter()
-                        .all(|n| !route.contains(n))
-            })
-            .collect();
-        if viable.is_empty() {
-            return None;
-        }
-        let pick = self.splitters[here.idx()].assign(now, flow, viable.len());
-        let detour = viable[pick];
-        let mut new_route = route[..=hop].to_vec();
-        new_route.extend_from_slice(&detour.nodes()[1..]);
-        new_route.extend_from_slice(&route[hop + 2..]);
-        let first = self.dir_between(here, detour.nodes()[1]);
-        Some((new_route, first))
     }
 
     #[allow(clippy::too_many_arguments)]
     fn custody_store(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
         here: NodeId,
-        flow: FlowId,
+        slot: u32,
         chunk: ChunkNo,
-        route: Vec<NodeId>,
-        hop: usize,
+        rref: RouteRef,
+        hop: u32,
         d: usize,
-    ) -> bool {
+    ) -> Result<bool, SessionError> {
+        let flow = self.flow_ids[slot as usize];
         let stored = self.custody[here.idx()]
             .store(now, flow, chunk, self.cfg.chunk_bytes)
             .is_ok();
@@ -669,16 +977,29 @@ impl<'a> Runner<'a> {
             );
             self.counters.chunks_custodied += 1;
             self.custody_peak = self.custody_peak.max(self.custody[here.idx()].used());
-            self.resume_routes
-                .entry((here, flow))
-                .or_insert_with(|| route[hop..].to_vec());
-            self.drain_reg.entry(d).or_default().insert(flow);
-            if self.drain_scheduled.insert(d) {
-                let t = self.channels[d]
-                    .drain_time(self.cfg.detour_queue_threshold)
+            let key = (here.idx() as u32, slot);
+            if !self.resume_routes.contains_key(&key) {
+                let tail = self.rroute(slot, rref)[hop as usize..].to_vec();
+                self.resume_routes.insert(key, tail);
+            }
+            let reg = &mut self.drain_reg[d];
+            if let Err(pos) = reg.binary_search(&slot) {
+                reg.insert(pos, slot);
+            }
+            if !self.drain_scheduled[d] {
+                self.drain_scheduled[d] = true;
+                let t = self
+                    .channels
+                    .drain_time(d, self.cfg.detour_queue_threshold)
                     .max(now);
-                eng.schedule_at(t, Ev::CustodyDrain { node: here, dir: d })
-                    .expect("drain time is not in the past");
+                eng.schedule_at(
+                    t,
+                    Ev::CustodyDrain {
+                        node: here,
+                        dir: d as u32,
+                    },
+                )
+                .expect("drain time is not in the past");
             }
         } else {
             self.trace.record(
@@ -694,28 +1015,28 @@ impl<'a> Runner<'a> {
             .map(|c| c.cache_pressure_threshold)
             .unwrap_or(1.0);
         if (!stored || fill >= threshold) && hop > 0 {
-            self.emit_slowdown(eng, now, here, flow, &route, hop, d);
+            let upstream = self.rroute(slot, rref)[hop as usize - 1];
+            self.emit_slowdown(eng, now, here, slot, upstream, d)?;
         }
-        false
+        self.free_route(rref);
+        Ok(false)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn emit_slowdown(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
         here: NodeId,
-        flow: FlowId,
-        route: &[NodeId],
-        hop: usize,
+        slot: u32,
+        upstream: NodeId,
         congested_dir: usize,
-    ) {
-        let upstream = route[hop - 1];
+    ) -> Result<(), SessionError> {
+        let flow = self.flow_ids[slot as usize];
         let link = DirIndex(congested_dir).link();
         let msg = SlowdownMsg {
             origin: here,
             congested_link: link,
-            allowed: self.channels[congested_dir].rate(),
+            allowed: self.channels.rate(congested_dir),
             hops_travelled: 0,
         };
         self.counters.backpressure_msgs += 1;
@@ -727,18 +1048,20 @@ impl<'a> Runner<'a> {
             ),
         );
         // control packet: link delay only (priority queueing)
-        let d = self.dir_between(here, upstream);
-        let arrival = now + self.channels[d].delay();
-        let idx = self.stash(Packet::Slowdown { msg, flow });
+        let d = self.dir_between(here, upstream, flow)?;
+        let arrival = now + self.channels.delay(d);
+        let idx = self.stash(Pkt::Slowdown { msg, slot });
         eng.schedule_at(arrival, Ev::Deliver(idx))
             .expect("arrival in the future");
+        Ok(())
     }
 
     // ---- receivers -------------------------------------------------------
 
-    fn start_flow(&mut self, eng: &mut Engine<Ev>, now: SimTime, flow: FlowId) {
-        let spec = self.flows[&flow].spec;
-        let kind = self.flows[&flow].kind;
+    fn start_flow(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, slot: u32) {
+        let spec = self.specs[slot as usize];
+        let kind = self.kinds[slot as usize];
+        let flow = self.flow_ids[slot as usize];
         let stats = FlowStats {
             flow,
             chunks_total: spec.chunks,
@@ -754,136 +1077,143 @@ impl<'a> Runner<'a> {
                 let req = rec.initial_request();
                 let covers = req.anticipated + 1;
                 let deadline = now + self.cfg.receiver_timeout;
-                let mut rt = ReceiverRt {
-                    kind: ReceiverKind::Inrpp(rec),
-                    outstanding: BTreeMap::new(),
+                let mut rt = RxRt {
+                    kind: RxKind::Inrpp(rec),
+                    outstanding: Outstanding::default(),
                     stats,
                 };
                 for c in 0..=req.anticipated {
                     rt.outstanding.insert(c, deadline);
                 }
-                self.receivers.insert(flow, rt);
-                self.send_request(eng, now, flow, req, covers);
+                self.receivers[slot as usize] = Some(rt);
+                self.send_request(eng, now, slot, req, covers);
             }
             (FlowTransport::Aimd, _, Some(ac)) => {
-                let mut rt = ReceiverRt {
-                    kind: ReceiverKind::Aimd(AimdReceiver {
+                let mut rt = RxRt {
+                    kind: RxKind::Aimd(AimdRx {
                         cwnd: ac.initial_window,
                         ssthresh: ac.initial_ssthresh,
                         total: spec.chunks,
                         next_unrequested: 0,
-                        received: BTreeSet::new(),
+                        received: ChunkSet::new(spec.chunks),
                     }),
-                    outstanding: BTreeMap::new(),
+                    outstanding: Outstanding::default(),
                     stats,
                 };
                 let win = (ac.initial_window as u64).clamp(1, spec.chunks);
                 let deadline = now + ac.rto;
                 let mut to_req = Vec::new();
-                if let ReceiverKind::Aimd(r) = &mut rt.kind {
+                if let RxKind::Aimd(r) = &mut rt.kind {
                     for _ in 0..win {
                         to_req.push(r.next_unrequested);
                         rt.outstanding.insert(r.next_unrequested, deadline);
                         r.next_unrequested += 1;
                     }
                 }
-                self.receivers.insert(flow, rt);
+                self.receivers[slot as usize] = Some(rt);
                 for c in to_req {
                     let req = Request {
                         next: c,
                         ack: None,
                         anticipated: c,
                     };
-                    self.send_request(eng, now, flow, req, 1);
+                    self.send_request(eng, now, slot, req, 1);
                 }
             }
             _ => unreachable!("add_transfer_as validated the flow transport"),
         }
-        eng.schedule(self.cfg.receiver_timeout, Ev::RxCheck(flow));
+        eng.schedule(self.cfg.receiver_timeout, Ev::RxCheck(slot));
     }
 
     fn deliver_to_receiver(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
-        flow: FlowId,
+        slot: u32,
         chunk: ChunkNo,
         probes: &mut ProbeSet<'_, '_>,
     ) {
         let delivered_before = self.counters.chunks_delivered;
-        let was_complete = self
-            .receivers
-            .get(&flow)
+        let was_complete = self.receivers[slot as usize]
+            .as_ref()
             .is_some_and(|rt| rt.stats.completed_at.is_some());
-        let Some(rt) = self.receivers.get_mut(&flow) else {
-            return;
-        };
-        rt.outstanding.remove(&chunk);
-        let timeout = self.cfg.receiver_timeout;
-        match &mut rt.kind {
-            ReceiverKind::Inrpp(rec) => {
-                // reorder distance: how far past the in-order watermark
-                // this chunk landed (paper §4 open issue, quantified)
-                let expected = rec.highest_contiguous().map_or(0, |h| h + 1);
-                if chunk > expected {
-                    rt.stats.max_reorder_distance =
-                        rt.stats.max_reorder_distance.max(chunk - expected);
-                }
-                let out = rec.on_chunk(chunk);
-                if !out.duplicate {
-                    rt.stats.chunks_delivered += 1;
-                    self.counters.chunks_delivered += 1;
-                }
-                if out.completed && rt.stats.completed_at.is_none() {
-                    rt.stats.completed_at = Some(now);
-                }
-                if let Some(req) = out.request {
-                    rt.outstanding.insert(req.anticipated, now + timeout);
-                    self.send_request(eng, now, flow, req, 1);
-                }
-            }
-            ReceiverKind::Aimd(r) => {
-                let mut expected = 0;
-                while r.received.contains(&expected) {
-                    expected += 1;
-                }
-                if chunk > expected {
-                    rt.stats.max_reorder_distance =
-                        rt.stats.max_reorder_distance.max(chunk - expected);
-                }
-                if r.received.insert(chunk) {
-                    rt.stats.chunks_delivered += 1;
-                    self.counters.chunks_delivered += 1;
-                    // AIMD growth: slow start then congestion avoidance
-                    if r.cwnd < r.ssthresh {
-                        r.cwnd += 1.0;
-                    } else {
-                        r.cwnd += 1.0 / r.cwnd;
+        // requests to issue once the receiver borrow ends
+        let mut inrpp_req: Option<Request> = None;
+        let mut aimd_reqs = std::mem::take(&mut self.scratch_chunks);
+        {
+            let Some(rt) = self.receivers[slot as usize].as_mut() else {
+                self.scratch_chunks = aimd_reqs;
+                return;
+            };
+            rt.outstanding.remove(chunk);
+            let timeout = self.cfg.receiver_timeout;
+            match &mut rt.kind {
+                RxKind::Inrpp(rec) => {
+                    // reorder distance: how far past the in-order watermark
+                    // this chunk landed (paper §4 open issue, quantified)
+                    let expected = rec.highest_contiguous().map_or(0, |h| h + 1);
+                    if chunk > expected {
+                        rt.stats.max_reorder_distance =
+                            rt.stats.max_reorder_distance.max(chunk - expected);
+                    }
+                    let out = rec.on_chunk(chunk);
+                    if !out.duplicate {
+                        rt.stats.chunks_delivered += 1;
+                        self.counters.chunks_delivered += 1;
+                    }
+                    if out.completed && rt.stats.completed_at.is_none() {
+                        rt.stats.completed_at = Some(now);
+                    }
+                    if let Some(req) = out.request {
+                        rt.outstanding.insert(req.anticipated, now + timeout);
+                        inrpp_req = Some(req);
                     }
                 }
-                if r.received.len() as u64 == r.total && rt.stats.completed_at.is_none() {
-                    rt.stats.completed_at = Some(now);
-                }
-                // clock out new requests within the window
-                let rto = self.aimd_cfg.expect("aimd mode").rto;
-                let mut to_req = Vec::new();
-                while (rt.outstanding.len() as f64) < r.cwnd.floor() && r.next_unrequested < r.total
-                {
-                    let c = r.next_unrequested;
-                    r.next_unrequested += 1;
-                    rt.outstanding.insert(c, now + rto);
-                    to_req.push(c);
-                }
-                for c in to_req {
-                    let req = Request {
-                        next: c,
-                        ack: Some(chunk),
-                        anticipated: c,
-                    };
-                    self.send_request(eng, now, flow, req, 1);
+                RxKind::Aimd(r) => {
+                    let expected = r.received.watermark;
+                    if chunk > expected {
+                        rt.stats.max_reorder_distance =
+                            rt.stats.max_reorder_distance.max(chunk - expected);
+                    }
+                    if r.received.insert(chunk) {
+                        rt.stats.chunks_delivered += 1;
+                        self.counters.chunks_delivered += 1;
+                        // AIMD growth: slow start then congestion avoidance
+                        if r.cwnd < r.ssthresh {
+                            r.cwnd += 1.0;
+                        } else {
+                            r.cwnd += 1.0 / r.cwnd;
+                        }
+                    }
+                    if r.received.count == r.total && rt.stats.completed_at.is_none() {
+                        rt.stats.completed_at = Some(now);
+                    }
+                    // clock out new requests within the window
+                    let rto = self.aimd_cfg.expect("aimd mode").rto;
+                    while (rt.outstanding.len() as f64) < r.cwnd.floor()
+                        && r.next_unrequested < r.total
+                    {
+                        let c = r.next_unrequested;
+                        r.next_unrequested += 1;
+                        rt.outstanding.insert(c, now + rto);
+                        aimd_reqs.push(c);
+                    }
                 }
             }
         }
+        if let Some(req) = inrpp_req {
+            self.send_request(eng, now, slot, req, 1);
+        }
+        for &c in &aimd_reqs {
+            let req = Request {
+                next: c,
+                ack: Some(chunk),
+                anticipated: c,
+            };
+            self.send_request(eng, now, slot, req, 1);
+        }
+        aimd_reqs.clear();
+        self.scratch_chunks = aimd_reqs;
         // probe emission: after the receiver state settled, before the
         // next event — purely observational
         if !probes.is_empty() {
@@ -894,12 +1224,12 @@ impl<'a> Runner<'a> {
                     delivered_bits: self.counters.chunks_delivered as f64 * chunk_bits,
                 });
             }
-            if let Some(rt) = self.receivers.get(&flow) {
+            if let Some(rt) = self.receivers[slot as usize].as_ref() {
                 if !was_complete {
                     if let Some(done) = rt.stats.completed_at {
                         probes.flow_end(&FlowEnd {
                             time: now,
-                            flow,
+                            flow: self.flow_ids[slot as usize],
                             delivered_bits: rt.stats.chunks_delivered as f64 * chunk_bits,
                             fct_secs: done.duration_since(rt.stats.started_at).as_secs_f64(),
                         });
@@ -909,84 +1239,75 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn rx_check(&mut self, eng: &mut Engine<Ev>, now: SimTime, flow: FlowId) {
+    fn rx_check(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, slot: u32) {
         // AIMD flows time out on their own RTO; INRPP on the receiver timer
-        let timeout = match self.flows.get(&flow).map(|f| f.kind) {
-            Some(FlowTransport::Aimd) => self
+        let timeout = match self.kinds[slot as usize] {
+            FlowTransport::Aimd => self
                 .aimd_cfg
                 .map(|a| a.rto)
                 .unwrap_or(self.cfg.receiver_timeout),
             _ => self.cfg.receiver_timeout,
         };
-        let Some(rt) = self.receivers.get_mut(&flow) else {
-            return;
-        };
-        if rt.stats.completed_at.is_some() {
-            return; // done: stop checking
-        }
-        let expired: Vec<ChunkNo> = rt
-            .outstanding
-            .iter()
-            .filter(|&(_, &dl)| dl <= now)
-            .map(|(&c, _)| c)
-            .collect();
-        let mut reqs = Vec::new();
-        if !expired.is_empty() {
-            if let ReceiverKind::Aimd(r) = &mut rt.kind {
-                // one loss event per check: multiplicative decrease
-                r.ssthresh = (r.cwnd / 2.0).max(2.0);
-                r.cwnd = 1.0;
+        let mut expired = std::mem::take(&mut self.scratch_chunks);
+        {
+            let Some(rt) = self.receivers[slot as usize].as_mut() else {
+                self.scratch_chunks = expired;
+                return;
+            };
+            if rt.stats.completed_at.is_some() {
+                self.scratch_chunks = expired;
+                return; // done: stop checking
             }
-            for c in expired {
-                rt.stats.retransmits += 1;
-                rt.outstanding.insert(c, now + timeout);
-                reqs.push(Request {
-                    next: c,
-                    ack: None,
-                    anticipated: c,
-                });
+            rt.outstanding.expired_into(now, &mut expired);
+            if !expired.is_empty() {
+                if let RxKind::Aimd(r) = &mut rt.kind {
+                    // one loss event per check: multiplicative decrease
+                    r.ssthresh = (r.cwnd / 2.0).max(2.0);
+                    r.cwnd = 1.0;
+                }
+                for &c in &expired {
+                    rt.stats.retransmits += 1;
+                    rt.outstanding.insert(c, now + timeout);
+                }
             }
         }
-        for req in reqs {
+        for &c in &expired {
             // retransmission: sender must resend even though its window
             // already advanced past this chunk
-            self.queue_retransmit(eng, now, flow, req.anticipated);
+            self.queue_retransmit(eng, c, slot);
         }
-        eng.schedule(timeout / 2, Ev::RxCheck(flow));
+        expired.clear();
+        self.scratch_chunks = expired;
+        eng.schedule(timeout / 2, Ev::RxCheck(slot));
     }
 
-    fn queue_retransmit(
-        &mut self,
-        eng: &mut Engine<Ev>,
-        _now: SimTime,
-        flow: FlowId,
-        chunk: ChunkNo,
-    ) {
-        let src = self.flows[&flow].spec.src;
-        self.retransmit
-            .entry(src)
-            .or_default()
-            .push_back((flow, chunk));
+    fn queue_retransmit(&mut self, eng: &mut CalendarEngine<Ev>, chunk: ChunkNo, slot: u32) {
+        let src = self.specs[slot as usize].src;
+        self.retransmit[src.idx()].push_back((slot, chunk));
         self.schedule_kick(eng, src, SimDuration::ZERO);
     }
 
     // ---- sender ----------------------------------------------------------
 
-    fn sender_kick(&mut self, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
-        self.kick_scheduled.remove(&node);
+    fn sender_kick(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        node: NodeId,
+    ) -> Result<(), SessionError> {
+        self.kick_scheduled[node.idx()] = false;
         // pacing: keep each access channel's backlog under a few chunks
         let pace = self.cfg.chunk_bytes.as_bits() as f64 * 4.0;
         let mut blocked_drain: Option<SimTime> = None;
         // retransmissions first
-        while let Some(&(flow, chunk)) = self.retransmit.get(&node).and_then(|q| q.front()) {
-            let first_hop = self.flows[&flow].route[1];
-            let d = self.dir_between(node, first_hop);
-            if self.channels[d].backlog_bits(now) > pace {
-                blocked_drain = Some(self.channels[d].drain_time(SimDuration::ZERO));
+        while let Some(&(slot, chunk)) = self.retransmit[node.idx()].front() {
+            let d = self.first_dir(slot);
+            if self.channels.backlog_bits(d, now) > pace {
+                blocked_drain = Some(self.channels.drain_time(d, SimDuration::ZERO));
                 break;
             }
-            self.retransmit.get_mut(&node).expect("checked").pop_front();
-            self.emit_chunk(eng, now, flow, chunk);
+            self.retransmit[node.idx()].pop_front();
+            self.emit_chunk(eng, now, slot, chunk)?;
         }
         // fresh chunks, processor sharing across flows
         let mut guard = 0usize;
@@ -995,37 +1316,37 @@ impl<'a> Runner<'a> {
             if guard > 10_000 {
                 break; // paranoid bound; pacing normally stops the loop
             }
-            let topo = self.topo;
+            let flow_ids = &self.flow_ids;
+            let dir_start = &self.dir_start;
+            let route_dirs = &self.route_dirs;
             let channels = &self.channels;
-            let local = &self.local_idx;
-            let flows = &self.flows;
-            let Some(sender) = self.senders.get_mut(&node) else {
+            let Some(sender) = self.senders[node.idx()].as_mut() else {
                 break;
             };
             let next = sender.next_chunk_where(|f| {
-                let first_hop = flows[&f].route[1];
-                let l = topo
-                    .link_between(node, first_hop)
-                    .expect("route hops are links");
-                let d = DirIndex::new(l, topo.link(l).a == node).0;
-                let _ = local;
-                channels[d].backlog_bits(SimTime::ZERO + (now - SimTime::ZERO)) <= pace
+                let slot = flow_ids
+                    .binary_search(&f)
+                    .expect("sender flows are registered");
+                let d = route_dirs[dir_start[slot] as usize] as usize;
+                channels.backlog_bits(d, now) <= pace
             });
             match next {
                 Some((flow, chunk)) => {
-                    self.emit_chunk(eng, now, flow, chunk);
+                    let slot = self.slot_of(flow);
+                    self.emit_chunk(eng, now, slot, chunk)?;
                 }
                 None => {
                     // nothing admissible; if flows still have data, retry
                     // when the busiest access channel drains
-                    if self.senders.get(&node).is_some_and(|s| s.has_eligible()) {
-                        let t = self
-                            .flows
-                            .values()
-                            .filter(|f| f.spec.src == node)
-                            .map(|f| {
-                                let d = self.dir_between(node, f.route[1]);
-                                self.channels[d].drain_time(SimDuration::ZERO)
+                    if self.senders[node.idx()]
+                        .as_ref()
+                        .is_some_and(|s| s.has_eligible())
+                    {
+                        let t = self.node_flows[node.idx()]
+                            .iter()
+                            .map(|&slot| {
+                                self.channels
+                                    .drain_time(self.first_dir(slot), SimDuration::ZERO)
                             })
                             .min()
                             .unwrap_or(now);
@@ -1037,82 +1358,101 @@ impl<'a> Runner<'a> {
         }
         if let Some(t) = blocked_drain {
             let t = t.max(now + SimDuration::from_micros(10));
-            if self.kick_scheduled.insert(node) {
+            if !self.kick_scheduled[node.idx()] {
+                self.kick_scheduled[node.idx()] = true;
                 eng.schedule_at(t, Ev::SenderKick(node)).expect("future");
             }
         }
+        Ok(())
     }
 
-    // ---- custody drain -----------------------------------------------------
+    // ---- custody drain ---------------------------------------------------
 
-    fn custody_drain(&mut self, eng: &mut Engine<Ev>, now: SimTime, node: NodeId, d: usize) {
-        self.drain_scheduled.remove(&d);
+    fn custody_drain(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        node: NodeId,
+        d: usize,
+    ) -> Result<(), SessionError> {
+        self.drain_scheduled[d] = false;
         let threshold = self.cfg.detour_queue_threshold;
         loop {
-            if self.channels[d].queue_delay(now) > threshold {
+            if self.channels.queue_delay(d, now) > threshold {
                 break;
             }
-            let Some(flows) = self.drain_reg.get_mut(&d) else {
-                return;
+            // lowest slot (= lowest flow id) first: deterministic round
+            // across flows as each pop re-checks the registry
+            let Some(&slot) = self.drain_reg[d].first() else {
+                return Ok(());
             };
-            // lowest flow id first: deterministic round across flows as
-            // each pop re-checks the set
-            let Some(&flow) = flows.iter().next() else {
-                self.drain_reg.remove(&d);
-                return;
-            };
+            let flow = self.flow_ids[slot as usize];
+            let key = (node.idx() as u32, slot);
             match self.custody[node.idx()].pop_next(flow) {
                 Some((chunk, _)) => {
-                    let route = self
+                    // copy the resume tail into a pooled owned route (the
+                    // seed cloned a fresh Vec per resumed packet)
+                    let tail = self
                         .resume_routes
-                        .get(&(node, flow))
-                        .expect("custodied flows have resume routes")
-                        .clone();
-                    let pkt = Packet::Data {
-                        flow,
-                        chunk,
-                        route,
-                        hop: 0,
-                        hops_travelled: 0, // custody resets the local count
-                        detoured: true,
-                        sent_at: now,
+                        .get(&key)
+                        .expect("custodied flows have resume routes");
+                    let ri = match self.routes_free.pop() {
+                        Some(i) => {
+                            let v = &mut self.routes[i as usize];
+                            v.clear();
+                            v.extend_from_slice(tail);
+                            i
+                        }
+                        None => {
+                            self.routes.push(tail.clone());
+                            (self.routes.len() - 1) as u32
+                        }
                     };
-                    self.forward_data(eng, now, pkt);
+                    // custody resets the local hop count
+                    self.forward_data(eng, now, slot, chunk, RouteRef::Owned(ri), 0, 0, true, now)?;
                 }
                 None => {
-                    flows.remove(&flow);
-                    self.resume_routes.remove(&(node, flow));
+                    let reg = &mut self.drain_reg[d];
+                    if let Ok(pos) = reg.binary_search(&slot) {
+                        reg.remove(pos);
+                    }
+                    self.resume_routes.remove(&key);
                     continue;
                 }
             }
         }
         // still work left: reschedule at the drain instant
-        let has_work = self.drain_reg.get(&d).is_some_and(|f| !f.is_empty());
-        if has_work && self.drain_scheduled.insert(d) {
-            let t = self.channels[d]
-                .drain_time(threshold)
+        let has_work = !self.drain_reg[d].is_empty();
+        if has_work && !self.drain_scheduled[d] {
+            self.drain_scheduled[d] = true;
+            let t = self
+                .channels
+                .drain_time(d, threshold)
                 .max(now + SimDuration::from_micros(100));
-            eng.schedule_at(t, Ev::CustodyDrain { node, dir: d })
-                .expect("future");
+            eng.schedule_at(
+                t,
+                Ev::CustodyDrain {
+                    node,
+                    dir: d as u32,
+                },
+            )
+            .expect("future");
         }
+        Ok(())
     }
 
-    // ---- maintenance tick -------------------------------------------------
+    // ---- maintenance tick ------------------------------------------------
 
-    fn tick(&mut self, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
+    fn tick(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, node: NodeId) {
         let Some(ic) = self.inrpp_cfg else { return };
         self.estimators[node.idx()].maybe_roll(now);
         self.bp[node.idx()].cleanup(now);
-        let neighbors: Vec<(NodeId, usize)> = self
-            .topo
-            .neighbors(node)
-            .iter()
-            .map(|&(nb, l)| (nb, DirIndex::new(l, self.topo.link(l).a == node).0))
-            .collect();
-        for (li, &(nb, d)) in neighbors.iter().enumerate() {
+        for li in 0..self.nbrs[node.idx()].len() {
+            let (nb, d32) = self.nbrs[node.idx()][li];
+            let d = d32 as usize;
             // gossip our residuals onto the shared board (simplified
             // zero-cost advertisement, see module docs)
-            let residual = self.channels[d].residual_rate(now, ic.interval);
+            let residual = self.channels.residual_rate(d, now, ic.interval);
             self.loads.advertise(now, node, nb, residual);
             let link = DirIndex(d).link();
             let mut detour_available = self
@@ -1123,14 +1463,14 @@ impl<'a> Runner<'a> {
             // flap damping is on, hold detouring steady while the phase
             // is oscillating
             let mon = &mut self.monitors[node.idx()][li];
-            let util = 1.0 - residual.fraction_of(self.channels[d].rate()).min(1.0);
+            let util = 1.0 - residual.fraction_of(self.channels.rate(d)).min(1.0);
             mon.record_utilisation(util);
             if ic.flap_damping && mon.is_flapping(now) {
                 detour_available = false;
             }
             let inputs = PhaseInputs {
                 anticipated: self.estimators[node.idx()].anticipated_rate(li),
-                capacity: self.channels[d].rate() * ic.forwarding_headroom,
+                capacity: self.channels.rate(d) * ic.forwarding_headroom,
                 detour_available,
                 cache_fill: self.custody[node.idx()].fill_fraction(),
             };
@@ -1143,14 +1483,14 @@ impl<'a> Runner<'a> {
         eng.schedule(ic.interval, Ev::Tick(node));
     }
 
-    // ---- slowdown handling --------------------------------------------------
+    // ---- slowdown handling -----------------------------------------------
 
     fn on_slowdown(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut CalendarEngine<Ev>,
         now: SimTime,
         msg: SlowdownMsg,
-        flow: FlowId,
+        slot: u32,
         at: NodeId,
     ) {
         let ttl = self
@@ -1158,35 +1498,41 @@ impl<'a> Runner<'a> {
             .map(|c| c.backpressure_ttl)
             .unwrap_or(SimDuration::from_millis(200));
         self.bp[at.idx()].apply(now, &msg, ttl);
-        let spec = self.flows[&flow].spec;
+        let spec = self.specs[slot as usize];
         if at == spec.src {
             // the sender: enter the closed loop for this flow (§3.2)
-            if let Some(s) = self.senders.get_mut(&at) {
+            let flow = self.flow_ids[slot as usize];
+            if let Some(s) = self.senders[at.idx()].as_mut() {
                 s.set_mode(flow, SenderMode::ClosedLoop);
             }
-            eng.schedule(ttl, Ev::BpExpire { node: at, flow });
+            eng.schedule(ttl, Ev::BpExpire { node: at, slot });
             return;
         }
-        // otherwise: propagate one hop further upstream along the flow route
-        let route = &self.flows[&flow].route;
-        if let Some(pos) = route.iter().position(|&n| n == at) {
-            if pos > 0 {
-                let upstream = route[pos - 1];
-                let d = self.dir_between(at, upstream);
-                let arrival = now + self.channels[d].delay();
-                self.counters.backpressure_msgs += 1;
-                let idx = self.stash(Packet::Slowdown {
-                    msg: msg.propagated(),
-                    flow,
-                });
-                eng.schedule_at(arrival, Ev::Deliver(idx)).expect("future");
+        // otherwise: propagate one hop further upstream along the flow
+        // route — the hop direction is precomputed, reversed
+        let found = {
+            let route = self.route(slot);
+            let dirs = self.dirs(slot);
+            match route.iter().position(|&n| n == at) {
+                Some(pos) if pos > 0 => Some((dirs[pos - 1] ^ 1) as usize),
+                _ => None,
             }
+        };
+        if let Some(d) = found {
+            let arrival = now + self.channels.delay(d);
+            self.counters.backpressure_msgs += 1;
+            let idx = self.stash(Pkt::Slowdown {
+                msg: msg.propagated(),
+                slot,
+            });
+            eng.schedule_at(arrival, Ev::Deliver(idx)).expect("future");
         }
     }
 
-    fn bp_expire(&mut self, eng: &mut Engine<Ev>, _now: SimTime, node: NodeId, flow: FlowId) {
-        let is_inrpp = self.is_inrpp(flow);
-        if let Some(s) = self.senders.get_mut(&node) {
+    fn bp_expire(&mut self, eng: &mut CalendarEngine<Ev>, node: NodeId, slot: u32) {
+        let is_inrpp = self.is_inrpp(slot);
+        let flow = self.flow_ids[slot as usize];
+        if let Some(s) = self.senders[node.idx()].as_mut() {
             // only INRPP flows leave the closed loop again; AIMD flows are
             // permanently request-clocked
             if is_inrpp {
@@ -1196,15 +1542,27 @@ impl<'a> Runner<'a> {
         self.schedule_kick(eng, node, SimDuration::ZERO);
     }
 
-    // ---- main loop ----------------------------------------------------------
+    // ---- main loop -------------------------------------------------------
 
-    fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> PacketSimReport {
+    /// Calendar bucket width: the serialisation time of one chunk on the
+    /// fastest channel — the densest event cadence the run can generate.
+    /// Clamped so degenerate rates can't make the ring uselessly fine or
+    /// coarse; the overflow heap keeps any width correct regardless.
+    fn calendar_width(&self) -> SimDuration {
+        let bits = self.chunk_bits();
+        (0..self.channels.len())
+            .map(|d| self.channels.rate(d).time_to_send(bits))
+            .min()
+            .unwrap_or(SimDuration::from_millis(1))
+            .clamp(SimDuration::from_micros(1), SimDuration::from_millis(16))
+    }
+
+    fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> Result<PacketSimReport, SessionError> {
         let horizon = SimTime::ZERO + self.cfg.horizon;
-        let mut eng: Engine<Ev> = Engine::new().with_horizon(horizon);
-        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        for f in &flow_ids {
-            let start = self.flows[f].spec.start;
-            eng.schedule_at(start, Ev::Start(*f))
+        let mut eng: CalendarEngine<Ev> =
+            CalendarEngine::new(self.calendar_width(), 4096).with_horizon(horizon);
+        for slot in 0..self.flow_ids.len() {
+            eng.schedule_at(self.specs[slot].start, Ev::Start(slot as u32))
                 .expect("start in window");
         }
         if self.inrpp_cfg.is_some() {
@@ -1212,19 +1570,17 @@ impl<'a> Runner<'a> {
                 eng.schedule(SimDuration::ZERO, Ev::Tick(n));
             }
         }
-        // cannot borrow self in closure and call methods: drive manually
         while let Some((now, ev)) = eng.next() {
             match ev {
-                Ev::Start(f) => {
-                    self.start_flow(&mut eng, now, f);
+                Ev::Start(slot) => {
+                    self.start_flow(&mut eng, now, slot);
                     // the sender may already have push-ahead work
-                    let src = self.flows[&f].spec.src;
-                    self.schedule_kick(&mut eng, src, SimDuration::ZERO);
+                    let spec = self.specs[slot as usize];
+                    self.schedule_kick(&mut eng, spec.src, SimDuration::ZERO);
                     if !probes.is_empty() {
-                        let spec = self.flows[&f].spec;
                         probes.flow_start(&FlowStart {
                             time: now,
-                            flow: f,
+                            flow: self.flow_ids[slot as usize],
                             src: spec.src,
                             dst: spec.dst,
                             size_bits: spec.chunks as f64 * self.cfg.chunk_bytes.as_bits() as f64,
@@ -1232,45 +1588,37 @@ impl<'a> Runner<'a> {
                         });
                     }
                 }
-                Ev::SenderKick(n) => self.sender_kick(&mut eng, now, n),
+                Ev::SenderKick(n) => self.sender_kick(&mut eng, now, n)?,
                 Ev::Tick(n) => self.tick(&mut eng, now, n),
-                Ev::RxCheck(f) => self.rx_check(&mut eng, now, f),
-                Ev::CustodyDrain { node, dir } => self.custody_drain(&mut eng, now, node, dir),
-                Ev::BpExpire { node, flow } => self.bp_expire(&mut eng, now, node, flow),
+                Ev::RxCheck(slot) => self.rx_check(&mut eng, now, slot),
+                Ev::CustodyDrain { node, dir } => {
+                    self.custody_drain(&mut eng, now, node, dir as usize)?
+                }
+                Ev::BpExpire { node, slot } => self.bp_expire(&mut eng, node, slot),
                 Ev::Deliver(idx) => {
-                    let pkt = self.in_flight[idx as usize]
+                    let pkt = self.pkts[idx as usize]
                         .take()
                         .expect("packet delivered twice");
+                    self.pkt_free.push(idx);
                     match pkt {
-                        Packet::Request {
-                            flow,
-                            req,
-                            route,
-                            hop,
-                        } => {
-                            let here = route[hop];
-                            if hop + 1 == route.len() {
+                        Pkt::Request { slot, req, hop } => {
+                            let (here, len) = {
+                                let r = self.route(slot);
+                                (r[r.len() - 1 - hop as usize], r.len() as u32)
+                            };
+                            if hop + 1 == len {
                                 // reached the sender
-                                if let Some(s) = self.senders.get_mut(&here) {
+                                let flow = self.flow_ids[slot as usize];
+                                if let Some(s) = self.senders[here.idx()].as_mut() {
                                     s.on_request(flow, req);
                                 }
                                 self.schedule_kick(&mut eng, here, SimDuration::ZERO);
                             } else {
-                                self.forward_request(
-                                    &mut eng,
-                                    now,
-                                    Packet::Request {
-                                        flow,
-                                        req,
-                                        route,
-                                        hop,
-                                    },
-                                    1,
-                                );
+                                self.forward_request(&mut eng, now, slot, req, hop, 1);
                             }
                         }
-                        Packet::Data {
-                            flow,
+                        Pkt::Data {
+                            slot,
                             chunk,
                             route,
                             hop,
@@ -1278,34 +1626,36 @@ impl<'a> Runner<'a> {
                             detoured,
                             sent_at,
                         } => {
-                            if hop + 1 == route.len() {
-                                self.deliver_to_receiver(&mut eng, now, flow, chunk, probes);
+                            if hop as usize + 1 == self.rroute(slot, route).len() {
+                                self.free_route(route);
+                                self.deliver_to_receiver(&mut eng, now, slot, chunk, probes);
                             } else {
                                 self.forward_data(
                                     &mut eng,
                                     now,
-                                    Packet::Data {
-                                        flow,
-                                        chunk,
-                                        route,
-                                        hop,
-                                        hops_travelled,
-                                        detoured,
-                                        sent_at,
-                                    },
-                                );
+                                    slot,
+                                    chunk,
+                                    route,
+                                    hop,
+                                    hops_travelled,
+                                    detoured,
+                                    sent_at,
+                                )?;
                             }
                         }
-                        Packet::Slowdown { msg, flow } => {
+                        Pkt::Slowdown { msg, slot } => {
                             // delivered to the upstream node: figure out who
                             // we are from the flow route relative to origin
-                            let route = self.flows[&flow].route.clone();
-                            let origin_pos = route.iter().position(|&n| n == msg.origin);
-                            let at = origin_pos
-                                .and_then(|p| p.checked_sub(1 + msg.hops_travelled as usize))
-                                .map(|p| route[p]);
+                            let at = {
+                                let route = self.route(slot);
+                                route
+                                    .iter()
+                                    .position(|&n| n == msg.origin)
+                                    .and_then(|p| p.checked_sub(1 + msg.hops_travelled as usize))
+                                    .map(|p| route[p])
+                            };
                             if let Some(at) = at {
-                                self.on_slowdown(&mut eng, now, msg, flow, at);
+                                self.on_slowdown(&mut eng, now, msg, slot, at);
                             }
                         }
                     }
@@ -1315,29 +1665,23 @@ impl<'a> Runner<'a> {
 
         // assemble the report
         let horizon_d = self.cfg.horizon;
-        let channel_utilisation: Vec<f64> = self
-            .channels
-            .iter()
-            .map(|c| c.utilisation(horizon_d))
+        let channel_utilisation: Vec<f64> = (0..self.channels.len())
+            .map(|d| self.channels.utilisation(d, horizon_d))
             .collect();
-        let mean_utilisation = if channel_utilisation.is_empty() {
-            0.0
-        } else {
-            channel_utilisation.iter().sum::<f64>() / channel_utilisation.len() as f64
-        };
+        let mean_utilisation = self.channels.mean_utilisation(horizon_d);
         let mut flows: Vec<FlowStats> = Vec::new();
-        for (f, rt) in &self.receivers {
-            let _ = f;
+        for rt in self.receivers.iter().flatten() {
             flows.push(rt.stats.clone());
         }
         // flows that never started still appear with zero progress
-        for (fid, rt) in &self.flows {
-            if !self.receivers.contains_key(fid) {
+        for (slot, rt) in self.receivers.iter().enumerate() {
+            if rt.is_none() {
+                let spec = self.specs[slot];
                 flows.push(FlowStats {
-                    flow: *fid,
-                    chunks_total: rt.spec.chunks,
+                    flow: self.flow_ids[slot],
+                    chunks_total: spec.chunks,
                     chunks_delivered: 0,
-                    started_at: rt.spec.start,
+                    started_at: spec.start,
                     completed_at: None,
                     retransmits: 0,
                     max_reorder_distance: 0,
@@ -1345,7 +1689,7 @@ impl<'a> Runner<'a> {
             }
         }
         flows.sort_by_key(|f| f.flow);
-        PacketSimReport {
+        Ok(PacketSimReport {
             transport: match (self.inrpp_cfg.is_some(), self.aimd_cfg.is_some()) {
                 (true, true) => "MIXED".into(),
                 (true, false) => "INRPP".into(),
@@ -1362,6 +1706,9 @@ impl<'a> Runner<'a> {
             custody_peak: self.custody_peak,
             mean_utilisation,
             channel_utilisation,
+            channel_bits_sent: (0..self.channels.len())
+                .map(|d| self.channels.bits_sent(d))
+                .collect(),
             chunk_bytes: self.cfg.chunk_bytes,
             trace: self
                 .trace
@@ -1369,10 +1716,74 @@ impl<'a> Runner<'a> {
                 .map(|(t, s)| (t, s.to_string()))
                 .collect(),
             phase_transitions: self.phases.iter().flatten().map(|c| c.transitions()).sum(),
-        }
+        })
     }
 }
 
+/// Pick a detour around the congested hop `here -> next`, preferring
+/// alternatives whose first channel has headroom. Returns the spliced
+/// route and the new first-hop channel.
+///
+/// A free function (not a `Core` method) so the caller can split-borrow:
+/// the current route slice stays borrowed from its arena while the
+/// flowlet splitter is borrowed mutably. A candidate hop with no channel
+/// is treated as non-viable instead of panicking (the seed's behaviour
+/// on that impossible input).
+#[allow(clippy::too_many_arguments)]
+fn pick_detour(
+    selector: Option<&DetourSelector>,
+    topo: &Topology,
+    dense: &DenseChannels,
+    channels: &ChannelBank,
+    splitters: &mut [FlowletSplitter],
+    threshold: SimDuration,
+    now: SimTime,
+    here: NodeId,
+    next: NodeId,
+    flow: FlowId,
+    route: &[NodeId],
+    hop: usize,
+) -> Option<(Vec<NodeId>, usize)> {
+    let selector = selector?;
+    let link = topo.link_between(here, next)?;
+    let cands = selector.candidates(topo, link, here, next);
+    // A candidate is viable when it does not revisit nodes on the
+    // remaining route and its channels have headroom. Load-aware mode
+    // (§3.3 option i: neighbours advertise interface loads) checks
+    // every hop of the detour; blind mode (option ii) sees only the
+    // local first hop.
+    let load_aware = selector.is_load_aware();
+    let viable: Vec<&inrpp_topology::spath::Path> = cands
+        .iter()
+        .filter(|p| {
+            let hops_ok = if load_aware {
+                p.nodes().windows(2).all(|w| {
+                    dense
+                        .dir_index(w[0], w[1])
+                        .is_some_and(|d| channels.queue_delay(d as usize, now) <= threshold)
+                })
+            } else {
+                dense
+                    .dir_index(here, p.nodes()[1])
+                    .is_some_and(|d| channels.queue_delay(d as usize, now) <= threshold)
+            };
+            hops_ok
+                && p.nodes()[1..p.nodes().len() - 1]
+                    .iter()
+                    .all(|n| !route.contains(n))
+        })
+        .collect();
+    if viable.is_empty() {
+        return None;
+    }
+    let pick = splitters[here.idx()].assign(now, flow, viable.len());
+    let detour = viable[pick];
+    let mut new_route = route[..=hop].to_vec();
+    new_route.extend_from_slice(&detour.nodes()[1..]);
+    new_route.extend_from_slice(&route[hop + 2..]);
+    let first = dense.dir_index(here, detour.nodes()[1])? as usize;
+    Some((new_route, first))
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1780,5 +2191,328 @@ mod tests {
         // exact processor sharing, but should stay clearly fair
         let j = r.jain_goodput().unwrap();
         assert!(j > 0.8, "dumbbell fairness {j}");
+    }
+}
+
+/// Reference-equivalence suite: the arena/calendar engine must be
+/// **bit-identical** to the retained seed implementation in
+/// [`crate::reference`] — whole-report `assert_eq!` (floats, traces and
+/// per-channel byte totals included) plus probe-stream identity.
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use inrpp_sim::units::Rate;
+
+    fn n(t: &Topology, s: &str) -> NodeId {
+        t.node_by_name(s).unwrap()
+    }
+
+    fn transfer(t: &Topology, flow: FlowId, src: &str, dst: &str, chunks: u64) -> TransferSpec {
+        TransferSpec {
+            flow,
+            src: n(t, src),
+            dst: n(t, dst),
+            chunks,
+            start: SimTime::ZERO,
+        }
+    }
+
+    fn inrpp_cfg() -> PacketSimConfig {
+        PacketSimConfig {
+            horizon: SimDuration::from_secs(30),
+            ..PacketSimConfig::default()
+        }
+    }
+
+    /// Run the same scenario through both engines and demand identity.
+    fn assert_equivalent(
+        topo: &Topology,
+        cfg: &PacketSimConfig,
+        transfers: &[(TransferSpec, FlowTransport)],
+    ) {
+        let mut a = PacketSim::new(topo, *cfg);
+        let mut b = PacketSim::new(topo, *cfg);
+        for &(spec, kind) in transfers {
+            a.add_transfer_as(spec, kind);
+            b.add_transfer_as(spec, kind);
+        }
+        let new = a.run();
+        let reference = b.run_reference();
+        assert_eq!(new, reference);
+    }
+
+    #[test]
+    fn quiet_inrpp_flow_matches_reference() {
+        let t = Topology::fig3();
+        let spec = transfer(&t, 1, "1", "3", 200);
+        assert_equivalent(&t, &inrpp_cfg(), &[(spec, FlowTransport::Inrpp)]);
+    }
+
+    #[test]
+    fn detour_heavy_run_matches_reference_with_trace() {
+        let t = Topology::fig3();
+        let mut cfg = inrpp_cfg();
+        cfg.trace_capacity = 4096;
+        let spec = transfer(&t, 1, "1", "4", 800);
+        assert_equivalent(&t, &cfg, &[(spec, FlowTransport::Inrpp)]);
+    }
+
+    #[test]
+    fn aimd_run_matches_reference() {
+        let t = Topology::fig3();
+        let cfg = PacketSimConfig {
+            transport: TransportKind::Aimd(AimdConfig::default()),
+            horizon: SimDuration::from_secs(30),
+            ..PacketSimConfig::default()
+        };
+        let spec = transfer(&t, 1, "1", "4", 400);
+        assert_equivalent(&t, &cfg, &[(spec, FlowTransport::Aimd)]);
+    }
+
+    #[test]
+    fn mixed_transports_match_reference() {
+        let t = Topology::fig3();
+        let cfg = PacketSimConfig {
+            transport: TransportKind::Mixed {
+                inrpp: InrppConfig::default(),
+                aimd: AimdConfig::default(),
+            },
+            horizon: SimDuration::from_secs(30),
+            ..PacketSimConfig::default()
+        };
+        assert_equivalent(
+            &t,
+            &cfg,
+            &[
+                (transfer(&t, 1, "1", "4", 300), FlowTransport::Inrpp),
+                (transfer(&t, 2, "1", "4", 300), FlowTransport::Aimd),
+            ],
+        );
+    }
+
+    #[test]
+    fn custody_overload_matches_reference() {
+        // tiny custody budget + overload: custody, drains, back-pressure,
+        // slow-down propagation and custody-full drops all exercised
+        let t = Topology::fig3();
+        let mut cfg = inrpp_cfg();
+        cfg.trace_capacity = 8192;
+        cfg.horizon = SimDuration::from_secs(20);
+        if let TransportKind::Inrpp(ref mut ic) = cfg.transport {
+            ic.cache_budget = ByteSize::bytes(4_000);
+            ic.anticipation = 32;
+            ic.cache_pressure_threshold = 0.5;
+        }
+        assert_equivalent(
+            &t,
+            &cfg,
+            &[
+                (transfer(&t, 1, "1", "4", 1000), FlowTransport::Inrpp),
+                (transfer(&t, 2, "1", "4", 1000), FlowTransport::Inrpp),
+            ],
+        );
+    }
+
+    #[test]
+    fn fault_injection_matches_reference() {
+        // both engines must consume the fault RNG stream in lock-step
+        let t = Topology::fig3();
+        let mut cfg = inrpp_cfg();
+        cfg.fault = inrpp_sim::fault::FaultConfig {
+            drop_chance: 0.05,
+            corrupt_chance: 0.0,
+        };
+        cfg.horizon = SimDuration::from_secs(60);
+        let spec = transfer(&t, 1, "1", "3", 300);
+        assert_equivalent(&t, &cfg, &[(spec, FlowTransport::Inrpp)]);
+    }
+
+    #[test]
+    fn staggered_and_duplicate_flow_ids_match_reference() {
+        // the second spec for flow 1 must win (reference `insert`
+        // semantics) while sender registration keeps insertion order;
+        // duplicates are only legal from distinct sources (the same
+        // sender rejects a re-registered flow id in both engines)
+        let t = Topology::fig3();
+        let mut dup = transfer(&t, 1, "2", "4", 50);
+        dup.start = SimTime::from_millis(200);
+        let mut late = transfer(&t, 2, "2", "4", 120);
+        late.start = SimTime::from_millis(700);
+        assert_equivalent(
+            &t,
+            &inrpp_cfg(),
+            &[
+                (transfer(&t, 1, "1", "3", 80), FlowTransport::Inrpp),
+                (late, FlowTransport::Inrpp),
+                (dup, FlowTransport::Inrpp),
+            ],
+        );
+    }
+
+    #[test]
+    fn dumbbell_many_flows_match_reference() {
+        let t = Topology::dumbbell(
+            4,
+            Rate::mbps(10.0),
+            Rate::mbps(5.0),
+            SimDuration::from_millis(2),
+        );
+        let transfers: Vec<(TransferSpec, FlowTransport)> = (0..4u32)
+            .map(|i| {
+                (
+                    TransferSpec {
+                        flow: i as u64 + 1,
+                        src: NodeId(i),
+                        dst: NodeId(6 + i),
+                        chunks: 200,
+                        start: SimTime::ZERO,
+                    },
+                    FlowTransport::Inrpp,
+                )
+            })
+            .collect();
+        assert_equivalent(&t, &inrpp_cfg(), &transfers);
+    }
+
+    /// Probe recorder that captures every callback bit-exactly.
+    #[derive(Default)]
+    struct Rec(Vec<(u8, SimTime, u64, u64, u64)>);
+
+    impl Probe for Rec {
+        fn on_flow_start(&mut self, ev: &FlowStart) {
+            self.0
+                .push((0, ev.time, ev.flow, ev.size_bits.to_bits(), 0));
+        }
+        fn on_flow_end(&mut self, ev: &FlowEnd) {
+            self.0.push((
+                1,
+                ev.time,
+                ev.flow,
+                ev.delivered_bits.to_bits(),
+                ev.fct_secs.to_bits(),
+            ));
+        }
+        fn on_sample(&mut self, ev: &Sample) {
+            self.0.push((2, ev.time, 0, ev.delivered_bits.to_bits(), 0));
+        }
+    }
+
+    #[test]
+    fn probe_streams_match_reference() {
+        let t = Topology::fig3();
+        let mut cfg = inrpp_cfg();
+        cfg.trace_capacity = 1024;
+        fn mk<'t>(t: &'t Topology, cfg: &PacketSimConfig) -> PacketSim<'t> {
+            let mut s = PacketSim::new(t, *cfg);
+            s.add_transfer(transfer(t, 1, "1", "4", 500));
+            s.add_transfer(transfer(t, 2, "2", "4", 300));
+            s
+        }
+        let mut pa = Rec::default();
+        let mut pb = Rec::default();
+        let ra = mk(&t, &cfg).run_probed(&mut [&mut pa]);
+        let rb = mk(&t, &cfg).run_reference_probed(&mut [&mut pb]);
+        assert_eq!(ra, rb);
+        assert!(!pa.0.is_empty(), "probes must observe the run");
+        assert_eq!(pa.0, pb.0, "probe streams diverged");
+    }
+
+    // ---- typed-error regressions (the bugfix sweep) ---------------------
+
+    #[test]
+    fn unreachable_hop_is_a_typed_error_not_a_panic() {
+        // Core::build on a disconnected transfer must surface
+        // `SessionError::Unroutable` — the seed engine panicked with
+        // "validated at add_transfer" / "no channel a->b" here.
+        let mut t = Topology::new("split");
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        let d = t.add_node();
+        t.add_link(a, b, Rate::mbps(10.0), SimDuration::from_millis(1))
+            .unwrap();
+        t.add_link(c, d, Rate::mbps(10.0), SimDuration::from_millis(1))
+            .unwrap();
+        let spec = TransferSpec {
+            flow: 7,
+            src: a,
+            dst: d,
+            chunks: 10,
+            start: SimTime::ZERO,
+        };
+        let err = Core::build(&t, inrpp_cfg(), vec![(spec, FlowTransport::Inrpp)])
+            .err()
+            .expect("disconnected route must not build");
+        assert!(
+            matches!(err, SessionError::Unroutable { flow: 7 }),
+            "wrong error: {err}"
+        );
+        // the public builder rejects it up front with the same type
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        let err = sim
+            .try_add_transfer_as(spec, FlowTransport::Inrpp)
+            .err()
+            .expect("unroutable spec must be rejected");
+        assert!(matches!(err, SessionError::Unroutable { flow: 7 }));
+    }
+
+    #[test]
+    fn zero_capacity_link_is_a_typed_error() {
+        // the seed engine accepted this and panicked deep inside run();
+        // now it is an InvalidConfig at construction
+        let mut t = Topology::new("dead-link");
+        let a = t.add_node();
+        let b = t.add_node();
+        t.add_link(a, b, Rate::bps(0.0), SimDuration::from_millis(1))
+            .unwrap();
+        let err = PacketSim::try_new(&t, inrpp_cfg())
+            .err()
+            .expect("zero-capacity link must be rejected");
+        assert!(
+            matches!(&err, SessionError::InvalidConfig(m) if m.contains("zero capacity")),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_link_panics_on_the_untyped_path() {
+        let mut t = Topology::new("dead-link");
+        let a = t.add_node();
+        let b = t.add_node();
+        t.add_link(a, b, Rate::bps(0.0), SimDuration::from_millis(1))
+            .unwrap();
+        let _ = PacketSim::new(&t, inrpp_cfg());
+    }
+
+    #[test]
+    fn linkless_topology_reports_zero_mean_utilisation() {
+        // no channels at all: the mean must be 0.0, not NaN (and both
+        // engines agree)
+        let mut t = Topology::new("islands");
+        let _ = t.add_node();
+        let _ = t.add_node();
+        let ra = PacketSim::new(&t, inrpp_cfg()).run();
+        let rb = PacketSim::new(&t, inrpp_cfg()).run_reference();
+        assert_eq!(ra, rb);
+        assert_eq!(ra.mean_utilisation, 0.0);
+        assert!(ra.mean_utilisation.is_finite());
+    }
+
+    #[test]
+    fn horizon_truncation_yields_none_fct_not_a_panic() {
+        // cut a run mid-flow: accessors must degrade to None/0.0
+        let t = Topology::fig3();
+        let mut cfg = inrpp_cfg();
+        cfg.horizon = SimDuration::from_millis(40);
+        let mut sim = PacketSim::new(&t, cfg);
+        sim.add_transfer(transfer(&t, 1, "1", "4", 5_000));
+        let r = sim.run();
+        assert_eq!(r.completed(), 0, "{}", r.summary());
+        assert_eq!(r.fct_of(1), None, "truncated flow has no FCT");
+        assert_eq!(r.flow(1).unwrap().fct(), None);
+        assert_eq!(r.max_fct(), None);
+        assert_eq!(r.mean_fct_secs(), 0.0);
+        assert!(r.summary().contains("done=0/1"));
     }
 }

@@ -28,6 +28,7 @@
 pub mod channel;
 pub mod engine;
 pub mod packet;
+pub mod reference;
 pub mod report;
 pub mod session;
 

@@ -57,7 +57,12 @@ impl FlowStats {
 }
 
 /// Aggregate result of a packet-level run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the reference-equivalence suite can assert
+/// whole-report identity between the arena engine and the reference
+/// engine (floats included: byte-identical behaviour means the exact
+/// same doubles, not approximately equal ones).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketSimReport {
     /// Transport display name ("INRPP" / "AIMD").
     pub transport: String,
@@ -86,6 +91,10 @@ pub struct PacketSimReport {
     /// (index = `link.idx() * 2 + direction`; same layout as the fluid
     /// report's channel vector).
     pub channel_utilisation: Vec<f64>,
+    /// Bits accepted per directed channel (same index layout as
+    /// [`PacketSimReport::channel_utilisation`]) — the per-channel byte
+    /// totals the equivalence suite diffs between engines.
+    pub channel_bits_sent: Vec<f64>,
     /// Chunk payload size (for goodput maths).
     pub chunk_bytes: ByteSize,
     /// Notable-event trace (detours, custody, back-pressure, drops);
@@ -103,6 +112,28 @@ impl PacketSimReport {
             .iter()
             .filter(|f| f.completed_at.is_some())
             .count()
+    }
+
+    /// Stats for one flow, `None` if the run never knew that id.
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowStats> {
+        // `flows` is sorted ascending by id (the engines guarantee it)
+        self.flows
+            .binary_search_by_key(&flow, |f| f.flow)
+            .ok()
+            .map(|i| &self.flows[i])
+    }
+
+    /// Completion time of one flow. `None` when the flow is unknown *or*
+    /// was truncated by the horizon — callers must not assume every flow
+    /// finishes (a run cut mid-flow is a normal outcome, not an error).
+    pub fn fct_of(&self, flow: FlowId) -> Option<SimDuration> {
+        self.flow(flow).and_then(|f| f.fct())
+    }
+
+    /// Slowest completion among *completed* flows, `None` when nothing
+    /// finished by the horizon.
+    pub fn max_fct(&self) -> Option<SimDuration> {
+        self.flows.iter().filter_map(|f| f.fct()).max()
     }
 
     /// Mean FCT over completed flows, seconds.
@@ -208,11 +239,13 @@ mod tests {
 
     #[test]
     fn report_aggregates() {
+        let mut unfinished = flow(false);
+        unfinished.flow = 2;
         let r = PacketSimReport {
             transport: "INRPP".into(),
             topology: "fig3".into(),
             horizon: SimDuration::from_secs(10),
-            flows: vec![flow(true), flow(false)],
+            flows: vec![flow(true), unfinished],
             chunks_delivered: 140,
             chunks_dropped: 10,
             chunks_detoured: 30,
@@ -221,12 +254,17 @@ mod tests {
             custody_peak: ByteSize::kb(10),
             mean_utilisation: 0.5,
             channel_utilisation: vec![0.5, 0.5],
+            channel_bits_sent: vec![1_000.0, 0.0],
             chunk_bytes: ByteSize::bytes(1000),
             trace: Vec::new(),
             phase_transitions: 0,
         };
         assert_eq!(r.completed(), 1);
         assert!((r.mean_fct_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(r.fct_of(1), Some(SimDuration::from_secs(2)));
+        assert_eq!(r.fct_of(2), None, "truncated flow is None, not a panic");
+        assert_eq!(r.max_fct(), Some(SimDuration::from_secs(2)));
+        assert_eq!(r.fct_of(99), None, "unknown flow is None, not a panic");
         assert!((r.drop_rate() - 10.0 / 150.0).abs() < 1e-12);
         assert!(r.jain_goodput().unwrap() > 0.0);
         assert!(r.total_goodput_bps() > 0.0);
@@ -248,6 +286,7 @@ mod tests {
             custody_peak: ByteSize::ZERO,
             mean_utilisation: 0.0,
             channel_utilisation: Vec::new(),
+            channel_bits_sent: Vec::new(),
             chunk_bytes: ByteSize::bytes(1000),
             trace: Vec::new(),
             phase_transitions: 0,

@@ -187,7 +187,7 @@ impl Engine for PacketEngine {
             };
             sim.try_add_transfer_as(*t, kind)?;
         }
-        let report = sim.run_probed(probes);
+        let report = sim.try_run_probed(probes)?;
 
         let chunk_bits = report.chunk_bytes.as_bits() as f64;
         let flows: Vec<FlowRecord> = report

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod dist;
 pub mod event;
 pub mod fault;
@@ -37,6 +38,7 @@ pub mod units;
 
 /// Convenient glob-import surface: `use inrpp_sim::prelude::*;`.
 pub mod prelude {
+    pub use crate::calendar::{CalendarEngine, CalendarQueue};
     pub use crate::dist::{Distribution, Exponential, Pareto, PoissonProcess, Uniform, Zipf};
     pub use crate::event::{Engine, EventQueue, StopReason};
     pub use crate::metrics::{Cdf, Counter, JainIndex, SummaryStats, TimeWeighted};
