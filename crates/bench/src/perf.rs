@@ -2,7 +2,7 @@
 //! `BENCH_flowsim.json` so the suite's performance trajectory is recorded
 //! (and regressions are visible) PR over PR.
 //!
-//! Six entries cover the hot paths of both engines:
+//! Eight entries cover the hot paths of both engines:
 //!
 //! * `flowsim:fig4a` — the paper's headline sweep: SP/ECMP/URP on the
 //!   three Fig. 4 ISP topologies. The heaviest flow-level workload in the
@@ -18,6 +18,17 @@
 //!   INRPP/AIMD flows with custody + back-pressure on a shared
 //!   bottleneck. These are the workloads the arena/calendar rewrite of
 //!   `inrpp_packetsim::engine` is gated on.
+//! * `packetsim:line-inrpp-deep:sharded` and
+//!   `packetsim:dumbbell-mixed-many:sharded` — the sharded driver
+//!   (`try_run_sharded`, 4 workers over a fixed BFS partition) on the
+//!   same two shapes, with sharding-safe parameters: odd-nanosecond
+//!   link delays and fractional-Mbps rates keep channel-derived event
+//!   instants off the barrier ladder, and load-aware detouring is off
+//!   (see `inrpp_packetsim::shard` for the preconditions). These two run
+//!   the **same fixed-size workload in both modes**, so their
+//!   deterministic event counts can be pinned across quick and full
+//!   baselines — `--compare` gates drift on them even when the modes
+//!   differ.
 //!
 //! "Events" are the re-allocation triggers of the fluid model (arrivals +
 //! completed departures, summed over every cell run), or delivered chunks
@@ -238,6 +249,13 @@ pub fn run_bench(quick: bool, notes: Vec<(String, String)>) -> BenchReport {
     entries.push(packet_fig3_large(quick));
     entries.push(packet_dumbbell_many(quick));
 
+    // 7./8. The sharded driver on the same two shapes, with
+    //    sharding-safe parameters. Fixed size in both modes so the
+    //    event counts stay comparable across quick/full baselines.
+    for w in sharded_workloads() {
+        entries.push(packet_entry_sharded(&w));
+    }
+
     BenchReport {
         mode: if quick { "quick" } else { "full" },
         entries,
@@ -356,6 +374,153 @@ fn packet_dumbbell_many(quick: bool) -> BenchEntry {
         &transfers,
         Some(&[FlowTransport::Inrpp, FlowTransport::Aimd]),
     )
+}
+
+/// Worker count for the sharded bench entries: enough regions that the
+/// window protocol and boundary exchange are genuinely exercised, small
+/// enough to shard every bench topology.
+const SHARD_BENCH_WORKERS: usize = 4;
+
+/// Fixed BFS partition seed for the sharded entries — the partition
+/// must not move between runs or the wall clocks are not comparable.
+const SHARD_BENCH_PARTITION_SEED: u64 = 7;
+
+/// [`InrppConfig`] with load-aware detouring off — the one INRPP knob
+/// the sharded driver rejects (detour scoring reads remote queue depths
+/// that a region cannot see; see `inrpp_packetsim::shard`).
+fn shardable_inrpp() -> InrppConfig {
+    InrppConfig {
+        load_aware_detour: false,
+        ..InrppConfig::default()
+    }
+}
+
+/// One sharded bench workload, kept as data so the identity test in
+/// this module can push the exact same configuration through both the
+/// sequential engine and the sharded driver.
+struct ShardedWorkload {
+    id: &'static str,
+    topo: Topology,
+    cfg: PacketSimConfig,
+    transfers: Vec<TransferSpec>,
+    kinds: Option<Vec<FlowTransport>>,
+}
+
+impl ShardedWorkload {
+    /// Build the simulator with every transfer added.
+    fn sim(&self) -> PacketSim<'_> {
+        let mut sim = PacketSim::new(&self.topo, self.cfg);
+        for (i, t) in self.transfers.iter().enumerate() {
+            match &self.kinds {
+                Some(ks) => {
+                    sim.add_transfer_as(*t, ks[i % ks.len()]);
+                }
+                None => {
+                    sim.add_transfer(*t);
+                }
+            }
+        }
+        sim
+    }
+}
+
+/// The two sharded bench workloads. Fixed size regardless of `--quick`
+/// (see the module docs: their event counts must be mode-independent
+/// for the cross-mode drift gate to make sense), and sized so both
+/// finish well under a second in release builds.
+fn sharded_workloads() -> Vec<ShardedWorkload> {
+    // Deep-flow shape: two opposing INRPP transfers across a six-hop
+    // line — per-chunk forwarding at depth, every chunk crossing
+    // several region boundaries. The 1.300017 ms delay keeps channel
+    // instants off the 250 ms rung grid (sharding precondition) and
+    // sets the conservative lookahead window.
+    let line_topo = Topology::line(6, Rate::mbps(97.3), SimDuration::from_nanos(1_300_017));
+    let line_ids: Vec<_> = line_topo.node_ids().collect();
+    let line = ShardedWorkload {
+        id: "packetsim:line-inrpp-deep:sharded",
+        cfg: PacketSimConfig {
+            transport: TransportKind::Inrpp(shardable_inrpp()),
+            horizon: SimDuration::from_secs(8),
+            ..PacketSimConfig::default()
+        },
+        transfers: vec![
+            TransferSpec {
+                flow: 1,
+                src: line_ids[0],
+                dst: line_ids[5],
+                chunks: 50_000,
+                start: SimTime::ZERO,
+            },
+            TransferSpec {
+                flow: 2,
+                src: line_ids[5],
+                dst: line_ids[0],
+                chunks: 50_000,
+                start: SimTime::ZERO,
+            },
+        ],
+        kinds: None,
+        topo: line_topo,
+    };
+
+    // Many-flow shape: the mixed INRPP/AIMD dumbbell again (16 pairs,
+    // 32 flows, custody + back-pressure on the shared bottleneck), on
+    // fractional-Mbps rates and an odd 2.700031 ms delay so every
+    // channel instant misses the barrier ladder.
+    let pairs: usize = 16;
+    let per_flow: u64 = 3_200;
+    let mut transfers = Vec::new();
+    for i in 0..pairs {
+        for j in 0..2u64 {
+            transfers.push(TransferSpec {
+                flow: (i as u64) * 2 + j + 1,
+                src: inrpp_topology::graph::NodeId(i as u32),
+                dst: inrpp_topology::graph::NodeId((pairs + 2 + i) as u32),
+                chunks: per_flow,
+                start: SimTime::ZERO,
+            });
+        }
+    }
+    let dumbbell = ShardedWorkload {
+        id: "packetsim:dumbbell-mixed-many:sharded",
+        topo: Topology::dumbbell(
+            pairs,
+            Rate::mbps(97.3),
+            Rate::mbps(393.9),
+            SimDuration::from_nanos(2_700_031),
+        ),
+        cfg: PacketSimConfig {
+            transport: TransportKind::Mixed {
+                inrpp: shardable_inrpp(),
+                aimd: AimdConfig::default(),
+            },
+            horizon: SimDuration::from_secs(5),
+            ..PacketSimConfig::default()
+        },
+        transfers,
+        kinds: Some(vec![FlowTransport::Inrpp, FlowTransport::Aimd]),
+    };
+
+    vec![line, dumbbell]
+}
+
+/// Like [`packet_entry_as`], but timing the sharded driver
+/// ([`PacketSim::try_run_sharded`]) instead of the sequential engine.
+/// Events are delivered chunks exactly as in the sequential entries —
+/// the sharded report is byte-identical to the sequential one, so the
+/// counts are directly comparable.
+fn packet_entry_sharded(w: &ShardedWorkload) -> BenchEntry {
+    let t0 = Instant::now();
+    let report = w
+        .sim()
+        .try_run_sharded(SHARD_BENCH_WORKERS, SHARD_BENCH_PARTITION_SEED)
+        .expect("bench workloads satisfy the sharding preconditions");
+    BenchEntry {
+        id: w.id.to_string(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells: 1,
+        events: report.chunks_delivered,
+    }
 }
 
 // ===================================================================
@@ -503,10 +668,18 @@ pub struct CompareReport {
     /// Workloads whose cells/sec regressed past the threshold (empty
     /// when `gated` is false).
     pub regressions: Vec<String>,
-    /// Workloads whose deterministic event counts differ between two
-    /// same-mode runs — a behaviour change, never machine noise (empty
-    /// when `gated` is false).
+    /// Workloads whose deterministic event counts differ — a behaviour
+    /// change, never machine noise. Same-mode runs gate every entry;
+    /// across modes only the sharded entries (`…:sharded` ids) are
+    /// gated, because they alone run a mode-independent workload.
     pub event_drift: Vec<String>,
+}
+
+/// Sharded bench entries run the identical fixed-size workload in both
+/// modes precisely so the event-drift gate can span a quick-vs-full
+/// comparison — their ids carry a `:sharded` suffix to mark that.
+fn sharded_entry(id: &str) -> bool {
+    id.ends_with(":sharded")
 }
 
 /// Allowed cells/sec slowdown before `--compare` fails the run, percent.
@@ -553,15 +726,17 @@ pub fn compare(old: &BenchSnapshot, new: &BenchSnapshot) -> CompareReport {
         Vec::new()
     };
     // cells/events are deterministic within a mode: any same-mode drift
-    // is a behaviour change, not a machine effect — always a failure
-    let event_drift = if gated {
-        rows.iter()
-            .filter(|r| r.events.0 != r.events.1)
-            .map(|r| r.id.clone())
-            .collect()
-    } else {
-        Vec::new()
-    };
+    // is a behaviour change, not a machine effect — always a failure.
+    // Sharded entries are mode-independent by construction, so their
+    // counts are held to the baseline even when the modes differ: a
+    // moving sharded count means the parallel driver diverged from the
+    // sequential engine somewhere, which the equivalence tests must
+    // never let ship.
+    let event_drift = rows
+        .iter()
+        .filter(|r| (gated || sharded_entry(&r.id)) && r.events.0 != r.events.1)
+        .map(|r| r.id.clone())
+        .collect();
     CompareReport {
         modes: (old.mode.clone(), new.mode.clone()),
         rows,
@@ -574,8 +749,9 @@ pub fn compare(old: &BenchSnapshot, new: &BenchSnapshot) -> CompareReport {
 
 impl CompareReport {
     /// True when the diff should fail the invocation: a gated regression
-    /// past the threshold, deterministic event counts drifting between
-    /// same-mode runs, or workloads missing on either side.
+    /// past the threshold, deterministic event counts drifting (same-mode
+    /// for every entry, any-mode for sharded entries), or workloads
+    /// missing on either side.
     pub fn failed(&self) -> bool {
         !self.regressions.is_empty() || !self.unmatched.is_empty() || !self.event_drift.is_empty()
     }
@@ -617,7 +793,9 @@ impl CompareReport {
         if !self.gated {
             out.push_str(
                 "modes differ: the >10% cells/sec regression gate is skipped \
-                 (wall clocks are not comparable across modes)\n",
+                 (wall clocks are not comparable across modes); sharded \
+                 entries' event counts are still gated — their workloads \
+                 are mode-independent\n",
             );
         }
         for id in &self.unmatched {
@@ -649,9 +827,18 @@ mod tests {
             vec![("context".to_string(), "unit \"test\"".to_string())],
         );
         assert_eq!(report.mode, "quick");
-        assert_eq!(report.entries.len(), 6);
+        assert_eq!(report.entries.len(), 8);
         assert_eq!(report.entries[0].id, "flowsim:fig4a");
         assert_eq!(report.entries[0].cells, 9);
+        assert_eq!(
+            report
+                .entries
+                .iter()
+                .filter(|e| sharded_entry(&e.id))
+                .count(),
+            2,
+            "both sharded driver entries must be present"
+        );
         assert!(report.entries.iter().all(|e| e.events > 0));
         assert!(report.total_wall_secs() > 0.0);
         let json = report.to_json();
@@ -742,6 +929,59 @@ mod tests {
         let mut quick = snapshot("quick", 0.1);
         quick.entries[1].events = 5;
         assert!(compare(&old, &quick).event_drift.is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "runs both sharded bench workloads through both drivers — \
+                  tens of seconds in debug; runs un-ignored in release \
+                  (CI's `--release -- --include-ignored` step keeps the gate)"
+    )]
+    fn sharded_bench_workloads_match_the_sequential_engine() {
+        // the cross-mode drift gate in `compare` leans on these counts
+        // being the sequential engine's counts — pin the whole report,
+        // not just the total
+        for w in sharded_workloads() {
+            let sequential = w.sim().run();
+            let sharded = w
+                .sim()
+                .try_run_sharded(SHARD_BENCH_WORKERS, SHARD_BENCH_PARTITION_SEED)
+                .expect("bench workloads satisfy the sharding preconditions");
+            assert_eq!(
+                sequential, sharded,
+                "{} diverged between the sequential engine and the sharded driver",
+                w.id
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_entries_gate_event_drift_even_across_modes() {
+        let sharded = |events: u64| BenchEntry {
+            id: "packetsim:line-inrpp-deep:sharded".to_string(),
+            wall_secs: 0.4,
+            cells: 1,
+            events,
+        };
+        let mut old = snapshot("full", 1.0);
+        old.entries.push(sharded(100_000));
+        let mut new = snapshot("quick", 0.1);
+        new.entries[1].events = 5; // non-sharded cross-mode drift: fine
+        new.entries.push(sharded(100_001));
+        let report = compare(&old, &new);
+        assert!(!report.gated);
+        assert_eq!(
+            report.event_drift,
+            vec!["packetsim:line-inrpp-deep:sharded".to_string()]
+        );
+        assert!(report.failed());
+        assert!(report.render_table().contains("DETERMINISM DRIFT"));
+        // an agreeing sharded count passes the cross-mode compare
+        new.entries.last_mut().unwrap().events = 100_000;
+        let clean = compare(&old, &new);
+        assert!(clean.event_drift.is_empty());
+        assert!(!clean.failed());
     }
 
     #[test]

@@ -817,6 +817,7 @@ pub struct Session<'a> {
     strategy: SessionStrategy,
     horizon: SimDuration,
     seed: u64,
+    workers: usize,
 }
 
 /// Builder for [`Session`]; see the module docs for the grammar.
@@ -829,6 +830,7 @@ pub struct SessionBuilder<'a> {
     strategy: SessionStrategy,
     horizon: Option<SimDuration>,
     seed: u64,
+    workers: Option<usize>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -887,9 +889,29 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Worker threads for engines that support sharded execution
+    /// (default: 1, i.e. the sequential path). The packet engine runs
+    /// `n > 1` as a sharded simulation — byte-identical to `n = 1` by
+    /// contract — while the fluid engine accepts only `n = 1`.
+    /// `workers(0)` is rejected at build time with
+    /// [`SessionError::InvalidConfig`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Validate and assemble the session.
     pub fn build(self) -> Result<Session<'a>, SessionError> {
         let topology = self.topology.ok_or(SessionError::MissingTopology)?;
+        let workers = match self.workers {
+            Some(0) => {
+                return Err(SessionError::InvalidConfig(
+                    "workers(0) is meaningless: a run needs at least one worker".into(),
+                ))
+            }
+            Some(n) => n,
+            None => 1,
+        };
         let horizon = match self.horizon {
             Some(d) if d <= SimDuration::ZERO => return Err(SessionError::EmptyWindow),
             Some(d) => d,
@@ -943,6 +965,7 @@ impl<'a> SessionBuilder<'a> {
             strategy: self.strategy,
             horizon,
             seed: self.seed,
+            workers,
         })
     }
 }
@@ -976,6 +999,11 @@ impl<'a> Session<'a> {
     /// The session's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Worker threads requested for the run (≥ 1; default 1).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The traffic as a fluid workload: borrowed when flow-native,
@@ -1136,6 +1164,13 @@ impl Engine for FluidEngine {
         session: &Session<'_>,
         probes: &mut [&mut dyn Probe],
     ) -> Result<RunReport, SessionError> {
+        if session.workers() > 1 {
+            return Err(SessionError::InvalidConfig(format!(
+                "the fluid engine is single-threaded; workers({}) is only \
+                 supported by the packet engine",
+                session.workers()
+            )));
+        }
         let workload = session.fluid_workload();
         let strategy = session.strategy.build_fluid(session.topology);
         let mut adapter = FluidAdapter {

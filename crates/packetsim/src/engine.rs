@@ -56,7 +56,6 @@ use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
 use inrpp_sim::calendar::CalendarEngine;
 use inrpp_sim::fault::{FaultInjector, FaultOutcome};
-use inrpp_sim::rng::SimRng;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::ByteSize;
 use inrpp_topology::dense::DenseChannels;
@@ -257,12 +256,72 @@ impl<'a> PacketSim<'a> {
         crate::reference::Runner::build(self.topo, self.config, self.transfers)
             .run(&mut ProbeSet::new(probes))
     }
+
+    /// Execute the simulation sharded over `workers` region threads,
+    /// partitioning the topology with a seeded
+    /// [`BfsPartitioner`](inrpp_topology::partition::BfsPartitioner).
+    ///
+    /// The result — the full report, probe stream included — is
+    /// byte-identical to [`PacketSim::try_run`] for **any** worker count
+    /// and partition seed (enforced by `tests/shard_equivalence.rs`).
+    /// Returns [`SessionError::InvalidConfig`] when `workers == 0` or the
+    /// configuration violates a sharding precondition (tracing enabled,
+    /// load-aware detouring, a zero-delay cut channel, or a zero receiver
+    /// timeout); see [`crate::shard`] for the protocol.
+    pub fn try_run_sharded(
+        self,
+        workers: usize,
+        partition_seed: u64,
+    ) -> Result<PacketSimReport, SessionError> {
+        self.try_run_sharded_probed(workers, partition_seed, &mut [])
+    }
+
+    /// [`PacketSim::try_run_sharded`] with streaming probes. The merged
+    /// probe stream replays after the run completes, in the sequential
+    /// engine's order.
+    pub fn try_run_sharded_probed(
+        self,
+        workers: usize,
+        partition_seed: u64,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<PacketSimReport, SessionError> {
+        use inrpp_topology::partition::{BfsPartitioner, Partitioner};
+        if workers == 0 {
+            return Err(SessionError::InvalidConfig(
+                "sharded run needs at least one worker".into(),
+            ));
+        }
+        let partition = BfsPartitioner {
+            seed: partition_seed,
+        }
+        .partition(self.topo, workers);
+        self.try_run_partitioned_probed(&partition, probes)
+    }
+
+    /// Execute the simulation sharded over an explicit
+    /// [`Partition`](inrpp_topology::partition::Partition) — one worker
+    /// thread per region. Same contract as [`PacketSim::try_run_sharded`].
+    pub fn try_run_partitioned(
+        self,
+        partition: &inrpp_topology::partition::Partition,
+    ) -> Result<PacketSimReport, SessionError> {
+        self.try_run_partitioned_probed(partition, &mut [])
+    }
+
+    /// [`PacketSim::try_run_partitioned`] with streaming probes.
+    pub fn try_run_partitioned_probed(
+        self,
+        partition: &inrpp_topology::partition::Partition,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<PacketSimReport, SessionError> {
+        crate::shard::run_partitioned(self.topo, self.config, self.transfers, partition, probes)
+    }
 }
 
 /// Event vocabulary. Flows are addressed by slot (rank of the flow id),
 /// packets by slab index — everything fits in a couple of words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub(crate) enum Ev {
     Start(u32),
     SenderKick(NodeId),
     Tick(NodeId),
@@ -282,6 +341,78 @@ enum Ev {
 enum RouteRef {
     Primary,
     Owned(u32),
+}
+
+/// Serialised in-flight packet crossing a region boundary in a sharded
+/// run: [`Pkt`] with slab/arena handles materialised (owned detour and
+/// resume routes travel by value; primary-route packets stay handle-free
+/// because every region holds the full route arena).
+pub(crate) enum WirePkt {
+    Request {
+        slot: u32,
+        req: Request,
+        hop: u32,
+    },
+    Data {
+        slot: u32,
+        chunk: ChunkNo,
+        route: Option<Vec<NodeId>>,
+        hop: u32,
+        hops_travelled: u32,
+        detoured: bool,
+        sent_at: SimTime,
+    },
+    Slowdown {
+        msg: SlowdownMsg,
+        slot: u32,
+    },
+}
+
+/// One boundary delivery: `pkt` must be injected into `to_region`'s
+/// calendar at `arrival` (always strictly beyond the current barrier —
+/// the conservative-lookahead guarantee).
+pub(crate) struct Wire {
+    pub(crate) to_region: u32,
+    pub(crate) arrival: SimTime,
+    pub(crate) pkt: WirePkt,
+}
+
+/// A receiver-side retransmit decision that must take effect at the
+/// sender *at the barrier instant* (the one zero-delay cross-region
+/// coupling in the engine): push `chunks` onto the sender's retransmit
+/// queue and kick it. The destination region is derived from the slot.
+pub(crate) struct RxCmd {
+    pub(crate) slot: u32,
+    pub(crate) chunks: Vec<ChunkNo>,
+}
+
+/// Region-mode state hung off [`Core`] when it runs as one shard of a
+/// partitioned topology. `None` (the default) leaves every code path
+/// byte-identical to the single-threaded engine.
+pub(crate) struct RegionCtx {
+    /// node index -> owning region
+    pub(crate) region_of: std::sync::Arc<Vec<u32>>,
+    /// this core's region id
+    pub(crate) me: u32,
+    /// boundary deliveries generated since the last drain
+    pub(crate) outbox: Vec<Wire>,
+    /// retransmit commands generated since the last drain
+    pub(crate) rx_cmds: Vec<RxCmd>,
+}
+
+/// Order-independent fault-draw key for one send attempt: the
+/// `occurrence`-th time `(flow, chunk)` is pushed onto directed channel
+/// `dir`. Shared by the optimised engine, the reference engine, and every
+/// shard of a partitioned run, so all of them agree on each attempt's
+/// fate regardless of global event interleaving.
+pub(crate) fn fault_key(flow: FlowId, chunk: ChunkNo, dir: u32, occurrence: u32) -> u64 {
+    use inrpp_sim::rng::splitmix64;
+    let mut s = flow ^ 0x0BAD_5EED_F417_0001;
+    let mut k = splitmix64(&mut s);
+    s = k ^ chunk;
+    k = splitmix64(&mut s);
+    s = k ^ (((dir as u64) << 32) | occurrence as u64);
+    splitmix64(&mut s)
 }
 
 /// An in-flight packet (slab entry referenced by [`Ev::Deliver`]).
@@ -409,36 +540,36 @@ enum RxKind {
     Aimd(AimdRx),
 }
 
-struct RxRt {
+pub(crate) struct RxRt {
     kind: RxKind,
     outstanding: Outstanding,
-    stats: FlowStats,
+    pub(crate) stats: FlowStats,
 }
 
 #[derive(Default)]
-struct Counters {
-    chunks_delivered: u64,
-    chunks_dropped: u64,
-    chunks_detoured: u64,
-    chunks_custodied: u64,
-    backpressure_msgs: u64,
+pub(crate) struct Counters {
+    pub(crate) chunks_delivered: u64,
+    pub(crate) chunks_dropped: u64,
+    pub(crate) chunks_detoured: u64,
+    pub(crate) chunks_custodied: u64,
+    pub(crate) backpressure_msgs: u64,
 }
 
 /// The arena-backed engine state. See the module docs for the layout
 /// story; every field that was a map in the seed engine is either a
 /// slot/dir/node-indexed vector here or (for genuinely sparse state
 /// like custody resume routes) still a map off the hot path.
-struct Core<'a> {
-    topo: &'a Topology,
-    cfg: PacketSimConfig,
+pub(crate) struct Core<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) cfg: PacketSimConfig,
     dense: DenseChannels,
-    channels: ChannelBank,
+    pub(crate) channels: ChannelBank,
     /// directed channel -> local interface index at its source node
     if_of_dir: Vec<u32>,
     /// per node: `(neighbor, directed channel)` in `topo.neighbors` order
     nbrs: Vec<Vec<(NodeId, u32)>>,
     estimators: Vec<RateEstimator>,
-    phases: Vec<Vec<PhaseController>>,
+    pub(crate) phases: Vec<Vec<PhaseController>>,
     custody: Vec<CustodyStore>,
     bp: Vec<BackpressureState>,
     splitters: Vec<FlowletSplitter>,
@@ -448,9 +579,9 @@ struct Core<'a> {
     monitors: Vec<Vec<inrpp::monitor::InterfaceMonitor>>,
 
     // ---- flow arenas (slot = rank of flow id, ascending) ----
-    flow_ids: Vec<FlowId>,
-    specs: Vec<TransferSpec>,
-    kinds: Vec<FlowTransport>,
+    pub(crate) flow_ids: Vec<FlowId>,
+    pub(crate) specs: Vec<TransferSpec>,
+    pub(crate) kinds: Vec<FlowTransport>,
     /// prefix offsets into `route_nodes`, `flow_ids.len() + 1` entries
     route_start: Vec<u32>,
     route_nodes: Vec<NodeId>,
@@ -462,7 +593,7 @@ struct Core<'a> {
     node_flows: Vec<Vec<u32>>,
 
     senders: Vec<Option<Sender>>,
-    receivers: Vec<Option<RxRt>>,
+    pub(crate) receivers: Vec<Option<RxRt>>,
     retransmit: Vec<VecDeque<(u32, ChunkNo)>>,
     /// per directed channel: slots with custody waiting at its source
     /// node, ascending (lowest flow id drains first)
@@ -472,9 +603,12 @@ struct Core<'a> {
     resume_routes: HashMap<(u32, u32), Vec<NodeId>>,
     kick_scheduled: Vec<bool>,
     fault: FaultInjector,
+    /// per `(flow, chunk, dir)`: how many send attempts have been keyed —
+    /// the occurrence counter feeding [`fault_key`]
+    fault_seq: HashMap<(FlowId, ChunkNo, u32), u32>,
     trace: inrpp_sim::trace::Trace,
-    counters: Counters,
-    custody_peak: ByteSize,
+    pub(crate) counters: Counters,
+    pub(crate) custody_peak: ByteSize,
 
     // ---- slabs ----
     pkts: Vec<Option<Pkt>>,
@@ -483,12 +617,16 @@ struct Core<'a> {
     routes_free: Vec<u32>,
     scratch_chunks: Vec<ChunkNo>,
 
-    inrpp_cfg: Option<InrppConfig>,
-    aimd_cfg: Option<AimdConfig>,
+    pub(crate) inrpp_cfg: Option<InrppConfig>,
+    pub(crate) aimd_cfg: Option<AimdConfig>,
+
+    /// `Some` when this core runs as one region of a sharded simulation;
+    /// `None` keeps every path byte-identical to the sequential engine.
+    pub(crate) region: Option<RegionCtx>,
 }
 
 impl<'a> Core<'a> {
-    fn build(
+    pub(crate) fn build(
         topo: &'a Topology,
         cfg: PacketSimConfig,
         transfers: Vec<(TransferSpec, FlowTransport)>,
@@ -539,8 +677,11 @@ impl<'a> Core<'a> {
             .collect();
         let selector = inrpp_cfg
             .map(|c| DetourSelector::new(topo, c.load_aware_detour, c.max_detour_depth, 4));
-        let rng = SimRng::from_seed_u64(cfg.seed);
-        let fault = FaultInjector::new(cfg.fault, rng.derive(0xFA17));
+        // Keyed (order-independent) fault draws: each attempt's fate is a
+        // pure function of (seed, flow, chunk, dir, occurrence), so the
+        // reference engine and every shard of a partitioned run agree with
+        // this engine draw-for-draw.
+        let fault = FaultInjector::keyed(cfg.fault, cfg.seed);
         let trace = if cfg.trace_capacity > 0 {
             inrpp_sim::trace::Trace::new(cfg.trace_capacity)
         } else {
@@ -646,6 +787,7 @@ impl<'a> Core<'a> {
             resume_routes: HashMap::new(),
             kick_scheduled: vec![false; nnodes],
             fault,
+            fault_seq: HashMap::new(),
             trace,
             counters: Counters::default(),
             custody_peak: ByteSize::ZERO,
@@ -656,6 +798,7 @@ impl<'a> Core<'a> {
             scratch_chunks: Vec::new(),
             inrpp_cfg,
             aimd_cfg,
+            region: None,
         })
     }
 
@@ -754,6 +897,137 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// [`Core::schedule_kick`] at an absolute instant — the shard driver's
+    /// entry point for control kicks inserted at barriers and at the
+    /// moment the region clock reaches a flow start. Same per-node dedup.
+    pub(crate) fn schedule_kick_at(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        node: NodeId,
+        t: SimTime,
+    ) {
+        if !self.kick_scheduled[node.idx()] {
+            self.kick_scheduled[node.idx()] = true;
+            eng.schedule_at(t, Ev::SenderKick(node))
+                .expect("control kick is never in the past");
+        }
+    }
+
+    // ---- region-boundary plumbing ---------------------------------------
+
+    /// The one choke point every packet delivery goes through. Sequential
+    /// mode (and region mode when `target` is local) stashes the packet
+    /// and schedules [`Ev::Deliver`]; region mode re-routes packets for
+    /// foreign nodes into the outbox as [`Wire`] entries, materialising
+    /// owned routes so the slab handle never crosses a thread.
+    fn schedule_deliver(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        arrival: SimTime,
+        target: NodeId,
+        pkt: Pkt,
+    ) {
+        if let Some(rc) = self.region.as_ref() {
+            let to_region = rc.region_of[target.idx()];
+            if to_region != rc.me {
+                let pkt = match pkt {
+                    Pkt::Request { slot, req, hop } => WirePkt::Request { slot, req, hop },
+                    Pkt::Data {
+                        slot,
+                        chunk,
+                        route,
+                        hop,
+                        hops_travelled,
+                        detoured,
+                        sent_at,
+                    } => {
+                        let owned = match route {
+                            RouteRef::Primary => None,
+                            RouteRef::Owned(i) => {
+                                let v = std::mem::take(&mut self.routes[i as usize]);
+                                self.routes_free.push(i);
+                                Some(v)
+                            }
+                        };
+                        WirePkt::Data {
+                            slot,
+                            chunk,
+                            route: owned,
+                            hop,
+                            hops_travelled,
+                            detoured,
+                            sent_at,
+                        }
+                    }
+                    Pkt::Slowdown { msg, slot } => WirePkt::Slowdown { msg, slot },
+                };
+                self.region
+                    .as_mut()
+                    .expect("checked above")
+                    .outbox
+                    .push(Wire {
+                        to_region,
+                        arrival,
+                        pkt,
+                    });
+                return;
+            }
+        }
+        let idx = self.stash(pkt);
+        eng.schedule_at(arrival, Ev::Deliver(idx))
+            .expect("arrival is in the future");
+    }
+
+    /// Inject one boundary packet received from a peer region into the
+    /// local calendar. Inverse of the wire conversion in
+    /// [`Core::schedule_deliver`].
+    pub(crate) fn inject_wire(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        arrival: SimTime,
+        pkt: WirePkt,
+    ) {
+        let pkt = match pkt {
+            WirePkt::Request { slot, req, hop } => Pkt::Request { slot, req, hop },
+            WirePkt::Data {
+                slot,
+                chunk,
+                route,
+                hop,
+                hops_travelled,
+                detoured,
+                sent_at,
+            } => Pkt::Data {
+                slot,
+                chunk,
+                route: match route {
+                    None => RouteRef::Primary,
+                    Some(v) => RouteRef::Owned(self.alloc_route(v)),
+                },
+                hop,
+                hops_travelled,
+                detoured,
+                sent_at,
+            },
+            WirePkt::Slowdown { msg, slot } => Pkt::Slowdown { msg, slot },
+        };
+        let idx = self.stash(pkt);
+        eng.schedule_at(arrival, Ev::Deliver(idx))
+            .expect("wire arrivals are beyond the closed barrier");
+    }
+
+    /// Apply one receiver-side retransmit command at the sender, at the
+    /// barrier instant `at`: enqueue the chunks and (dedup-)kick the
+    /// sender, exactly what `queue_retransmit` does inline in sequential
+    /// mode.
+    pub(crate) fn apply_rx_cmd(&mut self, eng: &mut CalendarEngine<Ev>, at: SimTime, cmd: &RxCmd) {
+        let src = self.specs[cmd.slot as usize].src;
+        for &c in &cmd.chunks {
+            self.retransmit[src.idx()].push_back((cmd.slot, c));
+        }
+        self.schedule_kick_at(eng, src, at);
+    }
+
     // ---- request path ----------------------------------------------------
 
     fn send_request(
@@ -779,17 +1053,18 @@ impl<'a> Core<'a> {
         covers: u64,
     ) {
         // reversed-route index arithmetic: rev[h] = primary[len-1-h]
-        let (here, d, down_dir) = {
+        let (here, up, d, down_dir) = {
             let r = self.route(slot);
             let dirs = self.dirs(slot);
             let i = r.len() - 1 - hop as usize;
             let here = r[i];
+            let up = r[i - 1];
             // channel here -> rev[h+1] = primary[i-1]: the primary hop
             // (i-1) reversed
             let d = (dirs[i - 1] ^ 1) as usize;
             // channel here -> rev[h-1] = primary[i+1]: the forward hop i
             let down = if hop > 0 { dirs[i] as usize } else { 0 };
-            (here, d, down)
+            (here, up, d, down)
         };
         // Eq. 1 accounting at intermediate routers (INRPP flows only): the
         // data pulled by this request will arrive from upstream (`d`) and
@@ -803,13 +1078,16 @@ impl<'a> Core<'a> {
         let bits = self.cfg.request_bytes.as_bits() as f64;
         match self.channels.try_send(d, now, bits) {
             Ok(arrival) => {
-                let idx = self.stash(Pkt::Request {
-                    slot,
-                    req,
-                    hop: hop + 1,
-                });
-                eng.schedule_at(arrival, Ev::Deliver(idx))
-                    .expect("arrival is in the future");
+                self.schedule_deliver(
+                    eng,
+                    arrival,
+                    up,
+                    Pkt::Request {
+                        slot,
+                        req,
+                        hop: hop + 1,
+                    },
+                );
             }
             Err(_) => {
                 // Requests are tiny; loss here is recovered by the
@@ -917,27 +1195,43 @@ impl<'a> Core<'a> {
 
         let bits = self.chunk_bits();
         match self.channels.try_send(d, now, bits) {
-            Ok(arrival) => match self.fault.apply() {
-                FaultOutcome::Pass => {
-                    let idx = self.stash(Pkt::Data {
-                        slot,
-                        chunk,
-                        route: rref,
-                        hop: hop + 1,
-                        hops_travelled: hops_travelled + 1,
-                        detoured,
-                        sent_at,
-                    });
-                    eng.schedule_at(arrival, Ev::Deliver(idx))
-                        .expect("arrival is in the future");
-                    Ok(true)
+            Ok(arrival) => {
+                let occ = {
+                    let e = self.fault_seq.entry((flow, chunk, d as u32)).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                match self
+                    .fault
+                    .apply_keyed(fault_key(flow, chunk, d as u32, occ))
+                {
+                    FaultOutcome::Pass => {
+                        // the detour splice may have rewritten the next hop
+                        let target = self.rroute(slot, rref)[hop as usize + 1];
+                        self.schedule_deliver(
+                            eng,
+                            arrival,
+                            target,
+                            Pkt::Data {
+                                slot,
+                                chunk,
+                                route: rref,
+                                hop: hop + 1,
+                                hops_travelled: hops_travelled + 1,
+                                detoured,
+                                sent_at,
+                            },
+                        );
+                        Ok(true)
+                    }
+                    FaultOutcome::Drop | FaultOutcome::Corrupt => {
+                        self.free_route(rref);
+                        self.counters.chunks_dropped += 1;
+                        Ok(false)
+                    }
                 }
-                FaultOutcome::Drop | FaultOutcome::Corrupt => {
-                    self.free_route(rref);
-                    self.counters.chunks_dropped += 1;
-                    Ok(false)
-                }
-            },
+            }
             Err(_) if self.is_inrpp(slot) => {
                 // custody (store-and-forward) instead of dropping
                 self.custody_store(eng, now, here, slot, chunk, rref, hop, d)
@@ -1050,9 +1344,7 @@ impl<'a> Core<'a> {
         // control packet: link delay only (priority queueing)
         let d = self.dir_between(here, upstream, flow)?;
         let arrival = now + self.channels.delay(d);
-        let idx = self.stash(Pkt::Slowdown { msg, slot });
-        eng.schedule_at(arrival, Ev::Deliver(idx))
-            .expect("arrival in the future");
+        self.schedule_deliver(eng, arrival, upstream, Pkt::Slowdown { msg, slot });
         Ok(())
     }
 
@@ -1271,10 +1563,27 @@ impl<'a> Core<'a> {
                 }
             }
         }
-        for &c in &expired {
-            // retransmission: sender must resend even though its window
-            // already advanced past this chunk
-            self.queue_retransmit(eng, c, slot);
+        if let Some(region) = self.region.as_mut() {
+            // Sharded mode: the sender may live in another region, and the
+            // retransmit push must take effect at this exact instant (a
+            // barrier by construction — the ladder contains every rx-check
+            // rung). Emit a command instead of mutating directly; the
+            // driver merges commands from all regions in the sequential
+            // order and applies them in the barrier's second phase. Always
+            // routed through the command path — even for a local sender —
+            // so local and remote commands keep their global order.
+            if !expired.is_empty() {
+                region.rx_cmds.push(RxCmd {
+                    slot,
+                    chunks: expired.clone(),
+                });
+            }
+        } else {
+            for &c in &expired {
+                // retransmission: sender must resend even though its window
+                // already advanced past this chunk
+                self.queue_retransmit(eng, c, slot);
+            }
         }
         expired.clear();
         self.scratch_chunks = expired;
@@ -1514,18 +1823,22 @@ impl<'a> Core<'a> {
             let route = self.route(slot);
             let dirs = self.dirs(slot);
             match route.iter().position(|&n| n == at) {
-                Some(pos) if pos > 0 => Some((dirs[pos - 1] ^ 1) as usize),
+                Some(pos) if pos > 0 => Some(((dirs[pos - 1] ^ 1) as usize, route[pos - 1])),
                 _ => None,
             }
         };
-        if let Some(d) = found {
+        if let Some((d, up)) = found {
             let arrival = now + self.channels.delay(d);
             self.counters.backpressure_msgs += 1;
-            let idx = self.stash(Pkt::Slowdown {
-                msg: msg.propagated(),
-                slot,
-            });
-            eng.schedule_at(arrival, Ev::Deliver(idx)).expect("future");
+            self.schedule_deliver(
+                eng,
+                arrival,
+                up,
+                Pkt::Slowdown {
+                    msg: msg.propagated(),
+                    slot,
+                },
+            );
         }
     }
 
@@ -1548,7 +1861,7 @@ impl<'a> Core<'a> {
     /// fastest channel — the densest event cadence the run can generate.
     /// Clamped so degenerate rates can't make the ring uselessly fine or
     /// coarse; the overflow heap keeps any width correct regardless.
-    fn calendar_width(&self) -> SimDuration {
+    pub(crate) fn calendar_width(&self) -> SimDuration {
         let bits = self.chunk_bits();
         (0..self.channels.len())
             .map(|d| self.channels.rate(d).time_to_send(bits))
@@ -1557,10 +1870,11 @@ impl<'a> Core<'a> {
             .clamp(SimDuration::from_micros(1), SimDuration::from_millis(16))
     }
 
-    fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> Result<PacketSimReport, SessionError> {
-        let horizon = SimTime::ZERO + self.cfg.horizon;
-        let mut eng: CalendarEngine<Ev> =
-            CalendarEngine::new(self.calendar_width(), 4096).with_horizon(horizon);
+    /// Seed the calendar: every flow's `Start` in slot order, then (under
+    /// INRPP) one maintenance `Tick` per node. The slot-then-node order is
+    /// load-bearing: bootstrap sequence numbers are the smallest in the
+    /// run, so these events win every same-instant tie.
+    fn bootstrap(&mut self, eng: &mut CalendarEngine<Ev>) {
         for slot in 0..self.flow_ids.len() {
             eng.schedule_at(self.specs[slot].start, Ev::Start(slot as u32))
                 .expect("start in window");
@@ -1570,97 +1884,39 @@ impl<'a> Core<'a> {
                 eng.schedule(SimDuration::ZERO, Ev::Tick(n));
             }
         }
-        while let Some((now, ev)) = eng.next() {
-            match ev {
-                Ev::Start(slot) => {
-                    self.start_flow(&mut eng, now, slot);
-                    // the sender may already have push-ahead work
-                    let spec = self.specs[slot as usize];
-                    self.schedule_kick(&mut eng, spec.src, SimDuration::ZERO);
-                    if !probes.is_empty() {
-                        probes.flow_start(&FlowStart {
-                            time: now,
-                            flow: self.flow_ids[slot as usize],
-                            src: spec.src,
-                            dst: spec.dst,
-                            size_bits: spec.chunks as f64 * self.cfg.chunk_bytes.as_bits() as f64,
-                            subpaths: 1,
-                        });
-                    }
-                }
-                Ev::SenderKick(n) => self.sender_kick(&mut eng, now, n)?,
-                Ev::Tick(n) => self.tick(&mut eng, now, n),
-                Ev::RxCheck(slot) => self.rx_check(&mut eng, now, slot),
-                Ev::CustodyDrain { node, dir } => {
-                    self.custody_drain(&mut eng, now, node, dir as usize)?
-                }
-                Ev::BpExpire { node, slot } => self.bp_expire(&mut eng, node, slot),
-                Ev::Deliver(idx) => {
-                    let pkt = self.pkts[idx as usize]
-                        .take()
-                        .expect("packet delivered twice");
-                    self.pkt_free.push(idx);
-                    match pkt {
-                        Pkt::Request { slot, req, hop } => {
-                            let (here, len) = {
-                                let r = self.route(slot);
-                                (r[r.len() - 1 - hop as usize], r.len() as u32)
-                            };
-                            if hop + 1 == len {
-                                // reached the sender
-                                let flow = self.flow_ids[slot as usize];
-                                if let Some(s) = self.senders[here.idx()].as_mut() {
-                                    s.on_request(flow, req);
-                                }
-                                self.schedule_kick(&mut eng, here, SimDuration::ZERO);
-                            } else {
-                                self.forward_request(&mut eng, now, slot, req, hop, 1);
-                            }
-                        }
-                        Pkt::Data {
-                            slot,
-                            chunk,
-                            route,
-                            hop,
-                            hops_travelled,
-                            detoured,
-                            sent_at,
-                        } => {
-                            if hop as usize + 1 == self.rroute(slot, route).len() {
-                                self.free_route(route);
-                                self.deliver_to_receiver(&mut eng, now, slot, chunk, probes);
-                            } else {
-                                self.forward_data(
-                                    &mut eng,
-                                    now,
-                                    slot,
-                                    chunk,
-                                    route,
-                                    hop,
-                                    hops_travelled,
-                                    detoured,
-                                    sent_at,
-                                )?;
-                            }
-                        }
-                        Pkt::Slowdown { msg, slot } => {
-                            // delivered to the upstream node: figure out who
-                            // we are from the flow route relative to origin
-                            let at = {
-                                let route = self.route(slot);
-                                route
-                                    .iter()
-                                    .position(|&n| n == msg.origin)
-                                    .and_then(|p| p.checked_sub(1 + msg.hops_travelled as usize))
-                                    .map(|p| route[p])
-                            };
-                            if let Some(at) = at {
-                                self.on_slowdown(&mut eng, now, msg, slot, at);
-                            }
-                        }
-                    }
+    }
+
+    /// Region-mode bootstrap: the same schedule restricted to what this
+    /// region owns — `Start` where the *receiver* is local (slot order
+    /// preserved), `Tick` for local nodes (node order preserved). Relative
+    /// bootstrap order therefore matches the sequential run for every
+    /// event this region will pop.
+    pub(crate) fn bootstrap_region(&mut self, eng: &mut CalendarEngine<Ev>) {
+        let rc = self.region.as_ref().expect("region mode");
+        let me = rc.me;
+        let region_of = std::sync::Arc::clone(&rc.region_of);
+        for slot in 0..self.flow_ids.len() {
+            if region_of[self.specs[slot].dst.idx()] == me {
+                eng.schedule_at(self.specs[slot].start, Ev::Start(slot as u32))
+                    .expect("start in window");
+            }
+        }
+        if self.inrpp_cfg.is_some() {
+            for n in self.topo.node_ids() {
+                if region_of[n.idx()] == me {
+                    eng.schedule(SimDuration::ZERO, Ev::Tick(n));
                 }
             }
+        }
+    }
+
+    fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> Result<PacketSimReport, SessionError> {
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        let mut eng: CalendarEngine<Ev> =
+            CalendarEngine::new(self.calendar_width(), 4096).with_horizon(horizon);
+        self.bootstrap(&mut eng);
+        while let Some((now, ev)) = eng.next() {
+            self.step(&mut eng, now, ev, probes)?;
         }
 
         // assemble the report
@@ -1717,6 +1973,111 @@ impl<'a> Core<'a> {
                 .collect(),
             phase_transitions: self.phases.iter().flatten().map(|c| c.transitions()).sum(),
         })
+    }
+
+    /// Process one event — the body of the sequential main loop, shared
+    /// verbatim with the shard driver so region workers execute exactly
+    /// the sequential engine's transition function.
+    pub(crate) fn step(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        ev: Ev,
+        probes: &mut ProbeSet<'_, '_>,
+    ) -> Result<(), SessionError> {
+        match ev {
+            Ev::Start(slot) => {
+                self.start_flow(eng, now, slot);
+                // the sender may already have push-ahead work; in region
+                // mode the shard driver inserts this kick from its static
+                // control schedule instead (the sender may be remote)
+                let spec = self.specs[slot as usize];
+                if self.region.is_none() {
+                    self.schedule_kick(eng, spec.src, SimDuration::ZERO);
+                }
+                if !probes.is_empty() {
+                    probes.flow_start(&FlowStart {
+                        time: now,
+                        flow: self.flow_ids[slot as usize],
+                        src: spec.src,
+                        dst: spec.dst,
+                        size_bits: spec.chunks as f64 * self.cfg.chunk_bytes.as_bits() as f64,
+                        subpaths: 1,
+                    });
+                }
+            }
+            Ev::SenderKick(n) => self.sender_kick(eng, now, n)?,
+            Ev::Tick(n) => self.tick(eng, now, n),
+            Ev::RxCheck(slot) => self.rx_check(eng, now, slot),
+            Ev::CustodyDrain { node, dir } => self.custody_drain(eng, now, node, dir as usize)?,
+            Ev::BpExpire { node, slot } => self.bp_expire(eng, node, slot),
+            Ev::Deliver(idx) => {
+                let pkt = self.pkts[idx as usize]
+                    .take()
+                    .expect("packet delivered twice");
+                self.pkt_free.push(idx);
+                match pkt {
+                    Pkt::Request { slot, req, hop } => {
+                        let (here, len) = {
+                            let r = self.route(slot);
+                            (r[r.len() - 1 - hop as usize], r.len() as u32)
+                        };
+                        if hop + 1 == len {
+                            // reached the sender
+                            let flow = self.flow_ids[slot as usize];
+                            if let Some(s) = self.senders[here.idx()].as_mut() {
+                                s.on_request(flow, req);
+                            }
+                            self.schedule_kick(eng, here, SimDuration::ZERO);
+                        } else {
+                            self.forward_request(eng, now, slot, req, hop, 1);
+                        }
+                    }
+                    Pkt::Data {
+                        slot,
+                        chunk,
+                        route,
+                        hop,
+                        hops_travelled,
+                        detoured,
+                        sent_at,
+                    } => {
+                        if hop as usize + 1 == self.rroute(slot, route).len() {
+                            self.free_route(route);
+                            self.deliver_to_receiver(eng, now, slot, chunk, probes);
+                        } else {
+                            self.forward_data(
+                                eng,
+                                now,
+                                slot,
+                                chunk,
+                                route,
+                                hop,
+                                hops_travelled,
+                                detoured,
+                                sent_at,
+                            )?;
+                        }
+                    }
+                    Pkt::Slowdown { msg, slot } => {
+                        // delivered to the upstream node: figure out who
+                        // we are from the flow route relative to origin
+                        let at = {
+                            let route = self.route(slot);
+                            route
+                                .iter()
+                                .position(|&n| n == msg.origin)
+                                .and_then(|p| p.checked_sub(1 + msg.hops_travelled as usize))
+                                .map(|p| route[p])
+                        };
+                        if let Some(at) = at {
+                            self.on_slowdown(eng, now, msg, slot, at);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

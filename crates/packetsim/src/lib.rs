@@ -20,7 +20,9 @@
 //! Modules: [`channel`] (the busy-until link model), [`packet`] (wire
 //! types and configuration), [`engine`] (the network + event loop),
 //! [`report`] (per-run metrics), [`session`] (the `inrpp::session`
-//! facade backend — run this engine through the typed `Session` API).
+//! facade backend — run this engine through the typed `Session` API),
+//! [`shard`] (deterministic multi-threaded execution over topology
+//! regions, byte-identical to the sequential run).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod packet;
 pub mod reference;
 pub mod report;
 pub mod session;
+pub mod shard;
 
 pub use engine::PacketSim;
 pub use packet::{AimdConfig, FlowTransport, PacketSimConfig, TransferSpec, TransportKind};

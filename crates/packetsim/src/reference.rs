@@ -29,7 +29,6 @@ use inrpp::session::{FlowEnd, FlowStart, ProbeSet, Sample};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
 use inrpp_sim::event::Engine;
 use inrpp_sim::fault::{FaultInjector, FaultOutcome};
-use inrpp_sim::rng::SimRng;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::ByteSize;
 use inrpp_topology::graph::{NodeId, Topology};
@@ -113,6 +112,9 @@ pub(crate) struct Runner<'a> {
     resume_routes: HashMap<(NodeId, FlowId), Vec<NodeId>>,
     kick_scheduled: BTreeSet<NodeId>,
     fault: FaultInjector,
+    /// per `(flow, chunk, dir)`: send-attempt occurrence counter feeding
+    /// the keyed fault draw (same key derivation as the optimised engine)
+    fault_seq: HashMap<(FlowId, ChunkNo, u32), u32>,
     trace: inrpp_sim::trace::Trace,
     /// per node, per local interface: §4 monitoring (EWMA + flap damping)
     monitors: Vec<Vec<inrpp::monitor::InterfaceMonitor>>,
@@ -179,8 +181,9 @@ impl<'a> Runner<'a> {
             .collect();
         let selector = inrpp_cfg
             .map(|c| DetourSelector::new(topo, c.load_aware_detour, c.max_detour_depth, 4));
-        let rng = SimRng::from_seed_u64(cfg.seed);
-        let fault = FaultInjector::new(cfg.fault, rng.derive(0xFA17));
+        // keyed draws: identical derivation to the optimised engine, so
+        // both agree on every attempt's fate regardless of event order
+        let fault = FaultInjector::keyed(cfg.fault, cfg.seed);
         let trace = if cfg.trace_capacity > 0 {
             inrpp_sim::trace::Trace::new(cfg.trace_capacity)
         } else {
@@ -239,6 +242,7 @@ impl<'a> Runner<'a> {
             resume_routes: HashMap::new(),
             kick_scheduled: BTreeSet::new(),
             fault,
+            fault_seq: HashMap::new(),
             trace,
             monitors,
             counters: Counters::default(),
@@ -419,26 +423,37 @@ impl<'a> Runner<'a> {
 
         let bits = self.chunk_bits();
         match self.channels[d].try_send(now, bits) {
-            Ok(arrival) => match self.fault.apply() {
-                FaultOutcome::Pass => {
-                    let idx = self.stash(Packet::Data {
-                        flow,
-                        chunk,
-                        route,
-                        hop: hop + 1,
-                        hops_travelled: hops_travelled + 1,
-                        detoured,
-                        sent_at,
-                    });
-                    eng.schedule_at(arrival, Ev::Deliver(idx))
-                        .expect("arrival is in the future");
-                    true
+            Ok(arrival) => {
+                let occ = {
+                    let e = self.fault_seq.entry((flow, chunk, d as u32)).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                let outcome = self
+                    .fault
+                    .apply_keyed(crate::engine::fault_key(flow, chunk, d as u32, occ));
+                match outcome {
+                    FaultOutcome::Pass => {
+                        let idx = self.stash(Packet::Data {
+                            flow,
+                            chunk,
+                            route,
+                            hop: hop + 1,
+                            hops_travelled: hops_travelled + 1,
+                            detoured,
+                            sent_at,
+                        });
+                        eng.schedule_at(arrival, Ev::Deliver(idx))
+                            .expect("arrival is in the future");
+                        true
+                    }
+                    FaultOutcome::Drop | FaultOutcome::Corrupt => {
+                        self.counters.chunks_dropped += 1;
+                        false
+                    }
                 }
-                FaultOutcome::Drop | FaultOutcome::Corrupt => {
-                    self.counters.chunks_dropped += 1;
-                    false
-                }
-            },
+            }
             Err(_) if self.is_inrpp(flow) => {
                 // custody (store-and-forward) instead of dropping
                 self.custody_store(eng, now, here, flow, chunk, route, hop, d)

@@ -187,7 +187,13 @@ impl Engine for PacketEngine {
             };
             sim.try_add_transfer_as(*t, kind)?;
         }
-        let report = sim.try_run_probed(probes)?;
+        // workers > 1: the sharded path, partitioned by the session seed —
+        // byte-identical to the sequential run by the shard contract
+        let report = if session.workers() > 1 {
+            sim.try_run_sharded_probed(session.workers(), session.seed(), probes)?
+        } else {
+            sim.try_run_probed(probes)?
+        };
 
         let chunk_bits = report.chunk_bytes.as_bits() as f64;
         let flows: Vec<FlowRecord> = report

@@ -216,6 +216,30 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Timestamp of the earliest pending event without removing it —
+    /// exactly the time the next [`CalendarQueue::pop`] would return.
+    ///
+    /// Pure scan: the cursor does not move, so interleaving peeks with
+    /// pushes and pops cannot perturb pop order.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|e| e.time);
+        }
+        // The earliest occupied bucket in cursor order holds the earliest
+        // epoch, and every overflow event is in a strictly later epoch,
+        // so its heap top is the global minimum.
+        for dist in 0..self.ring.len() as u64 {
+            let b = ((self.cur + dist) & self.mask) as usize;
+            if self.occ[b / 64] & (1u64 << (b % 64)) != 0 {
+                return self.ring[b].peek().map(|e| e.time);
+            }
+        }
+        unreachable!("ring_len > 0 but no occupied bucket found");
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
@@ -302,6 +326,31 @@ impl<E> CalendarEngine<E> {
         debug_assert!(t >= self.now, "calendar queue went backwards in time");
         self.now = t;
         Some((t, e))
+    }
+
+    /// Timestamp of the next pending event without popping it (ignores
+    /// the horizon — callers compare against their own limit).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pop the next event only if it is due at or before `limit` (and
+    /// within the horizon); otherwise leave the queue untouched and
+    /// return `None`. The calendar handoff primitive for windowed
+    /// (sharded) execution: a region drains its window with repeated
+    /// `next_at_or_before(barrier)` calls and never disturbs events
+    /// beyond the conservative lookahead.
+    pub fn next_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let t = self.queue.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        if let Some(h) = self.horizon {
+            if t > h {
+                return None;
+            }
+        }
+        self.next()
     }
 }
 
@@ -430,6 +479,59 @@ mod tests {
             log
         };
         assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn peek_time_matches_pop_and_never_perturbs_order() {
+        let mut rng = SimRng::from_seed_u64(0x9EEC);
+        let mut q = CalendarQueue::new(SimDuration::from_micros(50), 16);
+        assert_eq!(q.peek_time(), None);
+        let mut clock = SimTime::ZERO;
+        let mut popped = Vec::new();
+        for i in 0..500u32 {
+            let jitter = SimDuration::from_nanos(rng.index(5_000_000) as u64);
+            q.push(clock + jitter, i);
+            if rng.chance(0.5) {
+                let peeked = q.peek_time();
+                let got = q.pop();
+                assert_eq!(peeked, got.map(|(t, _)| t));
+                if let Some((t, e)) = got {
+                    clock = clock.max(t);
+                    popped.push((t, e));
+                }
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            popped.push((t, e));
+        }
+        for w in popped.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn next_at_or_before_respects_the_limit() {
+        let mut eng: CalendarEngine<&str> =
+            CalendarEngine::new(SimDuration::from_millis(1), 8).with_horizon(SimTime::from_secs(4));
+        eng.schedule(SimDuration::from_secs(1), "a");
+        eng.schedule(SimDuration::from_secs(2), "b");
+        eng.schedule(SimDuration::from_secs(5), "beyond-horizon");
+        // nothing due in the first window
+        assert_eq!(eng.next_at_or_before(SimTime::from_millis(500)), None);
+        assert_eq!(eng.peek_time(), Some(SimTime::from_secs(1)));
+        // inclusive limit
+        assert_eq!(
+            eng.next_at_or_before(SimTime::from_secs(1)),
+            Some((SimTime::from_secs(1), "a"))
+        );
+        assert_eq!(eng.next_at_or_before(SimTime::from_secs(1)), None);
+        assert_eq!(
+            eng.next_at_or_before(SimTime::from_secs(3)),
+            Some((SimTime::from_secs(2), "b"))
+        );
+        // beyond the horizon: filtered even when the limit allows it
+        assert_eq!(eng.next_at_or_before(SimTime::from_secs(10)), None);
+        assert_eq!(eng.pending(), 1, "the filtered event stays queued");
     }
 
     #[test]

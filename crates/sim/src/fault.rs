@@ -6,7 +6,7 @@
 //! All injectors draw from their own derived [`SimRng`] stream so enabling
 //! one never perturbs unrelated randomness.
 
-use crate::rng::SimRng;
+use crate::rng::{splitmix64, SimRng};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
@@ -45,6 +45,7 @@ pub enum FaultOutcome {
 pub struct FaultInjector {
     config: FaultConfig,
     rng: SimRng,
+    key_base: u64,
     dropped: u64,
     corrupted: u64,
     passed: u64,
@@ -56,10 +57,52 @@ impl FaultInjector {
         FaultInjector {
             config,
             rng,
+            key_base: 0,
             dropped: 0,
             corrupted: 0,
             passed: 0,
         }
+    }
+
+    /// Build a *keyed* injector for [`FaultInjector::apply_keyed`]: every
+    /// draw is a pure function of `(seed, key)` instead of a position in
+    /// a sequential stream, so two engines (or shards of one engine) that
+    /// evaluate the same units in different orders still agree on every
+    /// unit's fate.
+    pub fn keyed(config: FaultConfig, seed: u64) -> Self {
+        let mut s = seed ^ 0xFA17_0000_C0FF_EE00;
+        let key_base = splitmix64(&mut s);
+        FaultInjector {
+            config,
+            rng: SimRng::from_seed_u64(0),
+            key_base,
+            dropped: 0,
+            corrupted: 0,
+            passed: 0,
+        }
+    }
+
+    /// Decide the fate of the unit identified by `key` — order-independent
+    /// counterpart of [`FaultInjector::apply`] for injectors built with
+    /// [`FaultInjector::keyed`]. The same `(seed, key)` always yields the
+    /// same outcome; drop is still decided before corrupt.
+    pub fn apply_keyed(&mut self, key: u64) -> FaultOutcome {
+        if self.config.drop_chance <= 0.0 && self.config.corrupt_chance <= 0.0 {
+            self.passed += 1;
+            return FaultOutcome::Pass;
+        }
+        let mut s = self.key_base ^ key;
+        let mut rng = SimRng::from_seed_u64(splitmix64(&mut s));
+        if self.config.drop_chance > 0.0 && rng.chance(self.config.drop_chance) {
+            self.dropped += 1;
+            return FaultOutcome::Drop;
+        }
+        if self.config.corrupt_chance > 0.0 && rng.chance(self.config.corrupt_chance) {
+            self.corrupted += 1;
+            return FaultOutcome::Corrupt;
+        }
+        self.passed += 1;
+        FaultOutcome::Pass
     }
 
     /// A no-op injector (passes everything); costs one branch per unit.
@@ -218,6 +261,35 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn keyed_draws_are_order_independent() {
+        let cfg = FaultConfig {
+            drop_chance: 0.3,
+            corrupt_chance: 0.1,
+        };
+        let keys: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut fwd = FaultInjector::keyed(cfg, 42);
+        let mut rev = FaultInjector::keyed(cfg, 42);
+        let a: Vec<_> = keys.iter().map(|&k| fwd.apply_keyed(k)).collect();
+        let mut b: Vec<_> = keys.iter().rev().map(|&k| rev.apply_keyed(k)).collect();
+        b.reverse();
+        assert_eq!(a, b);
+        assert_eq!(fwd.stats(), rev.stats());
+        // different seeds decorrelate
+        let mut other = FaultInjector::keyed(cfg, 43);
+        let c: Vec<_> = keys.iter().map(|&k| other.apply_keyed(k)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keyed_with_zero_chances_never_draws() {
+        let mut inj = FaultInjector::keyed(FaultConfig::default(), 9);
+        for k in 0..100 {
+            assert_eq!(inj.apply_keyed(k), FaultOutcome::Pass);
+        }
+        assert_eq!(inj.stats(), (100, 0, 0));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 pub mod units;

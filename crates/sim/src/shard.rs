@@ -1,0 +1,324 @@
+//! Conservative sharded execution of one simulation across scoped worker
+//! threads.
+//!
+//! A sharded run splits the simulated system into *regions*, each driven
+//! by its own [`ShardWorker`] on a dedicated thread under
+//! [`std::thread::scope`]. Workers exchange typed messages over per-pair
+//! mpsc channels and synchronise on a precomputed ladder of *barriers*:
+//! conservative lookahead (for a network, the minimum propagation delay
+//! of any cut channel) guarantees that work generated inside a window can
+//! only take effect after the window's closing barrier, so each worker
+//! may drain its whole window without consulting its peers.
+//!
+//! Every window runs a two-phase handshake:
+//!
+//! 1. [`ShardWorker::advance`] — drain all local work up to and including
+//!    the barrier; return outgoing messages.
+//! 2. exchange — every worker sends each peer exactly one batch (possibly
+//!    empty) tagged `(window, phase)`. An empty batch is the classic
+//!    *null message*: it carries no payload but proves the sender has
+//!    reached the barrier, which is what lets receivers proceed without
+//!    deadlock.
+//! 3. [`ShardWorker::finish_window`] — apply the inbox *at* the barrier
+//!    instant (cross-region work that lands exactly on the barrier, e.g.
+//!    retransmit commands) and drain anything that spawned at it; return
+//!    a second outgoing batch (strictly-future work only).
+//! 4. exchange again, then [`ShardWorker::absorb`] the second inbox.
+//!
+//! The protocol is deterministic by construction: inboxes are assembled
+//! in sender-region order with per-sender message order preserved, so the
+//! merged view every worker sees is independent of thread scheduling.
+//! Determinism of the *simulation* then reduces to each worker being
+//! deterministic in its inbox — which the packet engine's shard driver
+//! (`inrpp-packetsim`) verifies byte-for-byte against its single-threaded
+//! run.
+
+use crate::time::SimTime;
+use std::sync::mpsc;
+
+/// One region's event loop, driven window-by-window by [`run_sharded`].
+///
+/// `usize` peer indices address regions `0..n`; messages to the worker's
+/// own region are legal and short-circuit locally (they appear in its own
+/// inbox at the right position, never touching a channel).
+pub trait ShardWorker: Send {
+    /// Boundary payload exchanged between regions.
+    type Msg: Send;
+
+    /// Phase 1: drain every local event with `time <= barrier` and return
+    /// the boundary messages generated along the way as `(dest region,
+    /// message)` pairs.
+    fn advance(&mut self, barrier: SimTime) -> Vec<(usize, Self::Msg)>;
+
+    /// Phase 2: apply `inbox` (phase-1 output of all regions, own
+    /// included, in region order) at the barrier instant, drain anything
+    /// newly due at it, and return follow-up messages — all of which must
+    /// be strictly beyond the barrier.
+    fn finish_window(
+        &mut self,
+        barrier: SimTime,
+        inbox: Vec<(usize, Self::Msg)>,
+    ) -> Vec<(usize, Self::Msg)>;
+
+    /// Absorb the phase-2 inbox (strictly-future work only).
+    fn absorb(&mut self, inbox: Vec<(usize, Self::Msg)>);
+}
+
+/// Envelope carried on the inter-worker channels; the `(window, phase)`
+/// tag makes every batch a timestamped null message even when empty.
+struct Envelope<M> {
+    window: u32,
+    phase: u8,
+    batch: Vec<M>,
+}
+
+/// One row of the n×n sender matrix: `row[j]` talks to region `j`, the
+/// diagonal (own region) stays `None`.
+type SenderRow<M> = Vec<Option<mpsc::Sender<Envelope<M>>>>;
+/// One row of the n×n receiver matrix, mirroring [`SenderRow`].
+type ReceiverRow<M> = Vec<Option<mpsc::Receiver<Envelope<M>>>>;
+
+struct Mailbox<M> {
+    /// `txs[j]` sends to region `j` (position `me` is `None`).
+    txs: SenderRow<M>,
+    /// `rxs[j]` receives from region `j` (position `me` is `None`).
+    rxs: ReceiverRow<M>,
+    me: usize,
+}
+
+impl<M> Mailbox<M> {
+    /// Send one batch per peer for `(window, phase)`, routing self-sends
+    /// straight back; then collect one batch per region, in region order.
+    fn exchange(&self, window: u32, phase: u8, out: Vec<(usize, M)>) -> Vec<(usize, M)> {
+        let n = self.txs.len();
+        let mut per_dest: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
+        for (dest, msg) in out {
+            per_dest[dest].push(msg);
+        }
+        let mut own = Vec::new();
+        for (dest, batch) in per_dest.into_iter().enumerate() {
+            match &self.txs[dest] {
+                Some(tx) => tx
+                    .send(Envelope {
+                        window,
+                        phase,
+                        batch,
+                    })
+                    .expect("peer worker hung up mid-window"),
+                None => own = batch,
+            }
+        }
+        let mut inbox = Vec::new();
+        for (sender, rx) in self.rxs.iter().enumerate() {
+            match rx {
+                Some(rx) => {
+                    let env = rx.recv().expect("peer worker hung up mid-window");
+                    assert_eq!(
+                        (env.window, env.phase),
+                        (window, phase),
+                        "shard protocol desync"
+                    );
+                    inbox.extend(env.batch.into_iter().map(|m| (sender, m)));
+                }
+                None => inbox.extend(std::mem::take(&mut own).into_iter().map(|m| (sender, m))),
+            }
+        }
+        debug_assert!(self.rxs[self.me].is_none());
+        inbox
+    }
+}
+
+/// Drive `workers` through `barriers` (strictly increasing) in lockstep
+/// and hand the workers back once every window has run.
+///
+/// With one worker no threads are spawned — the windows run inline on the
+/// caller's thread, byte-identically to the multi-worker path.
+///
+/// # Panics
+/// Panics if any worker panics (the scope propagates the first panic) or
+/// if `barriers` is not strictly increasing.
+pub fn run_sharded<W: ShardWorker>(mut workers: Vec<W>, barriers: &[SimTime]) -> Vec<W> {
+    for w in barriers.windows(2) {
+        assert!(w[0] < w[1], "barriers must be strictly increasing");
+    }
+    let n = workers.len();
+    if n <= 1 {
+        if let Some(w) = workers.first_mut() {
+            for &b in barriers {
+                // self-sends: dest 0 == sender 0, order preserved
+                let inbox1 = w.advance(b);
+                let inbox2 = w.finish_window(b, inbox1);
+                w.absorb(inbox2);
+            }
+        }
+        return workers;
+    }
+
+    // n×n channel matrix (diagonal unused)
+    let mut txs: Vec<SenderRow<W::Msg>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut rxs: Vec<ReceiverRow<W::Msg>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for from in 0..n {
+        for to in 0..n {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            txs[from][to] = Some(tx);
+            rxs[to][from] = Some(rx);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (me, (mut worker, (txrow, rxrow))) in workers
+            .drain(..)
+            .zip(txs.drain(..).zip(rxs.drain(..)))
+            .enumerate()
+        {
+            let mailbox = Mailbox {
+                txs: txrow,
+                rxs: rxrow,
+                me,
+            };
+            handles.push(scope.spawn(move || {
+                for (wi, &b) in barriers.iter().enumerate() {
+                    let out1 = worker.advance(b);
+                    let inbox1 = mailbox.exchange(wi as u32, 1, out1);
+                    let out2 = worker.finish_window(b, inbox1);
+                    let inbox2 = mailbox.exchange(wi as u32, 2, out2);
+                    worker.absorb(inbox2);
+                }
+                worker
+            }));
+        }
+        for h in handles.drain(..) {
+            workers.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    workers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Echo worker: counts everything it hears, greets every peer (and
+    /// itself) each window. Exercises routing, self-sends, and ordering.
+    struct Echo {
+        me: usize,
+        n: usize,
+        heard: Vec<(usize, String)>,
+        windows: Vec<SimTime>,
+    }
+
+    impl ShardWorker for Echo {
+        type Msg = String;
+
+        fn advance(&mut self, barrier: SimTime) -> Vec<(usize, String)> {
+            self.windows.push(barrier);
+            (0..self.n)
+                .map(|dest| {
+                    (
+                        dest,
+                        format!("w{}@{}->{}", self.windows.len(), self.me, dest),
+                    )
+                })
+                .collect()
+        }
+
+        fn finish_window(
+            &mut self,
+            _barrier: SimTime,
+            inbox: Vec<(usize, String)>,
+        ) -> Vec<(usize, String)> {
+            self.heard.extend(inbox);
+            Vec::new()
+        }
+
+        fn absorb(&mut self, inbox: Vec<(usize, String)>) {
+            assert!(inbox.is_empty());
+        }
+    }
+
+    fn barriers(k: u64) -> Vec<SimTime> {
+        (1..=k).map(SimTime::from_millis).collect()
+    }
+
+    #[test]
+    fn inboxes_arrive_in_region_order_every_window() {
+        for n in [1usize, 2, 4] {
+            let workers: Vec<Echo> = (0..n)
+                .map(|me| Echo {
+                    me,
+                    n,
+                    heard: Vec::new(),
+                    windows: Vec::new(),
+                })
+                .collect();
+            let done = run_sharded(workers, &barriers(3));
+            for (me, w) in done.iter().enumerate() {
+                assert_eq!(w.windows, barriers(3));
+                // 3 windows × n senders, each window's batch in sender order
+                assert_eq!(w.heard.len(), 3 * n);
+                for (wi, chunk) in w.heard.chunks(n).enumerate() {
+                    for (sender, (from, msg)) in chunk.iter().enumerate() {
+                        assert_eq!(*from, sender);
+                        assert_eq!(msg, &format!("w{}@{}->{}", wi + 1, sender, me));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sleep-bound worker recording wall-clock spans of its `advance`
+    /// calls. On any machine — including a 1-vCPU container, where
+    /// sleeping threads still yield to each other — the per-window spans
+    /// of two workers must overlap if the windows truly run concurrently.
+    struct Sleeper {
+        spans: Vec<(Instant, Instant)>,
+    }
+
+    impl ShardWorker for Sleeper {
+        type Msg = ();
+
+        fn advance(&mut self, _barrier: SimTime) -> Vec<(usize, ())> {
+            let start = Instant::now();
+            std::thread::sleep(Duration::from_millis(30));
+            self.spans.push((start, Instant::now()));
+            Vec::new()
+        }
+
+        fn finish_window(&mut self, _b: SimTime, _i: Vec<(usize, ())>) -> Vec<(usize, ())> {
+            Vec::new()
+        }
+
+        fn absorb(&mut self, _i: Vec<(usize, ())>) {}
+    }
+
+    #[test]
+    fn windows_of_different_workers_overlap_in_wall_time() {
+        let workers = vec![Sleeper { spans: Vec::new() }, Sleeper { spans: Vec::new() }];
+        let done = run_sharded(workers, &barriers(3));
+        let (a, b) = (&done[0].spans, &done[1].spans);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        let overlapping = a
+            .iter()
+            .zip(b.iter())
+            .filter(|((s0, e0), (s1, e1))| s0.max(s1) < e0.min(e1))
+            .count();
+        assert!(
+            overlapping >= 1,
+            "no window overlapped: workers ran serially"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_barriers_are_rejected() {
+        let workers: Vec<Echo> = Vec::new();
+        let _ = run_sharded(workers, &[SimTime::from_millis(2), SimTime::from_millis(1)]);
+    }
+}

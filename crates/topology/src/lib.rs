@@ -20,6 +20,9 @@
 //! * [`synth`] — synthetic scenario-catalog families: heterogeneous-access
 //!   dumbbell, parking-lot chain, k-ary fat-tree, Barabási–Albert
 //!   scale-free — all seed-deterministic and detour-capable.
+//! * [`partition`] — region assignment for sharded simulation: the
+//!   pluggable [`partition::Partitioner`] trait, contiguous and BFS
+//!   strategies, and symmetric cut-channel enumeration.
 //! * [`io`] — plain-text edge-list serialisation.
 //! * [`stats`] — degree distribution, diameter, clustering.
 
@@ -32,6 +35,7 @@ pub mod ecmp;
 pub mod graph;
 pub mod io;
 pub mod kshort;
+pub mod partition;
 pub mod rocketfuel;
 pub mod spath;
 pub mod stats;
@@ -40,5 +44,6 @@ pub mod synth;
 pub use dense::DenseChannels;
 pub use detour::{DetourClass, DetourStats, DetourTable};
 pub use graph::{LinkId, NodeId, Topology, TopologyError};
+pub use partition::{BfsPartitioner, ContiguousPartitioner, CutChannel, Partition, Partitioner};
 pub use rocketfuel::{Isp, IspProfile};
 pub use spath::Path;

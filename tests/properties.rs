@@ -717,3 +717,124 @@ proptest! {
         prop_assert_eq!(pa.0, pb.0, "probe streams diverged");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitioner invariants (the shard layer's soundness conditions):
+    /// every node lands in exactly one region, region ids are dense,
+    /// cut channels come in symmetric directed pairs, the single-region
+    /// partition has no cuts, and a fixed seed fixes the partition.
+    #[test]
+    fn partitions_cover_nodes_exactly_once(
+        n in 2usize..24,
+        extra in 0usize..16,
+        regions in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        use inrpp_topology::partition::{BfsPartitioner, ContiguousPartitioner, Partitioner};
+        let topo = random_topology(n, extra, seed);
+        let strategies: [&dyn Partitioner; 2] = [
+            &ContiguousPartitioner,
+            &BfsPartitioner { seed },
+        ];
+        for strat in strategies {
+            let p = strat.partition(&topo, regions);
+            prop_assert!(p.regions() >= 1);
+            prop_assert!(p.regions() <= n.min(regions.max(1)));
+            // exactly-once coverage: region sets are disjoint and total
+            let mut owner = vec![None; n];
+            for r in 0..p.regions() {
+                for node in p.nodes_in(r) {
+                    prop_assert!(
+                        owner[node.idx()].is_none(),
+                        "node {node} claimed by regions {:?} and {r}",
+                        owner[node.idx()]
+                    );
+                    owner[node.idx()] = Some(r);
+                    prop_assert_eq!(p.region_of(node), r);
+                }
+            }
+            prop_assert!(owner.iter().all(|o| o.is_some()), "uncovered node");
+            // density: every region id in 0..regions() owns >= 1 node
+            for r in 0..p.regions() {
+                prop_assert!(!p.nodes_in(r).is_empty(), "region {r} empty");
+            }
+            // cut channels: symmetric pairs, endpoints in different regions
+            let cuts = p.cut_channels(&topo);
+            for c in &cuts {
+                prop_assert!(c.from_region != c.to_region);
+                prop_assert_eq!(p.region_of(c.from), c.from_region);
+                prop_assert_eq!(p.region_of(c.to), c.to_region);
+                prop_assert_eq!(
+                    cuts.iter()
+                        .filter(|o| o.link == c.link
+                            && o.from == c.to
+                            && o.to == c.from
+                            && o.from_region == c.to_region
+                            && o.to_region == c.from_region)
+                        .count(),
+                    1,
+                    "missing or duplicated mirror of {:?}",
+                    c
+                );
+            }
+            // determinism: same inputs, same partition
+            prop_assert_eq!(&p, &strat.partition(&topo, regions));
+        }
+        // the single-region partition is the identity layout: no cuts
+        let one = ContiguousPartitioner.partition(&topo, 1);
+        prop_assert_eq!(one.regions(), 1);
+        prop_assert!(one.cut_channels(&topo).is_empty());
+        prop_assert!(one.assignment().iter().all(|&r| r == 0));
+    }
+
+    /// `CalendarQueue` pops same-timestamp events in insertion (FIFO)
+    /// order — the `(time, seq)` total order the packet engine's
+    /// determinism (and the shard layer's replay argument) rests on.
+    /// Oracle: a `BinaryHeap` keyed `(time, seq)` driven through the same
+    /// random push/pop interleaving, with timestamps drawn from a small
+    /// set to force heavy tie collisions.
+    #[test]
+    fn calendar_queue_breaks_ties_in_insertion_order(
+        ops in 1usize..200,
+        width_us in 1u64..5_000,
+        buckets in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        use inrpp_sim::calendar::CalendarQueue;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut rng = SimRng::from_seed_u64(seed ^ 0xCA1E);
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(
+            SimDuration::from_micros(width_us),
+            buckets,
+        );
+        let mut oracle: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = SimTime::ZERO; // queue contract: never push into the past
+        for _ in 0..ops {
+            if rng.chance(0.6) || q.is_empty() {
+                // offsets cluster on few values so same-time runs are long
+                let t = now + SimDuration::from_micros(rng.index(4) as u64 * 250);
+                q.push(t, seq);
+                oracle.push(Reverse((t, seq, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop();
+                let want = oracle.pop().map(|Reverse((t, _, id))| (t, id));
+                prop_assert_eq!(got, want, "pop order diverged from the FIFO oracle");
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        // drain: the full residual order must agree
+        while let Some(got) = q.pop() {
+            let want = oracle.pop().map(|Reverse((t, _, id))| (t, id));
+            prop_assert_eq!(Some(got), want, "drain order diverged");
+        }
+        prop_assert!(oracle.is_empty());
+    }
+}

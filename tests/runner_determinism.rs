@@ -4,12 +4,12 @@
 //! artifact. Exercised end-to-end through the real experiment registry,
 //! not a toy spec.
 //!
-//! Cost split: the flow-level gates (quick fig4a, multiseed, the full
-//! scenario catalog) always run — they are the surface the incremental
-//! allocation engine must keep byte-stable, and they are fast. The two
-//! topology-bound gates (table1's detour tables, the 9-ISP export) take
-//! minutes in debug builds, so they are `#[ignore]`d there and run
-//! un-ignored in release — CI executes
+//! Cost split: the quick flow-level gates (fig4a, multiseed) always run —
+//! they are the surface the incremental allocation engine must keep
+//! byte-stable, and they are fast. The heavy gates (table1's detour
+//! tables, the 9-ISP export, the full scenario-catalog replay) take tens
+//! of seconds to minutes in debug builds, so they are `#[ignore]`d there
+//! and run un-ignored in release — CI executes
 //! `cargo test --release --test runner_determinism -- --include-ignored`
 //! to keep the full-fidelity coverage on every push.
 
@@ -87,6 +87,12 @@ fn multiseed_cells_use_derived_streams_and_stay_deterministic() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "replays the whole scenario catalog twice — tens of seconds in \
+              debug; runs un-ignored in release (CI's `--release -- \
+              --include-ignored` step keeps the full-fidelity gate)"
+)]
 fn every_scenario_sweep_is_byte_identical_at_threads_1_and_8() {
     // the catalog acceptance gate: every scenario:<topology>:<traffic>
     // cell must serialize to the same bytes at any worker count
