@@ -46,6 +46,10 @@ commands:
                              fresh result against it. Exits non-zero on a
                              >10% cells/sec regression (same-mode files)
                              or a drifted workload set
+  serve                      service mode: line-delimited JSON on stdio —
+                             open/feed/advance/snapshot/checkpoint/resume
+                             steppable sessions on either engine (see the
+                             inrpp-bench serve module docs for the protocol)
   help                       this text
 ";
 
@@ -58,6 +62,17 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("serve") => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            match inrpp_bench::serve::serve_lines(&mut stdin.lock(), &mut stdout.lock()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("inrpp serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS

@@ -31,5 +31,6 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod serve;
 pub mod sweeps;
 pub mod table;

@@ -1,0 +1,861 @@
+//! `inrpp serve` — service mode over line-delimited JSON on stdio.
+//!
+//! Each request is one flat JSON object per line; each reply is one JSON
+//! object per line with an `"ok"` field. The protocol drives an
+//! [`inrpp::service::ServiceSession`] (fluid or packet): open a session,
+//! stream transfers in (`feed` or a `# inrpp-trace v1` file), advance
+//! the clock, take [`RunReport`] snapshots, checkpoint to a file, and
+//! resume bit-identically in a later process.
+//!
+//! ```text
+//! {"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30}
+//! {"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}
+//! {"cmd":"advance","to_secs":1.5}
+//! {"cmd":"snapshot"}
+//! {"cmd":"checkpoint","path":"run.ckpt"}
+//! {"cmd":"close"}
+//! ```
+//!
+//! Resume replays the same `open` fields (the checkpoint's embedded
+//! session fingerprint rejects any drift) plus the checkpoint path:
+//!
+//! ```text
+//! {"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"path":"run.ckpt"}
+//! ```
+//!
+//! `open`/`resume` accept `seed`, `workers`, `chunk_bytes` (transfer
+//! quantum, default 1250 bytes) and `trace` (path to a trace file whose
+//! transfers are pumped automatically at each `advance` boundary;
+//! on resume, entries already fed before the checkpoint are skipped).
+//! Errors are replies, not crashes: `{"ok":false,"error":"..."}` leaves
+//! the session (if any) open.
+//!
+//! JSON is hand-rolled on both sides — requests must be *flat* objects
+//! of strings, numbers, and booleans; replies may nest (`snapshot`
+//! carries a per-flow array).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+
+use inrpp::config::InrppConfig;
+use inrpp::service::{Checkpoint, FluidBacking, FluidService, ServiceSession};
+use inrpp::session::{EngineKind, RunReport, Session, SessionError, SessionStrategy, Transfer};
+use inrpp::source::{pump, skip_until, TraceSource};
+use inrpp_packetsim::{AimdConfig, PacketEngine, PacketService, PacketSimConfig, TransportKind};
+use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::units::{ByteSize, Rate};
+use inrpp_topology::Topology;
+
+// ===================================================================
+// Flat JSON (requests)
+// ===================================================================
+
+/// A value in a flat request object.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number (integers included).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parse one flat JSON object (`{"k": v, ...}` — no nesting) into its
+/// key/value pairs. Line-oriented protocol, so errors are plain strings.
+fn parse_object(s: &str) -> Result<Vec<(String, Json)>, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    skip_ws(b, &mut i);
+    expect(b, &mut i, b'{')?;
+    skip_ws(b, &mut i);
+    if peek(b, i) == Some(b'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            let key = parse_string(b, &mut i)?;
+            skip_ws(b, &mut i);
+            expect(b, &mut i, b':')?;
+            skip_ws(b, &mut i);
+            let val = parse_value(b, &mut i)?;
+            out.push((key, val));
+            skip_ws(b, &mut i);
+            match peek(b, i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {i}, found {:?}",
+                        other.map(char::from)
+                    ))
+                }
+            }
+        }
+    }
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing input after object at byte {i}"));
+    }
+    Ok(out)
+}
+
+fn peek(b: &[u8], i: usize) -> Option<u8> {
+    b.get(i).copied()
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while matches!(peek(b, *i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, want: u8) -> Result<(), String> {
+    if peek(b, *i) == Some(want) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {}, found {:?}",
+            char::from(want),
+            *i,
+            peek(b, *i).map(char::from)
+        ))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    expect(b, i, b'"')?;
+    let mut out = String::new();
+    loop {
+        match peek(b, *i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                let esc = peek(b, *i).ok_or("unterminated escape")?;
+                *i += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => return Err(format!("unsupported escape '\\{}'", char::from(other))),
+                }
+            }
+            Some(_) => {
+                // advance one UTF-8 scalar, not one byte
+                let rest = &b[*i..];
+                let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *i += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    match peek(b, *i) {
+        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(b'{' | b'[') => Err("nested values are not supported; requests are flat".into()),
+        Some(_) => {
+            let start = *i;
+            while matches!(
+                peek(b, *i),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                *i += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*i]).unwrap_or("");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("not a number: {text:?}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+/// Escape a string for JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number: `null` for non-finite floats (JSON has no NaN/Inf).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+// ===================================================================
+// Request field access
+// ===================================================================
+
+type Obj = [(String, Json)];
+
+fn field<'o>(obj: &'o Obj, key: &str) -> Option<&'o Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(obj: &Obj, key: &str) -> Result<String, String> {
+    match field(obj, key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn num_field(obj: &Obj, key: &str) -> Result<f64, String> {
+    match field(obj, key) {
+        Some(Json::Num(v)) => Ok(*v),
+        Some(_) => Err(format!("field {key:?} must be a number")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn opt_num_field(obj: &Obj, key: &str) -> Result<Option<f64>, String> {
+    match field(obj, key) {
+        Some(Json::Num(v)) => Ok(Some(*v)),
+        Some(Json::Null) | None => Ok(None),
+        Some(_) => Err(format!("field {key:?} must be a number")),
+    }
+}
+
+fn opt_str_field(obj: &Obj, key: &str) -> Result<Option<String>, String> {
+    match field(obj, key) {
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(Json::Null) | None => Ok(None),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+    }
+}
+
+fn u64_field(obj: &Obj, key: &str) -> Result<u64, String> {
+    let v = num_field(obj, key)?;
+    if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
+        Ok(v as u64)
+    } else {
+        Err(format!("field {key:?} must be a non-negative integer"))
+    }
+}
+
+// ===================================================================
+// Session spec
+// ===================================================================
+
+/// Everything an `open` / `resume` request pins down.
+struct OpenSpec {
+    engine: EngineKind,
+    topology: String,
+    strategy: String,
+    horizon_secs: f64,
+    seed: Option<u64>,
+    workers: Option<u64>,
+    chunk_bytes: u64,
+    trace: Option<String>,
+    /// `Some(path)` for `resume`, `None` for `open`.
+    checkpoint: Option<String>,
+}
+
+impl OpenSpec {
+    fn parse(obj: &Obj, resume: bool) -> Result<Self, String> {
+        let engine = match str_field(obj, "engine")?.as_str() {
+            "fluid" => EngineKind::Fluid,
+            "packet" => EngineKind::Packet,
+            other => return Err(format!("unknown engine {other:?} (fluid|packet)")),
+        };
+        let chunk_bytes = match opt_num_field(obj, "chunk_bytes")? {
+            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as u64,
+            Some(v) => return Err(format!("chunk_bytes must be a positive integer, got {v}")),
+            None => 1250,
+        };
+        Ok(OpenSpec {
+            engine,
+            topology: str_field(obj, "topology")?,
+            strategy: str_field(obj, "strategy")?,
+            horizon_secs: num_field(obj, "horizon_secs")?,
+            seed: opt_num_field(obj, "seed")?.map(|v| v as u64),
+            workers: opt_num_field(obj, "workers")?.map(|v| v as u64),
+            chunk_bytes,
+            trace: opt_str_field(obj, "trace")?,
+            checkpoint: if resume {
+                Some(str_field(obj, "path")?)
+            } else {
+                None
+            },
+        })
+    }
+
+    fn strategy(&self) -> Result<SessionStrategy, String> {
+        match self.strategy.as_str() {
+            "urp" | "inrpp" => Ok(SessionStrategy::urp()),
+            "sp" => Ok(SessionStrategy::Sp),
+            other => Err(format!("unknown strategy {other:?} (urp|sp)")),
+        }
+    }
+
+    /// The packet engine matching the strategy, with the session's
+    /// transfer quantum.
+    fn packet_engine(&self) -> Result<PacketEngine, String> {
+        let transport = match self.strategy()? {
+            SessionStrategy::Urp(_) => TransportKind::Inrpp(InrppConfig::default()),
+            SessionStrategy::Sp => TransportKind::Aimd(AimdConfig::default()),
+            other => return Err(format!("no packet transport for {}", other.name())),
+        };
+        Ok(PacketEngine::new(PacketSimConfig {
+            chunk_bytes: ByteSize::bytes(self.chunk_bytes),
+            transport,
+            ..PacketSimConfig::default()
+        }))
+    }
+}
+
+/// The topology catalog: `fig3`, or `line:N` / `ring:N` / `star:N` /
+/// `mesh:N` / `dumbbell:N` with the serve defaults (10 Mbit/s links,
+/// 10 ms delay; dumbbell bottleneck 10 Mbit/s, access 40 Mbit/s).
+fn topology_by_name(name: &str) -> Result<Topology, String> {
+    if name == "fig3" {
+        return Ok(Topology::fig3());
+    }
+    let (kind, n) = match name.split_once(':') {
+        Some((k, n)) => (
+            k,
+            n.parse::<usize>()
+                .map_err(|_| format!("bad node count in topology {name:?}"))?,
+        ),
+        None => return Err(format!("unknown topology {name:?}")),
+    };
+    let cap = Rate::mbps(10.0);
+    let delay = SimDuration::from_millis(10);
+    match kind {
+        "line" => Ok(Topology::line(n, cap, delay)),
+        "ring" => Ok(Topology::ring(n, cap, delay)),
+        "star" => Ok(Topology::star(n, cap, delay)),
+        "mesh" => Ok(Topology::full_mesh(n, cap, delay)),
+        "dumbbell" => Ok(Topology::dumbbell(n, Rate::mbps(40.0), cap, delay)),
+        _ => Err(format!("unknown topology {name:?}")),
+    }
+}
+
+// ===================================================================
+// Replies
+// ===================================================================
+
+fn fail(out: &mut dyn Write, msg: &str) -> io::Result<()> {
+    writeln!(out, "{{\"ok\":false,\"error\":\"{}\"}}", esc(msg))
+}
+
+fn ok_event(out: &mut dyn Write, event: &str, extra: &str) -> io::Result<()> {
+    if extra.is_empty() {
+        writeln!(out, "{{\"ok\":true,\"event\":\"{}\"}}", esc(event))
+    } else {
+        writeln!(out, "{{\"ok\":true,\"event\":\"{}\",{extra}}}", esc(event))
+    }
+}
+
+/// Serialise a [`RunReport`] reply (`snapshot` / `close`).
+fn write_report(
+    out: &mut dyn Write,
+    event: &str,
+    topo: &Topology,
+    report: &RunReport,
+) -> io::Result<()> {
+    let a = &report.aggregates;
+    let mut flows = String::new();
+    for (i, f) in report.flows.iter().enumerate() {
+        if i > 0 {
+            flows.push(',');
+        }
+        let _ = write!(
+            flows,
+            "{{\"flow\":{},\"src\":\"{}\",\"dst\":\"{}\",\"offered_bits\":{},\
+             \"delivered_bits\":{},\"arrival_secs\":{},\"fct_secs\":{},\"retransmits\":{}}}",
+            f.flow,
+            esc(&topo.node(f.src).name),
+            esc(&topo.node(f.dst).name),
+            num(f.offered_bits),
+            num(f.delivered_bits),
+            num(f.arrival.as_secs_f64()),
+            f.fct_secs.map(num).unwrap_or_else(|| "null".into()),
+            f.retransmits,
+        );
+    }
+    writeln!(
+        out,
+        "{{\"ok\":true,\"event\":\"{}\",\"engine\":\"{}\",\"strategy\":\"{}\",\
+         \"topology\":\"{}\",\"arrived_flows\":{},\"completed_flows\":{},\
+         \"offered_bits\":{},\"delivered_bits\":{},\"duration_secs\":{},\
+         \"mean_fct_secs\":{},\"mean_utilisation\":{},\"flows\":[{}]}}",
+        esc(event),
+        report.engine,
+        esc(&report.strategy),
+        esc(&report.topology),
+        a.arrived_flows,
+        a.completed_flows,
+        num(a.offered_bits),
+        num(a.delivered_bits),
+        num(a.duration.as_secs_f64()),
+        num(a.mean_fct_secs),
+        num(a.mean_utilisation),
+        flows,
+    )
+}
+
+// ===================================================================
+// The serve loop
+// ===================================================================
+
+/// Run the serve protocol until EOF. Testable: `inrpp serve` calls this
+/// with locked stdio, tests call it with in-memory buffers.
+pub fn serve_lines(input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let obj = match parse_object(trimmed) {
+            Ok(o) => o,
+            Err(e) => {
+                fail(out, &format!("bad request: {e}"))?;
+                continue;
+            }
+        };
+        match str_field(&obj, "cmd").as_deref() {
+            Ok("open") | Ok("resume") => {
+                let resume = matches!(str_field(&obj, "cmd").as_deref(), Ok("resume"));
+                match OpenSpec::parse(&obj, resume) {
+                    Ok(spec) => drive(&spec, input, out)?,
+                    Err(e) => fail(out, &e)?,
+                }
+            }
+            Ok("exit") => return Ok(()),
+            Ok(other) => fail(
+                out,
+                &format!("no open session; expected open|resume|exit, got {other:?}"),
+            )?,
+            Err(e) => fail(out, e)?,
+        }
+    }
+}
+
+/// Open (or resume) one session and process commands against it until
+/// `close` / EOF. The nested scope is what owns the borrow chain:
+/// topology → session spec → fluid backing → service.
+fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<()> {
+    let topo = match topology_by_name(&spec.topology) {
+        Ok(t) => t,
+        Err(e) => return fail(out, &e),
+    };
+    let strategy = match spec.strategy() {
+        Ok(s) => s,
+        Err(e) => return fail(out, &e),
+    };
+    // serve sessions are streaming-only: traffic arrives via feed/trace,
+    // so the spec (and its fingerprint) carries an empty transfer list
+    let mut builder = Session::builder()
+        .topology(&topo)
+        .transfers(Vec::new())
+        .strategy(strategy)
+        .horizon_secs(spec.horizon_secs);
+    if let Some(seed) = spec.seed {
+        builder = builder.seed(seed);
+    }
+    if let Some(workers) = spec.workers {
+        builder = builder.workers(workers as usize);
+    }
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => return fail(out, &e.to_string()),
+    };
+
+    let checkpoint = match &spec.checkpoint {
+        Some(path) => match fs::read(path) {
+            Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
+                Ok(c) => Some(c),
+                Err(e) => return fail(out, &e.to_string()),
+            },
+            Err(e) => return fail(out, &format!("cannot read checkpoint {path:?}: {e}")),
+        },
+        None => None,
+    };
+
+    let backing;
+    let mut svc: Box<dyn ServiceSession + '_> = match spec.engine {
+        EngineKind::Fluid => {
+            backing = FluidBacking::empty_for(&session);
+            let opened = match &checkpoint {
+                Some(c) => FluidService::resume(&session, &backing, c),
+                None => FluidService::open(&session, &backing),
+            };
+            match opened {
+                Ok(s) => Box::new(s),
+                Err(e) => return fail(out, &e.to_string()),
+            }
+        }
+        EngineKind::Packet => {
+            let engine = match spec.packet_engine() {
+                Ok(e) => e,
+                Err(e) => return fail(out, &e),
+            };
+            let opened = match &checkpoint {
+                Some(c) => PacketService::resume(&engine, &session, c),
+                None => PacketService::open(&engine, &session),
+            };
+            match opened {
+                Ok(s) => Box::new(s),
+                Err(e) => return fail(out, &e.to_string()),
+            }
+        }
+    };
+
+    let mut trace = match &spec.trace {
+        Some(path) => match fs::File::open(path) {
+            Ok(f) => {
+                let mut ts = TraceSource::new(&topo, BufReader::new(f));
+                // entries the interrupted run already fed by the
+                // checkpoint boundary must not be fed twice
+                if let Err(e) = skip_until(&mut ts, svc.now()) {
+                    return fail(out, &e.to_string());
+                }
+                Some(ts)
+            }
+            Err(e) => return fail(out, &format!("cannot read trace {path:?}: {e}")),
+        },
+        None => None,
+    };
+
+    ok_event(
+        out,
+        if checkpoint.is_some() {
+            "resume"
+        } else {
+            "open"
+        },
+        &format!(
+            "\"engine\":\"{}\",\"now_secs\":{},\"horizon_secs\":{},\"fingerprint\":\"{:016x}\"",
+            svc.kind(),
+            num(svc.now().as_secs_f64()),
+            num(svc.horizon().as_secs_f64()),
+            session.fingerprint(),
+        ),
+    )?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF: drop the session unfinished
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let obj = match parse_object(trimmed) {
+            Ok(o) => o,
+            Err(e) => {
+                fail(out, &format!("bad request: {e}"))?;
+                continue;
+            }
+        };
+        let cmd = match str_field(&obj, "cmd") {
+            Ok(c) => c,
+            Err(e) => {
+                fail(out, &e)?;
+                continue;
+            }
+        };
+        match cmd.as_str() {
+            "feed" => match parse_feed(&obj, &topo, spec.chunk_bytes) {
+                Ok(t) => match svc.feed(&t) {
+                    Ok(()) => ok_event(out, "feed", &format!("\"flow\":{}", t.flow))?,
+                    Err(e) => fail(out, &e.to_string())?,
+                },
+                Err(e) => fail(out, &e)?,
+            },
+            "advance" => {
+                let to = match num_field(&obj, "to_secs")
+                    .and_then(|s| secs_to_time(s).map_err(|e| e.to_string()))
+                {
+                    Ok(t) => t,
+                    Err(e) => {
+                        fail(out, &e)?;
+                        continue;
+                    }
+                };
+                let advanced = match trace.as_mut() {
+                    Some(ts) => pump(ts, &mut *svc, to, &mut []),
+                    None => svc.advance(to, &mut []),
+                };
+                match advanced {
+                    Ok(now) => ok_event(
+                        out,
+                        "advance",
+                        &format!("\"now_secs\":{}", num(now.as_secs_f64())),
+                    )?,
+                    Err(e) => fail(out, &e.to_string())?,
+                }
+            }
+            "snapshot" => write_report(out, "snapshot", &topo, &svc.snapshot())?,
+            "checkpoint" => match str_field(&obj, "path") {
+                Ok(path) => {
+                    let bytes = svc.checkpoint().to_bytes();
+                    match fs::write(&path, &bytes) {
+                        Ok(()) => ok_event(
+                            out,
+                            "checkpoint",
+                            &format!("\"path\":\"{}\",\"bytes\":{}", esc(&path), bytes.len()),
+                        )?,
+                        Err(e) => fail(out, &format!("cannot write checkpoint {path:?}: {e}"))?,
+                    }
+                }
+                Err(e) => fail(out, &e)?,
+            },
+            "close" => {
+                match svc.finish(&mut []) {
+                    Ok(report) => write_report(out, "close", &topo, &report)?,
+                    Err(e) => fail(out, &e.to_string())?,
+                }
+                return Ok(());
+            }
+            "open" | "resume" => fail(out, "a session is already open; close it first")?,
+            other => fail(
+                out,
+                &format!("unknown command {other:?} (feed|advance|snapshot|checkpoint|close)"),
+            )?,
+        }
+    }
+}
+
+fn secs_to_time(secs: f64) -> Result<SimTime, SessionError> {
+    Ok(SimTime::ZERO + SimDuration::try_from_secs_f64(secs)?)
+}
+
+/// Parse a `feed` request into a [`Transfer`] quantised with the
+/// session's chunk size.
+fn parse_feed(obj: &Obj, topo: &Topology, chunk_bytes: u64) -> Result<Transfer, String> {
+    let node = |key: &str| -> Result<_, String> {
+        let name = str_field(obj, key)?;
+        topo.node_by_name(&name)
+            .ok_or_else(|| format!("unknown node {name:?}"))
+    };
+    let start = secs_to_time(num_field(obj, "start_secs")?).map_err(|e| e.to_string())?;
+    Ok(Transfer {
+        flow: u64_field(obj, "flow")?,
+        src: node("src")?,
+        dst: node("dst")?,
+        chunks: u64_field(obj, "chunks")?,
+        chunk_bytes: ByteSize::bytes(chunk_bytes),
+        start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(script: &str) -> Vec<String> {
+        let mut input = Cursor::new(script.to_string());
+        let mut out = Vec::new();
+        serve_lines(&mut input, &mut out).expect("serve loop");
+        String::from_utf8(out)
+            .expect("utf8 replies")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn assert_ok(reply: &str) {
+        assert!(reply.starts_with("{\"ok\":true"), "expected ok: {reply}");
+    }
+
+    fn assert_err(reply: &str) {
+        assert!(
+            reply.starts_with("{\"ok\":false"),
+            "expected error: {reply}"
+        );
+    }
+
+    #[test]
+    fn parses_flat_objects() {
+        let obj = parse_object(
+            r#"{"cmd":"open","engine":"fluid","horizon_secs":30.5,"quick":true,"note":null}"#,
+        )
+        .unwrap();
+        assert_eq!(str_field(&obj, "cmd").unwrap(), "open");
+        assert_eq!(num_field(&obj, "horizon_secs").unwrap(), 30.5);
+        assert_eq!(field(&obj, "quick"), Some(&Json::Bool(true)));
+        assert_eq!(field(&obj, "note"), Some(&Json::Null));
+        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err(), "nested rejected");
+        assert!(
+            parse_object(r#"{"a":1} extra"#).is_err(),
+            "trailing rejected"
+        );
+        let esc = parse_object(r#"{"s":"a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(str_field(&esc, "s").unwrap(), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn full_session_over_the_wire() {
+        for engine in ["fluid", "packet"] {
+            let script = format!(
+                concat!(
+                    r#"{{"cmd":"open","engine":"{}","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}}"#,
+                    "\n",
+                    r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}}"#,
+                    "\n",
+                    r#"{{"cmd":"advance","to_secs":1.5}}"#,
+                    "\n",
+                    r#"{{"cmd":"snapshot"}}"#,
+                    "\n",
+                    r#"{{"cmd":"close"}}"#,
+                    "\n",
+                ),
+                engine
+            );
+            let replies = run(&script);
+            assert_eq!(replies.len(), 5, "{engine}: {replies:?}");
+            for r in &replies {
+                assert_ok(r);
+            }
+            assert!(replies[0].contains("\"event\":\"open\""), "{}", replies[0]);
+            assert!(replies[2].contains("\"now_secs\":1.5"), "{}", replies[2]);
+            assert!(
+                replies[4].contains("\"event\":\"close\"")
+                    && replies[4].contains("\"arrived_flows\":1")
+                    && replies[4].contains("\"completed_flows\":1"),
+                "{engine}: {}",
+                replies[4]
+            );
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_replies_not_crashes() {
+        let script = concat!(
+            "not json\n",
+            r#"{"cmd":"advance","to_secs":1}"#,
+            "\n",
+            r#"{"cmd":"open","engine":"warp","topology":"fig3","strategy":"urp","horizon_secs":1}"#,
+            "\n",
+            r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":1}"#,
+            "\n",
+            r#"{"cmd":"feed","flow":1,"src":"1","dst":"nowhere","chunks":5,"start_secs":0}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":-2}"#,
+            "\n",
+            r#"{"cmd":"close"}"#,
+            "\n",
+        );
+        let replies = run(script);
+        assert_eq!(replies.len(), 7, "{replies:?}");
+        for r in &replies[..3] {
+            assert_err(r);
+        }
+        assert_ok(&replies[3]); // open
+        assert_err(&replies[4]); // unknown node
+        assert_err(&replies[5]); // negative time
+        assert_ok(&replies[6]); // close still works
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("inrpp-serve-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("run.ckpt");
+        let trace = dir.join("run.trace");
+        fs::write(
+            &trace,
+            "# inrpp-trace v1\n0 1 1 4 800 1250\n0.2 2 2 3 200 1250\n2.5 3 1 3 100 1250\n",
+        )
+        .unwrap();
+
+        let open = concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
+            r#""horizon_secs":30,"seed":7,"#
+        );
+        // uninterrupted trace-driven run
+        let straight = run(&format!(
+            "{open}\"trace\":\"{t}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":1}}\n{{\"cmd\":\"advance\",\"to_secs\":3}}\n{{\"cmd\":\"close\"}}\n",
+            t = trace.display()
+        ));
+
+        // same drive schedule, checkpointed at the 1 s boundary...
+        let head = run(&format!(
+            "{open}\"trace\":\"{t}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":1}}\n{{\"cmd\":\"checkpoint\",\"path\":\"{c}\"}}\n",
+            t = trace.display(),
+            c = ckpt.display()
+        ));
+        assert_ok(&head[1]);
+        assert!(head[2].contains("\"event\":\"checkpoint\""), "{}", head[2]);
+
+        // ...and resumed in a fresh serve loop (fresh process, in effect)
+        let tail = run(&format!(
+            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":30,\"seed\":7,\"trace\":\"{t}\",\"path\":\"{c}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":3}}\n{{\"cmd\":\"close\"}}\n",
+            t = trace.display(),
+            c = ckpt.display()
+        ));
+        assert!(tail[0].contains("\"event\":\"resume\""), "{}", tail[0]);
+        assert!(tail[0].contains("\"now_secs\":1"), "{}", tail[0]);
+        assert_eq!(
+            straight.last().unwrap(),
+            tail.last().unwrap(),
+            "resumed final report must be byte-identical"
+        );
+
+        // a wrong spec is rejected by the fingerprint
+        let wrong = run(&format!(
+            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":60,\"seed\":7,\"path\":\"{c}\"}}\n",
+            c = ckpt.display()
+        ));
+        assert_err(&wrong[0]);
+        assert!(wrong[0].contains("fingerprint"), "{}", wrong[0]);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,8 @@
 //! | Global fairness / local stability arithmetic (Fig. 3) | [`fairness`] |
 //! | Whole-scenario convenience API over the substrates | [`scenario`] |
 //! | Experiment-cell enumeration for parallel sweeps | [`sweep`] |
+//! | Steppable sessions with checkpoint/resume (service mode) | [`service`] |
+//! | Streaming workload ingestion (traces, generators, feeds) | [`source`] |
 //!
 //! The chunk-level dynamics live in `inrpp-packetsim`, which drives these
 //! state machines from a discrete-event loop; the fluid equilibria live in
@@ -34,13 +36,17 @@ pub mod monitor;
 pub mod phase;
 pub mod rate;
 pub mod scenario;
+pub mod service;
 pub mod session;
+pub mod source;
 pub mod sweep;
 
 pub use config::InrppConfig;
 pub use phase::{Phase, PhaseController};
 pub use rate::RateEstimator;
+pub use service::{Checkpoint, FluidBacking, FluidService, ServiceSession};
 pub use session::{
     Engine, EngineKind, FluidEngine, Probe, QuantileProbe, RunReport, Session, SessionBuilder,
     SessionError, SessionStrategy, TimeSeriesProbe,
 };
+pub use source::{FeedSource, SyntheticSource, TraceSource, WorkloadSource};

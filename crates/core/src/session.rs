@@ -55,7 +55,8 @@ use inrpp_flowsim::strategy::{
     EcmpStrategy, InrpConfig, InrpStrategy, MptcpStrategy, RoutingStrategy, SinglePathStrategy,
 };
 use inrpp_flowsim::FlowSimReport;
-use inrpp_sim::time::{SimDuration, SimTime};
+use inrpp_sim::snap::{self, Snap, SnapError, SnapReader, SnapWriter};
+use inrpp_sim::time::{SimDuration, SimTime, TimeError};
 use inrpp_sim::units::ByteSize;
 use inrpp_topology::graph::{NodeId, Topology};
 
@@ -114,6 +115,10 @@ pub enum SessionError {
     /// An engine configuration value was rejected (e.g. an invalid
     /// `InrppConfig` behind the packet engine).
     InvalidConfig(String),
+    /// A checkpoint could not be resumed against this session: wrong
+    /// engine, a different session spec (fingerprint mismatch), or a
+    /// corrupt byte stream.
+    CheckpointMismatch(String),
 }
 
 impl fmt::Display for SessionError {
@@ -145,6 +150,9 @@ impl fmt::Display for SessionError {
                 write!(f, "no route exists for transfer flow {flow}")
             }
             SessionError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+            SessionError::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint cannot be resumed: {msg}")
+            }
         }
     }
 }
@@ -154,6 +162,15 @@ impl std::error::Error for SessionError {}
 impl From<WorkloadError> for SessionError {
     fn from(e: WorkloadError) -> Self {
         SessionError::Workload(e)
+    }
+}
+
+/// Out-of-range time values (negative, non-finite, or beyond the
+/// representable nanosecond range) surface as typed configuration
+/// errors instead of panicking deep inside the conversion.
+impl From<TimeError> for SessionError {
+    fn from(e: TimeError) -> Self {
+        SessionError::InvalidConfig(format!("invalid time value: {e}"))
     }
 }
 
@@ -278,6 +295,28 @@ impl Transfer {
     }
 }
 
+impl Snap for Transfer {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.flow);
+        w.put_u32(self.src.0);
+        w.put_u32(self.dst.0);
+        w.put_u64(self.chunks);
+        w.put_u64(self.chunk_bytes.as_bytes());
+        self.start.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Transfer {
+            flow: r.get_u64()?,
+            src: NodeId(r.get_u32()?),
+            dst: NodeId(r.get_u32()?),
+            chunks: r.get_u64()?,
+            chunk_bytes: ByteSize::bytes(r.get_u64()?),
+            start: SimTime::decode(r)?,
+        })
+    }
+}
+
 /// The session's traffic description.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Traffic {
@@ -368,6 +407,11 @@ pub trait Probe {
     fn on_allocation(&mut self, ev: &AllocationEvent<'_>) {}
     /// Cumulative delivery progressed.
     fn on_sample(&mut self, ev: &Sample) {}
+    /// An incremental [`RunReport`] snapshot of the run so far. Emitted
+    /// only in service mode (`inrpp::service`), once per
+    /// [`advance`](crate::service::ServiceSession::advance) boundary —
+    /// one-shot [`Session::run`]-style runs never fire it.
+    fn on_report(&mut self, report: &RunReport) {}
 }
 
 /// Fan-out dispatcher over a probe list — what [`Engine`] backends call
@@ -413,6 +457,13 @@ impl<'a, 'b> ProbeSet<'a, 'b> {
     pub fn sample(&mut self, ev: &Sample) {
         for p in self.probes.iter_mut() {
             p.on_sample(ev);
+        }
+    }
+
+    /// Dispatch [`Probe::on_report`].
+    pub fn report(&mut self, report: &RunReport) {
+        for p in self.probes.iter_mut() {
+            p.on_report(report);
         }
     }
 }
@@ -599,7 +650,8 @@ impl QuantileProbe {
             return None;
         }
         if !self.sorted {
-            self.fct_secs.sort_by(|a, b| a.total_cmp(b));
+            // the shared NaN-total ordering every quantile surface uses
+            inrpp_sim::metrics::sort_samples(&mut self.fct_secs);
             self.sorted = true;
         }
         let idx = ((self.fct_secs.len() as f64 - 1.0) * q).round() as usize;
@@ -647,6 +699,46 @@ impl FlowRecord {
     /// True when the flow finished before the horizon.
     pub fn completed(&self) -> bool {
         self.fct_secs.is_some()
+    }
+}
+
+impl Snap for FlowRecord {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.flow);
+        w.put_u32(self.src.0);
+        w.put_u32(self.dst.0);
+        w.put_f64(self.offered_bits);
+        w.put_f64(self.delivered_bits);
+        self.arrival.encode(w);
+        match self.fct_secs {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                w.put_f64(v);
+            }
+        }
+        w.put_usize(self.subpaths);
+        w.put_bool(self.routed);
+        w.put_u64(self.retransmits);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FlowRecord {
+            flow: r.get_u64()?,
+            src: NodeId(r.get_u32()?),
+            dst: NodeId(r.get_u32()?),
+            offered_bits: r.get_f64()?,
+            delivered_bits: r.get_f64()?,
+            arrival: SimTime::decode(r)?,
+            fct_secs: if r.get_bool()? {
+                Some(r.get_f64()?)
+            } else {
+                None
+            },
+            subpaths: r.get_usize()?,
+            routed: r.get_bool()?,
+            retransmits: r.get_u64()?,
+        })
     }
 }
 
@@ -829,6 +921,7 @@ pub struct SessionBuilder<'a> {
     transfers: Option<Vec<Transfer>>,
     strategy: SessionStrategy,
     horizon: Option<SimDuration>,
+    horizon_secs: Option<f64>,
     seed: u64,
     workers: Option<usize>,
 }
@@ -880,6 +973,18 @@ impl<'a> SessionBuilder<'a> {
     /// is rejected at build time.
     pub fn horizon(mut self, horizon: SimDuration) -> Self {
         self.horizon = Some(horizon);
+        self.horizon_secs = None;
+        self
+    }
+
+    /// Simulation window from raw (possibly untrusted) seconds, e.g.
+    /// parsed CLI or service input. Negative, non-finite, or
+    /// out-of-range values are rejected at build time with
+    /// [`SessionError::InvalidConfig`] instead of panicking in the
+    /// nanosecond conversion.
+    pub fn horizon_secs(mut self, secs: f64) -> Self {
+        self.horizon_secs = Some(secs);
+        self.horizon = None;
         self
     }
 
@@ -912,11 +1017,14 @@ impl<'a> SessionBuilder<'a> {
             Some(n) => n,
             None => 1,
         };
-        let horizon = match self.horizon {
-            Some(d) if d <= SimDuration::ZERO => return Err(SessionError::EmptyWindow),
-            Some(d) => d,
-            None => SimDuration::from_secs(60),
+        let horizon = match (self.horizon, self.horizon_secs) {
+            (_, Some(secs)) => SimDuration::try_from_secs_f64(secs)?,
+            (Some(d), None) => d,
+            (None, None) => SimDuration::from_secs(60),
         };
+        if horizon <= SimDuration::ZERO {
+            return Err(SessionError::EmptyWindow);
+        }
         // flow ids key per-flow state in both engines: reject duplicates
         // for every traffic form, not just transfers
         fn check_unique_ids<I: Iterator<Item = u64>>(ids: I) -> Result<(), SessionError> {
@@ -977,8 +1085,37 @@ impl<'a> Session<'a> {
     }
 
     /// The session's network.
-    pub fn topology(&self) -> &Topology {
+    pub fn topology(&self) -> &'a Topology {
         self.topology
+    }
+
+    /// A deterministic fingerprint of the session spec (topology shape,
+    /// traffic, strategy, horizon, seed). Checkpoints embed it so a
+    /// resume against a *different* spec is rejected instead of
+    /// silently diverging. Worker count is deliberately excluded:
+    /// sharded and sequential runs are byte-identical by contract, so a
+    /// checkpoint may be resumed under either.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        w.put_str(self.topology.name());
+        w.put_usize(self.topology.node_count());
+        w.put_usize(self.topology.link_count());
+        // Debug covers every strategy knob (e.g. the URP detour config)
+        // without each config type needing its own canonical encoding.
+        w.put_str(&format!("{:?}", self.strategy));
+        self.horizon.encode(&mut w);
+        w.put_u64(self.seed);
+        match &self.traffic {
+            Traffic::Flows(wl) => {
+                w.put_u8(0);
+                wl.flows.encode(&mut w);
+            }
+            Traffic::Transfers(ts) => {
+                w.put_u8(1);
+                ts.encode(&mut w);
+            }
+        }
+        snap::fingerprint(&w.into_bytes())
     }
 
     /// The session's traffic description.
@@ -1077,14 +1214,15 @@ pub trait Engine {
 pub struct FluidEngine;
 
 /// Adapter: flowsim's raw observer stream -> session probes + per-flow
-/// record collection.
-struct FluidAdapter<'a, 'b> {
-    probes: ProbeSet<'a, 'b>,
-    records: Vec<FlowRecord>,
-    index: HashMap<u64, usize>,
+/// record collection. The record storage is borrowed so service-mode
+/// runs (`inrpp::service`) can keep it alive across stepping calls.
+pub(crate) struct FluidAdapter<'r, 'a, 'b> {
+    pub(crate) probes: ProbeSet<'a, 'b>,
+    pub(crate) records: &'r mut Vec<FlowRecord>,
+    pub(crate) index: &'r mut HashMap<u64, usize>,
 }
 
-impl FluidAdapter<'_, '_> {
+impl FluidAdapter<'_, '_, '_> {
     fn record(&mut self, t: SimTime, spec: &FlowSpec, subpaths: usize, routed: bool) {
         self.index.insert(spec.id, self.records.len());
         self.records.push(FlowRecord {
@@ -1102,7 +1240,7 @@ impl FluidAdapter<'_, '_> {
     }
 }
 
-impl FlowObserver for FluidAdapter<'_, '_> {
+impl FlowObserver for FluidAdapter<'_, '_, '_> {
     fn on_flow_start(&mut self, t: SimTime, spec: &FlowSpec, subpaths: usize) {
         self.record(t, spec, subpaths, true);
         self.probes.flow_start(&FlowStart {
@@ -1173,10 +1311,12 @@ impl Engine for FluidEngine {
         }
         let workload = session.fluid_workload();
         let strategy = session.strategy.build_fluid(session.topology);
+        let mut records = Vec::with_capacity(workload.flows.len());
+        let mut index = HashMap::with_capacity(workload.flows.len());
         let mut adapter = FluidAdapter {
             probes: ProbeSet::new(probes),
-            records: Vec::with_capacity(workload.flows.len()),
-            index: HashMap::with_capacity(workload.flows.len()),
+            records: &mut records,
+            index: &mut index,
         };
         let report = FlowSim::new(
             session.topology,
@@ -1187,25 +1327,32 @@ impl Engine for FluidEngine {
             },
         )
         .run_observed(&mut adapter);
-        Ok(RunReport {
-            engine: EngineKind::Fluid,
-            strategy: report.strategy.clone(),
-            topology: report.topology.clone(),
-            flows: adapter.records,
-            aggregates: Aggregates {
-                arrived_flows: report.arrived_flows,
-                completed_flows: report.completed_flows,
-                unroutable_flows: report.unroutable_flows,
-                offered_bits: report.offered_bits,
-                delivered_bits: report.delivered_bits,
-                duration: report.duration,
-                mean_fct_secs: report.mean_fct_secs,
-                mean_jain: report.mean_jain,
-                mean_utilisation: report.mean_utilisation,
-            },
-            channel_utilisation: report.channel_utilisation.clone(),
-            detail: EngineDetail::Fluid(Box::new(report)),
-        })
+        Ok(assemble_fluid_report(report, records))
+    }
+}
+
+/// Assemble the unified report from a fluid-engine report plus the
+/// per-flow records an adapter collected (shared between one-shot runs
+/// and service-mode snapshots).
+pub(crate) fn assemble_fluid_report(report: FlowSimReport, flows: Vec<FlowRecord>) -> RunReport {
+    RunReport {
+        engine: EngineKind::Fluid,
+        strategy: report.strategy.clone(),
+        topology: report.topology.clone(),
+        flows,
+        aggregates: Aggregates {
+            arrived_flows: report.arrived_flows,
+            completed_flows: report.completed_flows,
+            unroutable_flows: report.unroutable_flows,
+            offered_bits: report.offered_bits,
+            delivered_bits: report.delivered_bits,
+            duration: report.duration,
+            mean_fct_secs: report.mean_fct_secs,
+            mean_jain: report.mean_jain,
+            mean_utilisation: report.mean_utilisation,
+        },
+        channel_utilisation: report.channel_utilisation.clone(),
+        detail: EngineDetail::Fluid(Box::new(report)),
     }
 }
 

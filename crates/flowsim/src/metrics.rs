@@ -1,6 +1,7 @@
 //! Flow-level metrics: weighted CDFs and the per-run report.
 
-use inrpp_sim::metrics::Cdf;
+use inrpp_sim::metrics::{sort_weighted_samples, Cdf};
+use inrpp_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::SimDuration;
 
 /// Empirical CDF over weighted samples.
@@ -24,9 +25,11 @@ impl WeightedCdf {
         }
     }
 
-    /// Record `value` carrying `weight` (non-positive weights are ignored).
+    /// Record `value` carrying `weight` (non-positive weights are
+    /// ignored). A NaN *value* is tolerated — it sorts after every
+    /// finite value (see [`sort_weighted_samples`]) so one degenerate
+    /// stretch sample cannot crash a long run's quantile queries.
     pub fn record(&mut self, value: f64, weight: f64) {
-        debug_assert!(value.is_finite(), "non-finite value {value}");
         if weight <= 0.0 || !weight.is_finite() {
             return;
         }
@@ -47,8 +50,7 @@ impl WeightedCdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sample"));
+            sort_weighted_samples(&mut self.samples);
             self.sorted = true;
         }
     }
@@ -61,7 +63,9 @@ impl WeightedCdf {
         self.ensure_sorted();
         let mut acc = 0.0;
         for &(v, w) in &self.samples {
-            if v > x {
+            // NaN compares unordered (`partial_cmp` is `None`), and NaN
+            // mass must not be counted as `<= x`.
+            if !v.partial_cmp(&x).is_some_and(|o| o.is_le()) {
                 break;
             }
             acc += w;
@@ -116,6 +120,21 @@ impl WeightedCdf {
         self.samples.extend_from_slice(&other.samples);
         self.total_weight += other.total_weight;
         self.sorted = false;
+    }
+}
+
+impl Snap for WeightedCdf {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.samples.encode(w);
+        w.put_f64(self.total_weight);
+        w.put_bool(self.sorted);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(WeightedCdf {
+            samples: Vec::<(f64, f64)>::decode(r)?,
+            total_weight: r.get_f64()?,
+            sorted: r.get_bool()?,
+        })
     }
 }
 
@@ -249,6 +268,35 @@ mod tests {
         assert_eq!(c.quantile(0.5), None);
         assert_eq!(c.fraction_le(10.0), 0.0);
         assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn nan_values_do_not_panic_quantiles() {
+        // Regression: the sort comparator used partial_cmp().expect(),
+        // so one NaN-valued sample panicked every quantile query. The
+        // shared total_cmp sort puts NaN last; finite quantiles stay
+        // exact and only the extreme tail surfaces the NaN.
+        let mut c = WeightedCdf::new();
+        c.record(f64::NAN, 1.0);
+        c.record(1.0, 1.0);
+        c.record(2.0, 2.0);
+        assert_eq!(c.quantile(0.25), Some(1.0));
+        assert_eq!(c.quantile(0.75), Some(2.0));
+        assert!(c.quantile(1.0).unwrap().is_nan());
+        assert!((c.fraction_le(2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cdf_snap_roundtrip() {
+        use inrpp_sim::snap::{Snap, SnapReader, SnapWriter};
+        let mut c = WeightedCdf::new();
+        c.record(2.0, 1.0);
+        c.record(1.0, 3.0);
+        let mut w = SnapWriter::new();
+        c.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = WeightedCdf::decode(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

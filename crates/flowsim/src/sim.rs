@@ -21,10 +21,11 @@
 //! tagged with the allocation epoch; stale events are ignored when they
 //! fire. This keeps the event count at `O(arrivals + departures)`.
 
-use inrpp_sim::event::{Control, Engine};
-use inrpp_sim::metrics::JainIndex;
+use inrpp_sim::event::{Engine, SchedulePastError};
+use inrpp_sim::metrics::{Cdf, JainIndex};
+use inrpp_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::{SimDuration, SimTime};
-use inrpp_topology::graph::Topology;
+use inrpp_topology::graph::{NodeId, Topology};
 
 use crate::engine::AllocEngine;
 use crate::metrics::{FlowSimReport, WeightedCdf};
@@ -90,6 +91,29 @@ enum Event {
     Departure(u64, u64),
 }
 
+impl Snap for Event {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Arrival(idx) => {
+                w.put_u8(0);
+                w.put_usize(*idx);
+            }
+            Event::Departure(fid, epoch) => {
+                w.put_u8(1);
+                w.put_u64(*fid);
+                w.put_u64(*epoch);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Event::Arrival(r.get_usize()?)),
+            1 => Ok(Event::Departure(r.get_u64()?, r.get_u64()?)),
+            _ => Err(SnapError::Corrupt("fluid event tag out of range")),
+        }
+    }
+}
+
 /// Per-flow bookkeeping, indexed by the engine's arena slot. The engine
 /// owns the resolved subpaths; the simulator only needs the hop counts
 /// (for the stretch CDF) and the drain state.
@@ -102,6 +126,27 @@ struct ActiveFlow {
     /// bits delivered per subpath (for the stretch CDF)
     subpath_bits: Vec<f64>,
     arrival: SimTime,
+}
+
+impl Snap for ActiveFlow {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.subpath_hops.encode(w);
+        w.put_usize(self.primary_hops);
+        w.put_f64(self.size_bits);
+        w.put_f64(self.remaining_bits);
+        self.subpath_bits.encode(w);
+        self.arrival.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ActiveFlow {
+            subpath_hops: Vec::<u32>::decode(r)?,
+            primary_hops: r.get_usize()?,
+            size_bits: r.get_f64()?,
+            remaining_bits: r.get_f64()?,
+            subpath_bits: Vec::<f64>::decode(r)?,
+            arrival: SimTime::decode(r)?,
+        })
+    }
 }
 
 /// The flow-level simulator. Construct with a topology, strategy and
@@ -140,288 +185,502 @@ impl<'a> FlowSim<'a> {
     /// integration step as it happens; the produced report is
     /// bit-identical to an unobserved [`FlowSim::run`].
     pub fn run_observed(self, obs: &mut dyn FlowObserver) -> FlowSimReport {
-        let horizon = SimTime::ZERO + self.config.horizon;
+        self.start().finish(obs)
+    }
+
+    /// Begin a *stepping* run: events are not processed until the caller
+    /// drives the returned [`FlowRun`] with
+    /// [`run_until`](FlowRun::run_until) / [`finish`](FlowRun::finish).
+    /// This is the service-mode entry point — it adds streaming arrivals
+    /// ([`feed`](FlowRun::feed)) and checkpoint/resume on top of the
+    /// same event loop, with bit-identical results.
+    pub fn start(self) -> FlowRun<'a> {
+        FlowRun::new(self.topo, self.strategy, self.workload, self.config)
+    }
+}
+
+/// An in-flight fluid simulation that can be driven in steps,
+/// checkpointed, and fed additional arrivals while running.
+///
+/// # Determinism contract
+/// `finish` processes events with the engine's plain `next()` loop;
+/// `run_until(t)` processes the identical `(time, seq)` prefix via
+/// [`Engine::next_at_or_before`]. Splitting a run at any boundary —
+/// including across an [`encode_checkpoint`](FlowRun::encode_checkpoint)
+/// / [`FlowRun::restore`] round-trip — therefore pops the same event
+/// sequence and produces a bit-identical report and observer stream.
+/// The checkpoint boundary deliberately does *not* integrate the fluid
+/// state up to the boundary instant: integration happens only at event
+/// instants (and once at the end), so `r·(dt₁+dt₂)` is never split into
+/// `r·dt₁ + r·dt₂`, which would change the floating-point sums.
+pub struct FlowRun<'a> {
+    topo: &'a Topology,
+    strategy: &'a dyn RoutingStrategy,
+    workload: &'a Workload,
+    config: FlowSimConfig,
+    horizon: SimTime,
+    eng: Engine<Event>,
+    /// Flows fed after the run started; `Event::Arrival(idx)` with
+    /// `idx >= workload.len()` indexes into this list.
+    extra: Vec<FlowSpec>,
+    alloc_engine: AllocEngine,
+    states: Vec<Option<ActiveFlow>>,
+    alloc_valid: bool,
+    epoch: u64,
+    last_update: SimTime,
+    delivered_bits: f64,
+    offered_bits: f64,
+    arrived: usize,
+    completed: usize,
+    unroutable: usize,
+    fct_sum: f64,
+    fct_cdf: Cdf,
+    stretch: WeightedCdf,
+    jain_weighted: f64,
+    util_weighted: f64,
+    chan_weighted: Vec<f64>,
+    weighted_secs: f64,
+}
+
+impl<'a> FlowRun<'a> {
+    fn new(
+        topo: &'a Topology,
+        strategy: &'a dyn RoutingStrategy,
+        workload: &'a Workload,
+        config: FlowSimConfig,
+    ) -> Self {
+        let horizon = SimTime::ZERO + config.horizon;
         let mut eng: Engine<Event> = Engine::new().with_horizon(horizon);
-        for (i, f) in self.workload.flows.iter().enumerate() {
+        for (i, f) in workload.flows.iter().enumerate() {
             eng.schedule_at(f.arrival, Event::Arrival(i))
                 .expect("workload arrivals are within the window");
         }
+        FlowRun {
+            topo,
+            strategy,
+            workload,
+            config,
+            horizon,
+            eng,
+            extra: Vec::new(),
+            alloc_engine: AllocEngine::new(topo),
+            states: Vec::new(),
+            alloc_valid: false,
+            epoch: 0,
+            last_update: SimTime::ZERO,
+            delivered_bits: 0.0,
+            offered_bits: 0.0,
+            arrived: 0,
+            completed: 0,
+            unroutable: 0,
+            fct_sum: 0.0,
+            fct_cdf: Cdf::new(),
+            stretch: WeightedCdf::new(),
+            jain_weighted: 0.0,
+            util_weighted: 0.0,
+            chan_weighted: vec![0.0f64; topo.link_count() * 2],
+            weighted_secs: 0.0,
+        }
+    }
 
-        // The incremental allocation engine: subpaths resolve into its
-        // arena at arrival; every event only recomputes the rate vectors.
-        let mut alloc_engine = AllocEngine::new(self.topo);
-        // Per-flow drain state, indexed by the engine's arena slot.
-        let mut states: Vec<Option<ActiveFlow>> = Vec::new();
-        // Whether the engine's rate vectors describe the current active
-        // set (the analogue of the old `Option<Allocation>`).
-        let mut alloc_valid = false;
-        let mut epoch = 0u64;
-        let mut last_update = SimTime::ZERO;
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
 
-        let mut delivered_bits = 0.0;
-        let mut offered_bits = 0.0;
-        let mut arrived = 0usize;
-        let mut completed = 0usize;
-        let mut unroutable = 0usize;
-        let mut fct_sum = 0.0;
-        let mut fct_cdf = inrpp_sim::metrics::Cdf::new();
-        let mut stretch = WeightedCdf::new();
-        // time-weighted aggregates
-        let mut jain_weighted = 0.0;
-        let mut util_weighted = 0.0;
-        let mut chan_weighted = vec![0.0f64; self.topo.link_count() * 2];
-        let mut weighted_secs = 0.0;
+    /// The run's hard stop.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
 
-        // Integrate the fluid system from `last_update` to `now`. The
-        // engine's active set always equals the set the last allocation
-        // ran over: inserts/removes happen *after* the advance for their
-        // event.
-        #[allow(clippy::too_many_arguments)]
-        let advance = |now: SimTime,
-                       last_update: &mut SimTime,
-                       states: &mut Vec<Option<ActiveFlow>>,
-                       alloc_engine: &AllocEngine,
-                       alloc_valid: bool,
-                       delivered_bits: &mut f64,
-                       jain_weighted: &mut f64,
-                       util_weighted: &mut f64,
-                       chan_weighted: &mut [f64],
-                       weighted_secs: &mut f64,
-                       obs: &mut dyn FlowObserver| {
-            let dt = now.saturating_duration_since(*last_update).as_secs_f64();
-            *last_update = now;
-            if dt <= 0.0 || !alloc_valid {
-                return;
-            }
-            let rates = alloc_engine.flow_rates();
-            for pos in 0..alloc_engine.len() {
-                let Some(fl) = states[alloc_engine.slot_at(pos)].as_mut() else {
-                    continue;
-                };
-                let got = (rates[pos] * dt).min(fl.remaining_bits);
-                fl.remaining_bits -= got;
-                *delivered_bits += got;
-                // distribute onto subpaths proportionally to their rates
-                let srates = alloc_engine.subpath_rates(pos);
-                let total: f64 = srates.iter().sum();
-                if total > 0.0 {
-                    for (s, &r) in srates.iter().enumerate() {
-                        fl.subpath_bits[s] += got * r / total;
-                    }
+    /// Inject an additional flow while the run is live. The arrival must
+    /// not precede the current clock; the flow joins the event stream
+    /// exactly as if it had been scheduled up front (modulo insertion
+    /// sequence, which follows feed order — the determinism contract is
+    /// over a fixed feed schedule, see the type-level docs).
+    pub fn feed(&mut self, spec: FlowSpec) -> Result<(), SchedulePastError> {
+        let idx = self.workload.len() + self.extra.len();
+        self.eng.schedule_at(spec.arrival, Event::Arrival(idx))?;
+        self.extra.push(spec);
+        Ok(())
+    }
+
+    /// True when `id` already names a flow in this run (workload or
+    /// fed). Flow ids must stay unique — the session layer uses this to
+    /// reject duplicate feeds with a typed error.
+    pub fn knows_flow(&self, id: u64) -> bool {
+        self.workload
+            .flows
+            .iter()
+            .chain(self.extra.iter())
+            .any(|s| s.id == id)
+    }
+
+    fn spec_at(&self, idx: usize) -> &FlowSpec {
+        if idx < self.workload.len() {
+            &self.workload.flows[idx]
+        } else {
+            &self.extra[idx - self.workload.len()]
+        }
+    }
+
+    /// Integrate the fluid system from `last_update` to `now`. The
+    /// engine's active set always equals the set the last allocation ran
+    /// over: inserts/removes happen *after* the advance for their event.
+    fn advance(&mut self, now: SimTime, obs: &mut dyn FlowObserver) {
+        let dt = now
+            .saturating_duration_since(self.last_update)
+            .as_secs_f64();
+        self.last_update = now;
+        if dt <= 0.0 || !self.alloc_valid {
+            return;
+        }
+        let rates = self.alloc_engine.flow_rates();
+        for (pos, &rate) in rates.iter().enumerate().take(self.alloc_engine.len()) {
+            let Some(fl) = self.states[self.alloc_engine.slot_at(pos)].as_mut() else {
+                continue;
+            };
+            let got = (rate * dt).min(fl.remaining_bits);
+            fl.remaining_bits -= got;
+            self.delivered_bits += got;
+            // distribute onto subpaths proportionally to their rates
+            let srates = self.alloc_engine.subpath_rates(pos);
+            let total: f64 = srates.iter().sum();
+            if total > 0.0 {
+                for (s, &r) in srates.iter().enumerate() {
+                    fl.subpath_bits[s] += got * r / total;
                 }
             }
-            if let Some(j) = JainIndex::compute(rates) {
-                *jain_weighted += j * dt;
-                *util_weighted += alloc_engine.mean_utilisation() * dt;
-                alloc_engine.accumulate_channel_utilisation(dt, chan_weighted);
-                *weighted_secs += dt;
-            }
-            obs.on_sample(now, *delivered_bits);
-        };
+        }
+        if let Some(j) = JainIndex::compute(rates) {
+            self.jain_weighted += j * dt;
+            self.util_weighted += self.alloc_engine.mean_utilisation() * dt;
+            self.alloc_engine
+                .accumulate_channel_utilisation(dt, &mut self.chan_weighted);
+            self.weighted_secs += dt;
+        }
+        obs.on_sample(now, self.delivered_bits);
+    }
 
-        // Re-allocate and schedule the earliest departure.
-        let reallocate = |eng: &mut Engine<Event>,
-                          now: SimTime,
-                          alloc_engine: &mut AllocEngine,
-                          states: &[Option<ActiveFlow>],
-                          alloc_valid: &mut bool,
-                          epoch: &mut u64,
-                          obs: &mut dyn FlowObserver| {
-            *epoch += 1;
-            if alloc_engine.is_empty() {
-                *alloc_valid = false;
-                return;
-            }
-            alloc_engine.allocate();
-            *alloc_valid = true;
-            obs.on_allocation(now, alloc_engine.keys(), alloc_engine.flow_rates());
-            // earliest departure under the new rates
-            let rates = alloc_engine.flow_rates();
-            let mut best: Option<(f64, u64)> = None;
-            for (pos, &fid) in alloc_engine.keys().iter().enumerate() {
-                let rate = rates[pos];
-                if rate <= 0.0 {
-                    continue;
-                }
-                let fl = states[alloc_engine.slot_at(pos)]
-                    .as_ref()
-                    .expect("engine and state slab agree on active slots");
-                let eta = fl.remaining_bits / rate;
-                if best.map_or(true, |(t, _)| eta < t) {
-                    best = Some((eta, fid));
-                }
-            }
-            if let Some((eta, fid)) = best {
-                // +1 ns: over-wait past any float-to-nanosecond rounding so
-                // the flow has definitely drained when the event fires (the
-                // integrator clamps delivery at the remaining volume).
-                eng.schedule(
-                    SimDuration::from_secs_f64(eta.max(0.0)) + SimDuration::from_nanos(1),
-                    Event::Departure(fid, *epoch),
-                );
-            }
-        };
-
-        let topo = self.topo;
-        eng.run_with(|eng, now, ev| {
-            match ev {
-                Event::Arrival(idx) => {
-                    advance(
-                        now,
-                        &mut last_update,
-                        &mut states,
-                        &alloc_engine,
-                        alloc_valid,
-                        &mut delivered_bits,
-                        &mut jain_weighted,
-                        &mut util_weighted,
-                        &mut chan_weighted,
-                        &mut weighted_secs,
-                        obs,
-                    );
-                    let spec = &self.workload.flows[idx];
-                    arrived += 1;
-                    let paths = self.strategy.paths_for(topo, spec.src, spec.dst, spec.id);
-                    if paths.is_empty() {
-                        unroutable += 1;
-                        obs.on_flow_unroutable(now, spec);
-                        return Control::Continue;
-                    }
-                    offered_bits += spec.size_bits;
-                    let primary_hops = paths[0].hops().max(1);
-                    let subpath_hops: Vec<u32> = paths.iter().map(|p| p.hops() as u32).collect();
-                    let n = paths.len();
-                    let slot = alloc_engine
-                        .insert(spec.id, &paths)
-                        .unwrap_or_else(|e| panic!("flow {}: {e}", spec.id));
-                    if states.len() <= slot {
-                        states.resize_with(slot + 1, || None);
-                    }
-                    states[slot] = Some(ActiveFlow {
-                        subpath_hops,
-                        primary_hops,
-                        size_bits: spec.size_bits,
-                        remaining_bits: spec.size_bits,
-                        subpath_bits: vec![0.0; n],
-                        arrival: now,
-                    });
-                    obs.on_flow_start(now, spec, n);
-                    reallocate(
-                        eng,
-                        now,
-                        &mut alloc_engine,
-                        &states,
-                        &mut alloc_valid,
-                        &mut epoch,
-                        obs,
-                    );
-                }
-                Event::Departure(fid, ev_epoch) => {
-                    if ev_epoch != epoch {
-                        return Control::Continue; // superseded schedule
-                    }
-                    advance(
-                        now,
-                        &mut last_update,
-                        &mut states,
-                        &alloc_engine,
-                        alloc_valid,
-                        &mut delivered_bits,
-                        &mut jain_weighted,
-                        &mut util_weighted,
-                        &mut chan_weighted,
-                        &mut weighted_secs,
-                        obs,
-                    );
-                    if let Some(slot) = alloc_engine.remove(fid) {
-                        let fl = states[slot]
-                            .take()
-                            .expect("engine and state slab agree on active slots");
-                        debug_assert!(
-                            fl.remaining_bits < 1.0,
-                            "flow {fid} departed with {} bits left",
-                            fl.remaining_bits
-                        );
-                        completed += 1;
-                        let fct = now.duration_since(fl.arrival).as_secs_f64();
-                        fct_sum += fct;
-                        fct_cdf.record(fct);
-                        obs.on_flow_end(now, fid, fl.size_bits - fl.remaining_bits, fct);
-                        record_stretch(&mut stretch, &fl);
-                    }
-                    reallocate(
-                        eng,
-                        now,
-                        &mut alloc_engine,
-                        &states,
-                        &mut alloc_valid,
-                        &mut epoch,
-                        obs,
-                    );
-                }
-            }
-            Control::Continue
-        });
-
-        // Horizon reached: integrate the final stretch of time and credit
-        // partial deliveries.
-        let end = horizon.min(eng.now().max(last_update));
-        advance(
-            end,
-            &mut last_update,
-            &mut states,
-            &alloc_engine,
-            alloc_valid,
-            &mut delivered_bits,
-            &mut jain_weighted,
-            &mut util_weighted,
-            &mut chan_weighted,
-            &mut weighted_secs,
-            obs,
+    /// Re-allocate and schedule the earliest departure.
+    fn reallocate(&mut self, now: SimTime, obs: &mut dyn FlowObserver) {
+        self.epoch += 1;
+        if self.alloc_engine.is_empty() {
+            self.alloc_valid = false;
+            return;
+        }
+        self.alloc_engine.allocate();
+        self.alloc_valid = true;
+        obs.on_allocation(
+            now,
+            self.alloc_engine.keys(),
+            self.alloc_engine.flow_rates(),
         );
-        for pos in 0..alloc_engine.len() {
-            if let Some(fl) = &states[alloc_engine.slot_at(pos)] {
+        // earliest departure under the new rates
+        let rates = self.alloc_engine.flow_rates();
+        let mut best: Option<(f64, u64)> = None;
+        for (pos, &fid) in self.alloc_engine.keys().iter().enumerate() {
+            let rate = rates[pos];
+            if rate <= 0.0 {
+                continue;
+            }
+            let fl = self.states[self.alloc_engine.slot_at(pos)]
+                .as_ref()
+                .expect("engine and state slab agree on active slots");
+            let eta = fl.remaining_bits / rate;
+            if best.map_or(true, |(t, _)| eta < t) {
+                best = Some((eta, fid));
+            }
+        }
+        if let Some((eta, fid)) = best {
+            // +1 ns: over-wait past any float-to-nanosecond rounding so
+            // the flow has definitely drained when the event fires (the
+            // integrator clamps delivery at the remaining volume).
+            self.eng.schedule(
+                SimDuration::from_secs_f64(eta.max(0.0)) + SimDuration::from_nanos(1),
+                Event::Departure(fid, self.epoch),
+            );
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event, obs: &mut dyn FlowObserver) {
+        match ev {
+            Event::Arrival(idx) => {
+                self.advance(now, obs);
+                let spec = self.spec_at(idx).clone();
+                self.arrived += 1;
+                let paths = self
+                    .strategy
+                    .paths_for(self.topo, spec.src, spec.dst, spec.id);
+                if paths.is_empty() {
+                    self.unroutable += 1;
+                    obs.on_flow_unroutable(now, &spec);
+                    return;
+                }
+                self.offered_bits += spec.size_bits;
+                let primary_hops = paths[0].hops().max(1);
+                let subpath_hops: Vec<u32> = paths.iter().map(|p| p.hops() as u32).collect();
+                let n = paths.len();
+                let slot = self
+                    .alloc_engine
+                    .insert(spec.id, &paths)
+                    .unwrap_or_else(|e| panic!("flow {}: {e}", spec.id));
+                if self.states.len() <= slot {
+                    self.states.resize_with(slot + 1, || None);
+                }
+                self.states[slot] = Some(ActiveFlow {
+                    subpath_hops,
+                    primary_hops,
+                    size_bits: spec.size_bits,
+                    remaining_bits: spec.size_bits,
+                    subpath_bits: vec![0.0; n],
+                    arrival: now,
+                });
+                obs.on_flow_start(now, &spec, n);
+                self.reallocate(now, obs);
+            }
+            Event::Departure(fid, ev_epoch) => {
+                if ev_epoch != self.epoch {
+                    return; // superseded schedule
+                }
+                self.advance(now, obs);
+                if let Some(slot) = self.alloc_engine.remove(fid) {
+                    let fl = self.states[slot]
+                        .take()
+                        .expect("engine and state slab agree on active slots");
+                    debug_assert!(
+                        fl.remaining_bits < 1.0,
+                        "flow {fid} departed with {} bits left",
+                        fl.remaining_bits
+                    );
+                    self.completed += 1;
+                    let fct = now.duration_since(fl.arrival).as_secs_f64();
+                    self.fct_sum += fct;
+                    self.fct_cdf.record(fct);
+                    obs.on_flow_end(now, fid, fl.size_bits - fl.remaining_bits, fct);
+                    record_stretch(&mut self.stretch, &fl);
+                }
+                self.reallocate(now, obs);
+            }
+        }
+    }
+
+    /// Process every event due at or before `t` (clamped to the
+    /// horizon), then park the clock at the boundary. Returns the
+    /// clock's new value. Fluid state is *not* integrated to the
+    /// boundary — see the determinism contract above.
+    pub fn run_until(&mut self, t: SimTime, obs: &mut dyn FlowObserver) -> SimTime {
+        let limit = t.min(self.horizon);
+        while let Some((now, ev)) = self.eng.next_at_or_before(limit) {
+            self.handle(now, ev, obs);
+        }
+        if limit > self.eng.now() {
+            self.eng.advance_clock_to(limit);
+        }
+        self.eng.now()
+    }
+
+    /// Drain the remaining events, integrate the final stretch of time,
+    /// credit partial deliveries, and assemble the report.
+    pub fn finish(mut self, obs: &mut dyn FlowObserver) -> FlowSimReport {
+        while let Some((now, ev)) = self.eng.next() {
+            self.handle(now, ev, obs);
+        }
+        // Horizon reached: integrate the final stretch of time and
+        // credit partial deliveries.
+        let end = self.horizon.min(self.eng.now().max(self.last_update));
+        self.advance(end, obs);
+        for pos in 0..self.alloc_engine.len() {
+            if let Some(fl) = &self.states[self.alloc_engine.slot_at(pos)] {
                 obs.on_flow_partial(
                     end,
-                    alloc_engine.keys()[pos],
+                    self.alloc_engine.keys()[pos],
                     fl.size_bits - fl.remaining_bits,
                 );
-                record_stretch(&mut stretch, fl);
+                record_stretch(&mut self.stretch, fl);
             }
         }
+        self.report(self.config.horizon)
+    }
 
+    /// Assemble a report from the accumulators as they stand (used both
+    /// by [`finish`](FlowRun::finish) and for incremental snapshots).
+    fn report(&self, duration: SimDuration) -> FlowSimReport {
         FlowSimReport {
             strategy: self.strategy.name().to_string(),
-            topology: topo.name().to_string(),
-            arrived_flows: arrived,
-            completed_flows: completed,
-            unroutable_flows: unroutable,
-            offered_bits,
-            delivered_bits,
-            duration: self.config.horizon,
-            mean_fct_secs: if completed > 0 {
-                fct_sum / completed as f64
+            topology: self.topo.name().to_string(),
+            arrived_flows: self.arrived,
+            completed_flows: self.completed,
+            unroutable_flows: self.unroutable,
+            offered_bits: self.offered_bits,
+            delivered_bits: self.delivered_bits,
+            duration,
+            mean_fct_secs: if self.completed > 0 {
+                self.fct_sum / self.completed as f64
             } else {
                 0.0
             },
-            fct_cdf,
-            stretch,
-            mean_jain: if weighted_secs > 0.0 {
-                jain_weighted / weighted_secs
+            fct_cdf: self.fct_cdf.clone(),
+            stretch: self.stretch.clone(),
+            mean_jain: if self.weighted_secs > 0.0 {
+                self.jain_weighted / self.weighted_secs
             } else {
                 0.0
             },
-            mean_utilisation: if weighted_secs > 0.0 {
-                util_weighted / weighted_secs
+            mean_utilisation: if self.weighted_secs > 0.0 {
+                self.util_weighted / self.weighted_secs
             } else {
                 0.0
             },
-            channel_utilisation: if weighted_secs > 0.0 {
-                chan_weighted.iter().map(|w| w / weighted_secs).collect()
+            channel_utilisation: if self.weighted_secs > 0.0 {
+                self.chan_weighted
+                    .iter()
+                    .map(|w| w / self.weighted_secs)
+                    .collect()
             } else {
-                chan_weighted
+                self.chan_weighted.clone()
             },
         }
+    }
+
+    /// A report of the run *so far*: accumulators as of the last
+    /// processed event, with `duration` set to the elapsed window. Does
+    /// not perturb the run.
+    pub fn report_now(&self) -> FlowSimReport {
+        self.report(self.eng.now().saturating_duration_since(SimTime::ZERO))
+    }
+
+    /// Serialise the complete run state. Restoring with
+    /// [`FlowRun::restore`] against the same topology / strategy /
+    /// workload continues the run bit-identically.
+    pub fn encode_checkpoint(&self, w: &mut SnapWriter) {
+        self.config.horizon.encode(w);
+        self.eng.encode_state(w);
+        self.extra.encode(w);
+        // Active flows in ascending-key (position) order, each with the
+        // endpoints needed to re-resolve its paths at restore.
+        w.put_usize(self.alloc_engine.len());
+        for (pos, &key) in self.alloc_engine.keys().iter().enumerate() {
+            let fl = self.states[self.alloc_engine.slot_at(pos)]
+                .as_ref()
+                .expect("engine and state slab agree on active slots");
+            w.put_u64(key);
+            let spec = self.spec_of_flow(key);
+            w.put_u32(spec.src.0);
+            w.put_u32(spec.dst.0);
+            fl.encode(w);
+        }
+        w.put_bool(self.alloc_valid);
+        w.put_u64(self.epoch);
+        self.last_update.encode(w);
+        w.put_f64(self.delivered_bits);
+        w.put_f64(self.offered_bits);
+        w.put_usize(self.arrived);
+        w.put_usize(self.completed);
+        w.put_usize(self.unroutable);
+        w.put_f64(self.fct_sum);
+        self.fct_cdf.encode(w);
+        self.stretch.encode(w);
+        w.put_f64(self.jain_weighted);
+        w.put_f64(self.util_weighted);
+        self.chan_weighted.encode(w);
+        w.put_f64(self.weighted_secs);
+    }
+
+    /// Look up the spec of an *active* flow by id. Flow ids are unique
+    /// across the workload and the fed extras (the engine's `insert`
+    /// rejects duplicates), so a linear scan is unambiguous; active sets
+    /// are small relative to workloads, and checkpoints are rare.
+    fn spec_of_flow(&self, id: u64) -> &FlowSpec {
+        self.workload
+            .flows
+            .iter()
+            .chain(self.extra.iter())
+            .find(|s| s.id == id)
+            .expect("active flow has a spec")
+    }
+
+    /// Rebuild a run from [`FlowRun::encode_checkpoint`] bytes. The
+    /// caller must pass the same topology, strategy, and workload the
+    /// checkpoint was taken against (the session layer fingerprints
+    /// this); path resolution is re-run per active flow, which is
+    /// deterministic, and the allocator state is recomputed — the
+    /// allocation is a pure function of the active set in key order.
+    pub fn restore(
+        topo: &'a Topology,
+        strategy: &'a dyn RoutingStrategy,
+        workload: &'a Workload,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        let horizon_d = SimDuration::decode(r)?;
+        let eng = Engine::<Event>::decode_state(r)?;
+        let extra = Vec::<FlowSpec>::decode(r)?;
+        let n_active = r.get_usize()?;
+        if n_active > r.remaining() {
+            return Err(SnapError::Corrupt("active flow count exceeds stream"));
+        }
+        let mut alloc_engine = AllocEngine::new(topo);
+        let mut states: Vec<Option<ActiveFlow>> = Vec::new();
+        let mut last_key: Option<u64> = None;
+        for _ in 0..n_active {
+            let key = r.get_u64()?;
+            if last_key.is_some_and(|k| k >= key) {
+                return Err(SnapError::Corrupt("active flows out of key order"));
+            }
+            last_key = Some(key);
+            let src = NodeId(r.get_u32()?);
+            let dst = NodeId(r.get_u32()?);
+            let fl = ActiveFlow::decode(r)?;
+            if src.0 as usize >= topo.node_count() || dst.0 as usize >= topo.node_count() {
+                return Err(SnapError::Corrupt("active flow endpoint out of range"));
+            }
+            let paths = strategy.paths_for(topo, src, dst, key);
+            if paths.len() != fl.subpath_bits.len() {
+                return Err(SnapError::Corrupt(
+                    "resolved subpath count differs from checkpoint",
+                ));
+            }
+            let slot = alloc_engine
+                .insert(key, &paths)
+                .map_err(|_| SnapError::Corrupt("checkpointed flow no longer resolves"))?;
+            if states.len() <= slot {
+                states.resize_with(slot + 1, || None);
+            }
+            states[slot] = Some(fl);
+        }
+        let alloc_valid = r.get_bool()?;
+        if alloc_valid {
+            if alloc_engine.is_empty() {
+                return Err(SnapError::Corrupt("allocation valid but no active flows"));
+            }
+            alloc_engine.allocate();
+        }
+        Ok(FlowRun {
+            topo,
+            strategy,
+            workload,
+            config: FlowSimConfig { horizon: horizon_d },
+            horizon: SimTime::ZERO + horizon_d,
+            eng,
+            extra,
+            alloc_engine,
+            states,
+            alloc_valid,
+            epoch: r.get_u64()?,
+            last_update: SimTime::decode(r)?,
+            delivered_bits: r.get_f64()?,
+            offered_bits: r.get_f64()?,
+            arrived: r.get_usize()?,
+            completed: r.get_usize()?,
+            unroutable: r.get_usize()?,
+            fct_sum: r.get_f64()?,
+            fct_cdf: Cdf::decode(r)?,
+            stretch: WeightedCdf::decode(r)?,
+            jain_weighted: r.get_f64()?,
+            util_weighted: r.get_f64()?,
+            chan_weighted: Vec::<f64>::decode(r)?,
+            weighted_secs: r.get_f64()?,
+        })
     }
 }
 
@@ -725,5 +984,295 @@ mod tests {
         );
         assert!((report.mean_fct_secs - 10.0).abs() < 0.1);
         let _ = Rate::ZERO; // keep the import exercised on all feature sets
+    }
+
+    // ---- stepping / checkpoint / feed ----------------------------------
+
+    /// Observer that folds every hook's payload into an FNV-style hash,
+    /// bit-exactly — two runs with identical streams get identical
+    /// fingerprints.
+    #[derive(Default)]
+    struct StreamFp(u64);
+
+    impl StreamFp {
+        fn mix(&mut self, x: u64) {
+            let mut h = self.0 ^ x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            self.0 = h ^ (h >> 29);
+        }
+        fn mix_f(&mut self, x: f64) {
+            self.mix(x.to_bits());
+        }
+    }
+
+    impl FlowObserver for StreamFp {
+        fn on_flow_start(&mut self, t: SimTime, spec: &FlowSpec, subpaths: usize) {
+            self.mix(1);
+            self.mix(t.as_nanos());
+            self.mix(spec.id);
+            self.mix(subpaths as u64);
+        }
+        fn on_flow_unroutable(&mut self, t: SimTime, spec: &FlowSpec) {
+            self.mix(2);
+            self.mix(t.as_nanos());
+            self.mix(spec.id);
+        }
+        fn on_flow_end(&mut self, t: SimTime, flow: u64, delivered_bits: f64, fct_secs: f64) {
+            self.mix(3);
+            self.mix(t.as_nanos());
+            self.mix(flow);
+            self.mix_f(delivered_bits);
+            self.mix_f(fct_secs);
+        }
+        fn on_flow_partial(&mut self, t: SimTime, flow: u64, delivered_bits: f64) {
+            self.mix(4);
+            self.mix(t.as_nanos());
+            self.mix(flow);
+            self.mix_f(delivered_bits);
+        }
+        fn on_allocation(&mut self, t: SimTime, flows: &[u64], rates: &[f64]) {
+            self.mix(5);
+            self.mix(t.as_nanos());
+            for (&f, &r) in flows.iter().zip(rates) {
+                self.mix(f);
+                self.mix_f(r);
+            }
+        }
+        fn on_sample(&mut self, t: SimTime, delivered_bits: f64) {
+            self.mix(6);
+            self.mix(t.as_nanos());
+            self.mix_f(delivered_bits);
+        }
+    }
+
+    /// Bit-exact report comparison (f64 fields via `to_bits`).
+    fn assert_reports_identical(a: &FlowSimReport, b: &FlowSimReport) {
+        assert_eq!(a.arrived_flows, b.arrived_flows);
+        assert_eq!(a.completed_flows, b.completed_flows);
+        assert_eq!(a.unroutable_flows, b.unroutable_flows);
+        assert_eq!(a.offered_bits.to_bits(), b.offered_bits.to_bits());
+        assert_eq!(a.delivered_bits.to_bits(), b.delivered_bits.to_bits());
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.mean_fct_secs.to_bits(), b.mean_fct_secs.to_bits());
+        assert_eq!(a.mean_jain.to_bits(), b.mean_jain.to_bits());
+        assert_eq!(a.mean_utilisation.to_bits(), b.mean_utilisation.to_bits());
+        assert_eq!(a.channel_utilisation.len(), b.channel_utilisation.len());
+        for (x, y) in a.channel_utilisation.iter().zip(&b.channel_utilisation) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.fct_cdf, b.fct_cdf);
+        assert_eq!(a.stretch, b.stretch);
+    }
+
+    #[test]
+    fn stepping_run_matches_straight_run() {
+        let topo = generate_isp(Isp::Vsnl, 5);
+        let w = small_workload(&topo, 150.0, 3, 11);
+        let inrp = InrpStrategy::with_defaults(&topo);
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(8),
+        };
+        let mut fp_a = StreamFp::default();
+        let straight = FlowSim::new(&topo, &inrp, &w, cfg).run_observed(&mut fp_a);
+
+        let mut fp_b = StreamFp::default();
+        let mut run = FlowSim::new(&topo, &inrp, &w, cfg).start();
+        // uneven boundaries, including one past the horizon
+        for secs in [1, 2, 3, 5, 30] {
+            run.run_until(SimTime::from_secs(secs), &mut fp_b);
+        }
+        let stepped = run.finish(&mut fp_b);
+
+        assert_reports_identical(&straight, &stepped);
+        assert_eq!(fp_a.0, fp_b.0, "observer streams diverged");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let topo = generate_isp(Isp::Vsnl, 7);
+        let w = small_workload(&topo, 200.0, 3, 23);
+        let inrp = InrpStrategy::with_defaults(&topo);
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(6),
+        };
+        let mut fp_a = StreamFp::default();
+        let straight = FlowSim::new(&topo, &inrp, &w, cfg).run_observed(&mut fp_a);
+
+        // run half-way, checkpoint, drop the run, restore, finish
+        let mut fp_b = StreamFp::default();
+        let mut first = FlowSim::new(&topo, &inrp, &w, cfg).start();
+        first.run_until(SimTime::from_millis(1_500), &mut fp_b);
+        let mut wtr = SnapWriter::new();
+        first.encode_checkpoint(&mut wtr);
+        let bytes = wtr.into_bytes();
+        drop(first);
+
+        let second =
+            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let resumed = second.finish(&mut fp_b);
+
+        assert_reports_identical(&straight, &resumed);
+        assert_eq!(fp_a.0, fp_b.0, "resume changed the observer stream");
+
+        // a second checkpoint of a restored run at the same instant is
+        // byte-identical to the first (state round-trips canonically)
+        let third =
+            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let mut wtr2 = SnapWriter::new();
+        third.encode_checkpoint(&mut wtr2);
+        assert_eq!(bytes, wtr2.into_bytes());
+    }
+
+    #[test]
+    fn report_now_snapshots_without_perturbing_the_run() {
+        let topo = generate_isp(Isp::Vsnl, 5);
+        let w = small_workload(&topo, 100.0, 2, 3);
+        let sp = SinglePathStrategy;
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(10),
+        };
+        let straight = FlowSim::new(&topo, &sp, &w, cfg).run();
+        let mut run = FlowSim::new(&topo, &sp, &w, cfg).start();
+        run.run_until(SimTime::from_secs(1), &mut ());
+        let snap = run.report_now();
+        assert!(snap.arrived_flows > 0);
+        assert!(snap.delivered_bits <= straight.delivered_bits);
+        let end = run.finish(&mut ());
+        assert_reports_identical(&straight, &end);
+    }
+
+    #[test]
+    fn feed_streams_arrivals_into_a_live_run() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let w = Workload {
+            flows: vec![FlowSpec {
+                id: 0,
+                src: n("1"),
+                dst: n("4"),
+                size_bits: 5e6,
+                arrival: SimTime::ZERO,
+            }],
+            offered_bits: 5e6,
+        };
+        let inrp = InrpStrategy::with_defaults(&topo);
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(30),
+        };
+        let fed_flow = FlowSpec {
+            id: 1,
+            src: n("1"),
+            dst: n("3"),
+            size_bits: 5e6,
+            arrival: SimTime::from_secs(2),
+        };
+
+        let run_with_feed = |fp: &mut StreamFp| {
+            let mut run = FlowSim::new(&topo, &inrp, &w, cfg).start();
+            run.run_until(SimTime::from_secs(1), fp);
+            run.feed(fed_flow.clone())
+                .expect("arrival is in the future");
+            run.finish(fp)
+        };
+        let mut fp_a = StreamFp::default();
+        let a = run_with_feed(&mut fp_a);
+        assert_eq!(a.arrived_flows, 2);
+        assert_eq!(a.completed_flows, 2);
+
+        // same feed schedule → bit-identical run
+        let mut fp_b = StreamFp::default();
+        let b = run_with_feed(&mut fp_b);
+        assert_reports_identical(&a, &b);
+        assert_eq!(fp_a.0, fp_b.0);
+
+        // feeding into the past is rejected
+        let mut run = FlowSim::new(&topo, &inrp, &w, cfg).start();
+        run.run_until(SimTime::from_secs(5), &mut ());
+        let mut stale = fed_flow.clone();
+        stale.arrival = SimTime::from_secs(2);
+        stale.id = 9;
+        assert!(run.feed(stale).is_err());
+    }
+
+    #[test]
+    fn checkpoint_survives_fed_flows() {
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let w = Workload {
+            flows: vec![FlowSpec {
+                id: 0,
+                src: n("1"),
+                dst: n("4"),
+                size_bits: 8e6,
+                arrival: SimTime::ZERO,
+            }],
+            offered_bits: 8e6,
+        };
+        let inrp = InrpStrategy::with_defaults(&topo);
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(30),
+        };
+        // straight: feed at 1 s, run to completion
+        let mut fp_a = StreamFp::default();
+        let mut straight = FlowSim::new(&topo, &inrp, &w, cfg).start();
+        straight.run_until(SimTime::from_secs(1), &mut fp_a);
+        straight
+            .feed(FlowSpec {
+                id: 1,
+                src: n("1"),
+                dst: n("3"),
+                size_bits: 8e6,
+                arrival: SimTime::from_secs(2),
+            })
+            .unwrap();
+        let a = straight.finish(&mut fp_a);
+
+        // split: identical feed, checkpoint *between* feed and the fed
+        // flow's arrival, restore, finish
+        let mut fp_b = StreamFp::default();
+        let mut head = FlowSim::new(&topo, &inrp, &w, cfg).start();
+        head.run_until(SimTime::from_secs(1), &mut fp_b);
+        head.feed(FlowSpec {
+            id: 1,
+            src: n("1"),
+            dst: n("3"),
+            size_bits: 8e6,
+            arrival: SimTime::from_secs(2),
+        })
+        .unwrap();
+        head.run_until(SimTime::from_millis(1_500), &mut fp_b);
+        let mut wtr = SnapWriter::new();
+        head.encode_checkpoint(&mut wtr);
+        let bytes = wtr.into_bytes();
+        let tail =
+            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let b = tail.finish(&mut fp_b);
+
+        assert_reports_identical(&a, &b);
+        assert_eq!(fp_a.0, fp_b.0, "fed-flow checkpoint changed the stream");
+        assert_eq!(b.arrived_flows, 2);
+        assert_eq!(b.completed_flows, 2);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let topo = generate_isp(Isp::Vsnl, 5);
+        let w = small_workload(&topo, 100.0, 2, 3);
+        let sp = SinglePathStrategy;
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(10),
+        };
+        let mut run = FlowSim::new(&topo, &sp, &w, cfg).start();
+        run.run_until(SimTime::from_secs(1), &mut ());
+        let mut wtr = SnapWriter::new();
+        run.encode_checkpoint(&mut wtr);
+        let bytes = wtr.into_bytes();
+        // any truncation must error, never panic or mis-decode
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                FlowRun::restore(&topo, &sp, &w, &mut SnapReader::new(&bytes[..cut])).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
     }
 }

@@ -56,6 +56,7 @@ use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
 use inrpp_sim::calendar::CalendarEngine;
 use inrpp_sim::fault::{FaultInjector, FaultOutcome};
+use inrpp_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::ByteSize;
 use inrpp_topology::dense::DenseChannels;
@@ -315,6 +316,190 @@ impl<'a> PacketSim<'a> {
         probes: &mut [&mut dyn Probe],
     ) -> Result<PacketSimReport, SessionError> {
         crate::shard::run_partitioned(self.topo, self.config, self.transfers, partition, probes)
+    }
+
+    /// Begin a *stepping* run: nothing executes until the caller drives
+    /// the returned [`PacketRun`] with [`run_until`](PacketRun::run_until)
+    /// / [`finish`](PacketRun::finish). The service-mode entry point —
+    /// adds streaming transfer ingestion ([`feed`](PacketRun::feed)) and
+    /// checkpoint/resume on top of the sequential engine, bit-identically.
+    pub fn start(self) -> Result<PacketRun<'a>, SessionError> {
+        let mut core = Core::build(self.topo, self.config, self.transfers)?;
+        let horizon = SimTime::ZERO + core.cfg.horizon;
+        let mut eng: CalendarEngine<Ev> =
+            CalendarEngine::new(core.calendar_width(), 4096).with_horizon(horizon);
+        core.bootstrap(&mut eng);
+        Ok(PacketRun {
+            core,
+            eng,
+            horizon,
+            ops: Vec::new(),
+        })
+    }
+}
+
+/// One entry of a [`PacketRun`] checkpoint's replay log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReplayOp {
+    /// `run_until` was driven to this (clamped) boundary.
+    AdvanceTo(SimTime),
+    /// A transfer was fed into the live run at that point.
+    Feed(TransferSpec, FlowTransport),
+}
+
+impl Snap for ReplayOp {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            ReplayOp::AdvanceTo(t) => {
+                w.put_u8(0);
+                t.encode(w);
+            }
+            ReplayOp::Feed(spec, kind) => {
+                w.put_u8(1);
+                spec.encode(w);
+                kind.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(ReplayOp::AdvanceTo(SimTime::decode(r)?)),
+            1 => Ok(ReplayOp::Feed(
+                TransferSpec::decode(r)?,
+                FlowTransport::decode(r)?,
+            )),
+            _ => Err(SnapError::Corrupt("replay op tag out of range")),
+        }
+    }
+}
+
+/// An in-flight packet-level simulation that can be driven in steps,
+/// checkpointed, and fed additional transfers while running.
+///
+/// # Determinism contract
+/// [`run_until`](PacketRun::run_until) pops exactly the `(time, seq)`
+/// prefix the uninterrupted engine would pop, via
+/// [`CalendarEngine::next_at_or_before`]; [`finish`](PacketRun::finish)
+/// drains the rest with the plain `next()` loop. Splitting a run at any
+/// boundary therefore cannot change the report or the probe stream.
+///
+/// # Checkpoint = deterministic replay
+/// Unlike the fluid engine (whose `FlowRun` snapshot
+/// serialises its full state), a packet checkpoint records the *driver
+/// schedule*: the sequence of advance boundaries and fed transfers.
+/// [`PacketRun::restore`] rebuilds the engine from the same inputs and
+/// silently replays that schedule with probes muted — the engine is
+/// deterministic, so the rebuilt state is bit-identical and the live
+/// probe stream continues exactly where the checkpoint was taken. The
+/// checkpoint is a few bytes per driver operation; resume cost is
+/// proportional to simulated time replayed, which for service-mode runs
+/// (bounded horizons) is the robust trade against serialising the
+/// engine's packet/route slabs, custody stores, and estimator state.
+pub struct PacketRun<'a> {
+    core: Core<'a>,
+    eng: CalendarEngine<Ev>,
+    horizon: SimTime,
+    ops: Vec<ReplayOp>,
+}
+
+impl<'a> PacketRun<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// The run's hard stop.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Process every event due at or before `t` (clamped to the
+    /// horizon), then park the clock at the boundary. Returns the
+    /// clock's new value.
+    pub fn run_until(
+        &mut self,
+        t: SimTime,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<SimTime, SessionError> {
+        let limit = t.min(self.horizon);
+        let mut set = ProbeSet::new(probes);
+        while let Some((now, ev)) = self.eng.next_at_or_before(limit) {
+            self.core.step(&mut self.eng, now, ev, &mut set)?;
+        }
+        if limit > self.eng.now() {
+            self.eng.advance_clock_to(limit);
+        }
+        self.ops.push(ReplayOp::AdvanceTo(limit));
+        Ok(self.eng.now())
+    }
+
+    /// Inject a transfer into the live run. The fed flow id must exceed
+    /// every id already in the run (flow slots are ranks of ascending
+    /// ids) and its start must not precede the clock.
+    pub fn feed(&mut self, spec: TransferSpec, kind: FlowTransport) -> Result<(), SessionError> {
+        self.core.feed(&mut self.eng, spec, kind)?;
+        self.ops.push(ReplayOp::Feed(spec, kind));
+        Ok(())
+    }
+
+    /// Drain the remaining events and assemble the final report.
+    pub fn finish(
+        mut self,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<PacketSimReport, SessionError> {
+        let mut set = ProbeSet::new(probes);
+        while let Some((now, ev)) = self.eng.next() {
+            self.core.step(&mut self.eng, now, ev, &mut set)?;
+        }
+        Ok(self.core.assemble_report())
+    }
+
+    /// A report of the run *so far*: counters and per-flow progress as of
+    /// the last processed event. Does not perturb the run.
+    pub fn report_now(&self) -> PacketSimReport {
+        self.core.assemble_report()
+    }
+
+    /// Every transfer known to the run (upfront and fed), in slot order
+    /// (ascending flow id) — the endpoint lookup the session layer
+    /// needs for per-flow records.
+    pub fn transfers(&self) -> &[TransferSpec] {
+        &self.core.specs
+    }
+
+    /// Serialise the run's replay log (see the type-level docs). Restore
+    /// with [`PacketRun::restore`] against the same topology, config, and
+    /// initial transfer list.
+    pub fn encode_checkpoint(&self, w: &mut SnapWriter) {
+        self.ops.encode(w);
+    }
+
+    /// Rebuild a run from [`PacketRun::encode_checkpoint`] bytes by
+    /// replaying the recorded driver schedule with probes muted. The
+    /// caller must pass the same topology / config / initial transfers
+    /// the checkpoint was taken against (the session layer fingerprints
+    /// this).
+    pub fn restore(
+        topo: &'a Topology,
+        config: PacketSimConfig,
+        transfers: Vec<(TransferSpec, FlowTransport)>,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SessionError> {
+        let ops = Vec::<ReplayOp>::decode(r)
+            .map_err(|e| SessionError::InvalidConfig(format!("corrupt packet checkpoint: {e}")))?;
+        let mut sim = PacketSim::try_new(topo, config)?;
+        sim.transfers = transfers;
+        let mut run = sim.start()?;
+        for op in ops {
+            match op {
+                ReplayOp::AdvanceTo(t) => {
+                    run.run_until(t, &mut [])?;
+                }
+                ReplayOp::Feed(spec, kind) => run.feed(spec, kind)?,
+            }
+        }
+        Ok(run)
     }
 }
 
@@ -1910,6 +2095,91 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// Append one transfer to a *live* run (service-mode streaming
+    /// ingestion). Validation mirrors [`PacketSim::try_add_transfer_as`],
+    /// plus two liveness constraints: the flow id must exceed every id
+    /// already in the run (slots are ranks of ascending flow ids, and
+    /// queued events address flows by slot — an insertion anywhere but
+    /// the end would re-rank live slots), and the start instant must not
+    /// precede the clock. State is only mutated once every check passed.
+    fn feed(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        spec: TransferSpec,
+        kind: FlowTransport,
+    ) -> Result<(), SessionError> {
+        assert!(
+            self.region.is_none(),
+            "feeding a region core is unsupported; feed the sequential engine"
+        );
+        if spec.src == spec.dst {
+            return Err(SessionError::InvalidTransfer(format!(
+                "flow {} endpoints coincide ({})",
+                spec.flow, spec.src
+            )));
+        }
+        if spec.chunks == 0 {
+            return Err(SessionError::InvalidTransfer(format!(
+                "flow {} has zero chunks",
+                spec.flow
+            )));
+        }
+        let supported = matches!(
+            (kind, &self.cfg.transport),
+            (FlowTransport::Inrpp, TransportKind::Inrpp(_))
+                | (FlowTransport::Aimd, TransportKind::Aimd(_))
+                | (_, TransportKind::Mixed { .. })
+        );
+        if !supported {
+            return Err(SessionError::InvalidConfig(format!(
+                "flow transport {kind:?} has no configuration under {:?}",
+                self.cfg.transport
+            )));
+        }
+        if let Some(&max) = self.flow_ids.last() {
+            if spec.flow <= max {
+                return Err(SessionError::InvalidTransfer(format!(
+                    "fed flow id {} must exceed every id already in the run (max {max})",
+                    spec.flow
+                )));
+            }
+        }
+        let path = shortest_path(self.topo, spec.src, spec.dst, &cost::hops)
+            .ok_or(SessionError::Unroutable { flow: spec.flow })?;
+        let nodes = path.nodes().to_vec();
+        let mut dirs = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for w in nodes.windows(2) {
+            dirs.push(
+                self.dense
+                    .dir_index(w[0], w[1])
+                    .ok_or(SessionError::Unroutable { flow: spec.flow })?,
+            );
+        }
+        let slot = self.flow_ids.len() as u32;
+        eng.schedule_at(spec.start, Ev::Start(slot)).map_err(|e| {
+            SessionError::InvalidTransfer(format!(
+                "fed flow {} cannot start in the past: {e}",
+                spec.flow
+            ))
+        })?;
+        self.flow_ids.push(spec.flow);
+        self.specs.push(spec);
+        self.kinds.push(kind);
+        self.route_nodes.extend_from_slice(&nodes);
+        self.route_start.push(self.route_nodes.len() as u32);
+        self.route_dirs.extend_from_slice(&dirs);
+        self.dir_start.push(self.route_dirs.len() as u32);
+        self.node_flows[spec.src.idx()].push(slot);
+        self.receivers.push(None);
+        let push_ahead = self.inrpp_cfg.map(|c| c.anticipation).unwrap_or(0);
+        let s = self.senders[spec.src.idx()].get_or_insert_with(|| Sender::new(push_ahead));
+        s.register(spec.flow, spec.chunks);
+        if kind == FlowTransport::Aimd {
+            s.set_mode(spec.flow, SenderMode::ClosedLoop);
+        }
+        Ok(())
+    }
+
     fn run(mut self, probes: &mut ProbeSet<'_, '_>) -> Result<PacketSimReport, SessionError> {
         let horizon = SimTime::ZERO + self.cfg.horizon;
         let mut eng: CalendarEngine<Ev> =
@@ -1918,8 +2188,12 @@ impl<'a> Core<'a> {
         while let Some((now, ev)) = eng.next() {
             self.step(&mut eng, now, ev, probes)?;
         }
+        Ok(self.assemble_report())
+    }
 
-        // assemble the report
+    /// Assemble the report from the accumulators as they stand — the end
+    /// of a full run, or an incremental snapshot of a stepped one.
+    pub(crate) fn assemble_report(&self) -> PacketSimReport {
         let horizon_d = self.cfg.horizon;
         let channel_utilisation: Vec<f64> = (0..self.channels.len())
             .map(|d| self.channels.utilisation(d, horizon_d))
@@ -1945,7 +2219,7 @@ impl<'a> Core<'a> {
             }
         }
         flows.sort_by_key(|f| f.flow);
-        Ok(PacketSimReport {
+        PacketSimReport {
             transport: match (self.inrpp_cfg.is_some(), self.aimd_cfg.is_some()) {
                 (true, true) => "MIXED".into(),
                 (true, false) => "INRPP".into(),
@@ -1972,7 +2246,7 @@ impl<'a> Core<'a> {
                 .map(|(t, s)| (t, s.to_string()))
                 .collect(),
             phase_transitions: self.phases.iter().flatten().map(|c| c.transitions()).sum(),
-        })
+        }
     }
 
     /// Process one event — the body of the sequential main loop, shared
@@ -2875,5 +3149,259 @@ mod equivalence {
         assert_eq!(r.max_fct(), None);
         assert_eq!(r.mean_fct_secs(), 0.0);
         assert!(r.summary().contains("done=0/1"));
+    }
+
+    // ---- stepping / checkpoint / feed ----------------------------------
+
+    fn fig3() -> Topology {
+        Topology::fig3()
+    }
+
+    fn aimd_cfg() -> PacketSimConfig {
+        PacketSimConfig {
+            transport: TransportKind::Aimd(AimdConfig::default()),
+            horizon: SimDuration::from_secs(30),
+            ..PacketSimConfig::default()
+        }
+    }
+
+    /// Probe folding every hook's payload into a hash, bit-exactly.
+    #[derive(Default)]
+    struct ProbeFp(u64);
+
+    impl ProbeFp {
+        fn mix(&mut self, x: u64) {
+            let mut h = self.0 ^ x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            self.0 = h ^ (h >> 29);
+        }
+        fn mix_f(&mut self, x: f64) {
+            self.mix(x.to_bits());
+        }
+    }
+
+    impl Probe for ProbeFp {
+        fn on_flow_start(&mut self, ev: &FlowStart) {
+            self.mix(1);
+            self.mix(ev.time.as_nanos());
+            self.mix(ev.flow);
+            self.mix_f(ev.size_bits);
+        }
+        fn on_flow_end(&mut self, ev: &FlowEnd) {
+            self.mix(2);
+            self.mix(ev.time.as_nanos());
+            self.mix(ev.flow);
+            self.mix_f(ev.delivered_bits);
+            self.mix_f(ev.fct_secs);
+        }
+        fn on_sample(&mut self, ev: &Sample) {
+            self.mix(3);
+            self.mix(ev.time.as_nanos());
+            self.mix_f(ev.delivered_bits);
+        }
+    }
+
+    #[test]
+    fn stepping_run_matches_straight_run() {
+        // detour-heavy workload so custody, back-pressure, and the packet
+        // slabs are all live across the step boundaries
+        let t = fig3();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.add_transfer(transfer(&t, 1, "1", "4", 800));
+        sim.add_transfer(transfer(&t, 2, "1", "3", 400));
+        let mut fp_a = ProbeFp::default();
+        let straight = {
+            let mut s = PacketSim::new(&t, inrpp_cfg());
+            s.add_transfer(transfer(&t, 1, "1", "4", 800));
+            s.add_transfer(transfer(&t, 2, "1", "3", 400));
+            s.try_run_probed(&mut [&mut fp_a]).unwrap()
+        };
+        let mut fp_b = ProbeFp::default();
+        let mut run = sim.start().unwrap();
+        for ms in [50, 300, 301, 2_000, 60_000] {
+            run.run_until(SimTime::from_millis(ms), &mut [&mut fp_b])
+                .unwrap();
+        }
+        let stepped = run.finish(&mut [&mut fp_b]).unwrap();
+        assert_eq!(straight, stepped);
+        assert_eq!(fp_a.0, fp_b.0, "probe streams diverged");
+    }
+
+    #[test]
+    fn checkpoint_replay_resumes_bit_identically() {
+        let t = fig3();
+        let build = || {
+            let mut s = PacketSim::new(&t, inrpp_cfg());
+            s.add_transfer(transfer(&t, 1, "1", "4", 800));
+            s.add_transfer(transfer(&t, 2, "1", "3", 400));
+            s
+        };
+        let mut fp_a = ProbeFp::default();
+        let straight = build().try_run_probed(&mut [&mut fp_a]).unwrap();
+
+        // head: step to 900 ms live, checkpoint, drop
+        let mut fp_b = ProbeFp::default();
+        let mut head = build().start().unwrap();
+        head.run_until(SimTime::from_millis(400), &mut [&mut fp_b])
+            .unwrap();
+        head.run_until(SimTime::from_millis(900), &mut [&mut fp_b])
+            .unwrap();
+        let mut w = SnapWriter::new();
+        head.encode_checkpoint(&mut w);
+        let bytes = w.into_bytes();
+        drop(head);
+
+        // tail: rebuild from the same inputs, replay silently, continue
+        let transfers = vec![
+            (transfer(&t, 1, "1", "4", 800), FlowTransport::Inrpp),
+            (transfer(&t, 2, "1", "3", 400), FlowTransport::Inrpp),
+        ];
+        let tail = PacketRun::restore(
+            &t,
+            inrpp_cfg(),
+            transfers.clone(),
+            &mut SnapReader::new(&bytes),
+        )
+        .unwrap();
+        assert_eq!(tail.now(), SimTime::from_millis(900));
+        let resumed = tail.finish(&mut [&mut fp_b]).unwrap();
+
+        assert_eq!(straight, resumed);
+        assert_eq!(fp_a.0, fp_b.0, "resume changed the probe stream");
+
+        // a restored run re-checkpoints byte-identically
+        let again =
+            PacketRun::restore(&t, inrpp_cfg(), transfers, &mut SnapReader::new(&bytes)).unwrap();
+        let mut w2 = SnapWriter::new();
+        again.encode_checkpoint(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn feed_streams_transfers_into_a_live_run() {
+        let t = fig3();
+        let fed = TransferSpec {
+            start: SimTime::from_secs(2),
+            ..transfer(&t, 7, "1", "3", 200)
+        };
+
+        // reference: both transfers fed the same way, no checkpoint
+        let drive = |probes: &mut [&mut dyn Probe]| {
+            let mut sim = PacketSim::new(&t, inrpp_cfg());
+            sim.add_transfer(transfer(&t, 1, "1", "4", 400));
+            let mut run = sim.start().unwrap();
+            run.run_until(SimTime::from_secs(1), probes).unwrap();
+            run.feed(fed, FlowTransport::Inrpp).unwrap();
+            run
+        };
+        let mut fp_a = ProbeFp::default();
+        let a = drive(&mut [&mut fp_a]).finish(&mut [&mut fp_a]).unwrap();
+        assert_eq!(a.completed(), 2, "{}", a.summary());
+
+        // same feed schedule, split across a checkpoint taken between the
+        // feed call and the fed flow's start
+        let mut fp_b = ProbeFp::default();
+        let mut head = drive(&mut [&mut fp_b]);
+        head.run_until(SimTime::from_millis(1_500), &mut [&mut fp_b])
+            .unwrap();
+        let mut w = SnapWriter::new();
+        head.encode_checkpoint(&mut w);
+        let bytes = w.into_bytes();
+        let tail = PacketRun::restore(
+            &t,
+            inrpp_cfg(),
+            vec![(transfer(&t, 1, "1", "4", 400), FlowTransport::Inrpp)],
+            &mut SnapReader::new(&bytes),
+        )
+        .unwrap();
+        let b = tail.finish(&mut [&mut fp_b]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fp_a.0, fp_b.0, "fed-flow checkpoint changed the stream");
+    }
+
+    #[test]
+    fn feed_rejects_stale_ids_and_past_starts() {
+        let t = fig3();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.add_transfer(transfer(&t, 5, "1", "4", 100));
+        let mut run = sim.start().unwrap();
+        run.run_until(SimTime::from_secs(1), &mut []).unwrap();
+        // id not above the current maximum: slots would re-rank
+        let stale_id = TransferSpec {
+            start: SimTime::from_secs(2),
+            ..transfer(&t, 5, "1", "3", 10)
+        };
+        assert!(matches!(
+            run.feed(stale_id, FlowTransport::Inrpp),
+            Err(SessionError::InvalidTransfer(_))
+        ));
+        // start before the clock: the event would be unschedulable
+        let past = TransferSpec {
+            start: SimTime::from_millis(500),
+            ..transfer(&t, 9, "1", "3", 10)
+        };
+        assert!(matches!(
+            run.feed(past, FlowTransport::Inrpp),
+            Err(SessionError::InvalidTransfer(_))
+        ));
+        // a valid feed still lands after the rejections
+        let ok = TransferSpec {
+            start: SimTime::from_secs(2),
+            ..transfer(&t, 9, "1", "3", 10)
+        };
+        run.feed(ok, FlowTransport::Inrpp).unwrap();
+        let r = run.finish(&mut []).unwrap();
+        assert_eq!(r.completed(), 2, "{}", r.summary());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let t = fig3();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.add_transfer(transfer(&t, 1, "1", "4", 100));
+        let mut run = sim.start().unwrap();
+        run.run_until(SimTime::from_secs(1), &mut []).unwrap();
+        run.feed(
+            TransferSpec {
+                start: SimTime::from_secs(2),
+                ..transfer(&t, 2, "1", "3", 10)
+            },
+            FlowTransport::Inrpp,
+        )
+        .unwrap();
+        let mut w = SnapWriter::new();
+        run.encode_checkpoint(&mut w);
+        let bytes = w.into_bytes();
+        let transfers = vec![(transfer(&t, 1, "1", "4", 100), FlowTransport::Inrpp)];
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                PacketRun::restore(
+                    &t,
+                    inrpp_cfg(),
+                    transfers.clone(),
+                    &mut SnapReader::new(&bytes[..cut])
+                )
+                .is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn stepping_works_for_aimd_transport() {
+        let t = fig3();
+        let build = || {
+            let mut s = PacketSim::new(&t, aimd_cfg());
+            s.add_transfer(transfer(&t, 1, "1", "3", 2_000));
+            s
+        };
+        let straight = build().run();
+        let mut run = build().start().unwrap();
+        run.run_until(SimTime::from_millis(700), &mut []).unwrap();
+        let snap = run.report_now();
+        assert!(snap.chunks_delivered > 0);
+        assert!(snap.chunks_delivered < straight.chunks_delivered);
+        let stepped = run.finish(&mut []).unwrap();
+        assert_eq!(straight, stepped);
     }
 }

@@ -35,7 +35,7 @@ pub mod report;
 pub mod session;
 pub mod shard;
 
-pub use engine::PacketSim;
+pub use engine::{PacketRun, PacketSim};
 pub use packet::{AimdConfig, FlowTransport, PacketSimConfig, TransferSpec, TransportKind};
 pub use report::{FlowStats, PacketSimReport};
-pub use session::PacketEngine;
+pub use session::{PacketEngine, PacketService};

@@ -20,15 +20,22 @@
 //! sessions are quantised with the shared `ceil(bits / chunk_bits)` rule,
 //! so offered bits line up with a fluid replay of the same session.
 
+use std::collections::BTreeMap;
+
 use inrpp::config::InrppConfig;
+use inrpp::service::{Checkpoint, ServiceSession};
 use inrpp::session::{
-    Aggregates, Engine, EngineDetail, EngineKind, FlowRecord, PacketSummary, Probe, RunReport,
-    Session, SessionError, SessionStrategy, Traffic,
+    Aggregates, Engine, EngineDetail, EngineKind, FlowRecord, PacketSummary, Probe, ProbeSet,
+    RunReport, Session, SessionError, SessionStrategy, Traffic, Transfer,
 };
+use inrpp_sim::snap::{SnapReader, SnapWriter};
+use inrpp_sim::time::SimTime;
+use inrpp_sim::units::ByteSize;
 use inrpp_topology::graph::NodeId;
 
-use crate::engine::PacketSim;
-use crate::packet::{AimdConfig, PacketSimConfig, TransferSpec, TransportKind};
+use crate::engine::{PacketRun, PacketSim};
+use crate::packet::{AimdConfig, FlowTransport, PacketSimConfig, TransferSpec, TransportKind};
+use crate::report::PacketSimReport;
 
 /// The chunk-level [`Engine`] backend, wrapping a [`PacketSimConfig`].
 ///
@@ -95,6 +102,23 @@ impl PacketEngine {
     /// The wrapped configuration.
     pub fn config(&self) -> &PacketSimConfig {
         &self.config
+    }
+
+    /// The per-flow transport the configured engine transport maps to.
+    fn flow_transport(&self) -> FlowTransport {
+        match self.config.transport {
+            TransportKind::Aimd(_) => FlowTransport::Aimd,
+            _ => FlowTransport::Inrpp,
+        }
+    }
+
+    /// The effective packet configuration for `session`: the engine's
+    /// knobs with the session's horizon and seed spliced in.
+    fn effective_config(&self, session: &Session<'_>) -> PacketSimConfig {
+        let mut config = self.config;
+        config.horizon = session.horizon();
+        config.seed = session.seed();
+        config
     }
 
     /// Check the session strategy against the configured transport.
@@ -173,18 +197,10 @@ impl Engine for PacketEngine {
     ) -> Result<RunReport, SessionError> {
         self.check_strategy(session.strategy())?;
         let transfers = self.transfers(session)?;
-        let mut config = self.config;
-        config.horizon = session.horizon();
-        config.seed = session.seed();
+        let config = self.effective_config(session);
         let mut sim = PacketSim::try_new(session.topology(), config)?;
-        let mut endpoints: std::collections::BTreeMap<u64, (NodeId, NodeId)> =
-            std::collections::BTreeMap::new();
+        let kind = self.flow_transport();
         for t in &transfers {
-            endpoints.insert(t.flow, (t.src, t.dst));
-            let kind = match self.config.transport {
-                TransportKind::Aimd(_) => crate::packet::FlowTransport::Aimd,
-                _ => crate::packet::FlowTransport::Inrpp,
-            };
             sim.try_add_transfer_as(*t, kind)?;
         }
         // workers > 1: the sharded path, partitioned by the session seed —
@@ -194,56 +210,218 @@ impl Engine for PacketEngine {
         } else {
             sim.try_run_probed(probes)?
         };
+        Ok(assemble_packet_report(&report, &endpoints_of(&transfers)))
+    }
+}
 
-        let chunk_bits = report.chunk_bytes.as_bits() as f64;
-        let flows: Vec<FlowRecord> = report
-            .flows
-            .iter()
-            .map(|f| {
-                let (src, dst) = endpoints[&f.flow];
-                FlowRecord {
-                    flow: f.flow,
-                    src,
-                    dst,
-                    offered_bits: f.chunks_total as f64 * chunk_bits,
-                    delivered_bits: f.chunks_delivered as f64 * chunk_bits,
-                    arrival: f.started_at,
-                    fct_secs: f.fct().map(|d| d.as_secs_f64()),
-                    subpaths: 1,
-                    routed: true,
-                    retransmits: f.retransmits,
-                }
-            })
-            .collect();
-        let offered_bits: f64 = flows.iter().map(|f| f.offered_bits).sum();
-        let delivered_bits: f64 = flows.iter().map(|f| f.delivered_bits).sum();
-        let aggregates = Aggregates {
-            arrived_flows: flows.len(),
-            completed_flows: report.completed(),
-            unroutable_flows: 0,
-            offered_bits,
-            delivered_bits,
-            duration: report.horizon,
-            mean_fct_secs: report.mean_fct_secs(),
-            mean_jain: report.jain_goodput().unwrap_or(0.0),
-            mean_utilisation: report.mean_utilisation,
-        };
-        Ok(RunReport {
-            engine: EngineKind::Packet,
-            strategy: report.transport.clone(),
-            topology: report.topology.clone(),
-            flows,
-            aggregates,
-            channel_utilisation: report.channel_utilisation.clone(),
-            detail: EngineDetail::Packet(PacketSummary {
-                chunks_delivered: report.chunks_delivered,
-                chunks_dropped: report.chunks_dropped,
-                chunks_detoured: report.chunks_detoured,
-                chunks_custodied: report.chunks_custodied,
-                backpressure_msgs: report.backpressure_msgs,
-                chunk_bits,
-            }),
+/// The per-flow endpoint lookup the facade's [`FlowRecord`]s need (the
+/// packet report carries flow ids only).
+fn endpoints_of(specs: &[TransferSpec]) -> BTreeMap<u64, (NodeId, NodeId)> {
+    specs.iter().map(|t| (t.flow, (t.src, t.dst))).collect()
+}
+
+/// Lift a [`PacketSimReport`] into the engine-agnostic [`RunReport`] —
+/// shared by the one-shot [`Engine::run`] path and [`PacketService`]
+/// snapshots so the two can never drift.
+fn assemble_packet_report(
+    report: &PacketSimReport,
+    endpoints: &BTreeMap<u64, (NodeId, NodeId)>,
+) -> RunReport {
+    let chunk_bits = report.chunk_bytes.as_bits() as f64;
+    let flows: Vec<FlowRecord> = report
+        .flows
+        .iter()
+        .map(|f| {
+            let (src, dst) = endpoints[&f.flow];
+            FlowRecord {
+                flow: f.flow,
+                src,
+                dst,
+                offered_bits: f.chunks_total as f64 * chunk_bits,
+                delivered_bits: f.chunks_delivered as f64 * chunk_bits,
+                arrival: f.started_at,
+                fct_secs: f.fct().map(|d| d.as_secs_f64()),
+                subpaths: 1,
+                routed: true,
+                retransmits: f.retransmits,
+            }
         })
+        .collect();
+    let offered_bits: f64 = flows.iter().map(|f| f.offered_bits).sum();
+    let delivered_bits: f64 = flows.iter().map(|f| f.delivered_bits).sum();
+    let aggregates = Aggregates {
+        arrived_flows: flows.len(),
+        completed_flows: report.completed(),
+        unroutable_flows: 0,
+        offered_bits,
+        delivered_bits,
+        duration: report.horizon,
+        mean_fct_secs: report.mean_fct_secs(),
+        mean_jain: report.jain_goodput().unwrap_or(0.0),
+        mean_utilisation: report.mean_utilisation,
+    };
+    RunReport {
+        engine: EngineKind::Packet,
+        strategy: report.transport.clone(),
+        topology: report.topology.clone(),
+        flows,
+        aggregates,
+        channel_utilisation: report.channel_utilisation.clone(),
+        detail: EngineDetail::Packet(PacketSummary {
+            chunks_delivered: report.chunks_delivered,
+            chunks_dropped: report.chunks_dropped,
+            chunks_detoured: report.chunks_detoured,
+            chunks_custodied: report.chunks_custodied,
+            backpressure_msgs: report.backpressure_msgs,
+            chunk_bits,
+        }),
+    }
+}
+
+/// The packet engine as a [`ServiceSession`] — a steppable, feedable,
+/// checkpointable chunk-level run behind the same trait that fronts
+/// [`inrpp::service::FluidService`].
+///
+/// Checkpoints are **deterministic-replay logs** (the driver schedule:
+/// advance boundaries and fed transfers), not state snapshots — see
+/// [`PacketRun`] for the trade-off. Resume rebuilds the engine from the
+/// session spec and silently replays the log, so the resumed run is
+/// bit-identical to the uninterrupted one.
+///
+/// Service runs always execute on the sequential engine. A session with
+/// `workers > 1` is accepted: by the shard-equivalence contract
+/// (`tests/shard_equivalence.rs`) the sharded one-shot run is
+/// byte-identical to this sequential run, so reports, probe streams,
+/// and checkpoints agree across the two paths.
+pub struct PacketService<'a> {
+    run: PacketRun<'a>,
+    kind: FlowTransport,
+    chunk_bytes: ByteSize,
+    fingerprint: u64,
+}
+
+impl<'a> PacketService<'a> {
+    /// Open a stepping session: validates the strategy/transport pairing
+    /// and the traffic quantisation exactly like [`Engine::run`], then
+    /// parks a [`PacketRun`] at time zero.
+    pub fn open(engine: &PacketEngine, session: &Session<'a>) -> Result<Self, SessionError> {
+        engine.check_strategy(session.strategy())?;
+        let transfers = engine.transfers(session)?;
+        let config = engine.effective_config(session);
+        let kind = engine.flow_transport();
+        let mut sim = PacketSim::try_new(session.topology(), config)?;
+        for t in &transfers {
+            sim.try_add_transfer_as(*t, kind)?;
+        }
+        Ok(PacketService {
+            run: sim.start()?,
+            kind,
+            chunk_bytes: config.chunk_bytes,
+            fingerprint: session.fingerprint(),
+        })
+    }
+
+    /// Rebuild a session from a [`Checkpoint`] taken by
+    /// [`ServiceSession::checkpoint`] on an identical session spec and
+    /// engine configuration. Continues bit-identically from the
+    /// checkpoint instant.
+    pub fn resume(
+        engine: &PacketEngine,
+        session: &Session<'a>,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, SessionError> {
+        checkpoint.validate(EngineKind::Packet, session)?;
+        engine.check_strategy(session.strategy())?;
+        let transfers = engine.transfers(session)?;
+        let config = engine.effective_config(session);
+        let kind = engine.flow_transport();
+        let with_kinds: Vec<(TransferSpec, FlowTransport)> =
+            transfers.into_iter().map(|t| (t, kind)).collect();
+        let mut r = SnapReader::new(checkpoint.body());
+        let run = PacketRun::restore(session.topology(), config, with_kinds, &mut r)?;
+        r.finish().map_err(|e| {
+            SessionError::CheckpointMismatch(format!("corrupt packet checkpoint: {e}"))
+        })?;
+        Ok(PacketService {
+            run,
+            kind,
+            chunk_bytes: config.chunk_bytes,
+            fingerprint: checkpoint.fingerprint,
+        })
+    }
+
+    fn consume(self, probes: &mut [&mut dyn Probe]) -> Result<RunReport, SessionError> {
+        let endpoints = endpoints_of(self.run.transfers());
+        let report = self.run.finish(probes)?;
+        Ok(assemble_packet_report(&report, &endpoints))
+    }
+
+    /// Finish without boxing (convenience over the trait's
+    /// `Box<Self>`-consuming [`ServiceSession::finish`]).
+    pub fn finish_run(self, probes: &mut [&mut dyn Probe]) -> Result<RunReport, SessionError> {
+        self.consume(probes)
+    }
+}
+
+impl ServiceSession for PacketService<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Packet
+    }
+
+    fn now(&self) -> SimTime {
+        self.run.now()
+    }
+
+    fn horizon(&self) -> SimTime {
+        self.run.horizon()
+    }
+
+    fn advance(
+        &mut self,
+        to: SimTime,
+        probes: &mut [&mut dyn Probe],
+    ) -> Result<SimTime, SessionError> {
+        let now = self.run.run_until(to, probes)?;
+        let snap = self.snapshot();
+        ProbeSet::new(probes).report(&snap);
+        Ok(now)
+    }
+
+    fn feed(&mut self, transfer: &Transfer) -> Result<(), SessionError> {
+        if transfer.chunk_bytes != self.chunk_bytes {
+            return Err(SessionError::IncompatibleTraffic {
+                engine: EngineKind::Packet,
+                reason: format!(
+                    "flow {} quantised with {} chunks but the engine is \
+                     configured for {} chunks",
+                    transfer.flow, transfer.chunk_bytes, self.chunk_bytes
+                ),
+            });
+        }
+        self.run.feed(
+            TransferSpec {
+                flow: transfer.flow,
+                src: transfer.src,
+                dst: transfer.dst,
+                chunks: transfer.chunks,
+                start: transfer.start,
+            },
+            self.kind,
+        )
+    }
+
+    fn snapshot(&self) -> RunReport {
+        assemble_packet_report(&self.run.report_now(), &endpoints_of(self.run.transfers()))
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        let mut w = SnapWriter::new();
+        self.run.encode_checkpoint(&mut w);
+        Checkpoint::new(EngineKind::Packet, self.fingerprint, w.into_bytes())
+    }
+
+    fn finish(self: Box<Self>, probes: &mut [&mut dyn Probe]) -> Result<RunReport, SessionError> {
+        (*self).consume(probes)
     }
 }
 
@@ -483,5 +661,184 @@ mod tests {
         let chunk_bits = PacketSimConfig::default().chunk_bytes.as_bits() as f64;
         assert_eq!(report.flows[0].offered_bits, 3.0 * chunk_bits);
         assert_eq!(report.aggregates.completed_flows, 1);
+    }
+
+    #[test]
+    fn service_run_matches_one_shot_run() {
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 400);
+        let engine = PacketEngine::default();
+        let one_shot = session.run_on(&engine, &mut []).expect("one-shot run");
+
+        let mut svc = PacketService::open(&engine, &session).expect("open");
+        assert_eq!(svc.kind(), EngineKind::Packet);
+        for ms in [70, 400, 2_000] {
+            svc.advance(SimTime::from_millis(ms), &mut []).unwrap();
+        }
+        let stepped = svc.finish_run(&mut []).expect("stepped run");
+        assert_eq!(one_shot.aggregates, stepped.aggregates);
+        assert_eq!(one_shot.flows, stepped.flows);
+        assert_eq!(one_shot.channel_utilisation, stepped.channel_utilisation);
+        let (a, b) = (one_shot.packet().unwrap(), stepped.packet().unwrap());
+        assert_eq!(a.chunks_delivered, b.chunks_delivered);
+        assert_eq!(a.chunks_detoured, b.chunks_detoured);
+        assert_eq!(a.backpressure_msgs, b.backpressure_msgs);
+    }
+
+    #[test]
+    fn service_checkpoint_resume_is_bit_identical() {
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 400);
+        let engine = PacketEngine::default();
+        let one_shot = session.run_on(&engine, &mut []).expect("one-shot run");
+
+        let mut head = PacketService::open(&engine, &session).expect("open");
+        head.advance(SimTime::from_millis(300), &mut []).unwrap();
+        head.advance(SimTime::from_millis(800), &mut []).unwrap();
+        let snap_at_ckpt = head.snapshot();
+        assert!(
+            snap_at_ckpt.aggregates.delivered_bits < one_shot.aggregates.delivered_bits,
+            "checkpoint must land mid-run"
+        );
+        let ckpt = head.checkpoint();
+        drop(head);
+
+        // envelope round-trips through bytes
+        let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let tail = PacketService::resume(&engine, &session, &ckpt).expect("resume");
+        assert_eq!(tail.now(), SimTime::from_millis(800));
+        // a restored service re-checkpoints byte-identically...
+        assert_eq!(tail.checkpoint().to_bytes(), ckpt.to_bytes());
+        // ...and sees the same mid-run snapshot
+        assert_eq!(tail.snapshot().aggregates, snap_at_ckpt.aggregates);
+        let resumed = tail.finish_run(&mut []).expect("resumed run");
+        assert_eq!(one_shot.aggregates, resumed.aggregates);
+        assert_eq!(one_shot.flows, resumed.flows);
+        assert_eq!(one_shot.channel_utilisation, resumed.channel_utilisation);
+        assert_eq!(
+            one_shot.aggregates.delivered_bits.to_bits(),
+            resumed.aggregates.delivered_bits.to_bits()
+        );
+    }
+
+    #[test]
+    fn service_feed_validates_and_streams() {
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 200);
+        let engine = PacketEngine::default();
+        let mut svc = PacketService::open(&engine, &session).expect("open");
+        svc.advance(SimTime::from_millis(100), &mut []).unwrap();
+
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        // wrong quantisation is a typed error
+        let wrong = Transfer {
+            flow: 9,
+            src: n("2"),
+            dst: n("4"),
+            chunks: 20,
+            chunk_bytes: ByteSize::bytes(999),
+            start: SimTime::from_secs(2),
+        };
+        assert!(matches!(
+            svc.feed(&wrong).unwrap_err(),
+            SessionError::IncompatibleTraffic { .. }
+        ));
+        // a matching transfer lands and shows up in the final report
+        let ok = Transfer {
+            chunk_bytes: PacketSimConfig::default().chunk_bytes,
+            ..wrong
+        };
+        svc.feed(&ok).unwrap();
+        // stale id (slots are ranks of ascending ids) is rejected
+        assert!(matches!(
+            svc.feed(&Transfer { flow: 3, ..ok }).unwrap_err(),
+            SessionError::InvalidTransfer(_)
+        ));
+        let report = svc.finish_run(&mut []).expect("fed run");
+        assert_eq!(report.aggregates.arrived_flows, 2);
+        assert_eq!(report.aggregates.completed_flows, 2);
+        let fed = report.flows.iter().find(|f| f.flow == 9).expect("fed flow");
+        assert_eq!((fed.src, fed.dst), (n("2"), n("4")));
+    }
+
+    #[test]
+    fn service_resume_rejects_wrong_spec_and_engine() {
+        let topo = Topology::fig3();
+        let session = fig3_session(&topo, 200);
+        let engine = PacketEngine::default();
+        let svc = PacketService::open(&engine, &session).expect("open");
+        let ckpt = svc.checkpoint();
+
+        // different spec (horizon) -> fingerprint mismatch
+        let other = fig3_session(&topo, 100);
+        let err = PacketService::resume(&engine, &other, &ckpt)
+            .err()
+            .expect("fingerprint mismatch must be rejected");
+        assert!(matches!(err, SessionError::CheckpointMismatch(_)), "{err}");
+
+        // fluid-tagged envelope
+        let fluid = Checkpoint::new(
+            EngineKind::Fluid,
+            session.fingerprint(),
+            ckpt.body().to_vec(),
+        );
+        let err = PacketService::resume(&engine, &session, &fluid)
+            .err()
+            .expect("engine mismatch must be rejected");
+        assert!(matches!(err, SessionError::CheckpointMismatch(_)), "{err}");
+
+        // truncated body
+        let cut = Checkpoint::new(
+            EngineKind::Packet,
+            session.fingerprint(),
+            ckpt.body()[..ckpt.body().len().saturating_sub(1)].to_vec(),
+        );
+        assert!(PacketService::resume(&engine, &session, &cut).is_err());
+    }
+
+    #[test]
+    fn sharded_one_shot_matches_sequential_service() {
+        // the workers>1 contract: a sharded straight run equals the
+        // (sequential) service-mode run of the same session
+        let topo = Topology::fig3();
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let session = Session::builder()
+            .topology(&topo)
+            .transfers(vec![
+                Transfer {
+                    flow: 1,
+                    src: n("1"),
+                    dst: n("4"),
+                    chunks: 300,
+                    chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                    start: SimTime::ZERO,
+                },
+                Transfer {
+                    flow: 2,
+                    src: n("2"),
+                    dst: n("3"),
+                    chunks: 150,
+                    chunk_bytes: PacketSimConfig::default().chunk_bytes,
+                    start: SimTime::from_millis(40),
+                },
+            ])
+            .strategy(SessionStrategy::urp())
+            .horizon(SimDuration::from_secs(60))
+            .workers(3)
+            .build()
+            .expect("valid session");
+        // blind detouring: the one knob sharded runs require
+        let engine = PacketEngine::inrpp(InrppConfig {
+            load_aware_detour: false,
+            ..InrppConfig::default()
+        });
+        let sharded = session.run_on(&engine, &mut []).expect("sharded run");
+
+        let mut svc = PacketService::open(&engine, &session).expect("open");
+        svc.advance(SimTime::from_millis(250), &mut []).unwrap();
+        let stepped = svc.finish_run(&mut []).expect("service run");
+        assert_eq!(sharded.aggregates, stepped.aggregates);
+        assert_eq!(sharded.flows, stepped.flows);
+        assert_eq!(sharded.channel_utilisation, stepped.channel_utilisation);
     }
 }

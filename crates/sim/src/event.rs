@@ -15,6 +15,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// Why [`Engine::run_with`] returned.
@@ -299,9 +300,104 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Pop the next event only if it is due at or before `limit` (and
+    /// within the horizon); otherwise leave the queue untouched and
+    /// return `None`. Mirrors
+    /// [`CalendarEngine::next_at_or_before`](crate::calendar::CalendarEngine::next_at_or_before):
+    /// the stepping primitive service-mode runs use to drain exactly the
+    /// window up to a checkpoint boundary — a loop of
+    /// `next_at_or_before(t)` calls followed by `next()` calls pops the
+    /// identical `(time, seq)` sequence an uninterrupted `next()` loop
+    /// would, so splitting a run at `t` cannot change its results.
+    pub fn next_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let t = self.queue.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        if let Some(h) = self.horizon {
+            if t > h {
+                return None;
+            }
+        }
+        self.next()
+    }
+
+    /// Advance the clock to `t` without popping anything. Used when a
+    /// stepping run reaches a checkpoint boundary that falls between
+    /// events; `t` must not precede the current clock.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_clock_to would move time backwards");
+        self.now = t;
+    }
+
     /// Drop every pending event (the clock keeps its value).
     pub fn clear(&mut self) {
         self.queue.clear();
+    }
+}
+
+impl<E: Snap> Engine<E> {
+    /// Serialise the complete engine state: clock, horizon, budgets, the
+    /// insertion-sequence counter, and every pending event *with its
+    /// original sequence number*. Pending events encode in ascending
+    /// `(time, seq)` order, so the byte stream is a canonical function
+    /// of the observable state (the heap's internal layout is not).
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        self.now.encode(w);
+        self.horizon.encode(w);
+        self.max_events.encode(w);
+        w.put_u64(self.processed);
+        w.put_u64(self.queue.seq);
+        let mut entries: Vec<&Entry<E>> = self.queue.heap.iter().collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        w.put_usize(entries.len());
+        for e in entries {
+            e.time.encode(w);
+            w.put_u64(e.seq);
+            e.event.encode(w);
+        }
+    }
+
+    /// Rebuild an engine from [`Engine::encode_state`] bytes. Restored
+    /// events keep their original sequence numbers and the counter
+    /// resumes where it left off, so the pop order — and the ordering of
+    /// everything scheduled after the restore — is exactly that of the
+    /// uninterrupted run.
+    pub fn decode_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let now = SimTime::decode(r)?;
+        let horizon = Option::<SimTime>::decode(r)?;
+        let max_events = Option::<u64>::decode(r)?;
+        let processed = r.get_u64()?;
+        let seq = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::Corrupt("event count exceeds stream"));
+        }
+        let mut queue = EventQueue::new();
+        for _ in 0..n {
+            let time = SimTime::decode(r)?;
+            let entry_seq = r.get_u64()?;
+            let event = E::decode(r)?;
+            if entry_seq >= seq {
+                return Err(SnapError::Corrupt("event sequence beyond counter"));
+            }
+            if time < now {
+                return Err(SnapError::Corrupt("pending event before the clock"));
+            }
+            queue.heap.push(Entry {
+                time,
+                seq: entry_seq,
+                event,
+            });
+        }
+        queue.seq = seq;
+        Ok(Engine {
+            queue,
+            now,
+            horizon,
+            max_events,
+            processed,
+        })
     }
 }
 
@@ -435,6 +531,88 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted, "events fired out of time order: {order:?}");
+    }
+
+    #[test]
+    fn next_at_or_before_respects_limit_and_horizon() {
+        let mut eng: Engine<&str> = Engine::new().with_horizon(SimTime::from_secs(4));
+        eng.schedule(SimDuration::from_secs(1), "a");
+        eng.schedule(SimDuration::from_secs(2), "b");
+        eng.schedule(SimDuration::from_secs(5), "beyond-horizon");
+        assert_eq!(eng.next_at_or_before(SimTime::from_millis(500)), None);
+        assert_eq!(eng.pending(), 3, "nothing popped below the limit");
+        assert_eq!(
+            eng.next_at_or_before(SimTime::from_secs(1)),
+            Some((SimTime::from_secs(1), "a"))
+        );
+        assert_eq!(eng.next_at_or_before(SimTime::from_secs(1)), None);
+        assert_eq!(
+            eng.next_at_or_before(SimTime::from_secs(3)),
+            Some((SimTime::from_secs(2), "b"))
+        );
+        // beyond the horizon: filtered even when the limit allows it
+        assert_eq!(eng.next_at_or_before(SimTime::from_secs(10)), None);
+        assert_eq!(eng.pending(), 1, "the filtered event stays queued");
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identically() {
+        // Drive one engine straight through; drive a second to the
+        // midpoint, round-trip it through the codec, and continue. The
+        // pop streams — and everything scheduled after the restore —
+        // must be identical.
+        let build = || {
+            let mut eng: Engine<u32> = Engine::new().with_horizon(SimTime::from_secs(60));
+            for i in 0..40u32 {
+                eng.schedule(SimDuration::from_millis((i as u64 * 97) % 50_000), i);
+            }
+            eng
+        };
+        let follow = |eng: &mut Engine<u32>, log: &mut Vec<(SimTime, u32)>| {
+            while let Some((t, e)) = eng.next() {
+                log.push((t, e));
+                if e % 3 == 0 {
+                    eng.schedule(SimDuration::from_millis(1_500), e + 1000);
+                }
+            }
+        };
+        let mut straight = build();
+        let mut expect = Vec::new();
+        follow(&mut straight, &mut expect);
+
+        let mut split = build();
+        let mut log = Vec::new();
+        let mid = SimTime::from_secs(20);
+        while let Some((t, e)) = split.next_at_or_before(mid) {
+            log.push((t, e));
+            if e % 3 == 0 {
+                split.schedule(SimDuration::from_millis(1_500), e + 1000);
+            }
+        }
+        split.advance_clock_to(mid);
+        let mut w = SnapWriter::new();
+        split.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut resumed = Engine::<u32>::decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(resumed.now(), mid);
+        follow(&mut resumed, &mut log);
+        assert_eq!(log, expect);
+        assert_eq!(resumed.events_processed(), straight.events_processed());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_state() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimDuration::from_secs(1), 7);
+        let mut w = SnapWriter::new();
+        eng.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // truncations error rather than panic
+        for cut in 0..bytes.len() {
+            assert!(Engine::<u32>::decode_state(&mut SnapReader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

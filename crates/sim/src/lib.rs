@@ -33,6 +33,7 @@ pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod shard;
+pub mod snap;
 pub mod time;
 pub mod trace;
 pub mod units;

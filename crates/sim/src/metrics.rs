@@ -13,6 +13,7 @@
 
 use std::fmt;
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// Monotonically increasing event counter.
@@ -294,6 +295,27 @@ impl Histogram {
     }
 }
 
+/// Sort quantile samples into ascending order using [`f64::total_cmp`].
+///
+/// The one shared sort for every quantile path in the workspace (this
+/// module's [`Cdf`], flowsim's weighted CDF, the session facade's
+/// quantile probe). `total_cmp` is a total order, so a NaN sample —
+/// e.g. a metric derived from a 0/0 ratio — sorts to the end instead of
+/// panicking the comparator mid-run; quantiles over the finite prefix
+/// stay exact and only the extreme upper quantiles surface the NaN.
+pub fn sort_samples(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+/// [`sort_samples`] for `(value, weight)` pairs, ordering by value.
+///
+/// Ties keep their relative order only up to the sort's internal
+/// permutation — callers needing byte-stable output across runs already
+/// get it, because the input order is itself deterministic.
+pub fn sort_weighted_samples(xs: &mut [(f64, f64)]) {
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
 /// Empirical CDF built from retained samples; supports exact quantiles and
 /// `P(X <= x)` queries. Memory is O(samples) — fine at this project's scale,
 /// and exactness matters for reproducing the paper's Fig. 4b stretch CDF.
@@ -312,9 +334,10 @@ impl Cdf {
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN is tolerated (it sorts after every
+    /// finite value and +∞, see [`sort_samples`]) so one degenerate
+    /// sample cannot crash a long service-mode run.
     pub fn record(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Cdf given non-finite sample {x}");
         self.samples.push(x);
         self.sorted = false;
     }
@@ -333,8 +356,7 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in Cdf"));
+            sort_samples(&mut self.samples);
             self.sorted = true;
         }
     }
@@ -475,6 +497,18 @@ pub fn mean_duration(durations: &[SimDuration]) -> SimDuration {
     }
     let total: u128 = durations.iter().map(|d| d.as_nanos() as u128).sum();
     SimDuration::from_nanos((total / durations.len() as u128) as u64)
+}
+
+impl Snap for Cdf {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.samples.encode(w);
+        w.put_bool(self.sorted);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let samples = Vec::<f64>::decode(r)?;
+        let sorted = r.get_bool()?;
+        Ok(Cdf { samples, sorted })
+    }
 }
 
 #[cfg(test)]
@@ -664,5 +698,48 @@ mod tests {
             SimDuration::from_secs(3),
         ]);
         assert_eq!(m, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn nan_samples_do_not_panic_quantiles() {
+        // Regression: the sort comparator used partial_cmp().expect(),
+        // so a single NaN sample (e.g. a 0/0-derived metric) panicked
+        // every quantile query. total_cmp sorts NaN after +inf: finite
+        // quantiles stay exact, only the extreme tail surfaces the NaN.
+        let mut cdf = Cdf::new();
+        cdf.extend([3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.quantile(0.25), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(0.75), Some(3.0));
+        assert!(cdf.quantile(1.0).unwrap().is_nan());
+        // fraction_le and points must not panic either
+        assert!((cdf.fraction_le(3.0) - 0.75).abs() < 1e-12);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 4);
+    }
+
+    #[test]
+    fn shared_sorts_order_nan_last() {
+        let mut xs = [f64::NAN, 2.0, -1.0, f64::INFINITY];
+        sort_samples(&mut xs);
+        assert_eq!(&xs[..3], &[-1.0, 2.0, f64::INFINITY]);
+        assert!(xs[3].is_nan());
+        let mut ws = [(f64::NAN, 1.0), (0.5, 2.0), (-3.0, 1.0)];
+        sort_weighted_samples(&mut ws);
+        assert_eq!(ws[0], (-3.0, 1.0));
+        assert_eq!(ws[1], (0.5, 2.0));
+        assert!(ws[2].0.is_nan());
+    }
+
+    #[test]
+    fn cdf_snap_roundtrip_preserves_sample_order() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let mut cdf = Cdf::new();
+        cdf.extend([5.0, 1.0, 3.0]);
+        let mut w = SnapWriter::new();
+        cdf.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Cdf::decode(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, cdf);
     }
 }

@@ -17,6 +17,38 @@ pub const NANOS_PER_MILLI: u64 = 1_000_000;
 /// Nanoseconds in one second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
+/// Why an `f64` could not be converted into a time value.
+///
+/// The panicking conversions ([`SimTime::from_secs_f64`],
+/// [`SimDuration::from_secs_f64`], [`SimDuration::mul_f64`]) treat these
+/// as logic errors; the `try_` variants return them so layers that accept
+/// external input (session configuration, trace files, the service
+/// protocol) can reject a bad value with a proper error instead of
+/// crashing the process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeError {
+    /// The value was NaN or infinite.
+    NotFinite(f64),
+    /// The value was negative; simulated time is non-negative.
+    Negative(f64),
+    /// The value exceeds what a `u64` of nanoseconds can represent.
+    OutOfRange(f64),
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::NotFinite(v) => write!(f, "time value must be finite, got {v}"),
+            TimeError::Negative(v) => write!(f, "time value must be non-negative, got {v}"),
+            TimeError::OutOfRange(v) => {
+                write!(f, "time value {v} does not fit in a u64 of nanoseconds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
 /// An instant on the simulation clock (nanoseconds since simulation start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
@@ -59,9 +91,18 @@ impl SimTime {
     ///
     /// # Panics
     /// Panics if `secs` is negative, NaN, or too large to represent.
+    /// Use [`SimTime::try_from_secs_f64`] for untrusted input.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimTime(secs_to_nanos(secs))
+    }
+
+    /// Fallible version of [`SimTime::from_secs_f64`]: rejects NaN,
+    /// infinite, negative, and unrepresentably large values with a typed
+    /// error instead of panicking.
+    #[inline]
+    pub fn try_from_secs_f64(secs: f64) -> Result<Self, TimeError> {
+        try_secs_to_nanos(secs).map(SimTime)
     }
 
     /// Raw nanosecond count.
@@ -146,9 +187,18 @@ impl SimDuration {
     ///
     /// # Panics
     /// Panics if `secs` is negative, NaN, or too large to represent.
+    /// Use [`SimDuration::try_from_secs_f64`] for untrusted input.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimDuration(secs_to_nanos(secs))
+    }
+
+    /// Fallible version of [`SimDuration::from_secs_f64`]: rejects NaN,
+    /// infinite, negative, and unrepresentably large values with a typed
+    /// error instead of panicking.
+    #[inline]
+    pub fn try_from_secs_f64(secs: f64) -> Result<Self, TimeError> {
+        try_secs_to_nanos(secs).map(SimDuration)
     }
 
     /// Raw nanosecond count.
@@ -183,15 +233,43 @@ impl SimDuration {
 
     /// Scale by an `f64` factor (used for e.g. mean-RTT smoothing).
     ///
+    /// # Precision
+    /// The product is computed in `f64`, whose mantissa holds 53 bits:
+    /// durations beyond 2^53 ns (≈ 104 days of simulated time) lose
+    /// nanosecond granularity, so `d.mul_f64(1.0)` is only guaranteed
+    /// exact below that boundary. Scale with [`Mul<u64>`](SimDuration#impl-Mul<u64>-for-SimDuration)
+    /// / [`Div<u64>`](SimDuration#impl-Div<u64>-for-SimDuration) when the
+    /// factor is integral and the duration may be astronomically large.
+    ///
     /// # Panics
-    /// Panics if `factor` is negative or NaN.
+    /// Panics if `factor` is negative or NaN, or if the product
+    /// overflows. Use [`SimDuration::try_mul_f64`] for untrusted input.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(
-            factor.is_finite() && factor >= 0.0,
-            "mul_f64: factor must be finite and non-negative, got {factor}"
-        );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        match self.try_mul_f64(factor) {
+            Ok(d) => d,
+            Err(e) => panic!("mul_f64: {e}"),
+        }
+    }
+
+    /// Fallible version of [`SimDuration::mul_f64`]: rejects NaN,
+    /// infinite, and negative factors — and products too large for a
+    /// `u64` of nanoseconds — with a typed error instead of panicking
+    /// (a negative factor would otherwise saturate the `f64 → u64` cast
+    /// to 0, silently collapsing the duration).
+    #[inline]
+    pub fn try_mul_f64(self, factor: f64) -> Result<SimDuration, TimeError> {
+        if !factor.is_finite() {
+            return Err(TimeError::NotFinite(factor));
+        }
+        if factor < 0.0 {
+            return Err(TimeError::Negative(factor));
+        }
+        let nanos = (self.0 as f64 * factor).round();
+        if nanos > u64::MAX as f64 {
+            return Err(TimeError::OutOfRange(factor));
+        }
+        Ok(SimDuration(nanos as u64))
     }
 
     /// Ratio `self / other` as `f64`. Returns 0 when `other` is zero.
@@ -205,17 +283,28 @@ impl SimDuration {
     }
 }
 
-fn secs_to_nanos(secs: f64) -> u64 {
-    assert!(
-        secs.is_finite() && secs >= 0.0,
-        "time from seconds: value must be finite and non-negative, got {secs}"
-    );
+/// Shared conversion core: `f64` seconds → `u64` nanoseconds with full
+/// validation, so a NaN or negative value can never slip through the
+/// saturating `as` cast as a silent 0.
+fn try_secs_to_nanos(secs: f64) -> Result<u64, TimeError> {
+    if !secs.is_finite() {
+        return Err(TimeError::NotFinite(secs));
+    }
+    if secs < 0.0 {
+        return Err(TimeError::Negative(secs));
+    }
     let nanos = secs * NANOS_PER_SEC as f64;
-    assert!(
-        nanos <= u64::MAX as f64,
-        "time from seconds: {secs}s does not fit in a u64 of nanoseconds"
-    );
-    nanos.round() as u64
+    if nanos > u64::MAX as f64 {
+        return Err(TimeError::OutOfRange(secs));
+    }
+    Ok(nanos.round() as u64)
+}
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    match try_secs_to_nanos(secs) {
+        Ok(n) => n,
+        Err(e) => panic!("time from seconds: {e}"),
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -420,5 +509,71 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn try_from_secs_rejects_bad_values_with_typed_errors() {
+        assert_eq!(
+            SimDuration::try_from_secs_f64(-1.0),
+            Err(TimeError::Negative(-1.0))
+        );
+        assert!(matches!(
+            SimDuration::try_from_secs_f64(f64::NAN),
+            Err(TimeError::NotFinite(_))
+        ));
+        assert_eq!(
+            SimTime::try_from_secs_f64(f64::INFINITY),
+            Err(TimeError::NotFinite(f64::INFINITY))
+        );
+        assert_eq!(
+            SimTime::try_from_secs_f64(1e30),
+            Err(TimeError::OutOfRange(1e30))
+        );
+        assert_eq!(
+            SimTime::try_from_secs_f64(2.5),
+            Ok(SimTime::from_millis(2_500))
+        );
+        assert_eq!(SimDuration::try_from_secs_f64(0.0), Ok(SimDuration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_panics_on_negative() {
+        let _ = SimDuration::from_secs_f64(-0.5);
+    }
+
+    #[test]
+    fn try_mul_f64_rejects_negative_and_nan_factors() {
+        let d = SimDuration::from_secs(1);
+        assert_eq!(d.try_mul_f64(-2.0), Err(TimeError::Negative(-2.0)));
+        assert!(matches!(
+            d.try_mul_f64(f64::NAN),
+            Err(TimeError::NotFinite(_))
+        ));
+        assert_eq!(
+            d.try_mul_f64(f64::INFINITY),
+            Err(TimeError::NotFinite(f64::INFINITY))
+        );
+        assert_eq!(
+            SimDuration::MAX.try_mul_f64(2.0),
+            Err(TimeError::OutOfRange(2.0))
+        );
+        assert_eq!(d.try_mul_f64(0.5), Ok(SimDuration::from_millis(500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn mul_f64_panics_on_negative_factor() {
+        let _ = SimDuration::from_secs(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn mul_f64_is_exact_below_the_2p53_boundary() {
+        // Identity scaling is bit-exact for any duration whose nanosecond
+        // count fits the f64 mantissa (documented precision boundary).
+        let just_below = SimDuration::from_nanos((1u64 << 53) - 1);
+        assert_eq!(just_below.mul_f64(1.0), just_below);
+        let errors = TimeError::NotFinite(f64::NAN).to_string();
+        assert!(errors.contains("finite"));
     }
 }

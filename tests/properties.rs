@@ -838,3 +838,102 @@ proptest! {
         prop_assert!(oracle.is_empty());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `f64`-seconds round trip: exact below 2^51 ns, within 1 ns up to
+    /// the documented 2^53 granularity boundary. (Each direction of the
+    /// conversion rounds once, contributing up to n·2⁻⁵³ each — so the
+    /// combined drift stays under the .5 ns rounding threshold only with
+    /// two spare mantissa bits.)
+    #[test]
+    fn time_secs_f64_round_trips(nanos in 0u64..(1u64 << 53)) {
+        let d = SimDuration::from_nanos(nanos);
+        let back = SimDuration::try_from_secs_f64(d.as_secs_f64()).unwrap();
+        if nanos < (1u64 << 51) {
+            prop_assert_eq!(back, d);
+        } else {
+            prop_assert!(back.as_nanos().abs_diff(nanos) <= 1, "drifted past 1 ns");
+        }
+        let t = SimTime::from_nanos(nanos);
+        let back = SimTime::try_from_secs_f64(t.as_secs_f64()).unwrap();
+        prop_assert!(back.as_nanos().abs_diff(nanos) <= 1);
+    }
+
+    /// `try_from_secs_f64` accepts exactly the representable inputs:
+    /// finite, non-negative, and within the u64 nanosecond range —
+    /// everything else is a typed error, never a saturated 0.
+    #[test]
+    fn bad_seconds_are_typed_errors(bits in 0u64..u64::MAX) {
+        let secs = f64::from_bits(bits);
+        let r = SimDuration::try_from_secs_f64(secs);
+        let representable = secs.is_finite()
+            && secs >= 0.0
+            && secs * 1e9 <= u64::MAX as f64;
+        prop_assert_eq!(r.is_ok(), representable, "secs = {}", secs);
+        // the two types share the conversion core
+        prop_assert_eq!(SimTime::try_from_secs_f64(secs).is_ok(), representable);
+    }
+
+    /// Float scaling: `try_mul_f64` is the identity at factor 1 below
+    /// the precision boundary, rejects NaN/negative factors, and the
+    /// integral operators stay exact at any magnitude.
+    #[test]
+    fn duration_scaling_is_sane(nanos in 0u64..(1u64 << 52), k in 1u64..1_000) {
+        let d = SimDuration::from_nanos(nanos);
+        prop_assert_eq!(d.try_mul_f64(1.0).unwrap(), d);
+        prop_assert!(d.try_mul_f64(-1.0).is_err());
+        prop_assert!(d.try_mul_f64(f64::NAN).is_err());
+        prop_assert!(d.try_mul_f64(f64::INFINITY).is_err());
+        // integer multiply/divide never round-trips through f64
+        prop_assert_eq!(d * k / k, d);
+    }
+
+    /// The `# inrpp-trace v1` text format round-trips any valid
+    /// transfer schedule exactly: format, re-parse, same transfers.
+    #[test]
+    fn trace_format_round_trips(
+        start_ms in proptest::collection::vec(0u64..100_000, 1..16),
+        seed in 0u64..1_000,
+    ) {
+        use inrpp::session::Transfer;
+        use inrpp::source::{format_trace, TraceSource, WorkloadSource};
+
+        let topo = random_topology(6, 4, seed);
+        let nodes: Vec<NodeId> = topo.node_ids().collect();
+        let mut rng = SimRng::from_seed_u64(seed ^ 0x7ACE);
+        let mut starts = start_ms;
+        starts.sort_unstable();
+        let transfers: Vec<Transfer> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| {
+                let src = nodes[rng.index(nodes.len())];
+                let dst = loop {
+                    let d = nodes[rng.index(nodes.len())];
+                    if d != src {
+                        break d;
+                    }
+                };
+                Transfer {
+                    flow: i as u64 + 1,
+                    src,
+                    dst,
+                    chunks: 1 + rng.index(5_000) as u64,
+                    chunk_bytes: ByteSize::bytes(1250),
+                    start: SimTime::from_millis(*ms),
+                }
+            })
+            .collect();
+
+        let text = format_trace(&topo, &transfers);
+        let mut source = TraceSource::new(&topo, std::io::Cursor::new(text));
+        let mut parsed = Vec::new();
+        while let Some(t) = source.peek().expect("valid trace") {
+            parsed.push(t);
+            source.pop();
+        }
+        prop_assert_eq!(parsed, transfers);
+    }
+}
