@@ -49,6 +49,7 @@ use inrpp_packetsim::{
     AimdConfig, FlowTransport, PacketSim, PacketSimConfig, TransferSpec, TransportKind,
 };
 use inrpp_runner::json_string;
+use inrpp_sim::fault::{FaultEvent, FaultKind, FaultPlan};
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::Rate;
 use inrpp_topology::Topology;
@@ -249,7 +250,12 @@ pub fn run_bench(quick: bool, notes: Vec<(String, String)>) -> BenchReport {
     entries.push(packet_fig3_large(quick));
     entries.push(packet_dumbbell_many(quick));
 
-    // 7./8. The sharded driver on the same two shapes, with
+    // 7. Fault-heavy control point: the same chunk engine with the
+    //    recovery machinery (outage bookkeeping, detours, custody
+    //    re-arming) actually firing mid-run.
+    entries.push(packet_fat_tree_faulted(quick));
+
+    // 8./9. The sharded driver on the same two shapes, with
     //    sharding-safe parameters. Fixed size in both modes so the
     //    event counts stay comparable across quick/full baselines.
     for w in sharded_workloads() {
@@ -332,6 +338,69 @@ fn packet_fig3_large(quick: bool) -> BenchEntry {
         },
     ];
     packet_entry("packetsim:fig3-inrpp-large", &topo, cfg, &transfers)
+}
+
+/// Fault-heavy workload: six cross-pod transfers on the k=4 fat-tree
+/// with a mid-run failure of both core uplinks of `agg0-0` (down at
+/// 1 s, restored at 6 s) — forces every flow routed through that
+/// aggregation switch onto detours and through the custody-recovery
+/// path while the rest of the fabric keeps serving. "events" = chunks
+/// delivered, deterministic like every packet entry, so `--compare`
+/// gates drift in the fault machinery exactly like the fault-free
+/// workloads.
+fn packet_fat_tree_faulted(quick: bool) -> BenchEntry {
+    let topo = inrpp_topology::synth::fat_tree(4, 7);
+    let per_flow: u64 = if quick { 400 } else { 6_000 };
+    let cfg = PacketSimConfig {
+        horizon: SimDuration::from_secs(if quick { 60 } else { 400 }),
+        ..PacketSimConfig::default()
+    };
+    let n = |s: &str| topo.node_by_name(s).expect("fat-tree node");
+    let mut events = Vec::new();
+    for core in ["core0", "core1"] {
+        let link = topo
+            .link_between(n("agg0-0"), n(core))
+            .expect("agg0-0 core uplink")
+            .idx() as u32;
+        events.push(FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::LinkDown { link },
+        });
+        events.push(FaultEvent {
+            at: SimTime::from_secs(6),
+            kind: FaultKind::LinkUp { link },
+        });
+    }
+    events.sort_by_key(|e| e.at);
+    let plan = FaultPlan::try_new(events).expect("uplink outage plan");
+
+    let pairs = [
+        ("host0-0-0", "host1-0-0"),
+        ("host0-0-1", "host1-1-1"),
+        ("host0-1-0", "host2-0-0"),
+        ("host0-1-1", "host2-1-1"),
+        ("host0-0-0", "host3-0-0"),
+        ("host0-1-0", "host3-1-1"),
+    ];
+    let t0 = Instant::now();
+    let mut sim = PacketSim::new(&topo, cfg);
+    sim.set_faults(plan);
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        sim.add_transfer(TransferSpec {
+            flow: (i + 1) as u64,
+            src: n(src),
+            dst: n(dst),
+            chunks: per_flow,
+            start: SimTime::from_millis(50 * i as u64),
+        });
+    }
+    let report = sim.run();
+    BenchEntry {
+        id: "packetsim:fat-tree-linkfail".to_string(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cells: 1,
+        events: report.chunks_delivered,
+    }
 }
 
 /// Many-flow workload: a 64-pair dumbbell under `Mixed` transport
@@ -827,7 +896,7 @@ mod tests {
             vec![("context".to_string(), "unit \"test\"".to_string())],
         );
         assert_eq!(report.mode, "quick");
-        assert_eq!(report.entries.len(), 8);
+        assert_eq!(report.entries.len(), 9);
         assert_eq!(report.entries[0].id, "flowsim:fig4a");
         assert_eq!(report.entries[0].cells, 9);
         assert_eq!(

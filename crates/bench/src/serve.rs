@@ -27,8 +27,33 @@
 //! quantum, default 1250 bytes) and `trace` (path to a trace file whose
 //! transfers are pumped automatically at each `advance` boundary;
 //! on resume, entries already fed before the checkpoint are skipped).
-//! Errors are replies, not crashes: `{"ok":false,"error":"..."}` leaves
-//! the session (if any) open.
+//! Errors are replies, not crashes: `{"ok":false,"kind":"...",
+//! "error":"..."}` leaves the session (if any) open. `kind` classifies
+//! the failure — `parse` (malformed JSON / bad fields), `unknown_cmd`,
+//! `config` (bad spec values), `state` (out-of-order requests, e.g. an
+//! `advance` target before `now`), `session` (engine errors),
+//! `checkpoint` (unreadable/corrupt checkpoints), `io`, and `timeout`.
+//!
+//! ## Self-healing
+//!
+//! `open`/`resume` also accept:
+//!
+//! - `faults`: a fault-plan string ([`FaultPlan::parse`] syntax, e.g.
+//!   `"linkdown@1.5:3; linkup@2.5:3"`) applied deterministically by the
+//!   engine mid-run.
+//! - `ckpt_dir` + `ckpt_every` + `ckpt_retain`: auto-checkpoint into
+//!   `ckpt_dir/ckpt-NNNNNN.ckpt` after every `ckpt_every` successful
+//!   `advance`s (default 1), keeping the last `ckpt_retain` files
+//!   (default 3). Writes are atomic (tmp + rename), so a crash mid-write
+//!   never corrupts an existing checkpoint.
+//! - `resume` with `ckpt_dir` and no `path` recovers from the **newest
+//!   readable** auto-checkpoint, falling back past truncated or corrupt
+//!   files (each skipped file is reported in the `resume` reply).
+//! - `advance` accepts `timeout_ms`: a wall-clock budget for that one
+//!   request. On expiry the reply is `kind":"timeout"` with the partial
+//!   `now_secs` reached; the session stays open and a later `advance`
+//!   continues from there (simulated results are unaffected — advance
+//!   boundaries never change report bytes).
 //!
 //! JSON is hand-rolled on both sides — requests must be *flat* objects
 //! of strings, numbers, and booleans; replies may nest (`snapshot`
@@ -37,12 +62,15 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use inrpp::config::InrppConfig;
 use inrpp::service::{Checkpoint, FluidBacking, FluidService, ServiceSession};
 use inrpp::session::{EngineKind, RunReport, Session, SessionError, SessionStrategy, Transfer};
-use inrpp::source::{pump, skip_until, TraceSource};
+use inrpp::source::{pump, skip_until, TraceSource, WorkloadSource};
 use inrpp_packetsim::{AimdConfig, PacketEngine, PacketService, PacketSimConfig, TransportKind};
+use inrpp_sim::fault::FaultPlan;
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::{ByteSize, Rate};
 use inrpp_topology::Topology;
@@ -283,6 +311,15 @@ fn u64_field(obj: &Obj, key: &str) -> Result<u64, String> {
 // Session spec
 // ===================================================================
 
+/// Where a `resume` pulls its checkpoint from.
+enum ResumeFrom {
+    /// An explicit checkpoint file.
+    Path(String),
+    /// The newest readable auto-checkpoint under the spec's `ckpt_dir`
+    /// (crash recovery: falls back past truncated/corrupt files).
+    Newest,
+}
+
 /// Everything an `open` / `resume` request pins down.
 struct OpenSpec {
     engine: EngineKind,
@@ -293,8 +330,16 @@ struct OpenSpec {
     workers: Option<u64>,
     chunk_bytes: u64,
     trace: Option<String>,
-    /// `Some(path)` for `resume`, `None` for `open`.
-    checkpoint: Option<String>,
+    /// Fault-plan string ([`FaultPlan::parse`] syntax).
+    faults: Option<String>,
+    /// Auto-checkpoint directory; `None` disables auto-checkpointing.
+    ckpt_dir: Option<String>,
+    /// Auto-checkpoint after every this many successful `advance`s.
+    ckpt_every: u64,
+    /// Keep the newest this many auto-checkpoints.
+    ckpt_retain: usize,
+    /// `Some` for `resume`, `None` for `open`.
+    checkpoint: Option<ResumeFrom>,
 }
 
 impl OpenSpec {
@@ -309,6 +354,30 @@ impl OpenSpec {
             Some(v) => return Err(format!("chunk_bytes must be a positive integer, got {v}")),
             None => 1250,
         };
+        let ckpt_every = match opt_num_field(obj, "ckpt_every")? {
+            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as u64,
+            Some(v) => return Err(format!("ckpt_every must be a positive integer, got {v}")),
+            None => 1,
+        };
+        let ckpt_retain = match opt_num_field(obj, "ckpt_retain")? {
+            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as usize,
+            Some(v) => return Err(format!("ckpt_retain must be a positive integer, got {v}")),
+            None => 3,
+        };
+        let ckpt_dir = opt_str_field(obj, "ckpt_dir")?;
+        let checkpoint = if resume {
+            match opt_str_field(obj, "path")? {
+                Some(p) => Some(ResumeFrom::Path(p)),
+                None if ckpt_dir.is_some() => Some(ResumeFrom::Newest),
+                None => {
+                    return Err("resume needs \"path\" (a checkpoint file) or \"ckpt_dir\" \
+                         (recover from the newest auto-checkpoint)"
+                        .into())
+                }
+            }
+        } else {
+            None
+        };
         Ok(OpenSpec {
             engine,
             topology: str_field(obj, "topology")?,
@@ -318,11 +387,11 @@ impl OpenSpec {
             workers: opt_num_field(obj, "workers")?.map(|v| v as u64),
             chunk_bytes,
             trace: opt_str_field(obj, "trace")?,
-            checkpoint: if resume {
-                Some(str_field(obj, "path")?)
-            } else {
-                None
-            },
+            faults: opt_str_field(obj, "faults")?,
+            ckpt_dir,
+            ckpt_every,
+            ckpt_retain,
+            checkpoint,
         })
     }
 
@@ -381,8 +450,26 @@ fn topology_by_name(name: &str) -> Result<Topology, String> {
 // Replies
 // ===================================================================
 
-fn fail(out: &mut dyn Write, msg: &str) -> io::Result<()> {
-    writeln!(out, "{{\"ok\":false,\"error\":\"{}\"}}", esc(msg))
+/// An error reply with a machine-readable `kind`: `parse`,
+/// `unknown_cmd`, `config`, `state`, `session`, `checkpoint`, `io`,
+/// `timeout`. The session (if any) stays open.
+fn fail_kind(out: &mut dyn Write, kind: &str, msg: &str) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}",
+        esc(kind),
+        esc(msg)
+    )
+}
+
+/// An error reply for a [`SessionError`], classified by variant.
+fn fail_session(out: &mut dyn Write, e: &SessionError) -> io::Result<()> {
+    let kind = match e {
+        SessionError::CheckpointMismatch(_) => "checkpoint",
+        SessionError::InvalidConfig(_) => "config",
+        _ => "session",
+    };
+    fail_kind(out, kind, &e.to_string())
 }
 
 fn ok_event(out: &mut dyn Write, event: &str, extra: &str) -> io::Result<()> {
@@ -409,7 +496,7 @@ fn write_report(
         let _ = write!(
             flows,
             "{{\"flow\":{},\"src\":\"{}\",\"dst\":\"{}\",\"offered_bits\":{},\
-             \"delivered_bits\":{},\"arrival_secs\":{},\"fct_secs\":{},\"retransmits\":{}}}",
+             \"delivered_bits\":{},\"arrival_secs\":{},\"fct_secs\":{},\"retransmits\":{}",
             f.flow,
             esc(&topo.node(f.src).name),
             esc(&topo.node(f.dst).name),
@@ -419,6 +506,18 @@ fn write_report(
             f.fct_secs.map(num).unwrap_or_else(|| "null".into()),
             f.retransmits,
         );
+        // recovery metrics appear only when a fault actually touched
+        // the flow, so fault-free replies keep their exact shape
+        if f.detours > 0 || f.custody_rescues > 0 || f.outage_delay_secs > 0.0 {
+            let _ = write!(
+                flows,
+                ",\"detours\":{},\"custody_rescues\":{},\"outage_delay_secs\":{}",
+                f.detours,
+                f.custody_rescues,
+                num(f.outage_delay_secs),
+            );
+        }
+        flows.push('}');
     }
     writeln!(
         out,
@@ -442,6 +541,152 @@ fn write_report(
 }
 
 // ===================================================================
+// Self-healing: auto-checkpoints, crash recovery, guarded advance
+// ===================================================================
+
+/// List `ckpt-NNNNNN.ckpt` files in `dir` as `(sequence, path)` pairs
+/// (unsorted; missing or unreadable directories yield an empty list).
+fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        {
+            if let Ok(seq) = stem.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out
+}
+
+/// Crash recovery: decode the newest readable checkpoint in `dir`,
+/// falling back past truncated/corrupt files. Returns the checkpoint,
+/// its sequence number (auto-checkpointing continues from there), and a
+/// diagnostic per skipped file.
+fn recover_newest(dir: &Path) -> Result<(Checkpoint, u64, Vec<String>), String> {
+    let mut found = list_checkpoints(dir);
+    if found.is_empty() {
+        return Err(format!(
+            "no checkpoints matching ckpt-*.ckpt in {:?}",
+            dir.display()
+        ));
+    }
+    found.sort();
+    let mut skipped = Vec::new();
+    for (seq, path) in found.into_iter().rev() {
+        match fs::read(&path) {
+            Err(e) => skipped.push(format!("{}: {e}", path.display())),
+            Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
+                Ok(c) => return Ok((c, seq, skipped)),
+                Err(e) => skipped.push(format!("{}: {e}", path.display())),
+            },
+        }
+    }
+    Err(format!(
+        "no usable checkpoint in {:?}: {}",
+        dir.display(),
+        skipped.join("; ")
+    ))
+}
+
+/// Auto-checkpoint state: write `ckpt_dir/ckpt-NNNNNN.ckpt` after every
+/// `every` successful advances, atomically (tmp + rename), pruning all
+/// but the newest `retain` files.
+struct AutoCkpt {
+    dir: PathBuf,
+    every: u64,
+    retain: usize,
+    advances: u64,
+    seq: u64,
+}
+
+impl AutoCkpt {
+    /// Record one successful advance; write + prune when due. Returns
+    /// the new checkpoint's sequence number when one was written.
+    fn after_advance(&mut self, svc: &dyn ServiceSession) -> Result<Option<u64>, String> {
+        self.advances += 1;
+        if self.advances % self.every != 0 {
+            return Ok(None);
+        }
+        let bytes = svc.checkpoint().to_bytes();
+        self.seq += 1;
+        let name = format!("ckpt-{:06}.ckpt", self.seq);
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        // atomic publish: a crash mid-write leaves only a .tmp behind,
+        // never a truncated ckpt-*.ckpt
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        let path = self.dir.join(&name);
+        fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &path).map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+        let mut all = list_checkpoints(&self.dir);
+        all.sort();
+        while all.len() > self.retain {
+            let (_, old) = all.remove(0);
+            fs::remove_file(old).ok(); // best-effort
+        }
+        Ok(Some(self.seq))
+    }
+}
+
+/// How a guarded advance failed.
+enum AdvanceError {
+    /// The wall-clock budget expired; the session stopped (consistently)
+    /// at the contained instant and can be advanced again later.
+    Timeout(SimTime),
+    /// The engine rejected the advance.
+    Session(SessionError),
+}
+
+/// Advance to `to`, optionally under a wall-clock deadline. With a
+/// deadline the span is advanced in slices and the clock consulted
+/// between them; intermediate boundaries never change simulated results
+/// (the service contract), so a timed-out advance can simply be
+/// re-issued.
+fn advance_guarded(
+    mut source: Option<&mut dyn WorkloadSource>,
+    svc: &mut dyn ServiceSession,
+    to: SimTime,
+    deadline: Option<Instant>,
+) -> Result<SimTime, AdvanceError> {
+    let Some(deadline) = deadline else {
+        let r = match source {
+            Some(ref mut s) => pump(&mut **s, svc, to, &mut []),
+            None => svc.advance(to, &mut []),
+        };
+        return r.map_err(AdvanceError::Session);
+    };
+    const SLICES: u64 = 64;
+    let start = svc.now();
+    let step = SimDuration::from_nanos((to.duration_since(start).as_nanos() / SLICES).max(1));
+    let mut next = start;
+    loop {
+        let reached = svc.now();
+        if reached >= to {
+            return Ok(reached);
+        }
+        if Instant::now() > deadline {
+            return Err(AdvanceError::Timeout(reached));
+        }
+        next = (next + step).min(to);
+        let r = match source {
+            Some(ref mut s) => pump(&mut **s, svc, next, &mut []),
+            None => svc.advance(next, &mut []),
+        };
+        if let Err(e) = r {
+            return Err(AdvanceError::Session(e));
+        }
+    }
+}
+
+// ===================================================================
 // The serve loop
 // ===================================================================
 
@@ -461,7 +706,7 @@ pub fn serve_lines(input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<(
         let obj = match parse_object(trimmed) {
             Ok(o) => o,
             Err(e) => {
-                fail(out, &format!("bad request: {e}"))?;
+                fail_kind(out, "parse", &format!("bad request: {e}"))?;
                 continue;
             }
         };
@@ -470,15 +715,16 @@ pub fn serve_lines(input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<(
                 let resume = matches!(str_field(&obj, "cmd").as_deref(), Ok("resume"));
                 match OpenSpec::parse(&obj, resume) {
                     Ok(spec) => drive(&spec, input, out)?,
-                    Err(e) => fail(out, &e)?,
+                    Err(e) => fail_kind(out, "config", &e)?,
                 }
             }
             Ok("exit") => return Ok(()),
-            Ok(other) => fail(
+            Ok(other) => fail_kind(
                 out,
+                "state",
                 &format!("no open session; expected open|resume|exit, got {other:?}"),
             )?,
-            Err(e) => fail(out, e)?,
+            Err(e) => fail_kind(out, "parse", e)?,
         }
     }
 }
@@ -489,11 +735,11 @@ pub fn serve_lines(input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<(
 fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<()> {
     let topo = match topology_by_name(&spec.topology) {
         Ok(t) => t,
-        Err(e) => return fail(out, &e),
+        Err(e) => return fail_kind(out, "config", &e),
     };
     let strategy = match spec.strategy() {
         Ok(s) => s,
-        Err(e) => return fail(out, &e),
+        Err(e) => return fail_kind(out, "config", &e),
     };
     // serve sessions are streaming-only: traffic arrives via feed/trace,
     // so the spec (and its fingerprint) carries an empty transfer list
@@ -508,20 +754,47 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
     if let Some(workers) = spec.workers {
         builder = builder.workers(workers as usize);
     }
+    if let Some(text) = &spec.faults {
+        match FaultPlan::parse(text) {
+            Ok(plan) => builder = builder.faults(plan),
+            Err(e) => return fail_kind(out, "config", &format!("bad fault plan: {e}")),
+        }
+    }
     let session = match builder.build() {
         Ok(s) => s,
-        Err(e) => return fail(out, &e.to_string()),
+        Err(e) => return fail_session(out, &e),
     };
 
+    // resume source: an explicit file, or crash recovery from the newest
+    // readable auto-checkpoint (skipping truncated/corrupt files)
+    let mut recovered_seq = 0u64;
+    let mut recovery_skipped: Vec<String> = Vec::new();
     let checkpoint = match &spec.checkpoint {
-        Some(path) => match fs::read(path) {
+        None => None,
+        Some(ResumeFrom::Path(path)) => match fs::read(path) {
             Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
                 Ok(c) => Some(c),
-                Err(e) => return fail(out, &e.to_string()),
+                Err(e) => return fail_session(out, &e),
             },
-            Err(e) => return fail(out, &format!("cannot read checkpoint {path:?}: {e}")),
+            Err(e) => {
+                return fail_kind(
+                    out,
+                    "checkpoint",
+                    &format!("cannot read checkpoint {path:?}: {e}"),
+                )
+            }
         },
-        None => None,
+        Some(ResumeFrom::Newest) => {
+            let dir = spec.ckpt_dir.as_deref().expect("validated at parse");
+            match recover_newest(Path::new(dir)) {
+                Ok((c, seq, skipped)) => {
+                    recovered_seq = seq;
+                    recovery_skipped = skipped;
+                    Some(c)
+                }
+                Err(e) => return fail_kind(out, "checkpoint", &e),
+            }
+        }
     };
 
     let backing;
@@ -534,13 +807,13 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
             };
             match opened {
                 Ok(s) => Box::new(s),
-                Err(e) => return fail(out, &e.to_string()),
+                Err(e) => return fail_session(out, &e),
             }
         }
         EngineKind::Packet => {
             let engine = match spec.packet_engine() {
                 Ok(e) => e,
-                Err(e) => return fail(out, &e),
+                Err(e) => return fail_kind(out, "config", &e),
             };
             let opened = match &checkpoint {
                 Some(c) => PacketService::resume(&engine, &session, c),
@@ -548,7 +821,7 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
             };
             match opened {
                 Ok(s) => Box::new(s),
-                Err(e) => return fail(out, &e.to_string()),
+                Err(e) => return fail_session(out, &e),
             }
         }
     };
@@ -560,15 +833,44 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
                 // entries the interrupted run already fed by the
                 // checkpoint boundary must not be fed twice
                 if let Err(e) = skip_until(&mut ts, svc.now()) {
-                    return fail(out, &e.to_string());
+                    return fail_session(out, &e);
                 }
                 Some(ts)
             }
-            Err(e) => return fail(out, &format!("cannot read trace {path:?}: {e}")),
+            Err(e) => return fail_kind(out, "io", &format!("cannot read trace {path:?}: {e}")),
         },
         None => None,
     };
 
+    let mut auto = spec.ckpt_dir.as_ref().map(|dir| AutoCkpt {
+        dir: PathBuf::from(dir),
+        every: spec.ckpt_every,
+        retain: spec.ckpt_retain,
+        advances: 0,
+        seq: recovered_seq,
+    });
+
+    let mut open_extra = format!(
+        "\"engine\":\"{}\",\"now_secs\":{},\"horizon_secs\":{},\"fingerprint\":\"{:016x}\"",
+        svc.kind(),
+        num(svc.now().as_secs_f64()),
+        num(svc.horizon().as_secs_f64()),
+        session.fingerprint(),
+    );
+    if matches!(spec.checkpoint, Some(ResumeFrom::Newest)) {
+        let _ = write!(
+            open_extra,
+            ",\"recovered_seq\":{recovered_seq},\"skipped_checkpoints\":{}",
+            recovery_skipped.len()
+        );
+        if !recovery_skipped.is_empty() {
+            let _ = write!(
+                open_extra,
+                ",\"diagnostics\":\"{}\"",
+                esc(&recovery_skipped.join("; "))
+            );
+        }
+    }
     ok_event(
         out,
         if checkpoint.is_some() {
@@ -576,13 +878,7 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
         } else {
             "open"
         },
-        &format!(
-            "\"engine\":\"{}\",\"now_secs\":{},\"horizon_secs\":{},\"fingerprint\":\"{:016x}\"",
-            svc.kind(),
-            num(svc.now().as_secs_f64()),
-            num(svc.horizon().as_secs_f64()),
-            session.fingerprint(),
-        ),
+        &open_extra,
     )?;
 
     let mut line = String::new();
@@ -598,14 +894,14 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
         let obj = match parse_object(trimmed) {
             Ok(o) => o,
             Err(e) => {
-                fail(out, &format!("bad request: {e}"))?;
+                fail_kind(out, "parse", &format!("bad request: {e}"))?;
                 continue;
             }
         };
         let cmd = match str_field(&obj, "cmd") {
             Ok(c) => c,
             Err(e) => {
-                fail(out, &e)?;
+                fail_kind(out, "parse", &e)?;
                 continue;
             }
         };
@@ -613,9 +909,9 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
             "feed" => match parse_feed(&obj, &topo, spec.chunk_bytes) {
                 Ok(t) => match svc.feed(&t) {
                     Ok(()) => ok_event(out, "feed", &format!("\"flow\":{}", t.flow))?,
-                    Err(e) => fail(out, &e.to_string())?,
+                    Err(e) => fail_session(out, &e)?,
                 },
-                Err(e) => fail(out, &e)?,
+                Err(e) => fail_kind(out, "parse", &e)?,
             },
             "advance" => {
                 let to = match num_field(&obj, "to_secs")
@@ -623,21 +919,68 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
                 {
                     Ok(t) => t,
                     Err(e) => {
-                        fail(out, &e)?;
+                        fail_kind(out, "parse", &e)?;
                         continue;
                     }
                 };
-                let advanced = match trace.as_mut() {
-                    Some(ts) => pump(ts, &mut *svc, to, &mut []),
-                    None => svc.advance(to, &mut []),
-                };
-                match advanced {
-                    Ok(now) => ok_event(
+                if to < svc.now() {
+                    fail_kind(
                         out,
-                        "advance",
-                        &format!("\"now_secs\":{}", num(now.as_secs_f64())),
+                        "state",
+                        &format!(
+                            "advance target {}s precedes now {}s (time only moves forward)",
+                            num(to.as_secs_f64()),
+                            num(svc.now().as_secs_f64())
+                        ),
+                    )?;
+                    continue;
+                }
+                let deadline = match opt_num_field(&obj, "timeout_ms") {
+                    Ok(Some(ms)) if ms > 0.0 && ms.is_finite() => {
+                        Some(Instant::now() + Duration::from_millis(ms as u64))
+                    }
+                    Ok(Some(ms)) => {
+                        fail_kind(
+                            out,
+                            "parse",
+                            &format!("timeout_ms must be positive, got {ms}"),
+                        )?;
+                        continue;
+                    }
+                    Ok(None) => None,
+                    Err(e) => {
+                        fail_kind(out, "parse", &e)?;
+                        continue;
+                    }
+                };
+                let source = trace.as_mut().map(|ts| ts as &mut dyn WorkloadSource);
+                match advance_guarded(source, &mut *svc, to, deadline) {
+                    Ok(now) => {
+                        let mut extra = format!("\"now_secs\":{}", num(now.as_secs_f64()));
+                        if let Some(auto) = auto.as_mut() {
+                            match auto.after_advance(&*svc) {
+                                Ok(Some(seq)) => {
+                                    let _ = write!(extra, ",\"ckpt_seq\":{seq}");
+                                }
+                                Ok(None) => {}
+                                Err(e) => {
+                                    fail_kind(out, "io", &format!("auto-checkpoint failed: {e}"))?;
+                                    continue;
+                                }
+                            }
+                        }
+                        ok_event(out, "advance", &extra)?;
+                    }
+                    Err(AdvanceError::Timeout(reached)) => fail_kind(
+                        out,
+                        "timeout",
+                        &format!(
+                            "advance timed out at {}s (target {}s); re-issue to continue",
+                            num(reached.as_secs_f64()),
+                            num(to.as_secs_f64())
+                        ),
                     )?,
-                    Err(e) => fail(out, &e.to_string())?,
+                    Err(AdvanceError::Session(e)) => fail_session(out, &e)?,
                 }
             }
             "snapshot" => write_report(out, "snapshot", &topo, &svc.snapshot())?,
@@ -650,21 +993,26 @@ fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::R
                             "checkpoint",
                             &format!("\"path\":\"{}\",\"bytes\":{}", esc(&path), bytes.len()),
                         )?,
-                        Err(e) => fail(out, &format!("cannot write checkpoint {path:?}: {e}"))?,
+                        Err(e) => {
+                            fail_kind(out, "io", &format!("cannot write checkpoint {path:?}: {e}"))?
+                        }
                     }
                 }
-                Err(e) => fail(out, &e)?,
+                Err(e) => fail_kind(out, "parse", &e)?,
             },
             "close" => {
                 match svc.finish(&mut []) {
                     Ok(report) => write_report(out, "close", &topo, &report)?,
-                    Err(e) => fail(out, &e.to_string())?,
+                    Err(e) => fail_session(out, &e)?,
                 }
                 return Ok(());
             }
-            "open" | "resume" => fail(out, "a session is already open; close it first")?,
-            other => fail(
+            "open" | "resume" => {
+                fail_kind(out, "state", "a session is already open; close it first")?
+            }
+            other => fail_kind(
                 out,
+                "unknown_cmd",
                 &format!("unknown command {other:?} (feed|advance|snapshot|checkpoint|close)"),
             )?,
         }
@@ -801,6 +1149,244 @@ mod tests {
         assert_err(&replies[4]); // unknown node
         assert_err(&replies[5]); // negative time
         assert_ok(&replies[6]); // close still works
+    }
+
+    fn assert_kind(reply: &str, kind: &str) {
+        assert!(
+            reply.starts_with(&format!("{{\"ok\":false,\"kind\":\"{kind}\"")),
+            "expected kind {kind:?}: {reply}"
+        );
+    }
+
+    #[test]
+    fn error_replies_carry_typed_kinds() {
+        let open = concat!(
+            r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":5}"#,
+            "\n",
+        );
+        let script = format!(
+            concat!(
+                "{{not json\n", // parse
+                r#"{{"cmd":"warp"}}"#,
+                "\n", // state (no session)
+                "{open}",
+                r#"{{"cmd":"advance","to_secs":2}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":1}}"#,
+                "\n", // state (out of order)
+                r#"{{"cmd":"teleport"}}"#,
+                "\n", // unknown_cmd
+                r#"{{"cmd":"feed","flow":"x"}}"#,
+                "\n", // parse (bad field)
+                r#"{{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":5}}"#,
+                "\n", // state (already open)
+                r#"{{"cmd":"close"}}"#,
+                "\n",
+            ),
+            open = open
+        );
+        let replies = run(&script);
+        assert_eq!(replies.len(), 9, "{replies:?}");
+        assert_kind(&replies[0], "parse");
+        assert_kind(&replies[1], "state");
+        assert_ok(&replies[2]); // open
+        assert_ok(&replies[3]); // advance 2
+        assert_kind(&replies[4], "state");
+        assert_kind(&replies[5], "unknown_cmd");
+        assert_kind(&replies[6], "parse");
+        assert_kind(&replies[7], "state");
+        assert_ok(&replies[8]); // session survived every error
+    }
+
+    #[test]
+    fn bad_fault_plan_and_bad_resume_are_config_and_checkpoint_errors() {
+        let replies = run(concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"faults":"linkdown@x:3"}"#,
+            "\n",
+            r#"{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5}"#,
+            "\n",
+            r#"{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"path":"/nonexistent/x.ckpt"}"#,
+            "\n",
+            // a fault plan naming a link fig3 does not have is rejected
+            // at build time by the typed validation
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"faults":"linkdown@1:99"}"#,
+            "\n",
+        ));
+        assert_eq!(replies.len(), 4, "{replies:?}");
+        assert_kind(&replies[0], "config"); // unparseable plan
+        assert_kind(&replies[1], "config"); // resume without path or ckpt_dir
+        assert_kind(&replies[2], "checkpoint"); // unreadable file
+        assert_kind(&replies[3], "config"); // link index out of range
+        assert!(
+            replies[3].contains("link 99"),
+            "validation names the bad link: {}",
+            replies[3]
+        );
+    }
+
+    #[test]
+    fn fault_plan_over_the_wire_changes_the_run() {
+        let open = |faults: &str| {
+            format!(
+                concat!(
+                    r#"{{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7{}}}"#,
+                    "\n",
+                    r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}}"#,
+                    "\n",
+                    r#"{{"cmd":"close"}}"#,
+                    "\n",
+                ),
+                faults
+            )
+        };
+        let quiet = run(&open(""));
+        let faulted = run(&open(r#","faults":"linkdown@0.2:1; linkup@10:1""#));
+        assert_ok(quiet.last().unwrap());
+        assert_ok(faulted.last().unwrap());
+        assert!(
+            quiet.last() != faulted.last(),
+            "a mid-run outage must change the final report"
+        );
+        // determinism: the same plan yields byte-identical bytes
+        let again = run(&open(r#","faults":"linkdown@0.2:1; linkup@10:1""#));
+        assert_eq!(faulted.last(), again.last());
+    }
+
+    #[test]
+    fn auto_checkpoints_rotate_and_recover_past_corruption() {
+        let dir = std::env::temp_dir().join(format!("inrpp-selfheal-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        let open = format!(
+            concat!(
+                r#"{{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
+                r#""horizon_secs":30,"seed":7,"ckpt_dir":"{d}","ckpt_retain":2}}"#,
+                "\n",
+                r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":0.5}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":1}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":1.5}}"#,
+                "\n",
+            ),
+            d = dir.display()
+        );
+        let head = run(&open);
+        assert!(head[2].contains("\"ckpt_seq\":1"), "{}", head[2]);
+        assert!(head[4].contains("\"ckpt_seq\":3"), "{}", head[4]);
+        // retention: only the newest two survive
+        let mut seqs: Vec<u64> = list_checkpoints(&dir).into_iter().map(|(s, _)| s).collect();
+        seqs.sort();
+        assert_eq!(seqs, vec![2, 3], "keep-last-2 rotation");
+
+        // the uninterrupted run for comparison
+        let straight = run(concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
+            "\n",
+            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":0.5}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":1}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":1.5}"#,
+            "\n",
+            r#"{"cmd":"close"}"#,
+            "\n",
+        ));
+
+        // truncate the newest checkpoint (simulated crash mid-anything);
+        // recovery must fall back to seq 2 and note the skipped file
+        let newest = dir.join("ckpt-000003.ckpt");
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let tail = run(&format!(
+            concat!(
+                r#"{{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","#,
+                r#""horizon_secs":30,"seed":7,"ckpt_dir":"{d}"}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":1.5}}"#,
+                "\n",
+                r#"{{"cmd":"close"}}"#,
+                "\n",
+            ),
+            d = dir.display()
+        ));
+        assert!(tail[0].contains("\"event\":\"resume\""), "{}", tail[0]);
+        assert!(
+            tail[0].contains("\"recovered_seq\":2")
+                && tail[0].contains("\"skipped_checkpoints\":1"),
+            "recovery diagnostics: {}",
+            tail[0]
+        );
+        assert_eq!(
+            straight.last().unwrap(),
+            tail.last().unwrap(),
+            "recovered final report must be byte-identical to the uninterrupted run"
+        );
+
+        // with every checkpoint unusable, the error is typed
+        for (_, p) in list_checkpoints(&dir) {
+            fs::write(&p, b"garbage").unwrap();
+        }
+        let none = run(&format!(
+            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":30,\"seed\":7,\"ckpt_dir\":\"{}\"}}\n",
+            dir.display()
+        ));
+        assert_kind(&none[0], "checkpoint");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn advance_timeout_is_resumable() {
+        // a zero-ish budget can't finish a 20 s advance: expect a typed
+        // timeout with partial progress, then a plain advance finishes
+        let script = concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
+            "\n",
+            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":2000,"start_secs":0}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":20,"timeout_ms":0.001}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":20}"#,
+            "\n",
+            r#"{"cmd":"close"}"#,
+            "\n",
+        );
+        let replies = run(script);
+        assert_eq!(replies.len(), 5, "{replies:?}");
+        assert_kind(&replies[2], "timeout");
+        assert_ok(&replies[3]);
+        assert!(replies[3].contains("\"now_secs\":20"), "{}", replies[3]);
+        assert_ok(&replies[4]);
+
+        // and a sliced (timed) advance that *does* finish yields the same
+        // final bytes as an unsliced one — boundaries don't leak
+        let timed = run(concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
+            "\n",
+            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":5,"timeout_ms":60000}"#,
+            "\n",
+            r#"{"cmd":"close"}"#,
+            "\n",
+        ));
+        let plain = run(concat!(
+            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
+            "\n",
+            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}"#,
+            "\n",
+            r#"{"cmd":"advance","to_secs":5}"#,
+            "\n",
+            r#"{"cmd":"close"}"#,
+            "\n",
+        ));
+        assert_ok(timed.last().unwrap());
+        assert_eq!(timed.last(), plain.last(), "slicing must not change bytes");
     }
 
     #[test]

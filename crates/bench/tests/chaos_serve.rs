@@ -1,0 +1,168 @@
+//! Chaos gate for the self-healing `inrpp serve`: SIGKILL a serving
+//! process mid-run — inside a fault-plan outage window, after its
+//! auto-checkpointer has published a few rotations — restart it from
+//! the checkpoint directory, and require the recovered run's final
+//! report to be **byte-equal** to an uninterrupted process's. The kill
+//! lands between requests (the only instants a checkpoint is current),
+//! which is exactly the contract `ckpt_every: 1` provides: at most one
+//! advance of progress is lost, never correctness.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+struct Serve {
+    child: Child,
+    out: BufReader<ChildStdout>,
+}
+
+impl Serve {
+    fn spawn() -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_inrpp"))
+            .arg("serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn inrpp serve");
+        let out = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Serve { child, out }
+    }
+
+    /// Send one request line and read its reply line.
+    fn roundtrip(&mut self, line: &str) -> String {
+        let stdin = self.child.stdin.as_mut().expect("piped stdin");
+        writeln!(stdin, "{line}").expect("write request");
+        stdin.flush().expect("flush request");
+        let mut reply = String::new();
+        self.out.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "serve hung up on: {line}");
+        reply.trim_end().to_string()
+    }
+
+    /// SIGKILL — no shutdown courtesy, the whole point of the test.
+    fn kill(mut self) {
+        self.child.kill().expect("kill serve");
+        self.child.wait().expect("reap serve");
+    }
+
+    fn wait(mut self) {
+        drop(self.child.stdin.take()); // EOF ends the serve loop
+        self.child.wait().expect("serve exit");
+    }
+}
+
+fn open_line(dir: Option<&Path>) -> String {
+    let ckpt = match dir {
+        Some(d) => format!(",\"ckpt_dir\":\"{}\",\"ckpt_retain\":3", d.display()),
+        None => String::new(),
+    };
+    format!(
+        "{{\"cmd\":\"open\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\
+         \"horizon_secs\":30,\"seed\":7,\
+         \"faults\":\"linkdown@0.3:1; linkup@2:1\"{ckpt}}}"
+    )
+}
+
+const FEEDS: [&str; 2] = [
+    r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":600,"start_secs":0}"#,
+    r#"{"cmd":"feed","flow":2,"src":"2","dst":"3","chunks":250,"start_secs":0.12}"#,
+];
+
+#[test]
+fn sigkill_mid_outage_recovers_to_a_byte_equal_report() {
+    let dir = std::env::temp_dir().join(format!("inrpp-chaos-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+
+    // victim: auto-checkpointing run, killed inside the outage window
+    let mut victim = Serve::spawn();
+    let opened = victim.roundtrip(&open_line(Some(&dir)));
+    assert!(opened.contains("\"ok\":true"), "open failed: {opened}");
+    for feed in FEEDS {
+        assert!(victim.roundtrip(feed).contains("\"ok\":true"));
+    }
+    for (i, to) in ["0.5", "1", "1.5"].iter().enumerate() {
+        let reply = victim.roundtrip(&format!("{{\"cmd\":\"advance\",\"to_secs\":{to}}}"));
+        let want = format!("\"ckpt_seq\":{}", i + 1);
+        assert!(reply.contains(&want), "advance {to}: {reply}");
+    }
+    victim.kill();
+
+    // the victim published ckpt-000003.ckpt before dying; the link is
+    // still down at 1.5s, so recovery restarts mid-outage
+    assert!(dir.join("ckpt-000003.ckpt").exists(), "rotation on disk");
+
+    // phoenix: recover from the newest checkpoint in the directory and
+    // run to completion
+    let mut phoenix = Serve::spawn();
+    let resumed = phoenix.roundtrip(&format!(
+        "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\
+         \"horizon_secs\":30,\"seed\":7,\
+         \"faults\":\"linkdown@0.3:1; linkup@2:1\",\"ckpt_dir\":\"{}\"}}",
+        dir.display()
+    ));
+    assert!(
+        resumed.contains("\"ok\":true") && resumed.contains("\"recovered_seq\":3"),
+        "resume reply: {resumed}"
+    );
+    assert!(phoenix
+        .roundtrip(r#"{"cmd":"advance","to_secs":5}"#)
+        .contains("\"ok\":true"));
+    let recovered = phoenix.roundtrip(r#"{"cmd":"close"}"#);
+    phoenix.wait();
+
+    // control: one process, never interrupted, no checkpointing at all
+    let mut control = Serve::spawn();
+    assert!(control.roundtrip(&open_line(None)).contains("\"ok\":true"));
+    for feed in FEEDS {
+        assert!(control.roundtrip(feed).contains("\"ok\":true"));
+    }
+    assert!(control
+        .roundtrip(r#"{"cmd":"advance","to_secs":5}"#)
+        .contains("\"ok\":true"));
+    let straight = control.roundtrip(r#"{"cmd":"close"}"#);
+    control.wait();
+
+    assert_eq!(
+        recovered, straight,
+        "final report after SIGKILL + recovery must be byte-equal to the uninterrupted run"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill can also land *before any checkpoint exists*: recovery then
+/// has nothing to reopen, and the typed `checkpoint` error must say so
+/// without crashing the new process — it stays up and accepts a fresh
+/// `open` on the same connection.
+#[test]
+fn sigkill_before_first_checkpoint_yields_a_typed_error_then_a_fresh_start() {
+    let dir = std::env::temp_dir().join(format!("inrpp-chaos-empty-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+
+    let mut victim = Serve::spawn();
+    assert!(victim
+        .roundtrip(&open_line(Some(&dir)))
+        .contains("\"ok\":true"));
+    victim.kill(); // no advance ever ran: the directory is empty
+
+    let mut phoenix = Serve::spawn();
+    let resumed = phoenix.roundtrip(&format!(
+        "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\
+         \"horizon_secs\":30,\"seed\":7,\"ckpt_dir\":\"{}\"}}",
+        dir.display()
+    ));
+    assert!(
+        resumed.starts_with("{\"ok\":false,\"kind\":\"checkpoint\""),
+        "typed recovery failure: {resumed}"
+    );
+    // the session loop survived the failed resume: start over from zero
+    assert!(phoenix.roundtrip(&open_line(None)).contains("\"ok\":true"));
+    let report = phoenix.roundtrip(r#"{"cmd":"close"}"#);
+    assert!(report.contains("\"event\":\"close\""), "close: {report}");
+    phoenix.wait();
+
+    fs::remove_dir_all(&dir).ok();
+}

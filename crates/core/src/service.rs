@@ -261,6 +261,7 @@ impl<'a> FluidService<'a> {
                 horizon: session.horizon(),
             },
         )
+        .with_faults(session.faults().clone())
         .start();
         Ok(FluidService {
             run,
@@ -288,6 +289,7 @@ impl<'a> FluidService<'a> {
             session.topology(),
             backing.strategy.as_ref(),
             &backing.workload,
+            session.faults().clone(),
             &mut r,
         )
         .map_err(corrupt)?;

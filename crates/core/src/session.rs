@@ -55,6 +55,7 @@ use inrpp_flowsim::strategy::{
     EcmpStrategy, InrpConfig, InrpStrategy, MptcpStrategy, RoutingStrategy, SinglePathStrategy,
 };
 use inrpp_flowsim::FlowSimReport;
+use inrpp_sim::fault::FaultPlan;
 use inrpp_sim::snap::{self, Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::{SimDuration, SimTime, TimeError};
 use inrpp_sim::units::ByteSize;
@@ -693,6 +694,16 @@ pub struct FlowRecord {
     pub routed: bool,
     /// Requests re-issued after timeout (packet engine; 0 on fluid).
     pub retransmits: u64,
+    /// Chunks that left the primary path to route around a faulted
+    /// link/node (packet engine; 0 on fluid).
+    pub detours: u64,
+    /// Custody chunks re-homed off a crashed node (packet engine; 0 on
+    /// fluid).
+    pub custody_rescues: u64,
+    /// Delay attributable to fault outages: time chunks sat parked in
+    /// custody behind a down channel plus rescue transit (packet engine;
+    /// 0 on fluid).
+    pub outage_delay_secs: f64,
 }
 
 impl FlowRecord {
@@ -720,6 +731,9 @@ impl Snap for FlowRecord {
         w.put_usize(self.subpaths);
         w.put_bool(self.routed);
         w.put_u64(self.retransmits);
+        w.put_u64(self.detours);
+        w.put_u64(self.custody_rescues);
+        w.put_f64(self.outage_delay_secs);
     }
 
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -738,6 +752,9 @@ impl Snap for FlowRecord {
             subpaths: r.get_usize()?,
             routed: r.get_bool()?,
             retransmits: r.get_u64()?,
+            detours: r.get_u64()?,
+            custody_rescues: r.get_u64()?,
+            outage_delay_secs: r.get_f64()?,
         })
     }
 }
@@ -799,6 +816,8 @@ pub struct PacketSummary {
     pub chunks_detoured: u64,
     /// Chunks that spent time in custody stores.
     pub chunks_custodied: u64,
+    /// Custody chunks re-homed off crashed nodes by the rescue machinery.
+    pub chunks_rescued: u64,
     /// Back-pressure notifications emitted.
     pub backpressure_msgs: u64,
     /// Payload bits per chunk (goodput arithmetic).
@@ -910,6 +929,7 @@ pub struct Session<'a> {
     horizon: SimDuration,
     seed: u64,
     workers: usize,
+    faults: FaultPlan,
 }
 
 /// Builder for [`Session`]; see the module docs for the grammar.
@@ -924,6 +944,7 @@ pub struct SessionBuilder<'a> {
     horizon_secs: Option<f64>,
     seed: u64,
     workers: Option<usize>,
+    faults: FaultPlan,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -1005,6 +1026,17 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// A deterministic fault plan applied mid-run by both engines
+    /// (default: no faults). Plans are validated against the topology at
+    /// build time: an event naming a node or link the topology does not
+    /// have is rejected with [`SessionError::InvalidConfig`]. The
+    /// determinism contract is unchanged under any plan — sharded runs,
+    /// checkpoint/resume, and repeated runs stay byte-identical.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validate and assemble the session.
     pub fn build(self) -> Result<Session<'a>, SessionError> {
         let topology = self.topology.ok_or(SessionError::MissingTopology)?;
@@ -1067,6 +1099,9 @@ impl<'a> SessionBuilder<'a> {
         } else {
             return Err(SessionError::MissingTraffic);
         };
+        self.faults
+            .check_indices(topology.node_count(), topology.link_count())
+            .map_err(|e| SessionError::InvalidConfig(format!("invalid fault plan: {e}")))?;
         Ok(Session {
             topology,
             traffic,
@@ -1074,6 +1109,7 @@ impl<'a> SessionBuilder<'a> {
             horizon,
             seed: self.seed,
             workers,
+            faults: self.faults,
         })
     }
 }
@@ -1115,6 +1151,13 @@ impl<'a> Session<'a> {
                 ts.encode(&mut w);
             }
         }
+        // fault plans are part of the spec a checkpoint must match;
+        // encoded only when present so plan-free fingerprints are
+        // unchanged from earlier versions
+        if !self.faults.is_empty() {
+            w.put_u8(2);
+            self.faults.encode(&mut w);
+        }
         snap::fingerprint(&w.into_bytes())
     }
 
@@ -1141,6 +1184,11 @@ impl<'a> Session<'a> {
     /// Worker threads requested for the run (≥ 1; default 1).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The session's fault plan (empty when no faults were configured).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The traffic as a fluid workload: borrowed when flow-native,
@@ -1236,6 +1284,9 @@ impl FluidAdapter<'_, '_, '_> {
             subpaths,
             routed,
             retransmits: 0,
+            detours: 0,
+            custody_rescues: 0,
+            outage_delay_secs: 0.0,
         });
     }
 }
@@ -1326,6 +1377,7 @@ impl Engine for FluidEngine {
                 horizon: session.horizon,
             },
         )
+        .with_faults(session.faults().clone())
         .run_observed(&mut adapter);
         Ok(assemble_fluid_report(report, records))
     }

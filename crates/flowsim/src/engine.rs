@@ -139,8 +139,11 @@ impl FlowPaths {
 /// events so re-allocations are allocation-free in steady state.
 #[derive(Debug)]
 pub struct AllocatorScratch {
-    /// Capacity per directed channel (fixed per topology).
+    /// Effective capacity per directed channel: base scaled by the current
+    /// fault factor (0 while the link is down).
     caps: Vec<f64>,
+    /// Undegraded capacity per directed channel (fixed per topology).
+    base_caps: Vec<f64>,
     /// Remaining capacity per directed channel.
     residual: Vec<f64>,
     /// Occurrences of each directed channel across unfrozen flows'
@@ -193,6 +196,7 @@ impl AllocatorScratch {
             count: vec![0; caps.len()],
             on_channel: vec![Vec::new(); caps.len()],
             in_list: vec![false; caps.len()],
+            base_caps: caps.clone(),
             caps,
             frozen: Vec::new(),
             preferred: Vec::new(),
@@ -210,6 +214,17 @@ impl AllocatorScratch {
     #[inline]
     fn saturated(&self, d: usize) -> bool {
         self.residual[d] <= self.caps[d] * REL_EPS
+    }
+
+    /// Set both directions of `link` to `factor` of base capacity; `0`
+    /// means the link is down (flows through it freeze at rate 0, since a
+    /// zero-capacity channel is saturated from the start of every fill).
+    /// Takes effect at the next [`AllocEngine::allocate`] call.
+    fn set_link_capacity_factor(&mut self, link: usize, factor: f64) {
+        debug_assert!((0.0..=1.0).contains(&factor), "factor {factor}");
+        for d in [2 * link, 2 * link + 1] {
+            self.caps[d] = self.base_caps[d] * factor;
+        }
     }
 
     /// Route flow `i` over channel `d` of its newly preferred subpath:
@@ -581,6 +596,12 @@ impl AllocEngine {
     /// Filling rounds of the last allocation (diagnostics).
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Degrade (or restore) both directions of `link` to `factor` of base
+    /// capacity for all subsequent allocations; `0` takes the link down.
+    pub fn set_link_capacity_factor(&mut self, link: usize, factor: f64) {
+        self.scratch.set_link_capacity_factor(link, factor);
     }
 
     /// Mean utilisation over directed channels that carry any capacity —

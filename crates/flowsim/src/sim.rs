@@ -22,6 +22,7 @@
 //! fire. This keeps the event count at `O(arrivals + departures)`.
 
 use inrpp_sim::event::{Engine, SchedulePastError};
+use inrpp_sim::fault::{FaultKind, FaultPlan};
 use inrpp_sim::metrics::{Cdf, JainIndex};
 use inrpp_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::{SimDuration, SimTime};
@@ -89,6 +90,10 @@ enum Event {
     Arrival(usize),
     /// `(flow id, allocation epoch)` — ignored if the epoch is stale.
     Departure(u64, u64),
+    /// Fault-plan event `idx` takes effect.
+    Fault(usize),
+    /// The loss-burst window opened by plan event `idx` closes.
+    FaultEnd(usize),
 }
 
 impl Snap for Event {
@@ -103,12 +108,22 @@ impl Snap for Event {
                 w.put_u64(*fid);
                 w.put_u64(*epoch);
             }
+            Event::Fault(idx) => {
+                w.put_u8(2);
+                w.put_usize(*idx);
+            }
+            Event::FaultEnd(idx) => {
+                w.put_u8(3);
+                w.put_usize(*idx);
+            }
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         match r.get_u8()? {
             0 => Ok(Event::Arrival(r.get_usize()?)),
             1 => Ok(Event::Departure(r.get_u64()?, r.get_u64()?)),
+            2 => Ok(Event::Fault(r.get_usize()?)),
+            3 => Ok(Event::FaultEnd(r.get_usize()?)),
             _ => Err(SnapError::Corrupt("fluid event tag out of range")),
         }
     }
@@ -156,6 +171,7 @@ pub struct FlowSim<'a> {
     strategy: &'a dyn RoutingStrategy,
     workload: &'a Workload,
     config: FlowSimConfig,
+    faults: FaultPlan,
 }
 
 impl<'a> FlowSim<'a> {
@@ -171,7 +187,15 @@ impl<'a> FlowSim<'a> {
             strategy,
             workload,
             config,
+            faults: FaultPlan::empty(),
         }
+    }
+
+    /// Attach a fault plan: its timed events join the event stream and
+    /// trigger a re-allocation on every capacity transition.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Execute the run and produce the report.
@@ -195,7 +219,13 @@ impl<'a> FlowSim<'a> {
     /// ([`feed`](FlowRun::feed)) and checkpoint/resume on top of the
     /// same event loop, with bit-identical results.
     pub fn start(self) -> FlowRun<'a> {
-        FlowRun::new(self.topo, self.strategy, self.workload, self.config)
+        FlowRun::new(
+            self.topo,
+            self.strategy,
+            self.workload,
+            self.config,
+            self.faults,
+        )
     }
 }
 
@@ -218,6 +248,16 @@ pub struct FlowRun<'a> {
     strategy: &'a dyn RoutingStrategy,
     workload: &'a Workload,
     config: FlowSimConfig,
+    faults: FaultPlan,
+    /// Down-cause count per link: `LinkDown` and adjacent `NodeCrash`
+    /// each add one; the link carries traffic only at zero.
+    link_down: Vec<u32>,
+    /// Capacity fraction per link from the latest `CapacityScale`.
+    link_scale: Vec<f64>,
+    /// Goodput factor per link while a loss burst is open (`1 - drop`).
+    link_burst: Vec<f64>,
+    /// Plan index of the burst currently in force per link, or `usize::MAX`.
+    burst_owner: Vec<usize>,
     horizon: SimTime,
     eng: Engine<Event>,
     /// Flows fed after the run started; `Event::Arrival(idx)` with
@@ -248,6 +288,7 @@ impl<'a> FlowRun<'a> {
         strategy: &'a dyn RoutingStrategy,
         workload: &'a Workload,
         config: FlowSimConfig,
+        faults: FaultPlan,
     ) -> Self {
         let horizon = SimTime::ZERO + config.horizon;
         let mut eng: Engine<Event> = Engine::new().with_horizon(horizon);
@@ -255,11 +296,27 @@ impl<'a> FlowRun<'a> {
             eng.schedule_at(f.arrival, Event::Arrival(i))
                 .expect("workload arrivals are within the window");
         }
+        // Fault events join the queue after arrivals so that same-instant
+        // ties resolve arrivals-first (sequence order breaks ties).
+        for (i, ev) in faults.events().iter().enumerate() {
+            eng.schedule_at(ev.at, Event::Fault(i))
+                .expect("fault plan times are non-negative");
+            if let FaultKind::LossBurst { until, .. } = ev.kind {
+                eng.schedule_at(until, Event::FaultEnd(i))
+                    .expect("burst windows end after they start");
+            }
+        }
+        let links = topo.link_count();
         FlowRun {
             topo,
             strategy,
             workload,
             config,
+            faults,
+            link_down: vec![0; links],
+            link_scale: vec![1.0; links],
+            link_burst: vec![1.0; links],
+            burst_owner: vec![usize::MAX; links],
             horizon,
             eng,
             extra: Vec::new(),
@@ -403,6 +460,72 @@ impl<'a> FlowRun<'a> {
         }
     }
 
+    /// Recompute the effective capacity factor of `link` after a fault
+    /// transition touched it.
+    fn refresh_link(&mut self, link: usize) {
+        let factor = if self.link_down[link] > 0 {
+            0.0
+        } else {
+            self.link_scale[link] * self.link_burst[link]
+        };
+        self.alloc_engine.set_link_capacity_factor(link, factor);
+    }
+
+    /// Apply the capacity transition of plan event `idx`. Pure state
+    /// mutation — callers advance the fluid integral before and
+    /// re-allocate after, exactly like arrivals and departures.
+    fn apply_fault(&mut self, idx: usize) {
+        match self.faults.events()[idx].kind {
+            FaultKind::LinkDown { link } => {
+                self.link_down[link as usize] += 1;
+                self.refresh_link(link as usize);
+            }
+            FaultKind::LinkUp { link } => {
+                let l = link as usize;
+                self.link_down[l] = self.link_down[l].saturating_sub(1);
+                self.refresh_link(l);
+            }
+            FaultKind::CapacityScale { link, fraction } => {
+                self.link_scale[link as usize] = fraction;
+                self.refresh_link(link as usize);
+            }
+            FaultKind::NodeCrash { node } => {
+                for &(_, l) in self.topo.neighbors(NodeId(node)) {
+                    self.link_down[l.idx()] += 1;
+                    self.refresh_link(l.idx());
+                }
+            }
+            FaultKind::NodeRecover { node } => {
+                for &(_, l) in self.topo.neighbors(NodeId(node)) {
+                    self.link_down[l.idx()] = self.link_down[l.idx()].saturating_sub(1);
+                    self.refresh_link(l.idx());
+                }
+            }
+            FaultKind::LossBurst {
+                link, drop_chance, ..
+            } => {
+                // The fluid model treats random loss as a goodput derate:
+                // retransmitted volume is capacity the link cannot pool.
+                self.link_burst[link as usize] = 1.0 - drop_chance;
+                self.burst_owner[link as usize] = idx;
+                self.refresh_link(link as usize);
+            }
+        }
+    }
+
+    /// Close the loss-burst window opened by plan event `idx` (no-op if a
+    /// later burst on the same link has taken over).
+    fn apply_fault_end(&mut self, idx: usize) {
+        if let FaultKind::LossBurst { link, .. } = self.faults.events()[idx].kind {
+            let l = link as usize;
+            if self.burst_owner[l] == idx {
+                self.link_burst[l] = 1.0;
+                self.burst_owner[l] = usize::MAX;
+                self.refresh_link(l);
+            }
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Event, obs: &mut dyn FlowObserver) {
         match ev {
             Event::Arrival(idx) => {
@@ -460,6 +583,16 @@ impl<'a> FlowRun<'a> {
                     obs.on_flow_end(now, fid, fl.size_bits - fl.remaining_bits, fct);
                     record_stretch(&mut self.stretch, &fl);
                 }
+                self.reallocate(now, obs);
+            }
+            Event::Fault(idx) => {
+                self.advance(now, obs);
+                self.apply_fault(idx);
+                self.reallocate(now, obs);
+            }
+            Event::FaultEnd(idx) => {
+                self.advance(now, obs);
+                self.apply_fault_end(idx);
                 self.reallocate(now, obs);
             }
         }
@@ -610,6 +743,7 @@ impl<'a> FlowRun<'a> {
         topo: &'a Topology,
         strategy: &'a dyn RoutingStrategy,
         workload: &'a Workload,
+        faults: FaultPlan,
         r: &mut SnapReader<'_>,
     ) -> Result<Self, SnapError> {
         let horizon_d = SimDuration::decode(r)?;
@@ -649,17 +783,20 @@ impl<'a> FlowRun<'a> {
             states[slot] = Some(fl);
         }
         let alloc_valid = r.get_bool()?;
-        if alloc_valid {
-            if alloc_engine.is_empty() {
-                return Err(SnapError::Corrupt("allocation valid but no active flows"));
-            }
-            alloc_engine.allocate();
+        if alloc_valid && alloc_engine.is_empty() {
+            return Err(SnapError::Corrupt("allocation valid but no active flows"));
         }
-        Ok(FlowRun {
+        let links = topo.link_count();
+        let mut run = FlowRun {
             topo,
             strategy,
             workload,
             config: FlowSimConfig { horizon: horizon_d },
+            faults,
+            link_down: vec![0; links],
+            link_scale: vec![1.0; links],
+            link_burst: vec![1.0; links],
+            burst_owner: vec![usize::MAX; links],
             horizon: SimTime::ZERO + horizon_d,
             eng,
             extra,
@@ -680,7 +817,35 @@ impl<'a> FlowRun<'a> {
             util_weighted: r.get_f64()?,
             chan_weighted: Vec::<f64>::decode(r)?,
             weighted_secs: r.get_f64()?,
-        })
+        };
+        // Capacity state is a pure function of (plan, now): replay every
+        // transition due at or before the checkpoint clock — starts and
+        // burst ends in firing order (stable by time, plan order on ties)
+        // — before recomputing the allocation. Pending fault events ride
+        // along inside the encoded engine queue.
+        let now = run.eng.now();
+        let mut transitions: Vec<(SimTime, bool, usize)> = Vec::new();
+        for (i, ev) in run.faults.events().iter().enumerate() {
+            transitions.push((ev.at, false, i));
+            if let FaultKind::LossBurst { until, .. } = ev.kind {
+                transitions.push((until, true, i));
+            }
+        }
+        transitions.sort_by_key(|&(t, _, _)| t);
+        for (t, is_end, i) in transitions {
+            if t > now {
+                break;
+            }
+            if is_end {
+                run.apply_fault_end(i);
+            } else {
+                run.apply_fault(i);
+            }
+        }
+        if run.alloc_valid {
+            run.alloc_engine.allocate();
+        }
+        Ok(run)
     }
 }
 
@@ -1107,8 +1272,14 @@ mod tests {
         let bytes = wtr.into_bytes();
         drop(first);
 
-        let second =
-            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let second = FlowRun::restore(
+            &topo,
+            &inrp,
+            &w,
+            FaultPlan::empty(),
+            &mut SnapReader::new(&bytes),
+        )
+        .expect("restores");
         let resumed = second.finish(&mut fp_b);
 
         assert_reports_identical(&straight, &resumed);
@@ -1116,8 +1287,133 @@ mod tests {
 
         // a second checkpoint of a restored run at the same instant is
         // byte-identical to the first (state round-trips canonically)
-        let third =
-            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let third = FlowRun::restore(
+            &topo,
+            &inrp,
+            &w,
+            FaultPlan::empty(),
+            &mut SnapReader::new(&bytes),
+        )
+        .expect("restores");
+        let mut wtr2 = SnapWriter::new();
+        third.encode_checkpoint(&mut wtr2);
+        assert_eq!(bytes, wtr2.into_bytes());
+    }
+
+    #[test]
+    fn fault_plan_freezes_and_recovers_flows() {
+        use inrpp_sim::fault::FaultEvent;
+        let topo = Topology::line(3, Rate::mbps(10.0), SimDuration::from_millis(1));
+        let w = Workload {
+            flows: vec![FlowSpec {
+                id: 0,
+                src: NodeId(0),
+                dst: NodeId(2),
+                size_bits: 1e7,
+                arrival: SimTime::ZERO,
+            }],
+            offered_bits: 1e7,
+        };
+        let sp = SinglePathStrategy;
+        let cfg = FlowSimConfig {
+            horizon: SimDuration::from_secs(10),
+        };
+        let clean = FlowSim::new(&topo, &sp, &w, cfg).run();
+        assert_eq!(clean.completed_flows, 1);
+        assert!(
+            (clean.mean_fct_secs - 1.0).abs() < 0.01,
+            "{}",
+            clean.mean_fct_secs
+        );
+
+        // A 400 ms outage on the second hop stalls the flow for 400 ms.
+        let outage =
+            FaultPlan::link_outage(1, SimTime::from_millis(300), SimTime::from_millis(700))
+                .unwrap();
+        let faulted = FlowSim::new(&topo, &sp, &w, cfg)
+            .with_faults(outage.clone())
+            .run();
+        assert_eq!(faulted.completed_flows, 1);
+        assert!(
+            (faulted.mean_fct_secs - 1.4).abs() < 0.01,
+            "{}",
+            faulted.mean_fct_secs
+        );
+
+        // Degrading to half capacity doubles the remaining drain time.
+        let scale = FaultPlan::try_new(vec![FaultEvent {
+            at: SimTime::from_millis(500),
+            kind: FaultKind::CapacityScale {
+                link: 0,
+                fraction: 0.5,
+            },
+        }])
+        .unwrap();
+        let scaled = FlowSim::new(&topo, &sp, &w, cfg).with_faults(scale).run();
+        assert!(
+            (scaled.mean_fct_secs - 1.5).abs() < 0.01,
+            "{}",
+            scaled.mean_fct_secs
+        );
+
+        // A loss burst derates goodput to (1 - drop) of capacity.
+        let burst = FaultPlan::try_new(vec![FaultEvent {
+            at: SimTime::from_millis(100),
+            kind: FaultKind::LossBurst {
+                link: 1,
+                drop_chance: 0.5,
+                until: SimTime::from_millis(500),
+            },
+        }])
+        .unwrap();
+        let bursty = FlowSim::new(&topo, &sp, &w, cfg).with_faults(burst).run();
+        assert!(
+            (bursty.mean_fct_secs - 1.2).abs() < 0.01,
+            "{}",
+            bursty.mean_fct_secs
+        );
+
+        // A node crash downs every adjacent link; recovery restores them.
+        let crash = FaultPlan::try_new(vec![
+            FaultEvent {
+                at: SimTime::from_millis(200),
+                kind: FaultKind::NodeCrash { node: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(450),
+                kind: FaultKind::NodeRecover { node: 1 },
+            },
+        ])
+        .unwrap();
+        let crashed = FlowSim::new(&topo, &sp, &w, cfg).with_faults(crash).run();
+        assert!(
+            (crashed.mean_fct_secs - 1.25).abs() < 0.01,
+            "{}",
+            crashed.mean_fct_secs
+        );
+
+        // Checkpointing mid-outage and restoring continues bit-identically.
+        let mut fp_a = StreamFp::default();
+        let straight = FlowSim::new(&topo, &sp, &w, cfg)
+            .with_faults(outage.clone())
+            .run_observed(&mut fp_a);
+        let mut fp_b = StreamFp::default();
+        let mut first = FlowSim::new(&topo, &sp, &w, cfg)
+            .with_faults(outage.clone())
+            .start();
+        first.run_until(SimTime::from_millis(500), &mut fp_b);
+        let mut wtr = SnapWriter::new();
+        first.encode_checkpoint(&mut wtr);
+        let bytes = wtr.into_bytes();
+        drop(first);
+        let second = FlowRun::restore(&topo, &sp, &w, outage.clone(), &mut SnapReader::new(&bytes))
+            .expect("restores");
+        let resumed = second.finish(&mut fp_b);
+        assert_reports_identical(&straight, &resumed);
+        assert_eq!(fp_a.0, fp_b.0, "resume changed the observer stream");
+        // the restored run re-derives fault state canonically
+        let third = FlowRun::restore(&topo, &sp, &w, outage, &mut SnapReader::new(&bytes))
+            .expect("restores");
         let mut wtr2 = SnapWriter::new();
         third.encode_checkpoint(&mut wtr2);
         assert_eq!(bytes, wtr2.into_bytes());
@@ -1244,8 +1540,14 @@ mod tests {
         let mut wtr = SnapWriter::new();
         head.encode_checkpoint(&mut wtr);
         let bytes = wtr.into_bytes();
-        let tail =
-            FlowRun::restore(&topo, &inrp, &w, &mut SnapReader::new(&bytes)).expect("restores");
+        let tail = FlowRun::restore(
+            &topo,
+            &inrp,
+            &w,
+            FaultPlan::empty(),
+            &mut SnapReader::new(&bytes),
+        )
+        .expect("restores");
         let b = tail.finish(&mut fp_b);
 
         assert_reports_identical(&a, &b);
@@ -1270,7 +1572,14 @@ mod tests {
         // any truncation must error, never panic or mis-decode
         for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
             assert!(
-                FlowRun::restore(&topo, &sp, &w, &mut SnapReader::new(&bytes[..cut])).is_err(),
+                FlowRun::restore(
+                    &topo,
+                    &sp,
+                    &w,
+                    FaultPlan::empty(),
+                    &mut SnapReader::new(&bytes[..cut])
+                )
+                .is_err(),
                 "truncation at {cut} was accepted"
             );
         }

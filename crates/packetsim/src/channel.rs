@@ -187,6 +187,20 @@ impl ChannelBank {
         self.rate[d]
     }
 
+    /// Replace the capacity of directed channel `d` mid-run (fault-plan
+    /// capacity degradation). Only *future* sends see the new rate: bits
+    /// already accepted keep the `busy_until` horizon they were admitted
+    /// under, exactly as a real transmitter finishes the frame it is
+    /// clocking out.
+    ///
+    /// # Panics
+    /// Panics on a zero rate — outages are modelled by the engine's
+    /// down-channel state, not by a dead transmitter.
+    pub fn set_rate(&mut self, d: usize, rate: Rate) {
+        assert!(!rate.is_zero(), "channel rate must be positive");
+        self.rate[d] = rate;
+    }
+
     /// Propagation delay of directed channel `d`.
     #[inline]
     pub fn delay(&self, d: usize) -> SimDuration {

@@ -55,7 +55,7 @@ use inrpp::rate::RateEstimator;
 use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_cache::custody::{CustodyStore, EvictionPolicy};
 use inrpp_sim::calendar::CalendarEngine;
-use inrpp_sim::fault::{FaultInjector, FaultOutcome};
+use inrpp_sim::fault::{FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan};
 use inrpp_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_sim::units::ByteSize;
@@ -100,6 +100,7 @@ pub struct PacketSim<'a> {
     topo: &'a Topology,
     config: PacketSimConfig,
     transfers: Vec<(TransferSpec, FlowTransport)>,
+    faults: FaultPlan,
 }
 
 impl<'a> PacketSim<'a> {
@@ -139,7 +140,19 @@ impl<'a> PacketSim<'a> {
             topo,
             config,
             transfers: Vec::new(),
+            faults: FaultPlan::empty(),
         })
+    }
+
+    /// Attach a timed [`FaultPlan`] applied mid-run: link outages,
+    /// capacity degradation, node crashes with custody re-homing, and
+    /// loss bursts. Index bounds are validated when the run is built
+    /// (typed [`SessionError::InvalidConfig`]). The plan participates in
+    /// the determinism contract: sharded and checkpoint-resumed runs
+    /// remain byte-identical to the sequential run under any plan.
+    pub fn set_faults(&mut self, faults: FaultPlan) -> &mut Self {
+        self.faults = faults;
+        self
     }
 
     /// Add one transfer using the configuration's default transport
@@ -241,7 +254,8 @@ impl<'a> PacketSim<'a> {
         self,
         probes: &mut [&mut dyn Probe],
     ) -> Result<PacketSimReport, SessionError> {
-        Core::build(self.topo, self.config, self.transfers)?.run(&mut ProbeSet::new(probes))
+        Core::build(self.topo, self.config, self.transfers, self.faults)?
+            .run(&mut ProbeSet::new(probes))
     }
 
     /// Execute the simulation on the [reference engine](crate::reference)
@@ -253,7 +267,17 @@ impl<'a> PacketSim<'a> {
     }
 
     /// [`PacketSim::run_reference`] with streaming probes.
+    ///
+    /// # Panics
+    /// Panics when a fault plan is attached: the reference engine
+    /// predates the fault-plan subsystem and is only an oracle for
+    /// fault-free scenarios (the fault-plan determinism gates live in
+    /// `tests/fault_recovery.rs` instead).
     pub fn run_reference_probed(self, probes: &mut [&mut dyn Probe]) -> PacketSimReport {
+        assert!(
+            self.faults.is_empty(),
+            "the reference engine does not model fault plans"
+        );
         crate::reference::Runner::build(self.topo, self.config, self.transfers)
             .run(&mut ProbeSet::new(probes))
     }
@@ -315,7 +339,14 @@ impl<'a> PacketSim<'a> {
         partition: &inrpp_topology::partition::Partition,
         probes: &mut [&mut dyn Probe],
     ) -> Result<PacketSimReport, SessionError> {
-        crate::shard::run_partitioned(self.topo, self.config, self.transfers, partition, probes)
+        crate::shard::run_partitioned(
+            self.topo,
+            self.config,
+            self.transfers,
+            self.faults,
+            partition,
+            probes,
+        )
     }
 
     /// Begin a *stepping* run: nothing executes until the caller drives
@@ -324,7 +355,7 @@ impl<'a> PacketSim<'a> {
     /// adds streaming transfer ingestion ([`feed`](PacketRun::feed)) and
     /// checkpoint/resume on top of the sequential engine, bit-identically.
     pub fn start(self) -> Result<PacketRun<'a>, SessionError> {
-        let mut core = Core::build(self.topo, self.config, self.transfers)?;
+        let mut core = Core::build(self.topo, self.config, self.transfers, self.faults)?;
         let horizon = SimTime::ZERO + core.cfg.horizon;
         let mut eng: CalendarEngine<Ev> =
             CalendarEngine::new(core.calendar_width(), 4096).with_horizon(horizon);
@@ -477,19 +508,23 @@ impl<'a> PacketRun<'a> {
 
     /// Rebuild a run from [`PacketRun::encode_checkpoint`] bytes by
     /// replaying the recorded driver schedule with probes muted. The
-    /// caller must pass the same topology / config / initial transfers
-    /// the checkpoint was taken against (the session layer fingerprints
-    /// this).
+    /// caller must pass the same topology / config / initial transfers /
+    /// fault plan the checkpoint was taken against (the session layer
+    /// fingerprints this). Fault state needs no serialisation: the
+    /// rebuilt engine re-schedules the same plan and the replay crosses
+    /// the same transitions, so the restored state is bit-identical.
     pub fn restore(
         topo: &'a Topology,
         config: PacketSimConfig,
         transfers: Vec<(TransferSpec, FlowTransport)>,
+        faults: FaultPlan,
         r: &mut SnapReader<'_>,
     ) -> Result<Self, SessionError> {
         let ops = Vec::<ReplayOp>::decode(r)
             .map_err(|e| SessionError::InvalidConfig(format!("corrupt packet checkpoint: {e}")))?;
         let mut sim = PacketSim::try_new(topo, config)?;
         sim.transfers = transfers;
+        sim.faults = faults;
         let mut run = sim.start()?;
         for op in ops {
             match op {
@@ -511,9 +546,19 @@ pub(crate) enum Ev {
     SenderKick(NodeId),
     Tick(NodeId),
     RxCheck(u32),
-    CustodyDrain { node: NodeId, dir: u32 },
-    BpExpire { node: NodeId, slot: u32 },
+    CustodyDrain {
+        node: NodeId,
+        dir: u32,
+    },
+    BpExpire {
+        node: NodeId,
+        slot: u32,
+    },
     Deliver(u32), // index into the in-flight packet slab
+    /// Apply fault-plan event `i` (index into the plan). Scheduled first
+    /// during bootstrap so a fault wins every same-instant tie — in the
+    /// sequential engine and in every region of a sharded run alike.
+    Fault(u32),
 }
 
 /// Which route an in-flight data packet follows.
@@ -550,6 +595,12 @@ pub(crate) enum WirePkt {
     Slowdown {
         msg: SlowdownMsg,
         slot: u32,
+    },
+    Rescue {
+        slot: u32,
+        chunk: ChunkNo,
+        target: NodeId,
+        sent_at: SimTime,
     },
 }
 
@@ -624,6 +675,16 @@ enum Pkt {
     Slowdown {
         msg: SlowdownMsg,
         slot: u32,
+    },
+    /// A custody chunk re-homed away from a crashed node (the paper's
+    /// recovery story): delivered to the nearest surviving custody point
+    /// after the failure-detection latency. Control-plane traffic —
+    /// consumes no channel bandwidth, like slow-downs.
+    Rescue {
+        slot: u32,
+        chunk: ChunkNo,
+        target: NodeId,
+        sent_at: SimTime,
     },
 }
 
@@ -737,6 +798,7 @@ pub(crate) struct Counters {
     pub(crate) chunks_dropped: u64,
     pub(crate) chunks_detoured: u64,
     pub(crate) chunks_custodied: u64,
+    pub(crate) chunks_rescued: u64,
     pub(crate) backpressure_msgs: u64,
 }
 
@@ -791,6 +853,36 @@ pub(crate) struct Core<'a> {
     /// per `(flow, chunk, dir)`: how many send attempts have been keyed —
     /// the occurrence counter feeding [`fault_key`]
     fault_seq: HashMap<(FlowId, ChunkNo, u32), u32>,
+
+    // ---- fault-plan state (all zero/empty without a plan) ----
+    /// the timed events, validated and sorted; indexed by [`Ev::Fault`]
+    fault_plan: Vec<FaultEvent>,
+    /// per directed channel: active down causes (link outage counts plus
+    /// one per crashed endpoint) — the channel refuses traffic while > 0
+    down_dirs: Vec<u32>,
+    /// per node: crashed right now
+    node_down: Vec<bool>,
+    /// `(node, slot, chunk)` custodied while its onward channel was
+    /// down, with the park instant — drained or rescued chunks charge
+    /// the wait to the flow's outage-attributed delay. Keyed by the
+    /// custody node: a chunk can sit parked at two custody points at
+    /// once (primary plus detour copy), and each wait charges
+    /// independently — which is also what keeps the accounting
+    /// identical when those nodes land in different shard regions
+    parked: BTreeMap<(u32, u32, ChunkNo), SimTime>,
+    /// per directed channel: loss-burst window end (exclusive) and the
+    /// burst's drop chance, which *replaces* the static chance inside
+    /// the window
+    burst_until: Vec<SimTime>,
+    burst_drop: Vec<f64>,
+    /// per directed channel: the topology capacity, so `CapacityScale`
+    /// fractions compose against the base rather than each other
+    base_rate: Vec<inrpp_sim::units::Rate>,
+    /// per slot: recovery metrics (merged across regions in sharded runs,
+    /// then copied into [`FlowStats`] at report assembly)
+    pub(crate) detours: Vec<u64>,
+    pub(crate) rescues: Vec<u64>,
+    pub(crate) outage: Vec<SimDuration>,
     trace: inrpp_sim::trace::Trace,
     pub(crate) counters: Counters,
     pub(crate) custody_peak: ByteSize,
@@ -815,9 +907,13 @@ impl<'a> Core<'a> {
         topo: &'a Topology,
         cfg: PacketSimConfig,
         transfers: Vec<(TransferSpec, FlowTransport)>,
+        faults: FaultPlan,
     ) -> Result<Self, SessionError> {
         let nnodes = topo.node_count();
         let ndir = topo.link_count() * 2;
+        faults
+            .check_indices(nnodes, topo.link_count())
+            .map_err(|e| SessionError::InvalidConfig(format!("invalid fault plan: {e}")))?;
         let dense = DenseChannels::build(topo);
         let channels = ChannelBank::from_topology(topo, cfg.max_queue);
         let (inrpp_cfg, aimd_cfg) = match cfg.transport {
@@ -937,6 +1033,7 @@ impl<'a> Core<'a> {
         for (slot, spec) in specs.iter().enumerate() {
             node_flows[spec.src.idx()].push(slot as u32);
         }
+        let base_rate: Vec<inrpp_sim::units::Rate> = (0..ndir).map(|d| channels.rate(d)).collect();
 
         Ok(Core {
             topo,
@@ -973,6 +1070,16 @@ impl<'a> Core<'a> {
             kick_scheduled: vec![false; nnodes],
             fault,
             fault_seq: HashMap::new(),
+            fault_plan: faults.events().to_vec(),
+            down_dirs: vec![0; ndir],
+            node_down: vec![false; nnodes],
+            parked: BTreeMap::new(),
+            burst_until: vec![SimTime::ZERO; ndir],
+            burst_drop: vec![0.0; ndir],
+            base_rate,
+            detours: vec![0; nflows],
+            rescues: vec![0; nflows],
+            outage: vec![SimDuration::ZERO; nflows],
             trace,
             counters: Counters::default(),
             custody_peak: ByteSize::ZERO,
@@ -1145,6 +1252,17 @@ impl<'a> Core<'a> {
                         }
                     }
                     Pkt::Slowdown { msg, slot } => WirePkt::Slowdown { msg, slot },
+                    Pkt::Rescue {
+                        slot,
+                        chunk,
+                        target,
+                        sent_at,
+                    } => WirePkt::Rescue {
+                        slot,
+                        chunk,
+                        target,
+                        sent_at,
+                    },
                 };
                 self.region
                     .as_mut()
@@ -1195,6 +1313,17 @@ impl<'a> Core<'a> {
                 sent_at,
             },
             WirePkt::Slowdown { msg, slot } => Pkt::Slowdown { msg, slot },
+            WirePkt::Rescue {
+                slot,
+                chunk,
+                target,
+                sent_at,
+            } => Pkt::Rescue {
+                slot,
+                chunk,
+                target,
+                sent_at,
+            },
         };
         let idx = self.stash(pkt);
         eng.schedule_at(arrival, Ev::Deliver(idx))
@@ -1211,6 +1340,286 @@ impl<'a> Core<'a> {
             self.retransmit[src.idx()].push_back((cmd.slot, c));
         }
         self.schedule_kick_at(eng, src, at);
+    }
+
+    // ---- fault plan ------------------------------------------------------
+
+    /// Whether directed channel `d` currently refuses traffic (link
+    /// outage or a crashed endpoint).
+    #[inline]
+    fn is_down(&self, d: usize) -> bool {
+        self.down_dirs[d] > 0
+    }
+
+    /// Source node of directed channel `d`.
+    fn dir_src(&self, d: usize) -> NodeId {
+        let link = self.topo.link(DirIndex(d).link());
+        if DirIndex(d).is_forward() {
+            link.a
+        } else {
+            link.b
+        }
+    }
+
+    /// Whether this core owns `n`'s node-local state (always true in
+    /// sequential mode). Fault side effects that touch sender or custody
+    /// state must be gated on ownership in region mode — every region
+    /// applies every plan event, but only the owner materialises kicks
+    /// and drains, exactly mirroring where those events run sequentially.
+    fn owns_node(&self, n: NodeId) -> bool {
+        self.region
+            .as_ref()
+            .map_or(true, |rc| rc.region_of[n.idx()] == rc.me)
+    }
+
+    /// Put every plan event ≤ horizon on the calendar. Called *before*
+    /// `Start`s in both bootstrap paths, so fault events hold the
+    /// smallest sequence numbers of the run and win every same-instant
+    /// tie — identically in the sequential engine and in every region.
+    fn schedule_faults(&self, eng: &mut CalendarEngine<Ev>) {
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        for (i, ev) in self.fault_plan.iter().enumerate() {
+            if ev.at <= horizon {
+                eng.schedule_at(ev.at, Ev::Fault(i as u32))
+                    .expect("plan events are never in the past at bootstrap");
+            }
+        }
+    }
+
+    fn dir_down(&mut self, d: usize) {
+        self.down_dirs[d] += 1;
+    }
+
+    /// Remove one down cause from `d`; on the transition back to *up*,
+    /// revive any custody drain that parked while the channel was down.
+    /// The registry is only non-empty in the region that owns the source
+    /// node, so the revival needs no explicit ownership gate.
+    fn dir_up(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, d: usize) {
+        if self.down_dirs[d] == 0 {
+            return; // plan brought a link up that was never down
+        }
+        self.down_dirs[d] -= 1;
+        if self.down_dirs[d] > 0 {
+            return;
+        }
+        let node = self.dir_src(d);
+        if !self.drain_reg[d].is_empty() && !self.drain_scheduled[d] && !self.node_down[node.idx()]
+        {
+            self.drain_scheduled[d] = true;
+            let t = self
+                .channels
+                .drain_time(d, self.cfg.detour_queue_threshold)
+                .max(now);
+            eng.schedule_at(
+                t,
+                Ev::CustodyDrain {
+                    node,
+                    dir: d as u32,
+                },
+            )
+            .expect("drain revival is not in the past");
+        }
+    }
+
+    /// Apply plan event `idx` at its scheduled instant.
+    fn apply_fault(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, idx: u32) {
+        let ev = self.fault_plan[idx as usize];
+        match ev.kind {
+            FaultKind::LinkDown { link } => {
+                let l = link as usize;
+                self.dir_down(2 * l);
+                self.dir_down(2 * l + 1);
+            }
+            FaultKind::LinkUp { link } => {
+                let l = link as usize;
+                self.dir_up(eng, now, 2 * l);
+                self.dir_up(eng, now, 2 * l + 1);
+            }
+            FaultKind::CapacityScale { link, fraction } => {
+                let l = link as usize;
+                for d in [2 * l, 2 * l + 1] {
+                    self.channels.set_rate(d, self.base_rate[d] * fraction);
+                }
+            }
+            FaultKind::NodeCrash { node } => {
+                let n = NodeId(node);
+                self.node_down[n.idx()] = true;
+                for li in 0..self.nbrs[n.idx()].len() {
+                    let d = self.nbrs[n.idx()][li].1 as usize;
+                    self.dir_down(d);
+                    self.dir_down(d ^ 1);
+                }
+                self.rescue_custody(eng, now, n);
+            }
+            FaultKind::NodeRecover { node } => {
+                let n = NodeId(node);
+                if !self.node_down[n.idx()] {
+                    return; // recover without a crash: nothing to undo
+                }
+                self.node_down[n.idx()] = false;
+                for li in 0..self.nbrs[n.idx()].len() {
+                    let d = self.nbrs[n.idx()][li].1 as usize;
+                    self.dir_up(eng, now, d);
+                    self.dir_up(eng, now, d ^ 1);
+                }
+                // the node's sender may have accumulated retransmits and
+                // eligible chunks while dark — kick it (owner region only:
+                // the kick runs sequentially in the region that owns the
+                // sender's state)
+                if self.owns_node(n) && self.senders[n.idx()].is_some() {
+                    self.schedule_kick(eng, n, SimDuration::ZERO);
+                }
+            }
+            FaultKind::LossBurst {
+                link,
+                drop_chance,
+                until,
+            } => {
+                let l = link as usize;
+                for d in [2 * l, 2 * l + 1] {
+                    self.burst_until[d] = until;
+                    self.burst_drop[d] = drop_chance;
+                }
+            }
+        }
+    }
+
+    /// Nearest surviving custody point for `slot`'s chunks stranded at
+    /// `crashed`, with the failure-detection latency before the rescue
+    /// lands there: the closest alive node walking *upstream* along the
+    /// primary route (latency = sum of the link delays crossed, which in
+    /// a sharded run is ≥ the conservative lookahead whenever the rescue
+    /// crosses a region cut). A crashed node that sits off the primary
+    /// route (detour custody) falls back to the flow's source with the
+    /// receiver timeout as detection latency.
+    fn rescue_target(&self, slot: u32, crashed: NodeId) -> Option<(NodeId, SimDuration)> {
+        let route = self.route(slot);
+        let dirs = self.dirs(slot);
+        match route.iter().position(|&n| n == crashed) {
+            Some(p) => {
+                let mut delay = SimDuration::ZERO;
+                for q in (0..p).rev() {
+                    delay += self.channels.delay(dirs[q] as usize);
+                    if !self.node_down[route[q].idx()] {
+                        return Some((route[q], delay));
+                    }
+                }
+                None
+            }
+            None => {
+                let src = route[0];
+                (!self.node_down[src.idx()]).then_some((src, self.cfg.receiver_timeout))
+            }
+        }
+    }
+
+    /// Re-home every custody chunk stranded at `crashed`, flow by flow in
+    /// slot order. Only the region owning `crashed` holds custody content
+    /// there, so sharded runs converge on the sequential behaviour with
+    /// no extra coordination; rescues for remote targets travel as
+    /// boundary wires like any other packet.
+    fn rescue_custody(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, crashed: NodeId) {
+        let mut slots: Vec<u32> = self
+            .resume_routes
+            .keys()
+            .filter(|&&(n, _)| n == crashed.idx() as u32)
+            .map(|&(_, slot)| slot)
+            .collect();
+        slots.sort_unstable();
+        for slot in slots {
+            let flow = self.flow_ids[slot as usize];
+            let target = self.rescue_target(slot, crashed);
+            let mut chunks = Vec::new();
+            while let Some((chunk, _)) = self.custody[crashed.idx()].pop_next(flow) {
+                // a chunk already waiting on a dark channel charges that
+                // wait now; the rescue transit is charged on arrival
+                if let Some(t) = self.parked.remove(&(crashed.idx() as u32, slot, chunk)) {
+                    self.outage[slot as usize] += now.duration_since(t);
+                }
+                chunks.push(chunk);
+            }
+            match target {
+                Some((target, delay)) => {
+                    for chunk in chunks {
+                        self.schedule_deliver(
+                            eng,
+                            now + delay,
+                            target,
+                            Pkt::Rescue {
+                                slot,
+                                chunk,
+                                target,
+                                sent_at: now,
+                            },
+                        );
+                    }
+                }
+                None => {
+                    // no surviving upstream custody point: the chunks die
+                    // with the node (the receiver's timeout machinery
+                    // re-requests them end-to-end)
+                    self.counters.chunks_dropped += chunks.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// A rescue landed: store the chunk at the surviving custody point,
+    /// account the outage delay, and arm the drain toward the receiver
+    /// along the primary-route suffix.
+    fn rescue_arrive(
+        &mut self,
+        eng: &mut CalendarEngine<Ev>,
+        now: SimTime,
+        slot: u32,
+        chunk: ChunkNo,
+        target: NodeId,
+        sent_at: SimTime,
+    ) {
+        let flow = self.flow_ids[slot as usize];
+        if self.node_down[target.idx()]
+            || self.custody[target.idx()]
+                .store(now, flow, chunk, self.cfg.chunk_bytes)
+                .is_err()
+        {
+            // the rescue point crashed in the meantime or is full
+            self.counters.chunks_dropped += 1;
+            return;
+        }
+        self.counters.chunks_rescued += 1;
+        self.rescues[slot as usize] += 1;
+        self.outage[slot as usize] += now.duration_since(sent_at);
+        self.custody_peak = self.custody_peak.max(self.custody[target.idx()].used());
+        let pos = self
+            .route(slot)
+            .iter()
+            .position(|&n| n == target)
+            .expect("rescue targets are primary-route nodes");
+        let d = self.dirs(slot)[pos] as usize;
+        let key = (target.idx() as u32, slot);
+        if !self.resume_routes.contains_key(&key) {
+            let tail = self.route(slot)[pos..].to_vec();
+            self.resume_routes.insert(key, tail);
+        }
+        let reg = &mut self.drain_reg[d];
+        if let Err(p) = reg.binary_search(&slot) {
+            reg.insert(p, slot);
+        }
+        if !self.drain_scheduled[d] && !self.is_down(d) {
+            self.drain_scheduled[d] = true;
+            let t = self
+                .channels
+                .drain_time(d, self.cfg.detour_queue_threshold)
+                .max(now);
+            eng.schedule_at(
+                t,
+                Ev::CustodyDrain {
+                    node: target,
+                    dir: d as u32,
+                },
+            )
+            .expect("drain time is not in the past");
+        }
     }
 
     // ---- request path ----------------------------------------------------
@@ -1251,6 +1660,11 @@ impl<'a> Core<'a> {
             let down = if hop > 0 { dirs[i] as usize } else { 0 };
             (here, up, d, down)
         };
+        if self.is_down(d) {
+            // the upstream channel is dark: the request is lost, and the
+            // receiver's timeout machinery re-issues it
+            return;
+        }
         // Eq. 1 accounting at intermediate routers (INRPP flows only): the
         // data pulled by this request will arrive from upstream (`d`) and
         // leave toward the receiver (`down_dir`).
@@ -1324,7 +1738,8 @@ impl<'a> Core<'a> {
         if self.is_inrpp(slot) {
             // Detour decision: phase machine says the interface is
             // congested, or the instantaneous queue crossed the threshold,
-            // or an upstream slow-down caps this link.
+            // or an upstream slow-down caps this link, or a fault plan
+            // took the channel down entirely.
             let li = self.if_of_dir[d] as usize;
             let phase = self.phases[here.idx()][li].phase();
             let queue_long = self.channels.queue_delay(d, now) > self.cfg.detour_queue_threshold;
@@ -1332,7 +1747,10 @@ impl<'a> Core<'a> {
                 let link = DirIndex(d).link();
                 self.bp[here.idx()].allowed_rate(now, link).is_some()
             };
-            if (phase != Phase::PushData || queue_long || bp_capped) && hop as usize + 2 <= len {
+            let dark = self.is_down(d);
+            if (phase != Phase::PushData || queue_long || bp_capped || dark)
+                && hop as usize + 2 <= len
+            {
                 // Slow path: split-borrow the route slice out of its arena
                 // so the splitter can be borrowed mutably alongside it.
                 let picked = {
@@ -1349,6 +1767,7 @@ impl<'a> Core<'a> {
                         self.topo,
                         &self.dense,
                         &self.channels,
+                        &self.down_dirs,
                         &mut self.splitters,
                         self.cfg.detour_queue_threshold,
                         now,
@@ -1370,12 +1789,30 @@ impl<'a> Core<'a> {
                             "detour: flow {flow} chunk {chunk} at {here} via {via} (phase {phase})"
                         ),
                     );
+                    // the recovery metric counts only fault-driven detours
+                    // (planned channel down), not congestion detours — a
+                    // fault-free run reports 0 regardless of load
+                    if dark {
+                        self.detours[slot as usize] += 1;
+                    }
                     if !detoured {
                         detoured = true;
                         self.counters.chunks_detoured += 1;
                     }
                 }
             }
+        }
+
+        if self.is_down(d) {
+            // No live channel toward the next hop (and no viable detour):
+            // INRPP takes custody here and resumes when the plan restores
+            // the path; AIMD loses the chunk outright.
+            if self.is_inrpp(slot) {
+                return self.custody_store(eng, now, here, slot, chunk, rref, hop, d);
+            }
+            self.free_route(rref);
+            self.counters.chunks_dropped += 1;
+            return Ok(false);
         }
 
         let bits = self.chunk_bits();
@@ -1387,10 +1824,16 @@ impl<'a> Core<'a> {
                     *e += 1;
                     v
                 };
-                match self
-                    .fault
-                    .apply_keyed(fault_key(flow, chunk, d as u32, occ))
-                {
+                let key = fault_key(flow, chunk, d as u32, occ);
+                // Inside a loss-burst window the burst's drop chance
+                // *replaces* the static per-packet chance; the draw stays
+                // a pure function of the key, so every shard agrees.
+                let outcome = if now < self.burst_until[d] {
+                    self.fault.apply_keyed_chance(key, self.burst_drop[d])
+                } else {
+                    self.fault.apply_keyed(key)
+                };
+                match outcome {
                     FaultOutcome::Pass => {
                         // the detour splice may have rewritten the next hop
                         let target = self.rroute(slot, rref)[hop as usize + 1];
@@ -1456,6 +1899,11 @@ impl<'a> Core<'a> {
             );
             self.counters.chunks_custodied += 1;
             self.custody_peak = self.custody_peak.max(self.custody[here.idx()].used());
+            // parked because the onward channel is down: remember when, so
+            // the eventual drain can attribute the wait to the outage
+            if self.is_down(d) {
+                self.parked.insert((here.idx() as u32, slot, chunk), now);
+            }
             let key = (here.idx() as u32, slot);
             if !self.resume_routes.contains_key(&key) {
                 let tail = self.rroute(slot, rref)[hop as usize..].to_vec();
@@ -1465,7 +1913,9 @@ impl<'a> Core<'a> {
             if let Err(pos) = reg.binary_search(&slot) {
                 reg.insert(pos, slot);
             }
-            if !self.drain_scheduled[d] {
+            // a drain onto a down channel parks instead: `dir_up` revives
+            // it when the fault plan restores the path
+            if !self.drain_scheduled[d] && !self.is_down(d) {
                 self.drain_scheduled[d] = true;
                 let t = self
                     .channels
@@ -1512,6 +1962,13 @@ impl<'a> Core<'a> {
     ) -> Result<(), SessionError> {
         let flow = self.flow_ids[slot as usize];
         let link = DirIndex(congested_dir).link();
+        // control packet: link delay only (priority queueing); a dark
+        // upstream channel swallows the message — the sender's timeout
+        // machinery compensates
+        let d = self.dir_between(here, upstream, flow)?;
+        if self.is_down(d) {
+            return Ok(());
+        }
         let msg = SlowdownMsg {
             origin: here,
             congested_link: link,
@@ -1526,8 +1983,6 @@ impl<'a> Core<'a> {
                 msg.allowed
             ),
         );
-        // control packet: link delay only (priority queueing)
-        let d = self.dir_between(here, upstream, flow)?;
         let arrival = now + self.channels.delay(d);
         self.schedule_deliver(eng, arrival, upstream, Pkt::Slowdown { msg, slot });
         Ok(())
@@ -1547,7 +2002,14 @@ impl<'a> Core<'a> {
             completed_at: None,
             retransmits: 0,
             max_reorder_distance: 0,
+            detours: 0,
+            custody_rescues: 0,
+            outage_delay: SimDuration::ZERO,
         };
+        // a crashed receiver installs its state but stays silent: the
+        // outstanding deadlines expire once it recovers and the check
+        // ladder re-requests everything end-to-end
+        let dst_up = !self.node_down[spec.dst.idx()];
         match (kind, self.inrpp_cfg, self.aimd_cfg) {
             (FlowTransport::Inrpp, Some(ic), _) => {
                 let mut rec = Receiver::new(spec.chunks, ic.anticipation);
@@ -1563,7 +2025,9 @@ impl<'a> Core<'a> {
                     rt.outstanding.insert(c, deadline);
                 }
                 self.receivers[slot as usize] = Some(rt);
-                self.send_request(eng, now, slot, req, covers);
+                if dst_up {
+                    self.send_request(eng, now, slot, req, covers);
+                }
             }
             (FlowTransport::Aimd, _, Some(ac)) => {
                 let mut rt = RxRt {
@@ -1588,13 +2052,15 @@ impl<'a> Core<'a> {
                     }
                 }
                 self.receivers[slot as usize] = Some(rt);
-                for c in to_req {
-                    let req = Request {
-                        next: c,
-                        ack: None,
-                        anticipated: c,
-                    };
-                    self.send_request(eng, now, slot, req, 1);
+                if dst_up {
+                    for c in to_req {
+                        let req = Request {
+                            next: c,
+                            ack: None,
+                            anticipated: c,
+                        };
+                        self.send_request(eng, now, slot, req, 1);
+                    }
                 }
             }
             _ => unreachable!("add_transfer_as validated the flow transport"),
@@ -1725,6 +2191,13 @@ impl<'a> Core<'a> {
                 .unwrap_or(self.cfg.receiver_timeout),
             _ => self.cfg.receiver_timeout,
         };
+        // a crashed receiver cannot observe timeouts; keep the check
+        // ladder beating (it is a barrier rung in sharded runs) and
+        // resume expiry once the node recovers
+        if self.node_down[self.specs[slot as usize].dst.idx()] {
+            eng.schedule(timeout / 2, Ev::RxCheck(slot));
+            return;
+        }
         let mut expired = std::mem::take(&mut self.scratch_chunks);
         {
             let Some(rt) = self.receivers[slot as usize].as_mut() else {
@@ -1790,6 +2263,10 @@ impl<'a> Core<'a> {
         node: NodeId,
     ) -> Result<(), SessionError> {
         self.kick_scheduled[node.idx()] = false;
+        // a crashed sender emits nothing; NodeRecover re-kicks it
+        if self.node_down[node.idx()] {
+            return Ok(());
+        }
         // pacing: keep each access channel's backlog under a few chunks
         let pace = self.cfg.chunk_bytes.as_bits() as f64 * 4.0;
         let mut blocked_drain: Option<SimTime> = None;
@@ -1870,6 +2347,11 @@ impl<'a> Core<'a> {
         d: usize,
     ) -> Result<(), SessionError> {
         self.drain_scheduled[d] = false;
+        // parked while the path or the custody point is dark; `dir_up` /
+        // `NodeRecover` re-arm the drain when the fault clears
+        if self.is_down(d) || self.node_down[node.idx()] {
+            return Ok(());
+        }
         let threshold = self.cfg.detour_queue_threshold;
         loop {
             if self.channels.queue_delay(d, now) > threshold {
@@ -1884,6 +2366,11 @@ impl<'a> Core<'a> {
             let key = (node.idx() as u32, slot);
             match self.custody[node.idx()].pop_next(flow) {
                 Some((chunk, _)) => {
+                    // outage attribution: time this chunk sat in custody
+                    // because the onward path was down
+                    if let Some(t) = self.parked.remove(&(node.idx() as u32, slot, chunk)) {
+                        self.outage[slot as usize] += now.duration_since(t);
+                    }
                     // copy the resume tail into a pooled owned route (the
                     // seed cloned a fresh Vec per resumed packet)
                     let tail = self
@@ -1939,6 +2426,12 @@ impl<'a> Core<'a> {
 
     fn tick(&mut self, eng: &mut CalendarEngine<Ev>, now: SimTime, node: NodeId) {
         let Some(ic) = self.inrpp_cfg else { return };
+        // a crashed node neither gossips nor rolls estimators, but its
+        // maintenance clock keeps beating so recovery resumes seamlessly
+        if self.node_down[node.idx()] {
+            eng.schedule(ic.interval, Ev::Tick(node));
+            return;
+        }
         self.estimators[node.idx()].maybe_roll(now);
         self.bp[node.idx()].cleanup(now);
         for li in 0..self.nbrs[node.idx()].len() {
@@ -2013,6 +2506,9 @@ impl<'a> Core<'a> {
             }
         };
         if let Some((d, up)) = found {
+            if self.is_down(d) {
+                return; // propagation path is dark: message lost
+            }
             let arrival = now + self.channels.delay(d);
             self.counters.backpressure_msgs += 1;
             self.schedule_deliver(
@@ -2060,6 +2556,10 @@ impl<'a> Core<'a> {
     /// load-bearing: bootstrap sequence numbers are the smallest in the
     /// run, so these events win every same-instant tie.
     fn bootstrap(&mut self, eng: &mut CalendarEngine<Ev>) {
+        // fault events first: they take the smallest sequence numbers of
+        // all, so a fault always wins a same-instant tie — in every
+        // region of a sharded run and in the sequential engine alike
+        self.schedule_faults(eng);
         for slot in 0..self.flow_ids.len() {
             eng.schedule_at(self.specs[slot].start, Ev::Start(slot as u32))
                 .expect("start in window");
@@ -2077,6 +2577,9 @@ impl<'a> Core<'a> {
     /// bootstrap order therefore matches the sequential run for every
     /// event this region will pop.
     pub(crate) fn bootstrap_region(&mut self, eng: &mut CalendarEngine<Ev>) {
+        // every region schedules every fault (fault state is replicated;
+        // side effects are ownership-gated), first for the tie order
+        self.schedule_faults(eng);
         let rc = self.region.as_ref().expect("region mode");
         let me = rc.me;
         let region_of = std::sync::Arc::clone(&rc.region_of);
@@ -2171,6 +2674,9 @@ impl<'a> Core<'a> {
         self.dir_start.push(self.route_dirs.len() as u32);
         self.node_flows[spec.src.idx()].push(slot);
         self.receivers.push(None);
+        self.detours.push(0);
+        self.rescues.push(0);
+        self.outage.push(SimDuration::ZERO);
         let push_ahead = self.inrpp_cfg.map(|c| c.anticipation).unwrap_or(0);
         let s = self.senders[spec.src.idx()].get_or_insert_with(|| Sender::new(push_ahead));
         s.register(spec.flow, spec.chunks);
@@ -2215,10 +2721,22 @@ impl<'a> Core<'a> {
                     completed_at: None,
                     retransmits: 0,
                     max_reorder_distance: 0,
+                    detours: 0,
+                    custody_rescues: 0,
+                    outage_delay: SimDuration::ZERO,
                 });
             }
         }
         flows.sort_by_key(|f| f.flow);
+        // recovery metrics live in per-slot vectors during the run (they
+        // accumulate in whatever region the event fires in, not only the
+        // receiver's); copy them into the flow records here
+        for f in &mut flows {
+            let slot = self.slot_of(f.flow) as usize;
+            f.detours = self.detours[slot];
+            f.custody_rescues = self.rescues[slot];
+            f.outage_delay = self.outage[slot];
+        }
         PacketSimReport {
             transport: match (self.inrpp_cfg.is_some(), self.aimd_cfg.is_some()) {
                 (true, true) => "MIXED".into(),
@@ -2232,6 +2750,7 @@ impl<'a> Core<'a> {
             chunks_dropped: self.counters.chunks_dropped,
             chunks_detoured: self.counters.chunks_detoured,
             chunks_custodied: self.counters.chunks_custodied,
+            chunks_rescued: self.counters.chunks_rescued,
             backpressure_msgs: self.counters.backpressure_msgs,
             custody_peak: self.custody_peak,
             mean_utilisation,
@@ -2281,6 +2800,7 @@ impl<'a> Core<'a> {
                 }
             }
             Ev::SenderKick(n) => self.sender_kick(eng, now, n)?,
+            Ev::Fault(i) => self.apply_fault(eng, now, i),
             Ev::Tick(n) => self.tick(eng, now, n),
             Ev::RxCheck(slot) => self.rx_check(eng, now, slot),
             Ev::CustodyDrain { node, dir } => self.custody_drain(eng, now, node, dir as usize)?,
@@ -2296,7 +2816,10 @@ impl<'a> Core<'a> {
                             let r = self.route(slot);
                             (r[r.len() - 1 - hop as usize], r.len() as u32)
                         };
-                        if hop + 1 == len {
+                        if self.node_down[here.idx()] {
+                            // landed on a crashed node: lost; the
+                            // receiver's timeout re-issues it
+                        } else if hop + 1 == len {
                             // reached the sender
                             let flow = self.flow_ids[slot as usize];
                             if let Some(s) = self.senders[here.idx()].as_mut() {
@@ -2316,7 +2839,13 @@ impl<'a> Core<'a> {
                         detoured,
                         sent_at,
                     } => {
-                        if hop as usize + 1 == self.rroute(slot, route).len() {
+                        let landing = self.rroute(slot, route)[hop as usize];
+                        if self.node_down[landing.idx()] {
+                            // the chunk arrives at a crashed node and is
+                            // lost with it; end-to-end recovery re-requests
+                            self.free_route(route);
+                            self.counters.chunks_dropped += 1;
+                        } else if hop as usize + 1 == self.rroute(slot, route).len() {
                             self.free_route(route);
                             self.deliver_to_receiver(eng, now, slot, chunk, probes);
                         } else {
@@ -2345,9 +2874,17 @@ impl<'a> Core<'a> {
                                 .map(|p| route[p])
                         };
                         if let Some(at) = at {
-                            self.on_slowdown(eng, now, msg, slot, at);
+                            if !self.node_down[at.idx()] {
+                                self.on_slowdown(eng, now, msg, slot, at);
+                            }
                         }
                     }
+                    Pkt::Rescue {
+                        slot,
+                        chunk,
+                        target,
+                        sent_at,
+                    } => self.rescue_arrive(eng, now, slot, chunk, target, sent_at),
                 }
             }
         }
@@ -2370,6 +2907,7 @@ fn pick_detour(
     topo: &Topology,
     dense: &DenseChannels,
     channels: &ChannelBank,
+    down: &[u32],
     splitters: &mut [FlowletSplitter],
     threshold: SimDuration,
     now: SimTime,
@@ -2391,16 +2929,19 @@ fn pick_detour(
     let viable: Vec<&inrpp_topology::spath::Path> = cands
         .iter()
         .filter(|p| {
+            // a down channel is never viable — in blind mode only the
+            // locally observable first hop is checked, mirroring how far
+            // the node can actually see
             let hops_ok = if load_aware {
                 p.nodes().windows(2).all(|w| {
-                    dense
-                        .dir_index(w[0], w[1])
-                        .is_some_and(|d| channels.queue_delay(d as usize, now) <= threshold)
+                    dense.dir_index(w[0], w[1]).is_some_and(|d| {
+                        down[d as usize] == 0 && channels.queue_delay(d as usize, now) <= threshold
+                    })
                 })
             } else {
-                dense
-                    .dir_index(here, p.nodes()[1])
-                    .is_some_and(|d| channels.queue_delay(d as usize, now) <= threshold)
+                dense.dir_index(here, p.nodes()[1]).is_some_and(|d| {
+                    down[d as usize] == 0 && channels.queue_delay(d as usize, now) <= threshold
+                })
             };
             hops_ok
                 && p.nodes()[1..p.nodes().len() - 1]
@@ -2619,6 +3160,177 @@ mod tests {
             r.summary()
         );
         assert!(r.flows[0].retransmits > 0);
+    }
+
+    #[test]
+    fn fault_plan_link_outage_reroutes_and_completes() {
+        // fig3 link 1 is the 2 Mbps bottleneck 2-4; taking it down forces
+        // every chunk over the 2-3-4 detour until it comes back
+        let t = fig3();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.set_faults(
+            FaultPlan::link_outage(1, SimTime::from_millis(200), SimTime::from_secs(10)).unwrap(),
+        );
+        sim.add_transfer(transfer(&t, 1, "1", "4", 400));
+        let r = sim.run();
+        assert_eq!(
+            r.completed(),
+            1,
+            "flow must survive the outage: {}",
+            r.summary()
+        );
+        assert_eq!(r.flows[0].chunks_delivered, 400);
+        assert!(
+            r.flows[0].detours > 0,
+            "expected fault-driven detours over node 3: {}",
+            r.summary()
+        );
+    }
+
+    #[test]
+    fn fault_plan_node_crash_rescues_custody() {
+        // cut both links into node 4 so chunks park in custody at node 2,
+        // then crash node 2: its custody must be rescued to node 1 and the
+        // flow must still finish once everything recovers
+        let t = fig3();
+        let plan = FaultPlan::try_new(vec![
+            FaultEvent {
+                at: SimTime::from_millis(300),
+                kind: FaultKind::LinkDown { link: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(300),
+                kind: FaultKind::LinkDown { link: 3 },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(600),
+                kind: FaultKind::NodeCrash { node: 1 }, // node "2"
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::NodeRecover { node: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::LinkUp { link: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::LinkUp { link: 3 },
+            },
+        ])
+        .unwrap();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.set_faults(plan);
+        sim.add_transfer(transfer(&t, 1, "1", "4", 300));
+        let r = sim.run();
+        assert!(
+            r.chunks_rescued > 0,
+            "crashing the custody point must trigger rescues: {}",
+            r.summary()
+        );
+        assert_eq!(r.flows[0].custody_rescues, r.chunks_rescued);
+        assert!(
+            r.flows[0].outage_delay > SimDuration::ZERO,
+            "parked chunks must charge outage delay"
+        );
+        assert_eq!(
+            r.completed(),
+            1,
+            "flow must finish after recovery: {}",
+            r.summary()
+        );
+    }
+
+    #[test]
+    fn fault_plan_loss_burst_forces_retransmits() {
+        // 30% loss on link 0 (1-2) for the first five seconds: deliveries
+        // must still complete via receiver-timeout recovery
+        let t = fig3();
+        let plan = FaultPlan::try_new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LossBurst {
+                link: 0,
+                drop_chance: 0.3,
+                until: SimTime::from_secs(5),
+            },
+        }])
+        .unwrap();
+        let mut sim = PacketSim::new(&t, inrpp_cfg());
+        sim.set_faults(plan);
+        sim.add_transfer(transfer(&t, 1, "1", "3", 300));
+        let r = sim.run();
+        assert!(
+            r.chunks_dropped > 0,
+            "burst must drop chunks: {}",
+            r.summary()
+        );
+        assert_eq!(r.completed(), 1, "{}", r.summary());
+        assert!(r.flows[0].retransmits > 0);
+    }
+
+    #[test]
+    fn fault_plan_capacity_scale_slows_aimd() {
+        let t = fig3();
+        let baseline = {
+            let mut sim = PacketSim::new(&t, aimd_cfg());
+            sim.add_transfer(transfer(&t, 1, "1", "4", 200));
+            sim.run().flows[0].fct().expect("baseline finishes")
+        };
+        let degraded = {
+            let mut sim = PacketSim::new(&t, aimd_cfg());
+            sim.set_faults(
+                FaultPlan::try_new(vec![FaultEvent {
+                    at: SimTime::ZERO,
+                    kind: FaultKind::CapacityScale {
+                        link: 1,
+                        fraction: 0.25,
+                    },
+                }])
+                .unwrap(),
+            );
+            sim.add_transfer(transfer(&t, 1, "1", "4", 200));
+            sim.run().flows[0].fct().expect("degraded run finishes")
+        };
+        assert!(
+            degraded > baseline,
+            "quartering the bottleneck must slow AIMD: {baseline:?} vs {degraded:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic_and_shard_equivalent() {
+        let t = fig3();
+        // blind detouring: the sharded path rejects load-aware detours
+        // (remote queue state mid-window)
+        let mut cfg = inrpp_cfg();
+        if let TransportKind::Inrpp(ref mut ic) = cfg.transport {
+            ic.load_aware_detour = false;
+        }
+        let plan =
+            FaultPlan::link_outage(1, SimTime::from_millis(250), SimTime::from_secs(8)).unwrap();
+        let run_seq = || {
+            let mut sim = PacketSim::new(&t, cfg);
+            sim.set_faults(plan.clone());
+            sim.add_transfer(transfer(&t, 1, "1", "4", 300));
+            sim.add_transfer(transfer(&t, 2, "1", "3", 300));
+            sim.run()
+        };
+        let seq = run_seq();
+        assert_eq!(seq, run_seq(), "same plan, same bytes");
+        for workers in [2usize, 4] {
+            let mut sim = PacketSim::new(&t, cfg);
+            sim.set_faults(plan.clone());
+            sim.add_transfer(transfer(&t, 1, "1", "4", 300));
+            sim.add_transfer(transfer(&t, 2, "1", "3", 300));
+            let sharded = sim
+                .try_run_sharded(workers, 7)
+                .expect("sharded run under faults");
+            assert_eq!(
+                seq, sharded,
+                "sharded({workers}) diverged under the fault plan"
+            );
+        }
     }
 
     #[test]
@@ -3075,9 +3787,14 @@ mod equivalence {
             chunks: 10,
             start: SimTime::ZERO,
         };
-        let err = Core::build(&t, inrpp_cfg(), vec![(spec, FlowTransport::Inrpp)])
-            .err()
-            .expect("disconnected route must not build");
+        let err = Core::build(
+            &t,
+            inrpp_cfg(),
+            vec![(spec, FlowTransport::Inrpp)],
+            FaultPlan::empty(),
+        )
+        .err()
+        .expect("disconnected route must not build");
         assert!(
             matches!(err, SessionError::Unroutable { flow: 7 }),
             "wrong error: {err}"
@@ -3260,6 +3977,7 @@ mod equivalence {
             &t,
             inrpp_cfg(),
             transfers.clone(),
+            FaultPlan::empty(),
             &mut SnapReader::new(&bytes),
         )
         .unwrap();
@@ -3270,8 +3988,14 @@ mod equivalence {
         assert_eq!(fp_a.0, fp_b.0, "resume changed the probe stream");
 
         // a restored run re-checkpoints byte-identically
-        let again =
-            PacketRun::restore(&t, inrpp_cfg(), transfers, &mut SnapReader::new(&bytes)).unwrap();
+        let again = PacketRun::restore(
+            &t,
+            inrpp_cfg(),
+            transfers,
+            FaultPlan::empty(),
+            &mut SnapReader::new(&bytes),
+        )
+        .unwrap();
         let mut w2 = SnapWriter::new();
         again.encode_checkpoint(&mut w2);
         assert_eq!(bytes, w2.into_bytes());
@@ -3311,6 +4035,7 @@ mod equivalence {
             &t,
             inrpp_cfg(),
             vec![(transfer(&t, 1, "1", "4", 400), FlowTransport::Inrpp)],
+            FaultPlan::empty(),
             &mut SnapReader::new(&bytes),
         )
         .unwrap();
@@ -3379,6 +4104,7 @@ mod equivalence {
                     &t,
                     inrpp_cfg(),
                     transfers.clone(),
+                    FaultPlan::empty(),
                     &mut SnapReader::new(&bytes[..cut])
                 )
                 .is_err(),

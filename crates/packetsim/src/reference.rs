@@ -621,6 +621,9 @@ impl<'a> Runner<'a> {
             completed_at: None,
             retransmits: 0,
             max_reorder_distance: 0,
+            detours: 0,
+            custody_rescues: 0,
+            outage_delay: SimDuration::ZERO,
         };
         match (kind, self.inrpp_cfg, self.aimd_cfg) {
             (FlowTransport::Inrpp, Some(ic), _) => {
@@ -1215,6 +1218,9 @@ impl<'a> Runner<'a> {
                     completed_at: None,
                     retransmits: 0,
                     max_reorder_distance: 0,
+                    detours: 0,
+                    custody_rescues: 0,
+                    outage_delay: SimDuration::ZERO,
                 });
             }
         }
@@ -1232,6 +1238,7 @@ impl<'a> Runner<'a> {
             chunks_dropped: self.counters.chunks_dropped,
             chunks_detoured: self.counters.chunks_detoured,
             chunks_custodied: self.counters.chunks_custodied,
+            chunks_rescued: 0,
             backpressure_msgs: self.counters.backpressure_msgs,
             custody_peak: self.custody_peak,
             mean_utilisation,

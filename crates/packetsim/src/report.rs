@@ -26,6 +26,19 @@ pub struct FlowStats {
     /// traffic reorders (paper §4 lists this as an open issue); this
     /// quantifies by how much.
     pub max_reorder_distance: u64,
+    /// Fault-driven detours: chunk forwardings of this flow that left
+    /// their planned path because the next channel was down. Congestion
+    /// detours are excluded (see the run-level `chunks_detoured` for
+    /// those), so a fault-free run reports 0 regardless of load.
+    pub detours: u64,
+    /// Chunks of this flow re-homed from a crashed node's custody store
+    /// to the nearest surviving custody point (fault-plan recovery
+    /// metric).
+    pub custody_rescues: u64,
+    /// Simulated time this flow's chunks spent stalled by fault-plan
+    /// outages: custody wait that overlapped a down channel plus the
+    /// crash-to-rescue latency of re-homed chunks.
+    pub outage_delay: SimDuration,
 }
 
 impl FlowStats {
@@ -81,6 +94,9 @@ pub struct PacketSimReport {
     pub chunks_detoured: u64,
     /// Chunks that spent time in custody stores.
     pub chunks_custodied: u64,
+    /// Chunks re-homed from crashed nodes' custody stores to surviving
+    /// custody points (fault-plan recovery).
+    pub chunks_rescued: u64,
     /// Back-pressure notifications emitted.
     pub backpressure_msgs: u64,
     /// Highest custody occupancy seen across routers.
@@ -212,6 +228,9 @@ mod tests {
             completed_at: done.then(|| SimTime::from_secs(3)),
             retransmits: 2,
             max_reorder_distance: 3,
+            detours: 0,
+            custody_rescues: 0,
+            outage_delay: SimDuration::ZERO,
         }
     }
 
@@ -250,6 +269,7 @@ mod tests {
             chunks_dropped: 10,
             chunks_detoured: 30,
             chunks_custodied: 5,
+            chunks_rescued: 0,
             backpressure_msgs: 2,
             custody_peak: ByteSize::kb(10),
             mean_utilisation: 0.5,
@@ -282,6 +302,7 @@ mod tests {
             chunks_dropped: 0,
             chunks_detoured: 0,
             chunks_custodied: 0,
+            chunks_rescued: 0,
             backpressure_msgs: 0,
             custody_peak: ByteSize::ZERO,
             mean_utilisation: 0.0,
@@ -307,6 +328,9 @@ mod tests {
             completed_at: None,
             retransmits: 0,
             max_reorder_distance: 0,
+            detours: 0,
+            custody_rescues: 0,
+            outage_delay: SimDuration::ZERO,
         };
         assert_eq!(f.progress(), 1.0);
         assert_eq!(f.goodput_bps(ByteSize::bytes(1), SimTime::ZERO), 0.0);

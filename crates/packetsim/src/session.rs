@@ -199,6 +199,7 @@ impl Engine for PacketEngine {
         let transfers = self.transfers(session)?;
         let config = self.effective_config(session);
         let mut sim = PacketSim::try_new(session.topology(), config)?;
+        sim.set_faults(session.faults().clone());
         let kind = self.flow_transport();
         for t in &transfers {
             sim.try_add_transfer_as(*t, kind)?;
@@ -244,6 +245,9 @@ fn assemble_packet_report(
                 subpaths: 1,
                 routed: true,
                 retransmits: f.retransmits,
+                detours: f.detours,
+                custody_rescues: f.custody_rescues,
+                outage_delay_secs: f.outage_delay.as_secs_f64(),
             }
         })
         .collect();
@@ -272,6 +276,7 @@ fn assemble_packet_report(
             chunks_dropped: report.chunks_dropped,
             chunks_detoured: report.chunks_detoured,
             chunks_custodied: report.chunks_custodied,
+            chunks_rescued: report.chunks_rescued,
             backpressure_msgs: report.backpressure_msgs,
             chunk_bits,
         }),
@@ -310,6 +315,7 @@ impl<'a> PacketService<'a> {
         let config = engine.effective_config(session);
         let kind = engine.flow_transport();
         let mut sim = PacketSim::try_new(session.topology(), config)?;
+        sim.set_faults(session.faults().clone());
         for t in &transfers {
             sim.try_add_transfer_as(*t, kind)?;
         }
@@ -338,7 +344,13 @@ impl<'a> PacketService<'a> {
         let with_kinds: Vec<(TransferSpec, FlowTransport)> =
             transfers.into_iter().map(|t| (t, kind)).collect();
         let mut r = SnapReader::new(checkpoint.body());
-        let run = PacketRun::restore(session.topology(), config, with_kinds, &mut r)?;
+        let run = PacketRun::restore(
+            session.topology(),
+            config,
+            with_kinds,
+            session.faults().clone(),
+            &mut r,
+        )?;
         r.finish().map_err(|e| {
             SessionError::CheckpointMismatch(format!("corrupt packet checkpoint: {e}"))
         })?;

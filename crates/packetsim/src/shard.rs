@@ -57,6 +57,7 @@ use std::sync::Arc;
 
 use inrpp::session::{FlowEnd, FlowStart, Probe, ProbeSet, Sample, SessionError};
 use inrpp_sim::calendar::CalendarEngine;
+use inrpp_sim::fault::FaultPlan;
 use inrpp_sim::shard::{run_sharded, ShardWorker};
 use inrpp_sim::time::{SimDuration, SimTime};
 use inrpp_topology::graph::{NodeId, Topology};
@@ -498,14 +499,30 @@ fn merge_reports(
                 completed_at: None,
                 retransmits: 0,
                 max_reorder_distance: 0,
+                detours: 0,
+                custody_rescues: 0,
+                outage_delay: SimDuration::ZERO,
             }),
         }
+    }
+    // recovery metrics accumulate in whichever region the event fired in
+    // (a detour at a transit node, a rescue at a custody point) — sum the
+    // per-slot vectors across regions, exactly what the sequential
+    // single-core accumulation produces (integer / nanosecond sums)
+    for (slot, f) in flows.iter_mut().enumerate() {
+        f.detours = workers.iter().map(|w| w.core.detours[slot]).sum();
+        f.custody_rescues = workers.iter().map(|w| w.core.rescues[slot]).sum();
+        f.outage_delay = workers
+            .iter()
+            .map(|w| w.core.outage[slot])
+            .fold(SimDuration::ZERO, |a, b| a + b);
     }
 
     let mut chunks_delivered = 0;
     let mut chunks_dropped = 0;
     let mut chunks_detoured = 0;
     let mut chunks_custodied = 0;
+    let mut chunks_rescued = 0;
     let mut backpressure_msgs = 0;
     let mut custody_peak = inrpp_sim::units::ByteSize::ZERO;
     let mut phase_transitions = 0u64;
@@ -514,6 +531,7 @@ fn merge_reports(
         chunks_dropped += w.core.counters.chunks_dropped;
         chunks_detoured += w.core.counters.chunks_detoured;
         chunks_custodied += w.core.counters.chunks_custodied;
+        chunks_rescued += w.core.counters.chunks_rescued;
         backpressure_msgs += w.core.counters.backpressure_msgs;
         custody_peak = custody_peak.max(w.core.custody_peak);
         for n in topo.node_ids() {
@@ -539,6 +557,7 @@ fn merge_reports(
         chunks_dropped,
         chunks_detoured,
         chunks_custodied,
+        chunks_rescued,
         backpressure_msgs,
         custody_peak,
         mean_utilisation,
@@ -596,6 +615,7 @@ pub(crate) fn run_partitioned(
     topo: &Topology,
     cfg: PacketSimConfig,
     transfers: Vec<(TransferSpec, FlowTransport)>,
+    faults: FaultPlan,
     partition: &Partition,
     probes: &mut [&mut dyn Probe],
 ) -> Result<PacketSimReport, SessionError> {
@@ -609,7 +629,10 @@ pub(crate) fn run_partitioned(
     let mut ladder: Option<Arc<Ladder>> = None;
     let mut cmd_region: Option<Arc<Vec<usize>>> = None;
     for me in 0..regions {
-        let mut core = Core::build(topo, cfg, transfers.clone())?;
+        // every region carries the full plan: fault state (down channels,
+        // crashed nodes, rates) is replicated; node-local side effects
+        // materialise only in the owner region
+        let mut core = Core::build(topo, cfg, transfers.clone(), faults.clone())?;
         core.region = Some(RegionCtx {
             region_of: Arc::clone(&region_of),
             me: me as u32,
@@ -728,7 +751,7 @@ mod tests {
     fn fingerprint(r: &PacketSimReport) -> String {
         use std::fmt::Write;
         let mut s = format!(
-            "{}|{}|{:?}|{}|{}|{}|{}|{}|{:?}|{}|{:?}|{}",
+            "{}|{}|{:?}|{}|{}|{}|{}|{}|{}|{:?}|{}|{:?}|{}",
             r.transport,
             r.topology,
             r.horizon,
@@ -736,6 +759,7 @@ mod tests {
             r.chunks_dropped,
             r.chunks_detoured,
             r.chunks_custodied,
+            r.chunks_rescued,
             r.backpressure_msgs,
             r.custody_peak,
             r.mean_utilisation.to_bits(),
@@ -751,14 +775,17 @@ mod tests {
         for f in &r.flows {
             write!(
                 s,
-                "|{}:{}:{}:{:?}:{:?}:{}:{}",
+                "|{}:{}:{}:{:?}:{:?}:{}:{}:{}:{}:{:?}",
                 f.flow,
                 f.chunks_total,
                 f.chunks_delivered,
                 f.started_at,
                 f.completed_at,
                 f.retransmits,
-                f.max_reorder_distance
+                f.max_reorder_distance,
+                f.detours,
+                f.custody_rescues,
+                f.outage_delay
             )
             .unwrap();
         }

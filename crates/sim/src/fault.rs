@@ -11,6 +11,112 @@ use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
+/// Typed error for invalid fault knobs: out-of-range probabilities,
+/// malformed plans, unparseable plan strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A probability was NaN or outside `[0, 1]`.
+    ChanceOutOfRange {
+        /// Which knob was invalid (e.g. `"drop_chance"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A token-bucket burst was non-positive or non-finite.
+    NonPositiveBurst(f64),
+    /// Plan events must be sorted by non-decreasing time.
+    UnsortedPlan {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+    /// A capacity fraction was NaN or outside `(0, 1]`.
+    BadFraction {
+        /// Index of the offending event.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A loss-burst window ended at or before it started.
+    EmptyBurstWindow {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// An event referenced a link outside the topology.
+    LinkOutOfRange {
+        /// Index of the offending event.
+        index: usize,
+        /// The referenced link.
+        link: u32,
+    },
+    /// An event referenced a node outside the topology.
+    NodeOutOfRange {
+        /// Index of the offending event.
+        index: usize,
+        /// The referenced node.
+        node: u32,
+    },
+    /// A Gilbert–Elliott parameter was invalid.
+    BadGilbertElliott(&'static str),
+    /// A plan string could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::ChanceOutOfRange { what, value } => {
+                write!(f, "{what} must be in [0, 1], got {value}")
+            }
+            FaultError::NonPositiveBurst(v) => {
+                write!(f, "token bucket burst must be positive and finite, got {v}")
+            }
+            FaultError::UnsortedPlan { index } => {
+                write!(
+                    f,
+                    "fault plan events must be sorted by time (event {index})"
+                )
+            }
+            FaultError::BadFraction { index, value } => {
+                write!(
+                    f,
+                    "capacity fraction must be in (0, 1], got {value} (event {index})"
+                )
+            }
+            FaultError::EmptyBurstWindow { index } => {
+                write!(
+                    f,
+                    "loss burst must end strictly after it starts (event {index})"
+                )
+            }
+            FaultError::LinkOutOfRange { index, link } => {
+                write!(
+                    f,
+                    "fault event {index} references link {link} outside the topology"
+                )
+            }
+            FaultError::NodeOutOfRange { index, node } => {
+                write!(
+                    f,
+                    "fault event {index} references node {node} outside the topology"
+                )
+            }
+            FaultError::BadGilbertElliott(what) => {
+                write!(f, "invalid Gilbert-Elliott parameters: {what}")
+            }
+            FaultError::Parse(what) => write!(f, "cannot parse fault plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+fn check_chance(what: &'static str, value: f64) -> Result<(), FaultError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        return Err(FaultError::ChanceOutOfRange { what, value });
+    }
+    Ok(())
+}
+
 /// Configuration for a [`FaultInjector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -26,6 +132,25 @@ impl Default for FaultConfig {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
         }
+    }
+}
+
+impl FaultConfig {
+    /// Build a validated config: both chances must be in `[0, 1]` and not NaN.
+    pub fn try_new(drop_chance: f64, corrupt_chance: f64) -> Result<Self, FaultError> {
+        let cfg = FaultConfig {
+            drop_chance,
+            corrupt_chance,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check that both chances are in `[0, 1]` and not NaN. The fields stay
+    /// public for struct-literal construction; engines call this before use.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        check_chance("drop_chance", self.drop_chance)?;
+        check_chance("corrupt_chance", self.corrupt_chance)
     }
 }
 
@@ -106,6 +231,28 @@ impl FaultInjector {
         FaultOutcome::Pass
     }
 
+    /// Keyed draw with an *explicit* drop chance, overriding the configured
+    /// one — used by [`FaultPlan`] loss-burst windows, where the chance in
+    /// force depends on simulated time rather than the injector config. The
+    /// key is mixed with a distinct salt so burst draws are decorrelated
+    /// from the base [`FaultInjector::apply_keyed`] stream for the same
+    /// unit. Never corrupts; order-independent like `apply_keyed`.
+    pub fn apply_keyed_chance(&mut self, key: u64, drop_chance: f64) -> FaultOutcome {
+        if drop_chance <= 0.0 {
+            self.passed += 1;
+            return FaultOutcome::Pass;
+        }
+        let mut s = self.key_base ^ key ^ 0xB425_7000_0FA5_7001;
+        let mut rng = SimRng::from_seed_u64(splitmix64(&mut s));
+        if rng.chance(drop_chance) {
+            self.dropped += 1;
+            FaultOutcome::Drop
+        } else {
+            self.passed += 1;
+            FaultOutcome::Pass
+        }
+    }
+
     /// A no-op injector (passes everything); costs one branch per unit.
     pub fn disabled() -> Self {
         FaultInjector::new(FaultConfig::default(), SimRng::from_seed_u64(0))
@@ -165,6 +312,440 @@ impl Snap for FaultInjector {
     }
 }
 
+/// One kind of timed fault. Links and nodes are referenced by raw index;
+/// the session facade validates them against the actual topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Take both directions of a link down. Cumulative: a link is up only
+    /// when every `LinkDown`/`NodeCrash` affecting it has been reverted.
+    LinkDown {
+        /// Link index.
+        link: u32,
+    },
+    /// Revert one earlier [`FaultKind::LinkDown`] on this link.
+    LinkUp {
+        /// Link index.
+        link: u32,
+    },
+    /// Degrade both directions of a link to `fraction` of base capacity.
+    /// Replaces any earlier scale on the same link (not cumulative).
+    CapacityScale {
+        /// Link index.
+        link: u32,
+        /// New capacity as a fraction of base, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Crash a node: all adjacent links go down and the node stops
+    /// sending, receiving, and draining custody until it recovers.
+    NodeCrash {
+        /// Node index.
+        node: u32,
+    },
+    /// Revert one earlier [`FaultKind::NodeCrash`] on this node.
+    NodeRecover {
+        /// Node index.
+        node: u32,
+    },
+    /// Elevated random loss on both directions of a link from the event
+    /// time until `until`. During the window the packet engine drops each
+    /// chunk/request independently with `drop_chance` (keyed, so shard
+    /// order never matters); the fluid engine models the window as a
+    /// goodput derate to `1 - drop_chance` of capacity.
+    LossBurst {
+        /// Link index.
+        link: u32,
+        /// Per-unit drop probability in `[0, 1]` while the window is open.
+        drop_chance: f64,
+        /// Window end (exclusive); must be strictly after the event time.
+        until: SimTime,
+    },
+}
+
+/// A timed fault: `kind` takes effect at instant `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Instant the transition happens.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Two-state Markov loss model expanded into deterministic timed bursts.
+///
+/// The chain is sampled every `step` starting at `SimTime::ZERO`; runs of
+/// consecutive *bad* steps coalesce into one [`FaultKind::LossBurst`]
+/// window with `bad_drop_chance`. Expansion happens once at plan build
+/// time from a dedicated seed, so the resulting plan is a plain list of
+/// timed windows — engines never re-draw the chain, which keeps sharded
+/// and checkpoint-resumed runs byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(good -> bad) per step, in `[0, 1]`.
+    pub to_bad: f64,
+    /// P(bad -> good) per step, in `[0, 1]`.
+    pub to_good: f64,
+    /// Chain step; must be positive.
+    pub step: SimDuration,
+    /// Drop chance applied while the chain is in the bad state.
+    pub bad_drop_chance: f64,
+}
+
+/// A declarative, deterministic schedule of timed faults.
+///
+/// Events are validated at construction ([`FaultPlan::try_new`]) and kept
+/// sorted by time; ties preserve the order given (engines fire same-instant
+/// events in plan order). An empty plan is free: engines skip all fault
+/// machinery when `is_empty()`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Validate and build a plan. Events must be sorted by non-decreasing
+    /// time; probabilities in `[0, 1]`, capacity fractions in `(0, 1]`,
+    /// and loss-burst windows non-empty.
+    pub fn try_new(events: Vec<FaultEvent>) -> Result<Self, FaultError> {
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 && ev.at < events[i - 1].at {
+                return Err(FaultError::UnsortedPlan { index: i });
+            }
+            match ev.kind {
+                FaultKind::LinkDown { .. }
+                | FaultKind::LinkUp { .. }
+                | FaultKind::NodeCrash { .. }
+                | FaultKind::NodeRecover { .. } => {}
+                FaultKind::CapacityScale { fraction, .. } => {
+                    if fraction.is_nan() || !(fraction > 0.0 && fraction <= 1.0) {
+                        return Err(FaultError::BadFraction {
+                            index: i,
+                            value: fraction,
+                        });
+                    }
+                }
+                FaultKind::LossBurst {
+                    drop_chance, until, ..
+                } => {
+                    check_chance("drop_chance", drop_chance).map_err(|_| {
+                        FaultError::ChanceOutOfRange {
+                            what: "drop_chance",
+                            value: drop_chance,
+                        }
+                    })?;
+                    if until <= ev.at {
+                        return Err(FaultError::EmptyBurstWindow { index: i });
+                    }
+                }
+            }
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// Convenience: one link goes down at `down` and back up at `up`.
+    pub fn link_outage(link: u32, down: SimTime, up: SimTime) -> Result<Self, FaultError> {
+        FaultPlan::try_new(vec![
+            FaultEvent {
+                at: down,
+                kind: FaultKind::LinkDown { link },
+            },
+            FaultEvent {
+                at: up,
+                kind: FaultKind::LinkUp { link },
+            },
+        ])
+    }
+
+    /// Expand a [`GilbertElliott`] chain on `link` over `[0, horizon)` into
+    /// a plan of coalesced loss-burst windows, deterministically from `seed`.
+    pub fn gilbert_elliott(
+        link: u32,
+        ge: GilbertElliott,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Result<Self, FaultError> {
+        check_chance("to_bad", ge.to_bad)
+            .map_err(|_| FaultError::BadGilbertElliott("to_bad must be in [0, 1]"))?;
+        check_chance("to_good", ge.to_good)
+            .map_err(|_| FaultError::BadGilbertElliott("to_good must be in [0, 1]"))?;
+        check_chance("bad_drop_chance", ge.bad_drop_chance)
+            .map_err(|_| FaultError::BadGilbertElliott("bad_drop_chance must be in [0, 1]"))?;
+        if ge.step.is_zero() {
+            return Err(FaultError::BadGilbertElliott("step must be positive"));
+        }
+        let mut s = seed ^ 0x0006_E1BE_47E1_1107_u64.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = SimRng::from_seed_u64(splitmix64(&mut s));
+        let mut events = Vec::new();
+        let mut bad_since: Option<SimTime> = None;
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            let bad = bad_since.is_some();
+            let flip = if bad {
+                rng.chance(ge.to_good)
+            } else {
+                rng.chance(ge.to_bad)
+            };
+            let next = t + ge.step;
+            if bad && flip {
+                let from = bad_since.take().expect("bad state has a start");
+                events.push(FaultEvent {
+                    at: from,
+                    kind: FaultKind::LossBurst {
+                        link,
+                        drop_chance: ge.bad_drop_chance,
+                        until: next.min(horizon),
+                    },
+                });
+            } else if !bad && flip {
+                bad_since = Some(next);
+            }
+            t = next;
+        }
+        if let Some(from) = bad_since {
+            if from < horizon {
+                events.push(FaultEvent {
+                    at: from,
+                    kind: FaultKind::LossBurst {
+                        link,
+                        drop_chance: ge.bad_drop_chance,
+                        until: horizon,
+                    },
+                });
+            }
+        }
+        FaultPlan::try_new(events)
+    }
+
+    /// Parse the compact one-line plan syntax used by `inrpp serve` and the
+    /// CLI: semicolon-separated events, each `kind@secs:args`.
+    ///
+    /// ```text
+    /// linkdown@1.5:3            link 3 down at t=1.5s
+    /// linkup@2.5:3              link 3 back up at t=2.5s
+    /// scale@1.0:2:0.25          link 2 degraded to 25% at t=1s
+    /// crash@0.75:4              node 4 crashes at t=0.75s
+    /// recover@1.25:4            node 4 recovers at t=1.25s
+    /// burst@1.0:0:0.3:2.0       30% loss on link 0 from t=1s until t=2s
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, FaultError> {
+        fn secs(part: &str) -> Result<SimTime, FaultError> {
+            let v: f64 = part
+                .parse()
+                .map_err(|_| FaultError::Parse(format!("bad seconds value '{part}'")))?;
+            SimTime::try_from_secs_f64(v)
+                .map_err(|e| FaultError::Parse(format!("bad seconds value '{part}': {e}")))
+        }
+        fn idx(part: &str, what: &str) -> Result<u32, FaultError> {
+            part.parse()
+                .map_err(|_| FaultError::Parse(format!("bad {what} index '{part}'")))
+        }
+        fn float(part: &str, what: &str) -> Result<f64, FaultError> {
+            part.parse()
+                .map_err(|_| FaultError::Parse(format!("bad {what} value '{part}'")))
+        }
+        let mut events = Vec::new();
+        for item in text.split(';') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (head, rest) = item
+                .split_once(':')
+                .ok_or_else(|| FaultError::Parse(format!("event '{item}' has no arguments")))?;
+            let (kind, at) = head
+                .split_once('@')
+                .ok_or_else(|| FaultError::Parse(format!("event '{item}' has no '@time'")))?;
+            let at = secs(at)?;
+            let args: Vec<&str> = rest.split(':').collect();
+            let need = |n: usize| -> Result<(), FaultError> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(FaultError::Parse(format!(
+                        "event '{item}' expects {n} argument(s), got {}",
+                        args.len()
+                    )))
+                }
+            };
+            let kind = match kind {
+                "linkdown" => {
+                    need(1)?;
+                    FaultKind::LinkDown {
+                        link: idx(args[0], "link")?,
+                    }
+                }
+                "linkup" => {
+                    need(1)?;
+                    FaultKind::LinkUp {
+                        link: idx(args[0], "link")?,
+                    }
+                }
+                "scale" => {
+                    need(2)?;
+                    FaultKind::CapacityScale {
+                        link: idx(args[0], "link")?,
+                        fraction: float(args[1], "fraction")?,
+                    }
+                }
+                "crash" => {
+                    need(1)?;
+                    FaultKind::NodeCrash {
+                        node: idx(args[0], "node")?,
+                    }
+                }
+                "recover" => {
+                    need(1)?;
+                    FaultKind::NodeRecover {
+                        node: idx(args[0], "node")?,
+                    }
+                }
+                "burst" => {
+                    need(3)?;
+                    FaultKind::LossBurst {
+                        link: idx(args[0], "link")?,
+                        drop_chance: float(args[1], "drop chance")?,
+                        until: secs(args[2])?,
+                    }
+                }
+                other => {
+                    return Err(FaultError::Parse(format!("unknown fault kind '{other}'")));
+                }
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan::try_new(events)
+    }
+
+    /// The validated events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Check every referenced index against a topology of `nodes` nodes and
+    /// `links` links.
+    pub fn check_indices(&self, nodes: usize, links: usize) -> Result<(), FaultError> {
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev.kind {
+                FaultKind::LinkDown { link }
+                | FaultKind::LinkUp { link }
+                | FaultKind::CapacityScale { link, .. }
+                | FaultKind::LossBurst { link, .. } => {
+                    if link as usize >= links {
+                        return Err(FaultError::LinkOutOfRange { index: i, link });
+                    }
+                }
+                FaultKind::NodeCrash { node } | FaultKind::NodeRecover { node } => {
+                    if node as usize >= nodes {
+                        return Err(FaultError::NodeOutOfRange { index: i, node });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Snap for FaultKind {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            FaultKind::LinkDown { link } => {
+                w.put_u8(0);
+                w.put_u32(link);
+            }
+            FaultKind::LinkUp { link } => {
+                w.put_u8(1);
+                w.put_u32(link);
+            }
+            FaultKind::CapacityScale { link, fraction } => {
+                w.put_u8(2);
+                w.put_u32(link);
+                w.put_f64(fraction);
+            }
+            FaultKind::NodeCrash { node } => {
+                w.put_u8(3);
+                w.put_u32(node);
+            }
+            FaultKind::NodeRecover { node } => {
+                w.put_u8(4);
+                w.put_u32(node);
+            }
+            FaultKind::LossBurst {
+                link,
+                drop_chance,
+                until,
+            } => {
+                w.put_u8(5);
+                w.put_u32(link);
+                w.put_f64(drop_chance);
+                until.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => FaultKind::LinkDown { link: r.get_u32()? },
+            1 => FaultKind::LinkUp { link: r.get_u32()? },
+            2 => FaultKind::CapacityScale {
+                link: r.get_u32()?,
+                fraction: r.get_f64()?,
+            },
+            3 => FaultKind::NodeCrash { node: r.get_u32()? },
+            4 => FaultKind::NodeRecover { node: r.get_u32()? },
+            5 => FaultKind::LossBurst {
+                link: r.get_u32()?,
+                drop_chance: r.get_f64()?,
+                until: SimTime::decode(r)?,
+            },
+            _ => return Err(SnapError::Corrupt("FaultKind tag out of range")),
+        })
+    }
+}
+
+impl Snap for FaultEvent {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.at.encode(w);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaultEvent {
+            at: SimTime::decode(r)?,
+            kind: FaultKind::decode(r)?,
+        })
+    }
+}
+
+impl Snap for FaultPlan {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_usize(self.events.len());
+        for ev in &self.events {
+            ev.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_usize()?;
+        let mut events = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            events.push(FaultEvent::decode(r)?);
+        }
+        FaultPlan::try_new(events).map_err(|_| SnapError::Corrupt("invalid fault plan"))
+    }
+}
+
 /// Token-bucket rate limiter over simulated time.
 ///
 /// Tokens are *bits*; the bucket refills continuously at `rate` and holds at
@@ -179,21 +760,36 @@ pub struct TokenBucket {
 }
 
 impl TokenBucket {
-    /// A bucket starting full.
-    ///
-    /// # Panics
-    /// Panics if `burst_bits` is not positive.
-    pub fn new(rate: Rate, burst_bits: f64, now: SimTime) -> Self {
-        assert!(
-            burst_bits > 0.0 && burst_bits.is_finite(),
-            "token bucket burst must be positive, got {burst_bits}"
-        );
-        TokenBucket {
+    /// A bucket starting full, rejecting a non-positive or non-finite burst
+    /// with a typed error instead of panicking.
+    pub fn try_new(rate: Rate, burst_bits: f64, now: SimTime) -> Result<Self, FaultError> {
+        if !(burst_bits > 0.0 && burst_bits.is_finite()) {
+            return Err(FaultError::NonPositiveBurst(burst_bits));
+        }
+        Ok(TokenBucket {
             rate,
             burst_bits,
             tokens: burst_bits,
             last: now,
+        })
+    }
+
+    /// A bucket starting full. Legacy panicking twin of
+    /// [`TokenBucket::try_new`], kept for call sites with statically valid
+    /// bursts; paths reachable from user input go through `try_new`.
+    ///
+    /// # Panics
+    /// Panics if `burst_bits` is not positive.
+    pub fn new(rate: Rate, burst_bits: f64, now: SimTime) -> Self {
+        match TokenBucket::try_new(rate, burst_bits, now) {
+            Ok(tb) => tb,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The bucket's capacity in bits (the largest admissible withdrawal).
+    pub fn burst_bits(&self) -> f64 {
+        self.burst_bits
     }
 
     fn refill(&mut self, now: SimTime) {
@@ -398,5 +994,286 @@ mod tests {
         let mut tb = TokenBucket::new(Rate::ZERO, 100.0, SimTime::ZERO);
         assert!(tb.try_consume(SimTime::ZERO, 100.0));
         assert_eq!(tb.next_available(SimTime::from_secs(10), 1.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn fault_config_validation_rejects_bad_chances() {
+        assert!(FaultConfig::try_new(0.0, 0.0).is_ok());
+        assert!(FaultConfig::try_new(1.0, 1.0).is_ok());
+        for (d, c) in [
+            (-0.1, 0.0),
+            (1.1, 0.0),
+            (0.0, -1e-9),
+            (0.0, 2.0),
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 0.0),
+        ] {
+            let err = FaultConfig::try_new(d, c).unwrap_err();
+            assert!(
+                matches!(err, FaultError::ChanceOutOfRange { .. }),
+                "{d} {c}"
+            );
+        }
+        // struct-literal construction stays possible; validate() catches it
+        let cfg = FaultConfig {
+            drop_chance: 3.0,
+            corrupt_chance: 0.0,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn token_bucket_try_new_rejects_bad_burst() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                TokenBucket::try_new(Rate::mbps(1.0), bad, SimTime::ZERO),
+                Err(FaultError::NonPositiveBurst(_))
+            ));
+        }
+        assert!(TokenBucket::try_new(Rate::mbps(1.0), 8.0, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn keyed_chance_is_order_independent_and_decorrelated() {
+        let cfg = FaultConfig {
+            drop_chance: 0.3,
+            corrupt_chance: 0.0,
+        };
+        let keys: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut fwd = FaultInjector::keyed(cfg, 42);
+        let mut rev = FaultInjector::keyed(cfg, 42);
+        let a: Vec<_> = keys
+            .iter()
+            .map(|&k| fwd.apply_keyed_chance(k, 0.5))
+            .collect();
+        let mut b: Vec<_> = keys
+            .iter()
+            .rev()
+            .map(|&k| rev.apply_keyed_chance(k, 0.5))
+            .collect();
+        b.reverse();
+        assert_eq!(a, b);
+        // burst draws use a different stream than base keyed draws
+        let mut base = FaultInjector::keyed(cfg, 42);
+        let c: Vec<_> = keys
+            .iter()
+            .map(|&k| base.apply_keyed(k) == FaultOutcome::Drop)
+            .collect();
+        let a_drops: Vec<_> = a.iter().map(|&o| o == FaultOutcome::Drop).collect();
+        assert_ne!(a_drops, c);
+        // zero chance never draws
+        assert_eq!(fwd.apply_keyed_chance(7, 0.0), FaultOutcome::Pass);
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        use FaultKind::*;
+        let t = SimTime::from_millis;
+        // sorted plan accepted
+        let plan = FaultPlan::try_new(vec![
+            FaultEvent {
+                at: t(100),
+                kind: LinkDown { link: 1 },
+            },
+            FaultEvent {
+                at: t(200),
+                kind: LinkUp { link: 1 },
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.len(), 2);
+        // unsorted rejected
+        let err = FaultPlan::try_new(vec![
+            FaultEvent {
+                at: t(200),
+                kind: LinkDown { link: 1 },
+            },
+            FaultEvent {
+                at: t(100),
+                kind: LinkUp { link: 1 },
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, FaultError::UnsortedPlan { index: 1 }));
+        // bad fraction
+        for f in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = FaultPlan::try_new(vec![FaultEvent {
+                at: t(1),
+                kind: CapacityScale {
+                    link: 0,
+                    fraction: f,
+                },
+            }])
+            .unwrap_err();
+            assert!(matches!(err, FaultError::BadFraction { .. }), "{f}");
+        }
+        // empty burst window
+        let err = FaultPlan::try_new(vec![FaultEvent {
+            at: t(100),
+            kind: LossBurst {
+                link: 0,
+                drop_chance: 0.5,
+                until: t(100),
+            },
+        }])
+        .unwrap_err();
+        assert!(matches!(err, FaultError::EmptyBurstWindow { index: 0 }));
+        // bad burst chance
+        let err = FaultPlan::try_new(vec![FaultEvent {
+            at: t(100),
+            kind: LossBurst {
+                link: 0,
+                drop_chance: f64::NAN,
+                until: t(200),
+            },
+        }])
+        .unwrap_err();
+        assert!(matches!(err, FaultError::ChanceOutOfRange { .. }));
+        // index checks
+        let plan = FaultPlan::link_outage(3, t(10), t(20)).unwrap();
+        assert!(plan.check_indices(10, 4).is_ok());
+        assert!(matches!(
+            plan.check_indices(10, 3),
+            Err(FaultError::LinkOutOfRange { link: 3, .. })
+        ));
+        let plan = FaultPlan::try_new(vec![FaultEvent {
+            at: t(1),
+            kind: NodeCrash { node: 5 },
+        }])
+        .unwrap();
+        assert!(matches!(
+            plan.check_indices(5, 8),
+            Err(FaultError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn fault_plan_snap_roundtrip() {
+        let plan = FaultPlan::try_new(vec![
+            FaultEvent {
+                at: SimTime::from_millis(5),
+                kind: FaultKind::CapacityScale {
+                    link: 2,
+                    fraction: 0.25,
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(7),
+                kind: FaultKind::NodeCrash { node: 4 },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(9),
+                kind: FaultKind::LossBurst {
+                    link: 0,
+                    drop_chance: 0.4,
+                    until: SimTime::from_millis(14),
+                },
+            },
+        ])
+        .unwrap();
+        let mut w = SnapWriter::new();
+        plan.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = FaultPlan::decode(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, plan);
+        // decode re-validates
+        let mut w = SnapWriter::new();
+        w.put_usize(1);
+        FaultEvent {
+            at: SimTime::from_millis(1),
+            kind: FaultKind::CapacityScale {
+                link: 0,
+                fraction: -1.0,
+            },
+        }
+        .encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(FaultPlan::decode(&mut SnapReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn gilbert_elliott_expansion_is_deterministic_and_valid() {
+        let ge = GilbertElliott {
+            to_bad: 0.2,
+            to_good: 0.5,
+            step: SimDuration::from_millis(10),
+            bad_drop_chance: 0.8,
+        };
+        let horizon = SimTime::from_secs(2);
+        let a = FaultPlan::gilbert_elliott(7, ge, horizon, 11).unwrap();
+        let b = FaultPlan::gilbert_elliott(7, ge, horizon, 11).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            !a.is_empty(),
+            "chain with to_bad=0.2 over 200 steps must burst"
+        );
+        for ev in a.events() {
+            match ev.kind {
+                FaultKind::LossBurst {
+                    link,
+                    drop_chance,
+                    until,
+                } => {
+                    assert_eq!(link, 7);
+                    assert_eq!(drop_chance, 0.8);
+                    assert!(until > ev.at);
+                    assert!(until <= horizon);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // different seeds give different window layouts
+        let c = FaultPlan::gilbert_elliott(7, ge, horizon, 12).unwrap();
+        assert_ne!(a, c);
+        // bad params rejected
+        let mut bad = ge;
+        bad.step = SimDuration::ZERO;
+        assert!(FaultPlan::gilbert_elliott(7, bad, horizon, 1).is_err());
+        let mut bad = ge;
+        bad.to_bad = 1.5;
+        assert!(FaultPlan::gilbert_elliott(7, bad, horizon, 1).is_err());
+    }
+
+    #[test]
+    fn fault_plan_parse_round_trips_the_readme_syntax() {
+        let plan = FaultPlan::parse(
+            "linkdown@1.5:3; linkup@2.5:3; scale@1.0:2:0.25; crash@0.75:4; \
+             recover@1.25:4; burst@1.0:0:0.3:2.0",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 6);
+        // parse sorts by time
+        let times: Vec<_> = plan.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert_eq!(
+            plan.events()[0],
+            FaultEvent {
+                at: SimTime::from_millis(750),
+                kind: FaultKind::NodeCrash { node: 4 },
+            }
+        );
+        // errors are typed
+        assert!(matches!(
+            FaultPlan::parse("linkdown@x:3"),
+            Err(FaultError::Parse(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("frob@1:2"),
+            Err(FaultError::Parse(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("linkdown@1"),
+            Err(FaultError::Parse(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("scale@1:2:1.5"),
+            Err(FaultError::BadFraction { .. })
+        ));
+        // empty plan parses to empty
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ;  ").unwrap().is_empty());
     }
 }
