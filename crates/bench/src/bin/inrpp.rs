@@ -46,10 +46,19 @@ commands:
                              fresh result against it. Exits non-zero on a
                              >10% cells/sec regression (same-mode files)
                              or a drifted workload set
-  serve                      service mode: line-delimited JSON on stdio —
-                             open/feed/advance/snapshot/checkpoint/resume
-                             steppable sessions on either engine (see the
-                             inrpp-bench serve module docs for the protocol)
+  serve                      service mode: the multi-session daemon speaking
+                             line-delimited JSON — open/feed/advance/snapshot/
+                             checkpoint/resume steppable sessions on either
+                             engine (see the inrpp-server crate docs for the
+                             protocol and determinism contract)
+      --listen ADDR          serve many clients over a socket instead of
+                             stdio: a TCP bind address ('127.0.0.1:0' picks
+                             a free port; the bound address is announced as
+                             a {\"event\":\"listening\"} line on stdout) or
+                             'unix:PATH' for a Unix-domain socket
+      --workers N            simulation-worker slots — how many sessions may
+                             compute concurrently (default: all cores; replies
+                             are byte-identical for every N)
   help                       this text
 ";
 
@@ -62,17 +71,13 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("bench") => bench(&args[1..]),
-        Some("serve") => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            match inrpp_bench::serve::serve_lines(&mut stdin.lock(), &mut stdout.lock()) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("inrpp serve: {e}");
-                    ExitCode::FAILURE
-                }
+        Some("serve") => match serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("inrpp serve: {e}");
+                ExitCode::FAILURE
             }
-        }
+        },
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -138,6 +143,49 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
 
 fn value_of<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// `inrpp serve [--listen ADDR] [--workers N]`: stdio by default, the
+/// socket daemon with `--listen`.
+fn serve(args: &[String]) -> Result<(), String> {
+    use inrpp_server::{Daemon, DaemonConfig, SocketTransport, StdioTransport, Transport};
+    let mut listen: Option<String> = None;
+    let mut workers = DaemonConfig::default().workers;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(value_of(&mut it, "--listen")?.to_string()),
+            "--workers" => {
+                workers = value_of(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers takes a positive integer".to_string())?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let daemon = Daemon::new(DaemonConfig { workers });
+    match listen {
+        None => {
+            let mut transport = StdioTransport::new();
+            daemon.serve(&mut transport).map_err(|e| e.to_string())
+        }
+        Some(spec) => {
+            let mut transport = SocketTransport::bind(&spec)
+                .map_err(|e| format!("cannot listen on {spec:?}: {e}"))?;
+            // announce the bound address (crucial for ':0' port picks)
+            // on stdout so drivers can discover where to connect
+            let addr = transport.local_addr().unwrap_or(spec);
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout();
+            let _ = writeln!(
+                stdout,
+                "{{\"event\":\"listening\",\"addr\":\"{}\",\"workers\":{workers}}}",
+                addr.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+            let _ = stdout.flush();
+            daemon.serve(&mut transport).map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn bench(args: &[String]) -> ExitCode {

@@ -1,1046 +1,14 @@
-//! `inrpp serve` — service mode over line-delimited JSON on stdio.
+//! `inrpp serve` — service mode over line-delimited JSON.
 //!
-//! Each request is one flat JSON object per line; each reply is one JSON
-//! object per line with an `"ok"` field. The protocol drives an
-//! [`inrpp::service::ServiceSession`] (fluid or packet): open a session,
-//! stream transfers in (`feed` or a `# inrpp-trace v1` file), advance
-//! the clock, take [`RunReport`] snapshots, checkpoint to a file, and
-//! resume bit-identically in a later process.
-//!
-//! ```text
-//! {"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30}
-//! {"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}
-//! {"cmd":"advance","to_secs":1.5}
-//! {"cmd":"snapshot"}
-//! {"cmd":"checkpoint","path":"run.ckpt"}
-//! {"cmd":"close"}
-//! ```
-//!
-//! Resume replays the same `open` fields (the checkpoint's embedded
-//! session fingerprint rejects any drift) plus the checkpoint path:
-//!
-//! ```text
-//! {"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"path":"run.ckpt"}
-//! ```
-//!
-//! `open`/`resume` accept `seed`, `workers`, `chunk_bytes` (transfer
-//! quantum, default 1250 bytes) and `trace` (path to a trace file whose
-//! transfers are pumped automatically at each `advance` boundary;
-//! on resume, entries already fed before the checkpoint are skipped).
-//! Errors are replies, not crashes: `{"ok":false,"kind":"...",
-//! "error":"..."}` leaves the session (if any) open. `kind` classifies
-//! the failure — `parse` (malformed JSON / bad fields), `unknown_cmd`,
-//! `config` (bad spec values), `state` (out-of-order requests, e.g. an
-//! `advance` target before `now`), `session` (engine errors),
-//! `checkpoint` (unreadable/corrupt checkpoints), `io`, and `timeout`.
-//!
-//! ## Self-healing
-//!
-//! `open`/`resume` also accept:
-//!
-//! - `faults`: a fault-plan string ([`FaultPlan::parse`] syntax, e.g.
-//!   `"linkdown@1.5:3; linkup@2.5:3"`) applied deterministically by the
-//!   engine mid-run.
-//! - `ckpt_dir` + `ckpt_every` + `ckpt_retain`: auto-checkpoint into
-//!   `ckpt_dir/ckpt-NNNNNN.ckpt` after every `ckpt_every` successful
-//!   `advance`s (default 1), keeping the last `ckpt_retain` files
-//!   (default 3). Writes are atomic (tmp + rename), so a crash mid-write
-//!   never corrupts an existing checkpoint.
-//! - `resume` with `ckpt_dir` and no `path` recovers from the **newest
-//!   readable** auto-checkpoint, falling back past truncated or corrupt
-//!   files (each skipped file is reported in the `resume` reply).
-//! - `advance` accepts `timeout_ms`: a wall-clock budget for that one
-//!   request. On expiry the reply is `kind":"timeout"` with the partial
-//!   `now_secs` reached; the session stays open and a later `advance`
-//!   continues from there (simulated results are unaffected — advance
-//!   boundaries never change report bytes).
-//!
-//! JSON is hand-rolled on both sides — requests must be *flat* objects
-//! of strings, numbers, and booleans; replies may nest (`snapshot`
-//! carries a per-flow array).
+//! The protocol, transports, and session scheduler moved to the
+//! `inrpp-server` crate when service mode grew into a concurrent
+//! multi-session daemon (see `inrpp_server`'s crate docs for the full
+//! protocol and determinism contract). This module re-exports the
+//! stdio entry point the bench CLI and the original tests were built
+//! on, and keeps a wire-compatibility test pinning the v1 protocol
+//! bytes.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::io::{self, BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
-
-use inrpp::config::InrppConfig;
-use inrpp::service::{Checkpoint, FluidBacking, FluidService, ServiceSession};
-use inrpp::session::{EngineKind, RunReport, Session, SessionError, SessionStrategy, Transfer};
-use inrpp::source::{pump, skip_until, TraceSource, WorkloadSource};
-use inrpp_packetsim::{AimdConfig, PacketEngine, PacketService, PacketSimConfig, TransportKind};
-use inrpp_sim::fault::FaultPlan;
-use inrpp_sim::time::{SimDuration, SimTime};
-use inrpp_sim::units::{ByteSize, Rate};
-use inrpp_topology::Topology;
-
-// ===================================================================
-// Flat JSON (requests)
-// ===================================================================
-
-/// A value in a flat request object.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    /// A JSON string.
-    Str(String),
-    /// Any JSON number (integers included).
-    Num(f64),
-    /// `true` / `false`.
-    Bool(bool),
-    /// `null`.
-    Null,
-}
-
-/// Parse one flat JSON object (`{"k": v, ...}` — no nesting) into its
-/// key/value pairs. Line-oriented protocol, so errors are plain strings.
-fn parse_object(s: &str) -> Result<Vec<(String, Json)>, String> {
-    let b = s.as_bytes();
-    let mut i = 0usize;
-    let mut out = Vec::new();
-    skip_ws(b, &mut i);
-    expect(b, &mut i, b'{')?;
-    skip_ws(b, &mut i);
-    if peek(b, i) == Some(b'}') {
-        i += 1;
-    } else {
-        loop {
-            skip_ws(b, &mut i);
-            let key = parse_string(b, &mut i)?;
-            skip_ws(b, &mut i);
-            expect(b, &mut i, b':')?;
-            skip_ws(b, &mut i);
-            let val = parse_value(b, &mut i)?;
-            out.push((key, val));
-            skip_ws(b, &mut i);
-            match peek(b, i) {
-                Some(b',') => i += 1,
-                Some(b'}') => {
-                    i += 1;
-                    break;
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {i}, found {:?}",
-                        other.map(char::from)
-                    ))
-                }
-            }
-        }
-    }
-    skip_ws(b, &mut i);
-    if i != b.len() {
-        return Err(format!("trailing input after object at byte {i}"));
-    }
-    Ok(out)
-}
-
-fn peek(b: &[u8], i: usize) -> Option<u8> {
-    b.get(i).copied()
-}
-
-fn skip_ws(b: &[u8], i: &mut usize) {
-    while matches!(peek(b, *i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-        *i += 1;
-    }
-}
-
-fn expect(b: &[u8], i: &mut usize, want: u8) -> Result<(), String> {
-    if peek(b, *i) == Some(want) {
-        *i += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {:?} at byte {}, found {:?}",
-            char::from(want),
-            *i,
-            peek(b, *i).map(char::from)
-        ))
-    }
-}
-
-fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
-    expect(b, i, b'"')?;
-    let mut out = String::new();
-    loop {
-        match peek(b, *i) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *i += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *i += 1;
-                let esc = peek(b, *i).ok_or("unterminated escape")?;
-                *i += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b't' => out.push('\t'),
-                    b'r' => out.push('\r'),
-                    other => return Err(format!("unsupported escape '\\{}'", char::from(other))),
-                }
-            }
-            Some(_) => {
-                // advance one UTF-8 scalar, not one byte
-                let rest = &b[*i..];
-                let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
-                let ch = s.chars().next().unwrap();
-                out.push(ch);
-                *i += ch.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
-    match peek(b, *i) {
-        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
-        Some(b't') if b[*i..].starts_with(b"true") => {
-            *i += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*i..].starts_with(b"false") => {
-            *i += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if b[*i..].starts_with(b"null") => {
-            *i += 4;
-            Ok(Json::Null)
-        }
-        Some(b'{' | b'[') => Err("nested values are not supported; requests are flat".into()),
-        Some(_) => {
-            let start = *i;
-            while matches!(
-                peek(b, *i),
-                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            ) {
-                *i += 1;
-            }
-            let text = std::str::from_utf8(&b[start..*i]).unwrap_or("");
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("not a number: {text:?}"))
-        }
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-/// Escape a string for JSON output.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A JSON number: `null` for non-finite floats (JSON has no NaN/Inf).
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-// ===================================================================
-// Request field access
-// ===================================================================
-
-type Obj = [(String, Json)];
-
-fn field<'o>(obj: &'o Obj, key: &str) -> Option<&'o Json> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-fn str_field(obj: &Obj, key: &str) -> Result<String, String> {
-    match field(obj, key) {
-        Some(Json::Str(s)) => Ok(s.clone()),
-        Some(_) => Err(format!("field {key:?} must be a string")),
-        None => Err(format!("missing field {key:?}")),
-    }
-}
-
-fn num_field(obj: &Obj, key: &str) -> Result<f64, String> {
-    match field(obj, key) {
-        Some(Json::Num(v)) => Ok(*v),
-        Some(_) => Err(format!("field {key:?} must be a number")),
-        None => Err(format!("missing field {key:?}")),
-    }
-}
-
-fn opt_num_field(obj: &Obj, key: &str) -> Result<Option<f64>, String> {
-    match field(obj, key) {
-        Some(Json::Num(v)) => Ok(Some(*v)),
-        Some(Json::Null) | None => Ok(None),
-        Some(_) => Err(format!("field {key:?} must be a number")),
-    }
-}
-
-fn opt_str_field(obj: &Obj, key: &str) -> Result<Option<String>, String> {
-    match field(obj, key) {
-        Some(Json::Str(s)) => Ok(Some(s.clone())),
-        Some(Json::Null) | None => Ok(None),
-        Some(_) => Err(format!("field {key:?} must be a string")),
-    }
-}
-
-fn u64_field(obj: &Obj, key: &str) -> Result<u64, String> {
-    let v = num_field(obj, key)?;
-    if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
-        Ok(v as u64)
-    } else {
-        Err(format!("field {key:?} must be a non-negative integer"))
-    }
-}
-
-// ===================================================================
-// Session spec
-// ===================================================================
-
-/// Where a `resume` pulls its checkpoint from.
-enum ResumeFrom {
-    /// An explicit checkpoint file.
-    Path(String),
-    /// The newest readable auto-checkpoint under the spec's `ckpt_dir`
-    /// (crash recovery: falls back past truncated/corrupt files).
-    Newest,
-}
-
-/// Everything an `open` / `resume` request pins down.
-struct OpenSpec {
-    engine: EngineKind,
-    topology: String,
-    strategy: String,
-    horizon_secs: f64,
-    seed: Option<u64>,
-    workers: Option<u64>,
-    chunk_bytes: u64,
-    trace: Option<String>,
-    /// Fault-plan string ([`FaultPlan::parse`] syntax).
-    faults: Option<String>,
-    /// Auto-checkpoint directory; `None` disables auto-checkpointing.
-    ckpt_dir: Option<String>,
-    /// Auto-checkpoint after every this many successful `advance`s.
-    ckpt_every: u64,
-    /// Keep the newest this many auto-checkpoints.
-    ckpt_retain: usize,
-    /// `Some` for `resume`, `None` for `open`.
-    checkpoint: Option<ResumeFrom>,
-}
-
-impl OpenSpec {
-    fn parse(obj: &Obj, resume: bool) -> Result<Self, String> {
-        let engine = match str_field(obj, "engine")?.as_str() {
-            "fluid" => EngineKind::Fluid,
-            "packet" => EngineKind::Packet,
-            other => return Err(format!("unknown engine {other:?} (fluid|packet)")),
-        };
-        let chunk_bytes = match opt_num_field(obj, "chunk_bytes")? {
-            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as u64,
-            Some(v) => return Err(format!("chunk_bytes must be a positive integer, got {v}")),
-            None => 1250,
-        };
-        let ckpt_every = match opt_num_field(obj, "ckpt_every")? {
-            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as u64,
-            Some(v) => return Err(format!("ckpt_every must be a positive integer, got {v}")),
-            None => 1,
-        };
-        let ckpt_retain = match opt_num_field(obj, "ckpt_retain")? {
-            Some(v) if v >= 1.0 && v.fract() == 0.0 => v as usize,
-            Some(v) => return Err(format!("ckpt_retain must be a positive integer, got {v}")),
-            None => 3,
-        };
-        let ckpt_dir = opt_str_field(obj, "ckpt_dir")?;
-        let checkpoint = if resume {
-            match opt_str_field(obj, "path")? {
-                Some(p) => Some(ResumeFrom::Path(p)),
-                None if ckpt_dir.is_some() => Some(ResumeFrom::Newest),
-                None => {
-                    return Err("resume needs \"path\" (a checkpoint file) or \"ckpt_dir\" \
-                         (recover from the newest auto-checkpoint)"
-                        .into())
-                }
-            }
-        } else {
-            None
-        };
-        Ok(OpenSpec {
-            engine,
-            topology: str_field(obj, "topology")?,
-            strategy: str_field(obj, "strategy")?,
-            horizon_secs: num_field(obj, "horizon_secs")?,
-            seed: opt_num_field(obj, "seed")?.map(|v| v as u64),
-            workers: opt_num_field(obj, "workers")?.map(|v| v as u64),
-            chunk_bytes,
-            trace: opt_str_field(obj, "trace")?,
-            faults: opt_str_field(obj, "faults")?,
-            ckpt_dir,
-            ckpt_every,
-            ckpt_retain,
-            checkpoint,
-        })
-    }
-
-    fn strategy(&self) -> Result<SessionStrategy, String> {
-        match self.strategy.as_str() {
-            "urp" | "inrpp" => Ok(SessionStrategy::urp()),
-            "sp" => Ok(SessionStrategy::Sp),
-            other => Err(format!("unknown strategy {other:?} (urp|sp)")),
-        }
-    }
-
-    /// The packet engine matching the strategy, with the session's
-    /// transfer quantum.
-    fn packet_engine(&self) -> Result<PacketEngine, String> {
-        let transport = match self.strategy()? {
-            SessionStrategy::Urp(_) => TransportKind::Inrpp(InrppConfig::default()),
-            SessionStrategy::Sp => TransportKind::Aimd(AimdConfig::default()),
-            other => return Err(format!("no packet transport for {}", other.name())),
-        };
-        Ok(PacketEngine::new(PacketSimConfig {
-            chunk_bytes: ByteSize::bytes(self.chunk_bytes),
-            transport,
-            ..PacketSimConfig::default()
-        }))
-    }
-}
-
-/// The topology catalog: `fig3`, or `line:N` / `ring:N` / `star:N` /
-/// `mesh:N` / `dumbbell:N` with the serve defaults (10 Mbit/s links,
-/// 10 ms delay; dumbbell bottleneck 10 Mbit/s, access 40 Mbit/s).
-fn topology_by_name(name: &str) -> Result<Topology, String> {
-    if name == "fig3" {
-        return Ok(Topology::fig3());
-    }
-    let (kind, n) = match name.split_once(':') {
-        Some((k, n)) => (
-            k,
-            n.parse::<usize>()
-                .map_err(|_| format!("bad node count in topology {name:?}"))?,
-        ),
-        None => return Err(format!("unknown topology {name:?}")),
-    };
-    let cap = Rate::mbps(10.0);
-    let delay = SimDuration::from_millis(10);
-    match kind {
-        "line" => Ok(Topology::line(n, cap, delay)),
-        "ring" => Ok(Topology::ring(n, cap, delay)),
-        "star" => Ok(Topology::star(n, cap, delay)),
-        "mesh" => Ok(Topology::full_mesh(n, cap, delay)),
-        "dumbbell" => Ok(Topology::dumbbell(n, Rate::mbps(40.0), cap, delay)),
-        _ => Err(format!("unknown topology {name:?}")),
-    }
-}
-
-// ===================================================================
-// Replies
-// ===================================================================
-
-/// An error reply with a machine-readable `kind`: `parse`,
-/// `unknown_cmd`, `config`, `state`, `session`, `checkpoint`, `io`,
-/// `timeout`. The session (if any) stays open.
-fn fail_kind(out: &mut dyn Write, kind: &str, msg: &str) -> io::Result<()> {
-    writeln!(
-        out,
-        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}",
-        esc(kind),
-        esc(msg)
-    )
-}
-
-/// An error reply for a [`SessionError`], classified by variant.
-fn fail_session(out: &mut dyn Write, e: &SessionError) -> io::Result<()> {
-    let kind = match e {
-        SessionError::CheckpointMismatch(_) => "checkpoint",
-        SessionError::InvalidConfig(_) => "config",
-        _ => "session",
-    };
-    fail_kind(out, kind, &e.to_string())
-}
-
-fn ok_event(out: &mut dyn Write, event: &str, extra: &str) -> io::Result<()> {
-    if extra.is_empty() {
-        writeln!(out, "{{\"ok\":true,\"event\":\"{}\"}}", esc(event))
-    } else {
-        writeln!(out, "{{\"ok\":true,\"event\":\"{}\",{extra}}}", esc(event))
-    }
-}
-
-/// Serialise a [`RunReport`] reply (`snapshot` / `close`).
-fn write_report(
-    out: &mut dyn Write,
-    event: &str,
-    topo: &Topology,
-    report: &RunReport,
-) -> io::Result<()> {
-    let a = &report.aggregates;
-    let mut flows = String::new();
-    for (i, f) in report.flows.iter().enumerate() {
-        if i > 0 {
-            flows.push(',');
-        }
-        let _ = write!(
-            flows,
-            "{{\"flow\":{},\"src\":\"{}\",\"dst\":\"{}\",\"offered_bits\":{},\
-             \"delivered_bits\":{},\"arrival_secs\":{},\"fct_secs\":{},\"retransmits\":{}",
-            f.flow,
-            esc(&topo.node(f.src).name),
-            esc(&topo.node(f.dst).name),
-            num(f.offered_bits),
-            num(f.delivered_bits),
-            num(f.arrival.as_secs_f64()),
-            f.fct_secs.map(num).unwrap_or_else(|| "null".into()),
-            f.retransmits,
-        );
-        // recovery metrics appear only when a fault actually touched
-        // the flow, so fault-free replies keep their exact shape
-        if f.detours > 0 || f.custody_rescues > 0 || f.outage_delay_secs > 0.0 {
-            let _ = write!(
-                flows,
-                ",\"detours\":{},\"custody_rescues\":{},\"outage_delay_secs\":{}",
-                f.detours,
-                f.custody_rescues,
-                num(f.outage_delay_secs),
-            );
-        }
-        flows.push('}');
-    }
-    writeln!(
-        out,
-        "{{\"ok\":true,\"event\":\"{}\",\"engine\":\"{}\",\"strategy\":\"{}\",\
-         \"topology\":\"{}\",\"arrived_flows\":{},\"completed_flows\":{},\
-         \"offered_bits\":{},\"delivered_bits\":{},\"duration_secs\":{},\
-         \"mean_fct_secs\":{},\"mean_utilisation\":{},\"flows\":[{}]}}",
-        esc(event),
-        report.engine,
-        esc(&report.strategy),
-        esc(&report.topology),
-        a.arrived_flows,
-        a.completed_flows,
-        num(a.offered_bits),
-        num(a.delivered_bits),
-        num(a.duration.as_secs_f64()),
-        num(a.mean_fct_secs),
-        num(a.mean_utilisation),
-        flows,
-    )
-}
-
-// ===================================================================
-// Self-healing: auto-checkpoints, crash recovery, guarded advance
-// ===================================================================
-
-/// List `ckpt-NNNNNN.ckpt` files in `dir` as `(sequence, path)` pairs
-/// (unsorted; missing or unreadable directories yield an empty list).
-fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
-    let mut out = Vec::new();
-    let Ok(entries) = fs::read_dir(dir) else {
-        return out;
-    };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if let Some(stem) = name
-            .strip_prefix("ckpt-")
-            .and_then(|s| s.strip_suffix(".ckpt"))
-        {
-            if let Ok(seq) = stem.parse::<u64>() {
-                out.push((seq, entry.path()));
-            }
-        }
-    }
-    out
-}
-
-/// Crash recovery: decode the newest readable checkpoint in `dir`,
-/// falling back past truncated/corrupt files. Returns the checkpoint,
-/// its sequence number (auto-checkpointing continues from there), and a
-/// diagnostic per skipped file.
-fn recover_newest(dir: &Path) -> Result<(Checkpoint, u64, Vec<String>), String> {
-    let mut found = list_checkpoints(dir);
-    if found.is_empty() {
-        return Err(format!(
-            "no checkpoints matching ckpt-*.ckpt in {:?}",
-            dir.display()
-        ));
-    }
-    found.sort();
-    let mut skipped = Vec::new();
-    for (seq, path) in found.into_iter().rev() {
-        match fs::read(&path) {
-            Err(e) => skipped.push(format!("{}: {e}", path.display())),
-            Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
-                Ok(c) => return Ok((c, seq, skipped)),
-                Err(e) => skipped.push(format!("{}: {e}", path.display())),
-            },
-        }
-    }
-    Err(format!(
-        "no usable checkpoint in {:?}: {}",
-        dir.display(),
-        skipped.join("; ")
-    ))
-}
-
-/// Auto-checkpoint state: write `ckpt_dir/ckpt-NNNNNN.ckpt` after every
-/// `every` successful advances, atomically (tmp + rename), pruning all
-/// but the newest `retain` files.
-struct AutoCkpt {
-    dir: PathBuf,
-    every: u64,
-    retain: usize,
-    advances: u64,
-    seq: u64,
-}
-
-impl AutoCkpt {
-    /// Record one successful advance; write + prune when due. Returns
-    /// the new checkpoint's sequence number when one was written.
-    fn after_advance(&mut self, svc: &dyn ServiceSession) -> Result<Option<u64>, String> {
-        self.advances += 1;
-        if self.advances % self.every != 0 {
-            return Ok(None);
-        }
-        let bytes = svc.checkpoint().to_bytes();
-        self.seq += 1;
-        let name = format!("ckpt-{:06}.ckpt", self.seq);
-        fs::create_dir_all(&self.dir)
-            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
-        // atomic publish: a crash mid-write leaves only a .tmp behind,
-        // never a truncated ckpt-*.ckpt
-        let tmp = self.dir.join(format!(".{name}.tmp"));
-        let path = self.dir.join(&name);
-        fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-        fs::rename(&tmp, &path).map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
-        let mut all = list_checkpoints(&self.dir);
-        all.sort();
-        while all.len() > self.retain {
-            let (_, old) = all.remove(0);
-            fs::remove_file(old).ok(); // best-effort
-        }
-        Ok(Some(self.seq))
-    }
-}
-
-/// How a guarded advance failed.
-enum AdvanceError {
-    /// The wall-clock budget expired; the session stopped (consistently)
-    /// at the contained instant and can be advanced again later.
-    Timeout(SimTime),
-    /// The engine rejected the advance.
-    Session(SessionError),
-}
-
-/// Advance to `to`, optionally under a wall-clock deadline. With a
-/// deadline the span is advanced in slices and the clock consulted
-/// between them; intermediate boundaries never change simulated results
-/// (the service contract), so a timed-out advance can simply be
-/// re-issued.
-fn advance_guarded(
-    mut source: Option<&mut dyn WorkloadSource>,
-    svc: &mut dyn ServiceSession,
-    to: SimTime,
-    deadline: Option<Instant>,
-) -> Result<SimTime, AdvanceError> {
-    let Some(deadline) = deadline else {
-        let r = match source {
-            Some(ref mut s) => pump(&mut **s, svc, to, &mut []),
-            None => svc.advance(to, &mut []),
-        };
-        return r.map_err(AdvanceError::Session);
-    };
-    const SLICES: u64 = 64;
-    let start = svc.now();
-    let step = SimDuration::from_nanos((to.duration_since(start).as_nanos() / SLICES).max(1));
-    let mut next = start;
-    loop {
-        let reached = svc.now();
-        if reached >= to {
-            return Ok(reached);
-        }
-        if Instant::now() > deadline {
-            return Err(AdvanceError::Timeout(reached));
-        }
-        next = (next + step).min(to);
-        let r = match source {
-            Some(ref mut s) => pump(&mut **s, svc, next, &mut []),
-            None => svc.advance(next, &mut []),
-        };
-        if let Err(e) = r {
-            return Err(AdvanceError::Session(e));
-        }
-    }
-}
-
-// ===================================================================
-// The serve loop
-// ===================================================================
-
-/// Run the serve protocol until EOF. Testable: `inrpp serve` calls this
-/// with locked stdio, tests call it with in-memory buffers.
-pub fn serve_lines(input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<()> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Ok(());
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let obj = match parse_object(trimmed) {
-            Ok(o) => o,
-            Err(e) => {
-                fail_kind(out, "parse", &format!("bad request: {e}"))?;
-                continue;
-            }
-        };
-        match str_field(&obj, "cmd").as_deref() {
-            Ok("open") | Ok("resume") => {
-                let resume = matches!(str_field(&obj, "cmd").as_deref(), Ok("resume"));
-                match OpenSpec::parse(&obj, resume) {
-                    Ok(spec) => drive(&spec, input, out)?,
-                    Err(e) => fail_kind(out, "config", &e)?,
-                }
-            }
-            Ok("exit") => return Ok(()),
-            Ok(other) => fail_kind(
-                out,
-                "state",
-                &format!("no open session; expected open|resume|exit, got {other:?}"),
-            )?,
-            Err(e) => fail_kind(out, "parse", e)?,
-        }
-    }
-}
-
-/// Open (or resume) one session and process commands against it until
-/// `close` / EOF. The nested scope is what owns the borrow chain:
-/// topology → session spec → fluid backing → service.
-fn drive(spec: &OpenSpec, input: &mut dyn BufRead, out: &mut dyn Write) -> io::Result<()> {
-    let topo = match topology_by_name(&spec.topology) {
-        Ok(t) => t,
-        Err(e) => return fail_kind(out, "config", &e),
-    };
-    let strategy = match spec.strategy() {
-        Ok(s) => s,
-        Err(e) => return fail_kind(out, "config", &e),
-    };
-    // serve sessions are streaming-only: traffic arrives via feed/trace,
-    // so the spec (and its fingerprint) carries an empty transfer list
-    let mut builder = Session::builder()
-        .topology(&topo)
-        .transfers(Vec::new())
-        .strategy(strategy)
-        .horizon_secs(spec.horizon_secs);
-    if let Some(seed) = spec.seed {
-        builder = builder.seed(seed);
-    }
-    if let Some(workers) = spec.workers {
-        builder = builder.workers(workers as usize);
-    }
-    if let Some(text) = &spec.faults {
-        match FaultPlan::parse(text) {
-            Ok(plan) => builder = builder.faults(plan),
-            Err(e) => return fail_kind(out, "config", &format!("bad fault plan: {e}")),
-        }
-    }
-    let session = match builder.build() {
-        Ok(s) => s,
-        Err(e) => return fail_session(out, &e),
-    };
-
-    // resume source: an explicit file, or crash recovery from the newest
-    // readable auto-checkpoint (skipping truncated/corrupt files)
-    let mut recovered_seq = 0u64;
-    let mut recovery_skipped: Vec<String> = Vec::new();
-    let checkpoint = match &spec.checkpoint {
-        None => None,
-        Some(ResumeFrom::Path(path)) => match fs::read(path) {
-            Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
-                Ok(c) => Some(c),
-                Err(e) => return fail_session(out, &e),
-            },
-            Err(e) => {
-                return fail_kind(
-                    out,
-                    "checkpoint",
-                    &format!("cannot read checkpoint {path:?}: {e}"),
-                )
-            }
-        },
-        Some(ResumeFrom::Newest) => {
-            let dir = spec.ckpt_dir.as_deref().expect("validated at parse");
-            match recover_newest(Path::new(dir)) {
-                Ok((c, seq, skipped)) => {
-                    recovered_seq = seq;
-                    recovery_skipped = skipped;
-                    Some(c)
-                }
-                Err(e) => return fail_kind(out, "checkpoint", &e),
-            }
-        }
-    };
-
-    let backing;
-    let mut svc: Box<dyn ServiceSession + '_> = match spec.engine {
-        EngineKind::Fluid => {
-            backing = FluidBacking::empty_for(&session);
-            let opened = match &checkpoint {
-                Some(c) => FluidService::resume(&session, &backing, c),
-                None => FluidService::open(&session, &backing),
-            };
-            match opened {
-                Ok(s) => Box::new(s),
-                Err(e) => return fail_session(out, &e),
-            }
-        }
-        EngineKind::Packet => {
-            let engine = match spec.packet_engine() {
-                Ok(e) => e,
-                Err(e) => return fail_kind(out, "config", &e),
-            };
-            let opened = match &checkpoint {
-                Some(c) => PacketService::resume(&engine, &session, c),
-                None => PacketService::open(&engine, &session),
-            };
-            match opened {
-                Ok(s) => Box::new(s),
-                Err(e) => return fail_session(out, &e),
-            }
-        }
-    };
-
-    let mut trace = match &spec.trace {
-        Some(path) => match fs::File::open(path) {
-            Ok(f) => {
-                let mut ts = TraceSource::new(&topo, BufReader::new(f));
-                // entries the interrupted run already fed by the
-                // checkpoint boundary must not be fed twice
-                if let Err(e) = skip_until(&mut ts, svc.now()) {
-                    return fail_session(out, &e);
-                }
-                Some(ts)
-            }
-            Err(e) => return fail_kind(out, "io", &format!("cannot read trace {path:?}: {e}")),
-        },
-        None => None,
-    };
-
-    let mut auto = spec.ckpt_dir.as_ref().map(|dir| AutoCkpt {
-        dir: PathBuf::from(dir),
-        every: spec.ckpt_every,
-        retain: spec.ckpt_retain,
-        advances: 0,
-        seq: recovered_seq,
-    });
-
-    let mut open_extra = format!(
-        "\"engine\":\"{}\",\"now_secs\":{},\"horizon_secs\":{},\"fingerprint\":\"{:016x}\"",
-        svc.kind(),
-        num(svc.now().as_secs_f64()),
-        num(svc.horizon().as_secs_f64()),
-        session.fingerprint(),
-    );
-    if matches!(spec.checkpoint, Some(ResumeFrom::Newest)) {
-        let _ = write!(
-            open_extra,
-            ",\"recovered_seq\":{recovered_seq},\"skipped_checkpoints\":{}",
-            recovery_skipped.len()
-        );
-        if !recovery_skipped.is_empty() {
-            let _ = write!(
-                open_extra,
-                ",\"diagnostics\":\"{}\"",
-                esc(&recovery_skipped.join("; "))
-            );
-        }
-    }
-    ok_event(
-        out,
-        if checkpoint.is_some() {
-            "resume"
-        } else {
-            "open"
-        },
-        &open_extra,
-    )?;
-
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF: drop the session unfinished
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let obj = match parse_object(trimmed) {
-            Ok(o) => o,
-            Err(e) => {
-                fail_kind(out, "parse", &format!("bad request: {e}"))?;
-                continue;
-            }
-        };
-        let cmd = match str_field(&obj, "cmd") {
-            Ok(c) => c,
-            Err(e) => {
-                fail_kind(out, "parse", &e)?;
-                continue;
-            }
-        };
-        match cmd.as_str() {
-            "feed" => match parse_feed(&obj, &topo, spec.chunk_bytes) {
-                Ok(t) => match svc.feed(&t) {
-                    Ok(()) => ok_event(out, "feed", &format!("\"flow\":{}", t.flow))?,
-                    Err(e) => fail_session(out, &e)?,
-                },
-                Err(e) => fail_kind(out, "parse", &e)?,
-            },
-            "advance" => {
-                let to = match num_field(&obj, "to_secs")
-                    .and_then(|s| secs_to_time(s).map_err(|e| e.to_string()))
-                {
-                    Ok(t) => t,
-                    Err(e) => {
-                        fail_kind(out, "parse", &e)?;
-                        continue;
-                    }
-                };
-                if to < svc.now() {
-                    fail_kind(
-                        out,
-                        "state",
-                        &format!(
-                            "advance target {}s precedes now {}s (time only moves forward)",
-                            num(to.as_secs_f64()),
-                            num(svc.now().as_secs_f64())
-                        ),
-                    )?;
-                    continue;
-                }
-                let deadline = match opt_num_field(&obj, "timeout_ms") {
-                    Ok(Some(ms)) if ms > 0.0 && ms.is_finite() => {
-                        Some(Instant::now() + Duration::from_millis(ms as u64))
-                    }
-                    Ok(Some(ms)) => {
-                        fail_kind(
-                            out,
-                            "parse",
-                            &format!("timeout_ms must be positive, got {ms}"),
-                        )?;
-                        continue;
-                    }
-                    Ok(None) => None,
-                    Err(e) => {
-                        fail_kind(out, "parse", &e)?;
-                        continue;
-                    }
-                };
-                let source = trace.as_mut().map(|ts| ts as &mut dyn WorkloadSource);
-                match advance_guarded(source, &mut *svc, to, deadline) {
-                    Ok(now) => {
-                        let mut extra = format!("\"now_secs\":{}", num(now.as_secs_f64()));
-                        if let Some(auto) = auto.as_mut() {
-                            match auto.after_advance(&*svc) {
-                                Ok(Some(seq)) => {
-                                    let _ = write!(extra, ",\"ckpt_seq\":{seq}");
-                                }
-                                Ok(None) => {}
-                                Err(e) => {
-                                    fail_kind(out, "io", &format!("auto-checkpoint failed: {e}"))?;
-                                    continue;
-                                }
-                            }
-                        }
-                        ok_event(out, "advance", &extra)?;
-                    }
-                    Err(AdvanceError::Timeout(reached)) => fail_kind(
-                        out,
-                        "timeout",
-                        &format!(
-                            "advance timed out at {}s (target {}s); re-issue to continue",
-                            num(reached.as_secs_f64()),
-                            num(to.as_secs_f64())
-                        ),
-                    )?,
-                    Err(AdvanceError::Session(e)) => fail_session(out, &e)?,
-                }
-            }
-            "snapshot" => write_report(out, "snapshot", &topo, &svc.snapshot())?,
-            "checkpoint" => match str_field(&obj, "path") {
-                Ok(path) => {
-                    let bytes = svc.checkpoint().to_bytes();
-                    match fs::write(&path, &bytes) {
-                        Ok(()) => ok_event(
-                            out,
-                            "checkpoint",
-                            &format!("\"path\":\"{}\",\"bytes\":{}", esc(&path), bytes.len()),
-                        )?,
-                        Err(e) => {
-                            fail_kind(out, "io", &format!("cannot write checkpoint {path:?}: {e}"))?
-                        }
-                    }
-                }
-                Err(e) => fail_kind(out, "parse", &e)?,
-            },
-            "close" => {
-                match svc.finish(&mut []) {
-                    Ok(report) => write_report(out, "close", &topo, &report)?,
-                    Err(e) => fail_session(out, &e)?,
-                }
-                return Ok(());
-            }
-            "open" | "resume" => {
-                fail_kind(out, "state", "a session is already open; close it first")?
-            }
-            other => fail_kind(
-                out,
-                "unknown_cmd",
-                &format!("unknown command {other:?} (feed|advance|snapshot|checkpoint|close)"),
-            )?,
-        }
-    }
-}
-
-fn secs_to_time(secs: f64) -> Result<SimTime, SessionError> {
-    Ok(SimTime::ZERO + SimDuration::try_from_secs_f64(secs)?)
-}
-
-/// Parse a `feed` request into a [`Transfer`] quantised with the
-/// session's chunk size.
-fn parse_feed(obj: &Obj, topo: &Topology, chunk_bytes: u64) -> Result<Transfer, String> {
-    let node = |key: &str| -> Result<_, String> {
-        let name = str_field(obj, key)?;
-        topo.node_by_name(&name)
-            .ok_or_else(|| format!("unknown node {name:?}"))
-    };
-    let start = secs_to_time(num_field(obj, "start_secs")?).map_err(|e| e.to_string())?;
-    Ok(Transfer {
-        flow: u64_field(obj, "flow")?,
-        src: node("src")?,
-        dst: node("dst")?,
-        chunks: u64_field(obj, "chunks")?,
-        chunk_bytes: ByteSize::bytes(chunk_bytes),
-        start,
-    })
-}
+pub use inrpp_server::{serve_lines, serve_lines_with};
 
 #[cfg(test)]
 mod tests {
@@ -1058,38 +26,10 @@ mod tests {
             .collect()
     }
 
-    fn assert_ok(reply: &str) {
-        assert!(reply.starts_with("{\"ok\":true"), "expected ok: {reply}");
-    }
-
-    fn assert_err(reply: &str) {
-        assert!(
-            reply.starts_with("{\"ok\":false"),
-            "expected error: {reply}"
-        );
-    }
-
+    /// The v1 wire format must survive the move to the daemon: plain
+    /// sid-less scripts produce the same reply shapes as before.
     #[test]
-    fn parses_flat_objects() {
-        let obj = parse_object(
-            r#"{"cmd":"open","engine":"fluid","horizon_secs":30.5,"quick":true,"note":null}"#,
-        )
-        .unwrap();
-        assert_eq!(str_field(&obj, "cmd").unwrap(), "open");
-        assert_eq!(num_field(&obj, "horizon_secs").unwrap(), 30.5);
-        assert_eq!(field(&obj, "quick"), Some(&Json::Bool(true)));
-        assert_eq!(field(&obj, "note"), Some(&Json::Null));
-        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err(), "nested rejected");
-        assert!(
-            parse_object(r#"{"a":1} extra"#).is_err(),
-            "trailing rejected"
-        );
-        let esc = parse_object(r#"{"s":"a\"b\\c\nd"}"#).unwrap();
-        assert_eq!(str_field(&esc, "s").unwrap(), "a\"b\\c\nd");
-    }
-
-    #[test]
-    fn full_session_over_the_wire() {
+    fn v1_wire_format_is_preserved() {
         for engine in ["fluid", "packet"] {
             let script = format!(
                 concat!(
@@ -1109,7 +49,8 @@ mod tests {
             let replies = run(&script);
             assert_eq!(replies.len(), 5, "{engine}: {replies:?}");
             for r in &replies {
-                assert_ok(r);
+                assert!(r.starts_with("{\"ok\":true"), "expected ok: {r}");
+                assert!(!r.contains("\"sid\""), "bare sessions carry no sid: {r}");
             }
             assert!(replies[0].contains("\"event\":\"open\""), "{}", replies[0]);
             assert!(replies[2].contains("\"now_secs\":1.5"), "{}", replies[2]);
@@ -1123,325 +64,34 @@ mod tests {
         }
     }
 
+    /// Error replies keep their v1 kinds and ordering.
     #[test]
-    fn bad_requests_are_replies_not_crashes() {
-        let script = concat!(
+    fn v1_error_kinds_are_preserved() {
+        let replies = run(concat!(
             "not json\n",
-            r#"{"cmd":"advance","to_secs":1}"#,
+            r#"{"cmd":"warp"}"#,
             "\n",
-            r#"{"cmd":"open","engine":"warp","topology":"fig3","strategy":"urp","horizon_secs":1}"#,
-            "\n",
-            r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":1}"#,
-            "\n",
-            r#"{"cmd":"feed","flow":1,"src":"1","dst":"nowhere","chunks":5,"start_secs":0}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":-2}"#,
-            "\n",
-            r#"{"cmd":"close"}"#,
-            "\n",
-        );
-        let replies = run(script);
-        assert_eq!(replies.len(), 7, "{replies:?}");
-        for r in &replies[..3] {
-            assert_err(r);
-        }
-        assert_ok(&replies[3]); // open
-        assert_err(&replies[4]); // unknown node
-        assert_err(&replies[5]); // negative time
-        assert_ok(&replies[6]); // close still works
-    }
-
-    fn assert_kind(reply: &str, kind: &str) {
-        assert!(
-            reply.starts_with(&format!("{{\"ok\":false,\"kind\":\"{kind}\"")),
-            "expected kind {kind:?}: {reply}"
-        );
-    }
-
-    #[test]
-    fn error_replies_carry_typed_kinds() {
-        let open = concat!(
             r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":5}"#,
             "\n",
-        );
-        let script = format!(
-            concat!(
-                "{{not json\n", // parse
-                r#"{{"cmd":"warp"}}"#,
-                "\n", // state (no session)
-                "{open}",
-                r#"{{"cmd":"advance","to_secs":2}}"#,
-                "\n",
-                r#"{{"cmd":"advance","to_secs":1}}"#,
-                "\n", // state (out of order)
-                r#"{{"cmd":"teleport"}}"#,
-                "\n", // unknown_cmd
-                r#"{{"cmd":"feed","flow":"x"}}"#,
-                "\n", // parse (bad field)
-                r#"{{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":5}}"#,
-                "\n", // state (already open)
-                r#"{{"cmd":"close"}}"#,
-                "\n",
-            ),
-            open = open
-        );
-        let replies = run(&script);
-        assert_eq!(replies.len(), 9, "{replies:?}");
-        assert_kind(&replies[0], "parse");
-        assert_kind(&replies[1], "state");
-        assert_ok(&replies[2]); // open
-        assert_ok(&replies[3]); // advance 2
-        assert_kind(&replies[4], "state");
-        assert_kind(&replies[5], "unknown_cmd");
-        assert_kind(&replies[6], "parse");
-        assert_kind(&replies[7], "state");
-        assert_ok(&replies[8]); // session survived every error
-    }
-
-    #[test]
-    fn bad_fault_plan_and_bad_resume_are_config_and_checkpoint_errors() {
-        let replies = run(concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"faults":"linkdown@x:3"}"#,
+            r#"{"cmd":"teleport"}"#,
             "\n",
-            r#"{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5}"#,
+            r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":5}"#,
             "\n",
-            r#"{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"path":"/nonexistent/x.ckpt"}"#,
-            "\n",
-            // a fault plan naming a link fig3 does not have is rejected
-            // at build time by the typed validation
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":5,"faults":"linkdown@1:99"}"#,
+            r#"{"cmd":"close"}"#,
             "\n",
         ));
-        assert_eq!(replies.len(), 4, "{replies:?}");
-        assert_kind(&replies[0], "config"); // unparseable plan
-        assert_kind(&replies[1], "config"); // resume without path or ckpt_dir
-        assert_kind(&replies[2], "checkpoint"); // unreadable file
-        assert_kind(&replies[3], "config"); // link index out of range
-        assert!(
-            replies[3].contains("link 99"),
-            "validation names the bad link: {}",
-            replies[3]
-        );
-    }
-
-    #[test]
-    fn fault_plan_over_the_wire_changes_the_run() {
-        let open = |faults: &str| {
-            format!(
-                concat!(
-                    r#"{{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7{}}}"#,
-                    "\n",
-                    r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}}"#,
-                    "\n",
-                    r#"{{"cmd":"close"}}"#,
-                    "\n",
-                ),
-                faults
-            )
+        assert_eq!(replies.len(), 6, "{replies:?}");
+        let kind = |r: &str, k: &str| {
+            assert!(
+                r.starts_with(&format!("{{\"ok\":false,\"kind\":\"{k}\"")),
+                "expected kind {k:?}: {r}"
+            );
         };
-        let quiet = run(&open(""));
-        let faulted = run(&open(r#","faults":"linkdown@0.2:1; linkup@10:1""#));
-        assert_ok(quiet.last().unwrap());
-        assert_ok(faulted.last().unwrap());
-        assert!(
-            quiet.last() != faulted.last(),
-            "a mid-run outage must change the final report"
-        );
-        // determinism: the same plan yields byte-identical bytes
-        let again = run(&open(r#","faults":"linkdown@0.2:1; linkup@10:1""#));
-        assert_eq!(faulted.last(), again.last());
-    }
-
-    #[test]
-    fn auto_checkpoints_rotate_and_recover_past_corruption() {
-        let dir = std::env::temp_dir().join(format!("inrpp-selfheal-{}", std::process::id()));
-        fs::remove_dir_all(&dir).ok();
-        fs::create_dir_all(&dir).unwrap();
-        let open = format!(
-            concat!(
-                r#"{{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
-                r#""horizon_secs":30,"seed":7,"ckpt_dir":"{d}","ckpt_retain":2}}"#,
-                "\n",
-                r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}}"#,
-                "\n",
-                r#"{{"cmd":"advance","to_secs":0.5}}"#,
-                "\n",
-                r#"{{"cmd":"advance","to_secs":1}}"#,
-                "\n",
-                r#"{{"cmd":"advance","to_secs":1.5}}"#,
-                "\n",
-            ),
-            d = dir.display()
-        );
-        let head = run(&open);
-        assert!(head[2].contains("\"ckpt_seq\":1"), "{}", head[2]);
-        assert!(head[4].contains("\"ckpt_seq\":3"), "{}", head[4]);
-        // retention: only the newest two survive
-        let mut seqs: Vec<u64> = list_checkpoints(&dir).into_iter().map(|(s, _)| s).collect();
-        seqs.sort();
-        assert_eq!(seqs, vec![2, 3], "keep-last-2 rotation");
-
-        // the uninterrupted run for comparison
-        let straight = run(concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
-            "\n",
-            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":800,"start_secs":0}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":0.5}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":1}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":1.5}"#,
-            "\n",
-            r#"{"cmd":"close"}"#,
-            "\n",
-        ));
-
-        // truncate the newest checkpoint (simulated crash mid-anything);
-        // recovery must fall back to seq 2 and note the skipped file
-        let newest = dir.join("ckpt-000003.ckpt");
-        let bytes = fs::read(&newest).unwrap();
-        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
-        let tail = run(&format!(
-            concat!(
-                r#"{{"cmd":"resume","engine":"packet","topology":"fig3","strategy":"urp","#,
-                r#""horizon_secs":30,"seed":7,"ckpt_dir":"{d}"}}"#,
-                "\n",
-                r#"{{"cmd":"advance","to_secs":1.5}}"#,
-                "\n",
-                r#"{{"cmd":"close"}}"#,
-                "\n",
-            ),
-            d = dir.display()
-        ));
-        assert!(tail[0].contains("\"event\":\"resume\""), "{}", tail[0]);
-        assert!(
-            tail[0].contains("\"recovered_seq\":2")
-                && tail[0].contains("\"skipped_checkpoints\":1"),
-            "recovery diagnostics: {}",
-            tail[0]
-        );
-        assert_eq!(
-            straight.last().unwrap(),
-            tail.last().unwrap(),
-            "recovered final report must be byte-identical to the uninterrupted run"
-        );
-
-        // with every checkpoint unusable, the error is typed
-        for (_, p) in list_checkpoints(&dir) {
-            fs::write(&p, b"garbage").unwrap();
-        }
-        let none = run(&format!(
-            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":30,\"seed\":7,\"ckpt_dir\":\"{}\"}}\n",
-            dir.display()
-        ));
-        assert_kind(&none[0], "checkpoint");
-
-        fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn advance_timeout_is_resumable() {
-        // a zero-ish budget can't finish a 20 s advance: expect a typed
-        // timeout with partial progress, then a plain advance finishes
-        let script = concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
-            "\n",
-            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":2000,"start_secs":0}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":20,"timeout_ms":0.001}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":20}"#,
-            "\n",
-            r#"{"cmd":"close"}"#,
-            "\n",
-        );
-        let replies = run(script);
-        assert_eq!(replies.len(), 5, "{replies:?}");
-        assert_kind(&replies[2], "timeout");
-        assert_ok(&replies[3]);
-        assert!(replies[3].contains("\"now_secs\":20"), "{}", replies[3]);
-        assert_ok(&replies[4]);
-
-        // and a sliced (timed) advance that *does* finish yields the same
-        // final bytes as an unsliced one — boundaries don't leak
-        let timed = run(concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
-            "\n",
-            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":5,"timeout_ms":60000}"#,
-            "\n",
-            r#"{"cmd":"close"}"#,
-            "\n",
-        ));
-        let plain = run(concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","horizon_secs":30,"seed":7}"#,
-            "\n",
-            r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}"#,
-            "\n",
-            r#"{"cmd":"advance","to_secs":5}"#,
-            "\n",
-            r#"{"cmd":"close"}"#,
-            "\n",
-        ));
-        assert_ok(timed.last().unwrap());
-        assert_eq!(timed.last(), plain.last(), "slicing must not change bytes");
-    }
-
-    #[test]
-    fn checkpoint_resume_round_trips_through_files() {
-        let dir = std::env::temp_dir().join(format!("inrpp-serve-{}", std::process::id()));
-        fs::create_dir_all(&dir).unwrap();
-        let ckpt = dir.join("run.ckpt");
-        let trace = dir.join("run.trace");
-        fs::write(
-            &trace,
-            "# inrpp-trace v1\n0 1 1 4 800 1250\n0.2 2 2 3 200 1250\n2.5 3 1 3 100 1250\n",
-        )
-        .unwrap();
-
-        let open = concat!(
-            r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
-            r#""horizon_secs":30,"seed":7,"#
-        );
-        // uninterrupted trace-driven run
-        let straight = run(&format!(
-            "{open}\"trace\":\"{t}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":1}}\n{{\"cmd\":\"advance\",\"to_secs\":3}}\n{{\"cmd\":\"close\"}}\n",
-            t = trace.display()
-        ));
-
-        // same drive schedule, checkpointed at the 1 s boundary...
-        let head = run(&format!(
-            "{open}\"trace\":\"{t}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":1}}\n{{\"cmd\":\"checkpoint\",\"path\":\"{c}\"}}\n",
-            t = trace.display(),
-            c = ckpt.display()
-        ));
-        assert_ok(&head[1]);
-        assert!(head[2].contains("\"event\":\"checkpoint\""), "{}", head[2]);
-
-        // ...and resumed in a fresh serve loop (fresh process, in effect)
-        let tail = run(&format!(
-            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":30,\"seed\":7,\"trace\":\"{t}\",\"path\":\"{c}\"}}\n{{\"cmd\":\"advance\",\"to_secs\":3}}\n{{\"cmd\":\"close\"}}\n",
-            t = trace.display(),
-            c = ckpt.display()
-        ));
-        assert!(tail[0].contains("\"event\":\"resume\""), "{}", tail[0]);
-        assert!(tail[0].contains("\"now_secs\":1"), "{}", tail[0]);
-        assert_eq!(
-            straight.last().unwrap(),
-            tail.last().unwrap(),
-            "resumed final report must be byte-identical"
-        );
-
-        // a wrong spec is rejected by the fingerprint
-        let wrong = run(&format!(
-            "{{\"cmd\":\"resume\",\"engine\":\"packet\",\"topology\":\"fig3\",\"strategy\":\"urp\",\"horizon_secs\":60,\"seed\":7,\"path\":\"{c}\"}}\n",
-            c = ckpt.display()
-        ));
-        assert_err(&wrong[0]);
-        assert!(wrong[0].contains("fingerprint"), "{}", wrong[0]);
-
-        fs::remove_dir_all(&dir).ok();
+        kind(&replies[0], "parse");
+        kind(&replies[1], "state");
+        assert!(replies[2].starts_with("{\"ok\":true"), "{}", replies[2]);
+        kind(&replies[3], "unknown_cmd");
+        kind(&replies[4], "state"); // double open
+        assert!(replies[5].starts_with("{\"ok\":true"), "{}", replies[5]);
     }
 }

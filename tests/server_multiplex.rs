@@ -1,0 +1,380 @@
+//! The daemon determinism gate: concurrently multiplexed sessions must
+//! be indistinguishable — byte for byte, per session — from each
+//! session run alone.
+//!
+//! Two layers are exercised:
+//!
+//! * **In-process**, one connection: N interleaved sessions (mixed
+//!   fluid/packet, fault plans, mid-run checkpoints, probe
+//!   fingerprints) driven through `serve_lines_with` at pool sizes 1,
+//!   2, and 8. Slice boundaries are a pure function of each session's
+//!   own clock, so the pool size may change wall-clock interleaving but
+//!   never reply bytes.
+//! * **Over TCP**, many connections: a daemon serving 8 concurrent
+//!   clients, each reply stream compared to an in-process solo control,
+//!   then a clean `shutdown`.
+
+use std::io::Cursor;
+
+use inrpp_server::{serve_lines_with, Daemon, DaemonConfig, SocketTransport, Transport};
+
+/// Drive one in-process connection with `workers` pool slots.
+fn run_with(script: &str, workers: usize) -> Vec<String> {
+    let mut input = Cursor::new(script.to_string());
+    let mut out = Vec::new();
+    serve_lines_with(&mut input, &mut out, workers).expect("serve loop");
+    String::from_utf8(out)
+        .expect("utf8 replies")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// One logical session: request lines sans sid, in drive order.
+struct Job {
+    sid: &'static str,
+    lines: Vec<String>,
+}
+
+/// A mixed workload: two packet sessions (one faulted, one
+/// fingerprinted) and two fluid sessions, with a mid-run `checkpoint`
+/// thrown in. `dir` scopes the checkpoint files.
+fn jobs(dir: &std::path::Path) -> Vec<Job> {
+    let ckpt = dir.join("mid-a.ckpt");
+    vec![
+        Job {
+            sid: "a",
+            lines: vec![
+                concat!(
+                    r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
+                    r#""horizon_secs":30,"seed":7,"faults":"linkdown@0.2:1; linkup@3:1"}"#
+                )
+                .into(),
+                r#"{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}"#.into(),
+                r#"{"cmd":"advance","to_secs":1}"#.into(),
+                format!(r#"{{"cmd":"checkpoint","path":"{}"}}"#, ckpt.display()),
+                r#"{"cmd":"advance","to_secs":4}"#.into(),
+                r#"{"cmd":"close"}"#.into(),
+            ],
+        },
+        Job {
+            sid: "b",
+            lines: vec![
+                concat!(
+                    r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","#,
+                    r#""horizon_secs":30,"seed":9}"#
+                )
+                .into(),
+                r#"{"cmd":"feed","flow":1,"src":"1","dst":"3","chunks":600,"start_secs":0}"#.into(),
+                r#"{"cmd":"advance","to_secs":2}"#.into(),
+                r#"{"cmd":"snapshot"}"#.into(),
+                r#"{"cmd":"advance","to_secs":5}"#.into(),
+                r#"{"cmd":"close"}"#.into(),
+            ],
+        },
+        Job {
+            sid: "c",
+            lines: vec![
+                concat!(
+                    r#"{"cmd":"open","engine":"packet","topology":"fig3","strategy":"urp","#,
+                    r#""horizon_secs":30,"seed":13,"probe_fp":true}"#
+                )
+                .into(),
+                r#"{"cmd":"feed","flow":1,"src":"2","dst":"3","chunks":300,"start_secs":0.1}"#
+                    .into(),
+                r#"{"cmd":"advance","to_secs":1.5}"#.into(),
+                r#"{"cmd":"advance","to_secs":6}"#.into(),
+                r#"{"cmd":"close"}"#.into(),
+            ],
+        },
+        Job {
+            sid: "d",
+            lines: vec![
+                concat!(
+                    r#"{"cmd":"open","engine":"fluid","topology":"dumbbell:4","strategy":"urp","#,
+                    r#""horizon_secs":30,"seed":21}"#
+                )
+                .into(),
+                // dumbbell auto-names: senders n0..n3, routers n4/n5,
+                // receivers n6..n9
+                r#"{"cmd":"feed","flow":1,"src":"n0","dst":"n6","chunks":500,"start_secs":0}"#
+                    .into(),
+                r#"{"cmd":"advance","to_secs":3}"#.into(),
+                r#"{"cmd":"close"}"#.into(),
+            ],
+        },
+    ]
+}
+
+/// Round-robin interleave: one request per session per round, each line
+/// tagged with its sid.
+fn interleave(jobs: &[Job]) -> String {
+    let deepest = jobs.iter().map(|j| j.lines.len()).max().unwrap_or(0);
+    let mut script = String::new();
+    for round in 0..deepest {
+        for job in jobs {
+            if let Some(line) = job.lines.get(round) {
+                let tagged = format!(
+                    "{},\"sid\":\"{}\"}}",
+                    &line[..line.len() - 1], // swap the closing brace
+                    job.sid
+                );
+                script.push_str(&tagged);
+                script.push('\n');
+            }
+        }
+    }
+    script
+}
+
+#[test]
+fn interleaved_sessions_match_solo_runs_at_pool_sizes_1_2_8() {
+    let dir = std::env::temp_dir().join(format!("inrpp-mux-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = jobs(&dir);
+
+    // solo controls: each session alone, bare (v1 single-session mode)
+    let solo: Vec<Vec<String>> = jobs
+        .iter()
+        .map(|j| run_with(&(j.lines.join("\n") + "\n"), 2))
+        .collect();
+
+    let script = interleave(&jobs);
+    for workers in [1usize, 2, 8] {
+        let mixed = run_with(&script, workers);
+        assert_eq!(
+            mixed.len(),
+            jobs.iter().map(|j| j.lines.len()).sum::<usize>(),
+            "one reply per request at workers={workers}"
+        );
+        for (job, want) in jobs.iter().zip(&solo) {
+            let tag = format!(",\"sid\":\"{}\"}}", job.sid);
+            let got: Vec<String> = mixed
+                .iter()
+                .filter(|r| r.ends_with(&tag))
+                .map(|r| r.replace(&format!(",\"sid\":\"{}\"", job.sid), ""))
+                .collect();
+            assert_eq!(
+                &got, want,
+                "session {:?} at workers={workers} must match its solo run",
+                job.sid
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_taken_under_multiplexing_resumes_as_a_new_sid() {
+    // a session checkpointed while other sessions compute can be closed
+    // and resumed under a different sid on the same connection, and the
+    // stitched run's final report matches an uninterrupted solo run
+    let dir = std::env::temp_dir().join(format!("inrpp-mux-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("hop.ckpt");
+
+    let open = concat!(
+        r#""engine":"packet","topology":"fig3","strategy":"urp","#,
+        r#""horizon_secs":30,"seed":7"#
+    );
+    let noise = concat!(
+        r#"{"cmd":"open","sid":"n","engine":"fluid","topology":"fig3","strategy":"urp","#,
+        r#""horizon_secs":30,"seed":5}"#
+    );
+    let script = format!(
+        concat!(
+            "{noise}\n",
+            r#"{{"cmd":"open","sid":"x",{open}}}"#,
+            "\n",
+            r#"{{"cmd":"feed","sid":"x","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}}"#,
+            "\n",
+            r#"{{"cmd":"feed","sid":"n","flow":1,"src":"1","dst":"3","chunks":200,"start_secs":0}}"#,
+            "\n",
+            r#"{{"cmd":"advance","sid":"x","to_secs":2}}"#,
+            "\n",
+            r#"{{"cmd":"advance","sid":"n","to_secs":1}}"#,
+            "\n",
+            r#"{{"cmd":"checkpoint","sid":"x","path":"{c}"}}"#,
+            "\n",
+            r#"{{"cmd":"close","sid":"x"}}"#,
+            "\n",
+            r#"{{"cmd":"resume","sid":"y",{open},"path":"{c}"}}"#,
+            "\n",
+            r#"{{"cmd":"advance","sid":"y","to_secs":6}}"#,
+            "\n",
+            r#"{{"cmd":"close","sid":"y"}}"#,
+            "\n",
+            r#"{{"cmd":"close","sid":"n"}}"#,
+            "\n",
+        ),
+        noise = noise,
+        open = open,
+        c = ckpt.display()
+    );
+    let replies = run_with(&script, 2);
+    for r in &replies {
+        assert!(r.starts_with("{\"ok\":true"), "all ok: {r}");
+    }
+    let stitched = replies
+        .iter()
+        .rfind(|r| r.ends_with(",\"sid\":\"y\"}"))
+        .expect("resumed close reply")
+        .replace(",\"sid\":\"y\"", "");
+
+    let solo = run_with(
+        &format!(
+            concat!(
+                r#"{{"cmd":"open",{open}}}"#,
+                "\n",
+                r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":400,"start_secs":0}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":2}}"#,
+                "\n",
+                r#"{{"cmd":"advance","to_secs":6}}"#,
+                "\n",
+                r#"{{"cmd":"close"}}"#,
+                "\n",
+            ),
+            open = open
+        ),
+        2,
+    );
+    assert_eq!(
+        &stitched,
+        solo.last().unwrap(),
+        "resume-as-new-sid must finish byte-identical to the solo run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One TCP client conversation: write the whole script, read replies to
+/// EOF (the trailing `exit` closes the connection without a reply).
+fn tcp_conversation(addr: &str, script: &str) -> Vec<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.write_all(script.as_bytes()).expect("send script");
+    stream
+        .write_all(b"{\"cmd\":\"exit\"}\n")
+        .expect("send exit");
+    stream.flush().expect("flush");
+    let mut replies = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        replies.push(line.expect("read reply"));
+    }
+    replies
+}
+
+#[test]
+fn eight_concurrent_tcp_clients_match_solo_controls() {
+    let daemon = Daemon::new(DaemonConfig { workers: 4 });
+    let mut transport = SocketTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = transport.local_addr().expect("tcp addr");
+    let server = std::thread::spawn(move || daemon.serve(&mut transport).expect("daemon"));
+
+    // eight distinct bare-session scripts (engine and seed vary)
+    let scripts: Vec<String> = (0..8)
+        .map(|i| {
+            let engine = if i % 2 == 0 { "packet" } else { "fluid" };
+            format!(
+                concat!(
+                    r#"{{"cmd":"open","engine":"{engine}","topology":"fig3","strategy":"urp","#,
+                    r#""horizon_secs":30,"seed":{seed}}}"#,
+                    "\n",
+                    r#"{{"cmd":"feed","flow":1,"src":"1","dst":"4","chunks":{chunks},"start_secs":0}}"#,
+                    "\n",
+                    r#"{{"cmd":"advance","to_secs":2}}"#,
+                    "\n",
+                    r#"{{"cmd":"close"}}"#,
+                    "\n",
+                ),
+                engine = engine,
+                seed = 100 + i,
+                chunks = 200 + 50 * i,
+            )
+        })
+        .collect();
+    let controls: Vec<Vec<String>> = scripts.iter().map(|s| run_with(s, 2)).collect();
+
+    let clients: Vec<_> = scripts
+        .iter()
+        .map(|script| {
+            let (addr, script) = (addr.clone(), script.clone());
+            std::thread::spawn(move || tcp_conversation(&addr, &script))
+        })
+        .collect();
+    for (i, (client, want)) in clients.into_iter().zip(&controls).enumerate() {
+        let got = client.join().expect("client thread");
+        assert_eq!(
+            &got, want,
+            "client {i} over TCP must match its solo control"
+        );
+    }
+
+    // a final client stops the daemon; serve() returns cleanly
+    let goodbye = {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"{\"cmd\":\"shutdown\",\"seq\":99}\n")
+            .expect("send shutdown");
+        stream.flush().expect("flush");
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    };
+    assert!(
+        goodbye.contains("\"event\":\"shutdown\"") && goodbye.ends_with(",\"seq\":99}"),
+        "shutdown ack: {goodbye}"
+    );
+    server.join().expect("daemon thread");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_hello_and_a_session() {
+    let path = std::env::temp_dir().join(format!("inrpp-mux-{}.sock", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let daemon = Daemon::new(DaemonConfig { workers: 2 });
+    let mut transport = SocketTransport::bind(&format!("unix:{}", path.display())).expect("bind");
+    let server = std::thread::spawn(move || daemon.serve(&mut transport).expect("daemon"));
+
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    stream
+        .write_all(
+            concat!(
+                r#"{"cmd":"hello","seq":1}"#,
+                "\n",
+                r#"{"cmd":"open","engine":"fluid","topology":"fig3","strategy":"urp","horizon_secs":10,"seq":2}"#,
+                "\n",
+                r#"{"cmd":"close","seq":3}"#,
+                "\n",
+                r#"{"cmd":"shutdown","seq":4}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    stream.flush().expect("flush");
+    let replies: Vec<String> = BufReader::new(stream)
+        .lines()
+        .map(|l| l.expect("reply"))
+        .collect();
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    assert!(
+        replies[0].contains("\"event\":\"hello\"") && replies[0].contains("\"protocol\":2"),
+        "{}",
+        replies[0]
+    );
+    assert!(replies[1].contains("\"event\":\"open\""), "{}", replies[1]);
+    assert!(replies[2].contains("\"event\":\"close\""), "{}", replies[2]);
+    assert!(
+        replies[3].contains("\"event\":\"shutdown\""),
+        "{}",
+        replies[3]
+    );
+    server.join().expect("daemon thread");
+    assert!(!path.exists(), "socket file unlinked on transport drop");
+}
